@@ -1,0 +1,132 @@
+// E9 (ablation table): design choices of the agent's scheduler.
+//
+// Part 1 — pending-assignment counting. A burst of concurrent requests
+// arrives between workload reports. With ServerRecord::pending counted, the
+// burst spreads across the pool; ablated, every request goes to whichever
+// server looked idle in the last (stale) report.
+//
+// Part 2 — network-awareness of MCT. Two equal-speed servers, one behind an
+// emulated WAN link. MCT (which prices latency + bytes/bandwidth) routes
+// bulk transfers to the near server once metrics are learned; least_loaded,
+// blind to the network term, keeps alternating.
+#include <map>
+
+#include "bench/harness.hpp"
+#include "linalg/matrix.hpp"
+
+using namespace ns;
+using dsl::DataObject;
+
+namespace {
+
+struct BurstResult {
+  double makespan = 0;
+  int max_share = 0;
+  std::string spread;
+};
+
+BurstResult run_burst(bool count_pending) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(4, /*workers=*/1);
+  for (auto& s : config.servers) {
+    s.slowdown_mode = server::SlowdownMode::kSleep;
+    s.report_period_s = 30.0;  // reports out of the picture: pending or bust
+  }
+  config.rating_base = 1000.0;
+  config.count_pending = count_pending;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  if (!cluster.ok()) std::exit(1);
+  auto client = cluster.value()->make_client();
+
+  const Stopwatch watch;
+  std::vector<client::RequestHandle> handles;
+  for (int i = 0; i < 16; ++i) {
+    handles.push_back(client.netsl_nb("simwork", {DataObject(std::int64_t{60})}));
+  }
+  std::map<std::string, int> dist;
+  for (auto& h : handles) {
+    if (h.wait().ok()) dist[h.stats().server_name] += 1;
+  }
+  BurstResult result;
+  result.makespan = watch.elapsed();
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto it = dist.find("server" + std::to_string(i));
+    const int n = it == dist.end() ? 0 : it->second;
+    result.max_share = std::max(result.max_share, n);
+    result.spread += std::to_string(n);
+    if (i < 3) result.spread += "/";
+  }
+  return result;
+}
+
+struct SkewResult {
+  double mean_call = 0;
+  int near_share = 0;
+};
+
+SkewResult run_network_skew(const std::string& policy) {
+  testkit::ClusterConfig config;
+  config.policy = policy;
+  testkit::ClusterServerSpec near_box;
+  near_box.name = "near";
+  near_box.speed = 0.94;  // slightly slower CPU...
+  testkit::ClusterServerSpec far_box;
+  far_box.name = "far";   // ...than the one behind the WAN link
+  far_box.link = net::LinkShape{0.02, 1.5e6};  // WAN-ish replies
+  config.servers = {near_box, far_box};
+  config.rating_base = 800.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  if (!cluster.ok()) std::exit(1);
+  auto client = cluster.value()->make_client();
+
+  Rng rng(5);
+  const auto a = linalg::Matrix::random(400, 400, rng);  // ~1.3 MB payload
+  const auto x = linalg::random_vector(400, rng);
+
+  // Learning phase: let the client's metric reports teach the agent.
+  for (int i = 0; i < 6; ++i) {
+    sleep_seconds(0.05);
+    (void)client.call("dgemv", a, x);
+  }
+
+  SkewResult result;
+  std::vector<double> times;
+  for (int i = 0; i < 10; ++i) {
+    sleep_seconds(0.05);
+    client::CallStats stats;
+    auto out = client.netsl("dgemv", {DataObject(a), DataObject(x)}, &stats);
+    if (!out.ok()) std::exit(1);
+    times.push_back(stats.total_seconds);
+    if (stats.server_name == "near") ++result.near_share;
+  }
+  result.mean_call = bench::summarize(times).mean;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E9 / ablations", "scheduler design choices");
+
+  bench::row("-- part 1: pending-assignment counting (16-request burst, stale reports) --");
+  bench::row("%-18s %10s %12s %18s", "variant", "makespan", "max_share", "spread");
+  const auto with_pending = run_burst(true);
+  const auto without_pending = run_burst(false);
+  bench::row("%-18s %9.2fs %12d %18s", "pending counted", with_pending.makespan,
+             with_pending.max_share, with_pending.spread.c_str());
+  bench::row("%-18s %9.2fs %12d %18s", "ablated", without_pending.makespan,
+             without_pending.max_share, without_pending.spread.c_str());
+  bench::row("shape check: ablation dog-piles (max_share 16) and multiplies makespan ~4x");
+
+  bench::row("");
+  bench::row("-- part 2: network-aware MCT vs load-only policy (bulk dgemv; the WAN");
+  bench::row("   server has a 6%% faster CPU, baiting network-blind policies) --");
+  bench::row("%-14s %12s %16s", "policy", "mean_call", "near_share(/10)");
+  for (const char* policy : {"mct", "least_loaded", "round_robin"}) {
+    const auto r = run_network_skew(policy);
+    bench::row("%-14s %10.0fms %16d", policy, r.mean_call * 1e3, r.near_share);
+  }
+  bench::row("shape check: mct converges onto the near server; network-blind policies");
+  bench::row("  keep paying the WAN reply link on ~half the calls");
+  return 0;
+}

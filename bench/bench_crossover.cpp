@@ -1,0 +1,119 @@
+// E2 (Table I): remote-vs-local cost and the problem-size crossover.
+//
+// For dgesv and dgemm at sizes N = 64 .. 512, compare:
+//   local      -- calling ns::linalg directly in-process
+//   netsolve   -- the full client->agent->server path on loopback
+//   netsolve@lan / @wan -- same, over emulated links
+//
+// Reported: times plus the remote overhead percentage and its breakdown
+// (compute vs transfer). Expected shape: overhead is enormous for small N
+// and decays toward zero as O(N^3) compute swamps O(N^2) transfer — the
+// original system's core argument ("use NetSolve for large problems").
+#include "bench/harness.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+
+using namespace ns;
+using dsl::DataObject;
+
+namespace {
+
+double time_local_dgesv(const linalg::Matrix& a, const linalg::Vector& b) {
+  const Stopwatch watch;
+  auto x = linalg::dgesv(a, b);
+  if (!x.ok()) std::abort();
+  return watch.elapsed();
+}
+
+double time_local_dgemm(const linalg::Matrix& a, const linalg::Matrix& b) {
+  const Stopwatch watch;
+  const auto c = linalg::matmul(a, b);
+  (void)c;
+  return watch.elapsed();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E2 / Table I", "remote vs local: overhead and crossover");
+
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(1);
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster failed: %s\n", cluster.error().to_string().c_str());
+    return 1;
+  }
+  auto loop_client = cluster.value()->make_client();
+  auto lan_client = cluster.value()->make_client(net::LinkShape::lan());
+
+  const std::size_t sizes[] = {64, 128, 256, 384, 512, 704};
+
+  bench::row("-- dgesv: solve A x = b --");
+  bench::row("%6s %12s %12s %12s %10s %10s", "N", "local", "netsolve", "netsolve@lan",
+             "ovh_loop", "ovh_lan");
+  for (const std::size_t n : sizes) {
+    Rng rng(n);
+    const auto a = linalg::Matrix::random_diag_dominant(n, rng);
+    const auto b = linalg::random_vector(n, rng);
+
+    const double local = time_local_dgesv(a, b);
+    client::CallStats loop_stats, lan_stats;
+    auto r1 = loop_client.netsl("dgesv", {DataObject(a), DataObject(b)}, &loop_stats);
+    auto r2 = lan_client.netsl("dgesv", {DataObject(a), DataObject(b)}, &lan_stats);
+    if (!r1.ok() || !r2.ok()) {
+      std::fprintf(stderr, "remote dgesv failed\n");
+      return 1;
+    }
+    bench::row("%6zu %12s %12s %12s %9.0f%% %9.0f%%", n,
+               strings::format_seconds(local).c_str(),
+               strings::format_seconds(loop_stats.total_seconds).c_str(),
+               strings::format_seconds(lan_stats.total_seconds).c_str(),
+               100.0 * (loop_stats.total_seconds - local) / local,
+               100.0 * (lan_stats.total_seconds - local) / local);
+  }
+
+  bench::row("");
+  bench::row("-- dgemm: C = A B --");
+  bench::row("%6s %12s %12s %12s %10s %10s", "N", "local", "netsolve", "netsolve@lan",
+             "ovh_loop", "ovh_lan");
+  for (const std::size_t n : sizes) {
+    Rng rng(n + 7);
+    const auto a = linalg::Matrix::random(n, n, rng);
+    const auto b = linalg::Matrix::random(n, n, rng);
+
+    const double local = time_local_dgemm(a, b);
+    client::CallStats loop_stats, lan_stats;
+    auto r1 = loop_client.netsl("dgemm", {DataObject(a), DataObject(b)}, &loop_stats);
+    auto r2 = lan_client.netsl("dgemm", {DataObject(a), DataObject(b)}, &lan_stats);
+    if (!r1.ok() || !r2.ok()) {
+      std::fprintf(stderr, "remote dgemm failed\n");
+      return 1;
+    }
+    bench::row("%6zu %12s %12s %12s %9.0f%% %9.0f%%", n,
+               strings::format_seconds(local).c_str(),
+               strings::format_seconds(loop_stats.total_seconds).c_str(),
+               strings::format_seconds(lan_stats.total_seconds).c_str(),
+               100.0 * (loop_stats.total_seconds - local) / local,
+               100.0 * (lan_stats.total_seconds - local) / local);
+  }
+
+  bench::row("");
+  bench::row("-- overhead breakdown for dgesv over LAN --");
+  bench::row("%6s %12s %12s %12s %8s", "N", "total", "compute", "transfer", "xfer%");
+  for (const std::size_t n : sizes) {
+    Rng rng(n + 13);
+    const auto a = linalg::Matrix::random_diag_dominant(n, rng);
+    const auto b = linalg::random_vector(n, rng);
+    client::CallStats stats;
+    auto out = lan_client.netsl("dgesv", {DataObject(a), DataObject(b)}, &stats);
+    if (!out.ok()) return 1;
+    bench::row("%6zu %12s %12s %12s %7.0f%%", n,
+               strings::format_seconds(stats.total_seconds).c_str(),
+               strings::format_seconds(stats.exec_seconds).c_str(),
+               strings::format_seconds(stats.transfer_seconds).c_str(),
+               100.0 * stats.transfer_seconds / stats.total_seconds);
+  }
+  bench::row("shape check: overhead%% decays with N (O(N^2) transfer vs O(N^3) compute)");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E6 (Figure C): workload-report threshold ablation.
+//
+// NetSolve servers report workload periodically but suppress reports whose
+// change since the last transmission is below a threshold — trading agent
+// traffic against scheduling accuracy. Two servers serve a stream of jobs;
+// server B carries a background load oscillating between 0 and 4 jobs with
+// a ~0.4 s period. With fresh reports the agent routes around B's busy
+// phases; with stale reports it cannot.
+//
+// Reported per threshold: workload reports received by the agent (traffic)
+// and the mean job completion time (quality). Expected shape: traffic drops
+// sharply with the threshold while mean job time degrades, approaching the
+// random-half split at very high thresholds.
+#include <atomic>
+
+#include "bench/harness.hpp"
+
+using namespace ns;
+using dsl::DataObject;
+
+namespace {
+
+constexpr int kJobs = 50;
+constexpr double kPeriod = 0.4;  // background oscillation period, seconds
+
+struct CaseResult {
+  std::uint64_t reports = 0;
+  double mean_job = 0;
+  int on_loaded_server = 0;
+};
+
+CaseResult run_case(double threshold) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2, /*workers=*/1);
+  for (auto& s : config.servers) {
+    s.slowdown_mode = server::SlowdownMode::kSleep;
+    s.report_period_s = 0.02;
+    s.report_threshold = threshold;
+  }
+  config.rating_base = 1000.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster failed: %s\n", cluster.error().to_string().c_str());
+    std::exit(1);
+  }
+  auto client = cluster.value()->make_client();
+
+  // Oscillating background load on server 1.
+  std::atomic<bool> stop{false};
+  std::thread oscillator([&cluster, &stop] {
+    bool high = false;
+    while (!stop.load()) {
+      cluster.value()->server(1).set_background_load(high ? 4.0 : 0.0);
+      high = !high;
+      sleep_seconds(kPeriod / 2);
+    }
+  });
+
+  const auto reports_before = cluster.value()->agent().stats().workload_reports;
+  CaseResult result;
+  std::mutex mu;
+  auto farm = bench::run_farm(kJobs, /*concurrency=*/2, [&](int) {
+    client::CallStats stats;
+    auto out = client.netsl("simwork", {DataObject(std::int64_t{30})}, &stats);
+    if (out.ok() && stats.server_name == cluster.value()->server(1).name()) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++result.on_loaded_server;
+    }
+    return out.ok();
+  });
+  stop.store(true);
+  oscillator.join();
+
+  result.reports = cluster.value()->agent().stats().workload_reports - reports_before;
+  result.mean_job = bench::summarize(farm.job_seconds).mean;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E6 / Figure C",
+                "workload-report threshold: agent traffic vs scheduling quality");
+  bench::row("(server B background load oscillates 0 <-> 4 jobs every %.1fs)", kPeriod / 2);
+  bench::row("");
+  bench::row("%10s %14s %12s %18s", "threshold", "reports_rcvd", "mean_job",
+             "jobs_on_server_B");
+  for (const double threshold : {0.0, 0.5, 1.0, 2.0, 8.0}) {
+    const auto r = run_case(threshold);
+    bench::row("%10.1f %14llu %10.0fms %18d", threshold,
+               static_cast<unsigned long long>(r.reports), r.mean_job * 1e3,
+               r.on_loaded_server);
+  }
+  bench::row("");
+  bench::row("shape check: reports fall sharply with threshold; mean job time rises");
+  bench::row("  as the agent acts on staler load data (routing into B's busy phase)");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Shared plumbing for the experiment harnesses (bench_* binaries that
+// regenerate the paper-shaped tables and figures; see EXPERIMENTS.md).
+//
+// Each harness prints a self-describing header, the parameter values, and
+// the measured rows in a fixed-width table so runs can be diffed and pasted
+// into EXPERIMENTS.md directly.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "testkit/cluster.hpp"
+
+namespace ns::bench {
+
+inline void banner(const char* experiment_id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", experiment_id, title);
+  std::printf("==============================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+/// Basic statistics over a sample set.
+struct Summary {
+  double mean = 0, min = 0, max = 0, stddev = 0;
+  std::size_t count = 0;
+};
+
+inline Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0;
+  for (const double x : xs) {
+    sum += x;
+    if (x < s.min) s.min = x;
+    if (x > s.max) s.max = x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (const double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(var / static_cast<double>(xs.size() - 1)) : 0.0;
+  return s;
+}
+
+/// Run `count` jobs through `submit` with at most `concurrency` in flight,
+/// using one worker thread per slot; returns per-job wall times (seconds)
+/// in completion order and the overall makespan.
+struct FarmResult {
+  std::vector<double> job_seconds;
+  double makespan = 0;
+  int failures = 0;
+};
+
+template <typename SubmitFn>
+FarmResult run_farm(int count, int concurrency, SubmitFn&& submit) {
+  FarmResult result;
+  std::mutex mu;
+  std::atomic<int> next{0};
+  const Stopwatch total;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(concurrency));
+  for (int w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        const int job = next.fetch_add(1);
+        if (job >= count) return;
+        const Stopwatch watch;
+        const bool ok = submit(job);
+        const double elapsed = watch.elapsed();
+        std::lock_guard<std::mutex> lock(mu);
+        if (ok) {
+          result.job_seconds.push_back(elapsed);
+        } else {
+          ++result.failures;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  result.makespan = total.elapsed();
+  return result;
+}
+
+}  // namespace ns::bench

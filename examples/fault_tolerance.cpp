@@ -1,0 +1,76 @@
+// Fault tolerance walkthrough.
+//
+// NetSolve's client library retries failed requests on the next-best server
+// from the agent's ranked list, and the agent blacklists servers that
+// clients report as failed. This example makes the machinery visible:
+//
+//   phase 1: healthy pool, calls land on the best server
+//   phase 2: that server starts crashing mid-request; calls still succeed
+//            (one retry each), and the agent drops the dead server
+//   phase 3: the server "reboots" (re-registers) and rejoins the pool
+#include <cstdio>
+
+#include "common/clock.hpp"
+#include "linalg/blas.hpp"
+#include "testkit/cluster.hpp"
+
+using namespace ns;
+using dsl::DataObject;
+
+namespace {
+
+int run_phase(const char* label, client::NetSolveClient& client, int calls) {
+  Rng rng(99);
+  const auto a = linalg::Matrix::random_diag_dominant(64, rng);
+  const auto b = linalg::random_vector(64, rng);
+  int ok = 0;
+  std::printf("%s\n", label);
+  for (int i = 0; i < calls; ++i) {
+    client::CallStats stats;
+    auto result = client.netsl("dgesv", {DataObject(a), DataObject(b)}, &stats);
+    if (result.ok()) {
+      ++ok;
+      std::printf("  call %d: served by %-10s attempts=%d (%.1f ms)\n", i + 1,
+                  stats.server_name.c_str(), stats.attempts, stats.total_seconds * 1e3);
+    } else {
+      std::printf("  call %d: FAILED (%s)\n", i + 1, result.error().to_string().c_str());
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(3);
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster failed: %s\n", cluster.error().to_string().c_str());
+    return 1;
+  }
+  auto client = cluster.value()->make_client();
+  int total_ok = 0;
+
+  total_ok += run_phase("phase 1: healthy pool (3 servers)", client, 3);
+
+  // Inject: server0 now drops every request mid-flight.
+  server::FailureSpec drop;
+  drop.mode = server::FailureSpec::Mode::kDropRequest;
+  drop.probability = 1.0;
+  cluster.value()->server(0).inject_failure(drop);
+  total_ok += run_phase("phase 2: server0 drops connections; retries absorb it", client, 4);
+
+  std::printf("  agent now sees %zu alive servers\n",
+              cluster.value()->agent().registry().alive_count());
+
+  // Heal and wait for the next workload report to revive it in the agent.
+  cluster.value()->server(0).inject_failure(server::FailureSpec{});
+  sleep_seconds(0.2);
+  std::printf("phase 3: server0 healed; agent sees %zu alive servers\n",
+              cluster.value()->agent().registry().alive_count());
+  total_ok += run_phase("  post-recovery calls", client, 3);
+
+  std::printf("%d/10 calls succeeded despite the failures\n", total_ok);
+  return total_ok == 10 ? 0 : 1;
+}

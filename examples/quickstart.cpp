@@ -1,0 +1,62 @@
+// Quickstart: the smallest complete NetSolve session.
+//
+// Starts an agent and two computational servers in-process (the testkit
+// cluster), then uses the client library to solve a dense linear system
+// remotely — the canonical netsl('dgesv', A, b) call.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "linalg/blas.hpp"
+#include "testkit/cluster.hpp"
+
+using namespace ns;
+
+int main() {
+  // 1. Bring up a pool: one agent, two servers offering the full catalogue.
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(/*count=*/2);
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster failed to start: %s\n",
+                 cluster.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("agent listening on %s, %zu servers registered\n",
+              cluster.value()->agent_endpoint().to_string().c_str(),
+              cluster.value()->server_count());
+
+  // 2. Build a problem: a 200x200 diagonally dominant system A x = b.
+  Rng rng(2024);
+  const auto a = linalg::Matrix::random_diag_dominant(200, rng);
+  const auto x_true = linalg::random_vector(200, rng);
+  linalg::Vector b(200, 0.0);
+  linalg::gemv(1.0, a, x_true, 0.0, b);
+
+  // 3. Solve it remotely. The client asks the agent for the best server,
+  //    ships the arguments, and returns the outputs.
+  auto client = cluster.value()->make_client();
+  client::CallStats stats;
+  auto result = client.netsl("dgesv", {dsl::DataObject(a), dsl::DataObject(b)}, &stats);
+  if (!result.ok()) {
+    std::fprintf(stderr, "netsl failed: %s\n", result.error().to_string().c_str());
+    return 1;
+  }
+
+  // 4. Check the answer.
+  const auto& x = result.value()[0].as_vector();
+  const double err = linalg::max_abs_diff(x, x_true);
+  std::printf("solved on '%s' (predicted %.1f ms, actual %.1f ms, compute %.1f ms)\n",
+              stats.server_name.c_str(), stats.predicted_seconds * 1e3,
+              stats.total_seconds * 1e3, stats.exec_seconds * 1e3);
+  std::printf("max |x - x_true| = %.3e  -> %s\n", err, err < 1e-8 ? "OK" : "WRONG");
+
+  // 5. What else can this pool do?
+  auto problems = client.list_problems();
+  if (problems.ok()) {
+    std::printf("catalogue (%zu problems):", problems.value().size());
+    for (const auto& p : problems.value()) std::printf(" %s", p.name.c_str());
+    std::printf("\n");
+  }
+  return err < 1e-8 ? 0 : 2;
+}

@@ -1,0 +1,94 @@
+// Standalone NetSolve agent daemon.
+//
+//   $ netsolve_agent [key=value ...]
+//     port=9000            listen port (default 9000; 0 = ephemeral)
+//     host=127.0.0.1       listen address
+//     policy=mct           mct | round_robin | random | least_loaded
+//     max_failures=1       client failure reports before blacklisting
+//     report_timeout=0     seconds of silence before a server expires (0=off)
+//     ping_period=0        active server liveness probing period (0=off)
+//     peers=host:p,host:p  federated peer agents to sync the registry with
+//     sync_period=1        registry snapshot exchange period (with peers)
+//     runtime=0            exit after this many seconds (0 = run forever)
+//
+// Runs until killed (or until `runtime` elapses), printing periodic stats.
+#include <csignal>
+#include <cstdio>
+
+#include "agent/agent.hpp"
+#include "common/clock.hpp"
+#include "common/config.hpp"
+#include "common/strings.hpp"
+
+using namespace ns;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = Config::from_args(argc - 1, argv + 1);
+  if (!config.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n", config.error().to_string().c_str());
+    return 2;
+  }
+
+  agent::AgentConfig agent_config;
+  agent_config.listen.host = config.value().get_or("host", "127.0.0.1");
+  agent_config.listen.port =
+      static_cast<std::uint16_t>(config.value().get_int_or("port", 9000));
+  agent_config.policy = config.value().get_or("policy", "mct");
+  agent_config.registry.max_failures =
+      static_cast<int>(config.value().get_int_or("max_failures", 1));
+  agent_config.registry.report_timeout_s =
+      config.value().get_double_or("report_timeout", 0.0);
+  agent_config.ping_period_s = config.value().get_double_or("ping_period", 0.0);
+  if (const auto peers = config.value().get("peers")) {
+    for (const auto& peer : strings::split(*peers, ',')) {
+      const auto parts = strings::split(peer, ':');
+      if (parts.size() != 2) {
+        std::fprintf(stderr, "bad peer '%s' (expected host:port)\n", peer.c_str());
+        return 2;
+      }
+      const auto port = strings::parse_int(parts[1]);
+      if (!port) {
+        std::fprintf(stderr, "bad peer port in '%s'\n", peer.c_str());
+        return 2;
+      }
+      agent_config.peers.push_back({parts[0], static_cast<std::uint16_t>(*port)});
+    }
+    agent_config.sync_period_s = config.value().get_double_or("sync_period", 1.0);
+  }
+  const double runtime = config.value().get_double_or("runtime", 0.0);
+
+  auto agent = agent::Agent::start(agent_config);
+  if (!agent.ok()) {
+    std::fprintf(stderr, "agent failed to start: %s\n", agent.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("netsolve_agent listening on %s (policy=%s)\n",
+              agent.value()->endpoint().to_string().c_str(), agent_config.policy.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  const Deadline deadline = runtime > 0 ? Deadline(runtime) : Deadline::never();
+  proto::AgentStats last{};
+  while (g_stop == 0 && !deadline.expired()) {
+    sleep_seconds(1.0);
+    const auto stats = agent.value()->stats();
+    if (stats.queries != last.queries || stats.registrations != last.registrations) {
+      std::printf("[agent] servers=%u queries=%llu reports=%llu failures=%llu\n",
+                  stats.alive_servers, static_cast<unsigned long long>(stats.queries),
+                  static_cast<unsigned long long>(stats.workload_reports),
+                  static_cast<unsigned long long>(stats.failure_reports));
+      std::fflush(stdout);
+      last = stats;
+    }
+  }
+  agent.value()->stop();
+  std::printf("netsolve_agent shut down\n");
+  return 0;
+}

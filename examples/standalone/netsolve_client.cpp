@@ -1,0 +1,107 @@
+// Standalone NetSolve client CLI.
+//
+//   $ netsolve_client agent_port=9000 cmd=list
+//   $ netsolve_client agent_port=9000 cmd=solve n=300 problem=dgesv
+//   $ netsolve_client agent_port=9000 cmd=bench n=200 calls=10
+//
+// cmd=list   print the agent's problem catalogue and server pool
+// cmd=solve  generate a random system of order n and solve it remotely
+// cmd=bench  time `calls` solves and print a latency summary
+#include <cstdio>
+
+#include "client/client.hpp"
+#include "common/clock.hpp"
+#include "common/config.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+using namespace ns;
+using dsl::DataObject;
+
+namespace {
+
+int cmd_list(client::NetSolveClient& client) {
+  auto problems = client.list_problems();
+  if (!problems.ok()) {
+    std::fprintf(stderr, "list failed: %s\n", problems.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%-14s %-8s %-8s complexity\n", "problem", "inputs", "outputs");
+  for (const auto& p : problems.value()) {
+    std::printf("%-14s %-8zu %-8zu %.3g * N^%.3g\n", p.name.c_str(), p.inputs.size(),
+                p.outputs.size(), p.complexity.a, p.complexity.b);
+  }
+  auto stats = client.agent_stats();
+  if (stats.ok()) {
+    std::printf("agent: %u alive servers, %llu queries served\n",
+                stats.value().alive_servers,
+                static_cast<unsigned long long>(stats.value().queries));
+  }
+  return 0;
+}
+
+int cmd_solve(client::NetSolveClient& client, std::size_t n, const std::string& problem) {
+  Rng rng(12345);
+  const auto a = linalg::Matrix::random_diag_dominant(n, rng);
+  const auto b = linalg::random_vector(n, rng);
+  client::CallStats stats;
+  auto out = client.netsl(problem, {DataObject(a), DataObject(b)}, &stats);
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", problem.c_str(),
+                 out.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s(n=%zu) on '%s': total %.1f ms (compute %.1f ms, transfer %.1f ms), "
+              "residual %.2e\n",
+              problem.c_str(), n, stats.server_name.c_str(), stats.total_seconds * 1e3,
+              stats.exec_seconds * 1e3, stats.transfer_seconds * 1e3,
+              linalg::residual_inf(a, out.value()[0].as_vector(), b));
+  return 0;
+}
+
+int cmd_bench(client::NetSolveClient& client, std::size_t n, int calls) {
+  Rng rng(777);
+  const auto a = linalg::Matrix::random_diag_dominant(n, rng);
+  const auto b = linalg::random_vector(n, rng);
+  double total = 0, best = 1e300, worst = 0;
+  for (int i = 0; i < calls; ++i) {
+    const Stopwatch watch;
+    auto out = client.netsl("dgesv", {DataObject(a), DataObject(b)});
+    if (!out.ok()) {
+      std::fprintf(stderr, "call %d failed: %s\n", i, out.error().to_string().c_str());
+      return 1;
+    }
+    const double t = watch.elapsed();
+    total += t;
+    best = std::min(best, t);
+    worst = std::max(worst, t);
+  }
+  std::printf("dgesv(n=%zu) x%d: mean %.1f ms, min %.1f ms, max %.1f ms\n", n, calls,
+              total / calls * 1e3, best * 1e3, worst * 1e3);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = Config::from_args(argc - 1, argv + 1);
+  if (!config.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n", config.error().to_string().c_str());
+    return 2;
+  }
+  client::ClientConfig client_config;
+  client_config.agent.host = config.value().get_or("agent_host", "127.0.0.1");
+  client_config.agent.port =
+      static_cast<std::uint16_t>(config.value().get_int_or("agent_port", 9000));
+  client::NetSolveClient client(client_config);
+
+  const std::string cmd = config.value().get_or("cmd", "list");
+  const auto n = static_cast<std::size_t>(config.value().get_int_or("n", 200));
+  if (cmd == "list") return cmd_list(client);
+  if (cmd == "solve") return cmd_solve(client, n, config.value().get_or("problem", "dgesv"));
+  if (cmd == "bench") {
+    return cmd_bench(client, n, static_cast<int>(config.value().get_int_or("calls", 10)));
+  }
+  std::fprintf(stderr, "unknown cmd '%s' (use list | solve | bench)\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,98 @@
+// Standalone NetSolve computational server daemon.
+//
+//   $ netsolve_server agent_port=9000 [key=value ...]
+//     name=serverX         server name reported to the agent
+//     agent_host=127.0.0.1 agent address
+//     agent_port=9000      agent port (required in practice)
+//     port=0               own listen port (0 = ephemeral)
+//     workers=2            concurrent request capacity
+//     speed=1.0            emulated relative speed in (0, 1]
+//     rating=0             Mflop rating override (0 = measure host)
+//     report_period=0.1    workload report cadence, seconds
+//     reregister_period=5  re-register cadence (survives agent restarts)
+//     report_threshold=0   min workload delta to transmit a report
+//     problems=dgesv,cg    offer only these problems (default: full catalogue)
+//     spec_file=path       @PROBLEM-format description overrides (admin tuning)
+//     runtime=0            exit after this many seconds (0 = run forever)
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/clock.hpp"
+#include "common/config.hpp"
+#include "common/strings.hpp"
+#include "server/server.hpp"
+
+using namespace ns;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = Config::from_args(argc - 1, argv + 1);
+  if (!config.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n", config.error().to_string().c_str());
+    return 2;
+  }
+
+  server::ServerConfig server_config;
+  server_config.name = config.value().get_or("name", "server");
+  server_config.agent.host = config.value().get_or("agent_host", "127.0.0.1");
+  server_config.agent.port =
+      static_cast<std::uint16_t>(config.value().get_int_or("agent_port", 9000));
+  server_config.listen.port =
+      static_cast<std::uint16_t>(config.value().get_int_or("port", 0));
+  server_config.workers = static_cast<int>(config.value().get_int_or("workers", 2));
+  server_config.speed_factor = config.value().get_double_or("speed", 1.0);
+  server_config.rating_override = config.value().get_double_or("rating", 0.0);
+  server_config.report_period_s = config.value().get_double_or("report_period", 0.1);
+  server_config.report_threshold = config.value().get_double_or("report_threshold", 0.0);
+  server_config.reregister_period_s = config.value().get_double_or("reregister_period", 5.0);
+  if (const auto problems = config.value().get("problems")) {
+    server_config.problem_filter = strings::split(*problems, ',');
+  }
+  if (const auto spec_file = config.value().get("spec_file")) {
+    std::ifstream in(*spec_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read spec_file '%s'\n", spec_file->c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    server_config.spec_overrides = text.str();
+  }
+  const double runtime = config.value().get_double_or("runtime", 0.0);
+
+  auto server = server::ComputeServer::start(std::move(server_config));
+  if (!server.ok()) {
+    std::fprintf(stderr, "server failed to start: %s\n", server.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("netsolve_server '%s' on %s (id=%u, %.0f Mflop/s)\n",
+              server.value()->name().c_str(),
+              server.value()->endpoint().to_string().c_str(), server.value()->server_id(),
+              server.value()->rated_mflops());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  const Deadline deadline = runtime > 0 ? Deadline(runtime) : Deadline::never();
+  std::uint64_t last_completed = 0;
+  while (g_stop == 0 && !deadline.expired() && !server.value()->crashed()) {
+    sleep_seconds(1.0);
+    const auto completed = server.value()->completed();
+    if (completed != last_completed) {
+      std::printf("[%s] completed=%llu workload=%.1f\n", server.value()->name().c_str(),
+                  static_cast<unsigned long long>(completed),
+                  server.value()->current_workload());
+      std::fflush(stdout);
+      last_completed = completed;
+    }
+  }
+  server.value()->stop();
+  std::printf("netsolve_server shut down\n");
+  return 0;
+}

@@ -1,0 +1,287 @@
+#include "agent/agent.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace ns::agent {
+
+namespace {
+
+using proto::MessageType;
+
+serial::Bytes encode_payload(const auto& msg) {
+  serial::Encoder enc;
+  msg.encode(enc);
+  return enc.take();
+}
+
+Status send_error(net::TcpConnection& conn, ErrorCode code, const std::string& message) {
+  proto::ErrorReply reply;
+  reply.error_code = static_cast<std::uint16_t>(code);
+  reply.message = message;
+  return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kErrorReply),
+                           encode_payload(reply));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Agent>> Agent::start(AgentConfig config) {
+  auto policy = make_policy(config.policy, config.policy_seed);
+  if (!policy.ok()) return policy.error();
+  auto listener = net::TcpListener::bind(config.listen);
+  if (!listener.ok()) return listener.error();
+  std::unique_ptr<Agent> agent(
+      new Agent(std::move(config), std::move(listener).value(), std::move(policy).value()));
+  agent->accept_thread_ = std::thread([raw = agent.get()] { raw->accept_loop(); });
+  if (agent->config_.ping_period_s > 0) {
+    agent->ping_thread_ = std::thread([raw = agent.get()] { raw->ping_loop(); });
+  }
+  if (agent->config_.sync_period_s > 0 && !agent->config_.peers.empty()) {
+    agent->sync_thread_ = std::thread([raw = agent.get()] { raw->sync_loop(); });
+  }
+  return agent;
+}
+
+Agent::Agent(AgentConfig config, net::TcpListener listener,
+             std::unique_ptr<SelectionPolicy> policy)
+    : config_(std::move(config)),
+      listener_(std::move(listener)),
+      registry_(config_.registry),
+      policy_(std::move(policy)) {}
+
+Agent::~Agent() { stop(); }
+
+void Agent::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (ping_thread_.joinable()) ping_thread_.join();
+    if (sync_thread_.joinable()) sync_thread_.join();
+    return;
+  }
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (ping_thread_.joinable()) ping_thread_.join();
+  if (sync_thread_.joinable()) sync_thread_.join();
+  // Connection handlers are detached; wait for them to drain (they hold
+  // io_timeout_s-bounded reads, so this terminates).
+  const Deadline deadline(config_.io_timeout_s + 1.0);
+  while (active_connections_.load() > 0 && !deadline.expired()) {
+    sleep_seconds(0.001);
+  }
+}
+
+void Agent::accept_loop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.accept(0.05);
+    if (!conn.ok()) {
+      if (conn.error().code == ErrorCode::kTimeout) continue;
+      break;  // listener closed
+    }
+    active_connections_.fetch_add(1);
+    std::thread([this, c = std::make_shared<net::TcpConnection>(std::move(conn).value())]() mutable {
+      handle_connection(std::move(*c));
+      active_connections_.fetch_sub(1);
+    }).detach();
+  }
+}
+
+void Agent::ping_loop() {
+  while (!stopping_.load()) {
+    // Sleep in small increments so stop() stays prompt.
+    const Deadline next(config_.ping_period_s);
+    while (!next.expired() && !stopping_.load()) {
+      sleep_seconds(std::min(0.02, next.remaining()));
+    }
+    if (stopping_.load()) return;
+
+    for (const auto& record : registry_.all()) {
+      if (!record.alive || stopping_.load()) continue;
+      bool responded = false;
+      auto conn = net::TcpConnection::connect(record.endpoint, 0.5);
+      if (conn.ok() &&
+          net::send_message(conn.value(), static_cast<std::uint16_t>(MessageType::kPing), {})
+              .ok()) {
+        auto reply = net::recv_message(conn.value(), 1.0);
+        responded = reply.ok() &&
+                    reply.value().type == static_cast<std::uint16_t>(MessageType::kPong);
+      }
+      if (!responded) {
+        NS_WARN("agent") << "ping to " << record.name << " failed";
+        registry_.record_failure(record.id);
+      }
+    }
+  }
+}
+
+void Agent::sync_loop() {
+  while (!stopping_.load()) {
+    const Deadline next(config_.sync_period_s);
+    while (!next.expired() && !stopping_.load()) {
+      sleep_seconds(std::min(0.02, next.remaining()));
+    }
+    if (stopping_.load()) return;
+
+    proto::SyncState state;
+    state.entries = registry_.snapshot_for_sync();
+    if (state.entries.empty()) continue;
+    const serial::Bytes payload = encode_payload(state);
+    for (const auto& peer : config_.peers) {
+      auto conn = net::TcpConnection::connect(peer, 0.5);
+      if (!conn.ok()) continue;  // peer down; try again next period
+      (void)net::send_message(conn.value(),
+                              static_cast<std::uint16_t>(MessageType::kSyncState), payload);
+    }
+  }
+}
+
+void Agent::handle_connection(net::TcpConnection conn) {
+  while (!stopping_.load()) {
+    auto msg = net::recv_message(conn, config_.io_timeout_s);
+    if (!msg.ok()) {
+      if (msg.error().code != ErrorCode::kConnectionClosed &&
+          msg.error().code != ErrorCode::kTimeout) {
+        NS_DEBUG("agent") << "dropping connection: " << msg.error().to_string();
+      }
+      return;
+    }
+    if (!handle_message(conn, msg.value())) return;
+  }
+}
+
+bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
+  serial::Decoder dec(msg.payload);
+  switch (static_cast<MessageType>(msg.type)) {
+    case MessageType::kRegisterServer: {
+      auto reg = proto::RegisterServer::decode(dec);
+      if (!reg.ok()) {
+        (void)send_error(conn, reg.error().code, reg.error().message);
+        return false;
+      }
+      stat_registrations_.fetch_add(1);
+      proto::RegisterAck ack;
+      ack.server_id = registry_.add(reg.value());
+      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kRegisterAck),
+                               encode_payload(ack))
+          .ok();
+    }
+
+    case MessageType::kWorkloadReport: {
+      auto report = proto::WorkloadReport::decode(dec);
+      if (report.ok()) {
+        stat_workload_reports_.fetch_add(1);
+        registry_.update_workload(report.value());
+      }
+      return true;  // fire-and-forget
+    }
+
+    case MessageType::kQuery: {
+      auto query = proto::Query::decode(dec);
+      if (!query.ok()) {
+        (void)send_error(conn, query.error().code, query.error().message);
+        return false;
+      }
+      stat_queries_.fetch_add(1);
+      const auto spec = registry_.problem_spec(query.value().problem);
+      if (!spec) {
+        return send_error(conn, ErrorCode::kUnknownProblem, query.value().problem).ok();
+      }
+      auto records = registry_.candidates_for(query.value().problem);
+      if (records.empty()) {
+        return send_error(conn, ErrorCode::kNoServer,
+                          "no alive server offers " + query.value().problem)
+            .ok();
+      }
+      const RequestProfile profile = profile_request(
+          *spec, query.value().size_hint, query.value().input_bytes, query.value().output_bytes);
+      if (!config_.count_pending) {
+        for (auto& r : records) r.pending = 0.0;  // ablation: report-only load view
+      }
+      proto::ServerList list;
+      {
+        std::lock_guard<std::mutex> lock(policy_mu_);
+        list.candidates = policy_->rank(records, profile);
+      }
+      if (list.candidates.size() > query.value().max_candidates) {
+        list.candidates.resize(query.value().max_candidates);
+      }
+      if (!list.candidates.empty()) {
+        registry_.record_assignment(list.candidates.front().server_id);
+      }
+      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kServerList),
+                               encode_payload(list))
+          .ok();
+    }
+
+    case MessageType::kFailureReport: {
+      auto report = proto::FailureReport::decode(dec);
+      if (report.ok()) {
+        stat_failure_reports_.fetch_add(1);
+        registry_.record_failure(report.value().server_id);
+      }
+      return true;
+    }
+
+    case MessageType::kMetricsReport: {
+      auto report = proto::MetricsReport::decode(dec);
+      if (report.ok()) {
+        registry_.record_metrics(report.value().server_id, report.value().bytes,
+                                 report.value().transfer_seconds);
+      }
+      return true;
+    }
+
+    case MessageType::kListProblems: {
+      proto::ProblemCatalog catalog;
+      catalog.problems = registry_.catalog();
+      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kProblemCatalog),
+                               encode_payload(catalog))
+          .ok();
+    }
+
+    case MessageType::kPing: {
+      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kPong), {}).ok();
+    }
+
+    case MessageType::kAgentStatsRequest: {
+      return net::send_message(conn,
+                               static_cast<std::uint16_t>(MessageType::kAgentStatsReply),
+                               encode_payload(stats()))
+          .ok();
+    }
+
+    case MessageType::kSyncState: {
+      auto state = proto::SyncState::decode(dec);
+      if (state.ok()) {
+        for (const auto& entry : state.value().entries) {
+          (void)registry_.apply_sync(entry);
+        }
+      }
+      return true;  // fire-and-forget
+    }
+
+    case MessageType::kShutdown: {
+      stopping_.store(true);
+      listener_.close();
+      return false;
+    }
+
+    default:
+      (void)send_error(conn, ErrorCode::kProtocol,
+                       "unexpected message type " + std::to_string(msg.type));
+      return false;
+  }
+}
+
+proto::AgentStats Agent::stats() {
+  proto::AgentStats s;
+  s.queries = stat_queries_.load();
+  s.registrations = stat_registrations_.load();
+  s.workload_reports = stat_workload_reports_.load();
+  s.failure_reports = stat_failure_reports_.load();
+  s.alive_servers = static_cast<std::uint32_t>(registry_.alive_count());
+  return s;
+}
+
+}  // namespace ns::agent

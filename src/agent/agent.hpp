@@ -1,0 +1,99 @@
+// The NetSolve agent: resource directory + scheduler daemon.
+//
+// Servers register their problem catalogues and stream workload reports;
+// clients ask "who should run problem p with this much data?" and receive a
+// ranked candidate list. The agent never touches argument data — exactly the
+// original design, where the agent is a lightweight broker and all heavy
+// traffic flows client <-> server directly.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "agent/policy.hpp"
+#include "agent/registry.hpp"
+#include "common/error.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "proto/messages.hpp"
+
+namespace ns::agent {
+
+struct AgentConfig {
+  net::Endpoint listen{"127.0.0.1", 0};  // port 0 = ephemeral
+  std::string policy = "mct";
+  std::uint64_t policy_seed = 0xc0ffee;
+  RegistryConfig registry;
+  double io_timeout_s = 10.0;
+  /// Active liveness probing: ping every alive server this often and record
+  /// a failure on no Pong. 0 disables (liveness then comes only from
+  /// client failure reports and the report timeout).
+  double ping_period_s = 0.0;
+  /// Count not-yet-reported assignments toward each server's load in the
+  /// predictor (ServerRecord::pending). Disabling this is the E9 ablation:
+  /// concurrent request bursts then dog-pile the server that looked idle in
+  /// the last workload report.
+  bool count_pending = true;
+  /// Federation: peer agents to exchange registry snapshots with. Servers
+  /// registered at any agent in the mesh become visible to clients of every
+  /// agent; freshness is resolved per entry (see ServerRegistry::apply_sync).
+  std::vector<net::Endpoint> peers;
+  /// Snapshot exchange period; 0 disables federation even if peers are set.
+  double sync_period_s = 0.0;
+};
+
+class Agent {
+ public:
+  /// Bind, spin up the accept loop, and return a running agent.
+  static Result<std::unique_ptr<Agent>> start(AgentConfig config);
+
+  ~Agent();
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Where clients and servers reach this agent.
+  net::Endpoint endpoint() const { return listener_.endpoint(); }
+
+  /// Close the listener and wait for in-flight connections to drain.
+  void stop();
+
+  /// Direct registry access for tests and experiment harnesses.
+  ServerRegistry& registry() noexcept { return registry_; }
+
+  /// Non-const: computing alive_servers expires stale registrations.
+  proto::AgentStats stats();
+
+ private:
+  Agent(AgentConfig config, net::TcpListener listener,
+        std::unique_ptr<SelectionPolicy> policy);
+
+  void accept_loop();
+  void handle_connection(net::TcpConnection conn);
+  /// Returns false when the connection should be dropped.
+  bool handle_message(net::TcpConnection& conn, const net::Message& msg);
+  void ping_loop();
+  void sync_loop();
+
+  AgentConfig config_;
+  net::TcpListener listener_;
+  ServerRegistry registry_;
+
+  std::mutex policy_mu_;
+  std::unique_ptr<SelectionPolicy> policy_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_connections_{0};
+  std::thread accept_thread_;
+  std::thread ping_thread_;
+  std::thread sync_thread_;
+
+  std::atomic<std::uint64_t> stat_queries_{0};
+  std::atomic<std::uint64_t> stat_registrations_{0};
+  std::atomic<std::uint64_t> stat_workload_reports_{0};
+  std::atomic<std::uint64_t> stat_failure_reports_{0};
+};
+
+}  // namespace ns::agent

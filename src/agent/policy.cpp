@@ -1,0 +1,84 @@
+#include "agent/policy.hpp"
+
+#include <algorithm>
+
+namespace ns::agent {
+
+namespace {
+
+std::vector<proto::ServerCandidate> to_candidates(const std::vector<ServerRecord>& records,
+                                                  const RequestProfile& profile) {
+  std::vector<proto::ServerCandidate> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    proto::ServerCandidate c;
+    c.server_id = r.id;
+    c.server_name = r.name;
+    c.endpoint = r.endpoint;
+    c.predicted_seconds = predict_seconds(r, profile);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<proto::ServerCandidate> MinCompletionTimePolicy::rank(
+    const std::vector<ServerRecord>& candidates, const RequestProfile& profile) {
+  auto out = to_candidates(candidates, profile);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const proto::ServerCandidate& a, const proto::ServerCandidate& b) {
+                     return a.predicted_seconds < b.predicted_seconds;
+                   });
+  return out;
+}
+
+std::vector<proto::ServerCandidate> RoundRobinPolicy::rank(
+    const std::vector<ServerRecord>& candidates, const RequestProfile& profile) {
+  auto out = to_candidates(candidates, profile);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const proto::ServerCandidate& a, const proto::ServerCandidate& b) {
+                     return a.server_id < b.server_id;
+                   });
+  if (!out.empty()) {
+    std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(counter_ % out.size()),
+                out.end());
+    ++counter_;
+  }
+  return out;
+}
+
+std::vector<proto::ServerCandidate> RandomPolicy::rank(
+    const std::vector<ServerRecord>& candidates, const RequestProfile& profile) {
+  auto out = to_candidates(candidates, profile);
+  std::shuffle(out.begin(), out.end(), rng_);
+  return out;
+}
+
+std::vector<proto::ServerCandidate> LeastLoadedPolicy::rank(
+    const std::vector<ServerRecord>& candidates, const RequestProfile& profile) {
+  auto out = to_candidates(candidates, profile);
+  // Need workloads/ratings: build a side index from the records.
+  std::vector<std::pair<double, double>> key(out.size());  // (workload, -mflops)
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    key[i] = {candidates[i].workload, -candidates[i].mflops};
+  }
+  std::vector<std::size_t> order(out.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&key](std::size_t a, std::size_t b) { return key[a] < key[b]; });
+  std::vector<proto::ServerCandidate> sorted;
+  sorted.reserve(out.size());
+  for (const std::size_t i : order) sorted.push_back(std::move(out[i]));
+  return sorted;
+}
+
+Result<std::unique_ptr<SelectionPolicy>> make_policy(std::string_view name, std::uint64_t seed) {
+  if (name == "mct") return std::unique_ptr<SelectionPolicy>(new MinCompletionTimePolicy());
+  if (name == "round_robin") return std::unique_ptr<SelectionPolicy>(new RoundRobinPolicy());
+  if (name == "random") return std::unique_ptr<SelectionPolicy>(new RandomPolicy(seed));
+  if (name == "least_loaded") return std::unique_ptr<SelectionPolicy>(new LeastLoadedPolicy());
+  return make_error(ErrorCode::kBadArguments, "unknown policy: " + std::string(name));
+}
+
+}  // namespace ns::agent

@@ -1,0 +1,45 @@
+#include "agent/predictor.hpp"
+
+#include <algorithm>
+
+namespace ns::agent {
+
+RequestProfile profile_request(const dsl::ProblemSpec& spec, std::uint64_t size_hint,
+                               std::uint64_t input_bytes, std::uint64_t output_bytes) {
+  RequestProfile profile;
+  profile.flops = spec.complexity.flops(static_cast<std::size_t>(std::max<std::uint64_t>(size_hint, 1)));
+  profile.input_bytes = input_bytes;
+  profile.output_bytes = output_bytes;
+  return profile;
+}
+
+double predict_seconds(const ServerRecord& server, const RequestProfile& profile) noexcept {
+  constexpr double kPenalty = 1e6;  // seconds; sorts unusable servers last
+
+  double t = std::max(server.latency_s, 0.0);
+
+  const double total_bytes =
+      static_cast<double>(profile.input_bytes) + static_cast<double>(profile.output_bytes);
+  if (total_bytes > 0) {
+    if (server.bandwidth_Bps > 0) {
+      t += total_bytes / server.bandwidth_Bps;
+    } else {
+      t += kPenalty;
+    }
+  }
+
+  if (profile.flops > 0) {
+    // Effective load = last reported workload + requests routed here since
+    // that report (see ServerRecord::pending).
+    const double load = std::max(server.workload, 0.0) + std::max(server.pending, 0.0);
+    const double rate = server.mflops * 1e6 / (1.0 + load);
+    if (rate > 0) {
+      t += profile.flops / rate;
+    } else {
+      t += kPenalty;
+    }
+  }
+  return t;
+}
+
+}  // namespace ns::agent

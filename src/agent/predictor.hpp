@@ -1,0 +1,37 @@
+// Completion-time prediction — the heart of NetSolve's load balancing.
+//
+// For a request of problem p with input/output payloads of known size, the
+// agent estimates, for each candidate server s:
+//
+//   T(s) = latency(s)                       (connection / message overhead)
+//        + (in_bytes + out_bytes) / bandwidth(s)    (argument transfer)
+//        + flops(p, N) / effective_rate(s)          (computation)
+//
+//   effective_rate(s) = mflops(s) * 1e6 / (1 + workload(s))
+//
+// The workload divisor models processor sharing: a server already running W
+// jobs gives the new request ~1/(1+W) of the machine. flops(p, N) comes from
+// the problem description's complexity model (a * N^b).
+#pragma once
+
+#include "agent/registry.hpp"
+#include "dsl/problem.hpp"
+
+namespace ns::agent {
+
+struct RequestProfile {
+  double flops = 0.0;             // complexity model output for this request
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+};
+
+/// Build a profile from a spec and the client's query metadata.
+RequestProfile profile_request(const dsl::ProblemSpec& spec, std::uint64_t size_hint,
+                               std::uint64_t input_bytes, std::uint64_t output_bytes);
+
+/// The completion-time formula above. Degenerate server data (zero rating or
+/// bandwidth) yields a large-but-finite penalty so such servers sort last
+/// instead of producing NaN/inf orderings.
+double predict_seconds(const ServerRecord& server, const RequestProfile& profile) noexcept;
+
+}  // namespace ns::agent

@@ -1,0 +1,232 @@
+#include "agent/registry.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ns::agent {
+
+proto::ServerId ServerRegistry::add(const proto::RegisterServer& reg) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // A returning server (same name + endpoint) is revived in place.
+  for (auto& [id, record] : servers_) {
+    if (record.name == reg.server_name && record.endpoint == reg.endpoint) {
+      record.mflops = reg.mflops;
+      record.alive = true;
+      record.consecutive_failures = 0;
+      record.last_report_time = now_seconds();
+      record.problems.clear();
+      for (const auto& spec : reg.problems) {
+        record.problems.insert(spec.name);
+        specs_.try_emplace(spec.name, spec);
+      }
+      NS_INFO("agent") << "revived server " << record.name << " id=" << id;
+      return id;
+    }
+  }
+
+  ServerRecord record;
+  record.id = next_id_++;
+  record.name = reg.server_name;
+  record.endpoint = reg.endpoint;
+  record.mflops = reg.mflops;
+  record.latency_s = config_.default_latency_s;
+  record.bandwidth_Bps = config_.default_bandwidth_Bps;
+  record.last_report_time = now_seconds();
+  for (const auto& spec : reg.problems) {
+    record.problems.insert(spec.name);
+    specs_.try_emplace(spec.name, spec);
+  }
+  const auto id = record.id;
+  NS_INFO("agent") << "registered server " << record.name << " id=" << id
+                   << " mflops=" << record.mflops << " problems=" << record.problems.size();
+  servers_.emplace(id, std::move(record));
+  return id;
+}
+
+void ServerRegistry::update_workload(const proto::WorkloadReport& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = servers_.find(report.server_id);
+  if (it == servers_.end()) return;
+  it->second.workload = report.workload;
+  it->second.completed = report.completed;
+  it->second.last_report_time = now_seconds();
+  it->second.alive = true;
+  // A fresh report supersedes the assignment-based estimate.
+  it->second.pending = 0.0;
+}
+
+void ServerRegistry::record_failure(proto::ServerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = servers_.find(id);
+  if (it == servers_.end()) return;
+  it->second.consecutive_failures += 1;
+  if (it->second.consecutive_failures >= config_.max_failures) {
+    it->second.alive = false;
+    NS_WARN("agent") << "server " << it->second.name << " marked dead after "
+                     << it->second.consecutive_failures << " failures";
+  }
+}
+
+void ServerRegistry::record_metrics(proto::ServerId id, std::uint64_t bytes, double seconds) {
+  if (seconds <= 0 || bytes == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = servers_.find(id);
+  if (it == servers_.end()) return;
+  auto& record = it->second;
+  record.consecutive_failures = 0;
+  // Interpret the sample as latency + bytes/bandwidth with the current
+  // latency estimate; fold the implied bandwidth into the EWMA. Tiny
+  // transfers update latency instead.
+  const double alpha = config_.ewma_alpha;
+  if (bytes < 4096) {
+    record.latency_s = (1 - alpha) * record.latency_s + alpha * seconds;
+  } else {
+    // Subtract the latency estimate, but never attribute less than half the
+    // sample to transfer: a sample faster than the current latency estimate
+    // would otherwise imply near-infinite bandwidth and poison the EWMA.
+    const double transfer = std::max(seconds - record.latency_s, 0.5 * seconds);
+    const double implied_bw = static_cast<double>(bytes) / transfer;
+    record.bandwidth_Bps = (1 - alpha) * record.bandwidth_Bps + alpha * implied_bw;
+    // Fast samples also mean the latency estimate was too high.
+    if (seconds < record.latency_s) {
+      record.latency_s = (1 - alpha) * record.latency_s + alpha * seconds;
+    }
+  }
+}
+
+void ServerRegistry::record_assignment(proto::ServerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = servers_.find(id);
+  if (it != servers_.end()) {
+    it->second.assigned += 1;
+    it->second.pending += 1.0;
+  }
+}
+
+void ServerRegistry::expire_stale_locked() {
+  if (config_.report_timeout_s <= 0) return;
+  const double now = now_seconds();
+  for (auto& [id, record] : servers_) {
+    if (record.alive && now - record.last_report_time > config_.report_timeout_s) {
+      record.alive = false;
+      NS_WARN("agent") << "server " << record.name << " expired (no report for "
+                       << now - record.last_report_time << "s)";
+    }
+  }
+}
+
+std::vector<proto::SyncEntry> ServerRegistry::snapshot_for_sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = now_seconds();
+  std::vector<proto::SyncEntry> out;
+  out.reserve(servers_.size());
+  for (const auto& [id, record] : servers_) {
+    proto::SyncEntry entry;
+    entry.server_name = record.name;
+    entry.endpoint = record.endpoint;
+    entry.mflops = record.mflops;
+    entry.workload = record.workload;
+    entry.completed = record.completed;
+    entry.alive = record.alive;
+    entry.age_seconds = std::max(now - record.last_report_time, 0.0);
+    for (const auto& problem : record.problems) {
+      const auto it = specs_.find(problem);
+      if (it != specs_.end()) entry.problems.push_back(it->second);
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+bool ServerRegistry::apply_sync(const proto::SyncEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double entry_time = now_seconds() - std::max(entry.age_seconds, 0.0);
+
+  for (auto& [id, record] : servers_) {
+    if (record.name != entry.server_name || !(record.endpoint == entry.endpoint)) continue;
+    // Known server: apply only if the peer's information is fresher.
+    if (entry_time <= record.last_report_time) return false;
+    record.mflops = entry.mflops;
+    record.workload = entry.workload;
+    record.completed = entry.completed;
+    record.alive = entry.alive;
+    record.last_report_time = entry_time;
+    for (const auto& spec : entry.problems) {
+      record.problems.insert(spec.name);
+      specs_.try_emplace(spec.name, spec);
+    }
+    return true;
+  }
+
+  // Foreign server: adopt it with a local id.
+  ServerRecord record;
+  record.id = next_id_++;
+  record.name = entry.server_name;
+  record.endpoint = entry.endpoint;
+  record.mflops = entry.mflops;
+  record.workload = entry.workload;
+  record.completed = entry.completed;
+  record.alive = entry.alive;
+  record.latency_s = config_.default_latency_s;
+  record.bandwidth_Bps = config_.default_bandwidth_Bps;
+  record.last_report_time = entry_time;
+  for (const auto& spec : entry.problems) {
+    record.problems.insert(spec.name);
+    specs_.try_emplace(spec.name, spec);
+  }
+  NS_INFO("agent") << "adopted server " << record.name << " from peer sync, id=" << record.id;
+  servers_.emplace(record.id, std::move(record));
+  return true;
+}
+
+std::vector<ServerRecord> ServerRegistry::candidates_for(const std::string& problem) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_stale_locked();
+  std::vector<ServerRecord> out;
+  for (const auto& [id, record] : servers_) {
+    if (record.alive && record.problems.count(problem) > 0) out.push_back(record);
+  }
+  return out;
+}
+
+std::vector<ServerRecord> ServerRegistry::all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServerRecord> out;
+  out.reserve(servers_.size());
+  for (const auto& [id, record] : servers_) out.push_back(record);
+  return out;
+}
+
+std::optional<ServerRecord> ServerRegistry::find(proto::ServerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = servers_.find(id);
+  if (it == servers_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<dsl::ProblemSpec> ServerRegistry::catalog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<dsl::ProblemSpec> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) out.push_back(spec);
+  return out;
+}
+
+std::optional<dsl::ProblemSpec> ServerRegistry::problem_spec(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ServerRegistry::alive_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_stale_locked();
+  return static_cast<std::size_t>(
+      std::count_if(servers_.begin(), servers_.end(),
+                    [](const auto& kv) { return kv.second.alive; }));
+}
+
+}  // namespace ns::agent

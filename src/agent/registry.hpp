@@ -1,0 +1,125 @@
+// Agent-side server directory.
+//
+// Tracks every registered computational server: what problems it offers,
+// its LINPACK-style rating, its most recent workload report, client-observed
+// network metrics (EWMA latency/bandwidth), and liveness. This is the state
+// the load-balancing policies rank against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "dsl/problem.hpp"
+#include "net/endpoint.hpp"
+#include "proto/messages.hpp"
+
+namespace ns::agent {
+
+struct ServerRecord {
+  proto::ServerId id = proto::kInvalidServerId;
+  std::string name;
+  net::Endpoint endpoint;
+  double mflops = 0.0;
+
+  double workload = 0.0;            // latest report (running + queued jobs)
+  std::uint64_t completed = 0;      // lifetime completions (from reports)
+  double last_report_time = 0.0;    // now_seconds() of last contact
+
+  // Client-observed network estimates, EWMA-updated from MetricsReports.
+  double latency_s = 0.0;
+  double bandwidth_Bps = 0.0;
+
+  std::uint64_t assigned = 0;       // times this server topped a ranking
+  /// Requests handed to this server since its last workload report. The
+  /// predictor adds this to the reported workload so a burst of concurrent
+  /// queries spreads across the pool instead of dog-piling the one server
+  /// that looked idle in the (slightly stale) last report.
+  double pending = 0.0;
+  int consecutive_failures = 0;
+  bool alive = true;
+
+  std::set<std::string> problems;   // names offered
+};
+
+struct RegistryConfig {
+  /// Seed values for network estimates before any client measurement.
+  double default_latency_s = 0.001;
+  double default_bandwidth_Bps = 100e6;
+  /// EWMA weight of a new measurement.
+  double ewma_alpha = 0.3;
+  /// Consecutive client-reported failures before a server is marked dead.
+  int max_failures = 1;
+  /// A server silent for longer than this is considered dead at query time;
+  /// <= 0 disables expiry.
+  double report_timeout_s = 0.0;
+};
+
+class ServerRegistry {
+ public:
+  explicit ServerRegistry(RegistryConfig config = {}) : config_(config) {}
+
+  /// Add (or re-add) a server; returns its id. A returning server (same
+  /// name + endpoint) is revived and keeps its id.
+  proto::ServerId add(const proto::RegisterServer& reg);
+
+  /// Apply a workload report. Unknown ids are ignored (stale reports from a
+  /// server the agent already dropped).
+  void update_workload(const proto::WorkloadReport& report);
+
+  /// Client reported a failed interaction; marks the server dead once
+  /// consecutive failures reach the configured threshold.
+  void record_failure(proto::ServerId id);
+
+  /// Client reported a successful transfer of `bytes` in `seconds`; folds
+  /// the implied bandwidth into the EWMA estimates and clears the failure
+  /// streak.
+  void record_metrics(proto::ServerId id, std::uint64_t bytes, double seconds);
+
+  /// Bump the "assigned" counter (the ranking's round-robin state).
+  void record_assignment(proto::ServerId id);
+
+  /// Snapshot of alive servers offering `problem` (expiring stale ones if a
+  /// report timeout is configured).
+  std::vector<ServerRecord> candidates_for(const std::string& problem);
+
+  /// Snapshot of everything (tests, stats, CLI).
+  std::vector<ServerRecord> all();
+
+  std::optional<ServerRecord> find(proto::ServerId id);
+
+  /// The union problem catalogue with each problem's spec (first
+  /// registration of a name wins; specs are expected identical across
+  /// servers, as in the original system's shared description files).
+  std::vector<dsl::ProblemSpec> catalog();
+  std::optional<dsl::ProblemSpec> problem_spec(const std::string& name);
+
+  std::size_t alive_count();
+
+  // ---- federation ----
+
+  /// Snapshot the registry as sync entries for peer agents. Each entry's
+  /// age is now - last contact, so the receiver can judge freshness.
+  std::vector<proto::SyncEntry> snapshot_for_sync();
+
+  /// Merge one peer entry: unknown servers are added (with a local id);
+  /// known servers are updated only if the entry is fresher than local
+  /// state. Returns true if the entry was applied.
+  bool apply_sync(const proto::SyncEntry& entry);
+
+ private:
+  void expire_stale_locked();
+
+  RegistryConfig config_;
+  std::mutex mu_;
+  std::map<proto::ServerId, ServerRecord> servers_;
+  std::map<std::string, dsl::ProblemSpec> specs_;
+  proto::ServerId next_id_ = 1;
+};
+
+}  // namespace ns::agent

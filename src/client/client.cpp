@@ -1,0 +1,327 @@
+#include "client/client.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "net/transport.hpp"
+
+namespace ns::client {
+
+namespace {
+
+using proto::MessageType;
+
+serial::Bytes encode_payload(const auto& msg) {
+  serial::Encoder enc;
+  msg.encode(enc);
+  return enc.take();
+}
+
+Result<net::Message> round_trip(const net::Endpoint& peer, std::uint16_t type,
+                                const serial::Bytes& payload, double timeout,
+                                const net::LinkShape& shape = net::LinkShape::unshaped()) {
+  auto conn = net::TcpConnection::connect(peer, std::min(timeout, 5.0));
+  if (!conn.ok()) return conn.error();
+  NS_RETURN_IF_ERROR(net::send_message(conn.value(), type, payload, shape));
+  return net::recv_message(conn.value(), timeout);
+}
+
+/// Fire-and-forget message (failure/metrics reports).
+void post(const net::Endpoint& peer, std::uint16_t type, const serial::Bytes& payload) {
+  auto conn = net::TcpConnection::connect(peer, 1.0);
+  if (!conn.ok()) return;
+  (void)net::send_message(conn.value(), type, payload);
+}
+
+Error decode_error_reply(const net::Message& msg) {
+  serial::Decoder dec(msg.payload);
+  auto reply = proto::ErrorReply::decode(dec);
+  if (!reply.ok()) return make_error(ErrorCode::kProtocol, "malformed error reply");
+  return make_error(static_cast<ErrorCode>(reply.value().error_code), reply.value().message);
+}
+
+std::uint64_t request_size_hint(const std::vector<dsl::DataObject>& args) {
+  // The client does not know which argument the problem's complexity model
+  // keys on (that is agent-side metadata), so it sends the dominant size
+  // across all arguments — correct for every problem in the builtin
+  // catalogue whose size argument is also its largest object, and a
+  // documented approximation otherwise.
+  std::uint64_t hint = 1;
+  for (const auto& arg : args) hint = std::max<std::uint64_t>(hint, arg.size_hint());
+  return hint;
+}
+
+}  // namespace
+
+Result<proto::ServerList> NetSolveClient::query_metadata(const std::string& problem,
+                                                         std::uint64_t input_bytes,
+                                                         std::uint64_t size_hint) {
+  proto::Query query;
+  query.problem = problem;
+  query.input_bytes = input_bytes;
+  // Reply size is unknown before execution; assume symmetry with the input
+  // (exact for solve-style problems returning vectors smaller than their
+  // inputs, conservative for dgemm-style ones).
+  query.output_bytes = input_bytes;
+  query.size_hint = size_hint;
+  query.max_candidates = config_.max_candidates;
+
+  auto reply = round_trip(config_.agent, static_cast<std::uint16_t>(MessageType::kQuery),
+                          encode_payload(query), config_.io_timeout_s);
+  if (!reply.ok()) {
+    return make_error(ErrorCode::kAgentUnavailable, reply.error().to_string());
+  }
+  if (reply.value().type == static_cast<std::uint16_t>(MessageType::kErrorReply)) {
+    return decode_error_reply(reply.value());
+  }
+  if (reply.value().type != static_cast<std::uint16_t>(MessageType::kServerList)) {
+    return make_error(ErrorCode::kProtocol, "expected ServerList from agent");
+  }
+  serial::Decoder dec(reply.value().payload);
+  return proto::ServerList::decode(dec);
+}
+
+Result<proto::ServerList> NetSolveClient::query(const std::string& problem,
+                                                const std::vector<dsl::DataObject>& args) {
+  return query_metadata(problem, dsl::args_byte_size(args), request_size_hint(args));
+}
+
+Result<proto::SolveResult> NetSolveClient::attempt(const proto::ServerCandidate& candidate,
+                                                   const proto::SolveRequest& request,
+                                                   double* io_seconds) {
+  const Stopwatch watch;
+  auto conn = net::TcpConnection::connect(candidate.endpoint, 2.0);
+  if (!conn.ok()) return conn.error();
+  NS_RETURN_IF_ERROR(net::send_message(conn.value(),
+                                       static_cast<std::uint16_t>(MessageType::kSolveRequest),
+                                       encode_payload(request), config_.link));
+  auto reply = net::recv_message(conn.value(), config_.io_timeout_s);
+  if (!reply.ok()) return reply.error();
+  if (io_seconds != nullptr) *io_seconds = watch.elapsed();
+  if (reply.value().type != static_cast<std::uint16_t>(MessageType::kSolveResult)) {
+    return make_error(ErrorCode::kProtocol, "expected SolveResult from server");
+  }
+  serial::Decoder dec(reply.value().payload);
+  auto result = proto::SolveResult::decode(dec);
+  if (!result.ok()) return result.error();
+  if (result.value().request_id != request.request_id) {
+    return make_error(ErrorCode::kProtocol, "response id mismatch");
+  }
+  return result;
+}
+
+void NetSolveClient::report_failure(proto::ServerId id, ErrorCode code) {
+  if (!config_.report_failures) return;
+  proto::FailureReport report;
+  report.server_id = id;
+  report.error_code = static_cast<std::uint16_t>(code);
+  post(config_.agent, static_cast<std::uint16_t>(MessageType::kFailureReport),
+       encode_payload(report));
+}
+
+void NetSolveClient::report_metrics(proto::ServerId id, std::uint64_t bytes, double seconds) {
+  if (!config_.report_metrics) return;
+  proto::MetricsReport report;
+  report.server_id = id;
+  report.bytes = bytes;
+  report.transfer_seconds = seconds;
+  post(config_.agent, static_cast<std::uint16_t>(MessageType::kMetricsReport),
+       encode_payload(report));
+}
+
+Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
+    const std::string& problem, const std::vector<dsl::DataObject>& args, CallStats* stats) {
+  const Stopwatch total_watch;
+
+  proto::SolveRequest request;
+  request.request_id = next_request_id_.fetch_add(1);
+  request.problem = problem;
+  request.args = args;
+  const std::uint64_t input_bytes = dsl::args_byte_size(args);
+  const std::uint64_t size_hint = request_size_hint(args);
+
+  int attempts = 0;
+  Error last_error = make_error(ErrorCode::kRetriesExhausted, "no attempt made");
+
+  while (attempts < config_.max_retries) {
+    auto list = query_metadata(problem, input_bytes, size_hint);
+    if (!list.ok()) {
+      // If servers existed but all failed under us (we reported them and the
+      // agent blacklisted them), surface that as exhausted retries rather
+      // than a bare "no server" — the request did reach servers.
+      if (list.error().code == ErrorCode::kNoServer && attempts > 0) {
+        return make_error(ErrorCode::kRetriesExhausted,
+                          "all servers failed; last: " + last_error.to_string());
+      }
+      return list.error();
+    }
+    if (list.value().candidates.empty()) {
+      return make_error(ErrorCode::kNoServer, "agent returned no candidates for " + problem);
+    }
+
+    for (const auto& candidate : list.value().candidates) {
+      if (attempts >= config_.max_retries) break;
+      ++attempts;
+
+      double io_seconds = 0.0;
+      auto result = attempt(candidate, request, &io_seconds);
+
+      if (!result.ok()) {
+        // Transport-level failure: blacklist and move on.
+        NS_DEBUG("client") << "attempt on " << candidate.server_name
+                           << " failed: " << result.error().to_string();
+        last_error = result.error();
+        report_failure(candidate.server_id, result.error().code);
+        if (!is_retryable(result.error().code)) return result.error();
+        continue;
+      }
+
+      const auto code = static_cast<ErrorCode>(result.value().error_code);
+      if (code != ErrorCode::kOk) {
+        Error err = make_error(code, result.value().error_message);
+        if (is_retryable(code)) {
+          NS_DEBUG("client") << "server " << candidate.server_name
+                             << " replied failure: " << err.to_string();
+          last_error = std::move(err);
+          report_failure(candidate.server_id, code);
+          continue;
+        }
+        return err;  // the request itself is bad; retrying cannot help
+      }
+
+      // Success.
+      const std::uint64_t output_bytes = dsl::args_byte_size(result.value().outputs);
+      const double transfer = std::max(io_seconds - result.value().exec_seconds, 0.0);
+      report_metrics(candidate.server_id, input_bytes + output_bytes, transfer);
+      if (stats != nullptr) {
+        stats->server_id = candidate.server_id;
+        stats->server_name = candidate.server_name;
+        stats->predicted_seconds = candidate.predicted_seconds;
+        stats->total_seconds = total_watch.elapsed();
+        stats->exec_seconds = result.value().exec_seconds;
+        stats->transfer_seconds = transfer;
+        stats->input_bytes = input_bytes;
+        stats->output_bytes = output_bytes;
+        stats->attempts = attempts;
+      }
+      return std::move(result.value().outputs);
+    }
+    // Ranked list exhausted; re-query (the agent has fresher liveness data
+    // after our failure reports).
+  }
+  return make_error(ErrorCode::kRetriesExhausted,
+                    "all " + std::to_string(attempts) +
+                        " attempts failed; last: " + last_error.to_string());
+}
+
+Result<std::vector<dsl::ProblemSpec>> NetSolveClient::list_problems() {
+  auto reply = round_trip(config_.agent, static_cast<std::uint16_t>(MessageType::kListProblems),
+                          {}, config_.io_timeout_s);
+  if (!reply.ok()) return make_error(ErrorCode::kAgentUnavailable, reply.error().to_string());
+  if (reply.value().type == static_cast<std::uint16_t>(MessageType::kErrorReply)) {
+    return decode_error_reply(reply.value());
+  }
+  if (reply.value().type != static_cast<std::uint16_t>(MessageType::kProblemCatalog)) {
+    return make_error(ErrorCode::kProtocol, "expected ProblemCatalog");
+  }
+  serial::Decoder dec(reply.value().payload);
+  auto catalog = proto::ProblemCatalog::decode(dec);
+  if (!catalog.ok()) return catalog.error();
+  return std::move(catalog.value().problems);
+}
+
+Result<proto::AgentStats> NetSolveClient::agent_stats() {
+  auto reply = round_trip(config_.agent,
+                          static_cast<std::uint16_t>(MessageType::kAgentStatsRequest), {},
+                          config_.io_timeout_s);
+  if (!reply.ok()) return make_error(ErrorCode::kAgentUnavailable, reply.error().to_string());
+  if (reply.value().type != static_cast<std::uint16_t>(MessageType::kAgentStatsReply)) {
+    return make_error(ErrorCode::kProtocol, "expected AgentStatsReply");
+  }
+  serial::Decoder dec(reply.value().payload);
+  return proto::AgentStats::decode(dec);
+}
+
+Status NetSolveClient::ping_agent() {
+  auto reply = round_trip(config_.agent, static_cast<std::uint16_t>(MessageType::kPing), {},
+                          config_.io_timeout_s);
+  if (!reply.ok()) return reply.error();
+  if (reply.value().type != static_cast<std::uint16_t>(MessageType::kPong)) {
+    return make_error(ErrorCode::kProtocol, "expected Pong");
+  }
+  return ok_status();
+}
+
+// ---- Non-blocking calls ----
+
+struct RequestHandle::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::optional<Result<std::vector<dsl::DataObject>>> result;
+  CallStats stats;
+  std::thread worker;
+
+  ~State() {
+    if (!worker.joinable()) return;
+    // If the handle was dropped before completion, the worker lambda holds
+    // the last reference and this destructor runs on the worker thread
+    // itself — joining would deadlock, so detach (the thread is already at
+    // its final statement).
+    if (worker.get_id() == std::this_thread::get_id()) {
+      worker.detach();
+    } else {
+      worker.join();
+    }
+  }
+};
+
+RequestHandle NetSolveClient::netsl_nb(const std::string& problem,
+                                       std::vector<dsl::DataObject> args) {
+  auto state = std::make_shared<RequestHandle::State>();
+  // The worker keeps the state alive; the handle may be destroyed first.
+  state->worker = std::thread(
+      [this, state, problem, args = std::move(args)]() {
+        CallStats stats;
+        auto result = netsl(problem, args, &stats);
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->result.emplace(std::move(result));
+        state->stats = stats;
+        state->done = true;
+        state->cv.notify_all();
+      });
+  return RequestHandle(std::move(state));
+}
+
+bool RequestHandle::ready() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+Result<std::vector<dsl::DataObject>> RequestHandle::wait() {
+  if (!state_) {
+    return make_error(ErrorCode::kInternal, "empty request handle");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  if (!state_->result.has_value()) {
+    return make_error(ErrorCode::kInternal, "result already consumed");
+  }
+  auto out = std::move(*state_->result);
+  state_->result.reset();
+  return out;
+}
+
+const CallStats& RequestHandle::stats() const {
+  static const CallStats kEmpty{};
+  if (!state_) return kEmpty;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+}  // namespace ns::client

@@ -1,0 +1,145 @@
+// The NetSolve client library.
+//
+// The call surface mirrors the original C interface:
+//   netsl(...)     -- blocking call: query the agent, send the request to
+//                     the best server, transparently retrying down the
+//                     ranked list on failure.
+//   netsl_nb(...)  -- non-blocking call returning a RequestHandle with
+//                     probe()/wait() (netslpr/netslwt in the original).
+//   call(...)      -- MATLAB-style variadic convenience front end.
+//
+// Fault tolerance: a retryable failure (connection refused/reset, timeout,
+// injected server failure) is reported to the agent (which blacklists the
+// server) and the next candidate is tried; the ranked list is re-fetched if
+// exhausted, up to max_retries attempts total. Non-retryable failures (bad
+// arguments, unknown problem, execution errors) surface immediately.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dsl/problem.hpp"
+#include "dsl/value.hpp"
+#include "net/shaped_link.hpp"
+#include "net/socket.hpp"
+#include "proto/messages.hpp"
+
+namespace ns::client {
+
+struct ClientConfig {
+  net::Endpoint agent;
+  /// Shape applied to client->server request traffic (WAN emulation).
+  net::LinkShape link;
+  /// Total request attempts across candidates/re-queries before giving up.
+  int max_retries = 4;
+  double io_timeout_s = 30.0;
+  /// How many ranked candidates to request from the agent per query.
+  std::uint32_t max_candidates = 8;
+  /// Feed client-observed transfer metrics back to the agent.
+  bool report_metrics = true;
+  /// Report failed servers to the agent (enables agent-side blacklisting).
+  bool report_failures = true;
+};
+
+/// Per-call telemetry, filled when the caller passes a stats out-param.
+struct CallStats {
+  proto::ServerId server_id = proto::kInvalidServerId;
+  std::string server_name;
+  double predicted_seconds = 0.0;  // agent's estimate for the chosen server
+  double total_seconds = 0.0;      // wall time of the whole call
+  double exec_seconds = 0.0;       // server-reported compute time
+  double transfer_seconds = 0.0;   // total - exec (marshal + network + queue)
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  int attempts = 0;                // 1 = first server worked
+};
+
+class RequestHandle;
+
+class NetSolveClient {
+ public:
+  explicit NetSolveClient(ClientConfig config) : config_(std::move(config)) {}
+
+  /// Blocking solve. Returns the problem's output list.
+  Result<std::vector<dsl::DataObject>> netsl(const std::string& problem,
+                                             const std::vector<dsl::DataObject>& args,
+                                             CallStats* stats = nullptr);
+
+  /// Non-blocking solve; the returned handle owns a worker thread.
+  /// Lifetime: the client must outlive every in-flight request it issued
+  /// (the worker calls back into this client). Dropping the handle is fine —
+  /// the orphaned worker finishes in the background — but destroy the
+  /// client only after all requests completed or were waited on.
+  RequestHandle netsl_nb(const std::string& problem, std::vector<dsl::DataObject> args);
+
+  /// MATLAB-style: ns.call("dgesv", A, b) — arguments convert to DataObject.
+  template <typename... Ts>
+  Result<std::vector<dsl::DataObject>> call(const std::string& problem, Ts&&... ts) {
+    std::vector<dsl::DataObject> args;
+    args.reserve(sizeof...(Ts));
+    (args.emplace_back(std::forward<Ts>(ts)), ...);
+    return netsl(problem, args);
+  }
+
+  /// Ask the agent for the ranked candidate list without executing.
+  Result<proto::ServerList> query(const std::string& problem,
+                                  const std::vector<dsl::DataObject>& args);
+
+  /// The union problem catalogue known to the agent.
+  Result<std::vector<dsl::ProblemSpec>> list_problems();
+
+  Result<proto::AgentStats> agent_stats();
+
+  /// Liveness check against the agent.
+  Status ping_agent();
+
+  const ClientConfig& config() const noexcept { return config_; }
+
+ private:
+  friend class RequestHandle;
+
+  Result<proto::ServerList> query_metadata(const std::string& problem,
+                                           std::uint64_t input_bytes, std::uint64_t size_hint);
+  /// One attempt against one server; transport-level failures are retryable.
+  Result<proto::SolveResult> attempt(const proto::ServerCandidate& candidate,
+                                     const proto::SolveRequest& request, double* io_seconds);
+  void report_failure(proto::ServerId id, ErrorCode code);
+  void report_metrics(proto::ServerId id, std::uint64_t bytes, double seconds);
+
+  ClientConfig config_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+};
+
+/// Future-like handle for non-blocking calls (netslpr/netslwt).
+class RequestHandle {
+ public:
+  RequestHandle() = default;
+  RequestHandle(RequestHandle&&) = default;
+  RequestHandle& operator=(RequestHandle&&) = default;
+
+  /// Has the call finished (successfully or not)?
+  bool ready() const;
+
+  /// Block until completion and take the result. Calling wait() twice
+  /// returns kInternal on the second call (the result is moved out).
+  Result<std::vector<dsl::DataObject>> wait();
+
+  /// Stats of the completed call (valid after wait()/ready()).
+  const CallStats& stats() const;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class NetSolveClient;
+
+  struct State;
+  explicit RequestHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ns::client

@@ -1,0 +1,218 @@
+// Implementation of the C client binding (see netsolve_c.h).
+#include "client/netsolve_c.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+
+namespace {
+
+using ns::client::NetSolveClient;
+using ns::client::RequestHandle;
+using ns::dsl::DataObject;
+
+int map_error(ns::ErrorCode code) {
+  switch (code) {
+    case ns::ErrorCode::kConnectFailed:
+    case ns::ErrorCode::kAgentUnavailable:
+    case ns::ErrorCode::kConnectionClosed:
+    case ns::ErrorCode::kTimeout:
+      return NS_ERR_CONNECT;
+    case ns::ErrorCode::kUnknownProblem:
+    case ns::ErrorCode::kNoServer:
+      return NS_ERR_UNKNOWN_PROBLEM;
+    case ns::ErrorCode::kBadArguments:
+      return NS_ERR_BAD_ARGUMENTS;
+    case ns::ErrorCode::kExecutionFailed:
+      return NS_ERR_EXECUTION;
+    case ns::ErrorCode::kRetriesExhausted:
+    case ns::ErrorCode::kServerFailure:
+    case ns::ErrorCode::kServerOverloaded:
+      return NS_ERR_RETRIES;
+    default:
+      return NS_ERR_INTERNAL;
+  }
+}
+
+/// Convert a C argument descriptor to a DataObject; nullopt-style failure
+/// reported through the error string.
+bool to_data_object(const ns_arg& arg, DataObject* out, std::string* error) {
+  switch (arg.type) {
+    case NS_ARG_INT:
+      *out = DataObject(arg.int_value);
+      return true;
+    case NS_ARG_DOUBLE:
+      *out = DataObject(arg.double_value);
+      return true;
+    case NS_ARG_VECTOR:
+      if (arg.data == nullptr && arg.len > 0) {
+        *error = "vector argument with null data";
+        return false;
+      }
+      *out = DataObject(ns::linalg::Vector(arg.data, arg.data + arg.len));
+      return true;
+    case NS_ARG_MATRIX: {
+      if (arg.data == nullptr || arg.rows * arg.cols == 0) {
+        *error = "matrix argument with null/empty data";
+        return false;
+      }
+      ns::linalg::Vector storage(arg.data, arg.data + arg.rows * arg.cols);
+      *out = DataObject(ns::linalg::Matrix(arg.rows, arg.cols, std::move(storage)));
+      return true;
+    }
+  }
+  *error = "unknown argument type";
+  return false;
+}
+
+/// Fill a C output descriptor from a DataObject. Numeric buffers stay owned
+/// by `owned` (the session/request keeps them alive).
+bool fill_output(const DataObject& obj, ns_arg* out,
+                 std::vector<std::unique_ptr<ns::linalg::Vector>>* owned,
+                 std::string* error) {
+  switch (out->type) {
+    case NS_ARG_INT:
+      if (!obj.is_int()) break;
+      out->int_value = obj.as_int();
+      return true;
+    case NS_ARG_DOUBLE:
+      if (!obj.is_double()) break;
+      out->double_value = obj.as_double();
+      return true;
+    case NS_ARG_VECTOR: {
+      if (!obj.is_vector()) break;
+      owned->push_back(std::make_unique<ns::linalg::Vector>(obj.as_vector()));
+      out->out_data = owned->back()->data();
+      out->len = owned->back()->size();
+      return true;
+    }
+    case NS_ARG_MATRIX: {
+      if (!obj.is_matrix()) break;
+      const auto& m = obj.as_matrix();
+      owned->push_back(std::make_unique<ns::linalg::Vector>(m.storage()));
+      out->out_data = owned->back()->data();
+      out->rows = m.rows();
+      out->cols = m.cols();
+      out->len = m.size();
+      return true;
+    }
+  }
+  *error = "output type mismatch";
+  return false;
+}
+
+}  // namespace
+
+struct ns_session {
+  std::unique_ptr<NetSolveClient> client;
+  std::string last_error;
+  std::vector<std::unique_ptr<ns::linalg::Vector>> owned_outputs;
+};
+
+struct ns_request {
+  ns_session* session = nullptr;
+  RequestHandle handle;
+  std::vector<std::unique_ptr<ns::linalg::Vector>> owned_outputs;
+  std::string last_error;
+};
+
+extern "C" {
+
+ns_session* ns_connect(const char* agent_host, uint16_t agent_port) {
+  if (agent_host == nullptr) return nullptr;
+  ns::client::ClientConfig config;
+  config.agent = {agent_host, agent_port};
+  auto session = std::make_unique<ns_session>();
+  session->client = std::make_unique<NetSolveClient>(std::move(config));
+  if (!session->client->ping_agent().ok()) return nullptr;
+  return session.release();
+}
+
+void ns_disconnect(ns_session* session) { delete session; }
+
+const char* ns_last_error(const ns_session* session) {
+  return session != nullptr ? session->last_error.c_str() : "null session";
+}
+
+int ns_problem_count(ns_session* session) {
+  if (session == nullptr) return NS_ERR_INTERNAL;
+  auto problems = session->client->list_problems();
+  if (!problems.ok()) {
+    session->last_error = problems.error().to_string();
+    return map_error(problems.error().code);
+  }
+  return static_cast<int>(problems.value().size());
+}
+
+int netsl(ns_session* session, const char* problem, const ns_arg* inputs, size_t n_inputs,
+          ns_arg* outputs, size_t n_outputs) {
+  if (session == nullptr || problem == nullptr) return NS_ERR_INTERNAL;
+  session->owned_outputs.clear();
+
+  std::vector<DataObject> args(n_inputs);
+  for (size_t i = 0; i < n_inputs; ++i) {
+    if (!to_data_object(inputs[i], &args[i], &session->last_error)) {
+      return NS_ERR_BAD_ARGUMENTS;
+    }
+  }
+  auto result = session->client->netsl(problem, args);
+  if (!result.ok()) {
+    session->last_error = result.error().to_string();
+    return map_error(result.error().code);
+  }
+  if (result.value().size() != n_outputs) {
+    session->last_error = "output count mismatch";
+    return NS_ERR_BAD_ARGUMENTS;
+  }
+  for (size_t i = 0; i < n_outputs; ++i) {
+    if (!fill_output(result.value()[i], &outputs[i], &session->owned_outputs,
+                     &session->last_error)) {
+      return NS_ERR_BAD_ARGUMENTS;
+    }
+  }
+  return NS_OK;
+}
+
+ns_request* netsl_nb(ns_session* session, const char* problem, const ns_arg* inputs,
+                     size_t n_inputs) {
+  if (session == nullptr || problem == nullptr) return nullptr;
+  std::vector<DataObject> args(n_inputs);
+  for (size_t i = 0; i < n_inputs; ++i) {
+    if (!to_data_object(inputs[i], &args[i], &session->last_error)) return nullptr;
+  }
+  auto request = std::make_unique<ns_request>();
+  request->session = session;
+  request->handle = session->client->netsl_nb(problem, std::move(args));
+  return request.release();
+}
+
+int netsl_probe(const ns_request* request) {
+  if (request == nullptr) return NS_ERR_INTERNAL;
+  return request->handle.ready() ? NS_OK : NS_ERR_NOT_READY;
+}
+
+int netsl_wait(ns_request* request, ns_arg* outputs, size_t n_outputs) {
+  if (request == nullptr) return NS_ERR_INTERNAL;
+  auto result = request->handle.wait();
+  if (!result.ok()) {
+    request->last_error = result.error().to_string();
+    if (request->session != nullptr) request->session->last_error = request->last_error;
+    return map_error(result.error().code);
+  }
+  if (result.value().size() != n_outputs) return NS_ERR_BAD_ARGUMENTS;
+  std::string error;
+  for (size_t i = 0; i < n_outputs; ++i) {
+    if (!fill_output(result.value()[i], &outputs[i], &request->owned_outputs, &error)) {
+      if (request->session != nullptr) request->session->last_error = error;
+      return NS_ERR_BAD_ARGUMENTS;
+    }
+  }
+  return NS_OK;
+}
+
+void ns_request_free(ns_request* request) { delete request; }
+
+}  // extern "C"

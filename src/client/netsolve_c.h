@@ -1,0 +1,91 @@
+/* C client interface for the NetSolve reproduction.
+ *
+ * Mirrors the shape of the original system's C binding: opaque handles, a
+ * blocking netsl() call and a non-blocking netsl_nb()/netsl_probe()/
+ * netsl_wait() trio, with arguments passed as typed descriptors. All
+ * functions return NS_OK (0) or a negative error code; messages are
+ * retrievable per session with ns_last_error().
+ *
+ * Matrices are column-major (Fortran convention), matching the C++ core.
+ */
+#ifndef NS_CLIENT_NETSOLVE_C_H_
+#define NS_CLIENT_NETSOLVE_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct ns_session ns_session;   /* a client bound to one agent */
+typedef struct ns_request ns_request;   /* an in-flight non-blocking call */
+
+enum {
+  NS_OK = 0,
+  NS_ERR_CONNECT = -1,      /* agent or server unreachable */
+  NS_ERR_UNKNOWN_PROBLEM = -2,
+  NS_ERR_BAD_ARGUMENTS = -3,
+  NS_ERR_EXECUTION = -4,
+  NS_ERR_RETRIES = -5,      /* all candidate servers failed */
+  NS_ERR_INTERNAL = -6,
+  NS_ERR_NOT_READY = -7     /* netsl_probe: still running */
+};
+
+/* Typed argument/result descriptor. For NS_ARG_MATRIX, rows*cols doubles in
+ * column-major order; for NS_ARG_VECTOR, len doubles; scalars use the
+ * value fields. Output descriptors are filled by the library, which owns
+ * the returned buffers until the next call on the same request/session. */
+typedef enum {
+  NS_ARG_INT = 1,
+  NS_ARG_DOUBLE = 2,
+  NS_ARG_VECTOR = 4,
+  NS_ARG_MATRIX = 5
+} ns_arg_type;
+
+typedef struct {
+  ns_arg_type type;
+  int64_t int_value;        /* NS_ARG_INT */
+  double double_value;      /* NS_ARG_DOUBLE */
+  const double* data;       /* NS_ARG_VECTOR / NS_ARG_MATRIX (input) */
+  double* out_data;         /* filled for outputs; library-owned */
+  size_t len;               /* vector length, or rows*cols */
+  size_t rows, cols;        /* NS_ARG_MATRIX */
+} ns_arg;
+
+/* ---- session ---- */
+
+/* Connect a session to the agent at host:port. Returns NULL on failure. */
+ns_session* ns_connect(const char* agent_host, uint16_t agent_port);
+void ns_disconnect(ns_session* session);
+
+/* Last error message for this session (valid until the next call). */
+const char* ns_last_error(const ns_session* session);
+
+/* Number of problems in the agent's catalogue, or a negative error. */
+int ns_problem_count(ns_session* session);
+
+/* ---- blocking call ----
+ *
+ * netsl("dgesv", inputs, n_inputs, outputs, n_outputs):
+ * outputs[i].type declares the expected type; the library fills the value
+ * fields. Returns NS_OK or an error code. */
+int netsl(ns_session* session, const char* problem, const ns_arg* inputs,
+          size_t n_inputs, ns_arg* outputs, size_t n_outputs);
+
+/* ---- non-blocking call (netsl_nb / netsl_probe / netsl_wait) ---- */
+
+ns_request* netsl_nb(ns_session* session, const char* problem, const ns_arg* inputs,
+                     size_t n_inputs);
+/* NS_OK once complete (successfully or not), NS_ERR_NOT_READY otherwise. */
+int netsl_probe(const ns_request* request);
+/* Block for completion and collect outputs; frees nothing (see below). */
+int netsl_wait(ns_request* request, ns_arg* outputs, size_t n_outputs);
+/* Release the request and any library-owned output buffers from it. */
+void ns_request_free(ns_request* request);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* NS_CLIENT_NETSOLVE_C_H_ */

@@ -1,0 +1,57 @@
+#include "common/clock.hpp"
+
+#include <thread>
+
+namespace ns {
+
+double now_seconds() noexcept {
+  return std::chrono::duration<double>(SteadyClock::now().time_since_epoch()).count();
+}
+
+std::int64_t wall_micros() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_seconds(double secs) {
+  if (secs <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+}
+
+double busy_spin_seconds(double secs) noexcept {
+  if (secs <= 0) return 0.0;
+  const TimePoint start = SteadyClock::now();
+  const TimePoint due = start + std::chrono::duration_cast<Duration>(
+                                    std::chrono::duration<double>(secs));
+  // Volatile sink keeps the loop from being optimized away.
+  volatile std::uint64_t sink = 0;
+  while (SteadyClock::now() < due) {
+    for (int i = 0; i < 64; ++i) sink = sink + 1;
+  }
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+Deadline::Deadline(double timeout_secs) {
+  due_ = SteadyClock::now() +
+         std::chrono::duration_cast<Duration>(std::chrono::duration<double>(timeout_secs));
+}
+
+Deadline Deadline::never() noexcept {
+  Deadline d;
+  d.never_ = true;
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  if (never_) return false;
+  return SteadyClock::now() >= due_;
+}
+
+double Deadline::remaining() const noexcept {
+  if (never_) return 1e18;
+  const double rem = std::chrono::duration<double>(due_ - SteadyClock::now()).count();
+  return rem > 0 ? rem : 0.0;
+}
+
+}  // namespace ns

@@ -1,0 +1,66 @@
+// Timing utilities shared by the scheduler, the benchmarks, and the
+// shaped-link network emulation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ns {
+
+using SteadyClock = std::chrono::steady_clock;
+using TimePoint = SteadyClock::time_point;
+using Duration = SteadyClock::duration;
+
+/// Seconds since an arbitrary (process-local) epoch; monotonic.
+double now_seconds() noexcept;
+
+/// Wall-clock microseconds since the UNIX epoch (for log correlation only;
+/// never used for interval measurement).
+std::int64_t wall_micros() noexcept;
+
+/// Sleep for the given number of seconds (no-op for values <= 0). Uses
+/// nanosleep-grade precision via std::this_thread.
+void sleep_seconds(double secs);
+
+/// Busy-spin for approximately `secs` seconds. The compute servers use this
+/// to emulate heterogeneous processor speeds deterministically even when the
+/// host is a single-core machine (sleeping would under-report contention;
+/// spinning models an occupied CPU). Returns the actual elapsed seconds.
+double busy_spin_seconds(double secs) noexcept;
+
+/// Simple interval stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(SteadyClock::now()) {}
+
+  void reset() noexcept { start_ = SteadyClock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed() const noexcept {
+    return std::chrono::duration<double>(SteadyClock::now() - start_).count();
+  }
+
+ private:
+  TimePoint start_;
+};
+
+/// Deadline helper: construct with a timeout, query remaining budget.
+class Deadline {
+ public:
+  /// A deadline `timeout_secs` from now; non-positive means "already due",
+  /// and infinity() means "never".
+  explicit Deadline(double timeout_secs);
+
+  static Deadline never() noexcept;
+
+  bool expired() const noexcept;
+  /// Remaining seconds (clamped at 0); a large sentinel for never().
+  double remaining() const noexcept;
+
+ private:
+  Deadline() = default;
+  TimePoint due_{};
+  bool never_ = false;
+};
+
+}  // namespace ns

@@ -1,0 +1,106 @@
+#include "common/config.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace ns {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t line_no = 0;
+  for (const auto& raw_line : strings::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = strings::trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      std::ostringstream msg;
+      msg << "config line " << line_no << " has no '=': '" << line << "'";
+      return make_error(ErrorCode::kBadArguments, msg.str());
+    }
+    const std::string key{strings::trim(line.substr(0, eq))};
+    const std::string value{strings::trim(line.substr(eq + 1))};
+    if (key.empty()) {
+      std::ostringstream msg;
+      msg << "config line " << line_no << " has empty key";
+      return make_error(ErrorCode::kBadArguments, msg.str());
+    }
+    cfg.set(key, value);
+  }
+  return cfg;
+}
+
+Result<Config> Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return make_error(ErrorCode::kBadArguments,
+                        "expected key=value argument, got '" + std::string(arg) + "'");
+    }
+    cfg.set(std::string(strings::trim(arg.substr(0, eq))),
+            std::string(strings::trim(arg.substr(eq + 1))));
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_.insert_or_assign(std::move(key), std::move(value));
+}
+
+bool Config::contains(std::string_view key) const noexcept {
+  return entries_.find(key) != entries_.end();
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(std::string_view key, std::string fallback) const {
+  const auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::optional<std::int64_t> Config::get_int(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return std::nullopt;
+  return strings::parse_int(*v);
+}
+
+std::int64_t Config::get_int_or(std::string_view key, std::int64_t fallback) const {
+  const auto v = get_int(key);
+  return v ? *v : fallback;
+}
+
+std::optional<double> Config::get_double(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return std::nullopt;
+  return strings::parse_double(*v);
+}
+
+double Config::get_double_or(std::string_view key, double fallback) const {
+  const auto v = get_double(key);
+  return v ? *v : fallback;
+}
+
+bool Config::get_bool_or(std::string_view key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const std::string lowered = strings::to_lower(strings::trim(*v));
+  if (lowered == "1" || lowered == "true" || lowered == "yes" || lowered == "on") return true;
+  if (lowered == "0" || lowered == "false" || lowered == "no" || lowered == "off") return false;
+  return fallback;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.entries_) entries_.insert_or_assign(k, v);
+}
+
+}  // namespace ns

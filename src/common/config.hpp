@@ -1,0 +1,48 @@
+// Key=value configuration, used by the standalone agent/server/client
+// binaries and by the experiment harnesses. Mirrors the flat config files
+// the original NetSolve daemons read at startup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Result<Config> parse(std::string_view text);
+
+  /// Parse argv-style overrides of the form key=value (used by the CLIs).
+  static Result<Config> from_args(int argc, const char* const* argv);
+
+  void set(std::string key, std::string value);
+  bool contains(std::string_view key) const noexcept;
+
+  std::optional<std::string> get(std::string_view key) const;
+  std::string get_or(std::string_view key, std::string fallback) const;
+  std::optional<std::int64_t> get_int(std::string_view key) const;
+  std::int64_t get_int_or(std::string_view key, std::int64_t fallback) const;
+  std::optional<double> get_double(std::string_view key) const;
+  double get_double_or(std::string_view key, double fallback) const;
+  bool get_bool_or(std::string_view key, bool fallback) const;
+
+  /// Merge other's entries over this one's (other wins on conflicts).
+  void merge(const Config& other);
+
+  const std::map<std::string, std::string, std::less<>>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace ns

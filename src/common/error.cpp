@@ -1,0 +1,40 @@
+#include "common/error.hpp"
+
+namespace ns {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kConnectFailed: return "CONNECT_FAILED";
+    case ErrorCode::kConnectionClosed: return "CONNECTION_CLOSED";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kProtocol: return "PROTOCOL";
+    case ErrorCode::kVersion: return "VERSION";
+    case ErrorCode::kUnknownProblem: return "UNKNOWN_PROBLEM";
+    case ErrorCode::kNoServer: return "NO_SERVER";
+    case ErrorCode::kAgentUnavailable: return "AGENT_UNAVAILABLE";
+    case ErrorCode::kBadArguments: return "BAD_ARGUMENTS";
+    case ErrorCode::kExecutionFailed: return "EXECUTION_FAILED";
+    case ErrorCode::kServerOverloaded: return "SERVER_OVERLOADED";
+    case ErrorCode::kServerFailure: return "SERVER_FAILURE";
+    case ErrorCode::kRetriesExhausted: return "RETRIES_EXHAUSTED";
+    case ErrorCode::kCancelled: return "CANCELLED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+bool is_retryable(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kConnectFailed:
+    case ErrorCode::kConnectionClosed:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kServerOverloaded:
+    case ErrorCode::kServerFailure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ns

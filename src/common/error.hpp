@@ -1,0 +1,154 @@
+// Error model for the NetSolve reproduction.
+//
+// Recoverable failures (a server dropped the connection, a problem name is
+// unknown, a message failed validation) travel as ns::Error values inside
+// ns::Result<T>; programming errors use assertions/exceptions. The error
+// codes mirror NetSolve's client-visible failure classes so fault-tolerance
+// logic can branch on *why* a request failed.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ns {
+
+enum class ErrorCode : std::uint16_t {
+  kOk = 0,
+  // Transport-level.
+  kConnectFailed,
+  kConnectionClosed,
+  kTimeout,
+  kProtocol,       // malformed frame / bad magic / crc mismatch
+  kVersion,        // incompatible protocol version
+  // Directory-level (agent).
+  kUnknownProblem,
+  kNoServer,       // no alive server implements the problem
+  kAgentUnavailable,
+  // Execution-level (server).
+  kBadArguments,   // argument list does not match the problem spec
+  kExecutionFailed,
+  kServerOverloaded,
+  kServerFailure,  // injected or real crash mid-request
+  // Client-level.
+  kRetriesExhausted,
+  kCancelled,
+  kInternal,
+};
+
+/// Human-readable name of an error code (stable, used in wire messages/logs).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Whether the client's fault-tolerance loop may retry the request on a
+/// different server after seeing this failure.
+bool is_retryable(ErrorCode code) noexcept;
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  std::string to_string() const {
+    std::string out(error_code_name(code));
+    if (!message.empty()) {
+      out += ": ";
+      out += message;
+    }
+    return out;
+  }
+};
+
+inline Error make_error(ErrorCode code, std::string message = {}) {
+  return Error{code, std::move(message)};
+}
+
+/// Thrown by Result::value() when the result holds an error.
+class BadResultAccess : public std::runtime_error {
+ public:
+  explicit BadResultAccess(const Error& err)
+      : std::runtime_error("Result holds error: " + err.to_string()), error_(err) {}
+  const Error& error() const noexcept { return error_; }
+
+ private:
+  Error error_;
+};
+
+/// A lightweight expected<T, Error>. Deliberately minimal: exactly the
+/// surface the codebase needs (ok/error introspection, value access,
+/// map-free monadic composition is done by hand at call sites).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw BadResultAccess(std::get<Error>(data_));
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!ok()) throw BadResultAccess(std::get<Error>(data_));
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    if (!ok()) throw BadResultAccess(std::get<Error>(data_));
+    return std::move(std::get<T>(data_));
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+  const Error& error() const& { return std::get<Error>(data_); }
+  Error& error() & { return std::get<Error>(data_); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// void specialization: success or an Error.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), has_error_(true) {}  // NOLINT
+
+  bool ok() const noexcept { return !has_error_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  void value() const {
+    if (has_error_) throw BadResultAccess(error_);
+  }
+  const Error& error() const& { return error_; }
+
+ private:
+  Error error_;
+  bool has_error_ = false;
+};
+
+using Status = Result<void>;
+
+inline Status ok_status() { return Status{}; }
+
+}  // namespace ns
+
+/// Propagate an error from a Result-returning expression inside a
+/// Result-returning function.
+#define NS_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    auto ns_status_ = (expr);                 \
+    if (!ns_status_.ok()) {                   \
+      return ns_status_.error();              \
+    }                                         \
+  } while (0)
+
+/// Assign the value of a Result-returning expression or propagate its error.
+#define NS_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto ns_result_##__LINE__ = (expr);         \
+  if (!ns_result_##__LINE__.ok()) {           \
+    return ns_result_##__LINE__.error();      \
+  }                                           \
+  lhs = std::move(ns_result_##__LINE__).value()

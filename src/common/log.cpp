@@ -1,0 +1,61 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace ns::log {
+
+namespace {
+
+std::atomic<Level>& threshold_storage() {
+  static std::atomic<Level> lvl = [] {
+    const char* env = std::getenv("NS_LOG");
+    return env != nullptr ? parse_level(env) : Level::kWarn;
+  }();
+  return lvl;
+}
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level threshold() noexcept { return threshold_storage().load(std::memory_order_relaxed); }
+
+void set_threshold(Level lvl) noexcept {
+  threshold_storage().store(lvl, std::memory_order_relaxed);
+}
+
+Level parse_level(std::string_view name) noexcept {
+  if (name == "trace") return Level::kTrace;
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return Level::kWarn;
+}
+
+void write(Level lvl, std::string_view tag, std::string_view msg) {
+  static std::mutex mu;
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const double secs = std::chrono::duration<double>(now).count();
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%12.6f] %s [%.*s] %.*s\n", secs, level_name(lvl),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace ns::log

@@ -1,0 +1,65 @@
+// Minimal thread-safe leveled logger for the NetSolve reproduction.
+//
+// Intentionally tiny: the system processes (agent, server, client) emit
+// diagnostics through this single sink so multi-process experiments on one
+// machine produce interleaved but line-atomic output.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ns::log {
+
+enum class Level : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded. Initialized from the
+/// NS_LOG environment variable (trace|debug|info|warn|error|off), default Warn
+/// so tests and benches stay quiet.
+Level threshold() noexcept;
+void set_threshold(Level lvl) noexcept;
+
+/// Parse a level name; returns kWarn for unrecognized input.
+Level parse_level(std::string_view name) noexcept;
+
+/// Emit one line (timestamp, level, tag, message) atomically to stderr.
+void write(Level lvl, std::string_view tag, std::string_view msg);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  LineBuilder(Level lvl, std::string_view tag) : lvl_(lvl), tag_(tag) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(lvl_, tag_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline bool enabled(Level lvl) noexcept { return lvl >= threshold(); }
+
+}  // namespace ns::log
+
+#define NS_LOG(level, tag)                            \
+  if (!ns::log::enabled(level)) {                     \
+  } else                                              \
+    ns::log::detail::LineBuilder(level, tag)
+
+#define NS_TRACE(tag) NS_LOG(ns::log::Level::kTrace, tag)
+#define NS_DEBUG(tag) NS_LOG(ns::log::Level::kDebug, tag)
+#define NS_INFO(tag) NS_LOG(ns::log::Level::kInfo, tag)
+#define NS_WARN(tag) NS_LOG(ns::log::Level::kWarn, tag)
+#define NS_ERROR(tag) NS_LOG(ns::log::Level::kError, tag)

@@ -1,0 +1,90 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component (workload generators, failure injection,
+// selection policies, synthetic matrices) draws from an ns::Rng seeded
+// explicitly, so experiments are reproducible run-to-run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ns {
+
+/// xoshiro256** by Blackman & Vigna — small, fast, and high quality; state
+/// seeded via SplitMix64 so any 64-bit seed yields a well-mixed stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into the four state words.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : state_) w = next();
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; no caching to keep
+  /// the generator state trivially reproducible).
+  double normal() noexcept {
+    // Guard against log(0) by nudging u1 away from zero.
+    const double u1 = next_double() + 1e-18;
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept {
+    const double u = next_double() + 1e-18;
+    return -std::log(u) / rate;
+  }
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace ns

@@ -1,0 +1,108 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace ns::strings {
+
+namespace {
+bool is_space(char c) noexcept { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+}  // namespace
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && is_space(s[begin])) ++begin;
+  while (end > begin && is_space(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) noexcept {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view s) noexcept {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  double value = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 3) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[unit]);
+  return buf;
+}
+
+std::string format_seconds(double secs) {
+  char buf[64];
+  if (secs < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", secs * 1e6);
+  } else if (secs < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", secs * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", secs);
+  }
+  return buf;
+}
+
+}  // namespace ns::strings

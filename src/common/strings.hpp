@@ -1,0 +1,37 @@
+// Small string utilities used by the config parser, the problem-description
+// file parser, and the CLI front ends.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ns::strings {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of ASCII whitespace; no empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Case-sensitive prefix/suffix tests.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Strict numeric parsers: the whole (trimmed) string must parse.
+std::optional<std::int64_t> parse_int(std::string_view s) noexcept;
+std::optional<double> parse_double(std::string_view s) noexcept;
+
+/// "1.5 KB/s"-style human formatting helpers for bench output.
+std::string format_bytes(double bytes);
+std::string format_seconds(double secs);
+
+}  // namespace ns::strings

@@ -1,0 +1,128 @@
+#include "dsl/problem.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace ns::dsl {
+
+double ComplexityModel::flops(std::size_t n) const noexcept {
+  return a * std::pow(static_cast<double>(n), b);
+}
+
+double ProblemSpec::predicted_flops(const std::vector<DataObject>& args) const noexcept {
+  std::size_t n = 1;
+  if (size_arg < args.size()) {
+    n = args[size_arg].size_hint();
+  } else if (!args.empty()) {
+    n = args.front().size_hint();
+  }
+  return complexity.flops(n);
+}
+
+Status ProblemSpec::validate_inputs(const std::vector<DataObject>& args) const {
+  if (args.size() != inputs.size()) {
+    std::ostringstream msg;
+    msg << name << " expects " << inputs.size() << " inputs, got " << args.size();
+    return make_error(ErrorCode::kBadArguments, msg.str());
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].type() != inputs[i].type) {
+      std::ostringstream msg;
+      msg << name << " input '" << inputs[i].name << "' expects "
+          << data_type_name(inputs[i].type) << ", got " << data_type_name(args[i].type());
+      return make_error(ErrorCode::kBadArguments, msg.str());
+    }
+  }
+  return ok_status();
+}
+
+Status ProblemSpec::validate_outputs(const std::vector<DataObject>& outs) const {
+  if (outs.size() != outputs.size()) {
+    std::ostringstream msg;
+    msg << name << " produces " << outputs.size() << " outputs, got " << outs.size();
+    return make_error(ErrorCode::kExecutionFailed, msg.str());
+  }
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    if (outs[i].type() != outputs[i].type) {
+      std::ostringstream msg;
+      msg << name << " output '" << outputs[i].name << "' expects "
+          << data_type_name(outputs[i].type) << ", got " << data_type_name(outs[i].type());
+      return make_error(ErrorCode::kExecutionFailed, msg.str());
+    }
+  }
+  return ok_status();
+}
+
+namespace {
+
+void encode_arg_specs(serial::Encoder& enc, const std::vector<ArgSpec>& specs) {
+  enc.put_u32(static_cast<std::uint32_t>(specs.size()));
+  for (const auto& s : specs) {
+    enc.put_string(s.name);
+    enc.put_u8(static_cast<std::uint8_t>(s.type));
+  }
+}
+
+Result<std::vector<ArgSpec>> decode_arg_specs(serial::Decoder& dec) {
+  auto count = dec.get_u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > 4096) {
+    return make_error(ErrorCode::kProtocol, "too many arg specs");
+  }
+  std::vector<ArgSpec> specs;
+  specs.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    ArgSpec s;
+    auto name = dec.get_string();
+    if (!name.ok()) return name.error();
+    s.name = std::move(name).value();
+    auto type = dec.get_u8();
+    if (!type.ok()) return type.error();
+    if (type.value() < 1 || type.value() > 6) {
+      return make_error(ErrorCode::kProtocol, "bad data type tag in arg spec");
+    }
+    s.type = static_cast<DataType>(type.value());
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+}  // namespace
+
+void ProblemSpec::encode(serial::Encoder& enc) const {
+  enc.put_string(name);
+  enc.put_string(description);
+  encode_arg_specs(enc, inputs);
+  encode_arg_specs(enc, outputs);
+  enc.put_f64(complexity.a);
+  enc.put_f64(complexity.b);
+  enc.put_u32(size_arg);
+}
+
+Result<ProblemSpec> ProblemSpec::decode(serial::Decoder& dec) {
+  ProblemSpec spec;
+  auto name = dec.get_string();
+  if (!name.ok()) return name.error();
+  spec.name = std::move(name).value();
+  auto desc = dec.get_string();
+  if (!desc.ok()) return desc.error();
+  spec.description = std::move(desc).value();
+  auto inputs = decode_arg_specs(dec);
+  if (!inputs.ok()) return inputs.error();
+  spec.inputs = std::move(inputs).value();
+  auto outputs = decode_arg_specs(dec);
+  if (!outputs.ok()) return outputs.error();
+  spec.outputs = std::move(outputs).value();
+  auto a = dec.get_f64();
+  if (!a.ok()) return a.error();
+  spec.complexity.a = a.value();
+  auto b = dec.get_f64();
+  if (!b.ok()) return b.error();
+  spec.complexity.b = b.value();
+  auto size_arg = dec.get_u32();
+  if (!size_arg.ok()) return size_arg.error();
+  spec.size_arg = size_arg.value();
+  return spec;
+}
+
+}  // namespace ns::dsl

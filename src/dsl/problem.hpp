@@ -1,0 +1,61 @@
+// Problem descriptions — NetSolve's declarative catalogue entries.
+//
+// A ProblemSpec names a service, types its inputs and outputs, and carries a
+// complexity model `flops ≈ a * N^b` where N is the size hint of a
+// designated argument. The agent never executes problems; it schedules them
+// purely from this metadata plus server ratings, which is exactly the
+// contract the original system's problem-description files established.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dsl/value.hpp"
+#include "serial/codec.hpp"
+
+namespace ns::dsl {
+
+struct ArgSpec {
+  std::string name;
+  DataType type = DataType::kDouble;
+
+  friend bool operator==(const ArgSpec&, const ArgSpec&) = default;
+};
+
+/// flops(N) = a * N^b.
+struct ComplexityModel {
+  double a = 1.0;
+  double b = 1.0;
+
+  double flops(std::size_t n) const noexcept;
+
+  friend bool operator==(const ComplexityModel&, const ComplexityModel&) = default;
+};
+
+struct ProblemSpec {
+  std::string name;
+  std::string description;
+  std::vector<ArgSpec> inputs;
+  std::vector<ArgSpec> outputs;
+  ComplexityModel complexity;
+  /// Which input argument's size_hint() defines N in the complexity model.
+  std::uint32_t size_arg = 0;
+
+  /// Predicted flops for a concrete argument list.
+  double predicted_flops(const std::vector<DataObject>& args) const noexcept;
+
+  /// Type-check a concrete input argument list against the spec.
+  Status validate_inputs(const std::vector<DataObject>& args) const;
+
+  /// Type-check produced outputs (server-side self check).
+  Status validate_outputs(const std::vector<DataObject>& outs) const;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<ProblemSpec> decode(serial::Decoder& dec);
+
+  friend bool operator==(const ProblemSpec&, const ProblemSpec&) = default;
+};
+
+}  // namespace ns::dsl

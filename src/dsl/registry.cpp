@@ -1,0 +1,105 @@
+#include "dsl/registry.hpp"
+
+#include <algorithm>
+
+namespace ns::dsl {
+
+void ProblemRegistry::add(ProblemSpec spec, Executor executor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = spec.name;
+  entries_.insert_or_assign(name, Entry{std::move(spec), std::move(executor)});
+}
+
+bool ProblemRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.erase(name) > 0;
+}
+
+void ProblemRegistry::retain_only(const std::vector<std::string>& keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool kept = std::find(keep.begin(), keep.end(), it->first) != keep.end();
+    it = kept ? std::next(it) : entries_.erase(it);
+  }
+}
+
+namespace {
+
+bool signatures_match(const std::vector<ArgSpec>& a, const std::vector<ArgSpec>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].type != b[i].type) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ProblemRegistry::override_spec(const ProblemSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(spec.name);
+  if (it == entries_.end()) {
+    return make_error(ErrorCode::kUnknownProblem,
+                      "cannot override unregistered problem '" + spec.name + "'");
+  }
+  if (!signatures_match(it->second.spec.inputs, spec.inputs) ||
+      !signatures_match(it->second.spec.outputs, spec.outputs)) {
+    return make_error(ErrorCode::kBadArguments,
+                      "override for '" + spec.name + "' changes the signature");
+  }
+  it->second.spec = spec;
+  return ok_status();
+}
+
+bool ProblemRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
+std::optional<ProblemSpec> ProblemRegistry::spec(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.spec;
+}
+
+std::vector<ProblemSpec> ProblemRegistry::all_specs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ProblemSpec> specs;
+  specs.reserve(entries_.size());
+  for (const auto& [_, entry] : entries_) specs.push_back(entry.spec);
+  return specs;
+}
+
+std::vector<std::string> ProblemRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t ProblemRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Result<std::vector<DataObject>> ProblemRegistry::execute(
+    const std::string& name, const std::vector<DataObject>& args) const {
+  Entry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return make_error(ErrorCode::kUnknownProblem, name);
+    }
+    entry = it->second;
+  }
+  NS_RETURN_IF_ERROR(entry.spec.validate_inputs(args));
+  auto outputs = entry.executor(args);
+  if (!outputs.ok()) return outputs.error();
+  NS_RETURN_IF_ERROR(entry.spec.validate_outputs(outputs.value()));
+  return outputs;
+}
+
+}  // namespace ns::dsl

@@ -1,0 +1,59 @@
+// Problem registry: the server-side catalogue binding problem descriptions
+// to executable implementations.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dsl/problem.hpp"
+
+namespace ns::dsl {
+
+/// Executes a validated input list and returns the output list.
+using Executor = std::function<Result<std::vector<DataObject>>(const std::vector<DataObject>&)>;
+
+class ProblemRegistry {
+ public:
+  ProblemRegistry() = default;
+
+  /// Register a spec + implementation; re-registering a name replaces it.
+  void add(ProblemSpec spec, Executor executor);
+
+  /// Remove a problem; returns false if it was not present.
+  bool remove(const std::string& name);
+
+  /// Drop every problem whose name is not in `keep` (used by servers
+  /// configured to offer only a subset of the builtin catalogue).
+  void retain_only(const std::vector<std::string>& keep);
+
+  /// Replace a registered problem's description, keeping its executor. The
+  /// new spec must be signature-compatible (same input/output types in the
+  /// same order); names, description text, complexity model and size_arg
+  /// may change. Fails for unknown problems or signature mismatches.
+  Status override_spec(const ProblemSpec& spec);
+
+  bool contains(const std::string& name) const;
+  std::optional<ProblemSpec> spec(const std::string& name) const;
+  std::vector<ProblemSpec> all_specs() const;
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+  /// Validate inputs against the spec, run the executor, validate outputs.
+  Result<std::vector<DataObject>> execute(const std::string& name,
+                                          const std::vector<DataObject>& args) const;
+
+ private:
+  struct Entry {
+    ProblemSpec spec;
+    Executor executor;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ns::dsl

@@ -1,0 +1,94 @@
+#include "dsl/specfile.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace ns::dsl {
+
+Result<std::vector<ProblemSpec>> parse_spec_file(std::string_view text) {
+  std::vector<ProblemSpec> specs;
+  ProblemSpec current;
+  bool in_block = false;
+  std::size_t line_no = 0;
+
+  auto flush = [&specs, &current, &in_block]() -> Status {
+    if (!in_block) return ok_status();
+    if (current.name.empty()) {
+      return make_error(ErrorCode::kBadArguments, "problem block without a name");
+    }
+    specs.push_back(std::move(current));
+    current = ProblemSpec{};
+    in_block = false;
+    return ok_status();
+  };
+
+  for (const auto& raw_line : strings::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = strings::trim(line);
+    if (line.empty()) continue;
+
+    const auto fields = strings::split_ws(line);
+    const std::string& directive = fields[0];
+    auto fail = [&line_no](const std::string& what) -> Error {
+      return make_error(ErrorCode::kBadArguments,
+                        "spec file line " + std::to_string(line_no) + ": " + what);
+    };
+
+    if (directive == "@PROBLEM") {
+      NS_RETURN_IF_ERROR(flush());
+      if (fields.size() != 2) return fail("@PROBLEM expects one name");
+      in_block = true;
+      current.name = fields[1];
+    } else if (!in_block) {
+      return fail("directive before any @PROBLEM");
+    } else if (directive == "@DESCRIPTION") {
+      const std::size_t at = line.find("@DESCRIPTION");
+      current.description = std::string(strings::trim(line.substr(at + 12)));
+    } else if (directive == "@INPUT" || directive == "@OUTPUT") {
+      if (fields.size() != 3) return fail(directive + " expects: name type");
+      auto type = parse_data_type(fields[2]);
+      if (!type.ok()) return fail(type.error().message);
+      ArgSpec arg{fields[1], type.value()};
+      (directive == "@INPUT" ? current.inputs : current.outputs).push_back(std::move(arg));
+    } else if (directive == "@COMPLEXITY") {
+      if (fields.size() != 3) return fail("@COMPLEXITY expects: a b");
+      const auto a = strings::parse_double(fields[1]);
+      const auto b = strings::parse_double(fields[2]);
+      if (!a || !b) return fail("@COMPLEXITY values must be numeric");
+      current.complexity = ComplexityModel{*a, *b};
+    } else if (directive == "@SIZEARG") {
+      if (fields.size() != 2) return fail("@SIZEARG expects an input index");
+      const auto idx = strings::parse_int(fields[1]);
+      if (!idx || *idx < 0) return fail("@SIZEARG must be a non-negative integer");
+      current.size_arg = static_cast<std::uint32_t>(*idx);
+    } else {
+      return fail("unknown directive '" + directive + "'");
+    }
+  }
+  NS_RETURN_IF_ERROR(flush());
+  return specs;
+}
+
+std::string format_spec_file(const std::vector<ProblemSpec>& specs) {
+  std::ostringstream out;
+  for (const auto& spec : specs) {
+    out << "@PROBLEM " << spec.name << "\n";
+    if (!spec.description.empty()) out << "@DESCRIPTION " << spec.description << "\n";
+    for (const auto& in : spec.inputs) {
+      out << "@INPUT " << in.name << " " << data_type_name(in.type) << "\n";
+    }
+    for (const auto& o : spec.outputs) {
+      out << "@OUTPUT " << o.name << " " << data_type_name(o.type) << "\n";
+    }
+    out << "@COMPLEXITY " << spec.complexity.a << " " << spec.complexity.b << "\n";
+    if (spec.size_arg != 0) out << "@SIZEARG " << spec.size_arg << "\n";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ns::dsl

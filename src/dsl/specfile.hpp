@@ -1,0 +1,34 @@
+// Problem-description files.
+//
+// The original NetSolve defined its server catalogue in declarative config
+// files that an administrator could extend without recompiling. This parser
+// accepts the same style of description:
+//
+//   @PROBLEM dgesv
+//   @DESCRIPTION Solve a dense linear system A x = b
+//   @INPUT A matrixd
+//   @INPUT b vectord
+//   @OUTPUT x vectord
+//   @COMPLEXITY 0.667 3      # flops = 0.667 * N^3
+//   @SIZEARG 0               # N from input 0 (optional, default 0)
+//
+// Multiple @PROBLEM blocks may appear in one file. Implementations are bound
+// later by name against the executor table (see server/builtin_problems).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dsl/problem.hpp"
+
+namespace ns::dsl {
+
+/// Parse problem descriptions from text. Unknown directives are errors (the
+/// catalogue is trusted config; typos should fail loudly).
+Result<std::vector<ProblemSpec>> parse_spec_file(std::string_view text);
+
+/// Render specs back to the file format (round-trips with parse_spec_file).
+std::string format_spec_file(const std::vector<ProblemSpec>& specs);
+
+}  // namespace ns::dsl

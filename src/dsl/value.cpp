@@ -1,0 +1,224 @@
+#include "dsl/value.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ns::dsl {
+
+std::string_view data_type_name(DataType type) noexcept {
+  switch (type) {
+    case DataType::kInt: return "int";
+    case DataType::kDouble: return "double";
+    case DataType::kString: return "string";
+    case DataType::kVector: return "vectord";
+    case DataType::kMatrix: return "matrixd";
+    case DataType::kSparse: return "sparsed";
+  }
+  return "unknown";
+}
+
+Result<DataType> parse_data_type(std::string_view name) {
+  if (name == "int") return DataType::kInt;
+  if (name == "double") return DataType::kDouble;
+  if (name == "string") return DataType::kString;
+  if (name == "vectord") return DataType::kVector;
+  if (name == "matrixd") return DataType::kMatrix;
+  if (name == "sparsed") return DataType::kSparse;
+  return make_error(ErrorCode::kBadArguments, "unknown data type: " + std::string(name));
+}
+
+DataType DataObject::type() const noexcept {
+  switch (value_.index()) {
+    case 0: return DataType::kInt;
+    case 1: return DataType::kDouble;
+    case 2: return DataType::kString;
+    case 3: return DataType::kVector;
+    case 4: return DataType::kMatrix;
+    default: return DataType::kSparse;
+  }
+}
+
+std::size_t DataObject::size_hint() const noexcept {
+  switch (type()) {
+    case DataType::kInt:
+      return static_cast<std::size_t>(std::max<std::int64_t>(std::abs(as_int()), 1));
+    case DataType::kDouble:
+    case DataType::kString:
+      return 1;
+    case DataType::kVector:
+      return as_vector().size();
+    case DataType::kMatrix:
+      return std::max(as_matrix().rows(), as_matrix().cols());
+    case DataType::kSparse:
+      return as_sparse().rows();
+  }
+  return 1;
+}
+
+std::size_t DataObject::byte_size() const noexcept {
+  constexpr std::size_t kTag = 1;
+  switch (type()) {
+    case DataType::kInt:
+    case DataType::kDouble:
+      return kTag + 8;
+    case DataType::kString:
+      return kTag + 4 + as_string().size();
+    case DataType::kVector:
+      return kTag + 4 + 8 * as_vector().size();
+    case DataType::kMatrix:
+      return kTag + 8 + 4 + 8 * as_matrix().size();
+    case DataType::kSparse: {
+      const auto& s = as_sparse();
+      return kTag + 8 + (4 + 4 * s.indptr().size()) + (4 + 4 * s.indices().size()) +
+             (4 + 8 * s.values().size());
+    }
+  }
+  return kTag;
+}
+
+void DataObject::encode(serial::Encoder& enc) const {
+  enc.put_u8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case DataType::kInt:
+      enc.put_i64(as_int());
+      break;
+    case DataType::kDouble:
+      enc.put_f64(as_double());
+      break;
+    case DataType::kString:
+      enc.put_string(as_string());
+      break;
+    case DataType::kVector:
+      enc.put_f64_array(as_vector());
+      break;
+    case DataType::kMatrix: {
+      const auto& m = as_matrix();
+      enc.put_u32(static_cast<std::uint32_t>(m.rows()));
+      enc.put_u32(static_cast<std::uint32_t>(m.cols()));
+      enc.put_f64_array(m.data(), m.size());
+      break;
+    }
+    case DataType::kSparse: {
+      const auto& s = as_sparse();
+      enc.put_u32(static_cast<std::uint32_t>(s.rows()));
+      enc.put_u32(static_cast<std::uint32_t>(s.cols()));
+      enc.put_i32_array(s.indptr());
+      enc.put_i32_array(s.indices());
+      enc.put_f64_array(s.values());
+      break;
+    }
+  }
+}
+
+Result<DataObject> DataObject::decode(serial::Decoder& dec) {
+  auto tag = dec.get_u8();
+  if (!tag.ok()) return tag.error();
+  switch (static_cast<DataType>(tag.value())) {
+    case DataType::kInt: {
+      auto v = dec.get_i64();
+      if (!v.ok()) return v.error();
+      return DataObject(v.value());
+    }
+    case DataType::kDouble: {
+      auto v = dec.get_f64();
+      if (!v.ok()) return v.error();
+      return DataObject(v.value());
+    }
+    case DataType::kString: {
+      auto v = dec.get_string();
+      if (!v.ok()) return v.error();
+      return DataObject(std::move(v).value());
+    }
+    case DataType::kVector: {
+      auto v = dec.get_f64_array();
+      if (!v.ok()) return v.error();
+      return DataObject(std::move(v).value());
+    }
+    case DataType::kMatrix: {
+      auto rows = dec.get_u32();
+      if (!rows.ok()) return rows.error();
+      auto cols = dec.get_u32();
+      if (!cols.ok()) return cols.error();
+      auto data = dec.get_f64_array();
+      if (!data.ok()) return data.error();
+      const std::size_t expected =
+          static_cast<std::size_t>(rows.value()) * static_cast<std::size_t>(cols.value());
+      if (data.value().size() != expected) {
+        return make_error(ErrorCode::kProtocol, "matrix payload size mismatch");
+      }
+      return DataObject(linalg::Matrix(rows.value(), cols.value(), std::move(data).value()));
+    }
+    case DataType::kSparse: {
+      auto rows = dec.get_u32();
+      if (!rows.ok()) return rows.error();
+      auto cols = dec.get_u32();
+      if (!cols.ok()) return cols.error();
+      auto indptr = dec.get_i32_array();
+      if (!indptr.ok()) return indptr.error();
+      auto indices = dec.get_i32_array();
+      if (!indices.ok()) return indices.error();
+      auto values = dec.get_f64_array();
+      if (!values.ok()) return values.error();
+      auto csr = linalg::CsrMatrix::from_csr(rows.value(), cols.value(),
+                                             std::move(indptr).value(),
+                                             std::move(indices).value(),
+                                             std::move(values).value());
+      if (!csr.ok()) {
+        return make_error(ErrorCode::kProtocol,
+                          "invalid CSR payload: " + csr.error().message);
+      }
+      return DataObject(std::move(csr).value());
+    }
+  }
+  return make_error(ErrorCode::kProtocol, "unknown data object tag");
+}
+
+bool operator==(const DataObject& a, const DataObject& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case DataType::kInt: return a.as_int() == b.as_int();
+    case DataType::kDouble: return a.as_double() == b.as_double();
+    case DataType::kString: return a.as_string() == b.as_string();
+    case DataType::kVector: return a.as_vector() == b.as_vector();
+    case DataType::kMatrix:
+      return a.as_matrix().rows() == b.as_matrix().rows() &&
+             a.as_matrix().cols() == b.as_matrix().cols() &&
+             a.as_matrix().storage() == b.as_matrix().storage();
+    case DataType::kSparse:
+      return a.as_sparse().rows() == b.as_sparse().rows() &&
+             a.as_sparse().cols() == b.as_sparse().cols() &&
+             a.as_sparse().indptr() == b.as_sparse().indptr() &&
+             a.as_sparse().indices() == b.as_sparse().indices() &&
+             a.as_sparse().values() == b.as_sparse().values();
+  }
+  return false;
+}
+
+void encode_args(serial::Encoder& enc, const std::vector<DataObject>& args) {
+  enc.put_u32(static_cast<std::uint32_t>(args.size()));
+  for (const auto& arg : args) arg.encode(enc);
+}
+
+Result<std::vector<DataObject>> decode_args(serial::Decoder& dec) {
+  auto count = dec.get_u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > 4096) {
+    return make_error(ErrorCode::kProtocol, "too many arguments");
+  }
+  std::vector<DataObject> args;
+  args.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto arg = DataObject::decode(dec);
+    if (!arg.ok()) return arg.error();
+    args.push_back(std::move(arg).value());
+  }
+  return args;
+}
+
+std::size_t args_byte_size(const std::vector<DataObject>& args) noexcept {
+  std::size_t total = 4;
+  for (const auto& arg : args) total += arg.byte_size();
+  return total;
+}
+
+}  // namespace ns::dsl

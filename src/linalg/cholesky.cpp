@@ -1,0 +1,63 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace ns::linalg {
+
+Result<CholeskyFactorization> CholeskyFactorization::factor(const Matrix& a) {
+  if (!a.square()) {
+    return make_error(ErrorCode::kBadArguments, "Cholesky requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return make_error(ErrorCode::kExecutionFailed, "matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return CholeskyFactorization(std::move(l));
+}
+
+Result<Vector> CholeskyFactorization::solve(const Vector& b) const {
+  const std::size_t n = order();
+  if (b.size() != n) {
+    return make_error(ErrorCode::kBadArguments, "rhs size mismatch");
+  }
+  Vector y(n);
+  // L y = b (forward).
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  // L^T x = y (backward).
+  Vector x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * x[k];
+    x[i] = sum / l_(i, i);
+  }
+  return x;
+}
+
+Result<Vector> dposv(const Matrix& a, const Vector& b) {
+  auto chol = CholeskyFactorization::factor(a);
+  if (!chol.ok()) return chol.error();
+  return chol.value().solve(b);
+}
+
+double cholesky_flops(std::size_t n) noexcept {
+  const double nd = static_cast<double>(n);
+  return nd * nd * nd / 3.0 + 2.0 * nd * nd;
+}
+
+}  // namespace ns::linalg

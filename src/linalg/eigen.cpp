@@ -1,0 +1,144 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.hpp"
+
+namespace ns::linalg {
+
+namespace {
+
+double offdiag_norm(const Matrix& a) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      if (i != j) sum += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+bool is_symmetric(const Matrix& a, double rel_tol = 1e-10) {
+  const double scale = a.max_abs() + 1e-300;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (std::abs(a(i, j) - a(j, i)) > rel_tol * scale) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<EigenDecomposition> jacobi_eigen(const Matrix& input, double tol,
+                                        std::size_t max_sweeps) {
+  if (!input.square()) {
+    return make_error(ErrorCode::kBadArguments, "eigensolver requires a square matrix");
+  }
+  if (!is_symmetric(input)) {
+    return make_error(ErrorCode::kBadArguments, "eigensolver requires a symmetric matrix");
+  }
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+  const double threshold = tol * (a.frobenius_norm() + 1e-300);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (offdiag_norm(a) <= threshold) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= threshold / static_cast<double>(n * n)) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Rotate rows/columns p and q of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](std::size_t x, std::size_t y) { return a(x, x) < a(y, y); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+Result<PowerIterationResult> power_iteration(const Matrix& a, Rng& rng, double tol,
+                                             std::size_t max_iters) {
+  if (!a.square()) {
+    return make_error(ErrorCode::kBadArguments, "power iteration requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  if (n == 0) {
+    return make_error(ErrorCode::kBadArguments, "empty matrix");
+  }
+  PowerIterationResult result;
+  Vector x = random_vector(n, rng);
+  double norm = nrm2(x);
+  scal(1.0 / norm, x);
+
+  Vector y(n);
+  double lambda_prev = 0.0;
+  for (std::size_t it = 1; it <= max_iters; ++it) {
+    gemv(1.0, a, x, 0.0, y);
+    const double lambda = dot(x, y);  // Rayleigh quotient
+    norm = nrm2(y);
+    if (norm == 0.0) {
+      return make_error(ErrorCode::kExecutionFailed, "power iteration hit the null space");
+    }
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+    result.iterations = it;
+    if (it > 1 && std::abs(lambda - lambda_prev) <= tol * std::max(1.0, std::abs(lambda))) {
+      result.eigenvalue = lambda;
+      result.converged = true;
+      break;
+    }
+    lambda_prev = lambda;
+    result.eigenvalue = lambda;
+  }
+  result.eigenvector = std::move(x);
+  return result;
+}
+
+double jacobi_flops(std::size_t n) noexcept {
+  const double nd = static_cast<double>(n);
+  return 6.0 * nd * nd * nd;
+}
+
+}  // namespace ns::linalg

@@ -1,0 +1,37 @@
+// Symmetric eigensolvers: cyclic Jacobi for full spectra (`dsyev` analogue)
+// and power iteration for the dominant pair.
+#pragma once
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ns::linalg {
+
+struct EigenDecomposition {
+  Vector values;    // ascending
+  Matrix vectors;   // column j pairs with values[j]
+};
+
+/// Full eigendecomposition of a symmetric matrix by the cyclic Jacobi
+/// method; converges quadratically for symmetric input. `tol` bounds the
+/// off-diagonal Frobenius mass relative to the matrix norm.
+Result<EigenDecomposition> jacobi_eigen(const Matrix& a, double tol = 1e-12,
+                                        std::size_t max_sweeps = 64);
+
+struct PowerIterationResult {
+  double eigenvalue = 0.0;
+  Vector eigenvector;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Dominant eigenpair by normalized power iteration with Rayleigh quotient
+/// estimates.
+Result<PowerIterationResult> power_iteration(const Matrix& a, Rng& rng, double tol = 1e-10,
+                                             std::size_t max_iters = 5000);
+
+/// Approximate flops of a Jacobi eigensolve (sweeps * 6 n^3 is a reasonable
+/// planning figure; used only by the scheduler's complexity model).
+double jacobi_flops(std::size_t n) noexcept;
+
+}  // namespace ns::linalg

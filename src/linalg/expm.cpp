@@ -1,0 +1,85 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+
+namespace ns::linalg {
+
+namespace {
+
+/// Infinity norm (max absolute row sum).
+double inf_norm(const Matrix& a) {
+  double best = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < a.cols(); ++j) row += std::abs(a(i, j));
+    best = std::max(best, row);
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<Matrix> expm(const Matrix& a) {
+  if (!a.square()) {
+    return make_error(ErrorCode::kBadArguments, "expm requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  if (n == 0) {
+    return make_error(ErrorCode::kBadArguments, "expm: empty matrix");
+  }
+
+  // Scale A by 2^-s so ||A/2^s|| <= 0.5, apply the Padé approximant, then
+  // square the result s times.
+  const double norm = inf_norm(a);
+  int s = 0;
+  if (norm > 0.5) {
+    s = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+  }
+  const double scale = std::ldexp(1.0, -s);  // 2^-s
+  Matrix x = a;
+  scal(scale, x.storage());
+
+  // [6/6] Padé: N(x)/D(x) with coefficients c_k = c_{k-1} * (q-k+1)/(k(2q-k+1)).
+  constexpr int q = 6;
+  Matrix numerator = Matrix::identity(n);
+  Matrix denominator = Matrix::identity(n);
+  Matrix power = Matrix::identity(n);
+  double c = 1.0;
+  for (int k = 1; k <= q; ++k) {
+    c *= static_cast<double>(q - k + 1) / static_cast<double>(k * (2 * q - k + 1));
+    power = matmul(power, x);
+    // numerator += c * power; denominator += (-1)^k c * power.
+    axpy(c, power.storage(), numerator.storage());
+    axpy((k % 2 == 0) ? c : -c, power.storage(), denominator.storage());
+  }
+
+  // R = D^-1 N via LU solve with the columns of N.
+  auto lu = LuFactorization::factor(denominator);
+  if (!lu.ok()) {
+    return make_error(ErrorCode::kExecutionFailed, "expm: Pade denominator singular");
+  }
+  auto r = lu.value().solve(numerator);
+  if (!r.ok()) return r.error();
+
+  Matrix result = std::move(r).value();
+  for (int i = 0; i < s; ++i) result = matmul(result, result);
+  return result;
+}
+
+Result<Vector> expm_apply(const Matrix& a, double t, const Vector& x0) {
+  if (x0.size() != a.rows()) {
+    return make_error(ErrorCode::kBadArguments, "expm_apply: size mismatch");
+  }
+  Matrix ta = a;
+  scal(t, ta.storage());
+  auto e = expm(ta);
+  if (!e.ok()) return e.error();
+  Vector out(x0.size(), 0.0);
+  gemv(1.0, e.value(), x0, 0.0, out);
+  return out;
+}
+
+}  // namespace ns::linalg

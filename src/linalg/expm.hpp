@@ -1,0 +1,17 @@
+// Matrix exponential by scaling-and-squaring with a Padé approximant —
+// the `expm` catalogue problem (linear ODE propagators exp(tA)).
+#pragma once
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ns::linalg {
+
+/// e^A for a square matrix, via the [6/6] Padé approximant with scaling and
+/// squaring. Accurate to ~1e-12 relative for well-scaled inputs.
+Result<Matrix> expm(const Matrix& a);
+
+/// Propagate x(t) = exp(t A) x0 (dense A; convenience for ODE examples).
+Result<Vector> expm_apply(const Matrix& a, double t, const Vector& x0);
+
+}  // namespace ns::linalg

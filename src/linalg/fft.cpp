@@ -1,0 +1,114 @@
+#include "linalg/fft.hpp"
+
+#include <cmath>
+
+namespace ns::linalg {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+bool is_power_of_two(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Status fft_inplace(Vector& re, Vector& im, bool inverse) {
+  const std::size_t n = re.size();
+  if (im.size() != n) {
+    return make_error(ErrorCode::kBadArguments, "fft: re/im length mismatch");
+  }
+  if (!is_power_of_two(n)) {
+    return make_error(ErrorCode::kBadArguments, "fft: length must be a power of two");
+  }
+  if (n == 1) return ok_status();
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+
+  // Iterative Cooley-Tukey butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const double w_re = std::cos(angle);
+    const double w_im = std::sin(angle);
+    for (std::size_t start = 0; start < n; start += len) {
+      double cur_re = 1.0, cur_im = 0.0;
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::size_t a = start + k;
+        const std::size_t b = start + k + len / 2;
+        const double tr = re[b] * cur_re - im[b] * cur_im;
+        const double ti = re[b] * cur_im + im[b] * cur_re;
+        re[b] = re[a] - tr;
+        im[b] = im[a] - ti;
+        re[a] += tr;
+        im[a] += ti;
+        const double next_re = cur_re * w_re - cur_im * w_im;
+        cur_im = cur_re * w_im + cur_im * w_re;
+        cur_re = next_re;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      re[i] *= scale;
+      im[i] *= scale;
+    }
+  }
+  return ok_status();
+}
+
+Result<std::pair<Vector, Vector>> fft(const Vector& re, const Vector& im) {
+  Vector r = re, i = im;
+  NS_RETURN_IF_ERROR(fft_inplace(r, i, /*inverse=*/false));
+  return std::make_pair(std::move(r), std::move(i));
+}
+
+Result<std::pair<Vector, Vector>> ifft(const Vector& re, const Vector& im) {
+  Vector r = re, i = im;
+  NS_RETURN_IF_ERROR(fft_inplace(r, i, /*inverse=*/true));
+  return std::make_pair(std::move(r), std::move(i));
+}
+
+Result<Vector> convolve(const Vector& x, const Vector& y) {
+  if (x.empty() || y.empty()) {
+    return make_error(ErrorCode::kBadArguments, "convolve: empty input");
+  }
+  const std::size_t out_len = x.size() + y.size() - 1;
+  const std::size_t n = next_power_of_two(out_len);
+
+  Vector xr(n, 0.0), xi(n, 0.0), yr(n, 0.0), yi(n, 0.0);
+  std::copy(x.begin(), x.end(), xr.begin());
+  std::copy(y.begin(), y.end(), yr.begin());
+  NS_RETURN_IF_ERROR(fft_inplace(xr, xi));
+  NS_RETURN_IF_ERROR(fft_inplace(yr, yi));
+  // Pointwise complex product.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pr = xr[i] * yr[i] - xi[i] * yi[i];
+    const double pi = xr[i] * yi[i] + xi[i] * yr[i];
+    xr[i] = pr;
+    xi[i] = pi;
+  }
+  NS_RETURN_IF_ERROR(fft_inplace(xr, xi, /*inverse=*/true));
+  xr.resize(out_len);
+  return xr;
+}
+
+double fft_flops(std::size_t n) noexcept {
+  if (n < 2) return 1.0;
+  return 5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+}
+
+}  // namespace ns::linalg

@@ -1,0 +1,33 @@
+// Radix-2 FFT and FFT-based convolution — the signal-processing corner of
+// the server catalogue (NetSolve-era problem sets exposed FFTPACK-style
+// transforms alongside the dense solvers).
+#pragma once
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ns::linalg {
+
+/// In-place complex FFT over separate real/imaginary arrays.
+/// Length must be a power of two (>= 1). `inverse` applies the 1/N-scaled
+/// inverse transform.
+Status fft_inplace(Vector& re, Vector& im, bool inverse = false);
+
+/// Out-of-place convenience wrappers.
+Result<std::pair<Vector, Vector>> fft(const Vector& re, const Vector& im);
+Result<std::pair<Vector, Vector>> ifft(const Vector& re, const Vector& im);
+
+/// Linear convolution of two real signals via zero-padded FFT.
+/// Result length is x.size() + y.size() - 1.
+Result<Vector> convolve(const Vector& x, const Vector& y);
+
+/// True if n is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n) noexcept;
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n) noexcept;
+
+/// Flops of an n-point FFT (5 n log2 n, the classic planning figure).
+double fft_flops(std::size_t n) noexcept;
+
+}  // namespace ns::linalg

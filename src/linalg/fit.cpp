@@ -1,0 +1,97 @@
+#include "linalg/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/qr.hpp"
+#include "linalg/tridiag.hpp"
+
+namespace ns::linalg {
+
+Result<Vector> polyfit(const Vector& x, const Vector& y, std::size_t degree) {
+  if (x.size() != y.size()) {
+    return make_error(ErrorCode::kBadArguments, "x/y size mismatch");
+  }
+  if (x.size() < degree + 1) {
+    return make_error(ErrorCode::kBadArguments, "not enough points for degree");
+  }
+  // Vandermonde least squares via QR (numerically safer than the normal
+  // equations for the moderate degrees the servers accept).
+  const std::size_t m = x.size();
+  const std::size_t n = degree + 1;
+  Matrix v(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    double p = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      v(i, j) = p;
+      p *= x[i];
+    }
+  }
+  return dgels(v, y);
+}
+
+double polyval(const Vector& coeffs, double x) noexcept {
+  double acc = 0.0;
+  for (std::size_t k = coeffs.size(); k-- > 0;) acc = acc * x + coeffs[k];
+  return acc;
+}
+
+Result<CubicSpline> CubicSpline::fit(Vector x, Vector y) {
+  const std::size_t n = x.size();
+  if (n != y.size()) {
+    return make_error(ErrorCode::kBadArguments, "x/y size mismatch");
+  }
+  if (n < 2) {
+    return make_error(ErrorCode::kBadArguments, "spline needs at least 2 knots");
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (!(x[i] < x[i + 1])) {
+      return make_error(ErrorCode::kBadArguments, "knots must be strictly increasing");
+    }
+  }
+  if (n == 2) {
+    return CubicSpline(std::move(x), std::move(y), Vector(2, 0.0));
+  }
+
+  // Natural spline: second derivatives m satisfy a tridiagonal system over
+  // the interior knots; m_0 = m_{n-1} = 0.
+  const std::size_t interior = n - 2;
+  Vector sub(interior - 1 > 0 ? interior - 1 : 0);
+  Vector diag(interior);
+  Vector super(interior - 1 > 0 ? interior - 1 : 0);
+  Vector rhs(interior);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double h_prev = x[i] - x[i - 1];
+    const double h_next = x[i + 1] - x[i];
+    const std::size_t r = i - 1;
+    diag[r] = 2.0 * (h_prev + h_next);
+    if (r > 0) sub[r - 1] = h_prev;
+    if (r + 1 < interior) super[r] = h_next;
+    rhs[r] = 6.0 * ((y[i + 1] - y[i]) / h_next - (y[i] - y[i - 1]) / h_prev);
+  }
+  auto interior_m = solve_tridiagonal(sub, diag, super, rhs);
+  if (!interior_m.ok()) return interior_m.error();
+
+  Vector m(n, 0.0);
+  std::copy(interior_m.value().begin(), interior_m.value().end(), m.begin() + 1);
+  return CubicSpline(std::move(x), std::move(y), std::move(m));
+}
+
+double CubicSpline::operator()(double t) const noexcept {
+  const std::size_t n = x_.size();
+  // Locate the interval [x_i, x_{i+1}] containing t (clamped).
+  std::size_t i = 0;
+  if (t >= x_[n - 2]) {
+    i = n - 2;
+  } else if (t > x_[0]) {
+    const auto it = std::upper_bound(x_.begin(), x_.end(), t);
+    i = static_cast<std::size_t>(it - x_.begin()) - 1;
+  }
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - t) / h;
+  const double b = (t - x_[i]) / h;
+  return a * y_[i] + b * y_[i + 1] +
+         ((a * a * a - a) * m_[i] + (b * b * b - b) * m_[i + 1]) * h * h / 6.0;
+}
+
+}  // namespace ns::linalg

@@ -1,0 +1,34 @@
+// Curve fitting — the FitPack role in the server catalogue: polynomial
+// least-squares fits and natural cubic spline interpolation.
+#pragma once
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ns::linalg {
+
+/// Least-squares polynomial fit of the given degree; returns coefficients
+/// c[0..degree] with p(x) = sum_k c[k] x^k. Needs at least degree+1 points.
+Result<Vector> polyfit(const Vector& x, const Vector& y, std::size_t degree);
+
+/// Evaluate a polynomial (Horner).
+double polyval(const Vector& coeffs, double x) noexcept;
+
+/// Natural cubic spline through (x, y); x strictly increasing.
+class CubicSpline {
+ public:
+  static Result<CubicSpline> fit(Vector x, Vector y);
+
+  /// Evaluate at `t` (clamped extrapolation outside the knot range).
+  double operator()(double t) const noexcept;
+
+  std::size_t knots() const noexcept { return x_.size(); }
+
+ private:
+  CubicSpline(Vector x, Vector y, Vector m) : x_(std::move(x)), y_(std::move(y)), m_(std::move(m)) {}
+  Vector x_;  // knot abscissae
+  Vector y_;  // knot values
+  Vector m_;  // second derivatives at knots
+};
+
+}  // namespace ns::linalg

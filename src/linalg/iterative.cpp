@@ -1,0 +1,166 @@
+#include "linalg/iterative.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace ns::linalg {
+
+namespace {
+
+Status check_system(const CsrMatrix& a, const Vector& b) {
+  if (a.rows() != a.cols()) {
+    return make_error(ErrorCode::kBadArguments, "iterative solver requires a square matrix");
+  }
+  if (b.size() != a.rows()) {
+    return make_error(ErrorCode::kBadArguments, "rhs size mismatch");
+  }
+  if (a.rows() == 0) {
+    return make_error(ErrorCode::kBadArguments, "empty system");
+  }
+  return ok_status();
+}
+
+}  // namespace
+
+Result<IterativeResult> conjugate_gradient(const CsrMatrix& a, const Vector& b,
+                                           const IterativeOptions& opts) {
+  NS_RETURN_IF_ERROR(check_system(a, b));
+  const std::size_t n = b.size();
+  const double b_norm = nrm2(b);
+  IterativeResult result;
+  result.x.assign(n, 0.0);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  Vector r = b;            // r = b - A*0
+  Vector p = r;
+  Vector ap(n);
+  double rs_old = dot(r, r);
+
+  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double p_ap = dot(p, ap);
+    if (p_ap <= 0.0) {
+      return make_error(ErrorCode::kExecutionFailed,
+                        "CG breakdown: matrix not positive definite");
+    }
+    const double alpha = rs_old / p_ap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    const double rs_new = dot(r, r);
+    result.iterations = it;
+    result.residual = std::sqrt(rs_new) / b_norm;
+    if (result.residual <= opts.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    const double beta = rs_new / rs_old;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+  }
+  return result;  // not converged; caller inspects the flag
+}
+
+Result<IterativeResult> jacobi_solve(const CsrMatrix& a, const Vector& b,
+                                     const IterativeOptions& opts) {
+  NS_RETURN_IF_ERROR(check_system(a, b));
+  const std::size_t n = b.size();
+  const Vector diag = a.diagonal();
+  for (const double d : diag) {
+    if (d == 0.0) {
+      return make_error(ErrorCode::kExecutionFailed, "Jacobi requires nonzero diagonal");
+    }
+  }
+  const double b_norm = nrm2(b);
+  IterativeResult result;
+  result.x.assign(n, 0.0);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  Vector x_new(n);
+  Vector ax(n);
+  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    a.multiply(result.x, ax);
+    for (std::size_t i = 0; i < n; ++i) {
+      // x_i' = x_i + (b_i - (A x)_i) / a_ii
+      x_new[i] = result.x[i] + (b[i] - ax[i]) / diag[i];
+    }
+    result.x.swap(x_new);
+    a.multiply(result.x, ax);
+    double r_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = b[i] - ax[i];
+      r_norm += r * r;
+    }
+    result.iterations = it;
+    result.residual = std::sqrt(r_norm) / b_norm;
+    if (result.residual <= opts.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+Result<IterativeResult> sor_solve(const CsrMatrix& a, const Vector& b,
+                                  const IterativeOptions& opts) {
+  NS_RETURN_IF_ERROR(check_system(a, b));
+  if (opts.omega <= 0.0 || opts.omega >= 2.0) {
+    return make_error(ErrorCode::kBadArguments, "SOR omega must be in (0, 2)");
+  }
+  const std::size_t n = b.size();
+  const Vector diag = a.diagonal();
+  for (const double d : diag) {
+    if (d == 0.0) {
+      return make_error(ErrorCode::kExecutionFailed, "SOR requires nonzero diagonal");
+    }
+  }
+  const double b_norm = nrm2(b);
+  IterativeResult result;
+  result.x.assign(n, 0.0);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  const auto& indptr = a.indptr();
+  const auto& indices = a.indices();
+  const auto& values = a.values();
+  Vector ax(n);
+
+  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double sigma = 0.0;
+      for (std::int32_t k = indptr[i]; k < indptr[i + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(indices[static_cast<std::size_t>(k)]);
+        if (j != i) sigma += values[static_cast<std::size_t>(k)] * result.x[j];
+      }
+      const double gs = (b[i] - sigma) / diag[i];
+      result.x[i] = (1.0 - opts.omega) * result.x[i] + opts.omega * gs;
+    }
+    a.multiply(result.x, ax);
+    double r_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = b[i] - ax[i];
+      r_norm += r * r;
+    }
+    result.iterations = it;
+    result.residual = std::sqrt(r_norm) / b_norm;
+    if (result.residual <= opts.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+double cg_flops_per_iteration(std::size_t n, std::size_t nnz) noexcept {
+  return 2.0 * static_cast<double>(nnz) + 10.0 * static_cast<double>(n);
+}
+
+}  // namespace ns::linalg

@@ -1,0 +1,41 @@
+// Iterative solvers for sparse systems — the ITPACK role in the server
+// catalogue: conjugate gradients for SPD systems, plus classic Jacobi and
+// SOR sweeps.
+#pragma once
+
+#include "common/error.hpp"
+#include "linalg/sparse.hpp"
+
+namespace ns::linalg {
+
+struct IterativeOptions {
+  double tolerance = 1e-10;     // relative residual target ||r|| / ||b||
+  std::size_t max_iterations = 10000;
+  double omega = 1.5;           // SOR relaxation factor (1 = Gauss-Seidel)
+};
+
+struct IterativeResult {
+  Vector x;
+  std::size_t iterations = 0;
+  double residual = 0.0;        // final relative residual
+  bool converged = false;
+};
+
+/// Conjugate gradients; requires A symmetric positive definite.
+Result<IterativeResult> conjugate_gradient(const CsrMatrix& a, const Vector& b,
+                                           const IterativeOptions& opts = {});
+
+/// Jacobi iteration; requires nonzero diagonal (converges for strictly
+/// diagonally dominant A).
+Result<IterativeResult> jacobi_solve(const CsrMatrix& a, const Vector& b,
+                                     const IterativeOptions& opts = {});
+
+/// Successive over-relaxation (omega = 1 gives Gauss–Seidel).
+Result<IterativeResult> sor_solve(const CsrMatrix& a, const Vector& b,
+                                  const IterativeOptions& opts = {});
+
+/// Flops per CG iteration on a matrix with `nnz` stored entries and order n
+/// (2 nnz for the matvec + ~10 n vector work).
+double cg_flops_per_iteration(std::size_t n, std::size_t nnz) noexcept;
+
+}  // namespace ns::linalg

@@ -1,0 +1,114 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+namespace ns::linalg {
+
+Result<LuFactorization> LuFactorization::factor(Matrix a) {
+  if (!a.square()) {
+    return make_error(ErrorCode::kBadArguments, "LU requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  std::vector<int> pivots(n);
+  int sign = 1;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |a_ik| for i >= k.
+    std::size_t p = k;
+    double p_abs = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(a(i, k));
+      if (v > p_abs) {
+        p_abs = v;
+        p = i;
+      }
+    }
+    pivots[k] = static_cast<int>(p);
+    if (p_abs == 0.0) {
+      return make_error(ErrorCode::kExecutionFailed, "matrix is singular");
+    }
+    if (p != k) {
+      sign = -sign;
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
+    }
+    const double pivot = a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) a(i, k) /= pivot;
+    // Rank-1 trailing update, column-wise for locality.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const double akj = a(k, j);
+      if (akj == 0.0) continue;
+      double* col = a.col(j);
+      const double* lcol = a.col(k);
+      for (std::size_t i = k + 1; i < n; ++i) col[i] -= lcol[i] * akj;
+    }
+  }
+  return LuFactorization(std::move(a), std::move(pivots), sign);
+}
+
+Result<Vector> LuFactorization::solve(const Vector& b) const {
+  const std::size_t n = order();
+  if (b.size() != n) {
+    return make_error(ErrorCode::kBadArguments, "rhs size mismatch");
+  }
+  Vector x(b);
+  // Apply row permutations.
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto p = static_cast<std::size_t>(pivots_[k]);
+    if (p != k) std::swap(x[k], x[p]);
+  }
+  // Forward substitution with unit lower triangle.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double xk = x[k];
+    if (xk == 0.0) continue;
+    const double* col = lu_.col(k);
+    for (std::size_t i = k + 1; i < n; ++i) x[i] -= col[i] * xk;
+  }
+  // Back substitution with U.
+  for (std::size_t k = n; k-- > 0;) {
+    x[k] /= lu_(k, k);
+    const double xk = x[k];
+    if (xk == 0.0) continue;
+    const double* col = lu_.col(k);
+    for (std::size_t i = 0; i < k; ++i) x[i] -= col[i] * xk;
+  }
+  return x;
+}
+
+Result<Matrix> LuFactorization::solve(const Matrix& b) const {
+  if (b.rows() != order()) {
+    return make_error(ErrorCode::kBadArguments, "rhs rows mismatch");
+  }
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    Vector column(b.col(j), b.col(j) + b.rows());
+    auto solved = solve(column);
+    if (!solved.ok()) return solved.error();
+    std::copy(solved.value().begin(), solved.value().end(), x.col(j));
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const noexcept {
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < order(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Result<Vector> dgesv(const Matrix& a, const Vector& b) {
+  auto lu = LuFactorization::factor(a);
+  if (!lu.ok()) return lu.error();
+  return lu.value().solve(b);
+}
+
+Result<Matrix> dgesv(const Matrix& a, const Matrix& b) {
+  auto lu = LuFactorization::factor(a);
+  if (!lu.ok()) return lu.error();
+  return lu.value().solve(b);
+}
+
+double lu_flops(std::size_t n) noexcept {
+  const double nd = static_cast<double>(n);
+  return (2.0 / 3.0) * nd * nd * nd + 2.0 * nd * nd;
+}
+
+}  // namespace ns::linalg

@@ -1,0 +1,103 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ns::linalg {
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double sum = 0.0;
+  for (const double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, Rng& rng, double lo, double hi) {
+  Matrix out(rows, cols);
+  for (double& v : out.data_) v = rng.uniform(lo, hi);
+  return out;
+}
+
+Matrix Matrix::random_spd(std::size_t n, Rng& rng) {
+  const Matrix b = random(n, n, rng);
+  Matrix out(n, n);
+  // A = B^T B + n*I — symmetric by construction, strictly positive definite.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i <= j; ++i) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) sum += b(k, i) * b(k, j);
+      out(i, j) = sum;
+      out(j, i) = sum;
+    }
+    out(j, j) += static_cast<double>(n);
+  }
+  return out;
+}
+
+Matrix Matrix::random_diag_dominant(std::size_t n, Rng& rng) {
+  Matrix out = random(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row_sum += std::abs(out(i, j));
+    out(i, i) = row_sum + 1.0;
+  }
+  return out;
+}
+
+std::string Matrix::to_string(std::size_t max_dim) const {
+  std::ostringstream out;
+  const std::size_t r = std::min(rows_, max_dim);
+  const std::size_t c = std::min(cols_, max_dim);
+  out << rows_ << "x" << cols_ << " [\n";
+  for (std::size_t i = 0; i < r; ++i) {
+    out << "  ";
+    for (std::size_t j = 0; j < c; ++j) out << (*this)(i, j) << " ";
+    if (c < cols_) out << "...";
+    out << "\n";
+  }
+  if (r < rows_) out << "  ...\n";
+  out << "]";
+  return out.str();
+}
+
+double max_abs_diff(const Vector& x, const Vector& y) noexcept {
+  assert(x.size() == y.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, std::abs(x[i] - y[i]));
+  return m;
+}
+
+double max_abs_diff(const Matrix& x, const Matrix& y) noexcept {
+  assert(x.same_shape(y));
+  return max_abs_diff(x.storage(), y.storage());
+}
+
+Vector random_vector(std::size_t n, Rng& rng, double lo, double hi) {
+  Vector out(n);
+  for (double& v : out) v = rng.uniform(lo, hi);
+  return out;
+}
+
+}  // namespace ns::linalg

@@ -1,0 +1,88 @@
+// Dense matrix/vector types for the numerical substrate.
+//
+// Storage is column-major (Fortran/LAPACK convention) since the problems the
+// servers expose are LAPACK-shaped; (i, j) indexing is bounds-checked in
+// debug builds via assert only, keeping the kernels tight in release.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ns::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::size_t rows, std::size_t cols, Vector data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  bool square() const noexcept { return rows_ == cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) noexcept {
+    assert(i < rows_ && j < cols_);
+    return data_[j * rows_ + i];
+  }
+  double operator()(std::size_t i, std::size_t j) const noexcept {
+    assert(i < rows_ && j < cols_);
+    return data_[j * rows_ + i];
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+  Vector& storage() noexcept { return data_; }
+  const Vector& storage() const noexcept { return data_; }
+
+  /// Column pointer (contiguous in column-major layout).
+  double* col(std::size_t j) noexcept { return data_.data() + j * rows_; }
+  const double* col(std::size_t j) const noexcept { return data_.data() + j * rows_; }
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const noexcept;
+
+  /// Max |a_ij| (for relative comparisons).
+  double max_abs() const noexcept;
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  static Matrix identity(std::size_t n);
+  static Matrix random(std::size_t rows, std::size_t cols, Rng& rng, double lo = -1.0,
+                       double hi = 1.0);
+  /// Random symmetric positive definite: A = B^T B + n·I, well conditioned.
+  static Matrix random_spd(std::size_t n, Rng& rng);
+  /// Random diagonally dominant (guaranteed nonsingular, mild conditioning).
+  static Matrix random_diag_dominant(std::size_t n, Rng& rng);
+
+  /// Debug pretty-printer (small matrices only).
+  std::string to_string(std::size_t max_dim = 8) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vector data_;
+};
+
+/// Elementwise max |x_i - y_i|; sizes must match.
+double max_abs_diff(const Vector& x, const Vector& y) noexcept;
+double max_abs_diff(const Matrix& x, const Matrix& y) noexcept;
+
+Vector random_vector(std::size_t n, Rng& rng, double lo = -1.0, double hi = 1.0);
+
+}  // namespace ns::linalg

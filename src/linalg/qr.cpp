@@ -1,0 +1,101 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+namespace ns::linalg {
+
+Result<QrFactorization> QrFactorization::factor(Matrix a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) {
+    return make_error(ErrorCode::kBadArguments, "QR requires rows >= cols");
+  }
+  Vector tau(n, 0.0);
+  // Rank-deficiency threshold: a reflector column whose remaining norm has
+  // collapsed below eps * the matrix scale means a (numerically) dependent
+  // column; refuse rather than divide by round-off.
+  const double rank_tol = 1e-12 * a.max_abs();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder reflector annihilating a(k+1..m-1, k).
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += a(i, k) * a(i, k);
+    norm = std::sqrt(norm);
+    if (norm <= rank_tol) {
+      return make_error(ErrorCode::kExecutionFailed, "rank-deficient matrix in QR");
+    }
+    if (a(k, k) > 0) norm = -norm;  // choose sign to avoid cancellation
+    for (std::size_t i = k; i < m; ++i) a(i, k) /= norm;
+    a(k, k) += 1.0;
+    tau[k] = a(k, k);  // v_k(k); reflector H = I - (v v^T)/v_k(k)
+
+    // Apply the reflector to the trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += a(i, k) * a(i, j);
+      s = -s / a(k, k);
+      for (std::size_t i = k; i < m; ++i) a(i, j) += s * a(i, k);
+    }
+    // Compact layout (LINPACK dqrdc style): the reflector tail v_k(i), i > k
+    // stays below the diagonal, its head v_k(k) moves to tau_[k], and the
+    // diagonal slot takes R(k, k) = -norm. Applying H_k to x is then
+    // s = -(v_k . x) / v_k(k); x += s * v_k.
+    a(k, k) = -norm;
+  }
+  return QrFactorization(std::move(a), std::move(tau));
+}
+
+Result<Vector> QrFactorization::apply_qt(const Vector& b) const {
+  const std::size_t m = rows();
+  const std::size_t n = cols();
+  if (b.size() != m) {
+    return make_error(ErrorCode::kBadArguments, "vector length mismatch");
+  }
+  Vector y(b);
+  for (std::size_t k = 0; k < n; ++k) {
+    double s = tau_[k] * y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s = -s / tau_[k];
+    y[k] += s * tau_[k];
+    for (std::size_t i = k + 1; i < m; ++i) y[i] += s * qr_(i, k);
+  }
+  return y;
+}
+
+Result<Vector> QrFactorization::least_squares(const Vector& b) const {
+  const std::size_t n = cols();
+  auto y = apply_qt(b);
+  if (!y.ok()) return y.error();
+  // Back substitution with R.
+  Vector x(y.value().begin(), y.value().begin() + static_cast<std::ptrdiff_t>(n));
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t j = k + 1; j < n; ++j) x[k] -= qr_(k, j) * x[j];
+    if (qr_(k, k) == 0.0) {
+      return make_error(ErrorCode::kExecutionFailed, "singular R in least squares");
+    }
+    x[k] /= qr_(k, k);
+  }
+  return x;
+}
+
+Matrix QrFactorization::r() const {
+  const std::size_t n = cols();
+  Matrix out(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i <= j; ++i) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+Result<Vector> dgels(const Matrix& a, const Vector& b) {
+  auto qr = QrFactorization::factor(a);
+  if (!qr.ok()) return qr.error();
+  return qr.value().least_squares(b);
+}
+
+double qr_flops(std::size_t m, std::size_t n) noexcept {
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  return 2.0 * md * nd * nd - (2.0 / 3.0) * nd * nd * nd + 4.0 * md * nd;
+}
+
+}  // namespace ns::linalg

@@ -1,0 +1,39 @@
+// Householder QR factorization and least-squares solve (`dgels`).
+#pragma once
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ns::linalg {
+
+class QrFactorization {
+ public:
+  /// Factor A (m x n, m >= n) into Q R using Householder reflections stored
+  /// compactly (reflectors below the diagonal, R on/above, scalars in tau).
+  static Result<QrFactorization> factor(Matrix a);
+
+  /// Minimize ||A x - b||_2; returns x of size n.
+  Result<Vector> least_squares(const Vector& b) const;
+
+  /// Explicitly materialize R (n x n upper triangular).
+  Matrix r() const;
+
+  /// Apply Q^T to a vector of length m.
+  Result<Vector> apply_qt(const Vector& b) const;
+
+  std::size_t rows() const noexcept { return qr_.rows(); }
+  std::size_t cols() const noexcept { return qr_.cols(); }
+
+ private:
+  QrFactorization(Matrix qr, Vector tau) : qr_(std::move(qr)), tau_(std::move(tau)) {}
+  Matrix qr_;
+  Vector tau_;
+};
+
+/// LAPACK-style convenience: least-squares solution of A x ~= b.
+Result<Vector> dgels(const Matrix& a, const Vector& b);
+
+/// Flops of an m x n QR least-squares solve (2 m n^2 - 2/3 n^3 + O(mn)).
+double qr_flops(std::size_t m, std::size_t n) noexcept;
+
+}  // namespace ns::linalg

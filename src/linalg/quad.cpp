@@ -1,0 +1,127 @@
+#include "linalg/quad.hpp"
+
+#include <cmath>
+
+#include "linalg/fit.hpp"
+
+namespace ns::linalg {
+
+namespace {
+
+double simpson(double fa, double fm, double fb, double h) {
+  return h / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive_step(const std::function<double(double)>& f, double a, double b, double fa,
+                     double fm, double fb, double whole, double tol, std::size_t depth,
+                     bool& ok) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(fa, flm, fm, m - a);
+  const double right = simpson(fm, frm, fb, b - m);
+  const double delta = left + right - whole;
+  if (std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;  // Richardson correction
+  }
+  if (depth == 0) {
+    ok = false;
+    return left + right;
+  }
+  return adaptive_step(f, a, m, fa, flm, fm, left, tol / 2, depth - 1, ok) +
+         adaptive_step(f, m, b, fm, frm, fb, right, tol / 2, depth - 1, ok);
+}
+
+}  // namespace
+
+Result<double> adaptive_simpson(const std::function<double(double)>& f, double a, double b,
+                                double tol, std::size_t max_depth) {
+  if (!(a < b)) {
+    if (a == b) return 0.0;
+    auto flipped = adaptive_simpson(f, b, a, tol, max_depth);
+    if (!flipped.ok()) return flipped.error();
+    return -flipped.value();
+  }
+  const double fa = f(a);
+  const double fb = f(b);
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  if (!std::isfinite(fa) || !std::isfinite(fm) || !std::isfinite(fb)) {
+    return make_error(ErrorCode::kExecutionFailed, "integrand not finite on [a, b]");
+  }
+  bool ok = true;
+  const double whole = simpson(fa, fm, fb, b - a);
+  const double value = adaptive_step(f, a, b, fa, fm, fb, whole, tol, max_depth, ok);
+  if (!ok) {
+    return make_error(ErrorCode::kExecutionFailed, "quadrature did not converge");
+  }
+  return value;
+}
+
+Result<double> integrate_samples(const Vector& x, const Vector& y) {
+  auto spline = CubicSpline::fit(x, y);
+  if (!spline.ok()) return spline.error();
+  // A cubic is integrated exactly by Simpson on each knot interval.
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double a = x[i];
+    const double b = x[i + 1];
+    const double m = 0.5 * (a + b);
+    total += (b - a) / 6.0 * (y[i] + 4.0 * spline.value()(m) + y[i + 1]);
+  }
+  return total;
+}
+
+Result<Vector> rk4_integrate(const std::function<void(const Vector&, Vector&)>& f, Vector y0,
+                             double dt, std::size_t steps, std::size_t stride) {
+  if (dt <= 0 || !std::isfinite(dt)) {
+    return make_error(ErrorCode::kBadArguments, "rk4: dt must be positive");
+  }
+  if (stride == 0) stride = 1;
+  const std::size_t dim = y0.size();
+  if (dim == 0) {
+    return make_error(ErrorCode::kBadArguments, "rk4: empty state");
+  }
+
+  Vector trajectory;
+  trajectory.reserve((steps / stride + 2) * dim);
+  auto emit = [&trajectory](const Vector& y) {
+    trajectory.insert(trajectory.end(), y.begin(), y.end());
+  };
+  emit(y0);
+
+  Vector k1(dim), k2(dim), k3(dim), k4(dim), tmp(dim);
+  Vector y = std::move(y0);
+  for (std::size_t step = 1; step <= steps; ++step) {
+    f(y, k1);
+    for (std::size_t i = 0; i < dim; ++i) tmp[i] = y[i] + 0.5 * dt * k1[i];
+    f(tmp, k2);
+    for (std::size_t i = 0; i < dim; ++i) tmp[i] = y[i] + 0.5 * dt * k2[i];
+    f(tmp, k3);
+    for (std::size_t i = 0; i < dim; ++i) tmp[i] = y[i] + dt * k3[i];
+    f(tmp, k4);
+    for (std::size_t i = 0; i < dim; ++i) {
+      y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+      if (!std::isfinite(y[i])) {
+        return make_error(ErrorCode::kExecutionFailed, "rk4: state diverged");
+      }
+    }
+    if (step % stride == 0 || step == steps) emit(y);
+  }
+  return trajectory;
+}
+
+Result<Vector> lorenz_trajectory(double sigma, double rho, double beta, double x0, double y0,
+                                 double z0, double dt, std::size_t steps,
+                                 std::size_t stride) {
+  auto rhs = [sigma, rho, beta](const Vector& y, Vector& dy) {
+    dy[0] = sigma * (y[1] - y[0]);
+    dy[1] = y[0] * (rho - y[2]) - y[1];
+    dy[2] = y[0] * y[1] - beta * y[2];
+  };
+  return rk4_integrate(rhs, Vector{x0, y0, z0}, dt, steps, stride);
+}
+
+}  // namespace ns::linalg

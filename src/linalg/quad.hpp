@@ -1,0 +1,33 @@
+// Quadrature and ODE integration — the "numerical recipes" corner of the
+// catalogue (QUADPACK/ODEPACK analogues in NetSolve-era problem sets).
+#pragma once
+
+#include <functional>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ns::linalg {
+
+/// Adaptive Simpson quadrature of f on [a, b] to absolute tolerance `tol`.
+Result<double> adaptive_simpson(const std::function<double(double)>& f, double a, double b,
+                                double tol = 1e-10, std::size_t max_depth = 40);
+
+/// Integral of the natural cubic spline through samples (x, y) over the full
+/// knot range — integration of tabulated data, the remote-friendly form.
+Result<double> integrate_samples(const Vector& x, const Vector& y);
+
+/// Classic RK4 for an autonomous system y' = f(y); fixed step. Returns the
+/// trajectory sampled at every `stride`-th step (including t=0 and the final
+/// state), flattened row-major: [y0(t0), y1(t0), ..., y0(t1), ...].
+Result<Vector> rk4_integrate(const std::function<void(const Vector&, Vector&)>& f,
+                             Vector y0, double dt, std::size_t steps,
+                             std::size_t stride = 1);
+
+/// Lorenz attractor trajectory — the catalogue's concrete ODE problem.
+/// Returns the (x, y, z) trajectory flattened as above.
+Result<Vector> lorenz_trajectory(double sigma, double rho, double beta, double x0, double y0,
+                                 double z0, double dt, std::size_t steps,
+                                 std::size_t stride = 1);
+
+}  // namespace ns::linalg

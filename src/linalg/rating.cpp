@@ -1,0 +1,31 @@
+#include "linalg/rating.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ns::linalg {
+
+Rating linpack_rating(std::size_t n, int repeats) {
+  Rng rng(0x11795);  // fixed seed: every server rates the same matrix
+  const Matrix a = Matrix::random_diag_dominant(n, rng);
+  const Vector b = random_vector(n, rng);
+
+  double best = 1e300;
+  for (int r = 0; r < std::max(repeats, 1); ++r) {
+    const Stopwatch watch;
+    auto x = dgesv(a, b);
+    const double elapsed = watch.elapsed();
+    if (x.ok()) best = std::min(best, elapsed);
+  }
+  Rating rating;
+  rating.order = n;
+  rating.seconds = best;
+  rating.mflops = best > 0 ? lu_flops(n) / best / 1e6 : 0.0;
+  return rating;
+}
+
+}  // namespace ns::linalg

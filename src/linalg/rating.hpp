@@ -1,0 +1,23 @@
+// LINPACK-style performance rating.
+//
+// NetSolve's agent needs a scalar "speed" for every server to feed its
+// completion-time predictor. The original system used the LINPACK benchmark
+// figure of the host; here a server measures itself at startup by timing an
+// LU solve of fixed order and reporting Mflop/s.
+#pragma once
+
+#include <cstddef>
+
+namespace ns::linalg {
+
+struct Rating {
+  double mflops = 0.0;     // measured rate
+  double seconds = 0.0;    // time of the rated solve
+  std::size_t order = 0;   // problem order used
+};
+
+/// Time an order-n LU solve (the LINPACK kernel) and convert to Mflop/s.
+/// `repeats` > 1 reports the fastest trial to shrug off scheduling noise.
+Rating linpack_rating(std::size_t n = 200, int repeats = 3);
+
+}  // namespace ns::linalg

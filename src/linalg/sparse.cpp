@@ -1,0 +1,170 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ns::linalg {
+
+Result<CsrMatrix> CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                           std::vector<Triplet> triplets) {
+  for (const auto& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      return make_error(ErrorCode::kBadArguments, "triplet index out of range");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.indptr_.assign(rows + 1, 0);
+  m.indices_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    while (i < triplets.size() && triplets[i].row == r) {
+      const std::size_t c = triplets[i].col;
+      double v = triplets[i].value;
+      ++i;
+      while (i < triplets.size() && triplets[i].row == r && triplets[i].col == c) {
+        v += triplets[i].value;  // collapse duplicates
+        ++i;
+      }
+      m.indices_.push_back(static_cast<std::int32_t>(c));
+      m.values_.push_back(v);
+    }
+    m.indptr_[r + 1] = static_cast<std::int32_t>(m.indices_.size());
+  }
+  return m;
+}
+
+Result<CsrMatrix> CsrMatrix::from_csr(std::size_t rows, std::size_t cols,
+                                      std::vector<std::int32_t> indptr,
+                                      std::vector<std::int32_t> indices,
+                                      std::vector<double> values) {
+  if (indptr.size() != rows + 1) {
+    return make_error(ErrorCode::kBadArguments, "indptr size must be rows+1");
+  }
+  if (indices.size() != values.size()) {
+    return make_error(ErrorCode::kBadArguments, "indices/values size mismatch");
+  }
+  if (indptr.front() != 0 ||
+      indptr.back() != static_cast<std::int32_t>(indices.size())) {
+    return make_error(ErrorCode::kBadArguments, "indptr endpoints invalid");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (indptr[r] > indptr[r + 1]) {
+      return make_error(ErrorCode::kBadArguments, "indptr not monotone");
+    }
+  }
+  for (const std::int32_t c : indices) {
+    if (c < 0 || static_cast<std::size_t>(c) >= cols) {
+      return make_error(ErrorCode::kBadArguments, "column index out of range");
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.indptr_ = std::move(indptr);
+  m.indices_ = std::move(indices);
+  m.values_ = std::move(values);
+  return m;
+}
+
+void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+  y.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::int32_t k = indptr_[r]; k < indptr_[r + 1]; ++k) {
+      sum += values_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(indices_[static_cast<std::size_t>(k)])];
+    }
+    y[r] = sum;
+  }
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  Vector y;
+  multiply(x, y);
+  return y;
+}
+
+double CsrMatrix::at(std::size_t i, std::size_t j) const noexcept {
+  for (std::int32_t k = indptr_[i]; k < indptr_[i + 1]; ++k) {
+    if (static_cast<std::size_t>(indices_[static_cast<std::size_t>(k)]) == j) {
+      return values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return 0.0;
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector d(rows_, 0.0);
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) d[i] = at(i, i);
+  return d;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::int32_t k = indptr_[r]; k < indptr_[r + 1]; ++k) {
+      out(r, static_cast<std::size_t>(indices_[static_cast<std::size_t>(k)])) +=
+          values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+CsrMatrix poisson_1d(std::size_t n) {
+  std::vector<Triplet> t;
+  t.reserve(3 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) t.push_back({i, i - 1, -1.0});
+    t.push_back({i, i, 2.0});
+    if (i + 1 < n) t.push_back({i, i + 1, -1.0});
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(t)).value();
+}
+
+CsrMatrix poisson_2d(std::size_t nx, std::size_t ny) {
+  const std::size_t n = nx * ny;
+  std::vector<Triplet> t;
+  t.reserve(5 * n);
+  auto id = [nx](std::size_t ix, std::size_t iy) { return iy * nx + ix; };
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t row = id(ix, iy);
+      t.push_back({row, row, 4.0});
+      if (ix > 0) t.push_back({row, id(ix - 1, iy), -1.0});
+      if (ix + 1 < nx) t.push_back({row, id(ix + 1, iy), -1.0});
+      if (iy > 0) t.push_back({row, id(ix, iy - 1), -1.0});
+      if (iy + 1 < ny) t.push_back({row, id(ix, iy + 1), -1.0});
+    }
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(t)).value();
+}
+
+CsrMatrix random_sparse_spd(std::size_t n, std::size_t avg_nnz_per_row, Rng& rng) {
+  std::vector<Triplet> t;
+  t.reserve(n * (avg_nnz_per_row + 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < avg_nnz_per_row / 2 + 1; ++k) {
+      const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (j == i) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      t.push_back({i, j, v});
+      t.push_back({j, i, v});  // keep the pattern and values symmetric
+    }
+  }
+  // Diagonal dominance => SPD for a symmetric matrix.
+  Vector row_sums(n, 0.0);
+  for (const auto& trip : t) row_sums[trip.row] += std::abs(trip.value);
+  for (std::size_t i = 0; i < n; ++i) t.push_back({i, i, row_sums[i] + 1.0});
+  return CsrMatrix::from_triplets(n, n, std::move(t)).value();
+}
+
+}  // namespace ns::linalg

@@ -1,0 +1,74 @@
+// Compressed sparse row matrices and generators — the substrate for the
+// ITPACK-style iterative solvers NetSolve servers exposed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ns::linalg {
+
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from (row, col, value) triplets; duplicates are summed.
+  static Result<CsrMatrix> from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets);
+
+  /// Direct construction from validated CSR arrays.
+  static Result<CsrMatrix> from_csr(std::size_t rows, std::size_t cols,
+                                    std::vector<std::int32_t> indptr,
+                                    std::vector<std::int32_t> indices,
+                                    std::vector<double> values);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nnz() const noexcept { return values_.size(); }
+
+  const std::vector<std::int32_t>& indptr() const noexcept { return indptr_; }
+  const std::vector<std::int32_t>& indices() const noexcept { return indices_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// y = A x
+  void multiply(const Vector& x, Vector& y) const;
+  Vector multiply(const Vector& x) const;
+
+  /// Entry lookup (O(row nnz)); returns 0 for absent entries.
+  double at(std::size_t i, std::size_t j) const noexcept;
+
+  /// Diagonal as a dense vector (0 where no stored entry).
+  Vector diagonal() const;
+
+  /// Dense copy (small matrices, tests only).
+  Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int32_t> indptr_;
+  std::vector<std::int32_t> indices_;
+  std::vector<double> values_;
+};
+
+/// 1-D Poisson operator (tridiagonal [-1, 2, -1]) of order n — SPD.
+CsrMatrix poisson_1d(std::size_t n);
+
+/// 2-D Poisson operator on an (nx x ny) grid with the 5-point stencil — SPD
+/// of order nx*ny.
+CsrMatrix poisson_2d(std::size_t nx, std::size_t ny);
+
+/// Random sparse SPD: symmetric pattern with ~`avg_nnz_per_row` off-diagonal
+/// entries per row, made diagonally dominant.
+CsrMatrix random_sparse_spd(std::size_t n, std::size_t avg_nnz_per_row, Rng& rng);
+
+}  // namespace ns::linalg

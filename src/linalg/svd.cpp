@@ -1,0 +1,117 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ns::linalg {
+
+Result<SvdResult> jacobi_svd(const Matrix& input, double tol, std::size_t max_sweeps) {
+  const std::size_t m = input.rows();
+  const std::size_t n = input.cols();
+  if (m < n) {
+    return make_error(ErrorCode::kBadArguments, "jacobi_svd requires rows >= cols");
+  }
+  if (n == 0) {
+    return make_error(ErrorCode::kBadArguments, "empty matrix");
+  }
+
+  Matrix u = input;  // becomes U * diag(sigma)
+  Matrix v = Matrix::identity(n);
+  const double threshold = tol * input.frobenius_norm() * input.frobenius_norm() + 1e-300;
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries for the column pair (p, q).
+        double app = 0, aqq = 0, apq = 0;
+        const double* cp = u.col(p);
+        const double* cq = u.col(q);
+        for (std::size_t i = 0; i < m; ++i) {
+          app += cp[i] * cp[i];
+          aqq += cq[i] * cq[i];
+          apq += cp[i] * cq[i];
+        }
+        off = std::max(off, std::abs(apq));
+        if (std::abs(apq) <= threshold) continue;
+
+        // Jacobi rotation annihilating the (p, q) Gram entry.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        double* wp = u.col(p);
+        double* wq = u.col(q);
+        for (std::size_t i = 0; i < m; ++i) {
+          const double up = wp[i];
+          const double uq = wq[i];
+          wp[i] = c * up - s * uq;
+          wq[i] = s * up + c * uq;
+        }
+        double* vp = v.col(p);
+        double* vq = v.col(q);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double xp = vp[i];
+          const double xq = vq[i];
+          vp[i] = c * xp - s * xq;
+          vq[i] = s * xp + c * xq;
+        }
+      }
+    }
+    if (off <= threshold) break;
+  }
+
+  // Column norms are the singular values; normalize U's columns.
+  SvdResult result;
+  result.singular_values.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0;
+    const double* col = u.col(j);
+    for (std::size_t i = 0; i < m; ++i) norm += col[i] * col[i];
+    result.singular_values[j] = std::sqrt(norm);
+  }
+
+  // Sort descending, permuting U and V along.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&result](std::size_t a, std::size_t b) {
+    return result.singular_values[a] > result.singular_values[b];
+  });
+
+  SvdResult sorted;
+  sorted.singular_values.resize(n);
+  sorted.u = Matrix(m, n);
+  sorted.v = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    const double sigma = result.singular_values[src];
+    sorted.singular_values[j] = sigma;
+    const double inv = sigma > 0 ? 1.0 / sigma : 0.0;
+    for (std::size_t i = 0; i < m; ++i) sorted.u(i, j) = u(i, src) * inv;
+    for (std::size_t i = 0; i < n; ++i) sorted.v(i, j) = v(i, src);
+  }
+  return sorted;
+}
+
+Result<Vector> singular_values(const Matrix& a) {
+  // For wide matrices, transpose (singular values are invariant).
+  const Matrix& work = a.rows() >= a.cols() ? a : a.transposed();
+  auto svd = jacobi_svd(work.rows() == a.rows() ? a : work);
+  if (!svd.ok()) return svd.error();
+  return std::move(svd.value().singular_values);
+}
+
+Result<double> condition_number(const Matrix& a) {
+  auto sv = singular_values(a);
+  if (!sv.ok()) return sv.error();
+  const double smin = sv.value().back();
+  if (smin <= 0) {
+    return make_error(ErrorCode::kExecutionFailed, "singular matrix (sigma_min = 0)");
+  }
+  return sv.value().front() / smin;
+}
+
+}  // namespace ns::linalg

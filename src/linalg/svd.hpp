@@ -1,0 +1,30 @@
+// Singular value decomposition by the one-sided Jacobi method.
+//
+// Covers the `svd_vals` catalogue problem (condition estimation, low-rank
+// analysis). One-sided Jacobi orthogonalizes the columns of A by plane
+// rotations; column norms converge to the singular values. Accurate for
+// small-to-moderate matrices, which is the catalogue's domain.
+#pragma once
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ns::linalg {
+
+struct SvdResult {
+  Vector singular_values;  // descending
+  Matrix u;                // m x n, orthonormal columns (left vectors)
+  Matrix v;                // n x n, orthogonal (right vectors)
+};
+
+/// Full thin SVD of an m x n matrix with m >= n.
+Result<SvdResult> jacobi_svd(const Matrix& a, double tol = 1e-12,
+                             std::size_t max_sweeps = 60);
+
+/// Singular values only (descending).
+Result<Vector> singular_values(const Matrix& a);
+
+/// 2-norm condition number estimate sigma_max / sigma_min.
+Result<double> condition_number(const Matrix& a);
+
+}  // namespace ns::linalg

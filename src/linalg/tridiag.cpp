@@ -1,0 +1,43 @@
+#include "linalg/tridiag.hpp"
+
+#include <cmath>
+
+namespace ns::linalg {
+
+Result<Vector> solve_tridiagonal(const Vector& sub, const Vector& diag, const Vector& super,
+                                 const Vector& rhs) {
+  const std::size_t n = diag.size();
+  if (n == 0) return make_error(ErrorCode::kBadArguments, "empty system");
+  if (sub.size() != n - 1 || super.size() != n - 1 || rhs.size() != n) {
+    return make_error(ErrorCode::kBadArguments, "tridiagonal band size mismatch");
+  }
+  Vector c_prime(n - 1 > 0 ? n - 1 : 0);
+  Vector d_prime(n);
+
+  double denom = diag[0];
+  if (denom == 0.0) {
+    return make_error(ErrorCode::kExecutionFailed, "zero pivot in tridiagonal solve");
+  }
+  if (n > 1) c_prime[0] = super[0] / denom;
+  d_prime[0] = rhs[0] / denom;
+
+  for (std::size_t i = 1; i < n; ++i) {
+    denom = diag[i] - sub[i - 1] * c_prime[i - 1];
+    if (denom == 0.0 || !std::isfinite(denom)) {
+      return make_error(ErrorCode::kExecutionFailed, "zero pivot in tridiagonal solve");
+    }
+    if (i < n - 1) c_prime[i] = super[i] / denom;
+    d_prime[i] = (rhs[i] - sub[i - 1] * d_prime[i - 1]) / denom;
+  }
+
+  Vector x(n);
+  x[n - 1] = d_prime[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] = d_prime[i] - c_prime[i] * x[i + 1];
+  }
+  return x;
+}
+
+double tridiag_flops(std::size_t n) noexcept { return 8.0 * static_cast<double>(n); }
+
+}  // namespace ns::linalg

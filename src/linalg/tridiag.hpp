@@ -1,0 +1,20 @@
+// Tridiagonal solver (Thomas algorithm) — the cheap O(n) problem class in
+// the server catalogue, useful for exercising small-request scheduling.
+#pragma once
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ns::linalg {
+
+/// Solve a tridiagonal system given the sub-diagonal (size n-1), diagonal
+/// (size n) and super-diagonal (size n-1). Requires (numerical)
+/// non-singularity along the elimination; diagonally dominant inputs are
+/// always safe.
+Result<Vector> solve_tridiagonal(const Vector& sub, const Vector& diag, const Vector& super,
+                                 const Vector& rhs);
+
+/// Flops of a tridiagonal solve (8n).
+double tridiag_flops(std::size_t n) noexcept;
+
+}  // namespace ns::linalg

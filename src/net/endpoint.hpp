@@ -1,0 +1,20 @@
+// Network endpoint addressing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ns::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  std::string to_string() const { return host + ":" + std::to_string(port); }
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.port == b.port && a.host == b.host;
+  }
+};
+
+}  // namespace ns::net

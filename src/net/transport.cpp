@@ -1,0 +1,27 @@
+#include "net/transport.hpp"
+
+namespace ns::net {
+
+Status send_message(TcpConnection& conn, std::uint16_t type, const serial::Bytes& payload,
+                    const LinkShape& shape) {
+  const serial::Bytes frame = serial::build_frame(type, payload);
+  return shaped_send(conn, frame.data(), frame.size(), shape);
+}
+
+Result<Message> recv_message(TcpConnection& conn, double timeout_secs) {
+  std::uint8_t header_bytes[serial::kHeaderSize];
+  NS_RETURN_IF_ERROR(conn.recv_all(header_bytes, sizeof(header_bytes), timeout_secs));
+  auto header = serial::decode_header(header_bytes);
+  if (!header.ok()) return header.error();
+
+  Message msg;
+  msg.type = header.value().type;
+  msg.payload.resize(header.value().length);
+  if (header.value().length > 0) {
+    NS_RETURN_IF_ERROR(conn.recv_all(msg.payload.data(), msg.payload.size(), timeout_secs));
+  }
+  NS_RETURN_IF_ERROR(serial::check_payload(header.value(), msg.payload));
+  return msg;
+}
+
+}  // namespace ns::net

@@ -1,0 +1,26 @@
+// Framed message transport: one NetSolve protocol message per frame.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "net/shaped_link.hpp"
+#include "net/socket.hpp"
+#include "serial/codec.hpp"
+#include "serial/frame.hpp"
+
+namespace ns::net {
+
+struct Message {
+  std::uint16_t type = 0;
+  serial::Bytes payload;
+};
+
+/// Serialize `payload` under `type` and send it as one frame, shaped.
+Status send_message(TcpConnection& conn, std::uint16_t type, const serial::Bytes& payload,
+                    const LinkShape& shape = LinkShape::unshaped());
+
+/// Receive one complete frame; validates magic, version, size and CRC.
+Result<Message> recv_message(TcpConnection& conn, double timeout_secs);
+
+}  // namespace ns::net

@@ -1,0 +1,372 @@
+#include "proto/messages.hpp"
+
+namespace ns::proto {
+
+namespace {
+
+void encode_endpoint(serial::Encoder& enc, const net::Endpoint& ep) {
+  enc.put_string(ep.host);
+  enc.put_u16(ep.port);
+}
+
+Result<net::Endpoint> decode_endpoint(serial::Decoder& dec) {
+  net::Endpoint ep;
+  auto host = dec.get_string(256);
+  if (!host.ok()) return host.error();
+  ep.host = std::move(host).value();
+  auto port = dec.get_u16();
+  if (!port.ok()) return port.error();
+  ep.port = port.value();
+  return ep;
+}
+
+void encode_specs(serial::Encoder& enc, const std::vector<dsl::ProblemSpec>& specs) {
+  enc.put_u32(static_cast<std::uint32_t>(specs.size()));
+  for (const auto& s : specs) s.encode(enc);
+}
+
+Result<std::vector<dsl::ProblemSpec>> decode_specs(serial::Decoder& dec) {
+  auto count = dec.get_u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > 65536) {
+    return make_error(ErrorCode::kProtocol, "too many problem specs");
+  }
+  std::vector<dsl::ProblemSpec> specs;
+  specs.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto spec = dsl::ProblemSpec::decode(dec);
+    if (!spec.ok()) return spec.error();
+    specs.push_back(std::move(spec).value());
+  }
+  return specs;
+}
+
+}  // namespace
+
+void RegisterServer::encode(serial::Encoder& enc) const {
+  enc.put_string(server_name);
+  encode_endpoint(enc, endpoint);
+  enc.put_f64(mflops);
+  encode_specs(enc, problems);
+}
+
+Result<RegisterServer> RegisterServer::decode(serial::Decoder& dec) {
+  RegisterServer msg;
+  auto name = dec.get_string(256);
+  if (!name.ok()) return name.error();
+  msg.server_name = std::move(name).value();
+  auto ep = decode_endpoint(dec);
+  if (!ep.ok()) return ep.error();
+  msg.endpoint = std::move(ep).value();
+  auto mflops = dec.get_f64();
+  if (!mflops.ok()) return mflops.error();
+  msg.mflops = mflops.value();
+  auto specs = decode_specs(dec);
+  if (!specs.ok()) return specs.error();
+  msg.problems = std::move(specs).value();
+  return msg;
+}
+
+void RegisterAck::encode(serial::Encoder& enc) const { enc.put_u32(server_id); }
+
+Result<RegisterAck> RegisterAck::decode(serial::Decoder& dec) {
+  RegisterAck msg;
+  auto id = dec.get_u32();
+  if (!id.ok()) return id.error();
+  msg.server_id = id.value();
+  return msg;
+}
+
+void WorkloadReport::encode(serial::Encoder& enc) const {
+  enc.put_u32(server_id);
+  enc.put_f64(workload);
+  enc.put_u64(completed);
+}
+
+Result<WorkloadReport> WorkloadReport::decode(serial::Decoder& dec) {
+  WorkloadReport msg;
+  auto id = dec.get_u32();
+  if (!id.ok()) return id.error();
+  msg.server_id = id.value();
+  auto load = dec.get_f64();
+  if (!load.ok()) return load.error();
+  msg.workload = load.value();
+  auto completed = dec.get_u64();
+  if (!completed.ok()) return completed.error();
+  msg.completed = completed.value();
+  return msg;
+}
+
+void Query::encode(serial::Encoder& enc) const {
+  enc.put_string(problem);
+  enc.put_u64(input_bytes);
+  enc.put_u64(output_bytes);
+  enc.put_u64(size_hint);
+  enc.put_u32(max_candidates);
+}
+
+Result<Query> Query::decode(serial::Decoder& dec) {
+  Query msg;
+  auto problem = dec.get_string(256);
+  if (!problem.ok()) return problem.error();
+  msg.problem = std::move(problem).value();
+  auto in_bytes = dec.get_u64();
+  if (!in_bytes.ok()) return in_bytes.error();
+  msg.input_bytes = in_bytes.value();
+  auto out_bytes = dec.get_u64();
+  if (!out_bytes.ok()) return out_bytes.error();
+  msg.output_bytes = out_bytes.value();
+  auto hint = dec.get_u64();
+  if (!hint.ok()) return hint.error();
+  msg.size_hint = hint.value();
+  auto max_c = dec.get_u32();
+  if (!max_c.ok()) return max_c.error();
+  msg.max_candidates = max_c.value();
+  return msg;
+}
+
+void ServerCandidate::encode(serial::Encoder& enc) const {
+  enc.put_u32(server_id);
+  enc.put_string(server_name);
+  encode_endpoint(enc, endpoint);
+  enc.put_f64(predicted_seconds);
+}
+
+Result<ServerCandidate> ServerCandidate::decode(serial::Decoder& dec) {
+  ServerCandidate msg;
+  auto id = dec.get_u32();
+  if (!id.ok()) return id.error();
+  msg.server_id = id.value();
+  auto name = dec.get_string(256);
+  if (!name.ok()) return name.error();
+  msg.server_name = std::move(name).value();
+  auto ep = decode_endpoint(dec);
+  if (!ep.ok()) return ep.error();
+  msg.endpoint = std::move(ep).value();
+  auto pred = dec.get_f64();
+  if (!pred.ok()) return pred.error();
+  msg.predicted_seconds = pred.value();
+  return msg;
+}
+
+void ServerList::encode(serial::Encoder& enc) const {
+  enc.put_u32(static_cast<std::uint32_t>(candidates.size()));
+  for (const auto& c : candidates) c.encode(enc);
+}
+
+Result<ServerList> ServerList::decode(serial::Decoder& dec) {
+  auto count = dec.get_u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > 65536) {
+    return make_error(ErrorCode::kProtocol, "too many candidates");
+  }
+  ServerList msg;
+  msg.candidates.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto c = ServerCandidate::decode(dec);
+    if (!c.ok()) return c.error();
+    msg.candidates.push_back(std::move(c).value());
+  }
+  return msg;
+}
+
+void FailureReport::encode(serial::Encoder& enc) const {
+  enc.put_u32(server_id);
+  enc.put_u16(error_code);
+}
+
+Result<FailureReport> FailureReport::decode(serial::Decoder& dec) {
+  FailureReport msg;
+  auto id = dec.get_u32();
+  if (!id.ok()) return id.error();
+  msg.server_id = id.value();
+  auto code = dec.get_u16();
+  if (!code.ok()) return code.error();
+  msg.error_code = code.value();
+  return msg;
+}
+
+void MetricsReport::encode(serial::Encoder& enc) const {
+  enc.put_u32(server_id);
+  enc.put_u64(bytes);
+  enc.put_f64(transfer_seconds);
+}
+
+Result<MetricsReport> MetricsReport::decode(serial::Decoder& dec) {
+  MetricsReport msg;
+  auto id = dec.get_u32();
+  if (!id.ok()) return id.error();
+  msg.server_id = id.value();
+  auto bytes = dec.get_u64();
+  if (!bytes.ok()) return bytes.error();
+  msg.bytes = bytes.value();
+  auto secs = dec.get_f64();
+  if (!secs.ok()) return secs.error();
+  msg.transfer_seconds = secs.value();
+  return msg;
+}
+
+void ProblemCatalog::encode(serial::Encoder& enc) const { encode_specs(enc, problems); }
+
+Result<ProblemCatalog> ProblemCatalog::decode(serial::Decoder& dec) {
+  ProblemCatalog msg;
+  auto specs = decode_specs(dec);
+  if (!specs.ok()) return specs.error();
+  msg.problems = std::move(specs).value();
+  return msg;
+}
+
+void SolveRequest::encode(serial::Encoder& enc) const {
+  enc.put_u64(request_id);
+  enc.put_string(problem);
+  dsl::encode_args(enc, args);
+}
+
+Result<SolveRequest> SolveRequest::decode(serial::Decoder& dec) {
+  SolveRequest msg;
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  auto problem = dec.get_string(256);
+  if (!problem.ok()) return problem.error();
+  msg.problem = std::move(problem).value();
+  auto args = dsl::decode_args(dec);
+  if (!args.ok()) return args.error();
+  msg.args = std::move(args).value();
+  return msg;
+}
+
+void SolveResult::encode(serial::Encoder& enc) const {
+  enc.put_u64(request_id);
+  enc.put_u16(error_code);
+  enc.put_string(error_message);
+  dsl::encode_args(enc, outputs);
+  enc.put_f64(exec_seconds);
+}
+
+Result<SolveResult> SolveResult::decode(serial::Decoder& dec) {
+  SolveResult msg;
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  auto code = dec.get_u16();
+  if (!code.ok()) return code.error();
+  msg.error_code = code.value();
+  auto err = dec.get_string();
+  if (!err.ok()) return err.error();
+  msg.error_message = std::move(err).value();
+  auto outputs = dsl::decode_args(dec);
+  if (!outputs.ok()) return outputs.error();
+  msg.outputs = std::move(outputs).value();
+  auto secs = dec.get_f64();
+  if (!secs.ok()) return secs.error();
+  msg.exec_seconds = secs.value();
+  return msg;
+}
+
+void ErrorReply::encode(serial::Encoder& enc) const {
+  enc.put_u16(error_code);
+  enc.put_string(message);
+}
+
+Result<ErrorReply> ErrorReply::decode(serial::Decoder& dec) {
+  ErrorReply msg;
+  auto code = dec.get_u16();
+  if (!code.ok()) return code.error();
+  msg.error_code = code.value();
+  auto message = dec.get_string();
+  if (!message.ok()) return message.error();
+  msg.message = std::move(message).value();
+  return msg;
+}
+
+void SyncEntry::encode(serial::Encoder& enc) const {
+  enc.put_string(server_name);
+  encode_endpoint(enc, endpoint);
+  enc.put_f64(mflops);
+  enc.put_f64(workload);
+  enc.put_u64(completed);
+  enc.put_bool(alive);
+  enc.put_f64(age_seconds);
+  encode_specs(enc, problems);
+}
+
+Result<SyncEntry> SyncEntry::decode(serial::Decoder& dec) {
+  SyncEntry msg;
+  auto name = dec.get_string(256);
+  if (!name.ok()) return name.error();
+  msg.server_name = std::move(name).value();
+  auto ep = decode_endpoint(dec);
+  if (!ep.ok()) return ep.error();
+  msg.endpoint = std::move(ep).value();
+  auto mflops = dec.get_f64();
+  if (!mflops.ok()) return mflops.error();
+  msg.mflops = mflops.value();
+  auto workload = dec.get_f64();
+  if (!workload.ok()) return workload.error();
+  msg.workload = workload.value();
+  auto completed = dec.get_u64();
+  if (!completed.ok()) return completed.error();
+  msg.completed = completed.value();
+  auto alive = dec.get_bool();
+  if (!alive.ok()) return alive.error();
+  msg.alive = alive.value();
+  auto age = dec.get_f64();
+  if (!age.ok()) return age.error();
+  msg.age_seconds = age.value();
+  auto specs = decode_specs(dec);
+  if (!specs.ok()) return specs.error();
+  msg.problems = std::move(specs).value();
+  return msg;
+}
+
+void SyncState::encode(serial::Encoder& enc) const {
+  enc.put_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) e.encode(enc);
+}
+
+Result<SyncState> SyncState::decode(serial::Decoder& dec) {
+  auto count = dec.get_u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > 65536) {
+    return make_error(ErrorCode::kProtocol, "too many sync entries");
+  }
+  SyncState msg;
+  msg.entries.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto entry = SyncEntry::decode(dec);
+    if (!entry.ok()) return entry.error();
+    msg.entries.push_back(std::move(entry).value());
+  }
+  return msg;
+}
+
+void AgentStats::encode(serial::Encoder& enc) const {
+  enc.put_u64(queries);
+  enc.put_u64(registrations);
+  enc.put_u64(workload_reports);
+  enc.put_u64(failure_reports);
+  enc.put_u32(alive_servers);
+}
+
+Result<AgentStats> AgentStats::decode(serial::Decoder& dec) {
+  AgentStats msg;
+  auto queries = dec.get_u64();
+  if (!queries.ok()) return queries.error();
+  msg.queries = queries.value();
+  auto regs = dec.get_u64();
+  if (!regs.ok()) return regs.error();
+  msg.registrations = regs.value();
+  auto reports = dec.get_u64();
+  if (!reports.ok()) return reports.error();
+  msg.workload_reports = reports.value();
+  auto failures = dec.get_u64();
+  if (!failures.ok()) return failures.error();
+  msg.failure_reports = failures.value();
+  auto alive = dec.get_u32();
+  if (!alive.ok()) return alive.error();
+  msg.alive_servers = alive.value();
+  return msg;
+}
+
+}  // namespace ns::proto

@@ -1,0 +1,205 @@
+// NetSolve wire protocol.
+//
+// One message per frame (see serial/frame.hpp). Three conversations exist:
+//   server <-> agent : RegisterServer/RegisterAck, WorkloadReport, Shutdown
+//   client <-> agent : Query/ServerList, ListProblems/ProblemCatalog,
+//                      FailureReport, MetricsReport
+//   client <-> server: SolveRequest/SolveResult, Ping/Pong
+//
+// Every message type has encode()/decode() against the portable codec; the
+// decode side never trusts the peer (bounds, tags and enum ranges are
+// validated).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dsl/problem.hpp"
+#include "dsl/value.hpp"
+#include "net/endpoint.hpp"
+#include "serial/codec.hpp"
+
+namespace ns::proto {
+
+enum class MessageType : std::uint16_t {
+  kRegisterServer = 1,
+  kRegisterAck = 2,
+  kWorkloadReport = 3,
+  kQuery = 4,
+  kServerList = 5,
+  kSolveRequest = 6,
+  kSolveResult = 7,
+  kFailureReport = 8,
+  kMetricsReport = 9,
+  kListProblems = 10,
+  kProblemCatalog = 11,
+  kPing = 12,
+  kPong = 13,
+  kShutdown = 14,
+  kErrorReply = 15,
+  kAgentStatsRequest = 16,
+  kAgentStatsReply = 17,
+  kSyncState = 18,
+};
+
+using ServerId = std::uint32_t;
+inline constexpr ServerId kInvalidServerId = 0;
+
+// ---- server -> agent ----
+
+struct RegisterServer {
+  std::string server_name;
+  net::Endpoint endpoint;          // where clients reach this server
+  double mflops = 0.0;             // LINPACK-style rating
+  std::vector<dsl::ProblemSpec> problems;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<RegisterServer> decode(serial::Decoder& dec);
+};
+
+struct RegisterAck {
+  ServerId server_id = kInvalidServerId;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<RegisterAck> decode(serial::Decoder& dec);
+};
+
+struct WorkloadReport {
+  ServerId server_id = kInvalidServerId;
+  double workload = 0.0;           // running + queued jobs (plus background)
+  std::uint64_t completed = 0;     // lifetime completed request count
+
+  void encode(serial::Encoder& enc) const;
+  static Result<WorkloadReport> decode(serial::Decoder& dec);
+};
+
+// ---- client -> agent ----
+
+struct Query {
+  std::string problem;
+  std::uint64_t input_bytes = 0;   // serialized input size (network term)
+  std::uint64_t output_bytes = 0;  // estimated reply size
+  std::uint64_t size_hint = 1;     // N for the complexity model
+  std::uint32_t max_candidates = 8;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<Query> decode(serial::Decoder& dec);
+};
+
+struct ServerCandidate {
+  ServerId server_id = kInvalidServerId;
+  std::string server_name;
+  net::Endpoint endpoint;
+  double predicted_seconds = 0.0;  // agent's completion-time estimate
+
+  void encode(serial::Encoder& enc) const;
+  static Result<ServerCandidate> decode(serial::Decoder& dec);
+};
+
+struct ServerList {
+  std::vector<ServerCandidate> candidates;  // best first
+
+  void encode(serial::Encoder& enc) const;
+  static Result<ServerList> decode(serial::Decoder& dec);
+};
+
+struct FailureReport {
+  ServerId server_id = kInvalidServerId;
+  std::uint16_t error_code = 0;    // ns::ErrorCode observed by the client
+
+  void encode(serial::Encoder& enc) const;
+  static Result<FailureReport> decode(serial::Decoder& dec);
+};
+
+/// Client-observed transfer metrics, folded into the agent's per-server
+/// latency/bandwidth estimates (EWMA).
+struct MetricsReport {
+  ServerId server_id = kInvalidServerId;
+  std::uint64_t bytes = 0;
+  double transfer_seconds = 0.0;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<MetricsReport> decode(serial::Decoder& dec);
+};
+
+struct ProblemCatalog {
+  std::vector<dsl::ProblemSpec> problems;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<ProblemCatalog> decode(serial::Decoder& dec);
+};
+
+// ---- client -> server ----
+
+struct SolveRequest {
+  std::uint64_t request_id = 0;
+  std::string problem;
+  std::vector<dsl::DataObject> args;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<SolveRequest> decode(serial::Decoder& dec);
+};
+
+struct SolveResult {
+  std::uint64_t request_id = 0;
+  std::uint16_t error_code = 0;    // 0 == success
+  std::string error_message;
+  std::vector<dsl::DataObject> outputs;
+  double exec_seconds = 0.0;       // pure compute time on the server
+
+  void encode(serial::Encoder& enc) const;
+  static Result<SolveResult> decode(serial::Decoder& dec);
+};
+
+// ---- generic ----
+
+struct ErrorReply {
+  std::uint16_t error_code = 0;
+  std::string message;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<ErrorReply> decode(serial::Decoder& dec);
+};
+
+// ---- agent <-> agent (federation) ----
+
+/// One server's state as shipped between federated agents. Identity is
+/// (name, endpoint) — ids are agent-local. `age_seconds` is how stale the
+/// sender's information is; the receiver only applies entries fresher than
+/// what it already holds.
+struct SyncEntry {
+  std::string server_name;
+  net::Endpoint endpoint;
+  double mflops = 0.0;
+  double workload = 0.0;
+  std::uint64_t completed = 0;
+  bool alive = true;
+  double age_seconds = 0.0;
+  std::vector<dsl::ProblemSpec> problems;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<SyncEntry> decode(serial::Decoder& dec);
+};
+
+/// Full registry snapshot, exchanged periodically between peer agents.
+struct SyncState {
+  std::vector<SyncEntry> entries;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<SyncState> decode(serial::Decoder& dec);
+};
+
+struct AgentStats {
+  std::uint64_t queries = 0;
+  std::uint64_t registrations = 0;
+  std::uint64_t workload_reports = 0;
+  std::uint64_t failure_reports = 0;
+  std::uint32_t alive_servers = 0;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<AgentStats> decode(serial::Decoder& dec);
+};
+
+}  // namespace ns::proto

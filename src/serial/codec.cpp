@@ -1,0 +1,157 @@
+#include "serial/codec.hpp"
+
+namespace ns::serial {
+
+void Encoder::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  const std::size_t offset = buf_.size();
+  buf_.resize(offset + s.size());
+  std::memcpy(buf_.data() + offset, s.data(), s.size());
+}
+
+void Encoder::put_bytes(const void* data, std::size_t size) {
+  put_u32(static_cast<std::uint32_t>(size));
+  const std::size_t offset = buf_.size();
+  buf_.resize(offset + size);
+  if (size > 0) std::memcpy(buf_.data() + offset, data, size);
+}
+
+void Encoder::put_f64_array(const double* data, std::size_t count) {
+  put_u32(static_cast<std::uint32_t>(count));
+  const std::size_t offset = buf_.size();
+  buf_.resize(offset + count * sizeof(double));
+  if constexpr (std::endian::native == std::endian::little) {
+    if (count > 0) std::memcpy(buf_.data() + offset, data, count * sizeof(double));
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto bits = std::bit_cast<std::uint64_t>(data[i]);
+      for (std::size_t b = 0; b < 8; ++b) {
+        buf_[offset + i * 8 + b] = static_cast<std::uint8_t>(bits >> (8 * b));
+      }
+    }
+  }
+}
+
+void Encoder::put_i32_array(const std::int32_t* data, std::size_t count) {
+  put_u32(static_cast<std::uint32_t>(count));
+  const std::size_t offset = buf_.size();
+  buf_.resize(offset + count * sizeof(std::int32_t));
+  if constexpr (std::endian::native == std::endian::little) {
+    if (count > 0) std::memcpy(buf_.data() + offset, data, count * sizeof(std::int32_t));
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto bits = static_cast<std::uint32_t>(data[i]);
+      for (std::size_t b = 0; b < 4; ++b) {
+        buf_[offset + i * 4 + b] = static_cast<std::uint8_t>(bits >> (8 * b));
+      }
+    }
+  }
+}
+
+Result<std::uint8_t> Decoder::get_u8() {
+  if (remaining() < 1) return make_error(ErrorCode::kProtocol, "truncated input");
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> Decoder::get_u16() { return get_le<std::uint16_t>(); }
+Result<std::uint32_t> Decoder::get_u32() { return get_le<std::uint32_t>(); }
+Result<std::uint64_t> Decoder::get_u64() { return get_le<std::uint64_t>(); }
+
+Result<std::int32_t> Decoder::get_i32() {
+  auto v = get_le<std::uint32_t>();
+  if (!v.ok()) return v.error();
+  return static_cast<std::int32_t>(v.value());
+}
+
+Result<std::int64_t> Decoder::get_i64() {
+  auto v = get_le<std::uint64_t>();
+  if (!v.ok()) return v.error();
+  return static_cast<std::int64_t>(v.value());
+}
+
+Result<double> Decoder::get_f64() {
+  auto v = get_le<std::uint64_t>();
+  if (!v.ok()) return v.error();
+  return std::bit_cast<double>(v.value());
+}
+
+Result<bool> Decoder::get_bool() {
+  auto v = get_u8();
+  if (!v.ok()) return v.error();
+  if (v.value() > 1) return make_error(ErrorCode::kProtocol, "bad bool encoding");
+  return v.value() == 1;
+}
+
+Result<std::string> Decoder::get_string(std::size_t max_len) {
+  auto len = get_u32();
+  if (!len.ok()) return len.error();
+  if (len.value() > max_len) return make_error(ErrorCode::kProtocol, "string too long");
+  if (remaining() < len.value()) return make_error(ErrorCode::kProtocol, "truncated string");
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), len.value());
+  pos_ += len.value();
+  return out;
+}
+
+Result<Bytes> Decoder::get_blob(std::size_t max_len) {
+  auto len = get_u32();
+  if (!len.ok()) return len.error();
+  if (len.value() > max_len) return make_error(ErrorCode::kProtocol, "blob too long");
+  if (remaining() < len.value()) return make_error(ErrorCode::kProtocol, "truncated blob");
+  Bytes out(data_ + pos_, data_ + pos_ + len.value());
+  pos_ += len.value();
+  return out;
+}
+
+Result<std::vector<double>> Decoder::get_f64_array(std::size_t max_count) {
+  auto count = get_u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > max_count) return make_error(ErrorCode::kProtocol, "array too long");
+  const std::size_t bytes = static_cast<std::size_t>(count.value()) * sizeof(double);
+  if (remaining() < bytes) return make_error(ErrorCode::kProtocol, "truncated f64 array");
+  std::vector<double> out(count.value());
+  if constexpr (std::endian::native == std::endian::little) {
+    if (count.value() > 0) std::memcpy(out.data(), data_ + pos_, bytes);
+  } else {
+    for (std::size_t i = 0; i < count.value(); ++i) {
+      std::uint64_t bits = 0;
+      for (std::size_t b = 0; b < 8; ++b) {
+        bits |= static_cast<std::uint64_t>(data_[pos_ + i * 8 + b]) << (8 * b);
+      }
+      out[i] = std::bit_cast<double>(bits);
+    }
+  }
+  pos_ += bytes;
+  return out;
+}
+
+Result<std::vector<std::int32_t>> Decoder::get_i32_array(std::size_t max_count) {
+  auto count = get_u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > max_count) return make_error(ErrorCode::kProtocol, "array too long");
+  const std::size_t bytes = static_cast<std::size_t>(count.value()) * sizeof(std::int32_t);
+  if (remaining() < bytes) return make_error(ErrorCode::kProtocol, "truncated i32 array");
+  std::vector<std::int32_t> out(count.value());
+  if constexpr (std::endian::native == std::endian::little) {
+    if (count.value() > 0) std::memcpy(out.data(), data_ + pos_, bytes);
+  } else {
+    for (std::size_t i = 0; i < count.value(); ++i) {
+      std::uint32_t bits = 0;
+      for (std::size_t b = 0; b < 4; ++b) {
+        bits |= static_cast<std::uint32_t>(data_[pos_ + i * 4 + b]) << (8 * b);
+      }
+      out[i] = static_cast<std::int32_t>(bits);
+    }
+  }
+  pos_ += bytes;
+  return out;
+}
+
+Status Decoder::expect_exhausted() const {
+  if (!exhausted()) {
+    return make_error(ErrorCode::kProtocol,
+                      "trailing bytes after message: " + std::to_string(remaining()));
+  }
+  return ok_status();
+}
+
+}  // namespace ns::serial

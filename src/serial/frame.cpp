@@ -1,0 +1,72 @@
+#include "serial/frame.hpp"
+
+#include "serial/crc32.hpp"
+
+namespace ns::serial {
+
+void encode_header(const FrameHeader& header, std::uint8_t out[kHeaderSize]) {
+  auto put32 = [&out](std::size_t at, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i) out[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  auto put16 = [&out](std::size_t at, std::uint16_t v) {
+    for (std::size_t i = 0; i < 2; ++i) out[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  put32(0, kFrameMagic);
+  put16(4, header.version);
+  put16(6, header.type);
+  put32(8, header.length);
+  put32(12, header.crc);
+}
+
+Result<FrameHeader> decode_header(const std::uint8_t data[kHeaderSize]) {
+  auto get32 = [&data](std::size_t at) {
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[at + i]) << (8 * i);
+    return v;
+  };
+  auto get16 = [&data](std::size_t at) {
+    return static_cast<std::uint16_t>(data[at] | (data[at + 1] << 8));
+  };
+  if (get32(0) != kFrameMagic) {
+    return make_error(ErrorCode::kProtocol, "bad frame magic");
+  }
+  FrameHeader header;
+  header.version = get16(4);
+  header.type = get16(6);
+  header.length = get32(8);
+  header.crc = get32(12);
+  if (header.version != kProtocolVersion) {
+    return make_error(ErrorCode::kVersion,
+                      "protocol version " + std::to_string(header.version) +
+                          " != " + std::to_string(kProtocolVersion));
+  }
+  if (header.length > kMaxPayload) {
+    return make_error(ErrorCode::kProtocol, "frame payload too large");
+  }
+  return header;
+}
+
+Bytes build_frame(std::uint16_t type, const Bytes& payload) {
+  FrameHeader header;
+  header.type = type;
+  header.length = static_cast<std::uint32_t>(payload.size());
+  header.crc = crc32(payload.data(), payload.size());
+  Bytes frame(kHeaderSize + payload.size());
+  encode_header(header, frame.data());
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
+  }
+  return frame;
+}
+
+Status check_payload(const FrameHeader& header, const Bytes& payload) {
+  if (payload.size() != header.length) {
+    return make_error(ErrorCode::kProtocol, "payload length mismatch");
+  }
+  if (crc32(payload.data(), payload.size()) != header.crc) {
+    return make_error(ErrorCode::kProtocol, "payload CRC mismatch");
+  }
+  return ok_status();
+}
+
+}  // namespace ns::serial

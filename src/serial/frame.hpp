@@ -1,0 +1,47 @@
+// Wire frame: the unit of transport between NetSolve processes.
+//
+// Layout (little-endian):
+//   magic   u32   'NSV1' (0x3156534e)
+//   version u16   protocol version
+//   type    u16   message type tag (ns::proto::MessageType)
+//   length  u32   payload byte count
+//   crc     u32   CRC-32 of the payload
+//   payload u8[length]
+//
+// The header is fixed-size so a reader can pull exactly kHeaderSize bytes,
+// validate, then pull the payload. CRC validation catches corruption and
+// (more importantly in practice) framing bugs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "serial/codec.hpp"
+
+namespace ns::serial {
+
+inline constexpr std::uint32_t kFrameMagic = 0x3156534eu;  // "NSV1"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 16;
+inline constexpr std::size_t kMaxPayload = 1u << 30;  // 1 GiB
+
+struct FrameHeader {
+  std::uint16_t version = kProtocolVersion;
+  std::uint16_t type = 0;
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Serialize a header into exactly kHeaderSize bytes.
+void encode_header(const FrameHeader& header, std::uint8_t out[kHeaderSize]);
+
+/// Parse and validate a header (magic + version + length bound).
+Result<FrameHeader> decode_header(const std::uint8_t data[kHeaderSize]);
+
+/// Build a complete frame (header + payload) for a message type.
+Bytes build_frame(std::uint16_t type, const Bytes& payload);
+
+/// Validate a payload against its header's CRC.
+Status check_payload(const FrameHeader& header, const Bytes& payload);
+
+}  // namespace ns::serial

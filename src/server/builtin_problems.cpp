@@ -1,0 +1,453 @@
+#include "server/builtin_problems.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "dsl/specfile.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/fft.hpp"
+#include "linalg/fit.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/quad.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/tridiag.hpp"
+
+namespace ns::server {
+
+using dsl::ArgSpec;
+using dsl::ComplexityModel;
+using dsl::DataObject;
+using dsl::DataType;
+using dsl::ProblemSpec;
+
+namespace {
+
+using Args = std::vector<DataObject>;
+
+ProblemSpec spec(std::string name, std::string description, std::vector<ArgSpec> inputs,
+                 std::vector<ArgSpec> outputs, double a, double b, std::uint32_t size_arg = 0) {
+  ProblemSpec s;
+  s.name = std::move(name);
+  s.description = std::move(description);
+  s.inputs = std::move(inputs);
+  s.outputs = std::move(outputs);
+  s.complexity = ComplexityModel{a, b};
+  s.size_arg = size_arg;
+  return s;
+}
+
+}  // namespace
+
+void register_builtin_problems(dsl::ProblemRegistry& registry, double native_mflops) {
+  // ---- BLAS ----
+  registry.add(
+      spec("ddot", "Dot product of two vectors", {{"x", DataType::kVector}, {"y", DataType::kVector}},
+           {{"r", DataType::kDouble}}, 2.0, 1.0),
+      [](const Args& args) -> Result<Args> {
+        const auto& x = args[0].as_vector();
+        const auto& y = args[1].as_vector();
+        if (x.size() != y.size()) {
+          return make_error(ErrorCode::kBadArguments, "ddot: length mismatch");
+        }
+        return Args{DataObject(linalg::dot(x, y))};
+      });
+
+  registry.add(
+      spec("daxpy", "y += alpha * x",
+           {{"alpha", DataType::kDouble}, {"x", DataType::kVector}, {"y", DataType::kVector}},
+           {{"y_out", DataType::kVector}}, 2.0, 1.0, /*size_arg=*/1),
+      [](const Args& args) -> Result<Args> {
+        const auto& x = args[1].as_vector();
+        linalg::Vector y = args[2].as_vector();
+        if (x.size() != y.size()) {
+          return make_error(ErrorCode::kBadArguments, "daxpy: length mismatch");
+        }
+        linalg::axpy(args[0].as_double(), x, y);
+        return Args{DataObject(std::move(y))};
+      });
+
+  registry.add(
+      spec("dgemv", "Dense matrix-vector product y = A x",
+           {{"A", DataType::kMatrix}, {"x", DataType::kVector}}, {{"y", DataType::kVector}}, 2.0,
+           2.0),
+      [](const Args& args) -> Result<Args> {
+        const auto& a = args[0].as_matrix();
+        const auto& x = args[1].as_vector();
+        if (x.size() != a.cols()) {
+          return make_error(ErrorCode::kBadArguments, "dgemv: dimension mismatch");
+        }
+        linalg::Vector y(a.rows(), 0.0);
+        linalg::gemv(1.0, a, x, 0.0, y);
+        return Args{DataObject(std::move(y))};
+      });
+
+  registry.add(
+      spec("dgemm", "Dense matrix-matrix product C = A B",
+           {{"A", DataType::kMatrix}, {"B", DataType::kMatrix}}, {{"C", DataType::kMatrix}}, 2.0,
+           3.0),
+      [](const Args& args) -> Result<Args> {
+        const auto& a = args[0].as_matrix();
+        const auto& b = args[1].as_matrix();
+        if (a.cols() != b.rows()) {
+          return make_error(ErrorCode::kBadArguments, "dgemm: dimension mismatch");
+        }
+        return Args{DataObject(linalg::matmul(a, b))};
+      });
+
+  // ---- LAPACK-style dense solvers ----
+  registry.add(
+      spec("dgesv", "Solve a dense linear system A x = b (LU with partial pivoting)",
+           {{"A", DataType::kMatrix}, {"b", DataType::kVector}}, {{"x", DataType::kVector}},
+           2.0 / 3.0, 3.0),
+      [](const Args& args) -> Result<Args> {
+        const auto& a = args[0].as_matrix();
+        const auto& b = args[1].as_vector();
+        if (!a.square() || b.size() != a.rows()) {
+          return make_error(ErrorCode::kBadArguments, "dgesv: dimension mismatch");
+        }
+        auto x = linalg::dgesv(a, b);
+        if (!x.ok()) return x.error();
+        return Args{DataObject(std::move(x).value())};
+      });
+
+  registry.add(
+      spec("dposv", "Solve an SPD system A x = b (Cholesky)",
+           {{"A", DataType::kMatrix}, {"b", DataType::kVector}}, {{"x", DataType::kVector}},
+           1.0 / 3.0, 3.0),
+      [](const Args& args) -> Result<Args> {
+        const auto& a = args[0].as_matrix();
+        const auto& b = args[1].as_vector();
+        if (!a.square() || b.size() != a.rows()) {
+          return make_error(ErrorCode::kBadArguments, "dposv: dimension mismatch");
+        }
+        auto x = linalg::dposv(a, b);
+        if (!x.ok()) return x.error();
+        return Args{DataObject(std::move(x).value())};
+      });
+
+  registry.add(
+      spec("dgels", "Least-squares solve min ||A x - b|| (Householder QR)",
+           {{"A", DataType::kMatrix}, {"b", DataType::kVector}}, {{"x", DataType::kVector}}, 2.0,
+           3.0),
+      [](const Args& args) -> Result<Args> {
+        const auto& a = args[0].as_matrix();
+        const auto& b = args[1].as_vector();
+        if (b.size() != a.rows()) {
+          return make_error(ErrorCode::kBadArguments, "dgels: dimension mismatch");
+        }
+        auto x = linalg::dgels(a, b);
+        if (!x.ok()) return x.error();
+        return Args{DataObject(std::move(x).value())};
+      });
+
+  registry.add(
+      spec("eig_sym", "All eigenvalues of a symmetric matrix (cyclic Jacobi)",
+           {{"A", DataType::kMatrix}}, {{"values", DataType::kVector}}, 6.0, 3.0),
+      [](const Args& args) -> Result<Args> {
+        auto eig = linalg::jacobi_eigen(args[0].as_matrix());
+        if (!eig.ok()) return eig.error();
+        return Args{DataObject(std::move(eig.value().values))};
+      });
+
+  registry.add(
+      spec("eig_power", "Dominant eigenvalue of a square matrix (power iteration)",
+           {{"A", DataType::kMatrix}}, {{"lambda", DataType::kDouble}, {"v", DataType::kVector}},
+           4.0, 2.0),
+      [](const Args& args) -> Result<Args> {
+        Rng rng(0x5eed);  // deterministic start vector: same answer every run
+        auto res = linalg::power_iteration(args[0].as_matrix(), rng);
+        if (!res.ok()) return res.error();
+        return Args{DataObject(res.value().eigenvalue),
+                    DataObject(std::move(res.value().eigenvector))};
+      });
+
+  registry.add(
+      spec("tridiag", "Solve a tridiagonal system (Thomas algorithm)",
+           {{"sub", DataType::kVector},
+            {"diag", DataType::kVector},
+            {"super", DataType::kVector},
+            {"rhs", DataType::kVector}},
+           {{"x", DataType::kVector}}, 8.0, 1.0, /*size_arg=*/1),
+      [](const Args& args) -> Result<Args> {
+        auto x = linalg::solve_tridiagonal(args[0].as_vector(), args[1].as_vector(),
+                                           args[2].as_vector(), args[3].as_vector());
+        if (!x.ok()) return x.error();
+        return Args{DataObject(std::move(x).value())};
+      });
+
+  // ---- ITPACK-style iterative solvers ----
+  registry.add(
+      // Planning model: CG on grid-like SPD systems needs ~sqrt(N) sweeps of
+      // ~O(N) work each, hence a * N^1.5.
+      spec("cg", "Conjugate-gradient solve of a sparse SPD system",
+           {{"A", DataType::kSparse}, {"b", DataType::kVector}},
+           {{"x", DataType::kVector}, {"iterations", DataType::kInt}}, 60.0, 1.5),
+      [](const Args& args) -> Result<Args> {
+        auto res = linalg::conjugate_gradient(args[0].as_sparse(), args[1].as_vector());
+        if (!res.ok()) return res.error();
+        if (!res.value().converged) {
+          return make_error(ErrorCode::kExecutionFailed, "cg did not converge");
+        }
+        return Args{DataObject(std::move(res.value().x)),
+                    DataObject(static_cast<std::int64_t>(res.value().iterations))};
+      });
+
+  registry.add(
+      spec("jacobi_it", "Jacobi iterative solve of a sparse system",
+           {{"A", DataType::kSparse}, {"b", DataType::kVector}},
+           {{"x", DataType::kVector}, {"iterations", DataType::kInt}}, 40.0, 2.0),
+      [](const Args& args) -> Result<Args> {
+        linalg::IterativeOptions opts;
+        opts.tolerance = 1e-8;
+        auto res = linalg::jacobi_solve(args[0].as_sparse(), args[1].as_vector(), opts);
+        if (!res.ok()) return res.error();
+        if (!res.value().converged) {
+          return make_error(ErrorCode::kExecutionFailed, "jacobi did not converge");
+        }
+        return Args{DataObject(std::move(res.value().x)),
+                    DataObject(static_cast<std::int64_t>(res.value().iterations))};
+      });
+
+  registry.add(
+      spec("sor", "SOR iterative solve of a sparse system",
+           {{"A", DataType::kSparse}, {"b", DataType::kVector}, {"omega", DataType::kDouble}},
+           {{"x", DataType::kVector}, {"iterations", DataType::kInt}}, 30.0, 2.0),
+      [](const Args& args) -> Result<Args> {
+        linalg::IterativeOptions opts;
+        opts.tolerance = 1e-8;
+        opts.omega = args[2].as_double();
+        auto res = linalg::sor_solve(args[0].as_sparse(), args[1].as_vector(), opts);
+        if (!res.ok()) return res.error();
+        if (!res.value().converged) {
+          return make_error(ErrorCode::kExecutionFailed, "sor did not converge");
+        }
+        return Args{DataObject(std::move(res.value().x)),
+                    DataObject(static_cast<std::int64_t>(res.value().iterations))};
+      });
+
+  // ---- FitPack-style fitting ----
+  registry.add(
+      spec("polyfit", "Least-squares polynomial fit",
+           {{"x", DataType::kVector}, {"y", DataType::kVector}, {"degree", DataType::kInt}},
+           {{"coeffs", DataType::kVector}}, 50.0, 1.0),
+      [](const Args& args) -> Result<Args> {
+        const std::int64_t degree = args[2].as_int();
+        if (degree < 0 || degree > 64) {
+          return make_error(ErrorCode::kBadArguments, "polyfit: degree out of range");
+        }
+        auto coeffs = linalg::polyfit(args[0].as_vector(), args[1].as_vector(),
+                                      static_cast<std::size_t>(degree));
+        if (!coeffs.ok()) return coeffs.error();
+        return Args{DataObject(std::move(coeffs).value())};
+      });
+
+  registry.add(
+      spec("spline_eval", "Natural cubic spline interpolation at query points",
+           {{"x", DataType::kVector}, {"y", DataType::kVector}, {"t", DataType::kVector}},
+           {{"values", DataType::kVector}}, 20.0, 1.0),
+      [](const Args& args) -> Result<Args> {
+        auto sp = linalg::CubicSpline::fit(args[0].as_vector(), args[1].as_vector());
+        if (!sp.ok()) return sp.error();
+        const auto& t = args[2].as_vector();
+        linalg::Vector values(t.size());
+        for (std::size_t i = 0; i < t.size(); ++i) values[i] = sp.value()(t[i]);
+        return Args{DataObject(std::move(values))};
+      });
+
+  registry.add(
+      spec("dsort", "Sort a vector ascending", {{"x", DataType::kVector}},
+           {{"sorted", DataType::kVector}}, 3.0, 1.1),
+      [](const Args& args) -> Result<Args> {
+        linalg::Vector v = args[0].as_vector();
+        std::sort(v.begin(), v.end());
+        return Args{DataObject(std::move(v))};
+      });
+
+  // ---- FFT / signal processing ----
+  registry.add(
+      spec("fft", "Complex FFT (radix-2); length must be a power of two",
+           {{"re", DataType::kVector}, {"im", DataType::kVector}},
+           {{"re_out", DataType::kVector}, {"im_out", DataType::kVector}}, 5.0, 1.17),
+      [](const Args& args) -> Result<Args> {
+        auto out = linalg::fft(args[0].as_vector(), args[1].as_vector());
+        if (!out.ok()) return out.error();
+        return Args{DataObject(std::move(out.value().first)),
+                    DataObject(std::move(out.value().second))};
+      });
+
+  registry.add(
+      spec("ifft", "Inverse complex FFT (radix-2)",
+           {{"re", DataType::kVector}, {"im", DataType::kVector}},
+           {{"re_out", DataType::kVector}, {"im_out", DataType::kVector}}, 5.0, 1.17),
+      [](const Args& args) -> Result<Args> {
+        auto out = linalg::ifft(args[0].as_vector(), args[1].as_vector());
+        if (!out.ok()) return out.error();
+        return Args{DataObject(std::move(out.value().first)),
+                    DataObject(std::move(out.value().second))};
+      });
+
+  registry.add(
+      spec("convolve", "Linear convolution of two real signals (FFT-based)",
+           {{"x", DataType::kVector}, {"y", DataType::kVector}},
+           {{"z", DataType::kVector}}, 15.0, 1.17),
+      [](const Args& args) -> Result<Args> {
+        auto out = linalg::convolve(args[0].as_vector(), args[1].as_vector());
+        if (!out.ok()) return out.error();
+        return Args{DataObject(std::move(out).value())};
+      });
+
+  // ---- SVD / analysis ----
+  registry.add(
+      spec("svd_vals", "Singular values of a dense matrix (one-sided Jacobi)",
+           {{"A", DataType::kMatrix}}, {{"sigma", DataType::kVector}}, 8.0, 3.0),
+      [](const Args& args) -> Result<Args> {
+        auto sv = linalg::singular_values(args[0].as_matrix());
+        if (!sv.ok()) return sv.error();
+        return Args{DataObject(std::move(sv).value())};
+      });
+
+  registry.add(
+      spec("cond", "2-norm condition number estimate of a dense matrix",
+           {{"A", DataType::kMatrix}}, {{"kappa", DataType::kDouble}}, 8.0, 3.0),
+      [](const Args& args) -> Result<Args> {
+        auto kappa = linalg::condition_number(args[0].as_matrix());
+        if (!kappa.ok()) return kappa.error();
+        return Args{DataObject(kappa.value())};
+      });
+
+  registry.add(
+      spec("expm", "Matrix exponential e^A (scaling-and-squaring Pade)",
+           {{"A", DataType::kMatrix}}, {{"E", DataType::kMatrix}}, 20.0, 3.0),
+      [](const Args& args) -> Result<Args> {
+        auto e = linalg::expm(args[0].as_matrix());
+        if (!e.ok()) return e.error();
+        return Args{DataObject(std::move(e).value())};
+      });
+
+  // ---- quadrature / ODE ----
+  registry.add(
+      spec("quad_spline", "Integral of tabulated samples via natural cubic spline",
+           {{"x", DataType::kVector}, {"y", DataType::kVector}},
+           {{"integral", DataType::kDouble}}, 30.0, 1.0),
+      [](const Args& args) -> Result<Args> {
+        auto integral = linalg::integrate_samples(args[0].as_vector(), args[1].as_vector());
+        if (!integral.ok()) return integral.error();
+        return Args{DataObject(integral.value())};
+      });
+
+  registry.add(
+      spec("lorenz", "Lorenz attractor trajectory via RK4",
+           {{"sigma", DataType::kDouble},
+            {"rho", DataType::kDouble},
+            {"beta", DataType::kDouble},
+            {"y0", DataType::kVector},
+            {"dt", DataType::kDouble},
+            {"steps", DataType::kInt},
+            {"stride", DataType::kInt}},
+           {{"trajectory", DataType::kVector}}, 100.0, 1.0, /*size_arg=*/5),
+      [](const Args& args) -> Result<Args> {
+        const auto& y0 = args[3].as_vector();
+        if (y0.size() != 3) {
+          return make_error(ErrorCode::kBadArguments, "lorenz: y0 must have 3 components");
+        }
+        const std::int64_t steps = args[5].as_int();
+        const std::int64_t stride = args[6].as_int();
+        if (steps <= 0 || steps > 10000000 || stride <= 0) {
+          return make_error(ErrorCode::kBadArguments, "lorenz: bad steps/stride");
+        }
+        auto traj = linalg::lorenz_trajectory(
+            args[0].as_double(), args[1].as_double(), args[2].as_double(), y0[0], y0[1],
+            y0[2], args[4].as_double(), static_cast<std::size_t>(steps),
+            static_cast<std::size_t>(stride));
+        if (!traj.ok()) return traj.error();
+        return Args{DataObject(std::move(traj).value())};
+      });
+
+  // ---- Synthetic workloads ----
+  registry.add(
+      spec("mandelbrot", "Escape-time counts on a square window of the Mandelbrot set",
+           {{"center_re", DataType::kDouble},
+            {"center_im", DataType::kDouble},
+            {"scale", DataType::kDouble},
+            {"resolution", DataType::kInt},
+            {"max_iter", DataType::kInt}},
+           {{"counts", DataType::kVector}}, 400.0, 2.0, /*size_arg=*/3),
+      [](const Args& args) -> Result<Args> {
+        const std::int64_t res = args[3].as_int();
+        const std::int64_t max_iter = args[4].as_int();
+        if (res <= 0 || res > 8192 || max_iter <= 0) {
+          return make_error(ErrorCode::kBadArguments, "mandelbrot: bad resolution/max_iter");
+        }
+        const double cr = args[0].as_double();
+        const double ci = args[1].as_double();
+        const double scale = args[2].as_double();
+        const auto n = static_cast<std::size_t>(res);
+        linalg::Vector counts(n * n);
+        for (std::size_t py = 0; py < n; ++py) {
+          for (std::size_t px = 0; px < n; ++px) {
+            const double x0 = cr + scale * (2.0 * static_cast<double>(px) / static_cast<double>(n) - 1.0);
+            const double y0 = ci + scale * (2.0 * static_cast<double>(py) / static_cast<double>(n) - 1.0);
+            double x = 0, y = 0;
+            std::int64_t it = 0;
+            while (x * x + y * y <= 4.0 && it < max_iter) {
+              const double xt = x * x - y * y + x0;
+              y = 2 * x * y + y0;
+              x = xt;
+              ++it;
+            }
+            counts[py * n + px] = static_cast<double>(it);
+          }
+        }
+        return Args{DataObject(std::move(counts))};
+      });
+
+  // busywork(N): N Mflop of machine-independent synthetic compute,
+  // calibrated against the host's native rate so its wall time matches a
+  // real N-Mflop dense kernel. The scheduling experiments lean on this:
+  // its cost is predictable and exactly proportional to N.
+  registry.add(
+      spec("busywork", "Synthetic compute: N Mflop of calibrated busy work",
+           {{"mflop", DataType::kInt}}, {{"done", DataType::kInt}}, 1e6, 1.0),
+      [native_mflops](const Args& args) -> Result<Args> {
+        const std::int64_t mflop = args[0].as_int();
+        if (mflop < 0 || mflop > 1000000) {
+          return make_error(ErrorCode::kBadArguments, "busywork: mflop out of range");
+        }
+        const double rate = native_mflops > 0 ? native_mflops : 100.0;
+        busy_spin_seconds(static_cast<double>(mflop) / rate);
+        return Args{DataObject(mflop)};
+      });
+
+  // simwork(N): like busywork but sleeps instead of spinning. Used by the
+  // multi-machine scheduling experiments: on a one-host deployment a
+  // *sleeping* server correctly emulates work done on an independent remote
+  // processor (it occupies that server's capacity without contending for
+  // the host CPU), whereas busywork models compute sharing the local CPU.
+  registry.add(
+      spec("simwork", "Synthetic compute: N Mflop of simulated (sleeping) work",
+           {{"mflop", DataType::kInt}}, {{"done", DataType::kInt}}, 1e6, 1.0),
+      [native_mflops](const Args& args) -> Result<Args> {
+        const std::int64_t mflop = args[0].as_int();
+        if (mflop < 0 || mflop > 1000000) {
+          return make_error(ErrorCode::kBadArguments, "simwork: mflop out of range");
+        }
+        const double rate = native_mflops > 0 ? native_mflops : 100.0;
+        sleep_seconds(static_cast<double>(mflop) / rate);
+        return Args{DataObject(mflop)};
+      });
+}
+
+std::string builtin_spec_text() {
+  dsl::ProblemRegistry registry;
+  register_builtin_problems(registry, 100.0);
+  return dsl::format_spec_file(registry.all_specs());
+}
+
+}  // namespace ns::server

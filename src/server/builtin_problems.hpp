@@ -1,0 +1,25 @@
+// The standard problem catalogue every computational server ships.
+//
+// Mirrors the original NetSolve server's wrapping of LAPACK / BLAS / ITPACK
+// / FitPack: each entry binds a problem description (see dsl/specfile) to an
+// executor implemented with ns::linalg. Complexity models use the textbook
+// flop counts so the agent's predictor has honest inputs.
+#pragma once
+
+#include "dsl/registry.hpp"
+
+namespace ns::server {
+
+/// Register the full catalogue into `registry`.
+///
+/// `native_mflops` is the host's measured LINPACK-style rate; it calibrates
+/// the synthetic `busywork` problem (N Mflop of machine-independent work) so
+/// that its wall time matches what an N-Mflop dense kernel would take on
+/// this host.
+void register_builtin_problems(dsl::ProblemRegistry& registry, double native_mflops);
+
+/// The problem-description file for the catalogue, in the @PROBLEM format
+/// (round-trips through dsl::parse_spec_file; used by tests and the CLI).
+std::string builtin_spec_text();
+
+}  // namespace ns::server

@@ -1,0 +1,311 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "dsl/specfile.hpp"
+#include "linalg/rating.hpp"
+#include "server/builtin_problems.hpp"
+
+namespace ns::server {
+
+namespace {
+
+using proto::MessageType;
+
+serial::Bytes encode_payload(const auto& msg) {
+  serial::Encoder enc;
+  msg.encode(enc);
+  return enc.take();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ComputeServer>> ComputeServer::start(ServerConfig config) {
+  if (config.speed_factor <= 0.0 || config.speed_factor > 1.0) {
+    return make_error(ErrorCode::kBadArguments, "speed_factor must be in (0, 1]");
+  }
+  if (config.workers < 1) {
+    return make_error(ErrorCode::kBadArguments, "workers must be >= 1");
+  }
+
+  double native = config.rating_override;
+  if (native <= 0.0) {
+    native = linalg::linpack_rating(/*n=*/160, /*repeats=*/2).mflops;
+  }
+  const double rated = native * config.speed_factor;
+
+  auto listener = net::TcpListener::bind(config.listen);
+  if (!listener.ok()) return listener.error();
+
+  std::unique_ptr<ComputeServer> server(
+      new ComputeServer(std::move(config), std::move(listener).value(), rated));
+  register_builtin_problems(server->registry_, native);
+  if (!server->config_.problem_filter.empty()) {
+    server->registry_.retain_only(server->config_.problem_filter);
+    if (server->registry_.size() == 0) {
+      return make_error(ErrorCode::kBadArguments,
+                        "problem_filter matches nothing in the catalogue");
+    }
+  }
+  if (!server->config_.spec_overrides.empty()) {
+    auto overrides = dsl::parse_spec_file(server->config_.spec_overrides);
+    if (!overrides.ok()) return overrides.error();
+    for (const auto& spec : overrides.value()) {
+      NS_RETURN_IF_ERROR(server->registry_.override_spec(spec));
+    }
+  }
+
+  NS_RETURN_IF_ERROR(server->register_with_agent());
+
+  server->accept_thread_ = std::thread([raw = server.get()] { raw->accept_loop(); });
+  server->report_thread_ = std::thread([raw = server.get()] { raw->report_loop(); });
+  return server;
+}
+
+ComputeServer::ComputeServer(ServerConfig config, net::TcpListener listener,
+                             double rated_mflops)
+    : config_(std::move(config)),
+      listener_(std::move(listener)),
+      rated_mflops_(rated_mflops),
+      failure_rng_(config_.seed),
+      background_load_(config_.background_load) {}
+
+ComputeServer::~ComputeServer() { stop(); }
+
+Status ComputeServer::register_with_agent() {
+  auto conn = net::TcpConnection::connect(config_.agent, 5.0);
+  if (!conn.ok()) return conn.error();
+
+  proto::RegisterServer reg;
+  reg.server_name = config_.name;
+  reg.endpoint = listener_.endpoint();
+  reg.mflops = rated_mflops_;
+  reg.problems = registry_.all_specs();
+  NS_RETURN_IF_ERROR(net::send_message(conn.value(),
+                                       static_cast<std::uint16_t>(MessageType::kRegisterServer),
+                                       encode_payload(reg)));
+
+  auto reply = net::recv_message(conn.value(), config_.io_timeout_s);
+  if (!reply.ok()) return reply.error();
+  if (reply.value().type != static_cast<std::uint16_t>(MessageType::kRegisterAck)) {
+    return make_error(ErrorCode::kProtocol, "expected RegisterAck");
+  }
+  serial::Decoder dec(reply.value().payload);
+  auto ack = proto::RegisterAck::decode(dec);
+  if (!ack.ok()) return ack.error();
+  server_id_.store(ack.value().server_id);
+  NS_INFO("server") << config_.name << " registered as id=" << ack.value().server_id
+                    << " rating=" << rated_mflops_ << " Mflop/s";
+  return ok_status();
+}
+
+void ComputeServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.accept(0.05);
+    if (!conn.ok()) {
+      if (conn.error().code == ErrorCode::kTimeout) continue;
+      break;
+    }
+    active_connections_.fetch_add(1);
+    std::thread([this, c = std::make_shared<net::TcpConnection>(std::move(conn).value())]() mutable {
+      handle_connection(std::move(*c));
+      active_connections_.fetch_sub(1);
+    }).detach();
+  }
+}
+
+FailureSpec::Mode ComputeServer::roll_failure() {
+  std::lock_guard<std::mutex> lock(failure_mu_);
+  const std::int64_t seen = requests_seen_.fetch_add(1) + 1;
+  if (config_.failure.mode == FailureSpec::Mode::kNone) return FailureSpec::Mode::kNone;
+  if (config_.failure.after_requests >= 0 && seen > config_.failure.after_requests) {
+    return config_.failure.mode;
+  }
+  if (config_.failure.probability > 0 && failure_rng_.bernoulli(config_.failure.probability)) {
+    return config_.failure.mode;
+  }
+  return FailureSpec::Mode::kNone;
+}
+
+void ComputeServer::handle_connection(net::TcpConnection conn) {
+  while (!stopping_.load()) {
+    auto msg = net::recv_message(conn, config_.io_timeout_s);
+    if (!msg.ok()) return;
+
+    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kPing)) {
+      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kPong), {});
+      continue;
+    }
+    if (msg.value().type != static_cast<std::uint16_t>(MessageType::kSolveRequest)) {
+      return;  // protocol violation: drop
+    }
+
+    serial::Decoder dec(msg.value().payload);
+    auto request = proto::SolveRequest::decode(dec);
+    proto::SolveResult result;
+    if (!request.ok()) {
+      result.error_code = static_cast<std::uint16_t>(request.error().code);
+      result.error_message = request.error().message;
+      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
+                              encode_payload(result), config_.link);
+      return;
+    }
+    result.request_id = request.value().request_id;
+
+    // Failure injection happens after the request is fully received — the
+    // client has already paid the transfer cost, which is the expensive
+    // failure the retry logic must absorb.
+    switch (roll_failure()) {
+      case FailureSpec::Mode::kCrash:
+        NS_WARN("server") << config_.name << " injected crash";
+        crashed_.store(true);
+        stopping_.store(true);
+        listener_.close();
+        jobs_cv_.notify_all();
+        return;
+      case FailureSpec::Mode::kDropRequest:
+        NS_DEBUG("server") << config_.name << " injected connection drop";
+        return;
+      case FailureSpec::Mode::kHangRequest:
+        // Hold the connection silently; the client's io timeout is the only
+        // way out. Bounded so stop() stays prompt.
+        NS_DEBUG("server") << config_.name << " injected hang";
+        while (!stopping_.load()) sleep_seconds(0.02);
+        return;
+      case FailureSpec::Mode::kErrorReply:
+        result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerFailure);
+        result.error_message = "injected failure";
+        (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
+                                encode_payload(result), config_.link);
+        continue;
+      case FailureSpec::Mode::kNone:
+        break;
+    }
+
+    // Acquire a worker slot; waiting requests count toward workload.
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      if (config_.max_queue > 0 && waiting_jobs_ >= config_.max_queue) {
+        lock.unlock();
+        result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+        result.error_message = "admission control: queue full";
+        (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
+                                encode_payload(result), config_.link);
+        continue;
+      }
+      ++waiting_jobs_;
+      jobs_cv_.wait(lock, [this] { return running_jobs_ < config_.workers || stopping_.load(); });
+      --waiting_jobs_;
+      if (stopping_.load()) return;
+      ++running_jobs_;
+    }
+
+    const Stopwatch watch;
+    auto outputs = registry_.execute(request.value().problem, request.value().args);
+    double elapsed = watch.elapsed();
+    // Heterogeneity emulation: a speed-s server takes 1/s as long, and a
+    // synthetic background load of L competing jobs stretches service by
+    // (1 + L) under processor sharing.
+    const double bg = background_load_.load();
+    const double stretch = (1.0 / config_.speed_factor) * (1.0 + std::max(bg, 0.0)) - 1.0;
+    if (stretch > 0.0) {
+      const double extra = elapsed * stretch;
+      if (config_.slowdown_mode == SlowdownMode::kSpin) {
+        elapsed += busy_spin_seconds(extra);
+      } else {
+        const Stopwatch extra_watch;
+        sleep_seconds(extra);
+        elapsed += extra_watch.elapsed();
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      --running_jobs_;
+      jobs_cv_.notify_one();
+    }
+
+    result.exec_seconds = elapsed;
+    if (outputs.ok()) {
+      result.outputs = std::move(outputs).value();
+      completed_.fetch_add(1);
+    } else {
+      result.error_code = static_cast<std::uint16_t>(outputs.error().code);
+      result.error_message = outputs.error().message;
+    }
+    if (!net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
+                           encode_payload(result), config_.link)
+             .ok()) {
+      return;
+    }
+  }
+}
+
+double ComputeServer::current_workload() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return static_cast<double>(running_jobs_ + waiting_jobs_) + background_load_.load();
+}
+
+void ComputeServer::send_workload_report(double workload) {
+  auto conn = net::TcpConnection::connect(config_.agent, 1.0);
+  if (!conn.ok()) return;  // agent temporarily unreachable; next period retries
+  proto::WorkloadReport report;
+  report.server_id = server_id_.load();
+  report.workload = workload;
+  report.completed = completed_.load();
+  (void)net::send_message(conn.value(),
+                          static_cast<std::uint16_t>(MessageType::kWorkloadReport),
+                          encode_payload(report));
+}
+
+void ComputeServer::report_loop() {
+  double last_sent = -1e300;  // force an initial report
+  Stopwatch since_registration;
+  while (!stopping_.load()) {
+    // Agent-restart resilience: periodically refresh the registration
+    // (idempotent at the agent; a rebooted agent learns us this way).
+    if (config_.reregister_period_s > 0 &&
+        since_registration.elapsed() >= config_.reregister_period_s) {
+      (void)register_with_agent();  // failure is fine; retry next period
+      since_registration.reset();
+    }
+    const double workload = current_workload();
+    if (std::abs(workload - last_sent) >= config_.report_threshold || last_sent == -1e300) {
+      send_workload_report(workload);
+      last_sent = workload;
+    }
+    // Sleep in small steps so stop() is prompt.
+    const Deadline next(config_.report_period_s);
+    while (!next.expired() && !stopping_.load()) {
+      sleep_seconds(std::min(0.02, next.remaining()));
+    }
+  }
+}
+
+void ComputeServer::inject_failure(const FailureSpec& failure) {
+  std::lock_guard<std::mutex> lock(failure_mu_);
+  config_.failure = failure;
+}
+
+void ComputeServer::set_background_load(double load) { background_load_.store(load); }
+
+void ComputeServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (report_thread_.joinable()) report_thread_.join();
+    return;
+  }
+  listener_.close();
+  jobs_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (report_thread_.joinable()) report_thread_.join();
+  const Deadline deadline(config_.io_timeout_s + 1.0);
+  while (active_connections_.load() > 0 && !deadline.expired()) {
+    sleep_seconds(0.001);
+  }
+}
+
+}  // namespace ns::server

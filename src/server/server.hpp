@@ -1,0 +1,171 @@
+// The computational server daemon.
+//
+// Registers its problem catalogue and rating with an agent, then serves
+// SolveRequests from clients. Concurrency is a bounded worker pool
+// (thread-per-connection gated by a capacity semaphore); workload — the
+// number of requests running or waiting plus any configured synthetic
+// background load — is reported to the agent periodically with a change
+// threshold, reproducing the original system's traffic-bounded reporting.
+//
+// Heterogeneous pools on one machine are emulated with `speed_factor`
+// in (0, 1]: after executing a request natively, the server busy-spins
+// elapsed * (1/speed - 1) extra seconds, and it registers a rating scaled by
+// the same factor, so the agent's predictions and the observed service
+// times stay mutually consistent.
+//
+// Failure injection hooks exercise the client's fault-tolerance path:
+// error replies, dropped connections mid-request, or a full crash.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsl/registry.hpp"
+#include "net/shaped_link.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "proto/messages.hpp"
+
+namespace ns::server {
+
+struct FailureSpec {
+  enum class Mode {
+    kNone,          // healthy
+    kErrorReply,    // reply with SERVER_FAILURE instead of executing
+    kDropRequest,   // close the connection mid-request, no reply
+    kHangRequest,   // accept the request, never reply (client must time out)
+    kCrash,         // kill the whole server (listener closed, all drops)
+  };
+  Mode mode = Mode::kNone;
+  /// Per-request probability of triggering (independent Bernoulli draws).
+  double probability = 0.0;
+  /// Additionally trigger once after exactly this many requests (<0 = off).
+  std::int64_t after_requests = -1;
+};
+
+/// How a speed_factor < 1 stretches service time. kSpin occupies the host
+/// CPU for the extra time (honest when emulated servers share one
+/// processor); kSleep yields it (honest when each server stands in for an
+/// independent remote machine — the multi-machine scheduling experiments).
+enum class SlowdownMode { kSpin, kSleep };
+
+struct ServerConfig {
+  std::string name = "server";
+  net::Endpoint listen{"127.0.0.1", 0};
+  net::Endpoint agent;
+  /// Max requests executing concurrently; excess waits (and counts toward
+  /// the reported workload).
+  int workers = 2;
+  /// Reject (SERVER_OVERLOADED, retryable) instead of queueing once this
+  /// many requests are already waiting; 0 disables admission control.
+  int max_queue = 0;
+  /// Emulated relative speed in (0, 1]; see the file comment.
+  double speed_factor = 1.0;
+  SlowdownMode slowdown_mode = SlowdownMode::kSpin;
+  /// Reported Mflop rating; 0 measures the host with linpack_rating().
+  double rating_override = 0.0;
+  /// Workload report cadence.
+  double report_period_s = 0.1;
+  /// Re-register with the agent this often (0 = only at startup).
+  /// Registration is idempotent (the agent revives by name+endpoint), so
+  /// this makes servers survive an agent restart: the new agent learns the
+  /// pool within one period.
+  double reregister_period_s = 0.0;
+  /// Suppress a report unless the workload moved at least this much (in job
+  /// units) since the last transmitted value. 0 reports every period.
+  double report_threshold = 0.0;
+  /// Synthetic competing load of L jobs: added to the reported workload AND
+  /// stretching every service time by (1 + L) — the processor-sharing model
+  /// the agent's predictor assumes.
+  double background_load = 0.0;
+  /// Shape applied to server->client reply traffic.
+  net::LinkShape link;
+  double io_timeout_s = 10.0;
+  FailureSpec failure;
+  std::uint64_t seed = 0x5e1f;
+  /// Offer only these problems from the builtin catalogue (empty = all).
+  /// Models the original deployments where different hosts wrapped
+  /// different libraries (one machine has LAPACK, another ITPACK, ...).
+  std::vector<std::string> problem_filter;
+  /// Optional problem-description overrides in the @PROBLEM file format
+  /// (see dsl/specfile.hpp). Lets an administrator re-tune descriptions and
+  /// complexity models without recompiling — the original system's config
+  /// workflow. Each overriding spec must match the builtin's signature
+  /// (input/output names may change, types and arity may not).
+  std::string spec_overrides;
+};
+
+class ComputeServer {
+ public:
+  /// Rate the host (or take the override), register the builtin catalogue
+  /// with the agent, and start serving.
+  static Result<std::unique_ptr<ComputeServer>> start(ServerConfig config);
+
+  ~ComputeServer();
+  ComputeServer(const ComputeServer&) = delete;
+  ComputeServer& operator=(const ComputeServer&) = delete;
+
+  net::Endpoint endpoint() const { return listener_.endpoint(); }
+  proto::ServerId server_id() const noexcept { return server_id_.load(); }
+  const std::string& name() const noexcept { return config_.name; }
+  double rated_mflops() const noexcept { return rated_mflops_; }
+
+  /// Runtime controls for the experiments.
+  void inject_failure(const FailureSpec& failure);
+  void set_background_load(double load);
+
+  /// Requests fully executed (successful replies sent).
+  std::uint64_t completed() const noexcept { return completed_.load(); }
+  /// Current workload as would be reported (running + waiting + background).
+  double current_workload() const;
+
+  /// Stop serving and wait for in-flight work to drain.
+  void stop();
+  bool crashed() const noexcept { return crashed_.load(); }
+
+ private:
+  ComputeServer(ServerConfig config, net::TcpListener listener, double rated_mflops);
+
+  Status register_with_agent();
+  void accept_loop();
+  void handle_connection(net::TcpConnection conn);
+  void report_loop();
+  void send_workload_report(double workload);
+  /// Decide failure injection for one request; returns the triggered mode.
+  FailureSpec::Mode roll_failure();
+
+  ServerConfig config_;
+  net::TcpListener listener_;
+  dsl::ProblemRegistry registry_;
+  double rated_mflops_ = 0.0;
+  std::atomic<proto::ServerId> server_id_{proto::kInvalidServerId};
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<int> active_connections_{0};
+
+  // Worker-pool capacity gate.
+  mutable std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  int running_jobs_ = 0;
+  int waiting_jobs_ = 0;
+
+  mutable std::mutex failure_mu_;
+  Rng failure_rng_;
+  std::atomic<std::int64_t> requests_seen_{0};
+  std::atomic<double> background_load_;
+
+  std::atomic<std::uint64_t> completed_{0};
+
+  std::thread accept_thread_;
+  std::thread report_thread_;
+};
+
+}  // namespace ns::server

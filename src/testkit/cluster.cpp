@@ -1,0 +1,115 @@
+#include "testkit/cluster.hpp"
+
+#include <cmath>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "linalg/rating.hpp"
+
+namespace ns::testkit {
+
+Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
+  if (config.servers.empty()) {
+    return make_error(ErrorCode::kBadArguments, "cluster needs at least one server");
+  }
+
+  std::unique_ptr<TestCluster> cluster(new TestCluster());
+  cluster->config_ = config;
+
+  cluster->rating_base_ = config.rating_base > 0
+                              ? config.rating_base
+                              : linalg::linpack_rating(/*n=*/160, /*repeats=*/2).mflops;
+
+  agent::AgentConfig agent_config;
+  agent_config.policy = config.policy;
+  agent_config.registry = config.registry;
+  agent_config.ping_period_s = config.ping_period_s;
+  agent_config.count_pending = config.count_pending;
+  auto agent = agent::Agent::start(agent_config);
+  if (!agent.ok()) return agent.error();
+  cluster->agent_ = std::move(agent).value();
+
+  std::uint64_t seed = 0xbada55;
+  for (const auto& spec : config.servers) {
+    server::ServerConfig sc;
+    sc.name = spec.name;
+    sc.agent = cluster->agent_->endpoint();
+    sc.workers = spec.workers;
+    sc.max_queue = spec.max_queue;
+    sc.speed_factor = spec.speed;
+    sc.slowdown_mode = spec.slowdown_mode;
+    sc.rating_override = cluster->rating_base_;
+    sc.report_period_s = spec.report_period_s;
+    sc.report_threshold = spec.report_threshold;
+    sc.background_load = spec.background_load;
+    sc.link = spec.link;
+    sc.io_timeout_s = config.io_timeout_s;
+    sc.failure = spec.failure;
+    sc.problem_filter = spec.problems;
+    sc.seed = seed++;
+    auto server = server::ComputeServer::start(std::move(sc));
+    if (!server.ok()) {
+      cluster->stop();
+      return server.error();
+    }
+    cluster->servers_.push_back(std::move(server).value());
+  }
+
+  // Wait for every server's first workload report so the agent's view is
+  // complete before the first query (registration already happened
+  // synchronously in ComputeServer::start).
+  const Deadline deadline(5.0);
+  while (!deadline.expired()) {
+    if (cluster->agent_->stats().workload_reports >= cluster->servers_.size()) break;
+    sleep_seconds(0.002);
+  }
+  return cluster;
+}
+
+TestCluster::~TestCluster() { stop(); }
+
+void TestCluster::stop() {
+  for (auto& server : servers_) {
+    if (server) server->stop();
+  }
+  if (agent_) agent_->stop();
+}
+
+client::NetSolveClient TestCluster::make_client() const {
+  return make_client(config_.client_link);
+}
+
+client::NetSolveClient TestCluster::make_client(const net::LinkShape& link) const {
+  client::ClientConfig cc;
+  cc.agent = agent_->endpoint();
+  cc.link = link;
+  cc.io_timeout_s = config_.io_timeout_s;
+  return client::NetSolveClient(cc);
+}
+
+std::vector<ClusterServerSpec> uniform_pool(std::size_t count, int workers) {
+  std::vector<ClusterServerSpec> specs;
+  for (std::size_t i = 0; i < count; ++i) {
+    ClusterServerSpec spec;
+    spec.name = "server" + std::to_string(i);
+    spec.workers = workers;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<ClusterServerSpec> power_of_two_pool(std::size_t count, int workers) {
+  std::vector<ClusterServerSpec> specs;
+  double speed = 1.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    ClusterServerSpec spec;
+    spec.name = "server" + std::to_string(i) + "_s" + std::to_string(i);
+    spec.speed = speed;
+    spec.workers = workers;
+    specs.push_back(std::move(spec));
+    speed /= 2.0;
+  }
+  return specs;
+}
+
+}  // namespace ns::testkit

@@ -1,0 +1,98 @@
+// In-process NetSolve cluster orchestration.
+//
+// Starts one agent plus N computational servers (each on its own ephemeral
+// loopback port, with its own threads) inside the current process — the
+// "multi-process evaluation on one machine" shape of the reproduction, with
+// process isolation traded for deterministic startup/teardown in tests and
+// benches. The standalone binaries under examples/standalone/ provide the
+// true multi-process deployment.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "client/client.hpp"
+#include "common/error.hpp"
+#include "server/server.hpp"
+
+namespace ns::testkit {
+
+struct ClusterServerSpec {
+  std::string name;
+  /// Emulated relative speed in (0, 1]; 1 = full host speed.
+  double speed = 1.0;
+  server::SlowdownMode slowdown_mode = server::SlowdownMode::kSpin;
+  int workers = 2;
+  int max_queue = 0;  // admission control (0 = queue without bound)
+  double report_period_s = 0.05;
+  double report_threshold = 0.0;
+  double background_load = 0.0;
+  net::LinkShape link;  // server->client reply shaping
+  server::FailureSpec failure;
+  /// Offer only these problems (empty = the full catalogue).
+  std::vector<std::string> problems;
+};
+
+struct ClusterConfig {
+  std::string policy = "mct";
+  std::vector<ClusterServerSpec> servers;
+  /// Native Mflop rating shared by all servers; 0 measures the host once.
+  double rating_base = 0.0;
+  agent::RegistryConfig registry;
+  /// Agent-side liveness ping period (0 = off).
+  double ping_period_s = 0.0;
+  /// Predictor counts unreported assignments (the E9 ablation toggle).
+  bool count_pending = true;
+  /// Default shaping for clients created via make_client().
+  net::LinkShape client_link;
+  double io_timeout_s = 30.0;
+};
+
+class TestCluster {
+ public:
+  /// Start the agent and all servers; blocks until every server has
+  /// registered and delivered its first workload report.
+  static Result<std::unique_ptr<TestCluster>> start(ClusterConfig config);
+
+  ~TestCluster();
+  TestCluster(const TestCluster&) = delete;
+  TestCluster& operator=(const TestCluster&) = delete;
+
+  agent::Agent& agent() noexcept { return *agent_; }
+  net::Endpoint agent_endpoint() const { return agent_->endpoint(); }
+
+  std::size_t server_count() const noexcept { return servers_.size(); }
+  server::ComputeServer& server(std::size_t i) { return *servers_.at(i); }
+
+  /// A client wired to this cluster's agent (link defaults to the cluster's
+  /// client_link).
+  client::NetSolveClient make_client() const;
+  client::NetSolveClient make_client(const net::LinkShape& link) const;
+
+  /// The native (speed=1) rating the servers were calibrated against.
+  double rating_base() const noexcept { return rating_base_; }
+
+  /// Stop everything (idempotent; also run by the destructor).
+  void stop();
+
+ private:
+  TestCluster() = default;
+
+  ClusterConfig config_;
+  double rating_base_ = 0.0;
+  std::unique_ptr<agent::Agent> agent_;
+  std::vector<std::unique_ptr<server::ComputeServer>> servers_;
+};
+
+/// Convenience spec builders for the common experiment pools.
+
+/// `count` identical full-speed servers.
+std::vector<ClusterServerSpec> uniform_pool(std::size_t count, int workers = 2);
+
+/// Heterogeneous pool with speeds descending by powers of two:
+/// 1, 1/2, 1/4, ... (the 8:4:2:1 pool of the load-balancing experiment).
+std::vector<ClusterServerSpec> power_of_two_pool(std::size_t count, int workers = 2);
+
+}  // namespace ns::testkit

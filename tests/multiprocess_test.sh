@@ -1,0 +1,41 @@
+#!/bin/sh
+# True multi-process integration test: standalone agent + two server daemons
+# + client CLI, communicating over loopback TCP — the deployment shape of
+# the original system, on one machine.
+#
+# Usage: multiprocess_test.sh <build-examples-dir>
+set -eu
+
+BIN="$1"
+PORT=$((20000 + $$ % 20000))
+LOG=$(mktemp -d)
+trap 'kill $AGENT_PID $S1_PID $S2_PID 2>/dev/null || true; rm -rf "$LOG"' EXIT
+
+"$BIN/netsolve_agent" port=$PORT runtime=30 > "$LOG/agent.log" 2>&1 &
+AGENT_PID=$!
+
+# Give the agent a moment to bind, then start two specialized servers.
+sleep 0.3
+"$BIN/netsolve_server" name=alpha agent_port=$PORT rating=800 runtime=30 \
+    > "$LOG/s1.log" 2>&1 &
+S1_PID=$!
+"$BIN/netsolve_server" name=beta agent_port=$PORT rating=800 speed=0.5 \
+    problems=dgesv,dgemm runtime=30 > "$LOG/s2.log" 2>&1 &
+S2_PID=$!
+sleep 0.5
+
+echo "== catalogue =="
+"$BIN/netsolve_client" agent_port=$PORT cmd=list
+
+echo "== solve =="
+"$BIN/netsolve_client" agent_port=$PORT cmd=solve n=200 problem=dgesv
+
+echo "== bench =="
+"$BIN/netsolve_client" agent_port=$PORT cmd=bench n=128 calls=5
+
+echo "== kill one server, solve again (fault tolerance across processes) =="
+kill $S1_PID
+wait $S1_PID 2>/dev/null || true
+"$BIN/netsolve_client" agent_port=$PORT cmd=solve n=200 problem=dgesv
+
+echo "MULTIPROCESS_TEST_PASSED"

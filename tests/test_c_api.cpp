@@ -1,0 +1,203 @@
+// Tests for the C client binding — the paper's C interface, exercised as a
+// C caller would (descriptor structs, opaque handles, error codes).
+#include <gtest/gtest.h>
+
+#include "client/netsolve_c.h"
+#include "common/clock.hpp"
+#include "linalg/blas.hpp"
+#include "testkit/cluster.hpp"
+
+namespace ns {
+namespace {
+
+class CApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testkit::ClusterConfig config;
+    config.servers = testkit::uniform_pool(2);
+    config.rating_base = 500.0;
+    auto cluster = testkit::TestCluster::start(std::move(config));
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    session_ = ns_connect("127.0.0.1", cluster_->agent_endpoint().port);
+    ASSERT_NE(session_, nullptr);
+  }
+
+  void TearDown() override {
+    ns_disconnect(session_);
+    session_ = nullptr;
+  }
+
+  std::unique_ptr<testkit::TestCluster> cluster_;
+  ns_session* session_ = nullptr;
+};
+
+TEST_F(CApiTest, ConnectFailsForDeadAgent) {
+  EXPECT_EQ(ns_connect("127.0.0.1", 1), nullptr);
+  EXPECT_EQ(ns_connect(nullptr, 1), nullptr);
+}
+
+TEST_F(CApiTest, ProblemCount) {
+  const int count = ns_problem_count(session_);
+  EXPECT_GE(count, 20);
+}
+
+TEST_F(CApiTest, BlockingDgesv) {
+  // 3x3 diagonally dominant system with known solution x = (1, 2, 3).
+  const double a_data[9] = {10, 1, 0,   // column 0
+                            1, 10, 1,   // column 1
+                            0, 1, 10};  // column 2
+  const double x_true[3] = {1, 2, 3};
+  double b_data[3];
+  for (int i = 0; i < 3; ++i) {
+    b_data[i] = 0;
+    for (int j = 0; j < 3; ++j) b_data[i] += a_data[j * 3 + i] * x_true[j];
+  }
+
+  ns_arg inputs[2] = {};
+  inputs[0].type = NS_ARG_MATRIX;
+  inputs[0].data = a_data;
+  inputs[0].rows = 3;
+  inputs[0].cols = 3;
+  inputs[1].type = NS_ARG_VECTOR;
+  inputs[1].data = b_data;
+  inputs[1].len = 3;
+
+  ns_arg outputs[1] = {};
+  outputs[0].type = NS_ARG_VECTOR;
+
+  ASSERT_EQ(netsl(session_, "dgesv", inputs, 2, outputs, 1), NS_OK)
+      << ns_last_error(session_);
+  ASSERT_EQ(outputs[0].len, 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(outputs[0].out_data[i], x_true[i], 1e-10);
+  }
+}
+
+TEST_F(CApiTest, ScalarInputsAndOutputs) {
+  const double x[3] = {1, 2, 3};
+  const double y[3] = {4, 5, 6};
+  ns_arg inputs[2] = {};
+  inputs[0].type = NS_ARG_VECTOR;
+  inputs[0].data = x;
+  inputs[0].len = 3;
+  inputs[1].type = NS_ARG_VECTOR;
+  inputs[1].data = y;
+  inputs[1].len = 3;
+  ns_arg output = {};
+  output.type = NS_ARG_DOUBLE;
+  ASSERT_EQ(netsl(session_, "ddot", inputs, 2, &output, 1), NS_OK);
+  EXPECT_DOUBLE_EQ(output.double_value, 32.0);
+}
+
+TEST_F(CApiTest, MatrixOutput) {
+  const double a[4] = {1, 0, 0, 1};  // identity
+  ns_arg inputs[2] = {};
+  inputs[0].type = NS_ARG_MATRIX;
+  inputs[0].data = a;
+  inputs[0].rows = 2;
+  inputs[0].cols = 2;
+  inputs[1] = inputs[0];
+  ns_arg output = {};
+  output.type = NS_ARG_MATRIX;
+  ASSERT_EQ(netsl(session_, "dgemm", inputs, 2, &output, 1), NS_OK);
+  ASSERT_EQ(output.rows, 2u);
+  ASSERT_EQ(output.cols, 2u);
+  EXPECT_DOUBLE_EQ(output.out_data[0], 1.0);
+  EXPECT_DOUBLE_EQ(output.out_data[1], 0.0);
+  EXPECT_DOUBLE_EQ(output.out_data[3], 1.0);
+}
+
+TEST_F(CApiTest, ErrorCodesMapped) {
+  ns_arg output = {};
+  output.type = NS_ARG_DOUBLE;
+  EXPECT_EQ(netsl(session_, "no_such_problem", nullptr, 0, &output, 1),
+            NS_ERR_UNKNOWN_PROBLEM);
+  EXPECT_NE(std::string(ns_last_error(session_)).size(), 0u);
+
+  // Wrong argument types reach the server's validation.
+  ns_arg bad = {};
+  bad.type = NS_ARG_DOUBLE;
+  bad.double_value = 1.0;
+  EXPECT_EQ(netsl(session_, "dgesv", &bad, 1, &output, 1), NS_ERR_BAD_ARGUMENTS);
+
+  // Output arity mismatch detected locally.
+  const double x[2] = {1, 2};
+  ns_arg vec = {};
+  vec.type = NS_ARG_VECTOR;
+  vec.data = x;
+  vec.len = 2;
+  ns_arg ins[2] = {vec, vec};
+  ns_arg outs[3] = {};
+  EXPECT_EQ(netsl(session_, "ddot", ins, 2, outs, 3), NS_ERR_BAD_ARGUMENTS);
+}
+
+TEST_F(CApiTest, NullDataRejected) {
+  ns_arg bad = {};
+  bad.type = NS_ARG_MATRIX;
+  bad.rows = 2;
+  bad.cols = 2;  // data == nullptr
+  ns_arg output = {};
+  output.type = NS_ARG_VECTOR;
+  EXPECT_EQ(netsl(session_, "dgesv", &bad, 1, &output, 1), NS_ERR_BAD_ARGUMENTS);
+}
+
+TEST_F(CApiTest, NonBlockingProbeWait) {
+  ns_arg input = {};
+  input.type = NS_ARG_INT;
+  input.int_value = 20;  // ~40ms busywork at rating 500
+  ns_request* request = netsl_nb(session_, "busywork", &input, 1);
+  ASSERT_NE(request, nullptr);
+
+  // Probe until ready.
+  const Deadline deadline(10.0);
+  while (netsl_probe(request) == NS_ERR_NOT_READY && !deadline.expired()) {
+    sleep_seconds(0.005);
+  }
+  EXPECT_EQ(netsl_probe(request), NS_OK);
+
+  ns_arg output = {};
+  output.type = NS_ARG_INT;
+  ASSERT_EQ(netsl_wait(request, &output, 1), NS_OK);
+  EXPECT_EQ(output.int_value, 20);
+  ns_request_free(request);
+}
+
+TEST_F(CApiTest, ManyConcurrentNonBlocking) {
+  constexpr int kRequests = 8;
+  ns_request* requests[kRequests];
+  ns_arg input = {};
+  input.type = NS_ARG_INT;
+  input.int_value = 5;
+  for (auto*& r : requests) {
+    r = netsl_nb(session_, "busywork", &input, 1);
+    ASSERT_NE(r, nullptr);
+  }
+  for (auto* r : requests) {
+    ns_arg output = {};
+    output.type = NS_ARG_INT;
+    EXPECT_EQ(netsl_wait(r, &output, 1), NS_OK);
+    ns_request_free(r);
+  }
+}
+
+TEST_F(CApiTest, OutputBuffersSurviveUntilNextCall) {
+  const double x[2] = {3, 4};
+  ns_arg ins[2] = {};
+  ins[0].type = NS_ARG_VECTOR;
+  ins[0].data = x;
+  ins[0].len = 2;
+  ins[1] = ins[0];
+  ns_arg out1 = {};
+  out1.type = NS_ARG_VECTOR;
+  ASSERT_EQ(netsl(session_, "daxpy", nullptr, 0, nullptr, 0), NS_ERR_BAD_ARGUMENTS);
+  ASSERT_EQ(netsl(session_, "convolve", ins, 2, &out1, 1), NS_OK);
+  // [3,4]*[3,4] = [9, 24, 16]
+  ASSERT_EQ(out1.len, 3u);
+  EXPECT_DOUBLE_EQ(out1.out_data[0], 9.0);
+  EXPECT_DOUBLE_EQ(out1.out_data[1], 24.0);
+  EXPECT_DOUBLE_EQ(out1.out_data[2], 16.0);
+}
+
+}  // namespace
+}  // namespace ns

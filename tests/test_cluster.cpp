@@ -1,0 +1,440 @@
+// Cluster-level behaviour: policy routing end-to-end, specialized server
+// catalogues, agent liveness pinging, the pending-assignment mechanism, the
+// extended problem set over the wire, and network-metric learning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/clock.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/fft.hpp"
+#include "testkit/cluster.hpp"
+
+namespace ns {
+namespace {
+
+using dsl::DataObject;
+
+// ---- extended catalogue over the wire ----
+
+class ExtendedProblemsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testkit::ClusterConfig config;
+    config.servers = testkit::uniform_pool(1);
+    config.rating_base = 500.0;
+    auto cluster = testkit::TestCluster::start(std::move(config));
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+  }
+  std::unique_ptr<testkit::TestCluster> cluster_;
+  Rng rng_{0xe0};
+};
+
+TEST_F(ExtendedProblemsTest, FftRoundTripRemotely) {
+  auto client = cluster_->make_client();
+  const auto re = linalg::random_vector(128, rng_);
+  const linalg::Vector im(128, 0.0);
+  auto fwd = client.call("fft", re, im);
+  ASSERT_TRUE(fwd.ok());
+  auto back = client.call("ifft", fwd.value()[0].as_vector(), fwd.value()[1].as_vector());
+  ASSERT_TRUE(back.ok());
+  EXPECT_LT(linalg::max_abs_diff(back.value()[0].as_vector(), re), 1e-10);
+}
+
+TEST_F(ExtendedProblemsTest, FftBadLengthRejected) {
+  auto client = cluster_->make_client();
+  auto out = client.call("fft", linalg::Vector(100), linalg::Vector(100));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ErrorCode::kBadArguments);
+}
+
+TEST_F(ExtendedProblemsTest, ConvolveRemotely) {
+  auto client = cluster_->make_client();
+  auto out = client.call("convolve", linalg::Vector{1, 2}, linalg::Vector{3, 4});
+  ASSERT_TRUE(out.ok());
+  const auto& z = out.value()[0].as_vector();
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_NEAR(z[1], 10.0, 1e-9);
+}
+
+TEST_F(ExtendedProblemsTest, SvdAndCondRemotely) {
+  auto client = cluster_->make_client();
+  auto sv = client.call("svd_vals", linalg::Matrix::identity(6));
+  ASSERT_TRUE(sv.ok());
+  for (const double s : sv.value()[0].as_vector()) EXPECT_NEAR(s, 1.0, 1e-10);
+  auto kappa = client.call("cond", linalg::Matrix::identity(6));
+  ASSERT_TRUE(kappa.ok());
+  EXPECT_NEAR(kappa.value()[0].as_double(), 1.0, 1e-9);
+}
+
+TEST_F(ExtendedProblemsTest, QuadSplineRemotely) {
+  auto client = cluster_->make_client();
+  linalg::Vector x, y;
+  for (int i = 0; i <= 20; ++i) {
+    x.push_back(i / 20.0);
+    y.push_back(x.back() * x.back());
+  }
+  auto out = client.call("quad_spline", x, y);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out.value()[0].as_double(), 1.0 / 3.0, 1e-4);
+}
+
+TEST_F(ExtendedProblemsTest, DsortRemotely) {
+  auto client = cluster_->make_client();
+  auto out = client.call("dsort", linalg::Vector{3.0, 1.0, 2.0, -5.0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].as_vector(), (linalg::Vector{-5.0, 1.0, 2.0, 3.0}));
+}
+
+TEST_F(ExtendedProblemsTest, ExpmRemotely) {
+  auto client = cluster_->make_client();
+  linalg::Matrix zero(4, 4);
+  auto out = client.call("expm", zero);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(linalg::max_abs_diff(out.value()[0].as_matrix(), linalg::Matrix::identity(4)),
+            1e-12);
+}
+
+TEST_F(ExtendedProblemsTest, LorenzRemotely) {
+  auto client = cluster_->make_client();
+  auto out = client.call("lorenz", 10.0, 28.0, 8.0 / 3.0, linalg::Vector{1, 1, 1}, 0.01,
+                         std::int64_t{200}, std::int64_t{10});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].as_vector().size() % 3, 0u);
+  // Bad y0 dimension rejected.
+  auto bad = client.call("lorenz", 10.0, 28.0, 8.0 / 3.0, linalg::Vector{1, 1}, 0.01,
+                         std::int64_t{10}, std::int64_t{1});
+  EXPECT_FALSE(bad.ok());
+}
+
+// ---- specialized catalogues ----
+
+TEST(SpecializedServersTest, AgentRoutesByProblem) {
+  testkit::ClusterConfig config;
+  testkit::ClusterServerSpec dense;
+  dense.name = "dense_box";
+  dense.problems = {"dgesv", "dgemm", "dposv"};
+  testkit::ClusterServerSpec sparse;
+  sparse.name = "sparse_box";
+  sparse.problems = {"cg", "jacobi_it", "sor"};
+  config.servers = {dense, sparse};
+  config.rating_base = 500.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+
+  Rng rng(1);
+  const auto a = linalg::Matrix::random_diag_dominant(16, rng);
+  const auto b = linalg::random_vector(16, rng);
+  client::CallStats stats;
+  ASSERT_TRUE(client.netsl("dgesv", {DataObject(a), DataObject(b)}, &stats).ok());
+  EXPECT_EQ(stats.server_name, "dense_box");
+
+  ASSERT_TRUE(client
+                  .netsl("cg", {DataObject(linalg::poisson_1d(16)),
+                                DataObject(linalg::Vector(16, 1.0))},
+                         &stats)
+                  .ok());
+  EXPECT_EQ(stats.server_name, "sparse_box");
+
+  // A problem neither offers.
+  auto missing = client.call("fft", linalg::Vector(8, 1.0), linalg::Vector(8, 0.0));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kUnknownProblem);
+}
+
+TEST(SpecializedServersTest, CatalogueIsUnionOfServers) {
+  testkit::ClusterConfig config;
+  testkit::ClusterServerSpec s1;
+  s1.name = "s1";
+  s1.problems = {"dgesv"};
+  testkit::ClusterServerSpec s2;
+  s2.name = "s2";
+  s2.problems = {"cg", "fft"};
+  config.servers = {s1, s2};
+  config.rating_base = 500.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+  auto problems = client.list_problems();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_EQ(problems.value().size(), 3u);
+}
+
+TEST(SpecializedServersTest, EmptyFilterMatchRejected) {
+  testkit::ClusterConfig config;
+  testkit::ClusterServerSpec s;
+  s.name = "bad";
+  s.problems = {"not_a_problem"};
+  config.servers = {s};
+  config.rating_base = 500.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  EXPECT_FALSE(cluster.ok());
+}
+
+TEST(SpecOverrideTest, ServerShipsTunedComplexityToAgent) {
+  testkit::ClusterConfig base;
+  base.servers = testkit::uniform_pool(1);
+  base.rating_base = 500.0;
+  auto cluster = testkit::TestCluster::start(std::move(base));
+  ASSERT_TRUE(cluster.ok());
+
+  // Second server with an admin-tuned dgesv complexity model joins the same
+  // agent; the agent keeps the first registration's spec, so query it via a
+  // dedicated cluster instead.
+  server::ServerConfig sc;
+  sc.name = "tuned";
+  sc.agent = cluster.value()->agent_endpoint();
+  sc.rating_override = 500.0;
+  sc.problem_filter = {"dgesv"};
+  sc.spec_overrides = R"(
+@PROBLEM dgesv
+@DESCRIPTION tuned solve
+@INPUT A matrixd
+@INPUT b vectord
+@OUTPUT x vectord
+@COMPLEXITY 99 3
+)";
+  auto tuned = server::ComputeServer::start(std::move(sc));
+  ASSERT_TRUE(tuned.ok()) << tuned.error().to_string();
+  tuned.value()->stop();
+}
+
+TEST(SpecOverrideTest, BadOverridesFailServerStartup) {
+  testkit::ClusterConfig base;
+  base.servers = testkit::uniform_pool(1);
+  base.rating_base = 500.0;
+  auto cluster = testkit::TestCluster::start(std::move(base));
+  ASSERT_TRUE(cluster.ok());
+
+  server::ServerConfig sc;
+  sc.name = "broken";
+  sc.agent = cluster.value()->agent_endpoint();
+  sc.rating_override = 500.0;
+  sc.spec_overrides = "@PROBLEM dgesv\n@INPUT A int\n@OUTPUT x vectord\n@COMPLEXITY 1 1\n";
+  EXPECT_FALSE(server::ComputeServer::start(std::move(sc)).ok())
+      << "signature-changing override must be rejected";
+
+  server::ServerConfig sc2;
+  sc2.name = "broken2";
+  sc2.agent = cluster.value()->agent_endpoint();
+  sc2.rating_override = 500.0;
+  sc2.spec_overrides = "@NOT_A_DIRECTIVE\n";
+  EXPECT_FALSE(server::ComputeServer::start(std::move(sc2)).ok());
+}
+
+TEST(SpecOverrideTest, TunedComplexityChangesAgentPrediction) {
+  // A lone server with dgesv's complexity inflated 100x: the agent's
+  // prediction for the same query must scale accordingly.
+  auto predict = [](std::string overrides) {
+    testkit::ClusterConfig config;
+    config.servers = testkit::uniform_pool(1);
+    config.rating_base = 500.0;
+    // Build the pool manually so the override applies to the only
+    // registration the agent ever sees.
+    agent::AgentConfig ac;
+    auto agent = agent::Agent::start(ac);
+    EXPECT_TRUE(agent.ok());
+    server::ServerConfig sc;
+    sc.name = "only";
+    sc.agent = agent.value()->endpoint();
+    sc.rating_override = 500.0;
+    sc.spec_overrides = std::move(overrides);
+    auto server = server::ComputeServer::start(std::move(sc));
+    EXPECT_TRUE(server.ok());
+
+    client::ClientConfig cc;
+    cc.agent = agent.value()->endpoint();
+    client::NetSolveClient client(cc);
+    Rng rng(1);
+    const auto a = linalg::Matrix::random_diag_dominant(64, rng);
+    const auto b = linalg::random_vector(64, rng);
+    auto list = client.query("dgesv", {DataObject(a), DataObject(b)});
+    EXPECT_TRUE(list.ok());
+    const double predicted = list.value().candidates.at(0).predicted_seconds;
+    server.value()->stop();
+    agent.value()->stop();
+    return predicted;
+  };
+
+  const double base = predict("");
+  const double tuned = predict(
+      "@PROBLEM dgesv\n@INPUT A matrixd\n@INPUT b vectord\n@OUTPUT x vectord\n"
+      "@COMPLEXITY 66.7 3\n");  // 100x the builtin 2/3 N^3
+  EXPECT_GT(tuned, base * 10) << "inflated complexity must inflate the prediction";
+}
+
+// ---- agent liveness ping ----
+
+TEST(AgentPingTest, DeadServerDetectedWithoutClientTraffic) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2);
+  config.rating_base = 500.0;
+  config.ping_period_s = 0.05;
+  // Reports would also revive it, so silence them after startup by making
+  // the period long.
+  for (auto& s : config.servers) s.report_period_s = 30.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_EQ(cluster.value()->agent().registry().alive_count(), 2u);
+
+  cluster.value()->server(0).stop();  // hard stop: listener gone
+
+  const Deadline deadline(5.0);
+  while (cluster.value()->agent().registry().alive_count() > 1 && !deadline.expired()) {
+    sleep_seconds(0.02);
+  }
+  EXPECT_EQ(cluster.value()->agent().registry().alive_count(), 1u)
+      << "ping should blacklist the stopped server";
+}
+
+TEST(AgentPingTest, HealthyServersStayAlive) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2);
+  config.rating_base = 500.0;
+  config.ping_period_s = 0.03;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  sleep_seconds(0.3);  // several ping rounds
+  EXPECT_EQ(cluster.value()->agent().registry().alive_count(), 2u);
+}
+
+// ---- pending-assignment mechanism (and its ablation) ----
+
+std::map<std::string, int> burst_distribution(bool count_pending) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(4, /*workers=*/1);
+  for (auto& s : config.servers) {
+    s.slowdown_mode = server::SlowdownMode::kSleep;
+    // Reports far apart: routing must rely on pending counts (or fail to).
+    s.report_period_s = 30.0;
+  }
+  config.rating_base = 1000.0;
+  config.count_pending = count_pending;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  EXPECT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+
+  // Fire 12 concurrent requests before any workload report can arrive.
+  std::vector<client::RequestHandle> handles;
+  for (int i = 0; i < 12; ++i) {
+    handles.push_back(client.netsl_nb("simwork", {DataObject(std::int64_t{30})}));
+  }
+  std::map<std::string, int> dist;
+  for (auto& h : handles) {
+    if (h.wait().ok()) dist[h.stats().server_name] += 1;
+  }
+  return dist;
+}
+
+TEST(PendingAssignmentTest, BurstSpreadsWithPendingCounts) {
+  const auto dist = burst_distribution(/*count_pending=*/true);
+  EXPECT_EQ(dist.size(), 4u) << "all four servers should receive work";
+  for (const auto& [name, count] : dist) {
+    EXPECT_EQ(count, 3) << name << " should get an equal share of a uniform burst";
+  }
+}
+
+TEST(PendingAssignmentTest, AblationDogPilesOneServer) {
+  const auto dist = burst_distribution(/*count_pending=*/false);
+  int max_share = 0;
+  for (const auto& [name, count] : dist) max_share = std::max(max_share, count);
+  EXPECT_EQ(max_share, 12) << "without pending counts the whole burst lands on the "
+                              "server that looked idle in the last report";
+}
+
+// ---- policy routing end-to-end ----
+
+TEST(PolicyRoutingTest, RoundRobinAlternatesOverWire) {
+  testkit::ClusterConfig config;
+  config.policy = "round_robin";
+  config.servers = testkit::uniform_pool(3);
+  config.rating_base = 500.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+
+  std::map<std::string, int> dist;
+  for (int i = 0; i < 9; ++i) {
+    client::CallStats stats;
+    ASSERT_TRUE(
+        client.netsl("ddot", {DataObject(linalg::Vector{1.0}), DataObject(linalg::Vector{2.0})},
+                     &stats)
+            .ok());
+    dist[stats.server_name] += 1;
+  }
+  ASSERT_EQ(dist.size(), 3u);
+  for (const auto& [name, count] : dist) EXPECT_EQ(count, 3) << name;
+}
+
+TEST(PolicyRoutingTest, MctPrefersFasterServer) {
+  testkit::ClusterConfig config;
+  testkit::ClusterServerSpec fast;
+  fast.name = "fast";
+  testkit::ClusterServerSpec slow;
+  slow.name = "slow";
+  slow.speed = 0.25;
+  config.servers = {fast, slow};
+  config.rating_base = 500.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+
+  // Sequential compute-heavy calls (pending drains between them) should all
+  // choose the fast server.
+  Rng rng(2);
+  const auto a = linalg::Matrix::random_diag_dominant(96, rng);
+  const auto b = linalg::random_vector(96, rng);
+  for (int i = 0; i < 3; ++i) {
+    sleep_seconds(0.12);
+    client::CallStats stats;
+    ASSERT_TRUE(client.netsl("dgesv", {DataObject(a), DataObject(b)}, &stats).ok());
+    EXPECT_EQ(stats.server_name, "fast");
+  }
+}
+
+// ---- network metric learning ----
+
+TEST(MetricLearningTest, AgentAvoidsSlowLinkForBulkTransfers) {
+  // Two equal-speed servers, one behind an emulated slow reply link. After
+  // the client reports a few transfer measurements, MCT should route bulk
+  // jobs to the fast-link server.
+  testkit::ClusterConfig config;
+  testkit::ClusterServerSpec near_box;
+  near_box.name = "near";
+  testkit::ClusterServerSpec far_box;
+  far_box.name = "far";
+  far_box.link = net::LinkShape{0.02, 2e6};  // 20 ms + 2 MB/s replies
+  config.servers = {near_box, far_box};
+  config.rating_base = 800.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+
+  // Bulk-transfer problem: dgemv with a 1.3 MB matrix.
+  Rng rng(3);
+  const auto a = linalg::Matrix::random(400, 400, rng);
+  const auto x = linalg::random_vector(400, rng);
+
+  // Teach the agent: force several measurements through both servers by
+  // issuing calls (the agent alternates while estimates are equal).
+  for (int i = 0; i < 6; ++i) {
+    sleep_seconds(0.1);
+    ASSERT_TRUE(client.call("dgemv", a, x).ok());
+  }
+  // Now the learned bandwidth for "far" should be much lower, and routing
+  // should stick to "near".
+  int near_count = 0;
+  for (int i = 0; i < 4; ++i) {
+    sleep_seconds(0.1);
+    client::CallStats stats;
+    ASSERT_TRUE(client.netsl("dgemv", {DataObject(a), DataObject(x)}, &stats).ok());
+    if (stats.server_name == "near") ++near_count;
+  }
+  EXPECT_GE(near_count, 3);
+}
+
+}  // namespace
+}  // namespace ns

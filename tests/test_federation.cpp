@@ -1,0 +1,318 @@
+// Agent federation: registry snapshots flow between peer agents so a client
+// can query any agent in the mesh; freshness resolution keeps the newest
+// information per server; overload admission control interacts with retry.
+#include <gtest/gtest.h>
+
+#include "agent/agent.hpp"
+#include "common/clock.hpp"
+#include "linalg/blas.hpp"
+#include "testkit/cluster.hpp"
+
+namespace ns {
+namespace {
+
+using dsl::DataObject;
+
+// ---- registry-level sync semantics ----
+
+proto::SyncEntry sample_entry(const std::string& name, double workload, double age) {
+  proto::SyncEntry entry;
+  entry.server_name = name;
+  entry.endpoint = {"127.0.0.1", 7777};
+  entry.mflops = 300.0;
+  entry.workload = workload;
+  entry.alive = true;
+  entry.age_seconds = age;
+  dsl::ProblemSpec spec;
+  spec.name = "solve";
+  spec.complexity = {1.0, 3.0};
+  entry.problems = {spec};
+  return entry;
+}
+
+TEST(SyncSemanticsTest, ForeignServerAdopted) {
+  agent::ServerRegistry registry;
+  EXPECT_TRUE(registry.apply_sync(sample_entry("remote1", 1.5, 0.0)));
+  EXPECT_EQ(registry.alive_count(), 1u);
+  const auto all = registry.all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].name, "remote1");
+  EXPECT_DOUBLE_EQ(all[0].workload, 1.5);
+  EXPECT_TRUE(registry.problem_spec("solve").has_value());
+}
+
+TEST(SyncSemanticsTest, FresherEntryWins) {
+  agent::ServerRegistry registry;
+  ASSERT_TRUE(registry.apply_sync(sample_entry("s", 1.0, 0.0)));
+  // A much staler entry must be rejected...
+  EXPECT_FALSE(registry.apply_sync(sample_entry("s", 9.0, 100.0)));
+  EXPECT_DOUBLE_EQ(registry.all()[0].workload, 1.0);
+  // ...a fresher one accepted.
+  sleep_seconds(0.02);
+  EXPECT_TRUE(registry.apply_sync(sample_entry("s", 2.0, 0.0)));
+  EXPECT_DOUBLE_EQ(registry.all()[0].workload, 2.0);
+}
+
+TEST(SyncSemanticsTest, LocalRegistrationNotClobberedByStaleSync) {
+  agent::ServerRegistry registry;
+  proto::RegisterServer reg;
+  reg.server_name = "s";
+  reg.endpoint = {"127.0.0.1", 7777};
+  reg.mflops = 500.0;
+  const auto id = registry.add(reg);
+  EXPECT_FALSE(registry.apply_sync(sample_entry("s", 5.0, 60.0)))
+      << "hour-old peer data must not overwrite a fresh registration";
+  EXPECT_DOUBLE_EQ(registry.find(id)->mflops, 500.0);
+}
+
+TEST(SyncSemanticsTest, SnapshotRoundTripsThroughApply) {
+  agent::ServerRegistry a;
+  proto::RegisterServer reg;
+  reg.server_name = "origin";
+  reg.endpoint = {"127.0.0.1", 1234};
+  reg.mflops = 250.0;
+  dsl::ProblemSpec spec;
+  spec.name = "p1";
+  reg.problems = {spec};
+  a.add(reg);
+
+  agent::ServerRegistry b;
+  for (const auto& entry : a.snapshot_for_sync()) {
+    EXPECT_TRUE(b.apply_sync(entry));
+  }
+  ASSERT_EQ(b.all().size(), 1u);
+  EXPECT_EQ(b.all()[0].name, "origin");
+  EXPECT_DOUBLE_EQ(b.all()[0].mflops, 250.0);
+  EXPECT_EQ(b.candidates_for("p1").size(), 1u);
+}
+
+// ---- live two-agent mesh ----
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Agent A and agent B peered with each other.
+    agent::AgentConfig config_a;
+    config_a.sync_period_s = 0.05;
+    auto a = agent::Agent::start(config_a);
+    ASSERT_TRUE(a.ok());
+    agent_a_ = std::move(a).value();
+
+    agent::AgentConfig config_b;
+    config_b.peers = {agent_a_->endpoint()};
+    config_b.sync_period_s = 0.05;
+    auto b = agent::Agent::start(config_b);
+    ASSERT_TRUE(b.ok());
+    agent_b_ = std::move(b).value();
+
+    // A cannot know B's ephemeral port at construction; A's peer list is
+    // injected via a one-way mesh (B -> A). For the A -> B direction the
+    // tests below re-register or rely on B -> A flow.
+  }
+
+  void TearDown() override {
+    if (agent_a_) agent_a_->stop();
+    if (agent_b_) agent_b_->stop();
+  }
+
+  client::NetSolveClient client_for(const agent::Agent& agent) {
+    client::ClientConfig config;
+    config.agent = agent.endpoint();
+    return client::NetSolveClient(config);
+  }
+
+  std::unique_ptr<agent::Agent> agent_a_;
+  std::unique_ptr<agent::Agent> agent_b_;
+};
+
+TEST_F(FederationTest, ServerAtBVisibleThroughA) {
+  // Server registers at agent B; B syncs to A; a client of A can solve.
+  server::ServerConfig sc;
+  sc.name = "fed_server";
+  sc.agent = agent_b_->endpoint();
+  sc.rating_override = 400.0;
+  auto server = server::ComputeServer::start(std::move(sc));
+  ASSERT_TRUE(server.ok());
+
+  const Deadline deadline(5.0);
+  while (agent_a_->registry().alive_count() == 0 && !deadline.expired()) {
+    sleep_seconds(0.02);
+  }
+  ASSERT_GE(agent_a_->registry().alive_count(), 1u) << "sync must reach agent A";
+
+  auto client = client_for(*agent_a_);
+  Rng rng(1);
+  const auto a = linalg::Matrix::random_diag_dominant(24, rng);
+  const auto b = linalg::random_vector(24, rng);
+  client::CallStats stats;
+  auto out = client.netsl("dgesv", {DataObject(a), DataObject(b)}, &stats);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_EQ(stats.server_name, "fed_server");
+  EXPECT_LT(linalg::residual_inf(a, out.value()[0].as_vector(), b), 1e-8);
+  server.value()->stop();
+}
+
+TEST_F(FederationTest, WorkloadUpdatesPropagate) {
+  server::ServerConfig sc;
+  sc.name = "busy_fed";
+  sc.agent = agent_b_->endpoint();
+  sc.rating_override = 400.0;
+  sc.background_load = 3.0;
+  sc.report_period_s = 0.02;
+  auto server = server::ComputeServer::start(std::move(sc));
+  ASSERT_TRUE(server.ok());
+
+  const Deadline deadline(5.0);
+  double seen = -1.0;
+  while (!deadline.expired()) {
+    const auto all = agent_a_->registry().all();
+    if (!all.empty() && all[0].workload >= 3.0) {
+      seen = all[0].workload;
+      break;
+    }
+    sleep_seconds(0.02);
+  }
+  EXPECT_DOUBLE_EQ(seen, 3.0) << "background load must reach the peer agent";
+  server.value()->stop();
+}
+
+TEST_F(FederationTest, CatalogueMergesAcrossMesh) {
+  server::ServerConfig sc;
+  sc.name = "specialized";
+  sc.agent = agent_b_->endpoint();
+  sc.rating_override = 400.0;
+  sc.problem_filter = {"fft", "convolve"};
+  auto server = server::ComputeServer::start(std::move(sc));
+  ASSERT_TRUE(server.ok());
+
+  auto client = client_for(*agent_a_);
+  const Deadline deadline(5.0);
+  std::size_t count = 0;
+  while (!deadline.expired()) {
+    auto problems = client.list_problems();
+    if (problems.ok() && problems.value().size() == 2) {
+      count = problems.value().size();
+      break;
+    }
+    sleep_seconds(0.02);
+  }
+  EXPECT_EQ(count, 2u);
+  server.value()->stop();
+}
+
+// ---- agent restart resilience ----
+
+TEST(AgentRestartTest, ServerRejoinsNewAgentOnSamePort) {
+  // Agent 1 on an ephemeral port; remember the port, stop it, start agent 2
+  // on the same port. A re-registering server must appear at agent 2.
+  agent::AgentConfig ac;
+  auto agent1 = agent::Agent::start(ac);
+  ASSERT_TRUE(agent1.ok());
+  const auto port = agent1.value()->endpoint().port;
+
+  server::ServerConfig sc;
+  sc.name = "phoenix";
+  sc.agent = agent1.value()->endpoint();
+  sc.rating_override = 400.0;
+  sc.reregister_period_s = 0.05;
+  sc.report_period_s = 0.05;
+  auto server = server::ComputeServer::start(std::move(sc));
+  ASSERT_TRUE(server.ok());
+  ASSERT_EQ(agent1.value()->registry().alive_count(), 1u);
+
+  agent1.value()->stop();
+  agent1.value().reset();
+
+  agent::AgentConfig ac2;
+  ac2.listen.port = port;
+  auto agent2 = agent::Agent::start(ac2);
+  ASSERT_TRUE(agent2.ok()) << agent2.error().to_string();
+
+  const Deadline deadline(5.0);
+  while (agent2.value()->registry().alive_count() == 0 && !deadline.expired()) {
+    sleep_seconds(0.02);
+  }
+  EXPECT_EQ(agent2.value()->registry().alive_count(), 1u)
+      << "server must re-register with the restarted agent";
+
+  // And the new agent can schedule onto it.
+  client::ClientConfig cc;
+  cc.agent = agent2.value()->endpoint();
+  client::NetSolveClient client(cc);
+  EXPECT_TRUE(client.call("ddot", linalg::Vector{1.0, 2.0}, linalg::Vector{3.0, 4.0}).ok());
+
+  server.value()->stop();
+  agent2.value()->stop();
+}
+
+// ---- admission control ----
+
+TEST(AdmissionControlTest, OverloadedServerRejectsAndClientRetries) {
+  testkit::ClusterConfig config;
+  // One tiny server that rejects queueing, one spacious fallback.
+  testkit::ClusterServerSpec tiny;
+  tiny.name = "tiny";
+  tiny.workers = 1;
+  tiny.max_queue = 1;
+  tiny.slowdown_mode = server::SlowdownMode::kSleep;
+  testkit::ClusterServerSpec big;
+  big.name = "big";
+  big.workers = 8;
+  big.slowdown_mode = server::SlowdownMode::kSleep;
+  big.speed = 0.9;  // slightly slower so MCT prefers tiny when idle
+  config.servers = {tiny, big};
+  config.rating_base = 1000.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  // Transient overload must not blacklist.
+  // (registry defaults blacklist after 1 failure; overload is retryable and
+  // reported, so allow many failures.)
+  auto client = cluster.value()->make_client();
+
+  // Slam 10 concurrent 100ms jobs: tiny can hold at most 2 (1 running +
+  // 1 queued); the rest must be rejected there and absorbed by big.
+  std::vector<client::RequestHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(client.netsl_nb("simwork", {DataObject(std::int64_t{100})}));
+  }
+  int ok = 0;
+  for (auto& h : handles) {
+    if (h.wait().ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 10) << "overload rejections must be absorbed by retry";
+}
+
+TEST(AdmissionControlTest, SingleOverloadedServerExhausts) {
+  testkit::ClusterConfig config;
+  testkit::ClusterServerSpec tiny;
+  tiny.name = "tiny";
+  tiny.workers = 1;
+  tiny.max_queue = 1;
+  tiny.slowdown_mode = server::SlowdownMode::kSleep;
+  config.servers = {tiny};
+  config.rating_base = 1000.0;
+  config.registry.max_failures = 1 << 30;  // keep it alive through rejections
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+
+  std::vector<client::RequestHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(client.netsl_nb("simwork", {DataObject(std::int64_t{200})}));
+  }
+  int ok = 0, overloaded = 0;
+  for (auto& h : handles) {
+    auto out = h.wait();
+    if (out.ok()) {
+      ++ok;
+    } else if (out.error().code == ErrorCode::kRetriesExhausted) {
+      ++overloaded;
+    }
+  }
+  EXPECT_GE(ok, 2) << "capacity (1 running + 1 queued) must be served";
+  EXPECT_GE(overloaded, 1) << "beyond-capacity requests surface as exhausted retries";
+  EXPECT_EQ(ok + overloaded, 6);
+}
+
+}  // namespace
+}  // namespace ns

@@ -1,0 +1,421 @@
+// Tests for the extended numerical substrate: FFT, convolution, SVD,
+// quadrature and ODE integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/fft.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/quad.hpp"
+#include "linalg/svd.hpp"
+
+namespace ns::linalg {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ---- FFT ----
+
+TEST(FftTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+}
+
+TEST(FftTest, DcSignal) {
+  Vector re(8, 1.0), im(8, 0.0);
+  ASSERT_TRUE(fft_inplace(re, im).ok());
+  EXPECT_NEAR(re[0], 8.0, 1e-12);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(re[i], 0.0, 1e-12);
+    EXPECT_NEAR(im[i], 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SingleToneLandsInOneBin) {
+  constexpr std::size_t n = 64;
+  Vector re(n), im(n, 0.0);
+  constexpr std::size_t k = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    re[i] = std::cos(2.0 * kPi * k * static_cast<double>(i) / n);
+  }
+  ASSERT_TRUE(fft_inplace(re, im).ok());
+  // A real cosine splits between bins k and n-k with magnitude n/2 each.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mag = std::hypot(re[i], im[i]);
+    if (i == k || i == n - k) {
+      EXPECT_NEAR(mag, n / 2.0, 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(FftTest, RoundTripRestoresSignal) {
+  Rng rng(1);
+  constexpr std::size_t n = 256;
+  const Vector re0 = random_vector(n, rng);
+  const Vector im0 = random_vector(n, rng);
+  auto fwd = fft(re0, im0);
+  ASSERT_TRUE(fwd.ok());
+  auto back = ifft(fwd.value().first, fwd.value().second);
+  ASSERT_TRUE(back.ok());
+  EXPECT_LT(max_abs_diff(back.value().first, re0), 1e-10);
+  EXPECT_LT(max_abs_diff(back.value().second, im0), 1e-10);
+}
+
+TEST(FftTest, ParsevalEnergyConserved) {
+  Rng rng(2);
+  constexpr std::size_t n = 128;
+  Vector re = random_vector(n, rng), im(n, 0.0);
+  double time_energy = 0;
+  for (const double v : re) time_energy += v * v;
+  ASSERT_TRUE(fft_inplace(re, im).ok());
+  double freq_energy = 0;
+  for (std::size_t i = 0; i < n; ++i) freq_energy += re[i] * re[i] + im[i] * im[i];
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-8 * time_energy);
+}
+
+TEST(FftTest, LengthOneIsIdentity) {
+  Vector re{3.5}, im{-1.0};
+  ASSERT_TRUE(fft_inplace(re, im).ok());
+  EXPECT_DOUBLE_EQ(re[0], 3.5);
+  EXPECT_DOUBLE_EQ(im[0], -1.0);
+}
+
+TEST(FftTest, Validation) {
+  Vector re(6), im(6);
+  EXPECT_FALSE(fft_inplace(re, im).ok()) << "non power of two";
+  Vector re2(8), im2(4);
+  EXPECT_FALSE(fft_inplace(re2, im2).ok()) << "length mismatch";
+}
+
+TEST(ConvolveTest, KnownSmallCase) {
+  // [1, 2] * [3, 4] = [3, 10, 8]
+  auto z = convolve(Vector{1, 2}, Vector{3, 4});
+  ASSERT_TRUE(z.ok());
+  ASSERT_EQ(z.value().size(), 3u);
+  EXPECT_NEAR(z.value()[0], 3.0, 1e-10);
+  EXPECT_NEAR(z.value()[1], 10.0, 1e-10);
+  EXPECT_NEAR(z.value()[2], 8.0, 1e-10);
+}
+
+TEST(ConvolveTest, MatchesDirectConvolution) {
+  Rng rng(3);
+  const Vector x = random_vector(37, rng);
+  const Vector y = random_vector(23, rng);
+  auto z = convolve(x, y);
+  ASSERT_TRUE(z.ok());
+  ASSERT_EQ(z.value().size(), x.size() + y.size() - 1);
+  for (std::size_t k = 0; k < z.value().size(); ++k) {
+    double direct = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (k >= i && k - i < y.size()) direct += x[i] * y[k - i];
+    }
+    EXPECT_NEAR(z.value()[k], direct, 1e-9);
+  }
+}
+
+TEST(ConvolveTest, DeltaIsIdentity) {
+  Rng rng(4);
+  const Vector x = random_vector(20, rng);
+  auto z = convolve(x, Vector{1.0});
+  ASSERT_TRUE(z.ok());
+  EXPECT_LT(max_abs_diff(z.value(), x), 1e-10);
+}
+
+TEST(ConvolveTest, EmptyRejected) {
+  EXPECT_FALSE(convolve({}, Vector{1.0}).ok());
+}
+
+// ---- SVD ----
+
+TEST(SvdTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3;
+  a(1, 1) = -5;  // singular value is |−5| = 5
+  a(2, 2) = 1;
+  auto sv = singular_values(a);
+  ASSERT_TRUE(sv.ok());
+  EXPECT_NEAR(sv.value()[0], 5.0, 1e-10);
+  EXPECT_NEAR(sv.value()[1], 3.0, 1e-10);
+  EXPECT_NEAR(sv.value()[2], 1.0, 1e-10);
+}
+
+TEST(SvdTest, ReconstructsMatrix) {
+  Rng rng(5);
+  const Matrix a = Matrix::random(10, 6, rng);
+  auto svd = jacobi_svd(a);
+  ASSERT_TRUE(svd.ok());
+  // A = U diag(sigma) V^T
+  Matrix us = svd.value().u;
+  for (std::size_t j = 0; j < 6; ++j) {
+    for (std::size_t i = 0; i < 10; ++i) us(i, j) *= svd.value().singular_values[j];
+  }
+  const Matrix rebuilt = matmul(us, svd.value().v.transposed());
+  EXPECT_LT(max_abs_diff(a, rebuilt), 1e-9 * a.max_abs());
+}
+
+TEST(SvdTest, OrthonormalFactors) {
+  Rng rng(6);
+  const Matrix a = Matrix::random(12, 5, rng);
+  auto svd = jacobi_svd(a);
+  ASSERT_TRUE(svd.ok());
+  const Matrix utu = matmul(svd.value().u.transposed(), svd.value().u);
+  const Matrix vtv = matmul(svd.value().v.transposed(), svd.value().v);
+  EXPECT_LT(max_abs_diff(utu, Matrix::identity(5)), 1e-9);
+  EXPECT_LT(max_abs_diff(vtv, Matrix::identity(5)), 1e-9);
+}
+
+TEST(SvdTest, MatchesEigenOfGram) {
+  // Singular values of A are sqrt of eigenvalues of A^T A.
+  Rng rng(7);
+  const Matrix a = Matrix::random(9, 9, rng);
+  auto sv = singular_values(a);
+  ASSERT_TRUE(sv.ok());
+  // det(A) = product of singular values (up to sign).
+  auto lu = LuFactorization::factor(a);
+  ASSERT_TRUE(lu.ok());
+  double product = 1.0;
+  for (const double s : sv.value()) product *= s;
+  EXPECT_NEAR(product, std::abs(lu.value().determinant()), 1e-6 * product);
+}
+
+TEST(SvdTest, WideMatrixHandled) {
+  Rng rng(8);
+  const Matrix a = Matrix::random(4, 9, rng);
+  auto sv = singular_values(a);
+  ASSERT_TRUE(sv.ok());
+  EXPECT_EQ(sv.value().size(), 4u);
+  for (std::size_t i = 1; i < sv.value().size(); ++i) {
+    EXPECT_GE(sv.value()[i - 1], sv.value()[i]);
+  }
+}
+
+TEST(SvdTest, ConditionNumber) {
+  EXPECT_NEAR(condition_number(Matrix::identity(5)).value(), 1.0, 1e-10);
+  Matrix a = Matrix::identity(3);
+  a(2, 2) = 0.001;
+  EXPECT_NEAR(condition_number(a).value(), 1000.0, 1e-6);
+  // Singular matrix rejected.
+  Matrix s(2, 2);
+  s(0, 0) = 1;
+  EXPECT_FALSE(condition_number(s).ok());
+}
+
+// ---- quadrature ----
+
+TEST(QuadTest, PolynomialExact) {
+  // Simpson is exact for cubics: integral of x^3 on [0, 2] = 4.
+  auto v = adaptive_simpson([](double x) { return x * x * x; }, 0.0, 2.0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value(), 4.0, 1e-12);
+}
+
+TEST(QuadTest, TranscendentalToTolerance) {
+  auto v = adaptive_simpson([](double x) { return std::exp(-x * x); }, -6.0, 6.0, 1e-12);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value(), std::sqrt(kPi), 1e-9);
+}
+
+TEST(QuadTest, ReversedAndDegenerateIntervals) {
+  auto fwd = adaptive_simpson([](double x) { return x; }, 0.0, 1.0);
+  auto rev = adaptive_simpson([](double x) { return x; }, 1.0, 0.0);
+  ASSERT_TRUE(fwd.ok());
+  ASSERT_TRUE(rev.ok());
+  EXPECT_NEAR(fwd.value(), -rev.value(), 1e-12);
+  EXPECT_DOUBLE_EQ(adaptive_simpson([](double) { return 1.0; }, 2.0, 2.0).value(), 0.0);
+}
+
+TEST(QuadTest, NonFiniteIntegrandRejected) {
+  auto v = adaptive_simpson([](double x) { return 1.0 / x; }, -1.0, 1.0);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(QuadTest, SampledSineIntegral) {
+  // Integral of sin on [0, pi] = 2, from 33 samples.
+  Vector x, y;
+  for (int i = 0; i <= 32; ++i) {
+    x.push_back(kPi * i / 32.0);
+    y.push_back(std::sin(x.back()));
+  }
+  auto v = integrate_samples(x, y);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value(), 2.0, 1e-5);
+}
+
+// ---- ODE ----
+
+TEST(OdeTest, ExponentialDecay) {
+  // y' = -y, y(0) = 1 -> y(t) = e^-t.
+  auto traj = rk4_integrate([](const Vector& y, Vector& dy) { dy[0] = -y[0]; },
+                            Vector{1.0}, 0.01, 100, 100);
+  ASSERT_TRUE(traj.ok());
+  ASSERT_EQ(traj.value().size(), 2u);  // initial + final
+  EXPECT_NEAR(traj.value()[1], std::exp(-1.0), 1e-8);
+}
+
+TEST(OdeTest, HarmonicOscillatorEnergyStable) {
+  // y'' = -y as a 2-system; RK4 over 10 periods keeps energy to ~1e-6.
+  auto traj = rk4_integrate(
+      [](const Vector& y, Vector& dy) {
+        dy[0] = y[1];
+        dy[1] = -y[0];
+      },
+      Vector{1.0, 0.0}, 0.01, 6283, 6283);
+  ASSERT_TRUE(traj.ok());
+  const std::size_t last = traj.value().size() - 2;
+  const double energy =
+      traj.value()[last] * traj.value()[last] + traj.value()[last + 1] * traj.value()[last + 1];
+  EXPECT_NEAR(energy, 1.0, 1e-6);
+}
+
+TEST(OdeTest, StrideControlsSampling) {
+  auto traj = rk4_integrate([](const Vector& y, Vector& dy) { dy[0] = -y[0]; },
+                            Vector{1.0}, 0.01, 10, 2);
+  ASSERT_TRUE(traj.ok());
+  // t=0 plus steps 2,4,6,8,10 -> 6 samples of a 1-dim state.
+  EXPECT_EQ(traj.value().size(), 6u);
+}
+
+TEST(OdeTest, Validation) {
+  auto f = [](const Vector& y, Vector& dy) { dy[0] = y[0]; };
+  EXPECT_FALSE(rk4_integrate(f, Vector{1.0}, -0.1, 10).ok());
+  EXPECT_FALSE(rk4_integrate(f, Vector{}, 0.1, 10).ok());
+}
+
+TEST(OdeTest, DivergenceDetected) {
+  // y' = y^2 blows up in finite time from y(0)=1 at t=1.
+  auto traj = rk4_integrate([](const Vector& y, Vector& dy) { dy[0] = y[0] * y[0]; },
+                            Vector{1.0}, 0.01, 1000);
+  EXPECT_FALSE(traj.ok());
+}
+
+TEST(LorenzTest, StaysOnAttractor) {
+  auto traj = lorenz_trajectory(10.0, 28.0, 8.0 / 3.0, 1.0, 1.0, 1.0, 0.005, 4000, 10);
+  ASSERT_TRUE(traj.ok());
+  ASSERT_EQ(traj.value().size() % 3, 0u);
+  // Classic bounds: the attractor lives inside |x|,|y| < 25, 0 < z < 50.
+  // Skip the transient (first quarter).
+  const std::size_t samples = traj.value().size() / 3;
+  for (std::size_t s = samples / 4; s < samples; ++s) {
+    EXPECT_LT(std::abs(traj.value()[3 * s + 0]), 25.0);
+    EXPECT_LT(std::abs(traj.value()[3 * s + 1]), 30.0);
+    EXPECT_GT(traj.value()[3 * s + 2], 0.0);
+    EXPECT_LT(traj.value()[3 * s + 2], 55.0);
+  }
+}
+
+TEST(LorenzTest, DeterministicForSameInputs) {
+  auto a = lorenz_trajectory(10, 28, 8.0 / 3.0, 1, 1, 1, 0.01, 500, 5);
+  auto b = lorenz_trajectory(10, 28, 8.0 / 3.0, 1, 1, 1, 0.01, 500, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+// ---- matrix exponential ----
+
+TEST(ExpmTest, ZeroMatrixGivesIdentity) {
+  auto e = expm(Matrix(4, 4));
+  ASSERT_TRUE(e.ok());
+  EXPECT_LT(max_abs_diff(e.value(), Matrix::identity(4)), 1e-14);
+}
+
+TEST(ExpmTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = -2.0;
+  a(2, 2) = 0.5;
+  auto e = expm(a);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value()(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e.value()(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e.value()(2, 2), std::exp(0.5), 1e-12);
+  EXPECT_NEAR(e.value()(0, 1), 0.0, 1e-13);
+}
+
+TEST(ExpmTest, RotationGenerator) {
+  // exp(t [0 -1; 1 0]) = [cos t, -sin t; sin t, cos t].
+  Matrix a(2, 2);
+  a(0, 1) = -1.0;
+  a(1, 0) = 1.0;
+  const double t = 1.234;
+  Matrix ta = a;
+  scal(t, ta.storage());
+  auto e = expm(ta);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value()(0, 0), std::cos(t), 1e-12);
+  EXPECT_NEAR(e.value()(0, 1), -std::sin(t), 1e-12);
+  EXPECT_NEAR(e.value()(1, 0), std::sin(t), 1e-12);
+}
+
+TEST(ExpmTest, LargeNormHandledByScaling) {
+  // Norm >> 1 exercises the squaring phase.
+  Matrix a(2, 2);
+  a(0, 0) = 10.0;
+  a(1, 1) = -10.0;
+  a(0, 1) = 3.0;
+  auto e = expm(a);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value()(0, 0), std::exp(10.0), 1e-6 * std::exp(10.0));
+  EXPECT_NEAR(e.value()(1, 1), std::exp(-10.0), 1e-8);
+}
+
+TEST(ExpmTest, GroupProperty) {
+  // exp(A) exp(-A) = I.
+  Rng rng(9);
+  Matrix a = Matrix::random(6, 6, rng);
+  auto ea = expm(a);
+  scal(-1.0, a.storage());
+  auto ena = expm(a);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(ena.ok());
+  const Matrix product = matmul(ea.value(), ena.value());
+  EXPECT_LT(max_abs_diff(product, Matrix::identity(6)), 1e-9);
+}
+
+TEST(ExpmTest, MatchesEigenForSymmetric) {
+  // For symmetric A: exp(A) = V exp(L) V^T.
+  Rng rng(10);
+  Matrix a = Matrix::random_spd(8, rng);
+  scal(0.1, a.storage());  // keep exp() values moderate
+  auto e = expm(a);
+  ASSERT_TRUE(e.ok());
+  auto eig = jacobi_eigen(a);
+  ASSERT_TRUE(eig.ok());
+  Matrix vexp = eig.value().vectors;
+  for (std::size_t j = 0; j < 8; ++j) {
+    const double lambda = std::exp(eig.value().values[j]);
+    for (std::size_t i = 0; i < 8; ++i) vexp(i, j) *= lambda;
+  }
+  const Matrix ref = matmul(vexp, eig.value().vectors.transposed());
+  EXPECT_LT(max_abs_diff(e.value(), ref), 1e-10);
+}
+
+TEST(ExpmTest, ApplyPropagatesLinearOde) {
+  // x' = A x with A = diag(-1, -2): x(t) = (e^-t, e^-2t).
+  Matrix a(2, 2);
+  a(0, 0) = -1.0;
+  a(1, 1) = -2.0;
+  auto x = expm_apply(a, 0.7, Vector{1.0, 1.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], std::exp(-0.7), 1e-12);
+  EXPECT_NEAR(x.value()[1], std::exp(-1.4), 1e-12);
+}
+
+TEST(ExpmTest, Validation) {
+  EXPECT_FALSE(expm(Matrix(2, 3)).ok());
+  EXPECT_FALSE(expm(Matrix()).ok());
+  EXPECT_FALSE(expm_apply(Matrix(3, 3), 1.0, Vector{1.0}).ok());
+}
+
+}  // namespace
+}  // namespace ns::linalg

@@ -1,0 +1,347 @@
+// Tests for the sparse substrate: CSR construction/validation, generators,
+// iterative solvers (CG / Jacobi / SOR), and curve fitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/fit.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+
+namespace ns::linalg {
+namespace {
+
+// ---- CSR construction ----
+
+TEST(CsrTest, FromTripletsBasic) {
+  auto m = CsrMatrix::from_triplets(2, 3, {{0, 0, 1.0}, {1, 2, 5.0}, {0, 1, 2.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.value().at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.value().at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.value().at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.value().at(1, 0), 0.0);
+}
+
+TEST(CsrTest, DuplicateTripletsSum) {
+  auto m = CsrMatrix::from_triplets(1, 1, {{0, 0, 1.5}, {0, 0, 2.5}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.value().at(0, 0), 4.0);
+}
+
+TEST(CsrTest, OutOfRangeTripletRejected) {
+  EXPECT_FALSE(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}).ok());
+  EXPECT_FALSE(CsrMatrix::from_triplets(2, 2, {{0, 5, 1.0}}).ok());
+}
+
+TEST(CsrTest, FromCsrValidation) {
+  // Valid 2x2 identity.
+  auto ok = CsrMatrix::from_csr(2, 2, {0, 1, 2}, {0, 1}, {1.0, 1.0});
+  ASSERT_TRUE(ok.ok());
+  // indptr wrong length.
+  EXPECT_FALSE(CsrMatrix::from_csr(2, 2, {0, 2}, {0, 1}, {1.0, 1.0}).ok());
+  // indptr not monotone.
+  EXPECT_FALSE(CsrMatrix::from_csr(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0}).ok());
+  // column out of range.
+  EXPECT_FALSE(CsrMatrix::from_csr(2, 2, {0, 1, 2}, {0, 7}, {1.0, 1.0}).ok());
+  // endpoint mismatch.
+  EXPECT_FALSE(CsrMatrix::from_csr(2, 2, {0, 1, 3}, {0, 1}, {1.0, 1.0}).ok());
+  // indices/values length mismatch.
+  EXPECT_FALSE(CsrMatrix::from_csr(2, 2, {0, 1, 2}, {0, 1}, {1.0}).ok());
+}
+
+TEST(CsrTest, MultiplyMatchesDense) {
+  Rng rng(70);
+  const CsrMatrix sparse = random_sparse_spd(30, 4, rng);
+  const Matrix dense = sparse.to_dense();
+  const Vector x = random_vector(30, rng);
+  const Vector y_sparse = sparse.multiply(x);
+  Vector y_dense(30, 0.0);
+  gemv(1.0, dense, x, 0.0, y_dense);
+  EXPECT_LT(max_abs_diff(y_sparse, y_dense), 1e-10);
+}
+
+TEST(CsrTest, DiagonalExtraction) {
+  const CsrMatrix m = poisson_1d(5);
+  const Vector d = m.diagonal();
+  for (const double v : d) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+// ---- generators ----
+
+TEST(GeneratorTest, Poisson1dStructure) {
+  const CsrMatrix m = poisson_1d(4);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.nnz(), 3u * 4u - 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 0.0);
+}
+
+TEST(GeneratorTest, Poisson2dStructure) {
+  const CsrMatrix m = poisson_2d(3, 3);
+  EXPECT_EQ(m.rows(), 9u);
+  EXPECT_DOUBLE_EQ(m.at(4, 4), 4.0);  // center point
+  EXPECT_DOUBLE_EQ(m.at(4, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(4, 3), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(4, 5), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(4, 7), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 8), 0.0);
+}
+
+TEST(GeneratorTest, RandomSparseSpdIsSymmetricAndDominant) {
+  Rng rng(71);
+  const CsrMatrix m = random_sparse_spd(50, 6, rng);
+  for (std::size_t i = 0; i < 50; ++i) {
+    double off = 0;
+    for (std::size_t j = 0; j < 50; ++j) {
+      if (i != j) {
+        EXPECT_NEAR(m.at(i, j), m.at(j, i), 1e-12);
+        off += std::abs(m.at(i, j));
+      }
+    }
+    EXPECT_GT(m.at(i, i), off);
+  }
+}
+
+// ---- iterative solvers ----
+
+struct IterCase {
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class CgPropertyTest : public ::testing::TestWithParam<IterCase> {};
+
+TEST_P(CgPropertyTest, ConvergesOnSpdSystems) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  const CsrMatrix a = random_sparse_spd(n, 5, rng);
+  const Vector x_true = random_vector(n, rng);
+  const Vector b = a.multiply(x_true);
+
+  auto res = conjugate_gradient(a, b);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().converged);
+  EXPECT_LE(res.value().residual, 1e-10);
+  EXPECT_LT(max_abs_diff(res.value().x, x_true), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgPropertyTest,
+                         ::testing::Values(IterCase{5, 80}, IterCase{20, 81}, IterCase{50, 82},
+                                           IterCase{100, 83}, IterCase{200, 84}));
+
+TEST(CgTest, PoissonSystem) {
+  const CsrMatrix a = poisson_2d(10, 10);
+  Vector b(100, 1.0);
+  auto res = conjugate_gradient(a, b);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().converged);
+  // Verify against a dense solve.
+  auto x_dense = dgesv(a.to_dense(), b);
+  ASSERT_TRUE(x_dense.ok());
+  EXPECT_LT(max_abs_diff(res.value().x, x_dense.value()), 1e-6);
+}
+
+TEST(CgTest, ZeroRhsGivesZero) {
+  const CsrMatrix a = poisson_1d(10);
+  auto res = conjugate_gradient(a, Vector(10, 0.0));
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().converged);
+  EXPECT_EQ(res.value().iterations, 0u);
+  for (const double v : res.value().x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CgTest, IndefiniteMatrixBreaksDown) {
+  // [-1 0; 0 -1]: p^T A p < 0 on the first step.
+  auto a = CsrMatrix::from_triplets(2, 2, {{0, 0, -1.0}, {1, 1, -1.0}});
+  ASSERT_TRUE(a.ok());
+  auto res = conjugate_gradient(a.value(), Vector{1.0, 1.0});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error().code, ErrorCode::kExecutionFailed);
+}
+
+TEST(CgTest, NonSquareRejected) {
+  auto a = CsrMatrix::from_triplets(2, 3, {{0, 0, 1.0}});
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(conjugate_gradient(a.value(), Vector{1, 1}).ok());
+}
+
+TEST(CgTest, MaxIterationsHonoured) {
+  const CsrMatrix a = poisson_2d(12, 12);
+  Vector b(144, 1.0);
+  IterativeOptions opts;
+  opts.max_iterations = 2;
+  auto res = conjugate_gradient(a, b, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res.value().converged);
+  EXPECT_EQ(res.value().iterations, 2u);
+}
+
+class JacobiSorPropertyTest : public ::testing::TestWithParam<IterCase> {};
+
+TEST_P(JacobiSorPropertyTest, BothConvergeOnDominantSystems) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  const CsrMatrix a = random_sparse_spd(n, 4, rng);
+  const Vector x_true = random_vector(n, rng);
+  const Vector b = a.multiply(x_true);
+
+  IterativeOptions opts;
+  opts.tolerance = 1e-9;
+  opts.max_iterations = 20000;
+
+  auto jac = jacobi_solve(a, b, opts);
+  ASSERT_TRUE(jac.ok());
+  EXPECT_TRUE(jac.value().converged);
+  EXPECT_LT(max_abs_diff(jac.value().x, x_true), 1e-5);
+
+  opts.omega = 1.2;
+  auto sor = sor_solve(a, b, opts);
+  ASSERT_TRUE(sor.ok());
+  EXPECT_TRUE(sor.value().converged);
+  EXPECT_LT(max_abs_diff(sor.value().x, x_true), 1e-5);
+
+  // Gauss-Seidel-flavoured SOR should not need more sweeps than Jacobi on a
+  // diagonally dominant system.
+  EXPECT_LE(sor.value().iterations, jac.value().iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiSorPropertyTest,
+                         ::testing::Values(IterCase{10, 90}, IterCase{40, 91}, IterCase{80, 92}));
+
+TEST(SorTest, OmegaValidation) {
+  const CsrMatrix a = poisson_1d(5);
+  Vector b(5, 1.0);
+  IterativeOptions opts;
+  opts.omega = 0.0;
+  EXPECT_FALSE(sor_solve(a, b, opts).ok());
+  opts.omega = 2.0;
+  EXPECT_FALSE(sor_solve(a, b, opts).ok());
+  opts.omega = 1.0;  // Gauss-Seidel
+  auto res = sor_solve(a, b, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().converged);
+}
+
+TEST(JacobiTest, ZeroDiagonalRejected) {
+  auto a = CsrMatrix::from_triplets(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(jacobi_solve(a.value(), Vector{1, 1}).ok());
+}
+
+TEST(IterativeTest, AllThreeAgree) {
+  const CsrMatrix a = poisson_1d(30);
+  Rng rng(95);
+  const Vector b = random_vector(30, rng);
+  IterativeOptions opts;
+  opts.tolerance = 1e-11;
+  opts.max_iterations = 100000;
+  auto cg = conjugate_gradient(a, b, opts);
+  auto jac = jacobi_solve(a, b, opts);
+  opts.omega = 1.5;
+  auto sor = sor_solve(a, b, opts);
+  ASSERT_TRUE(cg.ok() && jac.ok() && sor.ok());
+  ASSERT_TRUE(cg.value().converged && jac.value().converged && sor.value().converged);
+  EXPECT_LT(max_abs_diff(cg.value().x, jac.value().x), 1e-6);
+  EXPECT_LT(max_abs_diff(cg.value().x, sor.value().x), 1e-6);
+}
+
+// ---- fitting ----
+
+TEST(PolyfitTest, ExactQuadraticRecovered) {
+  // y = 2 - 3x + 0.5x^2 sampled exactly.
+  Vector x, y;
+  for (int i = 0; i < 10; ++i) {
+    const double xi = static_cast<double>(i) * 0.37 - 1.0;
+    x.push_back(xi);
+    y.push_back(2.0 - 3.0 * xi + 0.5 * xi * xi);
+  }
+  auto c = polyfit(x, y, 2);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c.value().size(), 3u);
+  EXPECT_NEAR(c.value()[0], 2.0, 1e-9);
+  EXPECT_NEAR(c.value()[1], -3.0, 1e-9);
+  EXPECT_NEAR(c.value()[2], 0.5, 1e-9);
+}
+
+TEST(PolyfitTest, NoisyFitReducesResidual) {
+  Rng rng(96);
+  Vector x, y;
+  for (int i = 0; i < 50; ++i) {
+    const double xi = static_cast<double>(i) / 10.0;
+    x.push_back(xi);
+    y.push_back(1.0 + 2.0 * xi + 0.02 * rng.normal());
+  }
+  auto c = polyfit(x, y, 1);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c.value()[0], 1.0, 0.05);
+  EXPECT_NEAR(c.value()[1], 2.0, 0.02);
+}
+
+TEST(PolyfitTest, Validation) {
+  EXPECT_FALSE(polyfit(Vector{1, 2}, Vector{1}, 1).ok()) << "size mismatch";
+  EXPECT_FALSE(polyfit(Vector{1, 2}, Vector{1, 2}, 5).ok()) << "too few points";
+}
+
+TEST(PolyvalTest, Horner) {
+  // p(x) = 1 + 2x + 3x^2 at x=2 -> 17
+  EXPECT_DOUBLE_EQ(polyval(Vector{1, 2, 3}, 2.0), 17.0);
+  EXPECT_DOUBLE_EQ(polyval(Vector{}, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(polyval(Vector{7}, 100.0), 7.0);
+}
+
+TEST(SplineTest, InterpolatesKnotsExactly) {
+  Vector x{0, 1, 2.5, 4};
+  Vector y{1, -1, 3, 0};
+  auto sp = CubicSpline::fit(x, y);
+  ASSERT_TRUE(sp.ok());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(sp.value()(x[i]), y[i], 1e-10);
+  }
+}
+
+TEST(SplineTest, ReproducesStraightLine) {
+  // A natural cubic spline through collinear points is the line itself.
+  Vector x{0, 1, 2, 3, 4};
+  Vector y{1, 3, 5, 7, 9};
+  auto sp = CubicSpline::fit(x, y);
+  ASSERT_TRUE(sp.ok());
+  for (double t = 0.0; t <= 4.0; t += 0.25) {
+    EXPECT_NEAR(sp.value()(t), 1.0 + 2.0 * t, 1e-9);
+  }
+}
+
+TEST(SplineTest, SmoothSineApproximation) {
+  Vector x, y;
+  for (int i = 0; i <= 20; ++i) {
+    const double xi = static_cast<double>(i) * 0.314159;
+    x.push_back(xi);
+    y.push_back(std::sin(xi));
+  }
+  auto sp = CubicSpline::fit(x, y);
+  ASSERT_TRUE(sp.ok());
+  for (double t = 0.1; t < 6.2; t += 0.1) {
+    EXPECT_NEAR(sp.value()(t), std::sin(t), 5e-3);
+  }
+}
+
+TEST(SplineTest, Validation) {
+  EXPECT_FALSE(CubicSpline::fit(Vector{1}, Vector{1}).ok()) << "needs two knots";
+  EXPECT_FALSE(CubicSpline::fit(Vector{1, 1}, Vector{1, 2}).ok()) << "non-increasing";
+  EXPECT_FALSE(CubicSpline::fit(Vector{2, 1}, Vector{1, 2}).ok()) << "decreasing";
+  EXPECT_FALSE(CubicSpline::fit(Vector{1, 2}, Vector{1}).ok()) << "size mismatch";
+}
+
+TEST(SplineTest, TwoKnotsIsLinear) {
+  auto sp = CubicSpline::fit(Vector{0, 2}, Vector{0, 4});
+  ASSERT_TRUE(sp.ok());
+  EXPECT_NEAR(sp.value()(1.0), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ns::linalg

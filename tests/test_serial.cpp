@@ -1,0 +1,330 @@
+// Unit + property tests for ns_serial: codec round-trips, bounds checking,
+// CRC32, frame encode/decode.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "serial/codec.hpp"
+#include "serial/crc32.hpp"
+#include "serial/frame.hpp"
+
+namespace ns::serial {
+namespace {
+
+// ---- scalar round trips ----
+
+TEST(CodecTest, ScalarRoundTrip) {
+  Encoder enc;
+  enc.put_u8(0xab);
+  enc.put_u16(0xbeef);
+  enc.put_u32(0xdeadbeefu);
+  enc.put_u64(0x0123456789abcdefULL);
+  enc.put_i32(-12345);
+  enc.put_i64(-9876543210LL);
+  enc.put_f64(3.14159);
+  enc.put_bool(true);
+  enc.put_bool(false);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8().value(), 0xab);
+  EXPECT_EQ(dec.get_u16().value(), 0xbeef);
+  EXPECT_EQ(dec.get_u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(dec.get_u64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.get_i32().value(), -12345);
+  EXPECT_EQ(dec.get_i64().value(), -9876543210LL);
+  EXPECT_DOUBLE_EQ(dec.get_f64().value(), 3.14159);
+  EXPECT_TRUE(dec.get_bool().value());
+  EXPECT_FALSE(dec.get_bool().value());
+  EXPECT_TRUE(dec.exhausted());
+  EXPECT_TRUE(dec.expect_exhausted().ok());
+}
+
+TEST(CodecTest, LittleEndianLayout) {
+  Encoder enc;
+  enc.put_u32(0x01020304u);
+  const auto& b = enc.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[1], 0x03);
+  EXPECT_EQ(b[2], 0x02);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(CodecTest, SpecialDoubles) {
+  Encoder enc;
+  enc.put_f64(0.0);
+  enc.put_f64(-0.0);
+  enc.put_f64(std::numeric_limits<double>::infinity());
+  enc.put_f64(-std::numeric_limits<double>::infinity());
+  enc.put_f64(std::numeric_limits<double>::denorm_min());
+  enc.put_f64(std::numeric_limits<double>::max());
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_f64().value(), 0.0);
+  EXPECT_EQ(dec.get_f64().value(), -0.0);
+  EXPECT_EQ(dec.get_f64().value(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dec.get_f64().value(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dec.get_f64().value(), std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(dec.get_f64().value(), std::numeric_limits<double>::max());
+}
+
+TEST(CodecTest, NanRoundTripsBitExact) {
+  Encoder enc;
+  enc.put_f64(std::numeric_limits<double>::quiet_NaN());
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(std::isnan(dec.get_f64().value()));
+}
+
+// ---- strings / blobs / arrays ----
+
+TEST(CodecTest, StringRoundTrip) {
+  Encoder enc;
+  enc.put_string("");
+  enc.put_string("hello world");
+  enc.put_string(std::string(1000, 'x'));
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string().value(), "");
+  EXPECT_EQ(dec.get_string().value(), "hello world");
+  EXPECT_EQ(dec.get_string().value(), std::string(1000, 'x'));
+}
+
+TEST(CodecTest, StringWithEmbeddedNulAndBinary) {
+  std::string s = "a";
+  s.push_back('\0');
+  s += "b\xff";
+  Encoder enc;
+  enc.put_string(s);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string().value(), s);
+}
+
+TEST(CodecTest, F64ArrayRoundTrip) {
+  std::vector<double> v{1.5, -2.25, 0.0, 1e300, -1e-300};
+  Encoder enc;
+  enc.put_f64_array(v);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_f64_array().value(), v);
+}
+
+TEST(CodecTest, I32ArrayRoundTrip) {
+  std::vector<std::int32_t> v{0, -1, 2147483647, -2147483648};
+  Encoder enc;
+  enc.put_i32_array(v);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_i32_array().value(), v);
+}
+
+TEST(CodecTest, EmptyArrays) {
+  Encoder enc;
+  enc.put_f64_array(std::vector<double>{});
+  enc.put_i32_array(std::vector<std::int32_t>{});
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(dec.get_f64_array().value().empty());
+  EXPECT_TRUE(dec.get_i32_array().value().empty());
+}
+
+// ---- malformed input rejection ----
+
+TEST(CodecTest, TruncatedScalarFails) {
+  Encoder enc;
+  enc.put_u16(7);
+  Decoder dec(enc.bytes());
+  EXPECT_FALSE(dec.get_u32().ok());
+}
+
+TEST(CodecTest, TruncatedStringFails) {
+  Encoder enc;
+  enc.put_u32(100);  // claims 100 bytes, provides none
+  Decoder dec(enc.bytes());
+  auto r = dec.get_string();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kProtocol);
+}
+
+TEST(CodecTest, OversizedStringRejected) {
+  Encoder enc;
+  enc.put_string("hello");
+  Decoder dec(enc.bytes());
+  EXPECT_FALSE(dec.get_string(/*max_len=*/3).ok());
+}
+
+TEST(CodecTest, OversizedArrayRejected) {
+  Encoder enc;
+  enc.put_u32(0xffffffffu);  // absurd element count
+  Decoder dec(enc.bytes());
+  EXPECT_FALSE(dec.get_f64_array().ok());
+}
+
+TEST(CodecTest, BadBoolRejected) {
+  Encoder enc;
+  enc.put_u8(2);
+  Decoder dec(enc.bytes());
+  EXPECT_FALSE(dec.get_bool().ok());
+}
+
+TEST(CodecTest, TrailingBytesDetected) {
+  Encoder enc;
+  enc.put_u32(1);
+  enc.put_u32(2);
+  Decoder dec(enc.bytes());
+  (void)dec.get_u32();
+  EXPECT_FALSE(dec.expect_exhausted().ok());
+}
+
+// ---- property: random message round trips ----
+
+class CodecPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecPropertyTest, RandomMixRoundTrips) {
+  Rng rng(GetParam());
+  // Build a random sequence of typed fields, encode, decode, compare.
+  constexpr int kFields = 64;
+  std::vector<int> kinds(kFields);
+  std::vector<std::uint64_t> u64s(kFields);
+  std::vector<double> doubles(kFields);
+  std::vector<std::string> strings(kFields);
+
+  Encoder enc;
+  for (int i = 0; i < kFields; ++i) {
+    kinds[i] = static_cast<int>(rng.uniform_int(0, 2));
+    switch (kinds[i]) {
+      case 0:
+        u64s[i] = rng.next_u64();
+        enc.put_u64(u64s[i]);
+        break;
+      case 1:
+        doubles[i] = rng.normal() * 1e6;
+        enc.put_f64(doubles[i]);
+        break;
+      default: {
+        const auto len = static_cast<std::size_t>(rng.uniform_int(0, 32));
+        std::string s;
+        for (std::size_t k = 0; k < len; ++k) {
+          s.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+        }
+        strings[i] = s;
+        enc.put_string(s);
+        break;
+      }
+    }
+  }
+
+  Decoder dec(enc.bytes());
+  for (int i = 0; i < kFields; ++i) {
+    switch (kinds[i]) {
+      case 0:
+        EXPECT_EQ(dec.get_u64().value(), u64s[i]);
+        break;
+      case 1:
+        EXPECT_DOUBLE_EQ(dec.get_f64().value(), doubles[i]);
+        break;
+      default:
+        EXPECT_EQ(dec.get_string().value(), strings[i]);
+        break;
+    }
+  }
+  EXPECT_TRUE(dec.expect_exhausted().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ---- CRC32 ----
+
+TEST(Crc32Test, KnownVector) {
+  // The canonical IEEE test vector.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xcbf43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  std::uint32_t crc = kCrc32Init;
+  crc = crc32_update(crc, data.data(), 10);
+  crc = crc32_update(crc, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(crc32_final(crc), crc32(data.data(), data.size()));
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string data(64, 'a');
+  const auto base = crc32(data.data(), data.size());
+  data[17] = 'b';
+  EXPECT_NE(crc32(data.data(), data.size()), base);
+}
+
+// ---- frames ----
+
+TEST(FrameTest, HeaderRoundTrip) {
+  FrameHeader header;
+  header.type = 42;
+  header.length = 1234;
+  header.crc = 0xabcdef01u;
+  std::uint8_t buf[kHeaderSize];
+  encode_header(header, buf);
+  auto decoded = decode_header(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, 42);
+  EXPECT_EQ(decoded.value().length, 1234u);
+  EXPECT_EQ(decoded.value().crc, 0xabcdef01u);
+  EXPECT_EQ(decoded.value().version, kProtocolVersion);
+}
+
+TEST(FrameTest, BadMagicRejected) {
+  std::uint8_t buf[kHeaderSize] = {};
+  auto decoded = decode_header(buf);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kProtocol);
+}
+
+TEST(FrameTest, WrongVersionRejected) {
+  FrameHeader header;
+  header.version = kProtocolVersion + 1;
+  std::uint8_t buf[kHeaderSize];
+  encode_header(header, buf);
+  auto decoded = decode_header(buf);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kVersion);
+}
+
+TEST(FrameTest, BuildAndValidate) {
+  Bytes payload{1, 2, 3, 4, 5};
+  const Bytes frame = build_frame(7, payload);
+  ASSERT_EQ(frame.size(), kHeaderSize + payload.size());
+  auto header = decode_header(frame.data());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().type, 7);
+  Bytes body(frame.begin() + kHeaderSize, frame.end());
+  EXPECT_TRUE(check_payload(header.value(), body).ok());
+}
+
+TEST(FrameTest, CorruptPayloadDetected) {
+  Bytes payload{1, 2, 3, 4, 5};
+  const Bytes frame = build_frame(7, payload);
+  auto header = decode_header(frame.data()).value();
+  Bytes body(frame.begin() + kHeaderSize, frame.end());
+  body[2] ^= 0x40;
+  auto status = check_payload(header, body);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kProtocol);
+}
+
+TEST(FrameTest, LengthMismatchDetected) {
+  Bytes payload{1, 2, 3};
+  const Bytes frame = build_frame(7, payload);
+  auto header = decode_header(frame.data()).value();
+  Bytes short_body(frame.begin() + kHeaderSize, frame.end() - 1);
+  EXPECT_FALSE(check_payload(header, short_body).ok());
+}
+
+TEST(FrameTest, EmptyPayloadFrame) {
+  const Bytes frame = build_frame(9, {});
+  auto header = decode_header(frame.data());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().length, 0u);
+  EXPECT_TRUE(check_payload(header.value(), {}).ok());
+}
+
+}  // namespace
+}  // namespace ns::serial

@@ -1,0 +1,411 @@
+// Integration tests: ComputeServer + Agent + NetSolveClient over real
+// loopback sockets — the end-to-end request path, asynchronous calls, and
+// fault tolerance under every injected failure mode.
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "linalg/blas.hpp"
+#include "testkit/cluster.hpp"
+
+namespace ns {
+namespace {
+
+using dsl::DataObject;
+
+// Shared fixture: a modest two-server cluster with a synthetic rating so no
+// host measurement runs per test.
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testkit::ClusterConfig config;
+    config.servers = testkit::uniform_pool(2);
+    config.rating_base = 500.0;
+    auto cluster = testkit::TestCluster::start(std::move(config));
+    ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+    cluster_ = std::move(cluster).value();
+  }
+
+  std::unique_ptr<testkit::TestCluster> cluster_;
+  Rng rng_{0xfeed};
+};
+
+TEST_F(EndToEndTest, DgesvRoundTrip) {
+  auto client = cluster_->make_client();
+  const auto a = linalg::Matrix::random_diag_dominant(48, rng_);
+  const auto b = linalg::random_vector(48, rng_);
+  client::CallStats stats;
+  auto out = client.netsl("dgesv", {DataObject(a), DataObject(b)}, &stats);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_LT(linalg::residual_inf(a, out.value()[0].as_vector(), b), 1e-8);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GE(stats.exec_seconds, 0.0);
+  EXPECT_GT(stats.input_bytes, 48u * 48u * 8u);
+}
+
+TEST_F(EndToEndTest, AllBuiltinProblemsCallable) {
+  auto client = cluster_->make_client();
+  const auto a = linalg::Matrix::random_spd(12, rng_);
+  const auto vec = linalg::random_vector(12, rng_);
+
+  EXPECT_TRUE(client.call("ddot", vec, vec).ok());
+  EXPECT_TRUE(client.call("daxpy", 2.0, vec, vec).ok());
+  EXPECT_TRUE(client.call("dgemv", a, vec).ok());
+  EXPECT_TRUE(client.call("dgemm", a, a).ok());
+  EXPECT_TRUE(client.call("dgesv", a, vec).ok());
+  EXPECT_TRUE(client.call("dposv", a, vec).ok());
+  EXPECT_TRUE(client.call("dgels", a, vec).ok());
+  EXPECT_TRUE(client.call("eig_sym", a).ok());
+  EXPECT_TRUE(client.call("eig_power", a).ok());
+  EXPECT_TRUE(client
+                  .call("tridiag", linalg::Vector(11, -1.0), linalg::Vector(12, 4.0),
+                        linalg::Vector(11, -1.0), vec)
+                  .ok());
+  EXPECT_TRUE(client.call("cg", linalg::poisson_2d(5, 5), linalg::Vector(25, 1.0)).ok());
+  EXPECT_TRUE(
+      client.call("jacobi_it", linalg::poisson_1d(10), linalg::Vector(10, 1.0)).ok());
+  EXPECT_TRUE(
+      client.call("sor", linalg::poisson_1d(10), linalg::Vector(10, 1.0), 1.2).ok());
+  EXPECT_TRUE(client
+                  .call("polyfit", linalg::Vector{0, 1, 2, 3}, linalg::Vector{0, 1, 4, 9},
+                        std::int64_t{2})
+                  .ok());
+  EXPECT_TRUE(client
+                  .call("spline_eval", linalg::Vector{0, 1, 2}, linalg::Vector{0, 1, 0},
+                        linalg::Vector{0.5, 1.5})
+                  .ok());
+  EXPECT_TRUE(client
+                  .call("mandelbrot", -0.5, 0.0, 1.5, std::int64_t{8}, std::int64_t{20})
+                  .ok());
+  EXPECT_TRUE(client.call("busywork", std::int64_t{1}).ok());
+}
+
+TEST_F(EndToEndTest, UnknownProblemFailsFast) {
+  auto client = cluster_->make_client();
+  auto out = client.netsl("made_up", {});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ErrorCode::kUnknownProblem);
+}
+
+TEST_F(EndToEndTest, BadArgumentsNotRetried) {
+  auto client = cluster_->make_client();
+  client::CallStats stats;
+  // dgesv with mismatched dimensions: server-side validation error.
+  auto out = client.netsl(
+      "dgesv", {DataObject(linalg::Matrix(4, 4, 1.0)), DataObject(linalg::Vector(7))}, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ErrorCode::kBadArguments);
+  EXPECT_EQ(stats.attempts, 0) << "stats unset on failure path";
+}
+
+TEST_F(EndToEndTest, WrongTypeRejectedByServerSpec) {
+  auto client = cluster_->make_client();
+  auto out = client.netsl("dgesv", {DataObject(1.0), DataObject(2.0)});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ErrorCode::kBadArguments);
+}
+
+TEST_F(EndToEndTest, ExecutionErrorSurfaces) {
+  auto client = cluster_->make_client();
+  // Singular matrix: execution fails, not retried.
+  auto out = client.netsl(
+      "dgesv", {DataObject(linalg::Matrix(4, 4, 0.0)), DataObject(linalg::Vector(4))});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ErrorCode::kExecutionFailed);
+}
+
+TEST_F(EndToEndTest, ListProblemsMatchesCatalogue) {
+  auto client = cluster_->make_client();
+  auto problems = client.list_problems();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_GE(problems.value().size(), 15u);
+}
+
+TEST_F(EndToEndTest, PingAgent) {
+  auto client = cluster_->make_client();
+  EXPECT_TRUE(client.ping_agent().ok());
+}
+
+TEST_F(EndToEndTest, AsyncRequestCompletes) {
+  auto client = cluster_->make_client();
+  const auto a = linalg::Matrix::random_diag_dominant(32, rng_);
+  const auto b = linalg::random_vector(32, rng_);
+  auto handle = client.netsl_nb("dgesv", {DataObject(a), DataObject(b)});
+  ASSERT_TRUE(handle.valid());
+  auto out = handle.wait();
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(linalg::residual_inf(a, out.value()[0].as_vector(), b), 1e-8);
+  EXPECT_TRUE(handle.ready());
+  EXPECT_EQ(handle.stats().attempts, 1);
+  // Second wait reports the result was consumed.
+  EXPECT_FALSE(handle.wait().ok());
+}
+
+TEST_F(EndToEndTest, ManyConcurrentAsyncRequests) {
+  auto client = cluster_->make_client();
+  std::vector<client::RequestHandle> handles;
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    Rng rng(static_cast<std::uint64_t>(i) + 100);
+    const auto a = linalg::Matrix::random_diag_dominant(24, rng);
+    const auto b = linalg::random_vector(24, rng);
+    handles.push_back(client.netsl_nb("dgesv", {DataObject(a), DataObject(b)}));
+  }
+  int succeeded = 0;
+  for (auto& h : handles) {
+    if (h.wait().ok()) ++succeeded;
+  }
+  EXPECT_EQ(succeeded, kRequests);
+}
+
+TEST_F(EndToEndTest, DroppedHandleDoesNotCrash) {
+  auto client = cluster_->make_client();
+  {
+    auto handle = client.netsl_nb("busywork", {DataObject(std::int64_t{1})});
+    // handle destroyed immediately while in flight
+  }
+  sleep_seconds(0.1);  // let the orphaned worker finish
+}
+
+TEST_F(EndToEndTest, ProbeEventuallyReady) {
+  auto client = cluster_->make_client();
+  auto handle = client.netsl_nb("busywork", {DataObject(std::int64_t{2})});
+  const Deadline deadline(10.0);
+  while (!handle.ready() && !deadline.expired()) sleep_seconds(0.005);
+  EXPECT_TRUE(handle.ready());
+  EXPECT_TRUE(handle.wait().ok());
+}
+
+TEST_F(EndToEndTest, ServerCompletionCountersAdvance) {
+  auto client = cluster_->make_client();
+  const auto before =
+      cluster_->server(0).completed() + cluster_->server(1).completed();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.call("ddot", linalg::Vector{1, 2}, linalg::Vector{3, 4}).ok());
+  }
+  EXPECT_EQ(cluster_->server(0).completed() + cluster_->server(1).completed(), before + 4);
+}
+
+// ---- fault tolerance ----
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  void start_cluster(server::FailureSpec::Mode mode, double probability,
+                     std::int64_t after = -1) {
+    testkit::ClusterConfig config;
+    config.servers = testkit::uniform_pool(3);
+    config.servers[0].failure.mode = mode;
+    config.servers[0].failure.probability = probability;
+    config.servers[0].failure.after_requests = after;
+    config.rating_base = 500.0;
+    auto cluster = testkit::TestCluster::start(std::move(config));
+    ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+    cluster_ = std::move(cluster).value();
+  }
+
+  Result<std::vector<DataObject>> solve_once(client::CallStats* stats = nullptr) {
+    auto client = cluster_->make_client();
+    Rng rng(7);
+    const auto a = linalg::Matrix::random_diag_dominant(16, rng);
+    const auto b = linalg::random_vector(16, rng);
+    return client.netsl("dgesv", {DataObject(a), DataObject(b)}, stats);
+  }
+
+  std::unique_ptr<testkit::TestCluster> cluster_;
+};
+
+TEST_F(FaultToleranceTest, ErrorReplyRetriedOnAnotherServer) {
+  start_cluster(server::FailureSpec::Mode::kErrorReply, 1.0);
+  client::CallStats stats;
+  auto out = solve_once(&stats);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_NE(stats.server_name, cluster_->server(0).name())
+      << "must not succeed on the always-failing server";
+}
+
+TEST_F(FaultToleranceTest, DroppedConnectionRetried) {
+  start_cluster(server::FailureSpec::Mode::kDropRequest, 1.0);
+  // Short IO timeout so the dropped request is detected quickly. The drop
+  // closes the socket, which surfaces as CONNECTION_CLOSED immediately.
+  client::CallStats stats;
+  auto out = solve_once(&stats);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+}
+
+TEST_F(FaultToleranceTest, HungServerTimedOutAndRetried) {
+  start_cluster(server::FailureSpec::Mode::kHangRequest, 1.0);
+  // Short client IO timeout so the hang is detected fast.
+  client::ClientConfig cc;
+  cc.agent = cluster_->agent_endpoint();
+  cc.io_timeout_s = 0.3;
+  client::NetSolveClient client(cc);
+  Rng rng(7);
+  const auto a = linalg::Matrix::random_diag_dominant(16, rng);
+  const auto b = linalg::random_vector(16, rng);
+  client::CallStats stats;
+  const Stopwatch watch;
+  auto out = client.netsl("dgesv", {dsl::DataObject(a), dsl::DataObject(b)}, &stats);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_NE(stats.server_name, cluster_->server(0).name());
+  EXPECT_GE(watch.elapsed(), 0.29) << "must have waited out one timeout";
+  EXPECT_GE(stats.attempts, 2);
+}
+
+TEST_F(FaultToleranceTest, CrashedServerBlacklistedAndOthersUsed) {
+  start_cluster(server::FailureSpec::Mode::kCrash, 0.0, /*after=*/0);
+  // First call may hit the crashing server; all must succeed via retry.
+  for (int i = 0; i < 5; ++i) {
+    auto out = solve_once();
+    ASSERT_TRUE(out.ok()) << "call " << i << ": " << out.error().to_string();
+  }
+  // Agent marks the crashed server dead after the failure report.
+  const Deadline deadline(2.0);
+  while (cluster_->agent().registry().alive_count() > 2 && !deadline.expired()) {
+    sleep_seconds(0.01);
+  }
+  EXPECT_LE(cluster_->agent().registry().alive_count(), 2u);
+}
+
+TEST_F(FaultToleranceTest, AllServersFailingExhaustsRetries) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2);
+  for (auto& s : config.servers) {
+    s.failure.mode = server::FailureSpec::Mode::kErrorReply;
+    s.failure.probability = 1.0;
+  }
+  config.rating_base = 500.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  cluster_ = std::move(cluster).value();
+
+  auto out = solve_once();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, ErrorCode::kRetriesExhausted);
+}
+
+TEST_F(FaultToleranceTest, RuntimeFailureInjectionAndRecovery) {
+  start_cluster(server::FailureSpec::Mode::kNone, 0.0);
+  ASSERT_TRUE(solve_once().ok());
+
+  server::FailureSpec failing;
+  failing.mode = server::FailureSpec::Mode::kErrorReply;
+  failing.probability = 1.0;
+  cluster_->server(0).inject_failure(failing);
+  cluster_->server(1).inject_failure(failing);
+  cluster_->server(2).inject_failure(failing);
+  EXPECT_FALSE(solve_once().ok());
+
+  cluster_->server(0).inject_failure(server::FailureSpec{});
+  cluster_->server(1).inject_failure(server::FailureSpec{});
+  cluster_->server(2).inject_failure(server::FailureSpec{});
+  // Servers were blacklisted by failure reports; they revive on the next
+  // registration... here liveness returns via workload reports.
+  const Deadline deadline(3.0);
+  bool recovered = false;
+  while (!deadline.expired()) {
+    if (solve_once().ok()) {
+      recovered = true;
+      break;
+    }
+    sleep_seconds(0.05);
+  }
+  EXPECT_TRUE(recovered);
+}
+
+// ---- workload reporting ----
+
+TEST(WorkloadTest, BackgroundLoadVisibleToAgent) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(1);
+  config.servers[0].background_load = 2.5;
+  config.servers[0].report_period_s = 0.02;
+  config.rating_base = 500.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+
+  const Deadline deadline(2.0);
+  double seen = -1;
+  while (!deadline.expired()) {
+    auto all = cluster.value()->agent().registry().all();
+    if (!all.empty() && all[0].workload >= 2.5) {
+      seen = all[0].workload;
+      break;
+    }
+    sleep_seconds(0.01);
+  }
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(WorkloadTest, ReportThresholdSuppressesTraffic) {
+  // Two identical idle servers; the one with a large threshold sends only
+  // its initial report while the other reports every period.
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2);
+  config.servers[0].report_period_s = 0.01;
+  config.servers[0].report_threshold = 0.0;
+  config.servers[1].report_period_s = 0.01;
+  config.servers[1].report_threshold = 10.0;  // idle workload never moves 10 jobs
+  config.rating_base = 500.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+
+  const auto before = cluster.value()->agent().stats().workload_reports;
+  sleep_seconds(0.3);
+  const auto after = cluster.value()->agent().stats().workload_reports;
+  // ~30 periods elapsed: unthrottled server ~30 reports, throttled ~0.
+  EXPECT_GT(after - before, 15u);
+  EXPECT_LT(after - before, 45u);
+}
+
+TEST(SpeedFactorTest, SlowServerTakesProportionallyLonger) {
+  testkit::ClusterConfig config;
+  testkit::ClusterServerSpec fast;
+  fast.name = "fast";
+  testkit::ClusterServerSpec slow;
+  slow.name = "slow";
+  slow.speed = 0.25;
+  config.servers = {fast, slow};
+  config.policy = "round_robin";  // force alternation so both get hit
+  config.rating_base = 400.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+
+  // busywork(20) ~= 50 ms native at rating 400.
+  double fast_time = 0, slow_time = 0;
+  for (int i = 0; i < 2; ++i) {
+    client::CallStats stats;
+    ASSERT_TRUE(client.netsl("busywork", {DataObject(std::int64_t{20})}, &stats).ok());
+    if (stats.server_name == "fast") {
+      fast_time = stats.exec_seconds;
+    } else {
+      slow_time = stats.exec_seconds;
+    }
+  }
+  ASSERT_GT(fast_time, 0.0);
+  ASSERT_GT(slow_time, 0.0);
+  EXPECT_GT(slow_time, 2.5 * fast_time) << "speed 0.25 should be ~4x slower";
+}
+
+TEST(ServerValidationTest, BadConfigsRejected) {
+  server::ServerConfig config;
+  config.agent = {"127.0.0.1", 1};
+  config.speed_factor = 0.0;
+  EXPECT_FALSE(server::ComputeServer::start(config).ok());
+  config.speed_factor = 2.0;
+  EXPECT_FALSE(server::ComputeServer::start(config).ok());
+  config.speed_factor = 1.0;
+  config.workers = 0;
+  EXPECT_FALSE(server::ComputeServer::start(config).ok());
+}
+
+TEST(ServerValidationTest, AgentUnreachableFailsStartup) {
+  server::ServerConfig config;
+  config.agent = {"127.0.0.1", 1};  // nothing listens on port 1
+  config.rating_override = 100.0;
+  auto server = server::ComputeServer::start(config);
+  EXPECT_FALSE(server.ok());
+}
+
+}  // namespace
+}  // namespace ns

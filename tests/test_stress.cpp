@@ -1,0 +1,176 @@
+// Stress and soak tests: sustained mixed workloads, many concurrent
+// clients, agent hammering, and repeated start/stop cycles. These guard the
+// concurrency structure (detached handlers, worker gates, registry locks)
+// against races that small tests cannot surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/sparse.hpp"
+#include "testkit/cluster.hpp"
+
+namespace ns {
+namespace {
+
+using dsl::DataObject;
+
+TEST(StressTest, MixedWorkloadAcrossSpecializedPool) {
+  testkit::ClusterConfig config;
+  testkit::ClusterServerSpec dense;
+  dense.name = "dense";
+  dense.problems = {"dgesv", "dgemm", "dgemv", "ddot"};
+  testkit::ClusterServerSpec sparse;
+  sparse.name = "sparse";
+  sparse.problems = {"cg", "sor", "tridiag"};
+  testkit::ClusterServerSpec generalist;
+  generalist.name = "generalist";
+  config.servers = {dense, sparse, generalist};
+  config.rating_base = 800.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+
+  Rng rng(1);
+  const auto a = linalg::Matrix::random_diag_dominant(24, rng);
+  const auto b = linalg::random_vector(24, rng);
+  const auto sp = linalg::poisson_1d(32);
+  const linalg::Vector rhs(32, 1.0);
+
+  std::atomic<int> failures{0};
+  constexpr int kRounds = 25;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kRounds; ++i) {
+        bool ok = true;
+        switch ((w + i) % 4) {
+          case 0: ok = client.call("dgesv", a, b).ok(); break;
+          case 1: ok = client.call("cg", sp, rhs).ok(); break;
+          case 2: ok = client.call("ddot", b, b).ok(); break;
+          default: ok = client.call("fft", linalg::Vector(64, 1.0),
+                                    linalg::Vector(64, 0.0)).ok();
+        }
+        if (!ok) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(StressTest, ManyIndependentClients) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(3);
+  config.rating_base = 800.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&cluster, &failures, c] {
+      auto client = cluster.value()->make_client();
+      Rng rng(static_cast<std::uint64_t>(c) + 1);
+      for (int i = 0; i < 10; ++i) {
+        const auto v = linalg::random_vector(256, rng);
+        if (!client.call("ddot", v, v).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(StressTest, AgentQueryHammering) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2);
+  config.rating_base = 800.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> hammers;
+  for (int h = 0; h < 4; ++h) {
+    hammers.emplace_back([&cluster, &failures] {
+      auto client = cluster.value()->make_client();
+      const std::vector<DataObject> args = {DataObject(linalg::Vector(64, 1.0)),
+                                            DataObject(linalg::Vector(64, 2.0))};
+      for (int i = 0; i < 50; ++i) {
+        if (!client.query("ddot", args).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : hammers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(cluster.value()->agent().stats().queries, 200u);
+}
+
+TEST(StressTest, RepeatedClusterLifecycle) {
+  // Start/stop cycles must not leak sockets or deadlock.
+  for (int round = 0; round < 5; ++round) {
+    testkit::ClusterConfig config;
+    config.servers = testkit::uniform_pool(2);
+    config.rating_base = 500.0;
+    auto cluster = testkit::TestCluster::start(std::move(config));
+    ASSERT_TRUE(cluster.ok()) << "round " << round;
+    auto client = cluster.value()->make_client();
+    EXPECT_TRUE(client.call("ddot", linalg::Vector{1, 2}, linalg::Vector{3, 4}).ok());
+    cluster.value()->stop();
+  }
+}
+
+TEST(StressTest, FailuresUnderLoadStillAllSucceed) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(3, /*workers=*/2);
+  for (auto& s : config.servers) {
+    s.slowdown_mode = server::SlowdownMode::kSleep;
+    s.failure.mode = server::FailureSpec::Mode::kErrorReply;
+    s.failure.probability = 0.15;
+  }
+  config.rating_base = 1000.0;
+  config.registry.max_failures = 1 << 30;  // transient failures
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+
+  std::vector<client::RequestHandle> handles;
+  for (int i = 0; i < 30; ++i) {
+    handles.push_back(client.netsl_nb("simwork", {DataObject(std::int64_t{15})}));
+  }
+  int ok = 0;
+  for (auto& h : handles) {
+    if (h.wait().ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 30);
+}
+
+TEST(StressTest, LargePayloadsConcurrently) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2);
+  config.rating_base = 800.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok());
+  auto client = cluster.value()->make_client();
+
+  // 4 concurrent ~4 MB dgemv transfers.
+  Rng rng(3);
+  const auto a = linalg::Matrix::random(700, 700, rng);
+  const auto x = linalg::random_vector(700, rng);
+  std::vector<client::RequestHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(client.netsl_nb("dgemv", {DataObject(a), DataObject(x)}));
+  }
+  linalg::Vector expected(700, 0.0);
+  linalg::gemv(1.0, a, x, 0.0, expected);
+  for (auto& h : handles) {
+    auto out = h.wait();
+    ASSERT_TRUE(out.ok());
+    EXPECT_LT(linalg::max_abs_diff(out.value()[0].as_vector(), expected), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace ns
