@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agent.dir/bench_agent.cpp.o"
+  "CMakeFiles/bench_agent.dir/bench_agent.cpp.o.d"
+  "bench_agent"
+  "bench_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_farm.dir/async_farm.cpp.o"
+  "CMakeFiles/async_farm.dir/async_farm.cpp.o.d"
+  "async_farm"
+  "async_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matlab_style.dir/matlab_style.cpp.o"
+  "CMakeFiles/matlab_style.dir/matlab_style.cpp.o.d"
+  "matlab_style"
+  "matlab_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matlab_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsolve_agent.dir/standalone/netsolve_agent.cpp.o"
+  "CMakeFiles/netsolve_agent.dir/standalone/netsolve_agent.cpp.o.d"
+  "netsolve_agent"
+  "netsolve_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsolve_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsolve_client.dir/standalone/netsolve_client.cpp.o"
+  "CMakeFiles/netsolve_client.dir/standalone/netsolve_client.cpp.o.d"
+  "netsolve_client"
+  "netsolve_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsolve_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

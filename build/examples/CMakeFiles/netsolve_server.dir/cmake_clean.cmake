@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsolve_server.dir/standalone/netsolve_server.cpp.o"
+  "CMakeFiles/netsolve_server.dir/standalone/netsolve_server.cpp.o.d"
+  "netsolve_server"
+  "netsolve_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsolve_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

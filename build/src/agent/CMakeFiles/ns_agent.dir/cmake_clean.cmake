@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_agent.dir/agent.cpp.o"
+  "CMakeFiles/ns_agent.dir/agent.cpp.o.d"
+  "CMakeFiles/ns_agent.dir/policy.cpp.o"
+  "CMakeFiles/ns_agent.dir/policy.cpp.o.d"
+  "CMakeFiles/ns_agent.dir/predictor.cpp.o"
+  "CMakeFiles/ns_agent.dir/predictor.cpp.o.d"
+  "CMakeFiles/ns_agent.dir/registry.cpp.o"
+  "CMakeFiles/ns_agent.dir/registry.cpp.o.d"
+  "libns_agent.a"
+  "libns_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_client.dir/client.cpp.o"
+  "CMakeFiles/ns_client.dir/client.cpp.o.d"
+  "CMakeFiles/ns_client.dir/netsolve_c.cpp.o"
+  "CMakeFiles/ns_client.dir/netsolve_c.cpp.o.d"
+  "libns_client.a"
+  "libns_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

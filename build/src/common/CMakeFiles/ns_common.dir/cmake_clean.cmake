@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_common.dir/clock.cpp.o"
+  "CMakeFiles/ns_common.dir/clock.cpp.o.d"
+  "CMakeFiles/ns_common.dir/config.cpp.o"
+  "CMakeFiles/ns_common.dir/config.cpp.o.d"
+  "CMakeFiles/ns_common.dir/error.cpp.o"
+  "CMakeFiles/ns_common.dir/error.cpp.o.d"
+  "CMakeFiles/ns_common.dir/log.cpp.o"
+  "CMakeFiles/ns_common.dir/log.cpp.o.d"
+  "CMakeFiles/ns_common.dir/strings.cpp.o"
+  "CMakeFiles/ns_common.dir/strings.cpp.o.d"
+  "libns_common.a"
+  "libns_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/problem.cpp" "src/dsl/CMakeFiles/ns_dsl.dir/problem.cpp.o" "gcc" "src/dsl/CMakeFiles/ns_dsl.dir/problem.cpp.o.d"
+  "/root/repo/src/dsl/registry.cpp" "src/dsl/CMakeFiles/ns_dsl.dir/registry.cpp.o" "gcc" "src/dsl/CMakeFiles/ns_dsl.dir/registry.cpp.o.d"
+  "/root/repo/src/dsl/specfile.cpp" "src/dsl/CMakeFiles/ns_dsl.dir/specfile.cpp.o" "gcc" "src/dsl/CMakeFiles/ns_dsl.dir/specfile.cpp.o.d"
+  "/root/repo/src/dsl/value.cpp" "src/dsl/CMakeFiles/ns_dsl.dir/value.cpp.o" "gcc" "src/dsl/CMakeFiles/ns_dsl.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/ns_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ns_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_dsl.dir/problem.cpp.o"
+  "CMakeFiles/ns_dsl.dir/problem.cpp.o.d"
+  "CMakeFiles/ns_dsl.dir/registry.cpp.o"
+  "CMakeFiles/ns_dsl.dir/registry.cpp.o.d"
+  "CMakeFiles/ns_dsl.dir/specfile.cpp.o"
+  "CMakeFiles/ns_dsl.dir/specfile.cpp.o.d"
+  "CMakeFiles/ns_dsl.dir/value.cpp.o"
+  "CMakeFiles/ns_dsl.dir/value.cpp.o.d"
+  "libns_dsl.a"
+  "libns_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/blas.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/blas.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/eigen.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/eigen.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/eigen.cpp.o.d"
+  "/root/repo/src/linalg/expm.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/expm.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/expm.cpp.o.d"
+  "/root/repo/src/linalg/fft.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/fft.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/fft.cpp.o.d"
+  "/root/repo/src/linalg/fit.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/fit.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/fit.cpp.o.d"
+  "/root/repo/src/linalg/iterative.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/iterative.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/iterative.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/lu.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/qr.cpp.o.d"
+  "/root/repo/src/linalg/quad.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/quad.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/quad.cpp.o.d"
+  "/root/repo/src/linalg/rating.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/rating.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/rating.cpp.o.d"
+  "/root/repo/src/linalg/sparse.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/sparse.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/sparse.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/svd.cpp.o.d"
+  "/root/repo/src/linalg/tridiag.cpp" "src/linalg/CMakeFiles/ns_linalg.dir/tridiag.cpp.o" "gcc" "src/linalg/CMakeFiles/ns_linalg.dir/tridiag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_linalg.dir/blas.cpp.o"
+  "CMakeFiles/ns_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/ns_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/ns_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/expm.cpp.o"
+  "CMakeFiles/ns_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/fft.cpp.o"
+  "CMakeFiles/ns_linalg.dir/fft.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/fit.cpp.o"
+  "CMakeFiles/ns_linalg.dir/fit.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/iterative.cpp.o"
+  "CMakeFiles/ns_linalg.dir/iterative.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/lu.cpp.o"
+  "CMakeFiles/ns_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/ns_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/qr.cpp.o"
+  "CMakeFiles/ns_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/quad.cpp.o"
+  "CMakeFiles/ns_linalg.dir/quad.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/rating.cpp.o"
+  "CMakeFiles/ns_linalg.dir/rating.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/ns_linalg.dir/sparse.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/svd.cpp.o"
+  "CMakeFiles/ns_linalg.dir/svd.cpp.o.d"
+  "CMakeFiles/ns_linalg.dir/tridiag.cpp.o"
+  "CMakeFiles/ns_linalg.dir/tridiag.cpp.o.d"
+  "libns_linalg.a"
+  "libns_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_net.dir/shaped_link.cpp.o"
+  "CMakeFiles/ns_net.dir/shaped_link.cpp.o.d"
+  "CMakeFiles/ns_net.dir/socket.cpp.o"
+  "CMakeFiles/ns_net.dir/socket.cpp.o.d"
+  "CMakeFiles/ns_net.dir/transport.cpp.o"
+  "CMakeFiles/ns_net.dir/transport.cpp.o.d"
+  "libns_net.a"
+  "libns_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_proto.dir/messages.cpp.o"
+  "CMakeFiles/ns_proto.dir/messages.cpp.o.d"
+  "libns_proto.a"
+  "libns_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

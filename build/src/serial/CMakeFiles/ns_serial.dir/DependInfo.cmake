@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/codec.cpp" "src/serial/CMakeFiles/ns_serial.dir/codec.cpp.o" "gcc" "src/serial/CMakeFiles/ns_serial.dir/codec.cpp.o.d"
+  "/root/repo/src/serial/crc32.cpp" "src/serial/CMakeFiles/ns_serial.dir/crc32.cpp.o" "gcc" "src/serial/CMakeFiles/ns_serial.dir/crc32.cpp.o.d"
+  "/root/repo/src/serial/frame.cpp" "src/serial/CMakeFiles/ns_serial.dir/frame.cpp.o" "gcc" "src/serial/CMakeFiles/ns_serial.dir/frame.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_serial.dir/codec.cpp.o"
+  "CMakeFiles/ns_serial.dir/codec.cpp.o.d"
+  "CMakeFiles/ns_serial.dir/crc32.cpp.o"
+  "CMakeFiles/ns_serial.dir/crc32.cpp.o.d"
+  "CMakeFiles/ns_serial.dir/frame.cpp.o"
+  "CMakeFiles/ns_serial.dir/frame.cpp.o.d"
+  "libns_serial.a"
+  "libns_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_server.dir/builtin_problems.cpp.o"
+  "CMakeFiles/ns_server.dir/builtin_problems.cpp.o.d"
+  "CMakeFiles/ns_server.dir/server.cpp.o"
+  "CMakeFiles/ns_server.dir/server.cpp.o.d"
+  "libns_server.a"
+  "libns_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

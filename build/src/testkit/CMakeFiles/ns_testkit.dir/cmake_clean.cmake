@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_testkit.dir/cluster.cpp.o"
+  "CMakeFiles/ns_testkit.dir/cluster.cpp.o.d"
+  "libns_testkit.a"
+  "libns_testkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_testkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

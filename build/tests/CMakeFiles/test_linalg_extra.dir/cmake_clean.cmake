@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_extra.dir/test_linalg_extra.cpp.o"
+  "CMakeFiles/test_linalg_extra.dir/test_linalg_extra.cpp.o.d"
+  "test_linalg_extra"
+  "test_linalg_extra.pdb"
+  "test_linalg_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

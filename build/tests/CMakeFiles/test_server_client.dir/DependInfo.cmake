@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_server_client.cpp" "tests/CMakeFiles/test_server_client.dir/test_server_client.cpp.o" "gcc" "tests/CMakeFiles/test_server_client.dir/test_server_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testkit/CMakeFiles/ns_testkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/ns_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ns_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/ns_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ns_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/ns_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ns_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/ns_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
