@@ -1,9 +1,9 @@
 // E4 (Table II): fault tolerance under injected server failures.
 //
-// 40 jobs run against a 4-server pool in which every server fails each
-// request independently with probability p (error-reply mode: the request
-// is received, then refused — the costly failure the retry logic must
-// absorb). Two client configurations:
+// Part 1 (error-reply mode): 40 jobs run against a 4-server pool in which
+// every server fails each request independently with probability p (the
+// request is received, then refused — the costly failure the retry logic
+// must absorb). Two client configurations:
 //
 //   no-retry -- max_retries = 1: the request fails if its first server does
 //   retry    -- max_retries = 8: walk the ranked list / re-query (NetSolve)
@@ -12,6 +12,19 @@
 // stays constant through the run. Reported: success rate, mean job time,
 // and mean attempts. Expected shape: no-retry success ~= (1 - p); retry
 // keeps 100% success at a time cost growing like 1/(1-p).
+//
+// Part 2 (chaos modes): the same farm driven through the deterministic
+// network fault injector (net/fault.hpp) with deadline-budgeted clients and
+// the agent's circuit breaker enabled. Modes: mid-stream connection reset,
+// read/write stall, payload corruption (CRC-caught), a hard crash-kill +
+// restart of one server mid-run, and the mixed schedule used by the chaos
+// acceptance test. Reported per mode: success rate, mean attempts, and p95
+// job latency. The run is recorded as a machine-readable baseline in
+// BENCH_fault.json (written to the current working directory).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
 #include "bench/harness.hpp"
 
 using namespace ns;
@@ -73,16 +86,128 @@ CaseResult run_case(double failure_prob, bool retry) {
   return result;
 }
 
+// ---- Part 2: injector-driven chaos modes ----
+
+constexpr double kDeadlineS = 20.0;
+
+struct ChaosCase {
+  const char* name;
+  net::FaultPlan plan;  // empty rules = no injector fault (crash-kill case)
+  bool crash_kill = false;
+  // simwork units per job; the crash-kill case uses longer jobs so the farm
+  // is still in flight when the server dies and again when it rejoins.
+  std::int64_t work = 5;
+};
+
+struct ChaosResult {
+  double success_rate = 0;
+  double mean_attempts = 0;
+  double mean_time = 0;
+  double p95_time = 0;
+  double makespan = 0;
+};
+
+ChaosResult run_chaos_case(const ChaosCase& c) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(4, /*workers=*/1);
+  for (auto& s : config.servers) s.slowdown_mode = server::SlowdownMode::kSleep;
+  config.rating_base = 1000.0;
+  // Circuit breaker on: faulty servers are quarantined, probed half-open by
+  // the agent's ping loop, and re-admitted at reduced rating.
+  config.registry.max_failures = 2;
+  config.registry.quarantine_s = 0.2;
+  config.registry.quarantine_max_s = 1.0;
+  config.registry.probes_to_close = 2;
+  config.ping_period_s = 0.05;
+  config.io_timeout_s = 1.0;  // bounds the cost of an injected stall
+  config.client_deadline_s = kDeadlineS;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster failed: %s\n", cluster.error().to_string().c_str());
+    std::exit(1);
+  }
+
+  for (std::size_t i = 0; i < cluster.value()->server_count(); ++i) {
+    if (c.plan.rules.empty()) break;
+    net::FaultPlan plan = c.plan;
+    plan.seed += i;  // decorrelate the per-link fault streams
+    cluster.value()->arm_fault(i, plan);
+  }
+
+  std::thread killer;
+  if (c.crash_kill) {
+    killer = std::thread([&cluster] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      cluster.value()->kill_server(0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+      if (auto st = cluster.value()->restart_server(0); !st.ok()) {
+        std::fprintf(stderr, "restart failed: %s\n", st.error().to_string().c_str());
+      }
+    });
+  }
+
+  auto client = cluster.value()->make_client();
+  std::mutex mu;
+  std::int64_t attempts_total = 0;
+  int observed = 0;
+  auto farm = bench::run_farm(kJobs, kConcurrency, [&](int) {
+    client::CallStats stats;
+    auto out = client.netsl("simwork", {DataObject(c.work)}, &stats);
+    std::lock_guard<std::mutex> lock(mu);
+    attempts_total += stats.attempts;
+    if (out.ok()) ++observed;
+    return out.ok();
+  });
+
+  if (killer.joinable()) killer.join();
+  cluster.value()->disarm_faults();
+
+  const auto summary = bench::summarize(farm.job_seconds);
+  ChaosResult result;
+  result.success_rate =
+      static_cast<double>(kJobs - farm.failures) / static_cast<double>(kJobs);
+  result.mean_attempts =
+      static_cast<double>(attempts_total) / static_cast<double>(kJobs);
+  result.mean_time = summary.mean;
+  result.p95_time = summary.p95;
+  result.makespan = farm.makespan;
+  (void)observed;
+  return result;
+}
+
+std::vector<ChaosCase> chaos_cases() {
+  std::vector<ChaosCase> cases;
+  cases.push_back({"reset", net::FaultPlan::single(net::FaultMode::kReset, 0.2, 0xbe5e7), false});
+  cases.push_back({"stall", net::FaultPlan::single(net::FaultMode::kStall, 0.1, 0x57a11), false});
+  cases.push_back(
+      {"corrupt", net::FaultPlan::single(net::FaultMode::kCorrupt, 0.2, 0xc0554), false});
+  cases.push_back({"crash-kill", net::FaultPlan{}, true, 40});
+  net::FaultPlan mixed;
+  mixed.seed = 0xc4a05;
+  mixed.rules.push_back({net::FaultMode::kReset, 0.2, -1, {}});
+  mixed.rules.push_back({net::FaultMode::kStall, 0.05, -1, {}});
+  mixed.rules.push_back({net::FaultMode::kCorrupt, 0.2, -1, {}});
+  cases.push_back({"mixed", mixed, false});
+  return cases;
+}
+
 }  // namespace
 
 int main() {
   bench::banner("E4 / Table II", "fault tolerance: retry on/off vs failure probability");
+
+  struct ReplyRow {
+    double p;
+    CaseResult no_retry, with_retry;
+  };
+  std::vector<ReplyRow> reply_rows;
 
   bench::row("%8s | %12s %10s | %12s %10s %12s", "p(fail)", "succ(no-rt)", "t(no-rt)",
              "succ(retry)", "t(retry)", "attempts");
   for (const double p : {0.0, 0.1, 0.3, 0.5}) {
     const auto no_retry = run_case(p, /*retry=*/false);
     const auto with_retry = run_case(p, /*retry=*/true);
+    reply_rows.push_back({p, no_retry, with_retry});
     bench::row("%8.2f | %11.0f%% %9.0fms | %11.0f%% %9.0fms %12.2f", p,
                100.0 * no_retry.success_rate, no_retry.mean_time * 1e3,
                100.0 * with_retry.success_rate, with_retry.mean_time * 1e3,
@@ -91,5 +216,57 @@ int main() {
   bench::row("");
   bench::row("shape check: no-retry success ~= 1-p; retry holds 100%% success with");
   bench::row("  mean attempts ~= 1/(1-p) and time growing accordingly");
+  bench::row("");
+
+  bench::banner("E4b", "chaos modes: injected network faults, budgeted retries, breaker");
+  bench::row("%12s | %8s %10s %10s %10s %12s", "mode", "success", "attempts", "mean",
+             "p95", "makespan");
+
+  struct ChaosRow {
+    const char* name;
+    ChaosResult r;
+  };
+  std::vector<ChaosRow> chaos_rows;
+  for (const auto& c : chaos_cases()) {
+    const auto r = run_chaos_case(c);
+    chaos_rows.push_back({c.name, r});
+    bench::row("%12s | %7.0f%% %10.2f %8.0fms %8.0fms %10.0fms", c.name,
+               100.0 * r.success_rate, r.mean_attempts, r.mean_time * 1e3, r.p95_time * 1e3,
+               r.makespan * 1e3);
+  }
+  bench::row("");
+  bench::row("chaos modes run with a %.0fs per-call deadline budget; the expected", kDeadlineS);
+  bench::row("  shape is 100%% success in every mode with attempts > 1 absorbing the faults");
+
+  // Machine-readable baseline for regression diffing (see EXPERIMENTS.md).
+  if (FILE* out = std::fopen("BENCH_fault.json", "w")) {
+    std::fprintf(out, "{\n  \"experiment\": \"bench_fault\",\n");
+    std::fprintf(out, "  \"jobs\": %d,\n  \"concurrency\": %d,\n  \"servers\": 4,\n", kJobs,
+                 kConcurrency);
+    std::fprintf(out, "  \"deadline_s\": %.1f,\n", kDeadlineS);
+    std::fprintf(out, "  \"error_reply\": [\n");
+    for (std::size_t i = 0; i < reply_rows.size(); ++i) {
+      const auto& row = reply_rows[i];
+      std::fprintf(out,
+                   "    {\"p\": %.2f, \"no_retry_success\": %.3f, \"retry_success\": %.3f, "
+                   "\"retry_mean_attempts\": %.3f, \"retry_mean_s\": %.4f}%s\n",
+                   row.p, row.no_retry.success_rate, row.with_retry.success_rate,
+                   row.with_retry.mean_attempts, row.with_retry.mean_time,
+                   i + 1 < reply_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"chaos\": [\n");
+    for (std::size_t i = 0; i < chaos_rows.size(); ++i) {
+      const auto& row = chaos_rows[i];
+      std::fprintf(out,
+                   "    {\"mode\": \"%s\", \"success_rate\": %.3f, \"mean_attempts\": %.3f, "
+                   "\"mean_s\": %.4f, \"p95_s\": %.4f, \"makespan_s\": %.4f}%s\n",
+                   row.name, row.r.success_rate, row.r.mean_attempts, row.r.mean_time,
+                   row.r.p95_time, row.r.makespan, i + 1 < chaos_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    bench::row("");
+    bench::row("baseline written to BENCH_fault.json");
+  }
   return 0;
 }

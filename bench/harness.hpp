@@ -6,6 +6,7 @@
 // into EXPERIMENTS.md directly.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdarg>
@@ -39,7 +40,7 @@ inline void row(const char* fmt, ...) {
 
 /// Basic statistics over a sample set.
 struct Summary {
-  double mean = 0, min = 0, max = 0, stddev = 0;
+  double mean = 0, min = 0, max = 0, stddev = 0, p95 = 0;
   std::size_t count = 0;
 };
 
@@ -59,6 +60,14 @@ inline Summary summarize(const std::vector<double>& xs) {
   double var = 0;
   for (const double x : xs) var += (x - s.mean) * (x - s.mean);
   s.stddev = xs.size() > 1 ? std::sqrt(var / static_cast<double>(xs.size() - 1)) : 0.0;
+  // Nearest-rank p95 over a sorted copy.
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t rank =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(sorted.size()))) -
+                   (sorted.empty() ? 0 : 1));
+  s.p95 = sorted[rank];
   return s;
 }
 

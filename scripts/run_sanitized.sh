@@ -1,0 +1,31 @@
+#!/bin/sh
+# Build and run the test suite under a sanitizer.
+#
+# Usage: scripts/run_sanitized.sh [address|thread] [ctest args...]
+#   address (default) = ASan + UBSan
+#   thread            = TSan
+#
+# Uses a dedicated build directory per sanitizer so sanitized and plain
+# builds never collide. Example:
+#   scripts/run_sanitized.sh address -R chaos
+set -eu
+
+SAN="${1:-address}"
+case "$SAN" in
+    address|thread) ;;
+    *) echo "usage: $0 [address|thread] [ctest args...]" >&2; exit 2 ;;
+esac
+[ $# -gt 0 ] && shift
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD="$ROOT/build-$SAN"
+
+cmake -S "$ROOT" -B "$BUILD" -DNETSOLVE_SANITIZE="$SAN" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+cd "$BUILD"
+exec ctest --output-on-failure "$@"

@@ -96,21 +96,33 @@ void Agent::ping_loop() {
     }
     if (stopping_.load()) return;
 
+    const auto ping_ok = [](const net::Endpoint& endpoint) {
+      auto conn = net::TcpConnection::connect(endpoint, 0.5);
+      if (!conn.ok() ||
+          !net::send_message(conn.value(), static_cast<std::uint16_t>(MessageType::kPing), {})
+               .ok()) {
+        return false;
+      }
+      auto reply = net::recv_message(conn.value(), 1.0);
+      return reply.ok() &&
+             reply.value().type == static_cast<std::uint16_t>(MessageType::kPong);
+    };
+
     for (const auto& record : registry_.all()) {
       if (!record.alive || stopping_.load()) continue;
-      bool responded = false;
-      auto conn = net::TcpConnection::connect(record.endpoint, 0.5);
-      if (conn.ok() &&
-          net::send_message(conn.value(), static_cast<std::uint16_t>(MessageType::kPing), {})
-              .ok()) {
-        auto reply = net::recv_message(conn.value(), 1.0);
-        responded = reply.ok() &&
-                    reply.value().type == static_cast<std::uint16_t>(MessageType::kPong);
-      }
-      if (!responded) {
+      if (!ping_ok(record.endpoint)) {
         NS_WARN("agent") << "ping to " << record.name << " failed";
         registry_.record_failure(record.id);
       }
+    }
+
+    // Half-open probing: quarantined servers whose cooldown elapsed get an
+    // active ping so recovery is detected even when healthy peers absorb all
+    // client traffic. Pongs accumulate toward re-admission; silence re-arms
+    // the quarantine.
+    for (const auto& record : registry_.probe_candidates()) {
+      if (stopping_.load()) break;
+      registry_.record_probe(record.id, ping_ok(record.endpoint));
     }
   }
 }

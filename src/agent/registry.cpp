@@ -1,10 +1,65 @@
 #include "agent/registry.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/log.hpp"
 
 namespace ns::agent {
+
+std::string_view breaker_state_name(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+void ServerRegistry::open_breaker_locked(ServerRecord& record, bool escalate) {
+  if (escalate || record.breaker == BreakerState::kClosed) record.open_count += 1;
+  const double cooldown =
+      std::min(config_.quarantine_s *
+                   std::pow(config_.quarantine_backoff,
+                            static_cast<double>(std::max(record.open_count - 1, 0))),
+               config_.quarantine_max_s);
+  record.breaker = BreakerState::kOpen;
+  record.open_until = now_seconds() + cooldown;
+  record.probe_successes = 0;
+  record.alive = false;
+  NS_WARN("agent") << "server " << record.name << " quarantined for " << cooldown
+                   << "s (open #" << record.open_count << ")";
+}
+
+void ServerRegistry::probe_success_locked(ServerRecord& record) {
+  if (record.breaker == BreakerState::kOpen && now_seconds() >= record.open_until) {
+    record.breaker = BreakerState::kHalfOpen;
+    record.rating_factor = config_.readmit_rating_factor;
+  }
+  if (record.breaker != BreakerState::kHalfOpen) return;
+  record.probe_successes += 1;
+  if (record.probe_successes < config_.probes_to_close) return;
+  record.breaker = BreakerState::kClosed;
+  record.alive = true;
+  record.consecutive_failures = 0;
+  record.rating_factor = config_.readmit_rating_factor;
+  record.last_report_time = now_seconds();
+  NS_INFO("agent") << "server " << record.name << " re-admitted at "
+                   << record.rating_factor << "x rating after "
+                   << record.probe_successes << " successful probes";
+}
+
+void ServerRegistry::tick_breakers_locked() {
+  if (!breaker_enabled()) return;
+  const double now = now_seconds();
+  for (auto& [id, record] : servers_) {
+    if (record.breaker == BreakerState::kOpen && now >= record.open_until) {
+      record.breaker = BreakerState::kHalfOpen;
+      record.rating_factor = config_.readmit_rating_factor;
+      NS_INFO("agent") << "server " << record.name << " half-open (probing)";
+    }
+  }
+}
 
 proto::ServerId ServerRegistry::add(const proto::RegisterServer& reg) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -15,6 +70,12 @@ proto::ServerId ServerRegistry::add(const proto::RegisterServer& reg) {
       record.mflops = reg.mflops;
       record.alive = true;
       record.consecutive_failures = 0;
+      // An explicit re-registration is an operator/server restart: the old
+      // quarantine history no longer describes this incarnation.
+      record.breaker = BreakerState::kClosed;
+      record.open_count = 0;
+      record.probe_successes = 0;
+      record.rating_factor = 1.0;
       record.last_report_time = now_seconds();
       record.problems.clear();
       for (const auto& spec : reg.problems) {
@@ -52,7 +113,10 @@ void ServerRegistry::update_workload(const proto::WorkloadReport& report) {
   it->second.workload = report.workload;
   it->second.completed = report.completed;
   it->second.last_report_time = now_seconds();
-  it->second.alive = true;
+  // A workload report proves the process is up, but a quarantined server
+  // stays quarantined: its failures were observed on the client path, which
+  // a self-report says nothing about. Probes decide re-admission.
+  if (it->second.breaker == BreakerState::kClosed) it->second.alive = true;
   // A fresh report supersedes the assignment-based estimate.
   it->second.pending = 0.0;
 }
@@ -61,11 +125,31 @@ void ServerRegistry::record_failure(proto::ServerId id) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = servers_.find(id);
   if (it == servers_.end()) return;
-  it->second.consecutive_failures += 1;
-  if (it->second.consecutive_failures >= config_.max_failures) {
-    it->second.alive = false;
-    NS_WARN("agent") << "server " << it->second.name << " marked dead after "
-                     << it->second.consecutive_failures << " failures";
+  auto& record = it->second;
+  record.consecutive_failures += 1;
+
+  if (breaker_enabled()) {
+    if (record.breaker == BreakerState::kHalfOpen) {
+      // The probe traffic failed: back to quarantine, longer cooldown.
+      open_breaker_locked(record, /*escalate=*/true);
+      return;
+    }
+    if (record.breaker == BreakerState::kOpen) {
+      // Still failing while quarantined (e.g. straggling client reports):
+      // push the probe window out without escalating the cooldown tier.
+      open_breaker_locked(record, /*escalate=*/false);
+      return;
+    }
+    if (record.consecutive_failures >= config_.max_failures) {
+      open_breaker_locked(record, /*escalate=*/true);
+    }
+    return;
+  }
+
+  if (record.consecutive_failures >= config_.max_failures) {
+    record.alive = false;
+    NS_WARN("agent") << "server " << record.name << " marked dead after "
+                     << record.consecutive_failures << " failures";
   }
 }
 
@@ -76,6 +160,18 @@ void ServerRegistry::record_metrics(proto::ServerId id, std::uint64_t bytes, dou
   if (it == servers_.end()) return;
   auto& record = it->second;
   record.consecutive_failures = 0;
+  if (breaker_enabled()) {
+    if (record.breaker != BreakerState::kClosed) {
+      // A client completed real work against this server — the strongest
+      // probe there is.
+      probe_success_locked(record);
+    } else if (record.rating_factor < 1.0) {
+      // Earn the rating back success by success.
+      record.rating_factor = std::min(
+          1.0, record.rating_factor +
+                   config_.rating_recovery * (1.0 - record.rating_factor));
+    }
+  }
   // Interpret the sample as latency + bytes/bandwidth with the current
   // latency estimate; fold the implied bandwidth into the EWMA. Tiny
   // transfers update latency instead.
@@ -93,6 +189,29 @@ void ServerRegistry::record_metrics(proto::ServerId id, std::uint64_t bytes, dou
     if (seconds < record.latency_s) {
       record.latency_s = (1 - alpha) * record.latency_s + alpha * seconds;
     }
+  }
+}
+
+std::vector<ServerRecord> ServerRegistry::probe_candidates() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!breaker_enabled()) return {};
+  tick_breakers_locked();
+  std::vector<ServerRecord> out;
+  for (const auto& [id, record] : servers_) {
+    if (record.breaker == BreakerState::kHalfOpen) out.push_back(record);
+  }
+  return out;
+}
+
+void ServerRegistry::record_probe(proto::ServerId id, bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!breaker_enabled()) return;
+  const auto it = servers_.find(id);
+  if (it == servers_.end()) return;
+  if (success) {
+    probe_success_locked(it->second);
+  } else if (it->second.breaker != BreakerState::kClosed) {
+    open_breaker_locked(it->second, /*escalate=*/true);
   }
 }
 
@@ -184,9 +303,16 @@ bool ServerRegistry::apply_sync(const proto::SyncEntry& entry) {
 std::vector<ServerRecord> ServerRegistry::candidates_for(const std::string& problem) {
   std::lock_guard<std::mutex> lock(mu_);
   expire_stale_locked();
+  tick_breakers_locked();
   std::vector<ServerRecord> out;
   for (const auto& [id, record] : servers_) {
-    if (record.alive && record.problems.count(problem) > 0) out.push_back(record);
+    // Half-open servers are rankable too: a slice of real traffic is what
+    // proves (or disproves) recovery. Their reduced rating keeps them at the
+    // back of the list while healthy servers are available.
+    const bool rankable = record.alive || record.breaker == BreakerState::kHalfOpen;
+    if (!rankable || record.problems.count(problem) == 0) continue;
+    out.push_back(record);
+    if (record.rating_factor < 1.0) out.back().mflops *= record.rating_factor;
   }
   return out;
 }

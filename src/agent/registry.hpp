@@ -12,6 +12,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -20,6 +21,17 @@
 #include "proto/messages.hpp"
 
 namespace ns::agent {
+
+/// Per-server circuit breaker state (see RegistryConfig::quarantine_s).
+///   kClosed   -- healthy; requests flow normally.
+///   kOpen     -- quarantined after repeated failures; no traffic until the
+///                cooldown elapses.
+///   kHalfOpen -- cooldown elapsed; probe traffic (agent pings and a reduced
+///                share of client requests) decides between re-admission and
+///                another quarantine round.
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+std::string_view breaker_state_name(BreakerState state) noexcept;
 
 struct ServerRecord {
   proto::ServerId id = proto::kInvalidServerId;
@@ -44,6 +56,15 @@ struct ServerRecord {
   int consecutive_failures = 0;
   bool alive = true;
 
+  // Circuit breaker (active only when RegistryConfig::quarantine_s > 0).
+  BreakerState breaker = BreakerState::kClosed;
+  double open_until = 0.0;          // now_seconds() when probes are admitted
+  int open_count = 0;               // consecutive opens (cooldown backoff)
+  int probe_successes = 0;          // half-open progress toward closing
+  /// Multiplies the rated mflops in ranking snapshots. Re-admitted servers
+  /// start reduced and earn their rating back through observed successes.
+  double rating_factor = 1.0;
+
   std::set<std::string> problems;   // names offered
 };
 
@@ -58,6 +79,23 @@ struct RegistryConfig {
   /// A server silent for longer than this is considered dead at query time;
   /// <= 0 disables expiry.
   double report_timeout_s = 0.0;
+
+  // ---- circuit breaker ----
+  /// Base quarantine cooldown after the breaker opens; 0 disables the
+  /// breaker entirely (legacy behavior: a dead server stays dead until it
+  /// re-registers).
+  double quarantine_s = 0.0;
+  /// Cooldown multiplier per consecutive re-open (exponential), capped at
+  /// quarantine_max_s.
+  double quarantine_backoff = 2.0;
+  double quarantine_max_s = 5.0;
+  /// Successful probes required in half-open before the breaker closes.
+  int probes_to_close = 2;
+  /// Rating multiplier applied while half-open and on re-admission; each
+  /// client-reported success recovers it toward 1 (see rating_recovery).
+  double readmit_rating_factor = 0.5;
+  /// Per-success recovery step: factor += step * (1 - factor).
+  double rating_recovery = 0.25;
 };
 
 class ServerRegistry {
@@ -83,6 +121,17 @@ class ServerRegistry {
 
   /// Bump the "assigned" counter (the ranking's round-robin state).
   void record_assignment(proto::ServerId id);
+
+  /// Quarantined servers whose cooldown has elapsed (transitioning them to
+  /// half-open). The agent's ping loop probes these actively so a recovered
+  /// server is re-admitted even when healthy peers absorb all client
+  /// traffic.
+  std::vector<ServerRecord> probe_candidates();
+
+  /// Outcome of a half-open probe: enough successes close the breaker
+  /// (re-admitting the server at a reduced rating); a failure re-arms the
+  /// quarantine with a longer cooldown.
+  void record_probe(proto::ServerId id, bool success);
 
   /// Snapshot of alive servers offering `problem` (expiring stale ones if a
   /// report timeout is configured).
@@ -114,6 +163,13 @@ class ServerRegistry {
 
  private:
   void expire_stale_locked();
+  bool breaker_enabled() const noexcept { return config_.quarantine_s > 0.0; }
+  /// Move due kOpen records to kHalfOpen (no-op when the breaker is off).
+  void tick_breakers_locked();
+  /// Open (or re-arm) the quarantine for a failing server.
+  void open_breaker_locked(ServerRecord& record, bool escalate);
+  /// One half-open success; closes the breaker at the configured count.
+  void probe_success_locked(ServerRecord& record);
 
   RegistryConfig config_;
   std::mutex mu_;

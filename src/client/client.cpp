@@ -59,7 +59,8 @@ std::uint64_t request_size_hint(const std::vector<dsl::DataObject>& args) {
 
 Result<proto::ServerList> NetSolveClient::query_metadata(const std::string& problem,
                                                          std::uint64_t input_bytes,
-                                                         std::uint64_t size_hint) {
+                                                         std::uint64_t size_hint,
+                                                         double timeout_cap) {
   proto::Query query;
   query.problem = problem;
   query.input_bytes = input_bytes;
@@ -70,8 +71,10 @@ Result<proto::ServerList> NetSolveClient::query_metadata(const std::string& prob
   query.size_hint = size_hint;
   query.max_candidates = config_.max_candidates;
 
+  const double timeout =
+      timeout_cap > 0.0 ? std::min(config_.io_timeout_s, timeout_cap) : config_.io_timeout_s;
   auto reply = round_trip(config_.agent, static_cast<std::uint16_t>(MessageType::kQuery),
-                          encode_payload(query), config_.io_timeout_s);
+                          encode_payload(query), timeout);
   if (!reply.ok()) {
     return make_error(ErrorCode::kAgentUnavailable, reply.error().to_string());
   }
@@ -94,12 +97,17 @@ Result<proto::SolveResult> NetSolveClient::attempt(const proto::ServerCandidate&
                                                    const proto::SolveRequest& request,
                                                    double* io_seconds) {
   const Stopwatch watch;
-  auto conn = net::TcpConnection::connect(candidate.endpoint, 2.0);
+  // A live deadline budget caps every wait: there is no point blocking past
+  // the moment the caller stops caring about the answer.
+  const double timeout = request.deadline_s > 0.0
+                             ? std::min(config_.io_timeout_s, request.deadline_s)
+                             : config_.io_timeout_s;
+  auto conn = net::TcpConnection::connect(candidate.endpoint, std::min(2.0, timeout));
   if (!conn.ok()) return conn.error();
   NS_RETURN_IF_ERROR(net::send_message(conn.value(),
                                        static_cast<std::uint16_t>(MessageType::kSolveRequest),
                                        encode_payload(request), config_.link));
-  auto reply = net::recv_message(conn.value(), config_.io_timeout_s);
+  auto reply = net::recv_message(conn.value(), timeout);
   if (!reply.ok()) return reply.error();
   if (io_seconds != nullptr) *io_seconds = watch.elapsed();
   if (reply.value().type != static_cast<std::uint16_t>(MessageType::kSolveResult)) {
@@ -133,9 +141,17 @@ void NetSolveClient::report_metrics(proto::ServerId id, std::uint64_t bytes, dou
        encode_payload(report));
 }
 
+double NetSolveClient::backoff_jitter(double prev_sleep) {
+  std::lock_guard<std::mutex> lock(backoff_mu_);
+  return std::min(config_.backoff_max_s,
+                  backoff_rng_.uniform(config_.backoff_base_s, prev_sleep * 3.0));
+}
+
 Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
     const std::string& problem, const std::vector<dsl::DataObject>& args, CallStats* stats) {
   const Stopwatch total_watch;
+  const bool budgeted = config_.deadline_s > 0.0;
+  const Deadline deadline = budgeted ? Deadline(config_.deadline_s) : Deadline::never();
 
   proto::SolveRequest request;
   request.request_id = next_request_id_.fetch_add(1);
@@ -145,27 +161,73 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
   const std::uint64_t size_hint = request_size_hint(args);
 
   int attempts = 0;
+  double prev_sleep = config_.backoff_base_s;
+  double backoff_total = 0.0;
   Error last_error = make_error(ErrorCode::kRetriesExhausted, "no attempt made");
 
-  while (attempts < config_.max_retries) {
-    auto list = query_metadata(problem, input_bytes, size_hint);
+  // Budgeted calls retry until the deadline, not a fixed attempt count; a
+  // budget of time is what the caller actually has to spend.
+  const auto out_of_budget = [&] {
+    return budgeted ? deadline.expired() : attempts >= config_.max_retries;
+  };
+
+  // Within a deadline budget, a transiently empty pool or unreachable agent
+  // is worth waiting out: quarantined servers get re-admitted and partitions
+  // heal. Backoff, then re-query.
+  const auto retry_within_budget = [&](Error err) {
+    last_error = std::move(err);
+    prev_sleep = backoff_jitter(prev_sleep);
+    const double sleep_s = std::min(prev_sleep, deadline.remaining());
+    if (sleep_s > 0.0) {
+      sleep_seconds(sleep_s);
+      backoff_total += sleep_s;
+    }
+  };
+
+  while (!out_of_budget()) {
+    auto list = query_metadata(problem, input_bytes, size_hint,
+                               budgeted ? deadline.remaining() : 0.0);
     if (!list.ok()) {
+      const auto code = list.error().code;
+      if (budgeted && (code == ErrorCode::kNoServer ||
+                       code == ErrorCode::kAgentUnavailable || is_retryable(code))) {
+        retry_within_budget(list.error());
+        continue;
+      }
       // If servers existed but all failed under us (we reported them and the
       // agent blacklisted them), surface that as exhausted retries rather
       // than a bare "no server" — the request did reach servers.
-      if (list.error().code == ErrorCode::kNoServer && attempts > 0) {
+      if (code == ErrorCode::kNoServer && attempts > 0) {
         return make_error(ErrorCode::kRetriesExhausted,
                           "all servers failed; last: " + last_error.to_string());
       }
       return list.error();
     }
     if (list.value().candidates.empty()) {
+      if (budgeted) {
+        retry_within_budget(
+            make_error(ErrorCode::kNoServer, "agent returned no candidates for " + problem));
+        continue;
+      }
       return make_error(ErrorCode::kNoServer, "agent returned no candidates for " + problem);
     }
 
     for (const auto& candidate : list.value().candidates) {
-      if (attempts >= config_.max_retries) break;
+      if (out_of_budget()) break;
       ++attempts;
+
+      // Decorrelated-jitter backoff before every retry (never the first
+      // attempt), clamped to whatever budget remains.
+      if (attempts > 1 && config_.backoff_base_s > 0.0) {
+        prev_sleep = backoff_jitter(prev_sleep);
+        const double sleep_s = std::min(prev_sleep, deadline.remaining());
+        if (sleep_s > 0.0) {
+          sleep_seconds(sleep_s);
+          backoff_total += sleep_s;
+        }
+        if (budgeted && deadline.expired()) break;
+      }
+      request.deadline_s = budgeted ? deadline.remaining() : 0.0;
 
       double io_seconds = 0.0;
       auto result = attempt(candidate, request, &io_seconds);
@@ -207,11 +269,18 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
         stats->input_bytes = input_bytes;
         stats->output_bytes = output_bytes;
         stats->attempts = attempts;
+        stats->backoff_seconds = backoff_total;
       }
       return std::move(result.value().outputs);
     }
     // Ranked list exhausted; re-query (the agent has fresher liveness data
     // after our failure reports).
+  }
+  if (budgeted) {
+    return make_error(ErrorCode::kDeadlineExceeded,
+                      "deadline budget of " + std::to_string(config_.deadline_s) +
+                          "s exhausted after " + std::to_string(attempts) +
+                          " attempts; last: " + last_error.to_string());
   }
   return make_error(ErrorCode::kRetriesExhausted,
                     "all " + std::to_string(attempts) +

@@ -9,20 +9,26 @@
 //   call(...)      -- MATLAB-style variadic convenience front end.
 //
 // Fault tolerance: a retryable failure (connection refused/reset, timeout,
-// injected server failure) is reported to the agent (which blacklists the
-// server) and the next candidate is tried; the ranked list is re-fetched if
-// exhausted, up to max_retries attempts total. Non-retryable failures (bad
-// arguments, unknown problem, execution errors) surface immediately.
+// corrupted frame, injected server failure) is reported to the agent (which
+// quarantines the server) and the next candidate is tried; the ranked list
+// is re-fetched if exhausted, up to max_retries attempts total — or, when a
+// deadline budget is configured, until the budget runs out. Retries are
+// spaced by exponential backoff with decorrelated jitter so a pool-wide
+// outage does not turn into a synchronized retry storm. Non-retryable
+// failures (bad arguments, unknown problem, execution errors, expired
+// deadline) surface immediately.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "dsl/problem.hpp"
 #include "dsl/value.hpp"
 #include "net/shaped_link.hpp"
@@ -36,8 +42,22 @@ struct ClientConfig {
   /// Shape applied to client->server request traffic (WAN emulation).
   net::LinkShape link;
   /// Total request attempts across candidates/re-queries before giving up.
+  /// Ignored when `deadline_s` is set: the budget, not an attempt count,
+  /// then decides when to stop.
   int max_retries = 4;
   double io_timeout_s = 30.0;
+  /// Per-call deadline budget in seconds (0 = none). When set, the client
+  /// keeps retrying until the budget runs out, clamps every IO wait to the
+  /// remaining budget, and sends the remaining budget in each SolveRequest
+  /// so servers can shed work that already expired.
+  double deadline_s = 0.0;
+  /// Backoff between retry attempts: decorrelated jitter,
+  /// sleep = min(backoff_max_s, uniform(backoff_base_s, 3 * previous)),
+  /// clamped to the remaining deadline budget. 0 disables backoff.
+  double backoff_base_s = 0.005;
+  double backoff_max_s = 0.25;
+  /// Seed for the jitter draws (deterministic backoff sequences in tests).
+  std::uint64_t backoff_seed = 0xb0ff;
   /// How many ranked candidates to request from the agent per query.
   std::uint32_t max_candidates = 8;
   /// Feed client-observed transfer metrics back to the agent.
@@ -57,13 +77,15 @@ struct CallStats {
   std::uint64_t input_bytes = 0;
   std::uint64_t output_bytes = 0;
   int attempts = 0;                // 1 = first server worked
+  double backoff_seconds = 0.0;    // total time slept between attempts
 };
 
 class RequestHandle;
 
 class NetSolveClient {
  public:
-  explicit NetSolveClient(ClientConfig config) : config_(std::move(config)) {}
+  explicit NetSolveClient(ClientConfig config)
+      : config_(std::move(config)), backoff_rng_(config_.backoff_seed) {}
 
   /// Blocking solve. Returns the problem's output list.
   Result<std::vector<dsl::DataObject>> netsl(const std::string& problem,
@@ -103,16 +125,23 @@ class NetSolveClient {
  private:
   friend class RequestHandle;
 
+  /// `timeout_cap` > 0 additionally clamps the IO timeout (deadline budget).
   Result<proto::ServerList> query_metadata(const std::string& problem,
-                                           std::uint64_t input_bytes, std::uint64_t size_hint);
+                                           std::uint64_t input_bytes, std::uint64_t size_hint,
+                                           double timeout_cap = 0.0);
   /// One attempt against one server; transport-level failures are retryable.
   Result<proto::SolveResult> attempt(const proto::ServerCandidate& candidate,
                                      const proto::SolveRequest& request, double* io_seconds);
   void report_failure(proto::ServerId id, ErrorCode code);
   void report_metrics(proto::ServerId id, std::uint64_t bytes, double seconds);
+  /// Next decorrelated-jitter sleep given the previous one (thread-safe:
+  /// netsl may run concurrently on several netsl_nb workers).
+  double backoff_jitter(double prev_sleep);
 
   ClientConfig config_;
   std::atomic<std::uint64_t> next_request_id_{1};
+  std::mutex backoff_mu_;
+  Rng backoff_rng_;
 };
 
 /// Future-like handle for non-blocking calls (netslpr/netslwt).

@@ -20,6 +20,8 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kRetriesExhausted: return "RETRIES_EXHAUSTED";
     case ErrorCode::kCancelled: return "CANCELLED";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kCorruptFrame: return "CORRUPT_FRAME";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -31,6 +33,9 @@ bool is_retryable(ErrorCode code) noexcept {
     case ErrorCode::kTimeout:
     case ErrorCode::kServerOverloaded:
     case ErrorCode::kServerFailure:
+    // A damaged frame says nothing about the request itself; another server
+    // (or another attempt) may deliver it intact.
+    case ErrorCode::kCorruptFrame:
       return true;
     default:
       return false;

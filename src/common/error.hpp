@@ -37,6 +37,9 @@ enum class ErrorCode : std::uint16_t {
   kRetriesExhausted,
   kCancelled,
   kInternal,
+  // Appended post-v1 (keep wire values of the codes above stable).
+  kCorruptFrame,      // CRC/frame validation failed: bytes damaged in flight
+  kDeadlineExceeded,  // the call's deadline budget ran out
 };
 
 /// Human-readable name of an error code (stable, used in wire messages/logs).

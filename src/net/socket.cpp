@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/clock.hpp"
+#include "net/fault.hpp"
 
 namespace ns::net {
 
@@ -57,6 +58,9 @@ void FdHandle::reset() noexcept {
 }
 
 Result<TcpConnection> TcpConnection::connect(const Endpoint& remote, double timeout_secs) {
+  if (FaultInjector::instance().armed()) {
+    NS_RETURN_IF_ERROR(FaultInjector::instance().on_connect(remote));
+  }
   auto addr = make_addr(remote);
   if (!addr.ok()) return addr.error();
 

@@ -1,10 +1,66 @@
 #include "net/transport.hpp"
 
+#include "net/fault.hpp"
+
 namespace ns::net {
+
+namespace {
+
+/// Apply any armed fault to the outgoing frame. Looks the link up by the
+/// connection's peer endpoint first, then by its local endpoint — an accepted
+/// server socket's local endpoint is the listen address tests arm plans on,
+/// so one plan covers both directions of a server's link.
+Result<std::optional<FaultMode>> roll_send_fault(TcpConnection& conn, std::uint16_t type,
+                                                 serial::Bytes& frame) {
+  auto& injector = FaultInjector::instance();
+  auto peer = conn.peer_endpoint();
+  if (peer.ok()) {
+    auto fault = injector.on_send(peer.value(), type, frame.data(), frame.size());
+    if (fault) return fault;
+  }
+  auto local = conn.local_endpoint();
+  if (local.ok()) {
+    return injector.on_send(local.value(), type, frame.data(), frame.size());
+  }
+  return std::optional<FaultMode>{};
+}
+
+}  // namespace
 
 Status send_message(TcpConnection& conn, std::uint16_t type, const serial::Bytes& payload,
                     const LinkShape& shape) {
-  const serial::Bytes frame = serial::build_frame(type, payload);
+  serial::Bytes frame = serial::build_frame(type, payload);
+  if (FaultInjector::instance().armed()) {
+    auto fault = roll_send_fault(conn, type, frame);
+    if (!fault.ok()) return fault.error();
+    if (fault.value()) {
+      switch (*fault.value()) {
+        case FaultMode::kReset:
+        case FaultMode::kPartition: {
+          // Half a frame then a hard close: the peer reads a truncated stream
+          // and sees kConnectionClosed, exactly like a mid-flight RST.
+          (void)conn.send_all(frame.data(), frame.size() / 2);
+          conn.close();
+          return make_error(ErrorCode::kConnectionClosed,
+                            std::string("injected ") + std::string(fault_mode_name(*fault.value())) +
+                                " on send");
+        }
+        case FaultMode::kStall: {
+          // Partial frame then silence. The sender "succeeds" (the bytes left
+          // the building); the reader's recv timeout is what surfaces it.
+          const std::size_t partial = frame.size() > 1 ? frame.size() / 2 : 1;
+          (void)conn.send_all(frame.data(), partial);
+          return ok_status();
+        }
+        case FaultMode::kCorrupt:
+          // Bytes already flipped in place by on_send; deliver the damaged
+          // frame normally and let the CRC catch it on the far side.
+          break;
+        case FaultMode::kConnectRefused:
+          break;  // connect-only, never returned for sends
+      }
+    }
+  }
   return shaped_send(conn, frame.data(), frame.size(), shape);
 }
 

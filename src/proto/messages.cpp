@@ -220,6 +220,7 @@ void SolveRequest::encode(serial::Encoder& enc) const {
   enc.put_u64(request_id);
   enc.put_string(problem);
   dsl::encode_args(enc, args);
+  enc.put_f64(deadline_s);
 }
 
 Result<SolveRequest> SolveRequest::decode(serial::Decoder& dec) {
@@ -233,6 +234,9 @@ Result<SolveRequest> SolveRequest::decode(serial::Decoder& dec) {
   auto args = dsl::decode_args(dec);
   if (!args.ok()) return args.error();
   msg.args = std::move(args).value();
+  auto deadline = dec.get_f64();
+  if (!deadline.ok()) return deadline.error();
+  msg.deadline_s = deadline.value();
   return msg;
 }
 

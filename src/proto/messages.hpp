@@ -137,6 +137,10 @@ struct SolveRequest {
   std::uint64_t request_id = 0;
   std::string problem;
   std::vector<dsl::DataObject> args;
+  /// Remaining client deadline budget, in seconds, measured at send time
+  /// (0 = no deadline). Servers shed work whose budget has already lapsed
+  /// instead of computing an answer nobody is waiting for.
+  double deadline_s = 0.0;
 
   void encode(serial::Encoder& enc) const;
   static Result<SolveRequest> decode(serial::Decoder& dec);

@@ -4,6 +4,22 @@
 
 namespace ns::serial {
 
+namespace {
+
+// CRC over everything the magic/version checks don't already pin down: the
+// type and length fields (little-endian, as on the wire) plus the payload.
+std::uint32_t frame_crc(std::uint16_t type, std::uint32_t length, const Bytes& payload) {
+  const std::uint8_t meta[6] = {
+      static_cast<std::uint8_t>(type),         static_cast<std::uint8_t>(type >> 8),
+      static_cast<std::uint8_t>(length),       static_cast<std::uint8_t>(length >> 8),
+      static_cast<std::uint8_t>(length >> 16), static_cast<std::uint8_t>(length >> 24)};
+  std::uint32_t crc = crc32_update(kCrc32Init, meta, sizeof(meta));
+  crc = crc32_update(crc, payload.data(), payload.size());
+  return crc32_final(crc);
+}
+
+}  // namespace
+
 void encode_header(const FrameHeader& header, std::uint8_t out[kHeaderSize]) {
   auto put32 = [&out](std::size_t at, std::uint32_t v) {
     for (std::size_t i = 0; i < 4; ++i) out[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
@@ -50,7 +66,7 @@ Bytes build_frame(std::uint16_t type, const Bytes& payload) {
   FrameHeader header;
   header.type = type;
   header.length = static_cast<std::uint32_t>(payload.size());
-  header.crc = crc32(payload.data(), payload.size());
+  header.crc = frame_crc(type, header.length, payload);
   Bytes frame(kHeaderSize + payload.size());
   encode_header(header, frame.data());
   if (!payload.empty()) {
@@ -63,8 +79,10 @@ Status check_payload(const FrameHeader& header, const Bytes& payload) {
   if (payload.size() != header.length) {
     return make_error(ErrorCode::kProtocol, "payload length mismatch");
   }
-  if (crc32(payload.data(), payload.size()) != header.crc) {
-    return make_error(ErrorCode::kProtocol, "payload CRC mismatch");
+  if (frame_crc(header.type, header.length, payload) != header.crc) {
+    // Retryable: the header framed correctly, so this is in-flight damage
+    // (or an injected corruption fault), not a framing bug.
+    return make_error(ErrorCode::kCorruptFrame, "frame CRC mismatch");
   }
   return ok_status();
 }

@@ -5,12 +5,16 @@
 //   version u16   protocol version
 //   type    u16   message type tag (ns::proto::MessageType)
 //   length  u32   payload byte count
-//   crc     u32   CRC-32 of the payload
+//   crc     u32   CRC-32 over type + length + payload
 //   payload u8[length]
 //
 // The header is fixed-size so a reader can pull exactly kHeaderSize bytes,
 // validate, then pull the payload. CRC validation catches corruption and
-// (more importantly in practice) framing bugs.
+// (more importantly in practice) framing bugs. The CRC covers the type and
+// length fields as well as the payload: magic and version are checked
+// explicitly on decode, so without this a flipped type byte would silently
+// re-route an otherwise-valid frame to a different handler (found by the
+// frame fuzz test).
 #pragma once
 
 #include <cstdint>

@@ -144,6 +144,7 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
     }
 
     serial::Decoder dec(msg.value().payload);
+    const Stopwatch since_receipt;
     auto request = proto::SolveRequest::decode(dec);
     proto::SolveResult result;
     if (!request.ok()) {
@@ -201,6 +202,27 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
       --waiting_jobs_;
       if (stopping_.load()) return;
       ++running_jobs_;
+    }
+
+    // Deadline shedding: if the client's budget lapsed while this request
+    // waited for a worker slot, computing the answer only wastes the slot —
+    // the client has already given up or moved on. Reply with a terminal
+    // code so well-behaved clients stop retrying too.
+    if (request.value().deadline_s > 0.0 &&
+        since_receipt.elapsed() > request.value().deadline_s) {
+      {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        --running_jobs_;
+        jobs_cv_.notify_one();
+      }
+      shed_.fetch_add(1);
+      NS_DEBUG("server") << config_.name << " shed request " << result.request_id
+                         << " (budget " << request.value().deadline_s << "s lapsed)";
+      result.error_code = static_cast<std::uint16_t>(ErrorCode::kDeadlineExceeded);
+      result.error_message = "deadline budget exhausted before execution";
+      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
+                              encode_payload(result), config_.link);
+      continue;
     }
 
     const Stopwatch watch;

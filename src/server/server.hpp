@@ -123,6 +123,8 @@ class ComputeServer {
 
   /// Requests fully executed (successful replies sent).
   std::uint64_t completed() const noexcept { return completed_.load(); }
+  /// Requests shed because their deadline budget lapsed before execution.
+  std::uint64_t shed() const noexcept { return shed_.load(); }
   /// Current workload as would be reported (running + waiting + background).
   double current_workload() const;
 
@@ -163,6 +165,7 @@ class ComputeServer {
   std::atomic<double> background_load_;
 
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_{0};
 
   std::thread accept_thread_;
   std::thread report_thread_;

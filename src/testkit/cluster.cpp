@@ -69,10 +69,57 @@ Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
 TestCluster::~TestCluster() { stop(); }
 
 void TestCluster::stop() {
+  // Never leave fault plans behind: the injector is process-global and a
+  // later test would inherit this cluster's chaos schedule.
+  net::FaultInjector::instance().disarm_all();
   for (auto& server : servers_) {
     if (server) server->stop();
   }
   if (agent_) agent_->stop();
+}
+
+void TestCluster::arm_fault(std::size_t i, net::FaultPlan plan) {
+  net::FaultInjector::instance().arm(servers_.at(i)->endpoint(), std::move(plan));
+}
+
+void TestCluster::arm_agent_fault(net::FaultPlan plan) {
+  net::FaultInjector::instance().arm(agent_->endpoint(), std::move(plan));
+}
+
+void TestCluster::disarm_faults() { net::FaultInjector::instance().disarm_all(); }
+
+void TestCluster::kill_server(std::size_t i) { servers_.at(i)->stop(); }
+
+Status TestCluster::restart_server(std::size_t i) {
+  auto& slot = servers_.at(i);
+  if (!slot) return make_error(ErrorCode::kBadArguments, "no server in slot");
+  const net::Endpoint listen = slot->endpoint();
+  slot->stop();
+  slot.reset();  // release the port before rebinding
+
+  const auto& spec = config_.servers.at(i);
+  server::ServerConfig sc;
+  sc.name = spec.name;
+  sc.listen = listen;
+  sc.agent = agent_->endpoint();
+  sc.workers = spec.workers;
+  sc.max_queue = spec.max_queue;
+  sc.speed_factor = spec.speed;
+  sc.slowdown_mode = spec.slowdown_mode;
+  sc.rating_override = rating_base_;
+  sc.report_period_s = spec.report_period_s;
+  sc.report_threshold = spec.report_threshold;
+  sc.background_load = spec.background_load;
+  sc.link = spec.link;
+  sc.io_timeout_s = config_.io_timeout_s;
+  sc.failure = spec.failure;
+  sc.problem_filter = spec.problems;
+  // A distinct seed stream: the restarted incarnation is a new process.
+  sc.seed = 0xbada55 + 0x1000 + static_cast<std::uint64_t>(i);
+  auto server = server::ComputeServer::start(std::move(sc));
+  if (!server.ok()) return server.error();
+  slot = std::move(server).value();
+  return ok_status();
 }
 
 client::NetSolveClient TestCluster::make_client() const {
@@ -84,6 +131,7 @@ client::NetSolveClient TestCluster::make_client(const net::LinkShape& link) cons
   cc.agent = agent_->endpoint();
   cc.link = link;
   cc.io_timeout_s = config_.io_timeout_s;
+  cc.deadline_s = config_.client_deadline_s;
   return client::NetSolveClient(cc);
 }
 

@@ -15,6 +15,7 @@
 #include "agent/agent.hpp"
 #include "client/client.hpp"
 #include "common/error.hpp"
+#include "net/fault.hpp"
 #include "server/server.hpp"
 
 namespace ns::testkit {
@@ -48,6 +49,10 @@ struct ClusterConfig {
   /// Default shaping for clients created via make_client().
   net::LinkShape client_link;
   double io_timeout_s = 30.0;
+  /// Per-call deadline budget for make_client() clients (0 = none). With a
+  /// budget, clients retry until it expires and stamp the remaining budget
+  /// into every SolveRequest (servers shed expired work).
+  double client_deadline_s = 0.0;
 };
 
 class TestCluster {
@@ -73,6 +78,25 @@ class TestCluster {
 
   /// The native (speed=1) rating the servers were calibrated against.
   double rating_base() const noexcept { return rating_base_; }
+
+  // ---- chaos scripting (see net/fault.hpp) ----
+
+  /// Arm a fault plan on server i's link: faults hit traffic dialed to the
+  /// server AND its replies (the transport resolves the link by peer or
+  /// local endpoint).
+  void arm_fault(std::size_t i, net::FaultPlan plan);
+  /// Arm a fault plan on the agent's link (anything dialing the agent).
+  void arm_agent_fault(net::FaultPlan plan);
+  /// Remove every armed fault plan process-wide.
+  void disarm_faults();
+
+  /// Hard-kill server i: listener closed, all connections dropped — the
+  /// in-process stand-in for SIGKILL. The agent only learns via failed
+  /// pings / client reports / report expiry.
+  void kill_server(std::size_t i);
+  /// Restart a killed server on its old endpoint; the agent revives the
+  /// record by name+endpoint when the new incarnation registers.
+  Status restart_server(std::size_t i);
 
   /// Stop everything (idempotent; also run by the destructor).
   void stop();

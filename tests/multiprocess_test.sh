@@ -11,18 +11,34 @@ PORT=$((20000 + $$ % 20000))
 LOG=$(mktemp -d)
 trap 'kill $AGENT_PID $S1_PID $S2_PID 2>/dev/null || true; rm -rf "$LOG"' EXIT
 
-"$BIN/netsolve_agent" port=$PORT runtime=30 > "$LOG/agent.log" 2>&1 &
+# Poll until the agent reports at least $1 alive servers (startup is
+# asynchronous; fixed sleeps made this test racy on loaded machines).
+wait_alive_servers() {
+    want=$1
+    deadline=$(( $(date +%s) + 30 ))
+    while [ "$(date +%s)" -lt "$deadline" ]; do
+        count=$("$BIN/netsolve_client" agent_port=$PORT cmd=list 2>/dev/null \
+                | sed -n 's/^agent: \([0-9][0-9]*\) alive servers.*/\1/p')
+        if [ "${count:-0}" -ge "$want" ]; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "timed out waiting for $want alive servers" >&2
+    return 1
+}
+
+"$BIN/netsolve_agent" port=$PORT runtime=60 > "$LOG/agent.log" 2>&1 &
 AGENT_PID=$!
 
-# Give the agent a moment to bind, then start two specialized servers.
-sleep 0.3
-"$BIN/netsolve_server" name=alpha agent_port=$PORT rating=800 runtime=30 \
+"$BIN/netsolve_server" name=alpha agent_port=$PORT rating=800 runtime=60 \
     > "$LOG/s1.log" 2>&1 &
 S1_PID=$!
 "$BIN/netsolve_server" name=beta agent_port=$PORT rating=800 speed=0.5 \
-    problems=dgesv,dgemm runtime=30 > "$LOG/s2.log" 2>&1 &
+    problems=dgesv,dgemm runtime=60 > "$LOG/s2.log" 2>&1 &
 S2_PID=$!
-sleep 0.5
+
+wait_alive_servers 2
 
 echo "== catalogue =="
 "$BIN/netsolve_client" agent_port=$PORT cmd=list

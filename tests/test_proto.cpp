@@ -21,7 +21,7 @@ T round_trip(const T& msg) {
   const auto bytes = encode_msg(msg);
   serial::Decoder dec(bytes);
   auto back = T::decode(dec);
-  EXPECT_TRUE(back.ok());
+  EXPECT_TRUE(back.ok()) << (back.ok() ? "" : back.error().to_string());
   EXPECT_TRUE(dec.expect_exhausted().ok());
   return std::move(back).value();
 }

@@ -2,6 +2,9 @@
 // CRC32, frame encode/decode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+
 #include "common/rng.hpp"
 #include "serial/codec.hpp"
 #include "serial/crc32.hpp"
@@ -307,7 +310,9 @@ TEST(FrameTest, CorruptPayloadDetected) {
   body[2] ^= 0x40;
   auto status = check_payload(header, body);
   ASSERT_FALSE(status.ok());
-  EXPECT_EQ(status.error().code, ErrorCode::kProtocol);
+  EXPECT_EQ(status.error().code, ErrorCode::kCorruptFrame);
+  EXPECT_TRUE(is_retryable(status.error().code))
+      << "in-flight damage must be retryable, not terminal";
 }
 
 TEST(FrameTest, LengthMismatchDetected) {
@@ -324,6 +329,68 @@ TEST(FrameTest, EmptyPayloadFrame) {
   ASSERT_TRUE(header.ok());
   EXPECT_EQ(header.value().length, 0u);
   EXPECT_TRUE(check_payload(header.value(), {}).ok());
+}
+
+// Fuzz the receive path: random frames with random byte flips must always
+// fail *cleanly* — a validation error, never a crash or over-read — and
+// payload-only damage must surface as the retryable kCorruptFrame (that is
+// what the client's fault-tolerance loop keys on).
+TEST(FrameTest, FuzzedByteFlipsFailCleanly) {
+  Rng rng(0xf0220605);
+  int header_rejects = 0;
+  int payload_rejects = 0;
+  int survived_intact = 0;
+
+  for (int iter = 0; iter < 5000; ++iter) {
+    Bytes payload(static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto type = static_cast<std::uint16_t>(rng.uniform_int(1, 18));
+    const Bytes original = build_frame(type, payload);
+
+    Bytes frame = original;
+    const int flips = static_cast<int>(rng.uniform_int(1, 4));
+    bool payload_only = true;
+    for (int f = 0; f < flips; ++f) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+      frame[at] ^= static_cast<std::uint8_t>(1 + (rng.next_u64() & 0xfe));
+      if (at < kHeaderSize) payload_only = false;
+    }
+
+    // Mimic recv_message: parse the header, then take header.length bytes
+    // (bounded by what actually arrived — a reader never reads past the
+    // stream), then CRC-check.
+    auto header = decode_header(frame.data());
+    if (!header.ok()) {
+      EXPECT_TRUE(header.error().code == ErrorCode::kProtocol ||
+                  header.error().code == ErrorCode::kVersion)
+          << header.error().to_string();
+      ++header_rejects;
+      continue;
+    }
+    const std::size_t avail = frame.size() - kHeaderSize;
+    const std::size_t take = std::min<std::size_t>(header.value().length, avail);
+    Bytes body(frame.begin() + static_cast<std::ptrdiff_t>(kHeaderSize),
+               frame.begin() + static_cast<std::ptrdiff_t>(kHeaderSize + take));
+    auto status = check_payload(header.value(), body);
+    if (status.ok()) {
+      // Flips can only cancel out by re-hitting the same byte with the same
+      // mask; anything else passing validation would be a real CRC hole.
+      EXPECT_EQ(frame, original) << "damaged frame passed validation";
+      ++survived_intact;
+      continue;
+    }
+    if (payload_only && take == payload.size()) {
+      EXPECT_EQ(status.error().code, ErrorCode::kCorruptFrame);
+      EXPECT_TRUE(is_retryable(status.error().code));
+    }
+    ++payload_rejects;
+  }
+
+  // The schedule must actually have exercised both rejection paths.
+  EXPECT_GT(header_rejects, 0);
+  EXPECT_GT(payload_rejects, 0);
+  EXPECT_LT(survived_intact, 50);
 }
 
 }  // namespace
