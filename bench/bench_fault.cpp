@@ -32,7 +32,8 @@ using dsl::DataObject;
 
 namespace {
 
-constexpr int kJobs = 40;
+// --quick shrinks the farm so the run fits a CI smoke budget.
+int g_jobs = 40;
 constexpr int kConcurrency = 4;
 
 struct CaseResult {
@@ -66,7 +67,7 @@ CaseResult run_case(double failure_prob, bool retry) {
   std::mutex mu;
   std::int64_t attempts_total = 0;
   int observed = 0;
-  auto farm = bench::run_farm(kJobs, kConcurrency, [&](int) {
+  auto farm = bench::run_farm(g_jobs, kConcurrency, [&](int) {
     client::CallStats stats;
     auto out = client.netsl("simwork", {DataObject(std::int64_t{40})}, &stats);
     if (out.ok()) {
@@ -79,7 +80,7 @@ CaseResult run_case(double failure_prob, bool retry) {
 
   CaseResult result;
   result.success_rate =
-      static_cast<double>(kJobs - farm.failures) / static_cast<double>(kJobs);
+      static_cast<double>(g_jobs - farm.failures) / static_cast<double>(g_jobs);
   result.mean_time = bench::summarize(farm.job_seconds).mean;
   result.mean_attempts =
       observed > 0 ? static_cast<double>(attempts_total) / observed : 0.0;
@@ -150,7 +151,7 @@ ChaosResult run_chaos_case(const ChaosCase& c) {
   std::mutex mu;
   std::int64_t attempts_total = 0;
   int observed = 0;
-  auto farm = bench::run_farm(kJobs, kConcurrency, [&](int) {
+  auto farm = bench::run_farm(g_jobs, kConcurrency, [&](int) {
     client::CallStats stats;
     auto out = client.netsl("simwork", {DataObject(c.work)}, &stats);
     std::lock_guard<std::mutex> lock(mu);
@@ -165,9 +166,9 @@ ChaosResult run_chaos_case(const ChaosCase& c) {
   const auto summary = bench::summarize(farm.job_seconds);
   ChaosResult result;
   result.success_rate =
-      static_cast<double>(kJobs - farm.failures) / static_cast<double>(kJobs);
+      static_cast<double>(g_jobs - farm.failures) / static_cast<double>(g_jobs);
   result.mean_attempts =
-      static_cast<double>(attempts_total) / static_cast<double>(kJobs);
+      static_cast<double>(attempts_total) / static_cast<double>(g_jobs);
   result.mean_time = summary.mean;
   result.p95_time = summary.p95;
   result.makespan = farm.makespan;
@@ -193,25 +194,30 @@ std::vector<ChaosCase> chaos_cases() {
 
 }  // namespace
 
-int main() {
-  bench::banner("E4 / Table II", "fault tolerance: retry on/off vs failure probability");
+int main(int argc, char** argv) {
+  const auto opts = ns::bench::Options::parse(argc, argv);
+  if (opts.quick) g_jobs = 8;
 
-  struct ReplyRow {
-    double p;
-    CaseResult no_retry, with_retry;
-  };
-  std::vector<ReplyRow> reply_rows;
+  bench::banner("E4 / Table II", "fault tolerance: retry on/off vs failure probability");
 
   bench::row("%8s | %12s %10s | %12s %10s %12s", "p(fail)", "succ(no-rt)", "t(no-rt)",
              "succ(retry)", "t(retry)", "attempts");
-  for (const double p : {0.0, 0.1, 0.3, 0.5}) {
+  const std::vector<double> probs =
+      opts.quick ? std::vector<double>{0.0, 0.3} : std::vector<double>{0.0, 0.1, 0.3, 0.5};
+  for (const double p : probs) {
     const auto no_retry = run_case(p, /*retry=*/false);
     const auto with_retry = run_case(p, /*retry=*/true);
-    reply_rows.push_back({p, no_retry, with_retry});
     bench::row("%8.2f | %11.0f%% %9.0fms | %11.0f%% %9.0fms %12.2f", p,
                100.0 * no_retry.success_rate, no_retry.mean_time * 1e3,
                100.0 * with_retry.success_rate, with_retry.mean_time * 1e3,
                with_retry.mean_attempts);
+    // Case results become registry gauges so the JSON baseline is the same
+    // registry dump METRICS_QUERY serves from a live process.
+    const std::string base = "bench.fault.reply.p" + std::to_string(static_cast<int>(p * 100));
+    metrics::gauge(base + ".no_retry_success").set(no_retry.success_rate);
+    metrics::gauge(base + ".retry_success").set(with_retry.success_rate);
+    metrics::gauge(base + ".retry_mean_attempts").set(with_retry.mean_attempts);
+    metrics::gauge(base + ".retry_mean_s").set(with_retry.mean_time);
   }
   bench::row("");
   bench::row("shape check: no-retry success ~= 1-p; retry holds 100%% success with");
@@ -222,51 +228,36 @@ int main() {
   bench::row("%12s | %8s %10s %10s %10s %12s", "mode", "success", "attempts", "mean",
              "p95", "makespan");
 
-  struct ChaosRow {
-    const char* name;
-    ChaosResult r;
-  };
-  std::vector<ChaosRow> chaos_rows;
   for (const auto& c : chaos_cases()) {
+    // Quick mode keeps one injector case and the crash-kill case (the two
+    // recovery paths worth smoking in CI); the full matrix runs otherwise.
+    if (opts.quick && std::string(c.name) != "reset" && !c.crash_kill) continue;
     const auto r = run_chaos_case(c);
-    chaos_rows.push_back({c.name, r});
     bench::row("%12s | %7.0f%% %10.2f %8.0fms %8.0fms %10.0fms", c.name,
                100.0 * r.success_rate, r.mean_attempts, r.mean_time * 1e3, r.p95_time * 1e3,
                r.makespan * 1e3);
+    const std::string base = std::string("bench.fault.chaos.") + c.name;
+    metrics::gauge(base + ".success_rate").set(r.success_rate);
+    metrics::gauge(base + ".mean_attempts").set(r.mean_attempts);
+    metrics::gauge(base + ".mean_s").set(r.mean_time);
+    metrics::gauge(base + ".p95_s").set(r.p95_time);
+    metrics::gauge(base + ".makespan_s").set(r.makespan);
   }
   bench::row("");
   bench::row("chaos modes run with a %.0fs per-call deadline budget; the expected", kDeadlineS);
   bench::row("  shape is 100%% success in every mode with attempts > 1 absorbing the faults");
 
-  // Machine-readable baseline for regression diffing (see EXPERIMENTS.md).
-  if (FILE* out = std::fopen("BENCH_fault.json", "w")) {
-    std::fprintf(out, "{\n  \"experiment\": \"bench_fault\",\n");
-    std::fprintf(out, "  \"jobs\": %d,\n  \"concurrency\": %d,\n  \"servers\": 4,\n", kJobs,
-                 kConcurrency);
-    std::fprintf(out, "  \"deadline_s\": %.1f,\n", kDeadlineS);
-    std::fprintf(out, "  \"error_reply\": [\n");
-    for (std::size_t i = 0; i < reply_rows.size(); ++i) {
-      const auto& row = reply_rows[i];
-      std::fprintf(out,
-                   "    {\"p\": %.2f, \"no_retry_success\": %.3f, \"retry_success\": %.3f, "
-                   "\"retry_mean_attempts\": %.3f, \"retry_mean_s\": %.4f}%s\n",
-                   row.p, row.no_retry.success_rate, row.with_retry.success_rate,
-                   row.with_retry.mean_attempts, row.with_retry.mean_time,
-                   i + 1 < reply_rows.size() ? "," : "");
-    }
-    std::fprintf(out, "  ],\n  \"chaos\": [\n");
-    for (std::size_t i = 0; i < chaos_rows.size(); ++i) {
-      const auto& row = chaos_rows[i];
-      std::fprintf(out,
-                   "    {\"mode\": \"%s\", \"success_rate\": %.3f, \"mean_attempts\": %.3f, "
-                   "\"mean_s\": %.4f, \"p95_s\": %.4f, \"makespan_s\": %.4f}%s\n",
-                   row.name, row.r.success_rate, row.r.mean_attempts, row.r.mean_time,
-                   row.r.p95_time, row.r.makespan, i + 1 < chaos_rows.size() ? "," : "");
-    }
-    std::fprintf(out, "  ]\n}\n");
-    std::fclose(out);
+  metrics::gauge("bench.fault.jobs").set(g_jobs);
+  metrics::gauge("bench.fault.concurrency").set(kConcurrency);
+  metrics::gauge("bench.fault.deadline_s").set(kDeadlineS);
+
+  // Machine-readable baseline for regression diffing (see EXPERIMENTS.md):
+  // the full registry dump — bench.fault.* result gauges plus the client/
+  // agent/server counters and span.* histograms the farm accumulated.
+  const std::string json_path = opts.json_path.empty() ? "BENCH_fault.json" : opts.json_path;
+  if (bench::write_metrics_json(json_path, "bench_fault", opts.quick)) {
     bench::row("");
-    bench::row("baseline written to BENCH_fault.json");
+    bench::row("baseline written to %s", json_path.c_str());
   }
   return 0;
 }

@@ -17,11 +17,55 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "testkit/cluster.hpp"
 
 namespace ns::bench {
+
+/// Common harness flags, shared by the bench_* binaries that accept them:
+///   --quick         shrink the workload so the run fits a CI smoke budget
+///   --json <path>   after the run, dump the process metrics registry as
+///                   JSON to <path> (the machine-readable BENCH_*.json
+///                   baseline is then harness-produced, not hand-rolled)
+struct Options {
+  bool quick = false;
+  std::string json_path;
+
+  static Options parse(int argc, char** argv) {
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        opts.quick = true;
+      } else if (arg == "--json" && i + 1 < argc) {
+        opts.json_path = argv[++i];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        opts.json_path = arg.substr(7);
+      } else {
+        std::fprintf(stderr, "unknown flag %s (known: --quick, --json <path>)\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return opts;
+  }
+};
+
+/// Write `{"experiment": ..., "quick": ..., "metrics": <registry dump>}` to
+/// `path`. The dump carries everything the run produced: the bench.* result
+/// gauges plus the client/agent/server counters and span histograms that
+/// accumulated in this process while the in-process clusters ran.
+inline bool write_metrics_json(const std::string& path, const std::string& experiment,
+                               bool quick) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const std::string dump = metrics::Registry::instance().snapshot().to_json();
+  std::fprintf(out, "{\"experiment\": \"%s\", \"quick\": %s, \"metrics\": %s}\n",
+               experiment.c_str(), quick ? "true" : "false", dump.c_str());
+  std::fclose(out);
+  return true;
+}
 
 inline void banner(const char* experiment_id, const char* title) {
   std::printf("==============================================================\n");

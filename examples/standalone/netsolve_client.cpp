@@ -3,10 +3,14 @@
 //   $ netsolve_client agent_port=9000 cmd=list
 //   $ netsolve_client agent_port=9000 cmd=solve n=300 problem=dgesv
 //   $ netsolve_client agent_port=9000 cmd=bench n=200 calls=10
+//   $ netsolve_client agent_port=9000 cmd=metrics prefix=span.
 //
-// cmd=list   print the agent's problem catalogue and server pool
-// cmd=solve  generate a random system of order n and solve it remotely
-// cmd=bench  time `calls` solves and print a latency summary
+// cmd=list    print the agent's problem catalogue and server pool
+// cmd=solve   generate a random system of order n and solve it remotely
+// cmd=bench   time `calls` solves and print a latency summary
+// cmd=metrics scrape the target process's metrics registry (METRICS_QUERY);
+//             point host/port at an agent or a server, filter with prefix=,
+//             add json=1 for the machine-readable dump
 #include <cstdio>
 
 #include "client/client.hpp"
@@ -81,6 +85,17 @@ int cmd_bench(client::NetSolveClient& client, std::size_t n, int calls) {
   return 0;
 }
 
+int cmd_metrics(const net::Endpoint& peer, const std::string& prefix, bool json) {
+  auto snap = client::scrape_metrics(peer, /*timeout_s=*/5.0, prefix);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "metrics scrape failed: %s\n", snap.error().to_string().c_str());
+    return 1;
+  }
+  const std::string dump = json ? snap.value().to_json() : snap.value().to_text();
+  std::printf("%s\n", dump.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,6 +117,10 @@ int main(int argc, char** argv) {
   if (cmd == "bench") {
     return cmd_bench(client, n, static_cast<int>(config.value().get_int_or("calls", 10)));
   }
-  std::fprintf(stderr, "unknown cmd '%s' (use list | solve | bench)\n", cmd.c_str());
+  if (cmd == "metrics") {
+    return cmd_metrics(client_config.agent, config.value().get_or("prefix", ""),
+                       config.value().get_int_or("json", 0) != 0);
+  }
+  std::fprintf(stderr, "unknown cmd '%s' (use list | solve | bench | metrics)\n", cmd.c_str());
   return 2;
 }

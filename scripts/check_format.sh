@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# clang-format dry-run over the tree's C++ sources, driven by the committed
+# .clang-format. Exit status:
+#   0 = clean (or clang-format unavailable: the check is advisory and CI runs
+#       it as a non-blocking job, so a missing tool must not fail anything)
+#   1 = files need reformatting (the offending files are listed)
+set -euo pipefail
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "check_format: clang-format not found; skipping (advisory check)" >&2
+    exit 0
+fi
+
+cd "$ROOT"
+mapfile -t files < <(find src tests bench examples \
+    \( -name '*.cpp' -o -name '*.hpp' -o -name '*.h' -o -name '*.c' \) -type f | sort)
+
+status=0
+for f in "${files[@]}"; do
+    if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+        echo "needs formatting: $f"
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_format: ${#files[@]} files clean"
+fi
+exit "$status"

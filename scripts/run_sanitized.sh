@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Build and run the test suite under a sanitizer.
 #
 # Usage: scripts/run_sanitized.sh [address|thread] [ctest args...]
@@ -8,14 +8,17 @@
 # Uses a dedicated build directory per sanitizer so sanitized and plain
 # builds never collide. Example:
 #   scripts/run_sanitized.sh address -R chaos
-set -eu
+#
+# The script's exit status is ctest's exit status: CI jobs gate on it, so a
+# failing sanitized suite must fail the job.
+set -euo pipefail
 
 SAN="${1:-address}"
 case "$SAN" in
     address|thread) ;;
     *) echo "usage: $0 [address|thread] [ctest args...]" >&2; exit 2 ;;
 esac
-[ $# -gt 0 ] && shift
+if [ "$#" -gt 0 ]; then shift; fi
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD="$ROOT/build-$SAN"
@@ -28,4 +31,6 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 cd "$BUILD"
-exec ctest --output-on-failure "$@"
+status=0
+ctest --output-on-failure "$@" || status=$?
+exit "$status"

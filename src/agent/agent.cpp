@@ -4,6 +4,8 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace ns::agent {
 
@@ -172,6 +174,7 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
         return false;
       }
       stat_registrations_.fetch_add(1);
+      metrics::counter("agent.registrations_total").inc();
       proto::RegisterAck ack;
       ack.server_id = registry_.add(reg.value());
       return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kRegisterAck),
@@ -183,6 +186,7 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
       auto report = proto::WorkloadReport::decode(dec);
       if (report.ok()) {
         stat_workload_reports_.fetch_add(1);
+        metrics::counter("agent.workload_reports_total").inc();
         registry_.update_workload(report.value());
       }
       return true;  // fire-and-forget
@@ -195,12 +199,15 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
         return false;
       }
       stat_queries_.fetch_add(1);
+      metrics::counter("agent.queries_total").inc();
       const auto spec = registry_.problem_spec(query.value().problem);
       if (!spec) {
+        metrics::counter("agent.unknown_problem_total").inc();
         return send_error(conn, ErrorCode::kUnknownProblem, query.value().problem).ok();
       }
       auto records = registry_.candidates_for(query.value().problem);
       if (records.empty()) {
+        metrics::counter("agent.no_server_total").inc();
         return send_error(conn, ErrorCode::kNoServer,
                           "no alive server offers " + query.value().problem)
             .ok();
@@ -210,11 +217,17 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
       if (!config_.count_pending) {
         for (auto& r : records) r.pending = 0.0;  // ablation: report-only load view
       }
+      // The scheduling decision is a traced hop: its duration travels back
+      // to the client in the ServerList and lands in this process's
+      // span.agent.schedule_s histogram.
+      const Stopwatch schedule_watch;
       proto::ServerList list;
       {
         std::lock_guard<std::mutex> lock(policy_mu_);
         list.candidates = policy_->rank(records, profile);
       }
+      list.schedule_seconds = schedule_watch.elapsed();
+      trace::record_span(query.value().trace_id, "agent.schedule", 0.0, list.schedule_seconds);
       if (list.candidates.size() > query.value().max_candidates) {
         list.candidates.resize(query.value().max_candidates);
       }
@@ -230,6 +243,7 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
       auto report = proto::FailureReport::decode(dec);
       if (report.ok()) {
         stat_failure_reports_.fetch_add(1);
+        metrics::counter("agent.failure_reports_total").inc();
         registry_.record_failure(report.value().server_id);
       }
       return true;
@@ -263,6 +277,17 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
           .ok();
     }
 
+    case MessageType::kMetricsQuery: {
+      auto query = proto::MetricsQuery::decode(dec);
+      refresh_server_gauges();
+      proto::MetricsDump dump;
+      dump.snapshot = metrics::Registry::instance().snapshot(
+          query.ok() ? query.value().prefix : std::string{});
+      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kMetricsDump),
+                               encode_payload(dump))
+          .ok();
+    }
+
     case MessageType::kSyncState: {
       auto state = proto::SyncState::decode(dec);
       if (state.ok()) {
@@ -284,6 +309,20 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
                        "unexpected message type " + std::to_string(msg.type));
       return false;
   }
+}
+
+void Agent::refresh_server_gauges() {
+  // Gauges are last-write-wins snapshots of directory state, refreshed at
+  // scrape time: breaker state (0 closed / 1 open / 2 half-open), the
+  // recovering rating factor, reported workload and liveness per server.
+  for (const auto& record : registry_.all()) {
+    const std::string base = "agent.server." + record.name + ".";
+    metrics::gauge(base + "breaker").set(static_cast<double>(record.breaker));
+    metrics::gauge(base + "rating_factor").set(record.rating_factor);
+    metrics::gauge(base + "workload").set(record.workload);
+    metrics::gauge(base + "alive").set(record.alive ? 1.0 : 0.0);
+  }
+  metrics::gauge("agent.alive_servers").set(static_cast<double>(registry_.alive_count()));
 }
 
 proto::AgentStats Agent::stats() {

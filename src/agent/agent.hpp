@@ -76,6 +76,9 @@ class Agent {
   bool handle_message(net::TcpConnection& conn, const net::Message& msg);
   void ping_loop();
   void sync_loop();
+  /// Re-publish per-server directory state (breaker, rating factor,
+  /// workload, liveness) as registry gauges; called at metrics-scrape time.
+  void refresh_server_gauges();
 
   AgentConfig config_;
   net::TcpListener listener_;

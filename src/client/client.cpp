@@ -60,7 +60,8 @@ std::uint64_t request_size_hint(const std::vector<dsl::DataObject>& args) {
 Result<proto::ServerList> NetSolveClient::query_metadata(const std::string& problem,
                                                          std::uint64_t input_bytes,
                                                          std::uint64_t size_hint,
-                                                         double timeout_cap) {
+                                                         double timeout_cap,
+                                                         trace::TraceId trace_id) {
   proto::Query query;
   query.problem = problem;
   query.input_bytes = input_bytes;
@@ -70,6 +71,7 @@ Result<proto::ServerList> NetSolveClient::query_metadata(const std::string& prob
   query.output_bytes = input_bytes;
   query.size_hint = size_hint;
   query.max_candidates = config_.max_candidates;
+  query.trace_id = trace_id;
 
   const double timeout =
       timeout_cap > 0.0 ? std::min(config_.io_timeout_s, timeout_cap) : config_.io_timeout_s;
@@ -153,10 +155,23 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
   const bool budgeted = config_.deadline_s > 0.0;
   const Deadline deadline = budgeted ? Deadline(config_.deadline_s) : Deadline::never();
 
+  CallStats local_stats;
+  CallStats& st = stats != nullptr ? *stats : local_stats;
+  st = CallStats{};
+  st.trace_id = trace::new_trace_id();
+  metrics::counter("client.calls_total").inc();
+  // Spans land both in the stats object (for in-process inspection) and in
+  // the registry's span.* histograms (for METRICS_QUERY scrapes).
+  const auto add_span = [&](const char* name, double start_s, double dur_s) {
+    trace::record_span(st.trace_id, name, start_s, dur_s);
+    st.spans.push_back(trace::Span{name, start_s, dur_s});
+  };
+
   proto::SolveRequest request;
   request.request_id = next_request_id_.fetch_add(1);
   request.problem = problem;
   request.args = args;
+  request.trace_id = st.trace_id;
   const std::uint64_t input_bytes = dsl::args_byte_size(args);
   const std::uint64_t size_hint = request_size_hint(args);
 
@@ -164,6 +179,18 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
   double prev_sleep = config_.backoff_base_s;
   double backoff_total = 0.0;
   Error last_error = make_error(ErrorCode::kRetriesExhausted, "no attempt made");
+
+  // Every error return funnels through here so failure counters and the
+  // call-latency histogram cover unsuccessful calls, and CallStats carries
+  // the attempt/backoff totals even when the call did not complete.
+  const auto fail = [&](Error err) {
+    st.attempts = attempts;
+    st.backoff_seconds = backoff_total;
+    st.total_seconds = total_watch.elapsed();
+    metrics::counter("client.failures_total").inc();
+    metrics::histogram("client.call_s").observe(st.total_seconds);
+    return err;
+  };
 
   // Budgeted calls retry until the deadline, not a fixed attempt count; a
   // budget of time is what the caller actually has to spend.
@@ -181,12 +208,15 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
     if (sleep_s > 0.0) {
       sleep_seconds(sleep_s);
       backoff_total += sleep_s;
+      metrics::histogram("client.backoff_s").observe(sleep_s);
     }
   };
 
   while (!out_of_budget()) {
+    const double query_start = total_watch.elapsed();
     auto list = query_metadata(problem, input_bytes, size_hint,
-                               budgeted ? deadline.remaining() : 0.0);
+                               budgeted ? deadline.remaining() : 0.0, st.trace_id);
+    const double query_dur = total_watch.elapsed() - query_start;
     if (!list.ok()) {
       const auto code = list.error().code;
       if (budgeted && (code == ErrorCode::kNoServer ||
@@ -198,23 +228,32 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
       // agent blacklisted them), surface that as exhausted retries rather
       // than a bare "no server" — the request did reach servers.
       if (code == ErrorCode::kNoServer && attempts > 0) {
-        return make_error(ErrorCode::kRetriesExhausted,
-                          "all servers failed; last: " + last_error.to_string());
+        return fail(make_error(ErrorCode::kRetriesExhausted,
+                               "all servers failed; last: " + last_error.to_string()));
       }
-      return list.error();
+      return fail(list.error());
     }
+    add_span("client.query", query_start, query_dur);
+    // The scheduling decision happened inside the query round trip, right
+    // before the reply was sent; anchor it at the tail of the query span so
+    // span starts stay non-decreasing.
+    const double sched = std::clamp(list.value().schedule_seconds, 0.0, query_dur);
+    add_span("agent.schedule", query_start + (query_dur - sched), sched);
     if (list.value().candidates.empty()) {
       if (budgeted) {
         retry_within_budget(
             make_error(ErrorCode::kNoServer, "agent returned no candidates for " + problem));
         continue;
       }
-      return make_error(ErrorCode::kNoServer, "agent returned no candidates for " + problem);
+      return fail(
+          make_error(ErrorCode::kNoServer, "agent returned no candidates for " + problem));
     }
 
     for (const auto& candidate : list.value().candidates) {
       if (out_of_budget()) break;
       ++attempts;
+      metrics::counter("client.attempts_total").inc();
+      if (attempts > 1) metrics::counter("client.retries_total").inc();
 
       // Decorrelated-jitter backoff before every retry (never the first
       // attempt), clamped to whatever budget remains.
@@ -224,26 +263,30 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
         if (sleep_s > 0.0) {
           sleep_seconds(sleep_s);
           backoff_total += sleep_s;
+          metrics::histogram("client.backoff_s").observe(sleep_s);
         }
         if (budgeted && deadline.expired()) break;
       }
       request.deadline_s = budgeted ? deadline.remaining() : 0.0;
 
+      const double attempt_start = total_watch.elapsed();
       double io_seconds = 0.0;
       auto result = attempt(candidate, request, &io_seconds);
 
       if (!result.ok()) {
         // Transport-level failure: blacklist and move on.
+        add_span("client.attempt", attempt_start, total_watch.elapsed() - attempt_start);
         NS_DEBUG("client") << "attempt on " << candidate.server_name
                            << " failed: " << result.error().to_string();
         last_error = result.error();
         report_failure(candidate.server_id, result.error().code);
-        if (!is_retryable(result.error().code)) return result.error();
+        if (!is_retryable(result.error().code)) return fail(result.error());
         continue;
       }
 
       const auto code = static_cast<ErrorCode>(result.value().error_code);
       if (code != ErrorCode::kOk) {
+        add_span("client.attempt", attempt_start, io_seconds);
         Error err = make_error(code, result.value().error_message);
         if (is_retryable(code)) {
           NS_DEBUG("client") << "server " << candidate.server_name
@@ -252,39 +295,52 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
           report_failure(candidate.server_id, code);
           continue;
         }
-        return err;  // the request itself is bad; retrying cannot help
+        return fail(std::move(err));  // the request itself is bad; retrying cannot help
       }
 
-      // Success.
+      // Success. Reconstruct the winning attempt's hop breakdown: the server
+      // reported how long the request waited in its queue and how long the
+      // compute ran; whatever remains of the measured IO time is transfer.
+      // The wire carries no one-way timings, so the transfer budget is split
+      // evenly around the server-side spans.
+      add_span("client.attempt", attempt_start, io_seconds);
+      const double queue = std::max(result.value().queue_seconds, 0.0);
+      const double exec = std::max(result.value().exec_seconds, 0.0);
+      const double half_transfer = std::max(io_seconds - queue - exec, 0.0) / 2.0;
+      add_span("server.queue_wait", attempt_start + half_transfer, queue);
+      add_span("server.compute", attempt_start + half_transfer + queue, exec);
+      add_span("client.result_transfer", attempt_start + half_transfer + queue + exec,
+               half_transfer);
+
       const std::uint64_t output_bytes = dsl::args_byte_size(result.value().outputs);
       const double transfer = std::max(io_seconds - result.value().exec_seconds, 0.0);
       report_metrics(candidate.server_id, input_bytes + output_bytes, transfer);
-      if (stats != nullptr) {
-        stats->server_id = candidate.server_id;
-        stats->server_name = candidate.server_name;
-        stats->predicted_seconds = candidate.predicted_seconds;
-        stats->total_seconds = total_watch.elapsed();
-        stats->exec_seconds = result.value().exec_seconds;
-        stats->transfer_seconds = transfer;
-        stats->input_bytes = input_bytes;
-        stats->output_bytes = output_bytes;
-        stats->attempts = attempts;
-        stats->backoff_seconds = backoff_total;
-      }
+      st.server_id = candidate.server_id;
+      st.server_name = candidate.server_name;
+      st.predicted_seconds = candidate.predicted_seconds;
+      st.total_seconds = total_watch.elapsed();
+      st.exec_seconds = result.value().exec_seconds;
+      st.transfer_seconds = transfer;
+      st.input_bytes = input_bytes;
+      st.output_bytes = output_bytes;
+      st.attempts = attempts;
+      st.backoff_seconds = backoff_total;
+      metrics::histogram("client.call_s").observe(st.total_seconds);
       return std::move(result.value().outputs);
     }
     // Ranked list exhausted; re-query (the agent has fresher liveness data
     // after our failure reports).
   }
   if (budgeted) {
-    return make_error(ErrorCode::kDeadlineExceeded,
-                      "deadline budget of " + std::to_string(config_.deadline_s) +
-                          "s exhausted after " + std::to_string(attempts) +
-                          " attempts; last: " + last_error.to_string());
+    metrics::counter("client.deadline_exceeded_total").inc();
+    return fail(make_error(ErrorCode::kDeadlineExceeded,
+                           "deadline budget of " + std::to_string(config_.deadline_s) +
+                               "s exhausted after " + std::to_string(attempts) +
+                               " attempts; last: " + last_error.to_string()));
   }
-  return make_error(ErrorCode::kRetriesExhausted,
-                    "all " + std::to_string(attempts) +
-                        " attempts failed; last: " + last_error.to_string());
+  return fail(make_error(ErrorCode::kRetriesExhausted,
+                         "all " + std::to_string(attempts) +
+                             " attempts failed; last: " + last_error.to_string()));
 }
 
 Result<std::vector<dsl::ProblemSpec>> NetSolveClient::list_problems() {
@@ -323,6 +379,25 @@ Status NetSolveClient::ping_agent() {
     return make_error(ErrorCode::kProtocol, "expected Pong");
   }
   return ok_status();
+}
+
+Result<metrics::Snapshot> scrape_metrics(const net::Endpoint& peer, double timeout_s,
+                                         const std::string& prefix) {
+  proto::MetricsQuery query;
+  query.prefix = prefix;
+  auto reply = round_trip(peer, static_cast<std::uint16_t>(MessageType::kMetricsQuery),
+                          encode_payload(query), timeout_s);
+  if (!reply.ok()) return reply.error();
+  if (reply.value().type == static_cast<std::uint16_t>(MessageType::kErrorReply)) {
+    return decode_error_reply(reply.value());
+  }
+  if (reply.value().type != static_cast<std::uint16_t>(MessageType::kMetricsDump)) {
+    return make_error(ErrorCode::kProtocol, "expected MetricsDump");
+  }
+  serial::Decoder dec(reply.value().payload);
+  auto dump = proto::MetricsDump::decode(dec);
+  if (!dump.ok()) return dump.error();
+  return std::move(dump.value().snapshot);
 }
 
 // ---- Non-blocking calls ----

@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "dsl/problem.hpp"
 #include "dsl/value.hpp"
 #include "net/shaped_link.hpp"
@@ -67,6 +69,8 @@ struct ClientConfig {
 };
 
 /// Per-call telemetry, filled when the caller passes a stats out-param.
+/// On failed calls the attempt/backoff/timing fields and the trace are
+/// still valid; the server_* and byte fields stay at their defaults.
 struct CallStats {
   proto::ServerId server_id = proto::kInvalidServerId;
   std::string server_name;
@@ -78,6 +82,13 @@ struct CallStats {
   std::uint64_t output_bytes = 0;
   int attempts = 0;                // 1 = first server worked
   double backoff_seconds = 0.0;    // total time slept between attempts
+  /// Trace id minted for this call (carried to the agent and server).
+  trace::TraceId trace_id = trace::kNoTrace;
+  /// Per-hop spans of the call in causal order — agent query, scheduling
+  /// decision, each attempt, and (for the winning attempt) the server's
+  /// queue wait, compute, and the result transfer back. Offsets are seconds
+  /// since call entry; starts are non-decreasing.
+  std::vector<trace::Span> spans;
 };
 
 class RequestHandle;
@@ -128,7 +139,8 @@ class NetSolveClient {
   /// `timeout_cap` > 0 additionally clamps the IO timeout (deadline budget).
   Result<proto::ServerList> query_metadata(const std::string& problem,
                                            std::uint64_t input_bytes, std::uint64_t size_hint,
-                                           double timeout_cap = 0.0);
+                                           double timeout_cap = 0.0,
+                                           trace::TraceId trace_id = trace::kNoTrace);
   /// One attempt against one server; transport-level failures are retryable.
   Result<proto::SolveResult> attempt(const proto::ServerCandidate& candidate,
                                      const proto::SolveRequest& request, double* io_seconds);
@@ -170,5 +182,11 @@ class RequestHandle {
   explicit RequestHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
   std::shared_ptr<State> state_;
 };
+
+/// Scrape a live NetSolve process's metrics registry over the wire
+/// (proto::MetricsQuery -> MetricsDump). Works against any agent or server
+/// endpoint; `prefix` filters entries by name ("" = everything).
+Result<metrics::Snapshot> scrape_metrics(const net::Endpoint& peer, double timeout_s = 5.0,
+                                         const std::string& prefix = {});
 
 }  // namespace ns::client

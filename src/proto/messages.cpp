@@ -103,6 +103,7 @@ void Query::encode(serial::Encoder& enc) const {
   enc.put_u64(output_bytes);
   enc.put_u64(size_hint);
   enc.put_u32(max_candidates);
+  enc.put_u64(trace_id);
 }
 
 Result<Query> Query::decode(serial::Decoder& dec) {
@@ -122,6 +123,9 @@ Result<Query> Query::decode(serial::Decoder& dec) {
   auto max_c = dec.get_u32();
   if (!max_c.ok()) return max_c.error();
   msg.max_candidates = max_c.value();
+  auto trace = dec.get_u64();
+  if (!trace.ok()) return trace.error();
+  msg.trace_id = trace.value();
   return msg;
 }
 
@@ -152,6 +156,7 @@ Result<ServerCandidate> ServerCandidate::decode(serial::Decoder& dec) {
 void ServerList::encode(serial::Encoder& enc) const {
   enc.put_u32(static_cast<std::uint32_t>(candidates.size()));
   for (const auto& c : candidates) c.encode(enc);
+  enc.put_f64(schedule_seconds);
 }
 
 Result<ServerList> ServerList::decode(serial::Decoder& dec) {
@@ -167,6 +172,9 @@ Result<ServerList> ServerList::decode(serial::Decoder& dec) {
     if (!c.ok()) return c.error();
     msg.candidates.push_back(std::move(c).value());
   }
+  auto sched = dec.get_f64();
+  if (!sched.ok()) return sched.error();
+  msg.schedule_seconds = sched.value();
   return msg;
 }
 
@@ -221,6 +229,7 @@ void SolveRequest::encode(serial::Encoder& enc) const {
   enc.put_string(problem);
   dsl::encode_args(enc, args);
   enc.put_f64(deadline_s);
+  enc.put_u64(trace_id);
 }
 
 Result<SolveRequest> SolveRequest::decode(serial::Decoder& dec) {
@@ -237,6 +246,9 @@ Result<SolveRequest> SolveRequest::decode(serial::Decoder& dec) {
   auto deadline = dec.get_f64();
   if (!deadline.ok()) return deadline.error();
   msg.deadline_s = deadline.value();
+  auto trace = dec.get_u64();
+  if (!trace.ok()) return trace.error();
+  msg.trace_id = trace.value();
   return msg;
 }
 
@@ -246,6 +258,7 @@ void SolveResult::encode(serial::Encoder& enc) const {
   enc.put_string(error_message);
   dsl::encode_args(enc, outputs);
   enc.put_f64(exec_seconds);
+  enc.put_f64(queue_seconds);
 }
 
 Result<SolveResult> SolveResult::decode(serial::Decoder& dec) {
@@ -265,6 +278,84 @@ Result<SolveResult> SolveResult::decode(serial::Decoder& dec) {
   auto secs = dec.get_f64();
   if (!secs.ok()) return secs.error();
   msg.exec_seconds = secs.value();
+  auto queue = dec.get_f64();
+  if (!queue.ok()) return queue.error();
+  msg.queue_seconds = queue.value();
+  return msg;
+}
+
+void MetricsQuery::encode(serial::Encoder& enc) const { enc.put_string(prefix); }
+
+Result<MetricsQuery> MetricsQuery::decode(serial::Decoder& dec) {
+  MetricsQuery msg;
+  auto prefix = dec.get_string(256);
+  if (!prefix.ok()) return prefix.error();
+  msg.prefix = std::move(prefix).value();
+  return msg;
+}
+
+void MetricsDump::encode(serial::Encoder& enc) const {
+  enc.put_u32(static_cast<std::uint32_t>(snapshot.entries.size()));
+  for (const auto& e : snapshot.entries) {
+    enc.put_u8(static_cast<std::uint8_t>(e.kind));
+    enc.put_string(e.name);
+    enc.put_u64(e.count);
+    enc.put_f64(e.value);
+    if (e.kind == metrics::Snapshot::Kind::kHistogram) {
+      enc.put_f64(e.min);
+      enc.put_f64(e.max);
+      enc.put_u32(static_cast<std::uint32_t>(e.buckets.size()));
+      for (const auto b : e.buckets) enc.put_u64(b);
+    }
+  }
+}
+
+Result<MetricsDump> MetricsDump::decode(serial::Decoder& dec) {
+  auto count = dec.get_u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > 65536) {
+    return make_error(ErrorCode::kProtocol, "too many metrics entries");
+  }
+  MetricsDump msg;
+  msg.snapshot.entries.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    metrics::Snapshot::Entry e;
+    auto kind = dec.get_u8();
+    if (!kind.ok()) return kind.error();
+    if (kind.value() > static_cast<std::uint8_t>(metrics::Snapshot::Kind::kHistogram)) {
+      return make_error(ErrorCode::kProtocol, "bad metric kind");
+    }
+    e.kind = static_cast<metrics::Snapshot::Kind>(kind.value());
+    auto name = dec.get_string(512);
+    if (!name.ok()) return name.error();
+    e.name = std::move(name).value();
+    auto cnt = dec.get_u64();
+    if (!cnt.ok()) return cnt.error();
+    e.count = cnt.value();
+    auto value = dec.get_f64();
+    if (!value.ok()) return value.error();
+    e.value = value.value();
+    if (e.kind == metrics::Snapshot::Kind::kHistogram) {
+      auto min = dec.get_f64();
+      if (!min.ok()) return min.error();
+      e.min = min.value();
+      auto max = dec.get_f64();
+      if (!max.ok()) return max.error();
+      e.max = max.value();
+      auto buckets = dec.get_u32();
+      if (!buckets.ok()) return buckets.error();
+      if (buckets.value() != metrics::kNumBuckets) {
+        return make_error(ErrorCode::kProtocol, "histogram bucket count mismatch");
+      }
+      e.buckets.reserve(buckets.value());
+      for (std::uint32_t j = 0; j < buckets.value(); ++j) {
+        auto b = dec.get_u64();
+        if (!b.ok()) return b.error();
+        e.buckets.push_back(b.value());
+      }
+    }
+    msg.snapshot.entries.push_back(std::move(e));
+  }
   return msg;
 }
 

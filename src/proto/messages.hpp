@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "dsl/problem.hpp"
 #include "dsl/value.hpp"
 #include "net/endpoint.hpp"
@@ -42,6 +43,8 @@ enum class MessageType : std::uint16_t {
   kAgentStatsRequest = 16,
   kAgentStatsReply = 17,
   kSyncState = 18,
+  kMetricsQuery = 19,
+  kMetricsDump = 20,
 };
 
 using ServerId = std::uint32_t;
@@ -83,6 +86,9 @@ struct Query {
   std::uint64_t output_bytes = 0;  // estimated reply size
   std::uint64_t size_hint = 1;     // N for the complexity model
   std::uint32_t max_candidates = 8;
+  /// Trace id of the client call this query schedules for (0 = untraced);
+  /// the agent tags its scheduling-decision span with it.
+  std::uint64_t trace_id = 0;
 
   void encode(serial::Encoder& enc) const;
   static Result<Query> decode(serial::Decoder& dec);
@@ -100,6 +106,10 @@ struct ServerCandidate {
 
 struct ServerList {
   std::vector<ServerCandidate> candidates;  // best first
+  /// How long the agent's ranking decision took — the "agent schedule" hop
+  /// of the request trace, measured where it happens and carried back so
+  /// the client can place it inside its query span.
+  double schedule_seconds = 0.0;
 
   void encode(serial::Encoder& enc) const;
   static Result<ServerList> decode(serial::Decoder& dec);
@@ -141,6 +151,9 @@ struct SolveRequest {
   /// (0 = no deadline). Servers shed work whose budget has already lapsed
   /// instead of computing an answer nobody is waiting for.
   double deadline_s = 0.0;
+  /// Trace id carried across the client -> server hop so both processes'
+  /// span logs correlate (0 = untraced).
+  std::uint64_t trace_id = 0;
 
   void encode(serial::Encoder& enc) const;
   static Result<SolveRequest> decode(serial::Decoder& dec);
@@ -152,9 +165,34 @@ struct SolveResult {
   std::string error_message;
   std::vector<dsl::DataObject> outputs;
   double exec_seconds = 0.0;       // pure compute time on the server
+  /// Time the request waited for a worker slot before computing — the
+  /// "server queue wait" hop of the request trace.
+  double queue_seconds = 0.0;
 
   void encode(serial::Encoder& enc) const;
   static Result<SolveResult> decode(serial::Decoder& dec);
+};
+
+// ---- observability ----
+
+/// Scrape a live process's metrics registry. Any NetSolve process (agent or
+/// server) answers with a MetricsDump; the testkit and benches use this to
+/// pull counters, gauges and span histograms out of a running cluster.
+struct MetricsQuery {
+  /// Only entries whose name starts with this ("" = the whole registry).
+  std::string prefix;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<MetricsQuery> decode(serial::Decoder& dec);
+};
+
+/// A metrics::Snapshot on the wire. The snapshot's JSON rendering is
+/// deterministic, so dump -> encode -> decode -> dump round-trips exactly.
+struct MetricsDump {
+  metrics::Snapshot snapshot;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<MetricsDump> decode(serial::Decoder& dec);
 };
 
 // ---- generic ----

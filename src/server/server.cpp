@@ -5,6 +5,8 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "dsl/specfile.hpp"
 #include "linalg/rating.hpp"
 #include "server/builtin_problems.hpp"
@@ -65,13 +67,23 @@ Result<std::unique_ptr<ComputeServer>> ComputeServer::start(ServerConfig config)
   return server;
 }
 
+ComputeServer::ServerMetrics::ServerMetrics(const std::string& name)
+    : requests(metrics::counter("server.requests_total")),
+      completed(metrics::counter("server.completed_total")),
+      shed(metrics::counter("server.shed_total")),
+      rejected(metrics::counter("server.rejected_total")),
+      queue_wait_s(metrics::histogram("server.queue_wait_s")),
+      compute_s(metrics::histogram("server.compute_s")),
+      queue_depth(metrics::gauge("server." + name + ".queue_depth")) {}
+
 ComputeServer::ComputeServer(ServerConfig config, net::TcpListener listener,
                              double rated_mflops)
     : config_(std::move(config)),
       listener_(std::move(listener)),
       rated_mflops_(rated_mflops),
       failure_rng_(config_.seed),
-      background_load_(config_.background_load) {}
+      background_load_(config_.background_load),
+      metrics_(config_.name) {}
 
 ComputeServer::~ComputeServer() { stop(); }
 
@@ -139,6 +151,16 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
       (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kPong), {});
       continue;
     }
+    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kMetricsQuery)) {
+      serial::Decoder query_dec(msg.value().payload);
+      auto query = proto::MetricsQuery::decode(query_dec);
+      proto::MetricsDump dump;
+      dump.snapshot = metrics::Registry::instance().snapshot(
+          query.ok() ? query.value().prefix : std::string{});
+      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kMetricsDump),
+                              encode_payload(dump));
+      continue;
+    }
     if (msg.value().type != static_cast<std::uint16_t>(MessageType::kSolveRequest)) {
       return;  // protocol violation: drop
     }
@@ -187,10 +209,13 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
     }
 
     // Acquire a worker slot; waiting requests count toward workload.
+    metrics_.requests.inc();
+    const Stopwatch queue_watch;
     {
       std::unique_lock<std::mutex> lock(jobs_mu_);
       if (config_.max_queue > 0 && waiting_jobs_ >= config_.max_queue) {
         lock.unlock();
+        metrics_.rejected.inc();
         result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
         result.error_message = "admission control: queue full";
         (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
@@ -198,11 +223,18 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
         continue;
       }
       ++waiting_jobs_;
+      metrics_.queue_depth.set(waiting_jobs_);
       jobs_cv_.wait(lock, [this] { return running_jobs_ < config_.workers || stopping_.load(); });
       --waiting_jobs_;
+      metrics_.queue_depth.set(waiting_jobs_);
       if (stopping_.load()) return;
       ++running_jobs_;
     }
+    const double queue_wait = queue_watch.elapsed();
+    result.queue_seconds = queue_wait;
+    metrics_.queue_wait_s.observe(queue_wait);
+    trace::record_span(request.value().trace_id, "server.queue_wait",
+                       since_receipt.elapsed() - queue_wait, queue_wait);
 
     // Deadline shedding: if the client's budget lapsed while this request
     // waited for a worker slot, computing the answer only wastes the slot —
@@ -216,6 +248,7 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
         jobs_cv_.notify_one();
       }
       shed_.fetch_add(1);
+      metrics_.shed.inc();
       NS_DEBUG("server") << config_.name << " shed request " << result.request_id
                          << " (budget " << request.value().deadline_s << "s lapsed)";
       result.error_code = static_cast<std::uint16_t>(ErrorCode::kDeadlineExceeded);
@@ -251,9 +284,13 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
     }
 
     result.exec_seconds = elapsed;
+    metrics_.compute_s.observe(elapsed);
+    trace::record_span(request.value().trace_id, "server.compute",
+                       since_receipt.elapsed() - elapsed, elapsed);
     if (outputs.ok()) {
       result.outputs = std::move(outputs).value();
       completed_.fetch_add(1);
+      metrics_.completed.inc();
     } else {
       result.error_code = static_cast<std::uint16_t>(outputs.error().code);
       result.error_message = outputs.error().message;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "dsl/registry.hpp"
 #include "net/shaped_link.hpp"
@@ -133,6 +134,21 @@ class ComputeServer {
   bool crashed() const noexcept { return crashed_.load(); }
 
  private:
+  /// Registry handles resolved once at startup; the instruments themselves
+  /// are process-wide atomics, so the request path stays lock-free. Counters
+  /// and histograms aggregate across all servers in the process; the queue
+  /// depth gauge is per-server (keyed by name) since depths do not sum.
+  struct ServerMetrics {
+    explicit ServerMetrics(const std::string& name);
+    metrics::Counter& requests;
+    metrics::Counter& completed;
+    metrics::Counter& shed;
+    metrics::Counter& rejected;
+    metrics::Histogram& queue_wait_s;
+    metrics::Histogram& compute_s;
+    metrics::Gauge& queue_depth;
+  };
+
   ComputeServer(ServerConfig config, net::TcpListener listener, double rated_mflops);
 
   Status register_with_agent();
@@ -166,6 +182,7 @@ class ComputeServer {
 
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> shed_{0};
+  ServerMetrics metrics_;
 
   std::thread accept_thread_;
   std::thread report_thread_;

@@ -122,6 +122,15 @@ Status TestCluster::restart_server(std::size_t i) {
   return ok_status();
 }
 
+Result<metrics::Snapshot> TestCluster::scrape_agent_metrics(const std::string& prefix) const {
+  return client::scrape_metrics(agent_->endpoint(), /*timeout_s=*/5.0, prefix);
+}
+
+Result<metrics::Snapshot> TestCluster::scrape_server_metrics(std::size_t i,
+                                                             const std::string& prefix) const {
+  return client::scrape_metrics(servers_.at(i)->endpoint(), /*timeout_s=*/5.0, prefix);
+}
+
 client::NetSolveClient TestCluster::make_client() const {
   return make_client(config_.client_link);
 }

@@ -79,6 +79,17 @@ class TestCluster {
   /// The native (speed=1) rating the servers were calibrated against.
   double rating_base() const noexcept { return rating_base_; }
 
+  // ---- observability (see common/metrics.hpp) ----
+
+  /// Scrape the metrics registry over the wire via METRICS_QUERY. In this
+  /// in-process cluster every component shares one registry, so both calls
+  /// see the same data — what differs is the path exercised (agent vs server
+  /// connection handler) and, for the agent, the per-server directory gauges
+  /// refreshed at scrape time.
+  Result<metrics::Snapshot> scrape_agent_metrics(const std::string& prefix = {}) const;
+  Result<metrics::Snapshot> scrape_server_metrics(std::size_t i,
+                                                  const std::string& prefix = {}) const;
+
   // ---- chaos scripting (see net/fault.hpp) ----
 
   /// Arm a fault plan on server i's link: faults hit traffic dialed to the

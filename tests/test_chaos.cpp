@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "net/fault.hpp"
 #include "testkit/cluster.hpp"
 
@@ -257,6 +259,74 @@ TEST_F(ChaosClusterTest, CrashKilledServerRejoinsAfterRestart) {
       [](const agent::ServerRecord& r) { return r.alive; }, 5.0);
   ASSERT_TRUE(revived.has_value());
   EXPECT_TRUE(revived->alive) << "restarted server never rejoined";
+}
+
+// A request that survives mid-stream resets carries a full per-hop span
+// breakdown, and its retries land in the metrics registry — both locally and
+// scraped over the wire from the live cluster.
+TEST_F(ChaosClusterTest, TraceSpansAndRetryMetricsSurviveResets) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2);
+  config.rating_base = 500.0;
+  config.registry = breaker_registry();
+  // No agent pings: nothing but the client's own attempts may consume the
+  // one-shot fault triggers armed below.
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+  cluster_ = std::move(cluster).value();
+
+  // Each server's link resets exactly one frame: the first attempt against
+  // each server dies mid-stream, and the third attempt (after a re-query)
+  // must succeed.
+  for (std::size_t i = 0; i < cluster_->server_count(); ++i) {
+    FaultPlan plan;
+    plan.seed = 0x5e7 + i;
+    plan.rules.push_back(FaultRule{FaultMode::kReset, 1.0, /*max_triggers=*/1, {}});
+    cluster_->arm_fault(i, plan);
+  }
+
+  const auto attempts_before = metrics::counter("client.attempts_total").value();
+  const auto retries_before = metrics::counter("client.retries_total").value();
+
+  auto client = cluster_->make_client();
+  client::CallStats stats;
+  auto out = client.netsl("simwork", {DataObject(std::int64_t{5})}, &stats);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_EQ(stats.attempts, 3) << "two one-shot resets must cost exactly two retries";
+  EXPECT_NE(stats.trace_id, trace::kNoTrace);
+
+  // Span breakdown: present, causally ordered, inside the call window.
+  ASSERT_FALSE(stats.spans.empty());
+  int attempt_spans = 0;
+  bool saw_compute = false;
+  for (std::size_t i = 0; i < stats.spans.size(); ++i) {
+    const auto& span = stats.spans[i];
+    EXPECT_GE(span.duration_s, 0.0) << span.name;
+    EXPECT_LE(span.start_s + span.duration_s, stats.total_seconds + 1e-6) << span.name;
+    if (i > 0) {
+      EXPECT_GE(span.start_s, stats.spans[i - 1].start_s - 1e-9)
+          << "span starts must be non-decreasing at " << span.name;
+    }
+    if (span.name == "client.attempt") ++attempt_spans;
+    if (span.name == "server.compute") saw_compute = true;
+  }
+  EXPECT_EQ(attempt_spans, stats.attempts);
+  EXPECT_TRUE(saw_compute) << "winning attempt lost its server-side spans";
+
+  // The registry counted the same attempts the client reported...
+  EXPECT_EQ(metrics::counter("client.attempts_total").value() - attempts_before,
+            static_cast<std::uint64_t>(stats.attempts));
+  EXPECT_EQ(metrics::counter("client.retries_total").value() - retries_before,
+            static_cast<std::uint64_t>(stats.attempts - 1));
+
+  // ...and the same story is scrapeable from the live cluster over the wire.
+  auto snap = cluster_->scrape_agent_metrics();
+  ASSERT_TRUE(snap.ok()) << snap.error().to_string();
+  const auto* attempt_hist = snap.value().find("span.client.attempt_s");
+  ASSERT_NE(attempt_hist, nullptr);
+  EXPECT_GE(attempt_hist->count, static_cast<std::uint64_t>(stats.attempts));
+  EXPECT_NE(snap.value().find("client.retries_total"), nullptr);
+  EXPECT_NE(snap.value().find("server.shed_total"), nullptr);
 }
 
 // Deadline budgets are hard: with every server stalling, a budgeted call

@@ -95,7 +95,11 @@ TEST_F(EndToEndTest, BadArgumentsNotRetried) {
       "dgesv", {DataObject(linalg::Matrix(4, 4, 1.0)), DataObject(linalg::Vector(7))}, &stats);
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.error().code, ErrorCode::kBadArguments);
-  EXPECT_EQ(stats.attempts, 0) << "stats unset on failure path";
+  // Failed calls still report their telemetry: one attempt, no retries
+  // (a validation error must not be retried), zero backoff.
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_DOUBLE_EQ(stats.backoff_seconds, 0.0);
+  EXPECT_EQ(stats.server_id, proto::kInvalidServerId) << "no server produced a result";
 }
 
 TEST_F(EndToEndTest, WrongTypeRejectedByServerSpec) {
