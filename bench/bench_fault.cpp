@@ -60,7 +60,7 @@ CaseResult run_case(double failure_prob, bool retry) {
   }
 
   client::ClientConfig cc;
-  cc.agent = cluster.value()->agent_endpoint();
+  cc.agents = {cluster.value()->agent_endpoint()};
   cc.max_retries = retry ? 8 : 1;
   client::NetSolveClient client(cc);
 
@@ -176,6 +176,63 @@ ChaosResult run_chaos_case(const ChaosCase& c) {
   return result;
 }
 
+// ---- Part 3: agent high availability (E4c) ----
+
+struct HaResult {
+  double success_rate = 0;
+  double mean_time = 0;
+  double p95_time = 0;
+  double makespan = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t degraded_calls = 0;
+};
+
+// A 2-agent / 4-server farm whose primary agent is crash-killed mid-run:
+// the scheduler tier itself fails while jobs are in flight, and the client's
+// agent failover (plus the degraded-mode candidate cache) must keep the
+// success rate at 100%.
+HaResult run_ha_case() {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(4, /*workers=*/1);
+  for (auto& s : config.servers) s.slowdown_mode = server::SlowdownMode::kSleep;
+  config.agent_count = 2;
+  config.rating_base = 1000.0;
+  config.client_deadline_s = kDeadlineS;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster failed: %s\n", cluster.error().to_string().c_str());
+    std::exit(1);
+  }
+
+  const auto failovers_before = metrics::counter("client.agent_failover_total").value();
+  const auto degraded_before = metrics::counter("client.degraded_calls_total").value();
+
+  // Kill while the first wave of jobs is still in flight (each job is
+  // ~40 ms), so later waves must re-query through the surviving agent.
+  std::thread killer([&cluster] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    cluster.value()->kill_agent(0);
+  });
+
+  auto client = cluster.value()->make_client();
+  auto farm = bench::run_farm(g_jobs, kConcurrency, [&](int) {
+    return client.netsl("simwork", {DataObject(std::int64_t{40})}).ok();
+  });
+  killer.join();
+
+  const auto summary = bench::summarize(farm.job_seconds);
+  HaResult result;
+  result.success_rate =
+      static_cast<double>(g_jobs - farm.failures) / static_cast<double>(g_jobs);
+  result.mean_time = summary.mean;
+  result.p95_time = summary.p95;
+  result.makespan = farm.makespan;
+  result.failovers = metrics::counter("client.agent_failover_total").value() - failovers_before;
+  result.degraded_calls =
+      metrics::counter("client.degraded_calls_total").value() - degraded_before;
+  return result;
+}
+
 std::vector<ChaosCase> chaos_cases() {
   std::vector<ChaosCase> cases;
   cases.push_back({"reset", net::FaultPlan::single(net::FaultMode::kReset, 0.2, 0xbe5e7), false});
@@ -246,6 +303,24 @@ int main(int argc, char** argv) {
   bench::row("");
   bench::row("chaos modes run with a %.0fs per-call deadline budget; the expected", kDeadlineS);
   bench::row("  shape is 100%% success in every mode with attempts > 1 absorbing the faults");
+
+  bench::banner("E4c", "agent high availability: primary agent crash-killed mid-run");
+  {
+    const auto r = run_ha_case();
+    bench::row("%12s | %7.0f%% %8.0fms %8.0fms %10.0fms %6llu failovers %4llu degraded",
+               "agent-kill", 100.0 * r.success_rate, r.mean_time * 1e3, r.p95_time * 1e3,
+               r.makespan * 1e3, static_cast<unsigned long long>(r.failovers),
+               static_cast<unsigned long long>(r.degraded_calls));
+    metrics::gauge("bench.fault.ha.success_rate").set(r.success_rate);
+    metrics::gauge("bench.fault.ha.mean_s").set(r.mean_time);
+    metrics::gauge("bench.fault.ha.p95_s").set(r.p95_time);
+    metrics::gauge("bench.fault.ha.makespan_s").set(r.makespan);
+    metrics::gauge("bench.fault.ha.failovers").set(static_cast<double>(r.failovers));
+    metrics::gauge("bench.fault.ha.degraded_calls").set(static_cast<double>(r.degraded_calls));
+  }
+  bench::row("");
+  bench::row("expected shape: 100%% success with at least one agent failover; the agent");
+  bench::row("  death costs one connect timeout, not any jobs");
 
   metrics::gauge("bench.fault.jobs").set(g_jobs);
   metrics::gauge("bench.fault.concurrency").set(kConcurrency);

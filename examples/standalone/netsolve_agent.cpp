@@ -18,7 +18,6 @@
 #include "agent/agent.hpp"
 #include "common/clock.hpp"
 #include "common/config.hpp"
-#include "common/strings.hpp"
 
 using namespace ns;
 
@@ -45,19 +44,13 @@ int main(int argc, char** argv) {
       config.value().get_double_or("report_timeout", 0.0);
   agent_config.ping_period_s = config.value().get_double_or("ping_period", 0.0);
   if (const auto peers = config.value().get("peers")) {
-    for (const auto& peer : strings::split(*peers, ',')) {
-      const auto parts = strings::split(peer, ':');
-      if (parts.size() != 2) {
-        std::fprintf(stderr, "bad peer '%s' (expected host:port)\n", peer.c_str());
-        return 2;
-      }
-      const auto port = strings::parse_int(parts[1]);
-      if (!port) {
-        std::fprintf(stderr, "bad peer port in '%s'\n", peer.c_str());
-        return 2;
-      }
-      agent_config.peers.push_back({parts[0], static_cast<std::uint16_t>(*port)});
+    auto list = net::parse_endpoint_list(*peers);
+    if (!list || list->empty()) {
+      std::fprintf(stderr, "bad peers list '%s' (expected host:port,host:port,...)\n",
+                   peers->c_str());
+      return 2;
     }
+    agent_config.peers = std::move(*list);
     agent_config.sync_period_s = config.value().get_double_or("sync_period", 1.0);
   }
   const double runtime = config.value().get_double_or("runtime", 0.0);

@@ -1,16 +1,21 @@
 // Standalone NetSolve client CLI.
 //
 //   $ netsolve_client agent_port=9000 cmd=list
-//   $ netsolve_client agent_port=9000 cmd=solve n=300 problem=dgesv
+//   $ netsolve_client agents=127.0.0.1:9000,127.0.0.1:9001 cmd=solve n=300
 //   $ netsolve_client agent_port=9000 cmd=bench n=200 calls=10
 //   $ netsolve_client agent_port=9000 cmd=metrics prefix=span.
 //
+// agents=h:p,h:p  comma-separated agent list in failover order (overrides
+//                 agent_host/agent_port); the client fails over down the
+//                 list when an agent dies and falls back to its cached
+//                 candidate lists when all are down
 // cmd=list    print the agent's problem catalogue and server pool
 // cmd=solve   generate a random system of order n and solve it remotely
 // cmd=bench   time `calls` solves and print a latency summary
 // cmd=metrics scrape the target process's metrics registry (METRICS_QUERY);
 //             point host/port at an agent or a server, filter with prefix=,
-//             add json=1 for the machine-readable dump
+//             add json=1 for the machine-readable dump (scrapes the first
+//             configured agent)
 #include <cstdio>
 
 #include "client/client.hpp"
@@ -40,6 +45,16 @@ int cmd_list(client::NetSolveClient& client) {
     std::printf("agent: %u alive servers, %llu queries served\n",
                 stats.value().alive_servers,
                 static_cast<unsigned long long>(stats.value().queries));
+    for (const auto& peer : stats.value().peers) {
+      if (peer.age_seconds < 0) {
+        std::printf("  peer %s: %s (never reached)\n", peer.endpoint.to_string().c_str(),
+                    peer.alive ? "alive" : "down");
+      } else {
+        std::printf("  peer %s: %s (last sync %.1fs ago)\n",
+                    peer.endpoint.to_string().c_str(), peer.alive ? "alive" : "down",
+                    peer.age_seconds);
+      }
+    }
   }
   return 0;
 }
@@ -105,9 +120,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   client::ClientConfig client_config;
-  client_config.agent.host = config.value().get_or("agent_host", "127.0.0.1");
-  client_config.agent.port =
-      static_cast<std::uint16_t>(config.value().get_int_or("agent_port", 9000));
+  if (const auto agents = config.value().get("agents")) {
+    auto list = net::parse_endpoint_list(*agents);
+    if (!list || list->empty()) {
+      std::fprintf(stderr, "bad agents list '%s' (expected host:port,host:port,...)\n",
+                   agents->c_str());
+      return 2;
+    }
+    client_config.agents = std::move(*list);
+  } else {
+    net::Endpoint agent;
+    agent.host = config.value().get_or("agent_host", "127.0.0.1");
+    agent.port = static_cast<std::uint16_t>(config.value().get_int_or("agent_port", 9000));
+    client_config.agents = {agent};
+  }
   client::NetSolveClient client(client_config);
 
   const std::string cmd = config.value().get_or("cmd", "list");
@@ -118,7 +144,7 @@ int main(int argc, char** argv) {
     return cmd_bench(client, n, static_cast<int>(config.value().get_int_or("calls", 10)));
   }
   if (cmd == "metrics") {
-    return cmd_metrics(client_config.agent, config.value().get_or("prefix", ""),
+    return cmd_metrics(client_config.agents.front(), config.value().get_or("prefix", ""),
                        config.value().get_int_or("json", 0) != 0);
   }
   std::fprintf(stderr, "unknown cmd '%s' (use list | solve | bench | metrics)\n", cmd.c_str());

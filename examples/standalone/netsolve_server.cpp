@@ -4,6 +4,10 @@
 //     name=serverX         server name reported to the agent
 //     agent_host=127.0.0.1 agent address
 //     agent_port=9000      agent port (required in practice)
+//     agents=h:p,h:p       register with this comma-separated agent list
+//                          instead of agent_host/agent_port (HA: workload
+//                          reports fan out to every agent; startup succeeds
+//                          if at least one registration lands)
 //     port=0               own listen port (0 = ephemeral)
 //     workers=2            concurrent request capacity
 //     speed=1.0            emulated relative speed in (0, 1]
@@ -40,9 +44,20 @@ int main(int argc, char** argv) {
 
   server::ServerConfig server_config;
   server_config.name = config.value().get_or("name", "server");
-  server_config.agent.host = config.value().get_or("agent_host", "127.0.0.1");
-  server_config.agent.port =
-      static_cast<std::uint16_t>(config.value().get_int_or("agent_port", 9000));
+  if (const auto agents = config.value().get("agents")) {
+    auto list = net::parse_endpoint_list(*agents);
+    if (!list || list->empty()) {
+      std::fprintf(stderr, "bad agents list '%s' (expected host:port,host:port,...)\n",
+                   agents->c_str());
+      return 2;
+    }
+    server_config.agents = std::move(*list);
+  } else {
+    net::Endpoint agent;
+    agent.host = config.value().get_or("agent_host", "127.0.0.1");
+    agent.port = static_cast<std::uint16_t>(config.value().get_int_or("agent_port", 9000));
+    server_config.agents = {agent};
+  }
   server_config.listen.port =
       static_cast<std::uint16_t>(config.value().get_int_or("port", 0));
   server_config.workers = static_cast<int>(config.value().get_int_or("workers", 2));

@@ -36,14 +36,84 @@ Result<std::unique_ptr<Agent>> Agent::start(AgentConfig config) {
   if (!listener.ok()) return listener.error();
   std::unique_ptr<Agent> agent(
       new Agent(std::move(config), std::move(listener).value(), std::move(policy).value()));
+  for (const auto& peer : agent->config_.peers) {
+    agent->peers_.push_back(PeerState{peer});
+  }
+  // Warm the registry from peers before serving: a restarted agent then
+  // answers queries from the mesh's directory instead of an empty one.
+  if (agent->config_.sync_period_s > 0 && agent->config_.bootstrap_from_peers) {
+    agent->bootstrap_from_peers();
+  }
   agent->accept_thread_ = std::thread([raw = agent.get()] { raw->accept_loop(); });
   if (agent->config_.ping_period_s > 0) {
     agent->ping_thread_ = std::thread([raw = agent.get()] { raw->ping_loop(); });
   }
-  if (agent->config_.sync_period_s > 0 && !agent->config_.peers.empty()) {
+  // Started even with no initial peers: add_peer() may grow the mesh later.
+  if (agent->config_.sync_period_s > 0) {
     agent->sync_thread_ = std::thread([raw = agent.get()] { raw->sync_loop(); });
   }
   return agent;
+}
+
+void Agent::add_peer(const net::Endpoint& peer) {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  for (const auto& p : peers_) {
+    if (p.endpoint == peer) return;
+  }
+  peers_.push_back(PeerState{peer});
+}
+
+std::vector<net::Endpoint> Agent::peer_endpoints() {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  std::vector<net::Endpoint> out;
+  out.reserve(peers_.size());
+  for (const auto& p : peers_) out.push_back(p.endpoint);
+  return out;
+}
+
+void Agent::note_peer_result(const net::Endpoint& peer, bool ok) {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  for (auto& p : peers_) {
+    if (!(p.endpoint == peer)) continue;
+    p.alive = ok;
+    if (ok) p.last_ok_time = now_seconds();
+    return;
+  }
+}
+
+void Agent::bootstrap_from_peers() {
+  for (const auto& peer : peer_endpoints()) {
+    auto conn = net::TcpConnection::connect(peer, 0.5);
+    if (!conn.ok()) {
+      note_peer_result(peer, false);
+      continue;
+    }
+    if (!net::send_message(conn.value(), static_cast<std::uint16_t>(MessageType::kSyncPull), {})
+             .ok()) {
+      note_peer_result(peer, false);
+      continue;
+    }
+    auto reply = net::recv_message(conn.value(), 2.0);
+    if (!reply.ok() ||
+        reply.value().type != static_cast<std::uint16_t>(MessageType::kSyncState)) {
+      note_peer_result(peer, false);
+      continue;
+    }
+    serial::Decoder dec(reply.value().payload);
+    auto state = proto::SyncState::decode(dec);
+    if (!state.ok()) {
+      note_peer_result(peer, false);
+      continue;
+    }
+    std::size_t applied = 0;
+    for (const auto& entry : state.value().entries) {
+      if (registry_.apply_sync(entry)) ++applied;
+    }
+    metrics::counter("agent.bootstrap_entries_total").inc(applied);
+    note_peer_result(peer, true);
+    NS_INFO("agent") << "bootstrapped " << applied << "/" << state.value().entries.size()
+                     << " registry entries from peer " << peer.to_string();
+  }
 }
 
 Agent::Agent(AgentConfig config, net::TcpListener listener,
@@ -56,14 +126,15 @@ Agent::Agent(AgentConfig config, net::TcpListener listener,
 Agent::~Agent() { stop(); }
 
 void Agent::stop() {
-  if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    if (ping_thread_.joinable()) ping_thread_.join();
-    if (sync_thread_.joinable()) sync_thread_.join();
-    return;
-  }
-  listener_.close();
+  // Single flow whether the stop is local or was flagged remotely via
+  // kShutdown: flag, join the accept loop (it owns and closes the listener;
+  // closing the fd under its poll would be a data race), join the periodic
+  // threads, then drain the detached connection handlers — skipping the
+  // drain when stopping_ was already set would free the agent under a
+  // handler that is still finishing.
+  stopping_.store(true);
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
   if (ping_thread_.joinable()) ping_thread_.join();
   if (sync_thread_.joinable()) sync_thread_.join();
   // Connection handlers are detached; wait for them to drain (they hold
@@ -87,6 +158,10 @@ void Agent::accept_loop() {
       active_connections_.fetch_sub(1);
     }).detach();
   }
+  // The loop owns the listener while running, so it also closes it: a
+  // remote kShutdown stops accepting promptly and stop()'s own close (after
+  // the join) is an ordered no-op.
+  listener_.close();
 }
 
 void Agent::ping_loop() {
@@ -141,11 +216,17 @@ void Agent::sync_loop() {
     state.entries = registry_.snapshot_for_sync();
     if (state.entries.empty()) continue;
     const serial::Bytes payload = encode_payload(state);
-    for (const auto& peer : config_.peers) {
+    for (const auto& peer : peer_endpoints()) {
       auto conn = net::TcpConnection::connect(peer, 0.5);
-      if (!conn.ok()) continue;  // peer down; try again next period
-      (void)net::send_message(conn.value(),
-                              static_cast<std::uint16_t>(MessageType::kSyncState), payload);
+      if (!conn.ok()) {
+        note_peer_result(peer, false);  // peer down; try again next period
+        continue;
+      }
+      const bool sent =
+          net::send_message(conn.value(),
+                            static_cast<std::uint16_t>(MessageType::kSyncState), payload)
+              .ok();
+      note_peer_result(peer, sent);
     }
   }
 }
@@ -177,6 +258,9 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
       metrics::counter("agent.registrations_total").inc();
       proto::RegisterAck ack;
       ack.server_id = registry_.add(reg.value());
+      // Hand the server our peer list so it can register with the whole
+      // mesh even when configured with a single agent endpoint.
+      ack.peer_agents = peer_endpoints();
       return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kRegisterAck),
                                encode_payload(ack))
           .ok();
@@ -298,9 +382,20 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
       return true;  // fire-and-forget
     }
 
+    case MessageType::kSyncPull: {
+      // Anti-entropy: a (re)starting peer asks for our full directory.
+      proto::SyncState state;
+      state.entries = registry_.snapshot_for_sync();
+      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSyncState),
+                               encode_payload(state))
+          .ok();
+    }
+
     case MessageType::kShutdown: {
+      // Only flag the stop: the accept loop owns the listener and closes it
+      // on its way out (closing it from this handler thread would race the
+      // accept poll and the destructor).
       stopping_.store(true);
-      listener_.close();
       return false;
     }
 
@@ -323,6 +418,16 @@ void Agent::refresh_server_gauges() {
     metrics::gauge(base + "alive").set(record.alive ? 1.0 : 0.0);
   }
   metrics::gauge("agent.alive_servers").set(static_cast<double>(registry_.alive_count()));
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    std::size_t alive_peers = 0;
+    for (const auto& p : peers_) {
+      if (p.alive) ++alive_peers;
+      metrics::gauge("agent.peer." + p.endpoint.to_string() + ".alive")
+          .set(p.alive ? 1.0 : 0.0);
+    }
+    metrics::gauge("agent.alive_peers").set(static_cast<double>(alive_peers));
+  }
 }
 
 proto::AgentStats Agent::stats() {
@@ -332,6 +437,18 @@ proto::AgentStats Agent::stats() {
   s.workload_reports = stat_workload_reports_.load();
   s.failure_reports = stat_failure_reports_.load();
   s.alive_servers = static_cast<std::uint32_t>(registry_.alive_count());
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    const double now = now_seconds();
+    s.peers.reserve(peers_.size());
+    for (const auto& p : peers_) {
+      proto::PeerStatus status;
+      status.endpoint = p.endpoint;
+      status.alive = p.alive;
+      status.age_seconds = p.last_ok_time < 0 ? -1.0 : now - p.last_ok_time;
+      s.peers.push_back(std::move(status));
+    }
+  }
   return s;
 }
 

@@ -43,6 +43,10 @@ struct AgentConfig {
   std::vector<net::Endpoint> peers;
   /// Snapshot exchange period; 0 disables federation even if peers are set.
   double sync_period_s = 0.0;
+  /// Anti-entropy bootstrap: pull a full registry snapshot from each peer at
+  /// startup so a restarted agent serves a warm directory before the first
+  /// server re-registration arrives. Requires sync_period_s > 0.
+  bool bootstrap_from_peers = true;
 };
 
 class Agent {
@@ -66,9 +70,21 @@ class Agent {
   /// Non-const: computing alive_servers expires stale registrations.
   proto::AgentStats stats();
 
+  /// Add a federation peer at runtime (testkit meshes learn peer ports only
+  /// after every agent has bound its ephemeral listener). Duplicates are
+  /// ignored. The sync loop picks the peer up on its next period.
+  void add_peer(const net::Endpoint& peer);
+
  private:
   Agent(AgentConfig config, net::TcpListener listener,
         std::unique_ptr<SelectionPolicy> policy);
+
+  /// Health of one federation peer, updated by every snapshot exchange.
+  struct PeerState {
+    net::Endpoint endpoint;
+    bool alive = false;
+    double last_ok_time = -1.0;  // now_seconds() of last success; < 0 = never
+  };
 
   void accept_loop();
   void handle_connection(net::TcpConnection conn);
@@ -76,6 +92,10 @@ class Agent {
   bool handle_message(net::TcpConnection& conn, const net::Message& msg);
   void ping_loop();
   void sync_loop();
+  /// Synchronous startup pull of peer registries (anti-entropy bootstrap).
+  void bootstrap_from_peers();
+  std::vector<net::Endpoint> peer_endpoints();
+  void note_peer_result(const net::Endpoint& peer, bool ok);
   /// Re-publish per-server directory state (breaker, rating factor,
   /// workload, liveness) as registry gauges; called at metrics-scrape time.
   void refresh_server_gauges();
@@ -86,6 +106,9 @@ class Agent {
 
   std::mutex policy_mu_;
   std::unique_ptr<SelectionPolicy> policy_;
+
+  std::mutex peers_mu_;
+  std::vector<PeerState> peers_;
 
   std::atomic<bool> stopping_{false};
   std::atomic<int> active_connections_{0};

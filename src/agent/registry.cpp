@@ -64,25 +64,36 @@ void ServerRegistry::tick_breakers_locked() {
 proto::ServerId ServerRegistry::add(const proto::RegisterServer& reg) {
   std::lock_guard<std::mutex> lock(mu_);
 
-  // A returning server (same name + endpoint) is revived in place.
+  // A returning server (same name + endpoint) keeps its record and id.
   for (auto& [id, record] : servers_) {
     if (record.name == reg.server_name && record.endpoint == reg.endpoint) {
       record.mflops = reg.mflops;
-      record.alive = true;
-      record.consecutive_failures = 0;
-      // An explicit re-registration is an operator/server restart: the old
-      // quarantine history no longer describes this incarnation.
-      record.breaker = BreakerState::kClosed;
-      record.open_count = 0;
-      record.probe_successes = 0;
-      record.rating_factor = 1.0;
       record.last_report_time = now_seconds();
       record.problems.clear();
       for (const auto& spec : reg.problems) {
         record.problems.insert(spec.name);
         specs_.try_emplace(spec.name, spec);
       }
-      NS_INFO("agent") << "revived server " << record.name << " id=" << id;
+      // A registration from a NEW process lifetime is a restart: the old
+      // quarantine history no longer describes this incarnation, so revive
+      // fully. The SAME incarnation is a periodic keep-alive refresh; with
+      // the breaker active it proves liveness but must not bust an open
+      // quarantine — the failures were observed on the client path, which a
+      // self-refresh says nothing about. Without the breaker (legacy mode)
+      // an explicit re-registration always revives.
+      const bool restart = reg.incarnation != record.incarnation;
+      record.incarnation = reg.incarnation;
+      if (restart || !breaker_enabled()) {
+        record.alive = true;
+        record.consecutive_failures = 0;
+        record.breaker = BreakerState::kClosed;
+        record.open_count = 0;
+        record.probe_successes = 0;
+        record.rating_factor = 1.0;
+        NS_INFO("agent") << "revived server " << record.name << " id=" << id;
+      } else if (record.breaker == BreakerState::kClosed) {
+        record.alive = true;
+      }
       return id;
     }
   }
@@ -92,6 +103,7 @@ proto::ServerId ServerRegistry::add(const proto::RegisterServer& reg) {
   record.name = reg.server_name;
   record.endpoint = reg.endpoint;
   record.mflops = reg.mflops;
+  record.incarnation = reg.incarnation;
   record.latency_s = config_.default_latency_s;
   record.bandwidth_Bps = config_.default_bandwidth_Bps;
   record.last_report_time = now_seconds();

@@ -55,6 +55,9 @@ struct ServerRecord {
   double pending = 0.0;
   int consecutive_failures = 0;
   bool alive = true;
+  /// Server process lifetime that produced the latest registration (0 =
+  /// pre-incarnation server). See proto::RegisterServer::incarnation.
+  std::uint64_t incarnation = 0;
 
   // Circuit breaker (active only when RegistryConfig::quarantine_s > 0).
   BreakerState breaker = BreakerState::kClosed;
@@ -103,7 +106,12 @@ class ServerRegistry {
   explicit ServerRegistry(RegistryConfig config = {}) : config_(config) {}
 
   /// Add (or re-add) a server; returns its id. A returning server (same
-  /// name + endpoint) is revived and keeps its id.
+  /// name + endpoint) keeps its id. A registration with a NEW incarnation is
+  /// a process restart and fully revives the record (breaker reset); the
+  /// SAME incarnation is a periodic keep-alive refresh — it updates the
+  /// rating/problem set and proves liveness, but with the circuit breaker
+  /// active it cannot bust an open quarantine (the failures were observed on
+  /// the client path; the server refreshing itself says nothing about them).
   proto::ServerId add(const proto::RegisterServer& reg);
 
   /// Apply a workload report. Unknown ids are ignored (stale reports from a

@@ -23,8 +23,9 @@ serial::Bytes encode_payload(const auto& msg) {
 
 Result<net::Message> round_trip(const net::Endpoint& peer, std::uint16_t type,
                                 const serial::Bytes& payload, double timeout,
-                                const net::LinkShape& shape = net::LinkShape::unshaped()) {
-  auto conn = net::TcpConnection::connect(peer, std::min(timeout, 5.0));
+                                const net::LinkShape& shape = net::LinkShape::unshaped(),
+                                double connect_timeout = 5.0) {
+  auto conn = net::TcpConnection::connect(peer, std::min(timeout, connect_timeout));
   if (!conn.ok()) return conn.error();
   NS_RETURN_IF_ERROR(net::send_message(conn.value(), type, payload, shape));
   return net::recv_message(conn.value(), timeout);
@@ -57,11 +58,80 @@ std::uint64_t request_size_hint(const std::vector<dsl::DataObject>& args) {
 
 }  // namespace
 
+// ---- agent failover ----
+
+std::vector<std::size_t> NetSolveClient::agent_order() {
+  std::lock_guard<std::mutex> lock(agents_mu_);
+  const double now = now_seconds();
+  std::vector<std::size_t> live;
+  std::vector<std::size_t> cooling;
+  const auto classify = [&](std::size_t i) {
+    (agent_health_[i].down_until > now ? cooling : live).push_back(i);
+  };
+  if (active_agent_ < config_.agents.size()) classify(active_agent_);
+  for (std::size_t i = 0; i < config_.agents.size(); ++i) {
+    if (i != active_agent_) classify(i);
+  }
+  live.insert(live.end(), cooling.begin(), cooling.end());
+  return live;
+}
+
+void NetSolveClient::note_agent_result(std::size_t index, bool ok) {
+  std::lock_guard<std::mutex> lock(agents_mu_);
+  if (index >= agent_health_.size()) return;
+  if (ok) {
+    agent_health_[index].down_until = 0.0;
+    active_agent_ = index;  // stick with whoever answered
+  } else {
+    agent_health_[index].down_until = now_seconds() + config_.agent_down_cooldown_s;
+  }
+}
+
+Result<net::Message> NetSolveClient::agent_round_trip(std::uint16_t type,
+                                                      const serial::Bytes& payload,
+                                                      double timeout) {
+  if (config_.agents.empty()) {
+    return make_error(ErrorCode::kAgentUnavailable, "no agents configured");
+  }
+  Error last_error = make_error(ErrorCode::kAgentUnavailable, "no agent reachable");
+  bool failed_over = false;
+  for (const std::size_t index : agent_order()) {
+    auto reply = round_trip(config_.agents[index], type, payload, timeout,
+                            net::LinkShape::unshaped(), config_.agent_connect_timeout_s);
+    if (reply.ok()) {
+      // Any reply — even an ErrorReply — means the agent is up.
+      note_agent_result(index, true);
+      if (failed_over) {
+        metrics::counter("client.agent_failover_total").inc();
+        NS_INFO("client") << "failed over to agent "
+                          << config_.agents[index].to_string();
+      }
+      return reply;
+    }
+    note_agent_result(index, false);
+    last_error = reply.error();
+    failed_over = true;
+  }
+  return last_error;
+}
+
+void NetSolveClient::post_to_agent(std::uint16_t type, const serial::Bytes& payload) {
+  const auto order = agent_order();
+  if (order.empty()) return;
+  const std::size_t index = order.front();
+  {
+    std::lock_guard<std::mutex> lock(agents_mu_);
+    if (agent_health_[index].down_until > now_seconds()) return;  // everyone is down
+  }
+  post(config_.agents[index], type, payload);
+}
+
 Result<proto::ServerList> NetSolveClient::query_metadata(const std::string& problem,
                                                          std::uint64_t input_bytes,
                                                          std::uint64_t size_hint,
                                                          double timeout_cap,
-                                                         trace::TraceId trace_id) {
+                                                         trace::TraceId trace_id,
+                                                         bool* degraded) {
   proto::Query query;
   query.problem = problem;
   query.input_bytes = input_bytes;
@@ -75,9 +145,22 @@ Result<proto::ServerList> NetSolveClient::query_metadata(const std::string& prob
 
   const double timeout =
       timeout_cap > 0.0 ? std::min(config_.io_timeout_s, timeout_cap) : config_.io_timeout_s;
-  auto reply = round_trip(config_.agent, static_cast<std::uint16_t>(MessageType::kQuery),
-                          encode_payload(query), timeout);
+  auto reply = agent_round_trip(static_cast<std::uint16_t>(MessageType::kQuery),
+                                encode_payload(query), timeout);
   if (!reply.ok()) {
+    // Every agent is unreachable. Degraded mode: serve the last good ranked
+    // list for this problem from the staleness-bounded cache, so known work
+    // keeps flowing direct-to-server through a full scheduler-tier outage.
+    if (config_.candidate_cache_ttl_s > 0.0) {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      const auto it = candidate_cache_.find(problem);
+      if (it != candidate_cache_.end() &&
+          now_seconds() - it->second.stored_at <= config_.candidate_cache_ttl_s) {
+        if (degraded != nullptr) *degraded = true;
+        NS_WARN("client") << "all agents down; using cached candidates for " << problem;
+        return it->second.list;
+      }
+    }
     return make_error(ErrorCode::kAgentUnavailable, reply.error().to_string());
   }
   if (reply.value().type == static_cast<std::uint16_t>(MessageType::kErrorReply)) {
@@ -87,7 +170,14 @@ Result<proto::ServerList> NetSolveClient::query_metadata(const std::string& prob
     return make_error(ErrorCode::kProtocol, "expected ServerList from agent");
   }
   serial::Decoder dec(reply.value().payload);
-  return proto::ServerList::decode(dec);
+  auto list = proto::ServerList::decode(dec);
+  if (list.ok() && !list.value().candidates.empty() && config_.candidate_cache_ttl_s > 0.0) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto& slot = candidate_cache_[problem];
+    slot.list = list.value();
+    slot.stored_at = now_seconds();
+  }
+  return list;
 }
 
 Result<proto::ServerList> NetSolveClient::query(const std::string& problem,
@@ -129,8 +219,8 @@ void NetSolveClient::report_failure(proto::ServerId id, ErrorCode code) {
   proto::FailureReport report;
   report.server_id = id;
   report.error_code = static_cast<std::uint16_t>(code);
-  post(config_.agent, static_cast<std::uint16_t>(MessageType::kFailureReport),
-       encode_payload(report));
+  post_to_agent(static_cast<std::uint16_t>(MessageType::kFailureReport),
+                encode_payload(report));
 }
 
 void NetSolveClient::report_metrics(proto::ServerId id, std::uint64_t bytes, double seconds) {
@@ -139,8 +229,8 @@ void NetSolveClient::report_metrics(proto::ServerId id, std::uint64_t bytes, dou
   report.server_id = id;
   report.bytes = bytes;
   report.transfer_seconds = seconds;
-  post(config_.agent, static_cast<std::uint16_t>(MessageType::kMetricsReport),
-       encode_payload(report));
+  post_to_agent(static_cast<std::uint16_t>(MessageType::kMetricsReport),
+                encode_payload(report));
 }
 
 double NetSolveClient::backoff_jitter(double prev_sleep) {
@@ -214,9 +304,14 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
 
   while (!out_of_budget()) {
     const double query_start = total_watch.elapsed();
+    bool degraded = false;
     auto list = query_metadata(problem, input_bytes, size_hint,
-                               budgeted ? deadline.remaining() : 0.0, st.trace_id);
+                               budgeted ? deadline.remaining() : 0.0, st.trace_id, &degraded);
     const double query_dur = total_watch.elapsed() - query_start;
+    if (degraded && !st.degraded) {
+      st.degraded = true;
+      metrics::counter("client.degraded_calls_total").inc();
+    }
     if (!list.ok()) {
       const auto code = list.error().code;
       if (budgeted && (code == ErrorCode::kNoServer ||
@@ -344,8 +439,8 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
 }
 
 Result<std::vector<dsl::ProblemSpec>> NetSolveClient::list_problems() {
-  auto reply = round_trip(config_.agent, static_cast<std::uint16_t>(MessageType::kListProblems),
-                          {}, config_.io_timeout_s);
+  auto reply = agent_round_trip(static_cast<std::uint16_t>(MessageType::kListProblems), {},
+                                config_.io_timeout_s);
   if (!reply.ok()) return make_error(ErrorCode::kAgentUnavailable, reply.error().to_string());
   if (reply.value().type == static_cast<std::uint16_t>(MessageType::kErrorReply)) {
     return decode_error_reply(reply.value());
@@ -360,9 +455,8 @@ Result<std::vector<dsl::ProblemSpec>> NetSolveClient::list_problems() {
 }
 
 Result<proto::AgentStats> NetSolveClient::agent_stats() {
-  auto reply = round_trip(config_.agent,
-                          static_cast<std::uint16_t>(MessageType::kAgentStatsRequest), {},
-                          config_.io_timeout_s);
+  auto reply = agent_round_trip(static_cast<std::uint16_t>(MessageType::kAgentStatsRequest),
+                                {}, config_.io_timeout_s);
   if (!reply.ok()) return make_error(ErrorCode::kAgentUnavailable, reply.error().to_string());
   if (reply.value().type != static_cast<std::uint16_t>(MessageType::kAgentStatsReply)) {
     return make_error(ErrorCode::kProtocol, "expected AgentStatsReply");
@@ -372,8 +466,8 @@ Result<proto::AgentStats> NetSolveClient::agent_stats() {
 }
 
 Status NetSolveClient::ping_agent() {
-  auto reply = round_trip(config_.agent, static_cast<std::uint16_t>(MessageType::kPing), {},
-                          config_.io_timeout_s);
+  auto reply = agent_round_trip(static_cast<std::uint16_t>(MessageType::kPing), {},
+                                config_.io_timeout_s);
   if (!reply.ok()) return reply.error();
   if (reply.value().type != static_cast<std::uint16_t>(MessageType::kPong)) {
     return make_error(ErrorCode::kProtocol, "expected Pong");
@@ -424,19 +518,31 @@ struct RequestHandle::State {
   }
 };
 
+NetSolveClient::~NetSolveClient() {
+  // A dropped RequestHandle detaches its worker thread, which still runs
+  // netsl() against this client; wait for stragglers before members die.
+  while (nb_outstanding_.load(std::memory_order_acquire) > 0) sleep_seconds(0.001);
+}
+
 RequestHandle NetSolveClient::netsl_nb(const std::string& problem,
                                        std::vector<dsl::DataObject> args) {
   auto state = std::make_shared<RequestHandle::State>();
+  nb_outstanding_.fetch_add(1, std::memory_order_acq_rel);
   // The worker keeps the state alive; the handle may be destroyed first.
   state->worker = std::thread(
       [this, state, problem, args = std::move(args)]() {
         CallStats stats;
         auto result = netsl(problem, args, &stats);
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->result.emplace(std::move(result));
-        state->stats = stats;
-        state->done = true;
-        state->cv.notify_all();
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->result.emplace(std::move(result));
+          state->stats = stats;
+          state->done = true;
+          state->cv.notify_all();
+        }
+        // Last touch of the client: after this decrement the destructor may
+        // proceed and `this` may be gone.
+        nb_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
       });
   return RequestHandle(std::move(state));
 }

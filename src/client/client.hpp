@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,12 +36,17 @@
 #include "dsl/value.hpp"
 #include "net/shaped_link.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
 #include "proto/messages.hpp"
 
 namespace ns::client {
 
 struct ClientConfig {
-  net::Endpoint agent;
+  /// Agents to talk to, in preference order. Every agent-bound operation
+  /// (query, catalogue, stats, failure/metrics reports) goes to the first
+  /// live agent and fails over down the list; per-agent health is tracked so
+  /// a dead agent is skipped for agent_down_cooldown_s before being retried.
+  std::vector<net::Endpoint> agents;
   /// Shape applied to client->server request traffic (WAN emulation).
   net::LinkShape link;
   /// Total request attempts across candidates/re-queries before giving up.
@@ -66,6 +72,17 @@ struct ClientConfig {
   bool report_metrics = true;
   /// Report failed servers to the agent (enables agent-side blacklisting).
   bool report_failures = true;
+  /// How long a failed agent is skipped before the client tries it again.
+  double agent_down_cooldown_s = 2.0;
+  /// Connect budget per agent dial. Deliberately short: a live agent accepts
+  /// in microseconds, and a dead one should cost little before the client
+  /// fails over to the next agent in the list.
+  double agent_connect_timeout_s = 0.5;
+  /// Bounded staleness of the degraded-mode candidate cache: the last good
+  /// ranked list per problem is kept this long, and when ALL agents are
+  /// unreachable, calls for cached problems go direct-to-server from it
+  /// (counted in client.degraded_calls_total). 0 disables degraded mode.
+  double candidate_cache_ttl_s = 30.0;
 };
 
 /// Per-call telemetry, filled when the caller passes a stats out-param.
@@ -82,6 +99,9 @@ struct CallStats {
   std::uint64_t output_bytes = 0;
   int attempts = 0;                // 1 = first server worked
   double backoff_seconds = 0.0;    // total time slept between attempts
+  /// True when the candidate list came from the client's staleness-bounded
+  /// cache because no agent was reachable (degraded mode).
+  bool degraded = false;
   /// Trace id minted for this call (carried to the agent and server).
   trace::TraceId trace_id = trace::kNoTrace;
   /// Per-hop spans of the call in causal order — agent query, scheduling
@@ -96,7 +116,13 @@ class RequestHandle;
 class NetSolveClient {
  public:
   explicit NetSolveClient(ClientConfig config)
-      : config_(std::move(config)), backoff_rng_(config_.backoff_seed) {}
+      : config_(std::move(config)),
+        backoff_rng_(config_.backoff_seed),
+        agent_health_(config_.agents.size()) {}
+
+  /// Waits for netsl_nb workers whose handles were dropped: they reference
+  /// this client and would otherwise race its teardown.
+  ~NetSolveClient();
 
   /// Blocking solve. Returns the problem's output list.
   Result<std::vector<dsl::DataObject>> netsl(const std::string& problem,
@@ -136,11 +162,24 @@ class NetSolveClient {
  private:
   friend class RequestHandle;
 
+  /// Per-configured-agent liveness, updated by every agent interaction.
+  struct AgentHealth {
+    double down_until = 0.0;  // skip until this now_seconds() timestamp
+  };
+  /// One problem's last good ranked list, kept for degraded-mode calls.
+  struct CachedCandidates {
+    proto::ServerList list;
+    double stored_at = 0.0;
+  };
+
   /// `timeout_cap` > 0 additionally clamps the IO timeout (deadline budget).
+  /// On total agent outage the cache may answer instead; `*degraded` is set
+  /// true in that case.
   Result<proto::ServerList> query_metadata(const std::string& problem,
                                            std::uint64_t input_bytes, std::uint64_t size_hint,
                                            double timeout_cap = 0.0,
-                                           trace::TraceId trace_id = trace::kNoTrace);
+                                           trace::TraceId trace_id = trace::kNoTrace,
+                                           bool* degraded = nullptr);
   /// One attempt against one server; transport-level failures are retryable.
   Result<proto::SolveResult> attempt(const proto::ServerCandidate& candidate,
                                      const proto::SolveRequest& request, double* io_seconds);
@@ -150,10 +189,33 @@ class NetSolveClient {
   /// netsl may run concurrently on several netsl_nb workers).
   double backoff_jitter(double prev_sleep);
 
+  /// Agent indices in try order: the sticky active agent first (if not in
+  /// cooldown), then other live agents, then cooled-down ones as a last
+  /// resort (an empty health table would otherwise deadlock recovery).
+  std::vector<std::size_t> agent_order();
+  void note_agent_result(std::size_t index, bool ok);
+  /// Round-trip against the first agent that answers, failing over down the
+  /// ordered list (client.agent_failover_total counts rescued operations).
+  Result<net::Message> agent_round_trip(std::uint16_t type, const serial::Bytes& payload,
+                                        double timeout);
+  /// Fire-and-forget to the first agent not in cooldown (reports are advice;
+  /// they are not worth connect timeouts against dead agents).
+  void post_to_agent(std::uint16_t type, const serial::Bytes& payload);
+
   ClientConfig config_;
   std::atomic<std::uint64_t> next_request_id_{1};
   std::mutex backoff_mu_;
   Rng backoff_rng_;
+
+  std::mutex agents_mu_;
+  std::vector<AgentHealth> agent_health_;
+  std::size_t active_agent_ = 0;
+
+  /// Live netsl_nb workers; the destructor waits for this to drain.
+  std::atomic<int> nb_outstanding_{0};
+
+  std::mutex cache_mu_;
+  std::map<std::string, CachedCandidates> candidate_cache_;
 };
 
 /// Future-like handle for non-blocking calls (netslpr/netslwt).

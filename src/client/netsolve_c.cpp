@@ -124,7 +124,7 @@ extern "C" {
 ns_session* ns_connect(const char* agent_host, uint16_t agent_port) {
   if (agent_host == nullptr) return nullptr;
   ns::client::ClientConfig config;
-  config.agent = {agent_host, agent_port};
+  config.agents = {{agent_host, agent_port}};
   auto session = std::make_unique<ns_session>();
   session->client = std::make_unique<NetSolveClient>(std::move(config));
   if (!session->client->ping_agent().ok()) return nullptr;

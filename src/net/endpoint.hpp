@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace ns::net {
 
@@ -15,6 +17,49 @@ struct Endpoint {
   friend bool operator==(const Endpoint& a, const Endpoint& b) {
     return a.port == b.port && a.host == b.host;
   }
+  friend bool operator!=(const Endpoint& a, const Endpoint& b) { return !(a == b); }
 };
+
+/// Parse "host:port" (or a bare ":port"/"port", defaulting the host to
+/// 127.0.0.1). Returns nullopt on a malformed or out-of-range port.
+inline std::optional<Endpoint> parse_endpoint(const std::string& text) {
+  Endpoint ep;
+  auto colon = text.rfind(':');
+  std::string port_text;
+  if (colon == std::string::npos) {
+    port_text = text;
+  } else {
+    if (colon > 0) ep.host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  if (port_text.empty()) return std::nullopt;
+  long port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+/// Parse a comma-separated "host:port,host:port,..." list, skipping empty
+/// segments. Returns nullopt if any non-empty segment is malformed.
+inline std::optional<std::vector<Endpoint>> parse_endpoint_list(const std::string& text) {
+  std::vector<Endpoint> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto comma = text.find(',', start);
+    auto end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) {
+      auto ep = parse_endpoint(text.substr(start, end - start));
+      if (!ep) return std::nullopt;
+      out.push_back(std::move(*ep));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
 
 }  // namespace ns::net

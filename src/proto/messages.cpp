@@ -48,6 +48,7 @@ void RegisterServer::encode(serial::Encoder& enc) const {
   encode_endpoint(enc, endpoint);
   enc.put_f64(mflops);
   encode_specs(enc, problems);
+  enc.put_u64(incarnation);
 }
 
 Result<RegisterServer> RegisterServer::decode(serial::Decoder& dec) {
@@ -64,16 +65,34 @@ Result<RegisterServer> RegisterServer::decode(serial::Decoder& dec) {
   auto specs = decode_specs(dec);
   if (!specs.ok()) return specs.error();
   msg.problems = std::move(specs).value();
+  auto inc = dec.get_u64();
+  if (!inc.ok()) return inc.error();
+  msg.incarnation = inc.value();
   return msg;
 }
 
-void RegisterAck::encode(serial::Encoder& enc) const { enc.put_u32(server_id); }
+void RegisterAck::encode(serial::Encoder& enc) const {
+  enc.put_u32(server_id);
+  enc.put_u32(static_cast<std::uint32_t>(peer_agents.size()));
+  for (const auto& ep : peer_agents) encode_endpoint(enc, ep);
+}
 
 Result<RegisterAck> RegisterAck::decode(serial::Decoder& dec) {
   RegisterAck msg;
   auto id = dec.get_u32();
   if (!id.ok()) return id.error();
   msg.server_id = id.value();
+  auto count = dec.get_u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > 1024) {
+    return make_error(ErrorCode::kProtocol, "too many peer agents");
+  }
+  msg.peer_agents.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto ep = decode_endpoint(dec);
+    if (!ep.ok()) return ep.error();
+    msg.peer_agents.push_back(std::move(ep).value());
+  }
   return msg;
 }
 
@@ -436,12 +455,34 @@ Result<SyncState> SyncState::decode(serial::Decoder& dec) {
   return msg;
 }
 
+void PeerStatus::encode(serial::Encoder& enc) const {
+  encode_endpoint(enc, endpoint);
+  enc.put_bool(alive);
+  enc.put_f64(age_seconds);
+}
+
+Result<PeerStatus> PeerStatus::decode(serial::Decoder& dec) {
+  PeerStatus msg;
+  auto ep = decode_endpoint(dec);
+  if (!ep.ok()) return ep.error();
+  msg.endpoint = std::move(ep).value();
+  auto alive = dec.get_bool();
+  if (!alive.ok()) return alive.error();
+  msg.alive = alive.value();
+  auto age = dec.get_f64();
+  if (!age.ok()) return age.error();
+  msg.age_seconds = age.value();
+  return msg;
+}
+
 void AgentStats::encode(serial::Encoder& enc) const {
   enc.put_u64(queries);
   enc.put_u64(registrations);
   enc.put_u64(workload_reports);
   enc.put_u64(failure_reports);
   enc.put_u32(alive_servers);
+  enc.put_u32(static_cast<std::uint32_t>(peers.size()));
+  for (const auto& p : peers) p.encode(enc);
 }
 
 Result<AgentStats> AgentStats::decode(serial::Decoder& dec) {
@@ -461,6 +502,17 @@ Result<AgentStats> AgentStats::decode(serial::Decoder& dec) {
   auto alive = dec.get_u32();
   if (!alive.ok()) return alive.error();
   msg.alive_servers = alive.value();
+  auto count = dec.get_u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > 1024) {
+    return make_error(ErrorCode::kProtocol, "too many peer statuses");
+  }
+  msg.peers.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto p = PeerStatus::decode(dec);
+    if (!p.ok()) return p.error();
+    msg.peers.push_back(std::move(p).value());
+  }
   return msg;
 }
 

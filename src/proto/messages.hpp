@@ -45,6 +45,7 @@ enum class MessageType : std::uint16_t {
   kSyncState = 18,
   kMetricsQuery = 19,
   kMetricsDump = 20,
+  kSyncPull = 21,
 };
 
 using ServerId = std::uint32_t;
@@ -57,6 +58,13 @@ struct RegisterServer {
   net::Endpoint endpoint;          // where clients reach this server
   double mflops = 0.0;             // LINPACK-style rating
   std::vector<dsl::ProblemSpec> problems;
+  /// Identifies one server process lifetime (0 = unknown). A registration
+  /// carrying a NEW incarnation is a restart and fully revives the record
+  /// (circuit breaker reset); the SAME incarnation is a periodic keep-alive
+  /// refresh, which proves liveness but cannot bust a quarantine — the
+  /// failures were observed on the client path, which a self-refresh says
+  /// nothing about.
+  std::uint64_t incarnation = 0;
 
   void encode(serial::Encoder& enc) const;
   static Result<RegisterServer> decode(serial::Decoder& dec);
@@ -64,6 +72,10 @@ struct RegisterServer {
 
 struct RegisterAck {
   ServerId server_id = kInvalidServerId;
+  /// The acknowledging agent's federated peers. Servers merge these into
+  /// their agent pool so a server pointed at one agent of a mesh learns the
+  /// rest of the mesh from the handshake.
+  std::vector<net::Endpoint> peer_agents;
 
   void encode(serial::Encoder& enc) const;
   static Result<RegisterAck> decode(serial::Decoder& dec);
@@ -233,12 +245,25 @@ struct SyncState {
   static Result<SyncState> decode(serial::Decoder& dec);
 };
 
+/// Health of one federated peer as seen by the reporting agent.
+struct PeerStatus {
+  net::Endpoint endpoint;
+  bool alive = false;        // last snapshot exchange succeeded
+  /// Seconds since the last successful exchange (< 0 = never reached).
+  double age_seconds = -1.0;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<PeerStatus> decode(serial::Decoder& dec);
+};
+
 struct AgentStats {
   std::uint64_t queries = 0;
   std::uint64_t registrations = 0;
   std::uint64_t workload_reports = 0;
   std::uint64_t failure_reports = 0;
   std::uint32_t alive_servers = 0;
+  /// Per-peer federation health (empty for a standalone agent).
+  std::vector<PeerStatus> peers;
 
   void encode(serial::Encoder& enc) const;
   static Result<AgentStats> decode(serial::Decoder& dec);

@@ -60,7 +60,18 @@ Result<std::unique_ptr<ComputeServer>> ComputeServer::start(ServerConfig config)
     }
   }
 
-  NS_RETURN_IF_ERROR(server->register_with_agent());
+  if (server->config_.agents.empty()) {
+    return make_error(ErrorCode::kBadArguments, "no agents configured");
+  }
+  // Initial registration sweep: every configured agent gets one synchronous
+  // try; startup succeeds if at least one lands. Unreachable agents stay in
+  // the link table and the report thread keeps retrying them with backoff.
+  server->maintain_registrations();
+  if (server->server_id_.load() == proto::kInvalidServerId) {
+    return make_error(ErrorCode::kAgentUnavailable,
+                      "could not register with any of " +
+                          std::to_string(server->config_.agents.size()) + " agent(s)");
+  }
 
   server->accept_thread_ = std::thread([raw = server.get()] { raw->accept_loop(); });
   server->report_thread_ = std::thread([raw = server.get()] { raw->report_loop(); });
@@ -81,14 +92,22 @@ ComputeServer::ComputeServer(ServerConfig config, net::TcpListener listener,
     : config_(std::move(config)),
       listener_(std::move(listener)),
       rated_mflops_(rated_mflops),
+      // Fresh per process lifetime: lets agents tell a restart (full revive)
+      // from a periodic keep-alive refresh of the same process.
+      incarnation_((static_cast<std::uint64_t>(now_seconds() * 1e6) ^ (config_.seed << 1)) | 1u),
+      reregister_rng_(config_.seed ^ 0x9e3779b97f4a7c15ull),
       failure_rng_(config_.seed),
       background_load_(config_.background_load),
-      metrics_(config_.name) {}
+      metrics_(config_.name) {
+  for (const auto& agent : config_.agents) {
+    agent_links_.push_back(AgentLink{agent});
+  }
+}
 
 ComputeServer::~ComputeServer() { stop(); }
 
-Status ComputeServer::register_with_agent() {
-  auto conn = net::TcpConnection::connect(config_.agent, 5.0);
+Status ComputeServer::register_link(AgentLink& link, std::vector<net::Endpoint>* discovered) {
+  auto conn = net::TcpConnection::connect(link.endpoint, 5.0);
   if (!conn.ok()) return conn.error();
 
   proto::RegisterServer reg;
@@ -96,6 +115,7 @@ Status ComputeServer::register_with_agent() {
   reg.endpoint = listener_.endpoint();
   reg.mflops = rated_mflops_;
   reg.problems = registry_.all_specs();
+  reg.incarnation = incarnation_;
   NS_RETURN_IF_ERROR(net::send_message(conn.value(),
                                        static_cast<std::uint16_t>(MessageType::kRegisterServer),
                                        encode_payload(reg)));
@@ -108,10 +128,56 @@ Status ComputeServer::register_with_agent() {
   serial::Decoder dec(reply.value().payload);
   auto ack = proto::RegisterAck::decode(dec);
   if (!ack.ok()) return ack.error();
-  server_id_.store(ack.value().server_id);
-  NS_INFO("server") << config_.name << " registered as id=" << ack.value().server_id
-                    << " rating=" << rated_mflops_ << " Mflop/s";
+  link.id = ack.value().server_id;
+  if (discovered != nullptr) {
+    for (const auto& peer : ack.value().peer_agents) discovered->push_back(peer);
+  }
+  // The first agent to answer is the "primary" whose id server_id() reports.
+  proto::ServerId expected = proto::kInvalidServerId;
+  server_id_.compare_exchange_strong(expected, link.id);
+  NS_INFO("server") << config_.name << " registered as id=" << link.id << " at "
+                    << link.endpoint.to_string() << " rating=" << rated_mflops_
+                    << " Mflop/s";
   return ok_status();
+}
+
+void ComputeServer::maintain_registrations() {
+  const double now = now_seconds();
+  std::vector<net::Endpoint> discovered;
+  for (auto& link : agent_links_) {
+    if (now < link.next_attempt_time) continue;
+    if (register_link(link, &discovered).ok()) {
+      link.backoff_s = 0.0;
+      if (config_.reregister_period_s > 0) {
+        // Jittered so a fleet does not re-register in lockstep.
+        link.next_attempt_time =
+            now + config_.reregister_period_s * reregister_rng_.uniform(0.5, 1.5);
+      } else {
+        link.next_attempt_time = 1e300;  // legacy: register once, never again
+      }
+    } else {
+      // Decorrelated-jitter backoff toward the dead agent; capped well below
+      // the re-register period so a rebooted agent is re-learned promptly.
+      link.backoff_s = std::min(
+          1.0, reregister_rng_.uniform(0.05, std::max(0.05, link.backoff_s * 3.0)));
+      link.next_attempt_time = now + link.backoff_s;
+    }
+  }
+  // Adopt mesh peers the acks told us about (mesh growth is idempotent:
+  // known endpoints are skipped).
+  for (const auto& peer : discovered) {
+    bool known = false;
+    for (const auto& link : agent_links_) {
+      if (link.endpoint == peer) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      NS_INFO("server") << config_.name << " discovered peer agent " << peer.to_string();
+      agent_links_.push_back(AgentLink{peer});
+    }
+  }
 }
 
 void ComputeServer::accept_loop() {
@@ -127,6 +193,10 @@ void ComputeServer::accept_loop() {
       active_connections_.fetch_sub(1);
     }).detach();
   }
+  // The loop owns the listener while running, so it also closes it: an
+  // injected crash stops accepting promptly and stop()'s own close (after
+  // the join) is an ordered no-op.
+  listener_.close();
 }
 
 FailureSpec::Mode ComputeServer::roll_failure() {
@@ -185,8 +255,10 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
       case FailureSpec::Mode::kCrash:
         NS_WARN("server") << config_.name << " injected crash";
         crashed_.store(true);
+        // Only flag the stop: the accept loop owns the listener and closes
+        // it on its way out (closing it from this handler thread would race
+        // the accept poll and the destructor).
         stopping_.store(true);
-        listener_.close();
         jobs_cv_.notify_all();
         return;
       case FailureSpec::Mode::kDropRequest:
@@ -309,28 +381,29 @@ double ComputeServer::current_workload() const {
 }
 
 void ComputeServer::send_workload_report(double workload) {
-  auto conn = net::TcpConnection::connect(config_.agent, 1.0);
-  if (!conn.ok()) return;  // agent temporarily unreachable; next period retries
-  proto::WorkloadReport report;
-  report.server_id = server_id_.load();
-  report.workload = workload;
-  report.completed = completed_.load();
-  (void)net::send_message(conn.value(),
-                          static_cast<std::uint16_t>(MessageType::kWorkloadReport),
-                          encode_payload(report));
+  // Fan out to every agent we ever registered with; ids are agent-local so
+  // each link carries its own. A dead agent costs one fast refused connect.
+  for (const auto& link : agent_links_) {
+    if (link.id == proto::kInvalidServerId) continue;
+    auto conn = net::TcpConnection::connect(link.endpoint, 1.0);
+    if (!conn.ok()) continue;  // agent temporarily unreachable; next period retries
+    proto::WorkloadReport report;
+    report.server_id = link.id;
+    report.workload = workload;
+    report.completed = completed_.load();
+    (void)net::send_message(conn.value(),
+                            static_cast<std::uint16_t>(MessageType::kWorkloadReport),
+                            encode_payload(report));
+  }
 }
 
 void ComputeServer::report_loop() {
   double last_sent = -1e300;  // force an initial report
-  Stopwatch since_registration;
   while (!stopping_.load()) {
-    // Agent-restart resilience: periodically refresh the registration
-    // (idempotent at the agent; a rebooted agent learns us this way).
-    if (config_.reregister_period_s > 0 &&
-        since_registration.elapsed() >= config_.reregister_period_s) {
-      (void)register_with_agent();  // failure is fine; retry next period
-      since_registration.reset();
-    }
+    // Agent-restart resilience: refresh due registrations (idempotent at the
+    // agent; a rebooted agent re-learns us this way) and keep retrying
+    // agents that were down at startup.
+    maintain_registrations();
     const double workload = current_workload();
     if (std::abs(workload - last_sent) >= config_.report_threshold || last_sent == -1e300) {
       send_workload_report(workload);
@@ -352,14 +425,16 @@ void ComputeServer::inject_failure(const FailureSpec& failure) {
 void ComputeServer::set_background_load(double load) { background_load_.store(load); }
 
 void ComputeServer::stop() {
-  if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    if (report_thread_.joinable()) report_thread_.join();
-    return;
-  }
-  listener_.close();
+  // Single flow whether the stop is local or was flagged by an injected
+  // crash: flag, join the accept loop (it owns and closes the listener;
+  // closing the fd under its poll would be a data race), join the report
+  // thread, then drain the detached connection handlers — skipping the
+  // drain when stopping_ was already set would free the server under a
+  // handler that is still finishing.
+  stopping_.store(true);
   jobs_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
   if (report_thread_.joinable()) report_thread_.join();
   const Deadline deadline(config_.io_timeout_s + 1.0);
   while (active_connections_.load() > 0 && !deadline.expired()) {

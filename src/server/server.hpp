@@ -60,7 +60,12 @@ enum class SlowdownMode { kSpin, kSleep };
 struct ServerConfig {
   std::string name = "server";
   net::Endpoint listen{"127.0.0.1", 0};
-  net::Endpoint agent;
+  /// Agents to register with. Startup succeeds if at least one registration
+  /// lands; the rest are retried in the background with decorrelated-jitter
+  /// backoff, and workload reports fan out to every registered agent. The
+  /// RegisterAck's peer list grows this set automatically, so pointing a
+  /// server at one agent of a federated mesh reaches the whole mesh.
+  std::vector<net::Endpoint> agents;
   /// Max requests executing concurrently; excess waits (and counts toward
   /// the reported workload).
   int workers = 2;
@@ -74,11 +79,13 @@ struct ServerConfig {
   double rating_override = 0.0;
   /// Workload report cadence.
   double report_period_s = 0.1;
-  /// Re-register with the agent this often (0 = only at startup).
-  /// Registration is idempotent (the agent revives by name+endpoint), so
-  /// this makes servers survive an agent restart: the new agent learns the
-  /// pool within one period.
-  double reregister_period_s = 0.0;
+  /// Re-register with every agent this often (0 = only at startup).
+  /// Registration is idempotent (the agent refreshes by name+endpoint and
+  /// judges restarts by incarnation), so this makes servers survive an agent
+  /// restart: the new agent learns the pool within one period. Each period
+  /// is jittered by uniform(0.5, 1.5)x so a fleet does not re-register in
+  /// lockstep after an agent reboot.
+  double reregister_period_s = 5.0;
   /// Suppress a report unless the workload moved at least this much (in job
   /// units) since the last transmitted value. 0 reports every period.
   double report_threshold = 0.0;
@@ -149,9 +156,26 @@ class ComputeServer {
     metrics::Gauge& queue_depth;
   };
 
+  /// One agent this server registers with. `id` is agent-local (each agent
+  /// assigns its own), so reports carry the per-link id. Owned exclusively
+  /// by the report thread once the server is running (startup registration
+  /// happens-before the thread spawns); no lock needed.
+  struct AgentLink {
+    net::Endpoint endpoint;
+    proto::ServerId id = proto::kInvalidServerId;
+    double next_attempt_time = 0.0;  // now_seconds() of the next (re)register
+    double backoff_s = 0.0;          // decorrelated-jitter failure backoff
+  };
+
   ComputeServer(ServerConfig config, net::TcpListener listener, double rated_mflops);
 
-  Status register_with_agent();
+  /// Register with one agent; on success updates the link id and merges the
+  /// ack's peer agents into `discovered`.
+  Status register_link(AgentLink& link, std::vector<net::Endpoint>* discovered);
+  /// (Re)register every link whose attempt time is due; schedules the next
+  /// attempt per link (jittered period on success, backoff on failure) and
+  /// adopts newly discovered peer agents.
+  void maintain_registrations();
   void accept_loop();
   void handle_connection(net::TcpConnection conn);
   void report_loop();
@@ -164,6 +188,10 @@ class ComputeServer {
   dsl::ProblemRegistry registry_;
   double rated_mflops_ = 0.0;
   std::atomic<proto::ServerId> server_id_{proto::kInvalidServerId};
+  /// This process lifetime's identity (see proto::RegisterServer).
+  std::uint64_t incarnation_ = 0;
+  std::vector<AgentLink> agent_links_;
+  Rng reregister_rng_;  // report-thread only
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> crashed_{false};

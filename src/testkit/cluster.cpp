@@ -8,9 +8,29 @@
 
 namespace ns::testkit {
 
+agent::AgentConfig TestCluster::agent_config_for(std::size_t i) const {
+  agent::AgentConfig ac;
+  ac.policy = config_.policy;
+  ac.registry = config_.registry;
+  ac.ping_period_s = config_.ping_period_s;
+  ac.count_pending = config_.count_pending;
+  if (config_.agent_count > 1) {
+    ac.sync_period_s = config_.agent_sync_period_s;
+    // Peers = every *other* agent already bound. At initial startup later
+    // agents are not bound yet; add_peer() completes the mesh afterwards.
+    for (std::size_t j = 0; j < agent_endpoints_.size(); ++j) {
+      if (j != i) ac.peers.push_back(agent_endpoints_[j]);
+    }
+  }
+  return ac;
+}
+
 Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
   if (config.servers.empty()) {
     return make_error(ErrorCode::kBadArguments, "cluster needs at least one server");
+  }
+  if (config.agent_count < 1) {
+    return make_error(ErrorCode::kBadArguments, "cluster needs at least one agent");
   }
 
   std::unique_ptr<TestCluster> cluster(new TestCluster());
@@ -20,20 +40,28 @@ Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
                               ? config.rating_base
                               : linalg::linpack_rating(/*n=*/160, /*repeats=*/2).mflops;
 
-  agent::AgentConfig agent_config;
-  agent_config.policy = config.policy;
-  agent_config.registry = config.registry;
-  agent_config.ping_period_s = config.ping_period_s;
-  agent_config.count_pending = config.count_pending;
-  auto agent = agent::Agent::start(agent_config);
-  if (!agent.ok()) return agent.error();
-  cluster->agent_ = std::move(agent).value();
+  for (std::size_t i = 0; i < config.agent_count; ++i) {
+    auto agent = agent::Agent::start(cluster->agent_config_for(i));
+    if (!agent.ok()) {
+      cluster->stop();
+      return agent.error();
+    }
+    cluster->agent_endpoints_.push_back(agent.value()->endpoint());
+    cluster->agents_.push_back(std::move(agent).value());
+  }
+  // Complete the full mesh: earlier agents learn the later agents' ports.
+  for (std::size_t i = 0; i < cluster->agents_.size(); ++i) {
+    for (std::size_t j = i + 1; j < cluster->agents_.size(); ++j) {
+      cluster->agents_[i]->add_peer(cluster->agent_endpoints_[j]);
+    }
+  }
 
   std::uint64_t seed = 0xbada55;
   for (const auto& spec : config.servers) {
     server::ServerConfig sc;
     sc.name = spec.name;
-    sc.agent = cluster->agent_->endpoint();
+    sc.agents = cluster->agent_endpoints_;
+    sc.reregister_period_s = spec.reregister_period_s;
     sc.workers = spec.workers;
     sc.max_queue = spec.max_queue;
     sc.speed_factor = spec.speed;
@@ -55,12 +83,19 @@ Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
     cluster->servers_.push_back(std::move(server).value());
   }
 
-  // Wait for every server's first workload report so the agent's view is
-  // complete before the first query (registration already happened
-  // synchronously in ComputeServer::start).
+  // Wait for every server's first workload report at every agent so each
+  // agent's view is complete before the first query (registration already
+  // happened synchronously in ComputeServer::start).
   const Deadline deadline(5.0);
   while (!deadline.expired()) {
-    if (cluster->agent_->stats().workload_reports >= cluster->servers_.size()) break;
+    bool all_ready = true;
+    for (auto& agent : cluster->agents_) {
+      if (agent->stats().workload_reports < cluster->servers_.size()) {
+        all_ready = false;
+        break;
+      }
+    }
+    if (all_ready) break;
     sleep_seconds(0.002);
   }
   return cluster;
@@ -75,7 +110,9 @@ void TestCluster::stop() {
   for (auto& server : servers_) {
     if (server) server->stop();
   }
-  if (agent_) agent_->stop();
+  for (auto& agent : agents_) {
+    if (agent) agent->stop();
+  }
 }
 
 void TestCluster::arm_fault(std::size_t i, net::FaultPlan plan) {
@@ -83,12 +120,37 @@ void TestCluster::arm_fault(std::size_t i, net::FaultPlan plan) {
 }
 
 void TestCluster::arm_agent_fault(net::FaultPlan plan) {
-  net::FaultInjector::instance().arm(agent_->endpoint(), std::move(plan));
+  net::FaultInjector::instance().arm(agent_endpoints_.front(), std::move(plan));
 }
 
 void TestCluster::disarm_faults() { net::FaultInjector::instance().disarm_all(); }
 
 void TestCluster::kill_server(std::size_t i) { servers_.at(i)->stop(); }
+
+void TestCluster::kill_agent(std::size_t i) {
+  auto& slot = agents_.at(i);
+  if (!slot) return;  // already dead
+  slot->stop();
+  slot.reset();  // release the port so restart_agent can rebind
+}
+
+Status TestCluster::restart_agent(std::size_t i) {
+  if (agents_.at(i)) return make_error(ErrorCode::kBadArguments, "agent still running");
+  agent::AgentConfig ac = agent_config_for(i);
+  ac.listen = agent_endpoints_.at(i);
+  // The port was just released; give the kernel a beat if the first rebind
+  // races the old listener's teardown.
+  const Deadline deadline(2.0);
+  for (;;) {
+    auto agent = agent::Agent::start(ac);
+    if (agent.ok()) {
+      agents_.at(i) = std::move(agent).value();
+      return ok_status();
+    }
+    if (deadline.expired()) return agent.error();
+    sleep_seconds(0.02);
+  }
+}
 
 Status TestCluster::restart_server(std::size_t i) {
   auto& slot = servers_.at(i);
@@ -101,7 +163,8 @@ Status TestCluster::restart_server(std::size_t i) {
   server::ServerConfig sc;
   sc.name = spec.name;
   sc.listen = listen;
-  sc.agent = agent_->endpoint();
+  sc.agents = agent_endpoints_;
+  sc.reregister_period_s = spec.reregister_period_s;
   sc.workers = spec.workers;
   sc.max_queue = spec.max_queue;
   sc.speed_factor = spec.speed;
@@ -123,7 +186,12 @@ Status TestCluster::restart_server(std::size_t i) {
 }
 
 Result<metrics::Snapshot> TestCluster::scrape_agent_metrics(const std::string& prefix) const {
-  return client::scrape_metrics(agent_->endpoint(), /*timeout_s=*/5.0, prefix);
+  // Scrape the first live agent (the registry is process-wide anyway; what
+  // matters is that some agent refreshes the directory gauges and answers).
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    if (agents_[i]) return client::scrape_metrics(agent_endpoints_[i], /*timeout_s=*/5.0, prefix);
+  }
+  return make_error(ErrorCode::kAgentUnavailable, "all agents killed");
 }
 
 Result<metrics::Snapshot> TestCluster::scrape_server_metrics(std::size_t i,
@@ -137,7 +205,7 @@ client::NetSolveClient TestCluster::make_client() const {
 
 client::NetSolveClient TestCluster::make_client(const net::LinkShape& link) const {
   client::ClientConfig cc;
-  cc.agent = agent_->endpoint();
+  cc.agents = agent_endpoints_;
   cc.link = link;
   cc.io_timeout_s = config_.io_timeout_s;
   cc.deadline_s = config_.client_deadline_s;

@@ -1,11 +1,12 @@
 // In-process NetSolve cluster orchestration.
 //
-// Starts one agent plus N computational servers (each on its own ephemeral
-// loopback port, with its own threads) inside the current process — the
-// "multi-process evaluation on one machine" shape of the reproduction, with
-// process isolation traded for deterministic startup/teardown in tests and
-// benches. The standalone binaries under examples/standalone/ provide the
-// true multi-process deployment.
+// Starts one or more agents (a federated full mesh when agent_count > 1)
+// plus N computational servers (each on its own ephemeral loopback port,
+// with its own threads) inside the current process — the "multi-process
+// evaluation on one machine" shape of the reproduction, with process
+// isolation traded for deterministic startup/teardown in tests and benches.
+// The standalone binaries under examples/standalone/ provide the true
+// multi-process deployment.
 #pragma once
 
 #include <memory>
@@ -34,11 +35,20 @@ struct ClusterServerSpec {
   server::FailureSpec failure;
   /// Offer only these problems (empty = the full catalogue).
   std::vector<std::string> problems;
+  /// Background re-registration period (jittered server-side). Non-zero by
+  /// default so a restarted agent re-learns the pool without intervention.
+  double reregister_period_s = 0.5;
 };
 
 struct ClusterConfig {
   std::string policy = "mct";
   std::vector<ClusterServerSpec> servers;
+  /// Agents to spawn. With more than one they form a federated full mesh
+  /// (peer snapshot sync + anti-entropy bootstrap), every server registers
+  /// with all of them, and make_client() clients fail over down the list.
+  std::size_t agent_count = 1;
+  /// Federation snapshot exchange period for multi-agent clusters.
+  double agent_sync_period_s = 0.05;
   /// Native Mflop rating shared by all servers; 0 measures the host once.
   double rating_base = 0.0;
   agent::RegistryConfig registry;
@@ -65,8 +75,14 @@ class TestCluster {
   TestCluster(const TestCluster&) = delete;
   TestCluster& operator=(const TestCluster&) = delete;
 
-  agent::Agent& agent() noexcept { return *agent_; }
-  net::Endpoint agent_endpoint() const { return agent_->endpoint(); }
+  /// The primary (first) agent. Asserts it has not been killed.
+  agent::Agent& agent() noexcept { return *agents_.front(); }
+  agent::Agent& agent(std::size_t i) { return *agents_.at(i); }
+  std::size_t agent_count() const noexcept { return agents_.size(); }
+  /// Endpoints stay valid (and stable) across kill_agent/restart_agent.
+  net::Endpoint agent_endpoint() const { return agent_endpoints_.front(); }
+  net::Endpoint agent_endpoint(std::size_t i) const { return agent_endpoints_.at(i); }
+  bool agent_alive(std::size_t i) const { return agents_.at(i) != nullptr; }
 
   std::size_t server_count() const noexcept { return servers_.size(); }
   server::ComputeServer& server(std::size_t i) { return *servers_.at(i); }
@@ -109,15 +125,26 @@ class TestCluster {
   /// record by name+endpoint when the new incarnation registers.
   Status restart_server(std::size_t i);
 
+  /// Hard-kill agent i: listener closed, threads joined, the object
+  /// destroyed. Clients and servers only notice refused connections.
+  void kill_agent(std::size_t i);
+  /// Restart a killed agent on its old endpoint with the same peer mesh; it
+  /// warms its registry from live peers (anti-entropy bootstrap) and from
+  /// server re-registrations.
+  Status restart_agent(std::size_t i);
+
   /// Stop everything (idempotent; also run by the destructor).
   void stop();
 
  private:
   TestCluster() = default;
 
+  agent::AgentConfig agent_config_for(std::size_t i) const;
+
   ClusterConfig config_;
   double rating_base_ = 0.0;
-  std::unique_ptr<agent::Agent> agent_;
+  std::vector<std::unique_ptr<agent::Agent>> agents_;  // null = killed
+  std::vector<net::Endpoint> agent_endpoints_;
   std::vector<std::unique_ptr<server::ComputeServer>> servers_;
 };
 

@@ -124,7 +124,13 @@ TEST(CircuitBreakerTest, WorkloadReportDoesNotBustQuarantine) {
   registry.update_workload(report);
   EXPECT_FALSE(registry.find(id)->alive) << "self-report must not bust the quarantine";
 
-  // An explicit re-registration (operator restart) does reset the breaker.
+  // A same-incarnation re-registration is just a keep-alive refresh and must
+  // not bust the quarantine either (servers re-register in the background).
+  registry.add(reg);
+  EXPECT_FALSE(registry.find(id)->alive) << "keep-alive must not bust the quarantine";
+
+  // An actual restart registers with a new incarnation and resets the breaker.
+  reg.incarnation = 42;
   registry.add(reg);
   EXPECT_TRUE(registry.find(id)->alive);
   EXPECT_EQ(registry.find(id)->breaker, agent::BreakerState::kClosed);

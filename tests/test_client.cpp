@@ -47,7 +47,7 @@ TEST(ClientConfigTest, MaxCandidatesLimitsAgentReply) {
   ASSERT_TRUE(cluster.ok());
 
   client::ClientConfig cc;
-  cc.agent = cluster.value()->agent_endpoint();
+  cc.agents = {cluster.value()->agent_endpoint()};
   cc.max_candidates = 2;
   client::NetSolveClient client(cc);
   auto list = client.query("ddot", {DataObject(linalg::Vector{1.0}),
@@ -64,7 +64,7 @@ TEST(ClientConfigTest, MetricReportingDisabledKeepsDefaults) {
   ASSERT_TRUE(cluster.ok());
 
   client::ClientConfig cc;
-  cc.agent = cluster.value()->agent_endpoint();
+  cc.agents = {cluster.value()->agent_endpoint()};
   cc.report_metrics = false;
   client::NetSolveClient client(cc);
 
@@ -92,7 +92,7 @@ TEST(ClientConfigTest, FailureReportingDisabledKeepsServerAlive) {
   ASSERT_TRUE(cluster.ok());
 
   client::ClientConfig cc;
-  cc.agent = cluster.value()->agent_endpoint();
+  cc.agents = {cluster.value()->agent_endpoint()};
   cc.report_failures = false;
   client::NetSolveClient client(cc);
   ASSERT_TRUE(client.call("ddot", linalg::Vector{1.0}, linalg::Vector{2.0}).ok());

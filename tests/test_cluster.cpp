@@ -186,7 +186,7 @@ TEST(SpecOverrideTest, ServerShipsTunedComplexityToAgent) {
   // dedicated cluster instead.
   server::ServerConfig sc;
   sc.name = "tuned";
-  sc.agent = cluster.value()->agent_endpoint();
+  sc.agents = {cluster.value()->agent_endpoint()};
   sc.rating_override = 500.0;
   sc.problem_filter = {"dgesv"};
   sc.spec_overrides = R"(
@@ -211,7 +211,7 @@ TEST(SpecOverrideTest, BadOverridesFailServerStartup) {
 
   server::ServerConfig sc;
   sc.name = "broken";
-  sc.agent = cluster.value()->agent_endpoint();
+  sc.agents = {cluster.value()->agent_endpoint()};
   sc.rating_override = 500.0;
   sc.spec_overrides = "@PROBLEM dgesv\n@INPUT A int\n@OUTPUT x vectord\n@COMPLEXITY 1 1\n";
   EXPECT_FALSE(server::ComputeServer::start(std::move(sc)).ok())
@@ -219,7 +219,7 @@ TEST(SpecOverrideTest, BadOverridesFailServerStartup) {
 
   server::ServerConfig sc2;
   sc2.name = "broken2";
-  sc2.agent = cluster.value()->agent_endpoint();
+  sc2.agents = {cluster.value()->agent_endpoint()};
   sc2.rating_override = 500.0;
   sc2.spec_overrides = "@NOT_A_DIRECTIVE\n";
   EXPECT_FALSE(server::ComputeServer::start(std::move(sc2)).ok());
@@ -239,14 +239,14 @@ TEST(SpecOverrideTest, TunedComplexityChangesAgentPrediction) {
     EXPECT_TRUE(agent.ok());
     server::ServerConfig sc;
     sc.name = "only";
-    sc.agent = agent.value()->endpoint();
+    sc.agents = {agent.value()->endpoint()};
     sc.rating_override = 500.0;
     sc.spec_overrides = std::move(overrides);
     auto server = server::ComputeServer::start(std::move(sc));
     EXPECT_TRUE(server.ok());
 
     client::ClientConfig cc;
-    cc.agent = agent.value()->endpoint();
+    cc.agents = {agent.value()->endpoint()};
     client::NetSolveClient client(cc);
     Rng rng(1);
     const auto a = linalg::Matrix::random_diag_dominant(64, rng);

@@ -117,7 +117,7 @@ class FederationTest : public ::testing::Test {
 
   client::NetSolveClient client_for(const agent::Agent& agent) {
     client::ClientConfig config;
-    config.agent = agent.endpoint();
+    config.agents = {agent.endpoint()};
     return client::NetSolveClient(config);
   }
 
@@ -129,7 +129,7 @@ TEST_F(FederationTest, ServerAtBVisibleThroughA) {
   // Server registers at agent B; B syncs to A; a client of A can solve.
   server::ServerConfig sc;
   sc.name = "fed_server";
-  sc.agent = agent_b_->endpoint();
+  sc.agents = {agent_b_->endpoint()};
   sc.rating_override = 400.0;
   auto server = server::ComputeServer::start(std::move(sc));
   ASSERT_TRUE(server.ok());
@@ -155,7 +155,7 @@ TEST_F(FederationTest, ServerAtBVisibleThroughA) {
 TEST_F(FederationTest, WorkloadUpdatesPropagate) {
   server::ServerConfig sc;
   sc.name = "busy_fed";
-  sc.agent = agent_b_->endpoint();
+  sc.agents = {agent_b_->endpoint()};
   sc.rating_override = 400.0;
   sc.background_load = 3.0;
   sc.report_period_s = 0.02;
@@ -179,7 +179,7 @@ TEST_F(FederationTest, WorkloadUpdatesPropagate) {
 TEST_F(FederationTest, CatalogueMergesAcrossMesh) {
   server::ServerConfig sc;
   sc.name = "specialized";
-  sc.agent = agent_b_->endpoint();
+  sc.agents = {agent_b_->endpoint()};
   sc.rating_override = 400.0;
   sc.problem_filter = {"fft", "convolve"};
   auto server = server::ComputeServer::start(std::move(sc));
@@ -212,7 +212,7 @@ TEST(AgentRestartTest, ServerRejoinsNewAgentOnSamePort) {
 
   server::ServerConfig sc;
   sc.name = "phoenix";
-  sc.agent = agent1.value()->endpoint();
+  sc.agents = {agent1.value()->endpoint()};
   sc.rating_override = 400.0;
   sc.reregister_period_s = 0.05;
   sc.report_period_s = 0.05;
@@ -237,7 +237,7 @@ TEST(AgentRestartTest, ServerRejoinsNewAgentOnSamePort) {
 
   // And the new agent can schedule onto it.
   client::ClientConfig cc;
-  cc.agent = agent2.value()->endpoint();
+  cc.agents = {agent2.value()->endpoint()};
   client::NetSolveClient client(cc);
   EXPECT_TRUE(client.call("ddot", linalg::Vector{1.0, 2.0}, linalg::Vector{3.0, 4.0}).ok());
 

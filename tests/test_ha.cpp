@@ -1,0 +1,204 @@
+// Agent high availability, end to end: client failover across an agent
+// list, degraded direct-to-server calls from the staleness-bounded candidate
+// cache when every agent is down, background server re-registration after an
+// agent restart, anti-entropy bootstrap from federation peers, per-peer
+// health reporting, and overload rejections landing on the healthy pool.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "testkit/cluster.hpp"
+
+namespace ns {
+namespace {
+
+using dsl::DataObject;
+
+// simwork argument sized so a call sleeps ~10 ms at the fixed rating below.
+constexpr std::int64_t kWork = 5;
+constexpr double kRating = 500.0;
+
+std::vector<DataObject> work_args() { return {DataObject(kWork)}; }
+
+// ---- client failover across agents ----
+
+TEST(HaFailoverTest, BurstSurvivesPrimaryAgentKill) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(4);
+  config.agent_count = 2;
+  config.rating_base = kRating;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+
+  const auto failovers_before = metrics::counter("client.agent_failover_total").value();
+  auto client = cluster.value()->make_client();
+
+  // First wave binds the client to the primary agent; the kill lands while
+  // work is in flight, so the second wave's queries hit a dead socket and
+  // must fail over to the surviving agent.
+  std::vector<client::RequestHandle> handles;
+  for (int i = 0; i < 20; ++i) handles.push_back(client.netsl_nb("simwork", work_args()));
+  cluster.value()->kill_agent(0);
+  for (int i = 0; i < 20; ++i) handles.push_back(client.netsl_nb("simwork", work_args()));
+
+  int ok = 0;
+  for (auto& handle : handles) {
+    auto out = handle.wait();
+    EXPECT_TRUE(out.ok()) << out.error().to_string();
+    if (out.ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 40) << "an agent death must be invisible to callers";
+  EXPECT_GE(metrics::counter("client.agent_failover_total").value(), failovers_before + 1);
+}
+
+// ---- degraded direct-to-server calls from the candidate cache ----
+
+TEST(HaDegradedTest, CachedCallsSurviveTotalAgentOutage) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2);
+  config.rating_base = kRating;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+
+  auto client = cluster.value()->make_client();
+  // Warm the per-problem candidate cache while the agent is alive.
+  ASSERT_TRUE(client.netsl("simwork", work_args()).ok());
+
+  cluster.value()->kill_agent(0);
+
+  // The servers are still up; a previously resolved problem keeps working
+  // direct-to-server off the cached ranked list.
+  const auto degraded_before = metrics::counter("client.degraded_calls_total").value();
+  client::CallStats stats;
+  auto out = client.netsl("simwork", work_args(), &stats);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_GE(metrics::counter("client.degraded_calls_total").value(), degraded_before + 1);
+
+  // A problem never resolved before has no cached candidates: with every
+  // agent down it must fail fast with the agent-unavailable verdict.
+  auto cold = client.netsl("busywork", work_args());
+  ASSERT_FALSE(cold.ok());
+  EXPECT_EQ(cold.error().code, ErrorCode::kAgentUnavailable);
+}
+
+// ---- server re-registration heals a restarted agent ----
+
+TEST(HaReregisterTest, RestartedAgentRelearnsServerPool) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2);
+  config.rating_base = kRating;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+
+  cluster.value()->kill_agent(0);
+  ASSERT_TRUE(cluster.value()->restart_agent(0).ok());
+
+  // The restarted agent has an empty registry until the servers' background
+  // re-registration (0.5 s cadence in the testkit) finds it again.
+  const Deadline deadline(10.0);
+  while (cluster.value()->agent(0).stats().alive_servers < 2 && !deadline.expired()) {
+    sleep_seconds(0.02);
+  }
+  EXPECT_EQ(cluster.value()->agent(0).stats().alive_servers, 2u)
+      << "servers must re-register with a rebooted agent without operator help";
+
+  auto client = cluster.value()->make_client();
+  auto out = client.netsl("simwork", work_args());
+  EXPECT_TRUE(out.ok()) << out.error().to_string();
+}
+
+// ---- anti-entropy bootstrap from a federation peer ----
+
+TEST(HaBootstrapTest, RestartedAgentWarmsFromPeer) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(2);
+  // Re-registration is deliberately glacial so the only way the restarted
+  // agent can know the pool this fast is the startup snapshot pull.
+  for (auto& spec : config.servers) spec.reregister_period_s = 60.0;
+  config.agent_count = 2;
+  config.rating_base = kRating;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+
+  const auto bootstrap_before = metrics::counter("agent.bootstrap_entries_total").value();
+  cluster.value()->kill_agent(0);
+  ASSERT_TRUE(cluster.value()->restart_agent(0).ok());
+
+  const Deadline deadline(2.0);
+  while (cluster.value()->agent(0).stats().alive_servers < 1 && !deadline.expired()) {
+    sleep_seconds(0.01);
+  }
+  EXPECT_GE(cluster.value()->agent(0).stats().alive_servers, 1u)
+      << "bootstrap must warm the registry from the surviving peer";
+  EXPECT_GE(metrics::counter("agent.bootstrap_entries_total").value(), bootstrap_before + 1);
+}
+
+// ---- per-peer federation health in AgentStats ----
+
+TEST(HaPeerHealthTest, AgentStatsExposePeerLiveness) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(1);
+  config.agent_count = 2;
+  config.rating_base = kRating;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+
+  const auto peer_alive = [&](bool want) {
+    const Deadline deadline(5.0);
+    while (!deadline.expired()) {
+      const auto stats = cluster.value()->agent(0).stats();
+      if (stats.peers.size() == 1 && stats.peers.front().alive == want) return true;
+      sleep_seconds(0.02);
+    }
+    return false;
+  };
+
+  EXPECT_TRUE(peer_alive(true)) << "periodic sync must mark the peer alive";
+  cluster.value()->kill_agent(1);
+  EXPECT_TRUE(peer_alive(false)) << "failed syncs must mark the peer down";
+}
+
+// ---- overload rejections land on the healthy pool ----
+
+TEST(HaOverloadTest, SaturatedServerRejectsOntoHealthyPool) {
+  testkit::ClusterConfig config;
+  testkit::ClusterServerSpec tiny;
+  tiny.name = "tiny";
+  tiny.workers = 1;
+  tiny.max_queue = 1;
+  // Stale reports + no pending counting keep the agent ranking the (full)
+  // tiny server first, so admission control has to do the redirecting.
+  tiny.report_period_s = 30.0;
+  testkit::ClusterServerSpec big;
+  big.name = "big";
+  big.workers = 4;
+  big.speed = 0.5;  // slower per-job => MCT prefers tiny while it looks idle
+  big.report_period_s = 30.0;
+  config.servers = {tiny, big};
+  config.count_pending = false;
+  config.rating_base = kRating;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+
+  const auto rejected_before = metrics::counter("server.rejected_total").value();
+  const auto retries_before = metrics::counter("client.retries_total").value();
+
+  auto client = cluster.value()->make_client();
+  std::vector<client::RequestHandle> handles;
+  for (int i = 0; i < 10; ++i) handles.push_back(client.netsl_nb("simwork", work_args()));
+  for (auto& handle : handles) {
+    auto out = handle.wait();
+    EXPECT_TRUE(out.ok()) << out.error().to_string();
+  }
+
+  EXPECT_GE(metrics::counter("server.rejected_total").value(), rejected_before + 1)
+      << "the saturated server must shed with SERVER_OVERLOADED, not queue";
+  EXPECT_GE(metrics::counter("client.retries_total").value(), retries_before + 1)
+      << "rejected work must be retried, landing on the healthy server";
+}
+
+}  // namespace
+}  // namespace ns

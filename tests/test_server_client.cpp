@@ -240,7 +240,7 @@ TEST_F(FaultToleranceTest, HungServerTimedOutAndRetried) {
   start_cluster(server::FailureSpec::Mode::kHangRequest, 1.0);
   // Short client IO timeout so the hang is detected fast.
   client::ClientConfig cc;
-  cc.agent = cluster_->agent_endpoint();
+  cc.agents = {cluster_->agent_endpoint()};
   cc.io_timeout_s = 0.3;
   client::NetSolveClient client(cc);
   Rng rng(7);
@@ -393,7 +393,7 @@ TEST(SpeedFactorTest, SlowServerTakesProportionallyLonger) {
 
 TEST(ServerValidationTest, BadConfigsRejected) {
   server::ServerConfig config;
-  config.agent = {"127.0.0.1", 1};
+  config.agents = {{"127.0.0.1", 1}};
   config.speed_factor = 0.0;
   EXPECT_FALSE(server::ComputeServer::start(config).ok());
   config.speed_factor = 2.0;
@@ -405,7 +405,7 @@ TEST(ServerValidationTest, BadConfigsRejected) {
 
 TEST(ServerValidationTest, AgentUnreachableFailsStartup) {
   server::ServerConfig config;
-  config.agent = {"127.0.0.1", 1};  // nothing listens on port 1
+  config.agents = {{"127.0.0.1", 1}};  // nothing listens on port 1
   config.rating_override = 100.0;
   auto server = server::ComputeServer::start(config);
   EXPECT_FALSE(server.ok());
