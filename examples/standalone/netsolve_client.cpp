@@ -16,6 +16,11 @@
 //             point host/port at an agent or a server, filter with prefix=,
 //             add json=1 for the machine-readable dump (scrapes the first
 //             configured agent)
+// cmd=drain   gracefully drain the server at host=/port= (rolling restarts):
+//             it stops accepting work, deregisters from its agents, and
+//             finishes or cancels its queue within deadline= seconds
+//             (0 = the server's io timeout); a drained netsolve_server
+//             process exits on its own
 #include <cstdio>
 
 #include "client/client.hpp"
@@ -100,6 +105,18 @@ int cmd_bench(client::NetSolveClient& client, std::size_t n, int calls) {
   return 0;
 }
 
+int cmd_drain(const net::Endpoint& server, double deadline_s) {
+  auto ack = client::drain_server(server, deadline_s);
+  if (!ack.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n", ack.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("drain %s on %s: %u running, %u queued at drain start\n",
+              ack.value().started ? "started" : "already in progress",
+              server.to_string().c_str(), ack.value().running, ack.value().queued);
+  return 0;
+}
+
 int cmd_metrics(const net::Endpoint& peer, const std::string& prefix, bool json) {
   auto snap = client::scrape_metrics(peer, /*timeout_s=*/5.0, prefix);
   if (!snap.ok()) {
@@ -147,6 +164,17 @@ int main(int argc, char** argv) {
     return cmd_metrics(client_config.agents.front(), config.value().get_or("prefix", ""),
                        config.value().get_int_or("json", 0) != 0);
   }
-  std::fprintf(stderr, "unknown cmd '%s' (use list | solve | bench | metrics)\n", cmd.c_str());
+  if (cmd == "drain") {
+    net::Endpoint server;
+    server.host = config.value().get_or("host", "127.0.0.1");
+    server.port = static_cast<std::uint16_t>(config.value().get_int_or("port", 0));
+    if (server.port == 0) {
+      std::fprintf(stderr, "cmd=drain needs the server's port= (and host= if remote)\n");
+      return 2;
+    }
+    return cmd_drain(server, config.value().get_double_or("deadline", 0.0));
+  }
+  std::fprintf(stderr, "unknown cmd '%s' (use list | solve | bench | metrics | drain)\n",
+               cmd.c_str());
   return 2;
 }

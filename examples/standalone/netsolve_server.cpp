@@ -96,8 +96,11 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   const Deadline deadline = runtime > 0 ? Deadline(runtime) : Deadline::never();
   std::uint64_t last_completed = 0;
-  while (g_stop == 0 && !deadline.expired() && !server.value()->crashed()) {
-    sleep_seconds(1.0);
+  // A drained server (cmd=drain from netsolve_client) is quiescent and
+  // deregistered; exiting lets rolling restarts replace the process.
+  while (g_stop == 0 && !deadline.expired() && !server.value()->crashed() &&
+         !server.value()->drained()) {
+    sleep_seconds(0.2);
     const auto completed = server.value()->completed();
     if (completed != last_completed) {
       std::printf("[%s] completed=%llu workload=%.1f\n", server.value()->name().c_str(),

@@ -276,6 +276,15 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
       return true;  // fire-and-forget
     }
 
+    case MessageType::kDeregisterServer: {
+      auto dereg = proto::DeregisterServer::decode(dec);
+      if (dereg.ok() && registry_.deregister(dereg.value().server_id)) {
+        metrics::counter("agent.deregistrations_total").inc();
+        refresh_server_gauges();
+      }
+      return true;  // fire-and-forget, like workload reports
+    }
+
     case MessageType::kQuery: {
       auto query = proto::Query::decode(dec);
       if (!query.ok()) {

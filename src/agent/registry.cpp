@@ -133,6 +133,21 @@ void ServerRegistry::update_workload(const proto::WorkloadReport& report) {
   it->second.pending = 0.0;
 }
 
+bool ServerRegistry::deregister(proto::ServerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = servers_.find(id);
+  if (it == servers_.end()) return false;
+  auto& record = it->second;
+  record.alive = false;
+  // Fresh timestamp: sync entries carry age = now - last contact, so peers
+  // prefer this deliberate deadness over their own stale "alive" view.
+  record.last_report_time = now_seconds();
+  record.pending = 0.0;
+  NS_INFO("agent") << "server " << record.name << " id=" << id
+                   << " deregistered (draining)";
+  return true;
+}
+
 void ServerRegistry::record_failure(proto::ServerId id) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = servers_.find(id);

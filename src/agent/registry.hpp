@@ -118,6 +118,13 @@ class ServerRegistry {
   /// server the agent already dropped).
   void update_workload(const proto::WorkloadReport& report);
 
+  /// Server announced it is draining (graceful shutdown): drop it from
+  /// rankings immediately. The record stays, marked dead with a fresh
+  /// timestamp, so federation sync propagates the deadness instead of
+  /// letting a stale peer entry resurrect it; a registration from a new
+  /// incarnation fully revives it. Returns false for unknown ids.
+  bool deregister(proto::ServerId id);
+
   /// Client reported a failed interaction; marks the server dead once
   /// consecutive failures reach the configured threshold.
   void record_failure(proto::ServerId id);

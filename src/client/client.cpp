@@ -1,6 +1,7 @@
 #include "client/client.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
@@ -239,6 +240,38 @@ double NetSolveClient::backoff_jitter(double prev_sleep) {
                   backoff_rng_.uniform(config_.backoff_base_s, prev_sleep * 3.0));
 }
 
+double NetSolveClient::hedge_delay_for(const std::string& problem) const {
+  if (config_.hedge_delay_s <= 0.0) return 0.0;
+  const auto& hist = metrics::histogram("client.problem." + problem + ".attempt_s");
+  if (hist.count() < config_.hedge_min_samples) return config_.hedge_delay_s;
+  const double q = hist.percentile(config_.hedge_quantile);
+  return q > 0.0 ? q : config_.hedge_delay_s;
+}
+
+void NetSolveClient::post_cancel_async(const net::Endpoint& peer, std::uint64_t request_id) {
+  begin_background();
+  std::thread([this, peer, request_id] {
+    proto::CancelRequest cancel;
+    cancel.request_id = request_id;
+    post(peer, static_cast<std::uint16_t>(MessageType::kCancelRequest),
+         encode_payload(cancel));
+    end_background();  // last touch of the client
+  }).detach();
+}
+
+void NetSolveClient::begin_background() {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  ++bg_outstanding_;
+}
+
+void NetSolveClient::end_background() {
+  // Notify while holding the lock: the destructor may free the condvar the
+  // instant the count reaches zero and the mutex is released.
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  --bg_outstanding_;
+  bg_cv_.notify_all();
+}
+
 Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
     const std::string& problem, const std::vector<dsl::DataObject>& args, CallStats* stats) {
   const Stopwatch total_watch;
@@ -270,6 +303,15 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
   double backoff_total = 0.0;
   Error last_error = make_error(ErrorCode::kRetriesExhausted, "no attempt made");
 
+  // Hedge attempt spans land when their slot is processed, which can be out
+  // of the start-time order the CallStats contract promises.
+  const auto sort_spans = [&] {
+    std::stable_sort(st.spans.begin(), st.spans.end(),
+                     [](const trace::Span& a, const trace::Span& b) {
+                       return a.start_s < b.start_s;
+                     });
+  };
+
   // Every error return funnels through here so failure counters and the
   // call-latency histogram cover unsuccessful calls, and CallStats carries
   // the attempt/backoff totals even when the call did not complete.
@@ -277,10 +319,55 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
     st.attempts = attempts;
     st.backoff_seconds = backoff_total;
     st.total_seconds = total_watch.elapsed();
+    sort_spans();
     metrics::counter("client.failures_total").inc();
     metrics::histogram("client.call_s").observe(st.total_seconds);
     return err;
   };
+
+  // Success path shared by the plain and hedged attempts.
+  const auto finish_success = [&](const proto::ServerCandidate& cand,
+                                  proto::SolveResult&& result, double attempt_start,
+                                  double io_seconds) {
+    // Reconstruct the winning attempt's hop breakdown: the server reported
+    // how long the request waited in its queue and how long the compute ran;
+    // whatever remains of the measured IO time is transfer. The wire carries
+    // no one-way timings, so the transfer budget is split evenly around the
+    // server-side spans.
+    add_span("client.attempt", attempt_start, io_seconds);
+    const double queue = std::max(result.queue_seconds, 0.0);
+    const double exec = std::max(result.exec_seconds, 0.0);
+    const double half_transfer = std::max(io_seconds - queue - exec, 0.0) / 2.0;
+    add_span("server.queue_wait", attempt_start + half_transfer, queue);
+    add_span("server.compute", attempt_start + half_transfer + queue, exec);
+    add_span("client.result_transfer", attempt_start + half_transfer + queue + exec,
+             half_transfer);
+
+    const std::uint64_t output_bytes = dsl::args_byte_size(result.outputs);
+    const double transfer = std::max(io_seconds - result.exec_seconds, 0.0);
+    report_metrics(cand.server_id, input_bytes + output_bytes, transfer);
+    // Successful attempts only: a straggler's latency says where the timeout
+    // landed, not where the service time lives, and would poison the
+    // quantile the hedge delay is derived from.
+    metrics::histogram("client.problem." + problem + ".attempt_s").observe(io_seconds);
+    st.server_id = cand.server_id;
+    st.server_name = cand.server_name;
+    st.predicted_seconds = cand.predicted_seconds;
+    st.total_seconds = total_watch.elapsed();
+    st.exec_seconds = result.exec_seconds;
+    st.transfer_seconds = transfer;
+    st.input_bytes = input_bytes;
+    st.output_bytes = output_bytes;
+    st.attempts = attempts;
+    st.backoff_seconds = backoff_total;
+    sort_spans();
+    metrics::histogram("client.call_s").observe(st.total_seconds);
+    return std::move(result.outputs);
+  };
+
+  // Hedge delay for this call (0 = hedging off): the observed per-problem
+  // latency quantile once warmed up, else the configured static delay.
+  const double hedge_delay = hedge_delay_for(problem);
 
   // Budgeted calls retry until the deadline, not a fixed attempt count; a
   // budget of time is what the caller actually has to spend.
@@ -344,8 +431,11 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
           make_error(ErrorCode::kNoServer, "agent returned no candidates for " + problem));
     }
 
-    for (const auto& candidate : list.value().candidates) {
+    const auto& candidates = list.value().candidates;
+    std::size_t ci = 0;
+    while (ci < candidates.size()) {
       if (out_of_budget()) break;
+      const auto& candidate = candidates[ci];
       ++attempts;
       metrics::counter("client.attempts_total").inc();
       if (attempts > 1) metrics::counter("client.retries_total").inc();
@@ -364,64 +454,179 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
       }
       request.deadline_s = budgeted ? deadline.remaining() : 0.0;
 
-      const double attempt_start = total_watch.elapsed();
-      double io_seconds = 0.0;
-      auto result = attempt(candidate, request, &io_seconds);
+      if (hedge_delay <= 0.0 || ci + 1 >= candidates.size()) {
+        // ---- plain attempt (hedging off, or no backup candidate) ----
+        ++ci;
+        const double attempt_start = total_watch.elapsed();
+        double io_seconds = 0.0;
+        auto result = attempt(candidate, request, &io_seconds);
 
-      if (!result.ok()) {
-        // Transport-level failure: blacklist and move on.
-        add_span("client.attempt", attempt_start, total_watch.elapsed() - attempt_start);
-        NS_DEBUG("client") << "attempt on " << candidate.server_name
-                           << " failed: " << result.error().to_string();
-        last_error = result.error();
-        report_failure(candidate.server_id, result.error().code);
-        if (!is_retryable(result.error().code)) return fail(result.error());
-        continue;
-      }
-
-      const auto code = static_cast<ErrorCode>(result.value().error_code);
-      if (code != ErrorCode::kOk) {
-        add_span("client.attempt", attempt_start, io_seconds);
-        Error err = make_error(code, result.value().error_message);
-        if (is_retryable(code)) {
-          NS_DEBUG("client") << "server " << candidate.server_name
-                             << " replied failure: " << err.to_string();
-          last_error = std::move(err);
-          report_failure(candidate.server_id, code);
+        if (!result.ok()) {
+          // Transport-level failure: blacklist and move on.
+          add_span("client.attempt", attempt_start, total_watch.elapsed() - attempt_start);
+          NS_DEBUG("client") << "attempt on " << candidate.server_name
+                             << " failed: " << result.error().to_string();
+          last_error = result.error();
+          report_failure(candidate.server_id, result.error().code);
+          if (!is_retryable(result.error().code)) return fail(result.error());
           continue;
         }
-        return fail(std::move(err));  // the request itself is bad; retrying cannot help
+
+        const auto code = static_cast<ErrorCode>(result.value().error_code);
+        if (code != ErrorCode::kOk) {
+          add_span("client.attempt", attempt_start, io_seconds);
+          Error err = make_error(code, result.value().error_message);
+          if (is_retryable(code)) {
+            NS_DEBUG("client") << "server " << candidate.server_name
+                               << " replied failure: " << err.to_string();
+            last_error = std::move(err);
+            report_failure(candidate.server_id, code);
+            continue;
+          }
+          return fail(std::move(err));  // the request itself is bad; retrying cannot help
+        }
+        return finish_success(candidate, std::move(result.value()), attempt_start,
+                              io_seconds);
       }
 
-      // Success. Reconstruct the winning attempt's hop breakdown: the server
-      // reported how long the request waited in its queue and how long the
-      // compute ran; whatever remains of the measured IO time is transfer.
-      // The wire carries no one-way timings, so the transfer budget is split
-      // evenly around the server-side spans.
-      add_span("client.attempt", attempt_start, io_seconds);
-      const double queue = std::max(result.value().queue_seconds, 0.0);
-      const double exec = std::max(result.value().exec_seconds, 0.0);
-      const double half_transfer = std::max(io_seconds - queue - exec, 0.0) / 2.0;
-      add_span("server.queue_wait", attempt_start + half_transfer, queue);
-      add_span("server.compute", attempt_start + half_transfer + queue, exec);
-      add_span("client.result_transfer", attempt_start + half_transfer + queue + exec,
-               half_transfer);
+      // ---- hedged race ----
+      //
+      // Launch the primary now; if it is still outstanding after the hedge
+      // delay, race a backup on the next-ranked candidate. First result
+      // wins; the loser is actively cancelled (fire-and-forget CANCEL) so
+      // it stops burning a remote worker slot. Losing attempts never touch
+      // the retry bookkeeping — they are discarded, not failures.
+      struct Slot {
+        proto::ServerCandidate candidate;
+        double start = 0.0;
+        double io_seconds = 0.0;
+        std::optional<Result<proto::SolveResult>> result;
+        bool processed = false;
+      };
+      struct Race {
+        std::mutex mu;
+        std::condition_variable cv;
+      };
+      auto race = std::make_shared<Race>();
+      std::vector<std::shared_ptr<Slot>> slots;
 
-      const std::uint64_t output_bytes = dsl::args_byte_size(result.value().outputs);
-      const double transfer = std::max(io_seconds - result.value().exec_seconds, 0.0);
-      report_metrics(candidate.server_id, input_bytes + output_bytes, transfer);
-      st.server_id = candidate.server_id;
-      st.server_name = candidate.server_name;
-      st.predicted_seconds = candidate.predicted_seconds;
-      st.total_seconds = total_watch.elapsed();
-      st.exec_seconds = result.value().exec_seconds;
-      st.transfer_seconds = transfer;
-      st.input_bytes = input_bytes;
-      st.output_bytes = output_bytes;
-      st.attempts = attempts;
-      st.backoff_seconds = backoff_total;
-      metrics::histogram("client.call_s").observe(st.total_seconds);
-      return std::move(result.value().outputs);
+      const auto launch = [&](const proto::ServerCandidate& cand) {
+        auto slot = std::make_shared<Slot>();
+        slot->candidate = cand;
+        slot->start = total_watch.elapsed();
+        slots.push_back(slot);
+        proto::SolveRequest req = request;
+        req.deadline_s = budgeted ? deadline.remaining() : 0.0;
+        begin_background();
+        std::thread([this, race, slot, req = std::move(req)] {
+          double io = 0.0;
+          auto r = attempt(slot->candidate, req, &io);
+          {
+            std::lock_guard<std::mutex> lock(race->mu);
+            slot->io_seconds = io;
+            slot->result.emplace(std::move(r));
+          }
+          race->cv.notify_all();
+          end_background();  // last touch of the client
+        }).detach();
+      };
+      // Cancel every slot still in flight (the winner is already out).
+      const auto cancel_losers = [&] {
+        std::lock_guard<std::mutex> lock(race->mu);
+        for (const auto& s : slots) {
+          if (s->result.has_value()) continue;
+          metrics::counter("client.cancel_sent_total").inc();
+          post_cancel_async(s->candidate.endpoint, request.request_id);
+        }
+      };
+
+      launch(candidate);
+      bool hedge_launched = false;
+      const Deadline hedge_at(hedge_delay);
+      std::size_t consumed = 1;
+
+      for (;;) {
+        std::shared_ptr<Slot> done;
+        {
+          std::unique_lock<std::mutex> lock(race->mu);
+          const auto next_done = [&]() -> std::shared_ptr<Slot> {
+            for (const auto& s : slots) {
+              if (s->result.has_value() && !s->processed) return s;
+            }
+            return nullptr;
+          };
+          if (!hedge_launched) {
+            const bool finished = race->cv.wait_for(
+                lock, std::chrono::duration<double>(std::max(hedge_at.remaining(), 0.0)),
+                [&] { return next_done() != nullptr; });
+            if (!finished) {
+              lock.unlock();
+              // Hedge delay elapsed with the primary still outstanding.
+              hedge_launched = true;
+              st.hedged = true;
+              metrics::counter("client.hedge_total").inc();
+              ++attempts;
+              metrics::counter("client.attempts_total").inc();
+              NS_DEBUG("client") << "hedging " << problem << " on "
+                                 << candidates[ci + 1].server_name << " after "
+                                 << hedge_delay << "s";
+              launch(candidates[ci + 1]);
+              consumed = 2;
+              continue;
+            }
+          } else {
+            race->cv.wait(lock, [&] { return next_done() != nullptr; });
+          }
+          done = next_done();
+          done->processed = true;
+        }
+        // The worker is finished with this slot (established under the
+        // lock); read it freely.
+        const bool was_hedge = done != slots.front();
+        auto result = std::move(*done->result);
+
+        if (!result.ok()) {
+          add_span("client.attempt", done->start, total_watch.elapsed() - done->start);
+          NS_DEBUG("client") << "attempt on " << done->candidate.server_name
+                             << " failed: " << result.error().to_string();
+          last_error = result.error();
+          report_failure(done->candidate.server_id, result.error().code);
+          if (!is_retryable(result.error().code)) {
+            cancel_losers();
+            return fail(result.error());
+          }
+        } else {
+          const auto code = static_cast<ErrorCode>(result.value().error_code);
+          if (code == ErrorCode::kOk) {
+            cancel_losers();
+            if (was_hedge) metrics::counter("client.hedge_wins_total").inc();
+            return finish_success(done->candidate, std::move(result.value()),
+                                  done->start, done->io_seconds);
+          }
+          add_span("client.attempt", done->start, done->io_seconds);
+          Error err = make_error(code, result.value().error_message);
+          if (!is_retryable(code)) {
+            cancel_losers();
+            return fail(std::move(err));
+          }
+          NS_DEBUG("client") << "server " << done->candidate.server_name
+                             << " replied failure: " << err.to_string();
+          last_error = std::move(err);
+          report_failure(done->candidate.server_id, code);
+        }
+
+        // This attempt failed retryably; keep waiting if a sibling is still
+        // racing, otherwise move on down the ranked list.
+        bool more = false;
+        {
+          std::lock_guard<std::mutex> lock(race->mu);
+          for (const auto& s : slots) {
+            if (!s->result.has_value() || !s->processed) more = true;
+          }
+        }
+        if (!more) break;
+      }
+      ci += consumed;
     }
     // Ranked list exhausted; re-query (the agent has fresher liveness data
     // after our failure reports).
@@ -494,6 +699,34 @@ Result<metrics::Snapshot> scrape_metrics(const net::Endpoint& peer, double timeo
   return std::move(dump.value().snapshot);
 }
 
+Result<proto::CancelAck> cancel_request(const net::Endpoint& peer, std::uint64_t request_id,
+                                        double timeout_s) {
+  proto::CancelRequest cancel;
+  cancel.request_id = request_id;
+  auto reply = round_trip(peer, static_cast<std::uint16_t>(MessageType::kCancelRequest),
+                          encode_payload(cancel), timeout_s);
+  if (!reply.ok()) return reply.error();
+  if (reply.value().type != static_cast<std::uint16_t>(MessageType::kCancelAck)) {
+    return make_error(ErrorCode::kProtocol, "expected CancelAck");
+  }
+  serial::Decoder dec(reply.value().payload);
+  return proto::CancelAck::decode(dec);
+}
+
+Result<proto::DrainAck> drain_server(const net::Endpoint& peer, double deadline_s,
+                                     double timeout_s) {
+  proto::DrainRequest drain;
+  drain.deadline_s = deadline_s;
+  auto reply = round_trip(peer, static_cast<std::uint16_t>(MessageType::kDrainRequest),
+                          encode_payload(drain), timeout_s);
+  if (!reply.ok()) return reply.error();
+  if (reply.value().type != static_cast<std::uint16_t>(MessageType::kDrainAck)) {
+    return make_error(ErrorCode::kProtocol, "expected DrainAck");
+  }
+  serial::Decoder dec(reply.value().payload);
+  return proto::DrainAck::decode(dec);
+}
+
 // ---- Non-blocking calls ----
 
 struct RequestHandle::State {
@@ -519,15 +752,17 @@ struct RequestHandle::State {
 };
 
 NetSolveClient::~NetSolveClient() {
-  // A dropped RequestHandle detaches its worker thread, which still runs
-  // netsl() against this client; wait for stragglers before members die.
-  while (nb_outstanding_.load(std::memory_order_acquire) > 0) sleep_seconds(0.001);
+  // A dropped RequestHandle detaches its worker thread, and losing hedge
+  // attempts outlive their call; all of them still run against this client,
+  // so block (condvar, not a spin) until the last one checks out.
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  bg_cv_.wait(lock, [this] { return bg_outstanding_ == 0; });
 }
 
 RequestHandle NetSolveClient::netsl_nb(const std::string& problem,
                                        std::vector<dsl::DataObject> args) {
   auto state = std::make_shared<RequestHandle::State>();
-  nb_outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  begin_background();
   // The worker keeps the state alive; the handle may be destroyed first.
   state->worker = std::thread(
       [this, state, problem, args = std::move(args)]() {
@@ -540,9 +775,9 @@ RequestHandle NetSolveClient::netsl_nb(const std::string& problem,
           state->done = true;
           state->cv.notify_all();
         }
-        // Last touch of the client: after this decrement the destructor may
-        // proceed and `this` may be gone.
-        nb_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+        // Last touch of the client: after this the destructor may proceed
+        // and `this` may be gone.
+        end_background();
       });
   return RequestHandle(std::move(state));
 }

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -83,6 +84,21 @@ struct ClientConfig {
   /// unreachable, calls for cached problems go direct-to-server from it
   /// (counted in client.degraded_calls_total). 0 disables degraded mode.
   double candidate_cache_ttl_s = 30.0;
+
+  // ---- hedged requests (tail-latency armor) ----
+  /// Hedge delay in seconds; 0 disables hedging. When an attempt has been
+  /// outstanding this long, a backup attempt is raced on the next-ranked
+  /// candidate: first result wins and the loser is actively cancelled
+  /// (CANCEL by request id, fire-and-forget). The configured value is the
+  /// static fallback — once the per-problem attempt-latency histogram
+  /// (client.problem.<name>.attempt_s, successes only) has hedge_min_samples
+  /// observations, the delay is its hedge_quantile instead, so hedges fire
+  /// only in the observed tail.
+  double hedge_delay_s = 0.0;
+  /// Quantile of observed attempt latency used as the hedge delay.
+  double hedge_quantile = 0.95;
+  /// Observations required before the quantile replaces the static delay.
+  std::uint64_t hedge_min_samples = 20;
 };
 
 /// Per-call telemetry, filled when the caller passes a stats out-param.
@@ -102,6 +118,9 @@ struct CallStats {
   /// True when the candidate list came from the client's staleness-bounded
   /// cache because no agent was reachable (degraded mode).
   bool degraded = false;
+  /// True when a backup (hedge) attempt was launched for this call,
+  /// whichever attempt ended up winning.
+  bool hedged = false;
   /// Trace id minted for this call (carried to the agent and server).
   trace::TraceId trace_id = trace::kNoTrace;
   /// Per-hop spans of the call in causal order — agent query, scheduling
@@ -117,10 +136,15 @@ class NetSolveClient {
  public:
   explicit NetSolveClient(ClientConfig config)
       : config_(std::move(config)),
+        // request_ids travel to servers, where several clients' ids share one
+        // cancellation table — seed from the trace-id entropy pool so two
+        // clients do not mint colliding id streams.
+        next_request_id_(trace::new_trace_id() | 1),
         backoff_rng_(config_.backoff_seed),
         agent_health_(config_.agents.size()) {}
 
-  /// Waits for netsl_nb workers whose handles were dropped: they reference
+  /// Waits for background workers (netsl_nb calls whose handles were
+  /// dropped, losing hedge attempts, in-flight cancel posts): they reference
   /// this client and would otherwise race its teardown.
   ~NetSolveClient();
 
@@ -183,6 +207,16 @@ class NetSolveClient {
   /// One attempt against one server; transport-level failures are retryable.
   Result<proto::SolveResult> attempt(const proto::ServerCandidate& candidate,
                                      const proto::SolveRequest& request, double* io_seconds);
+  /// The hedge delay for one call: the per-problem attempt-latency quantile
+  /// once enough samples exist, else the configured static delay. 0 = off.
+  double hedge_delay_for(const std::string& problem) const;
+  /// Fire-and-forget CANCEL for `request_id` at `peer`, on a background
+  /// thread so the winning call's return path never blocks on the loser.
+  void post_cancel_async(const net::Endpoint& peer, std::uint64_t request_id);
+  /// Background-worker accounting (netsl_nb workers, hedge attempts, cancel
+  /// posts). end_background() may be the thread's last touch of the client.
+  void begin_background();
+  void end_background();
   void report_failure(proto::ServerId id, ErrorCode code);
   void report_metrics(proto::ServerId id, std::uint64_t bytes, double seconds);
   /// Next decorrelated-jitter sleep given the previous one (thread-safe:
@@ -211,8 +245,11 @@ class NetSolveClient {
   std::vector<AgentHealth> agent_health_;
   std::size_t active_agent_ = 0;
 
-  /// Live netsl_nb workers; the destructor waits for this to drain.
-  std::atomic<int> nb_outstanding_{0};
+  /// Live background workers; the destructor blocks on the condvar until
+  /// this drains (no busy-spin).
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  int bg_outstanding_ = 0;
 
   std::mutex cache_mu_;
   std::map<std::string, CachedCandidates> candidate_cache_;
@@ -250,5 +287,19 @@ class RequestHandle {
 /// endpoint; `prefix` filters entries by name ("" = everything).
 Result<metrics::Snapshot> scrape_metrics(const net::Endpoint& peer, double timeout_s = 5.0,
                                          const std::string& prefix = {});
+
+/// Cancel `request_id` on the server at `peer` and wait for the ack. The
+/// outcome reports how far the request had progressed (queued, running, or
+/// already completed/unknown). Used by operators and tests; the client's own
+/// hedge-loser cancellation is fire-and-forget.
+Result<proto::CancelAck> cancel_request(const net::Endpoint& peer, std::uint64_t request_id,
+                                        double timeout_s = 5.0);
+
+/// Ask the server at `peer` to drain (stop accepting work, finish or cancel
+/// its queue within `deadline_s`, deregister from its agents). Returns the
+/// ack with the server's outstanding-work snapshot; started=false means a
+/// drain was already in progress. The rolling-restart primitive.
+Result<proto::DrainAck> drain_server(const net::Endpoint& peer, double deadline_s = 0.0,
+                                     double timeout_s = 5.0);
 
 }  // namespace ns::client

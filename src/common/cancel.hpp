@@ -1,0 +1,74 @@
+// Cooperative cancellation.
+//
+// A cancel::Token is a shared flag a request owner trips to tell the worker
+// executing that request to stop. Workers do not get interrupted — they
+// *poll*: the long-running linalg kernels (LU factorization, CG/Jacobi/SOR
+// iterations, eigen sweeps) and the synthetic workloads check
+// `cancel::poll()` at their loop heads and unwind with ErrorCode::kCancelled
+// when it fires.
+//
+// Plumbing is thread-local rather than parameter-passed: the server binds
+// the request's token around ProblemRegistry::execute() with a ScopedToken,
+// and any kernel running on that thread — however deep in the call stack —
+// sees it through poll(). This keeps the kernel signatures (and every
+// existing call site) unchanged; the cost of a checkpoint is one
+// thread-local pointer read plus one relaxed atomic load, which is noise
+// next to a single matrix row update.
+//
+// Contract for kernels (see DESIGN.md §12): place checkpoints at iteration
+// granularity — once per pivot column / CG iteration / eigen sweep — not in
+// inner loops; on cancellation return make_error(ErrorCode::kCancelled, …)
+// and leave outputs unpublished. Checkpoints must be safe to hit at any
+// iteration (no partially-released resources).
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace ns::cancel {
+
+class Token {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+using TokenPtr = std::shared_ptr<Token>;
+
+namespace detail {
+inline thread_local const Token* current_token = nullptr;
+}
+
+/// Bind `token` as this thread's current token for the enclosing scope
+/// (nests; the previous binding is restored on destruction).
+class ScopedToken {
+ public:
+  explicit ScopedToken(const Token* token) noexcept : previous_(detail::current_token) {
+    detail::current_token = token;
+  }
+  ~ScopedToken() { detail::current_token = previous_; }
+  ScopedToken(const ScopedToken&) = delete;
+  ScopedToken& operator=(const ScopedToken&) = delete;
+
+ private:
+  const Token* previous_;
+};
+
+/// Checkpoint: has the current thread's request been cancelled?
+/// False when no token is bound (kernels run outside a server unchanged).
+inline bool poll() noexcept {
+  const Token* token = detail::current_token;
+  return token != nullptr && token->cancelled();
+}
+
+/// The error a cancelled kernel unwinds with.
+inline Error cancelled_error(const char* where) {
+  return make_error(ErrorCode::kCancelled, where);
+}
+
+}  // namespace ns::cancel

@@ -36,6 +36,11 @@ bool is_retryable(ErrorCode code) noexcept {
     // A damaged frame says nothing about the request itself; another server
     // (or another attempt) may deliver it intact.
     case ErrorCode::kCorruptFrame:
+    // A cancelled attempt says nothing about the request either: the server
+    // stopped because it was draining (or a hedge raced past it), and a
+    // different server can still produce the answer. The hedging path never
+    // reaches this check for its own losers — it discards them directly.
+    case ErrorCode::kCancelled:
       return true;
     default:
       return false;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/cancel.hpp"
 #include "linalg/blas.hpp"
 
 namespace ns::linalg {
@@ -46,6 +47,7 @@ Result<EigenDecomposition> jacobi_eigen(const Matrix& input, double tol,
   const double threshold = tol * (a.frobenius_norm() + 1e-300);
 
   for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (cancel::poll()) return cancel::cancelled_error("Jacobi eigensolver");
     if (offdiag_norm(a) <= threshold) break;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
@@ -116,6 +118,7 @@ Result<PowerIterationResult> power_iteration(const Matrix& a, Rng& rng, double t
   Vector y(n);
   double lambda_prev = 0.0;
   for (std::size_t it = 1; it <= max_iters; ++it) {
+    if (cancel::poll()) return cancel::cancelled_error("power iteration");
     gemv(1.0, a, x, 0.0, y);
     const double lambda = dot(x, y);  // Rayleigh quotient
     norm = nrm2(y);

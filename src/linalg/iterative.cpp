@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/cancel.hpp"
 #include "linalg/blas.hpp"
 
 namespace ns::linalg {
@@ -41,6 +42,7 @@ Result<IterativeResult> conjugate_gradient(const CsrMatrix& a, const Vector& b,
   double rs_old = dot(r, r);
 
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    if (cancel::poll()) return cancel::cancelled_error("conjugate gradient");
     a.multiply(p, ap);
     const double p_ap = dot(p, ap);
     if (p_ap <= 0.0) {
@@ -85,6 +87,7 @@ Result<IterativeResult> jacobi_solve(const CsrMatrix& a, const Vector& b,
   Vector x_new(n);
   Vector ax(n);
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    if (cancel::poll()) return cancel::cancelled_error("Jacobi solve");
     a.multiply(result.x, ax);
     for (std::size_t i = 0; i < n; ++i) {
       // x_i' = x_i + (b_i - (A x)_i) / a_ii
@@ -134,6 +137,7 @@ Result<IterativeResult> sor_solve(const CsrMatrix& a, const Vector& b,
   Vector ax(n);
 
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    if (cancel::poll()) return cancel::cancelled_error("SOR solve");
     for (std::size_t i = 0; i < n; ++i) {
       double sigma = 0.0;
       for (std::int32_t k = indptr[i]; k < indptr[i + 1]; ++k) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/cancel.hpp"
+
 namespace ns::linalg {
 
 Result<LuFactorization> LuFactorization::factor(Matrix a) {
@@ -13,6 +15,9 @@ Result<LuFactorization> LuFactorization::factor(Matrix a) {
   int sign = 1;
 
   for (std::size_t k = 0; k < n; ++k) {
+    // Cancellation checkpoint at pivot-column granularity: one thread-local
+    // read per O(n^2) trailing update.
+    if (cancel::poll()) return cancel::cancelled_error("LU factorization");
     // Partial pivot: largest |a_ik| for i >= k.
     std::size_t p = k;
     double p_abs = std::abs(a(k, k));

@@ -303,6 +303,76 @@ Result<SolveResult> SolveResult::decode(serial::Decoder& dec) {
   return msg;
 }
 
+void CancelRequest::encode(serial::Encoder& enc) const { enc.put_u64(request_id); }
+
+Result<CancelRequest> CancelRequest::decode(serial::Decoder& dec) {
+  CancelRequest msg;
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  return msg;
+}
+
+void CancelAck::encode(serial::Encoder& enc) const {
+  enc.put_u64(request_id);
+  enc.put_u8(static_cast<std::uint8_t>(outcome));
+}
+
+Result<CancelAck> CancelAck::decode(serial::Decoder& dec) {
+  CancelAck msg;
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  auto outcome = dec.get_u8();
+  if (!outcome.ok()) return outcome.error();
+  if (outcome.value() > static_cast<std::uint8_t>(CancelOutcome::kRunning)) {
+    return make_error(ErrorCode::kProtocol, "bad cancel outcome");
+  }
+  msg.outcome = static_cast<CancelOutcome>(outcome.value());
+  return msg;
+}
+
+void DrainRequest::encode(serial::Encoder& enc) const { enc.put_f64(deadline_s); }
+
+Result<DrainRequest> DrainRequest::decode(serial::Decoder& dec) {
+  DrainRequest msg;
+  auto deadline = dec.get_f64();
+  if (!deadline.ok()) return deadline.error();
+  msg.deadline_s = deadline.value();
+  return msg;
+}
+
+void DrainAck::encode(serial::Encoder& enc) const {
+  enc.put_u8(started ? 1 : 0);
+  enc.put_u32(running);
+  enc.put_u32(queued);
+}
+
+Result<DrainAck> DrainAck::decode(serial::Decoder& dec) {
+  DrainAck msg;
+  auto started = dec.get_u8();
+  if (!started.ok()) return started.error();
+  if (started.value() > 1) return make_error(ErrorCode::kProtocol, "bad drain ack flag");
+  msg.started = started.value() != 0;
+  auto running = dec.get_u32();
+  if (!running.ok()) return running.error();
+  msg.running = running.value();
+  auto queued = dec.get_u32();
+  if (!queued.ok()) return queued.error();
+  msg.queued = queued.value();
+  return msg;
+}
+
+void DeregisterServer::encode(serial::Encoder& enc) const { enc.put_u32(server_id); }
+
+Result<DeregisterServer> DeregisterServer::decode(serial::Decoder& dec) {
+  DeregisterServer msg;
+  auto id = dec.get_u32();
+  if (!id.ok()) return id.error();
+  msg.server_id = id.value();
+  return msg;
+}
+
 void MetricsQuery::encode(serial::Encoder& enc) const { enc.put_string(prefix); }
 
 Result<MetricsQuery> MetricsQuery::decode(serial::Decoder& dec) {

@@ -1,10 +1,12 @@
 // NetSolve wire protocol.
 //
 // One message per frame (see serial/frame.hpp). Three conversations exist:
-//   server <-> agent : RegisterServer/RegisterAck, WorkloadReport, Shutdown
+//   server <-> agent : RegisterServer/RegisterAck, WorkloadReport,
+//                      DeregisterServer, Shutdown
 //   client <-> agent : Query/ServerList, ListProblems/ProblemCatalog,
 //                      FailureReport, MetricsReport
-//   client <-> server: SolveRequest/SolveResult, Ping/Pong
+//   client <-> server: SolveRequest/SolveResult, CancelRequest/CancelAck,
+//                      DrainRequest/DrainAck, Ping/Pong
 //
 // Every message type has encode()/decode() against the portable codec; the
 // decode side never trusts the peer (bounds, tags and enum ranges are
@@ -46,6 +48,11 @@ enum class MessageType : std::uint16_t {
   kMetricsQuery = 19,
   kMetricsDump = 20,
   kSyncPull = 21,
+  kCancelRequest = 22,
+  kCancelAck = 23,
+  kDrainRequest = 24,
+  kDrainAck = 25,
+  kDeregisterServer = 26,
 };
 
 using ServerId = std::uint32_t;
@@ -183,6 +190,65 @@ struct SolveResult {
 
   void encode(serial::Encoder& enc) const;
   static Result<SolveResult> decode(serial::Decoder& dec);
+};
+
+/// Cross-server cancellation: stop working on `request_id` (a hedged
+/// attempt lost the race, or a drain deadline lapsed). Queued jobs are
+/// dropped before compute; in-flight jobs trip their cancellation token and
+/// unwind at the next kernel checkpoint. The original SolveRequest
+/// connection receives a SolveResult carrying kCancelled either way.
+struct CancelRequest {
+  std::uint64_t request_id = 0;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<CancelRequest> decode(serial::Decoder& dec);
+};
+
+/// What the server found when the cancel arrived. kCompleted covers both
+/// "already answered" and "never seen" — either way there is nothing left
+/// to stop.
+enum class CancelOutcome : std::uint8_t { kCompleted = 0, kQueued = 1, kRunning = 2 };
+
+struct CancelAck {
+  std::uint64_t request_id = 0;
+  CancelOutcome outcome = CancelOutcome::kCompleted;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<CancelAck> decode(serial::Decoder& dec);
+};
+
+/// Graceful drain: stop admitting work, let the queue finish (or cancel it
+/// once `deadline_s` lapses), and deregister from every agent. The ack
+/// snapshots the queue at drain start; completion is observable via the
+/// server.draining/server.drained gauges or the daemon exiting.
+struct DrainRequest {
+  /// Budget for in-flight/queued work to finish before it is cancelled
+  /// (0 = use the server's io timeout).
+  double deadline_s = 0.0;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<DrainRequest> decode(serial::Decoder& dec);
+};
+
+struct DrainAck {
+  /// True if this message started the drain; false if one was already
+  /// running (the request is idempotent either way).
+  bool started = false;
+  std::uint32_t running = 0;  // jobs computing at drain start
+  std::uint32_t queued = 0;   // jobs waiting for a worker slot
+
+  void encode(serial::Encoder& enc) const;
+  static Result<DrainAck> decode(serial::Decoder& dec);
+};
+
+/// server -> agent: forget me now (sent to every registered agent when a
+/// drain starts, so traffic is steered away immediately instead of waiting
+/// for report expiry or client failure reports).
+struct DeregisterServer {
+  ServerId server_id = kInvalidServerId;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<DeregisterServer> decode(serial::Decoder& dec);
 };
 
 // ---- observability ----

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cancel.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "dsl/specfile.hpp"
@@ -421,7 +422,13 @@ void register_builtin_problems(dsl::ProblemRegistry& registry, double native_mfl
           return make_error(ErrorCode::kBadArguments, "busywork: mflop out of range");
         }
         const double rate = native_mflops > 0 ? native_mflops : 100.0;
-        busy_spin_seconds(static_cast<double>(mflop) / rate);
+        // Spin in slices with cancellation checkpoints between them, so a
+        // cancelled request releases its worker slot mid-spin.
+        double remaining = static_cast<double>(mflop) / rate;
+        while (remaining > 0.0) {
+          if (cancel::poll()) return cancel::cancelled_error("busywork");
+          remaining -= busy_spin_seconds(std::min(remaining, 0.01));
+        }
         return Args{DataObject(mflop)};
       });
 
@@ -439,7 +446,14 @@ void register_builtin_problems(dsl::ProblemRegistry& registry, double native_mfl
           return make_error(ErrorCode::kBadArguments, "simwork: mflop out of range");
         }
         const double rate = native_mflops > 0 ? native_mflops : 100.0;
-        sleep_seconds(static_cast<double>(mflop) / rate);
+        // Sleep in slices with cancellation checkpoints between them: the
+        // chaos/drain tests cancel in-flight simwork and expect the worker
+        // slot back promptly.
+        const Deadline done(static_cast<double>(mflop) / rate);
+        while (!done.expired()) {
+          if (cancel::poll()) return cancel::cancelled_error("simwork");
+          sleep_seconds(std::min(0.01, done.remaining()));
+        }
         return Args{DataObject(mflop)};
       });
 }

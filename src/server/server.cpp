@@ -83,9 +83,15 @@ ComputeServer::ServerMetrics::ServerMetrics(const std::string& name)
       completed(metrics::counter("server.completed_total")),
       shed(metrics::counter("server.shed_total")),
       rejected(metrics::counter("server.rejected_total")),
+      exec_errors(metrics::counter("server.exec_errors_total")),
+      cancelled_queued(metrics::counter("server.cancelled_queued_total")),
+      cancelled_running(metrics::counter("server.cancelled_running_total")),
+      cancel_requests(metrics::counter("server.cancel_requests_total")),
+      drain_rejected(metrics::counter("server.drain_rejected_total")),
       queue_wait_s(metrics::histogram("server.queue_wait_s")),
       compute_s(metrics::histogram("server.compute_s")),
-      queue_depth(metrics::gauge("server." + name + ".queue_depth")) {}
+      queue_depth(metrics::gauge("server." + name + ".queue_depth")),
+      draining(metrics::gauge("server." + name + ".draining")) {}
 
 ComputeServer::ComputeServer(ServerConfig config, net::TcpListener listener,
                              double rated_mflops)
@@ -142,6 +148,7 @@ Status ComputeServer::register_link(AgentLink& link, std::vector<net::Endpoint>*
 }
 
 void ComputeServer::maintain_registrations() {
+  std::lock_guard<std::mutex> links_lock(links_mu_);
   const double now = now_seconds();
   std::vector<net::Endpoint> discovered;
   for (auto& link : agent_links_) {
@@ -231,6 +238,39 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
                               encode_payload(dump));
       continue;
     }
+    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kCancelRequest)) {
+      serial::Decoder cancel_dec(msg.value().payload);
+      auto cancel = proto::CancelRequest::decode(cancel_dec);
+      if (!cancel.ok()) return;  // protocol violation: drop
+      metrics_.cancel_requests.inc();
+      proto::CancelAck ack;
+      ack.request_id = cancel.value().request_id;
+      ack.outcome = cancel_jobs(cancel.value().request_id);
+      {
+        // Lock-then-notify so a queued job that checked its token just
+        // before blocking cannot miss the wakeup.
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+      }
+      jobs_cv_.notify_all();
+      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kCancelAck),
+                              encode_payload(ack));
+      continue;
+    }
+    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kDrainRequest)) {
+      serial::Decoder drain_dec(msg.value().payload);
+      auto drain_msg = proto::DrainRequest::decode(drain_dec);
+      if (!drain_msg.ok()) return;  // protocol violation: drop
+      proto::DrainAck ack;
+      {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        ack.running = static_cast<std::uint32_t>(running_jobs_);
+        ack.queued = static_cast<std::uint32_t>(waiting_jobs_);
+      }
+      ack.started = start_drain(drain_msg.value().deadline_s);
+      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kDrainAck),
+                              encode_payload(ack));
+      continue;
+    }
     if (msg.value().type != static_cast<std::uint16_t>(MessageType::kSolveRequest)) {
       return;  // protocol violation: drop
     }
@@ -282,11 +322,39 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
 
     // Acquire a worker slot; waiting requests count toward workload.
     metrics_.requests.inc();
+    if (draining_.load()) {
+      // Retryable: the client's failover moves this request to another
+      // server, which is the whole point of draining.
+      drain_rejected_.fetch_add(1);
+      metrics_.drain_rejected.inc();
+      result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+      result.error_message = "server draining";
+      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
+                              encode_payload(result), config_.link);
+      continue;
+    }
+    // Visible to CANCEL and the drain sweep from admission to reply.
+    auto job = std::make_shared<ActiveJob>();
+    {
+      std::lock_guard<std::mutex> lock(active_jobs_mu_);
+      active_jobs_.emplace(result.request_id, job);
+    }
+    const auto erase_job = [this, &job, id = result.request_id] {
+      std::lock_guard<std::mutex> lock(active_jobs_mu_);
+      auto [it, end] = active_jobs_.equal_range(id);
+      for (; it != end; ++it) {
+        if (it->second == job) {
+          active_jobs_.erase(it);
+          break;
+        }
+      }
+    };
     const Stopwatch queue_watch;
     {
       std::unique_lock<std::mutex> lock(jobs_mu_);
       if (config_.max_queue > 0 && waiting_jobs_ >= config_.max_queue) {
         lock.unlock();
+        erase_job();
         metrics_.rejected.inc();
         result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
         result.error_message = "admission control: queue full";
@@ -296,11 +364,33 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
       }
       ++waiting_jobs_;
       metrics_.queue_depth.set(waiting_jobs_);
-      jobs_cv_.wait(lock, [this] { return running_jobs_ < config_.workers || stopping_.load(); });
+      jobs_cv_.wait(lock, [this, &job] {
+        return running_jobs_ < config_.workers || stopping_.load() || job->token.cancelled();
+      });
       --waiting_jobs_;
       metrics_.queue_depth.set(waiting_jobs_);
-      if (stopping_.load()) return;
+      if (stopping_.load()) {
+        lock.unlock();
+        erase_job();
+        return;
+      }
+      if (job->token.cancelled()) {
+        // Cancelled while queued: checked before taking the slot so a
+        // cancel can never also count as a shed or a completion.
+        lock.unlock();
+        erase_job();
+        cancelled_queued_.fetch_add(1);
+        metrics_.cancelled_queued.inc();
+        NS_DEBUG("server") << config_.name << " dropped queued request "
+                           << result.request_id << " (cancelled)";
+        result.error_code = static_cast<std::uint16_t>(ErrorCode::kCancelled);
+        result.error_message = "cancelled while queued";
+        (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
+                                encode_payload(result), config_.link);
+        continue;
+      }
       ++running_jobs_;
+      job->queued.store(false);
     }
     const double queue_wait = queue_watch.elapsed();
     result.queue_seconds = queue_wait;
@@ -319,6 +409,7 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
         --running_jobs_;
         jobs_cv_.notify_one();
       }
+      erase_job();
       shed_.fetch_add(1);
       metrics_.shed.inc();
       NS_DEBUG("server") << config_.name << " shed request " << result.request_id
@@ -331,21 +422,35 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
     }
 
     const Stopwatch watch;
-    auto outputs = registry_.execute(request.value().problem, request.value().args);
+    Result<std::vector<dsl::DataObject>> outputs = [&] {
+      // Bind the job's token for this thread: the kernels' checkpoints (and
+      // the simwork/busywork slices) poll it and unwind with kCancelled.
+      cancel::ScopedToken bound(&job->token);
+      return registry_.execute(request.value().problem, request.value().args);
+    }();
     double elapsed = watch.elapsed();
     // Heterogeneity emulation: a speed-s server takes 1/s as long, and a
     // synthetic background load of L competing jobs stretches service by
-    // (1 + L) under processor sharing.
+    // (1 + L) under processor sharing. Sliced so a cancel (or stop) does not
+    // have to wait out a long stretch.
     const double bg = background_load_.load();
     const double stretch = (1.0 / config_.speed_factor) * (1.0 + std::max(bg, 0.0)) - 1.0;
-    if (stretch > 0.0) {
-      const double extra = elapsed * stretch;
-      if (config_.slowdown_mode == SlowdownMode::kSpin) {
-        elapsed += busy_spin_seconds(extra);
-      } else {
-        const Stopwatch extra_watch;
-        sleep_seconds(extra);
-        elapsed += extra_watch.elapsed();
+    if (stretch > 0.0 && outputs.ok()) {
+      double extra = elapsed * stretch;
+      while (extra > 0.0 && !stopping_.load()) {
+        if (job->token.cancelled()) {
+          outputs = cancel::cancelled_error("service-time stretch");
+          break;
+        }
+        const double slice = std::min(extra, 0.01);
+        if (config_.slowdown_mode == SlowdownMode::kSpin) {
+          elapsed += busy_spin_seconds(slice);
+        } else {
+          const Stopwatch extra_watch;
+          sleep_seconds(slice);
+          elapsed += extra_watch.elapsed();
+        }
+        extra -= slice;
       }
     }
 
@@ -354,6 +459,7 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
       --running_jobs_;
       jobs_cv_.notify_one();
     }
+    erase_job();
 
     result.exec_seconds = elapsed;
     metrics_.compute_s.observe(elapsed);
@@ -363,7 +469,17 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
       result.outputs = std::move(outputs).value();
       completed_.fetch_add(1);
       metrics_.completed.inc();
+    } else if (outputs.error().code == ErrorCode::kCancelled) {
+      // The partial outputs died with the kernel's stack frame; nothing of
+      // the cancelled attempt is published.
+      cancelled_running_.fetch_add(1);
+      metrics_.cancelled_running.inc();
+      NS_DEBUG("server") << config_.name << " cancelled running request "
+                         << result.request_id << " after " << elapsed << "s";
+      result.error_code = static_cast<std::uint16_t>(ErrorCode::kCancelled);
+      result.error_message = outputs.error().message;
     } else {
+      metrics_.exec_errors.inc();
       result.error_code = static_cast<std::uint16_t>(outputs.error().code);
       result.error_message = outputs.error().message;
     }
@@ -383,6 +499,7 @@ double ComputeServer::current_workload() const {
 void ComputeServer::send_workload_report(double workload) {
   // Fan out to every agent we ever registered with; ids are agent-local so
   // each link carries its own. A dead agent costs one fast refused connect.
+  std::lock_guard<std::mutex> links_lock(links_mu_);
   for (const auto& link : agent_links_) {
     if (link.id == proto::kInvalidServerId) continue;
     auto conn = net::TcpConnection::connect(link.endpoint, 1.0);
@@ -400,14 +517,19 @@ void ComputeServer::send_workload_report(double workload) {
 void ComputeServer::report_loop() {
   double last_sent = -1e300;  // force an initial report
   while (!stopping_.load()) {
-    // Agent-restart resilience: refresh due registrations (idempotent at the
-    // agent; a rebooted agent re-learns us this way) and keep retrying
-    // agents that were down at startup.
-    maintain_registrations();
-    const double workload = current_workload();
-    if (std::abs(workload - last_sent) >= config_.report_threshold || last_sent == -1e300) {
-      send_workload_report(workload);
-      last_sent = workload;
+    // A draining server has deregistered: re-registering or reporting load
+    // would resurrect its record and pull traffic back in.
+    if (!draining_.load()) {
+      // Agent-restart resilience: refresh due registrations (idempotent at
+      // the agent; a rebooted agent re-learns us this way) and keep retrying
+      // agents that were down at startup.
+      maintain_registrations();
+      const double workload = current_workload();
+      if (std::abs(workload - last_sent) >= config_.report_threshold ||
+          last_sent == -1e300) {
+        send_workload_report(workload);
+        last_sent = workload;
+      }
     }
     // Sleep in small steps so stop() is prompt.
     const Deadline next(config_.report_period_s);
@@ -424,6 +546,97 @@ void ComputeServer::inject_failure(const FailureSpec& failure) {
 
 void ComputeServer::set_background_load(double load) { background_load_.store(load); }
 
+proto::CancelOutcome ComputeServer::cancel_jobs(std::uint64_t request_id) {
+  // request_ids are client-minted: trip every job carrying the id and report
+  // the most-advanced state found. An unknown id reports kCompleted — the
+  // reply already left (or never arrived), so there is nothing to reclaim.
+  std::lock_guard<std::mutex> lock(active_jobs_mu_);
+  auto outcome = proto::CancelOutcome::kCompleted;
+  auto [it, end] = active_jobs_.equal_range(request_id);
+  for (; it != end; ++it) {
+    it->second->token.cancel();
+    if (!it->second->queued.load()) {
+      outcome = proto::CancelOutcome::kRunning;
+    } else if (outcome == proto::CancelOutcome::kCompleted) {
+      outcome = proto::CancelOutcome::kQueued;
+    }
+  }
+  return outcome;
+}
+
+void ComputeServer::deregister_from_agents() {
+  std::lock_guard<std::mutex> links_lock(links_mu_);
+  for (const auto& link : agent_links_) {
+    if (link.id == proto::kInvalidServerId) continue;
+    auto conn = net::TcpConnection::connect(link.endpoint, 1.0);
+    if (!conn.ok()) continue;  // dead agent already thinks we are gone
+    proto::DeregisterServer msg;
+    msg.server_id = link.id;
+    (void)net::send_message(conn.value(),
+                            static_cast<std::uint16_t>(MessageType::kDeregisterServer),
+                            encode_payload(msg));
+  }
+}
+
+bool ComputeServer::start_drain(double deadline_s) {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return false;
+  metrics_.draining.set(1.0);
+  NS_INFO("server") << config_.name << " draining (deadline "
+                    << (deadline_s > 0.0 ? deadline_s : config_.io_timeout_s) << "s)";
+  drain_thread_ = std::thread([this, deadline_s] { drain_work(deadline_s); });
+  return true;
+}
+
+void ComputeServer::drain(double deadline_s) {
+  start_drain(deadline_s);
+  while (!drained_.load() && !stopping_.load()) sleep_seconds(0.005);
+}
+
+void ComputeServer::drain_work(double deadline_s) {
+  // Steer traffic away first: new arrivals are already being rejected
+  // (draining_ is set), and deregistering drops us from every agent's
+  // ranking so clients stop being sent here at all.
+  deregister_from_agents();
+
+  const double budget = deadline_s > 0.0 ? deadline_s : config_.io_timeout_s;
+  const Deadline deadline(budget);
+  auto quiescent = [this] {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    return running_jobs_ + waiting_jobs_ == 0;
+  };
+  while (!quiescent() && !deadline.expired() && !stopping_.load()) {
+    sleep_seconds(0.02);
+  }
+
+  if (!quiescent()) {
+    // Deadline lapsed: cancel everything still in flight. The owning
+    // connection threads unwind through their checkpoints and reply
+    // kCancelled (retryable — the work moves to another server).
+    std::size_t tripped = 0;
+    {
+      std::lock_guard<std::mutex> lock(active_jobs_mu_);
+      for (auto& [id, job] : active_jobs_) {
+        job->token.cancel();
+        ++tripped;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+    }
+    jobs_cv_.notify_all();
+    NS_WARN("server") << config_.name << " drain deadline lapsed; cancelled " << tripped
+                      << " outstanding job(s)";
+    const Deadline grace(config_.io_timeout_s);
+    while (!quiescent() && !grace.expired() && !stopping_.load()) {
+      sleep_seconds(0.01);
+    }
+  }
+
+  drained_.store(true);
+  NS_INFO("server") << config_.name << " drained";
+}
+
 void ComputeServer::stop() {
   // Single flow whether the stop is local or was flagged by an injected
   // crash: flag, join the accept loop (it owns and closes the listener;
@@ -436,6 +649,7 @@ void ComputeServer::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.close();
   if (report_thread_.joinable()) report_thread_.join();
+  if (drain_thread_.joinable()) drain_thread_.join();
   const Deadline deadline(config_.io_timeout_s + 1.0);
   while (active_connections_.load() > 0 && !deadline.expired()) {
     sleep_seconds(0.001);

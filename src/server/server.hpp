@@ -19,12 +19,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
@@ -133,8 +135,33 @@ class ComputeServer {
   std::uint64_t completed() const noexcept { return completed_.load(); }
   /// Requests shed because their deadline budget lapsed before execution.
   std::uint64_t shed() const noexcept { return shed_.load(); }
+  /// Requests cancelled while still waiting for a worker slot.
+  std::uint64_t cancelled_queued() const noexcept { return cancelled_queued_.load(); }
+  /// Requests cancelled mid-compute (kernel checkpoint unwound).
+  std::uint64_t cancelled_running() const noexcept { return cancelled_running_.load(); }
+  /// New requests refused because the server was draining.
+  std::uint64_t drain_rejected() const noexcept { return drain_rejected_.load(); }
   /// Current workload as would be reported (running + waiting + background).
   double current_workload() const;
+
+  // ---- graceful drain (rolling restarts) ----
+  //
+  // State machine: serving -> draining -> drained. Entering `draining`
+  // deregisters from every agent (traffic steers away immediately) and
+  // rejects new SolveRequests with a retryable SERVER_OVERLOADED; queued and
+  // in-flight jobs get `deadline_s` (default: the io timeout) to finish,
+  // then anything still outstanding is cancelled through its token. The
+  // listener stays up throughout — pings, metrics scrapes and CANCELs are
+  // still served — so `drained` means "quiescent", not "stopped"; call
+  // stop() (or exit the process) afterwards.
+
+  /// Start draining without blocking. Returns true if this call initiated
+  /// the drain, false if one was already running (idempotent).
+  bool start_drain(double deadline_s = 0.0);
+  /// Drain and block until quiescent.
+  void drain(double deadline_s = 0.0);
+  bool draining() const noexcept { return draining_.load(); }
+  bool drained() const noexcept { return drained_.load(); }
 
   /// Stop serving and wait for in-flight work to drain.
   void stop();
@@ -151,9 +178,26 @@ class ComputeServer {
     metrics::Counter& completed;
     metrics::Counter& shed;
     metrics::Counter& rejected;
+    metrics::Counter& exec_errors;
+    metrics::Counter& cancelled_queued;
+    metrics::Counter& cancelled_running;
+    metrics::Counter& cancel_requests;
+    metrics::Counter& drain_rejected;
     metrics::Histogram& queue_wait_s;
     metrics::Histogram& compute_s;
     metrics::Gauge& queue_depth;
+    metrics::Gauge& draining;
+  };
+
+  /// One admitted SolveRequest, visible (keyed by request_id) from its
+  /// admission until its reply: the CANCEL handler and the drain sweep trip
+  /// the token; the owning connection thread polls it while queued (cv
+  /// predicate) and while computing (kernel checkpoints). request_ids are
+  /// client-minted, so collisions across clients are possible — hence a
+  /// multimap; a cancel simply trips every job carrying the id.
+  struct ActiveJob {
+    cancel::Token token;
+    std::atomic<bool> queued{true};
   };
 
   /// One agent this server registers with. `id` is agent-local (each agent
@@ -182,6 +226,14 @@ class ComputeServer {
   void send_workload_report(double workload);
   /// Decide failure injection for one request; returns the triggered mode.
   FailureSpec::Mode roll_failure();
+  /// Trip the token of every active job carrying `request_id`; returns the
+  /// most-advanced state found (running > queued > completed/unknown).
+  proto::CancelOutcome cancel_jobs(std::uint64_t request_id);
+  /// The drain worker: deregister, wait out the queue, cancel stragglers.
+  void drain_work(double deadline_s);
+  /// Fire-and-forget DeregisterServer to every agent this server registered
+  /// with, so rankings exclude it immediately.
+  void deregister_from_agents();
 
   ServerConfig config_;
   net::TcpListener listener_;
@@ -190,12 +242,21 @@ class ComputeServer {
   std::atomic<proto::ServerId> server_id_{proto::kInvalidServerId};
   /// This process lifetime's identity (see proto::RegisterServer).
   std::uint64_t incarnation_ = 0;
+  /// Guards agent_links_: normally report-thread-only, but the drain worker
+  /// reads the link table for its deregistration fan-out.
+  std::mutex links_mu_;
   std::vector<AgentLink> agent_links_;
   Rng reregister_rng_;  // report-thread only
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> crashed_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  std::thread drain_thread_;
   std::atomic<int> active_connections_{0};
+
+  std::mutex active_jobs_mu_;
+  std::multimap<std::uint64_t, std::shared_ptr<ActiveJob>> active_jobs_;
 
   // Worker-pool capacity gate.
   mutable std::mutex jobs_mu_;
@@ -210,6 +271,9 @@ class ComputeServer {
 
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> cancelled_queued_{0};
+  std::atomic<std::uint64_t> cancelled_running_{0};
+  std::atomic<std::uint64_t> drain_rejected_{0};
   ServerMetrics metrics_;
 
   std::thread accept_thread_;

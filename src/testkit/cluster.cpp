@@ -125,6 +125,10 @@ void TestCluster::arm_agent_fault(net::FaultPlan plan) {
 
 void TestCluster::disarm_faults() { net::FaultInjector::instance().disarm_all(); }
 
+Result<proto::DrainAck> TestCluster::drain_server(std::size_t i, double deadline_s) {
+  return client::drain_server(servers_.at(i)->endpoint(), deadline_s);
+}
+
 void TestCluster::kill_server(std::size_t i) { servers_.at(i)->stop(); }
 
 void TestCluster::kill_agent(std::size_t i) {
@@ -209,6 +213,9 @@ client::NetSolveClient TestCluster::make_client(const net::LinkShape& link) cons
   cc.link = link;
   cc.io_timeout_s = config_.io_timeout_s;
   cc.deadline_s = config_.client_deadline_s;
+  cc.hedge_delay_s = config_.client_hedge_delay_s;
+  cc.hedge_quantile = config_.client_hedge_quantile;
+  cc.hedge_min_samples = config_.client_hedge_min_samples;
   return client::NetSolveClient(cc);
 }
 

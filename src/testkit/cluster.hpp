@@ -63,6 +63,12 @@ struct ClusterConfig {
   /// budget, clients retry until it expires and stamp the remaining budget
   /// into every SolveRequest (servers shed expired work).
   double client_deadline_s = 0.0;
+  /// Hedge delay for make_client() clients (0 = hedging off). See
+  /// ClientConfig::hedge_delay_s: static fallback until the per-problem
+  /// latency histogram warms up, then its hedge_quantile drives the delay.
+  double client_hedge_delay_s = 0.0;
+  double client_hedge_quantile = 0.95;
+  std::uint64_t client_hedge_min_samples = 20;
 };
 
 class TestCluster {
@@ -116,6 +122,12 @@ class TestCluster {
   void arm_agent_fault(net::FaultPlan plan);
   /// Remove every armed fault plan process-wide.
   void disarm_faults();
+
+  /// Gracefully drain server i (the rolling-restart chaos hook): it stops
+  /// accepting work, deregisters from every agent, and finishes or cancels
+  /// its queue within `deadline_s` (0 = the server's io timeout). Sent over
+  /// the wire (DRAIN message) like an operator would; returns the ack.
+  Result<proto::DrainAck> drain_server(std::size_t i, double deadline_s = 0.0);
 
   /// Hard-kill server i: listener closed, all connections dropped — the
   /// in-process stand-in for SIGKILL. The agent only learns via failed

@@ -168,6 +168,63 @@ TEST(ProtoTest, CatalogErrorStatsRoundTrip) {
   EXPECT_EQ(back.alive_servers, 2u);
 }
 
+TEST(ProtoTest, CancelAndDrainRoundTrip) {
+  CancelRequest cancel;
+  cancel.request_id = 0x1122334455667788ull;
+  EXPECT_EQ(round_trip(cancel).request_id, 0x1122334455667788ull);
+
+  CancelAck ack;
+  ack.request_id = 42;
+  ack.outcome = CancelOutcome::kRunning;
+  const auto ack_back = round_trip(ack);
+  EXPECT_EQ(ack_back.request_id, 42u);
+  EXPECT_EQ(ack_back.outcome, CancelOutcome::kRunning);
+
+  DrainRequest drain;
+  drain.deadline_s = 2.5;
+  EXPECT_DOUBLE_EQ(round_trip(drain).deadline_s, 2.5);
+
+  DrainAck drain_ack;
+  drain_ack.started = true;
+  drain_ack.running = 3;
+  drain_ack.queued = 7;
+  const auto drain_back = round_trip(drain_ack);
+  EXPECT_TRUE(drain_back.started);
+  EXPECT_EQ(drain_back.running, 3u);
+  EXPECT_EQ(drain_back.queued, 7u);
+
+  DeregisterServer dereg;
+  dereg.server_id = 0xfeedu;
+  EXPECT_EQ(round_trip(dereg).server_id, 0xfeedu);
+}
+
+TEST(ProtoTest, CancelAckRejectsUnknownOutcome) {
+  CancelAck ack;
+  ack.request_id = 1;
+  ack.outcome = CancelOutcome::kQueued;
+  auto bytes = encode_msg(ack);
+  // The outcome byte is the last field; force it out of range.
+  bytes.back() = 0x7f;
+  serial::Decoder dec(bytes);
+  auto back = CancelAck::decode(dec);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, ErrorCode::kProtocol);
+}
+
+// The cancelled error code travels the same SolveResult path as every other
+// failure; a kCancelled reply must survive the wire (the hedging client's
+// loser accounting depends on it).
+TEST(ProtoTest, SolveResultCarriesCancelled) {
+  SolveResult msg;
+  msg.request_id = 9;
+  msg.error_code = static_cast<std::uint16_t>(ErrorCode::kCancelled);
+  msg.error_message = "cancelled while queued";
+  const auto back = round_trip(msg);
+  EXPECT_EQ(static_cast<ErrorCode>(back.error_code), ErrorCode::kCancelled);
+  // A cancelled attempt says nothing about the request itself: retryable.
+  EXPECT_TRUE(is_retryable(ErrorCode::kCancelled));
+}
+
 // ---- hostile input ----
 
 TEST(ProtoFuzzTest, TruncationsNeverCrash) {
@@ -218,6 +275,14 @@ TEST_P(ProtoRandomFuzzTest, RandomBytesProduceCleanErrors) {
     {
       serial::Decoder dec(junk);
       (void)ProblemCatalog::decode(dec);
+    }
+    {
+      serial::Decoder dec(junk);
+      (void)CancelAck::decode(dec);
+    }
+    {
+      serial::Decoder dec(junk);
+      (void)DrainAck::decode(dec);
     }
   }
   SUCCEED();
