@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Build and run the test suite under a sanitizer.
 #
-# Usage: scripts/run_sanitized.sh [address|thread] [ctest args...]
+# Usage: scripts/run_sanitized.sh [address|thread|undefined] [ctest args...]
 #   address (default) = ASan + UBSan
 #   thread            = TSan
+#   undefined         = UBSan alone (near-native speed, no ASan interceptors)
 #
 # Uses a dedicated build directory per sanitizer so sanitized and plain
 # builds never collide. Example:
@@ -15,8 +16,8 @@ set -euo pipefail
 
 SAN="${1:-address}"
 case "$SAN" in
-    address|thread) ;;
-    *) echo "usage: $0 [address|thread] [ctest args...]" >&2; exit 2 ;;
+    address|thread|undefined) ;;
+    *) echo "usage: $0 [address|thread|undefined] [ctest args...]" >&2; exit 2 ;;
 esac
 if [ "$#" -gt 0 ]; then shift; fi
 

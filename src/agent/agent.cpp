@@ -425,6 +425,8 @@ void Agent::refresh_server_gauges() {
     metrics::gauge(base + "rating_factor").set(record.rating_factor);
     metrics::gauge(base + "workload").set(record.workload);
     metrics::gauge(base + "alive").set(record.alive ? 1.0 : 0.0);
+    metrics::gauge(base + "sojourn_p95_s").set(record.sojourn_p95_s);
+    metrics::gauge(base + "free_slots").set(record.free_slots);
   }
   metrics::gauge("agent.alive_servers").set(static_cast<double>(registry_.alive_count()));
   {

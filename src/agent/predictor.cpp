@@ -39,6 +39,15 @@ double predict_seconds(const ServerRecord& server, const RequestProfile& profile
       t += kPenalty;
     }
   }
+
+  // Saturation steering: a server that reported no free worker slots will
+  // queue this request, and its own measured p95 sojourn is the best
+  // estimate of that wait — better than the workload divisor above, which
+  // models processor sharing, not a bounded worker pool. Servers that
+  // predate the field (free_slots < 0) are left alone.
+  if (server.free_slots >= 0.0 && server.free_slots < 0.5 && server.sojourn_p95_s > 0.0) {
+    t += server.sojourn_p95_s;
+  }
   return t;
 }
 

@@ -43,6 +43,10 @@ struct ServerRecord {
   std::uint64_t completed = 0;      // lifetime completions (from reports)
   double last_report_time = 0.0;    // now_seconds() of last contact
 
+  // Queue pressure piggybacked on workload reports (overload steering).
+  double sojourn_p95_s = 0.0;       // p95 queue sojourn at the server
+  double free_slots = -1.0;         // free worker slots (-1 = not reported)
+
   // Client-observed network estimates, EWMA-updated from MetricsReports.
   double latency_s = 0.0;
   double bandwidth_Bps = 0.0;

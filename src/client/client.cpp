@@ -295,12 +295,17 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
   request.problem = problem;
   request.args = args;
   request.trace_id = st.trace_id;
+  request.client_id = client_id_;
   const std::uint64_t input_bytes = dsl::args_byte_size(args);
   const std::uint64_t size_hint = request_size_hint(args);
 
   int attempts = 0;
   double prev_sleep = config_.backoff_base_s;
   double backoff_total = 0.0;
+  // Cooperative backpressure: a retryable server rejection may carry a
+  // retry_after_s hint; the next backoff honors it (sleeps at least that
+  // long, still clamped into the deadline budget).
+  double pending_retry_after = 0.0;
   Error last_error = make_error(ErrorCode::kRetriesExhausted, "no attempt made");
 
   // Hedge attempt spans land when their slot is processed, which can be out
@@ -441,10 +446,21 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
       if (attempts > 1) metrics::counter("client.retries_total").inc();
 
       // Decorrelated-jitter backoff before every retry (never the first
-      // attempt), clamped to whatever budget remains.
-      if (attempts > 1 && config_.backoff_base_s > 0.0) {
-        prev_sleep = backoff_jitter(prev_sleep);
-        const double sleep_s = std::min(prev_sleep, deadline.remaining());
+      // attempt), clamped to whatever budget remains. A server-issued
+      // retry_after hint raises the floor: the server told us when capacity
+      // is expected, and retrying sooner would just be shed again.
+      if (attempts > 1 && (config_.backoff_base_s > 0.0 || pending_retry_after > 0.0)) {
+        double sleep_s = 0.0;
+        if (config_.backoff_base_s > 0.0) {
+          prev_sleep = backoff_jitter(prev_sleep);
+          sleep_s = prev_sleep;
+        }
+        if (pending_retry_after > sleep_s) {
+          sleep_s = pending_retry_after;
+          metrics::counter("client.retry_after_honored_total").inc();
+        }
+        pending_retry_after = 0.0;
+        sleep_s = std::min(sleep_s, deadline.remaining());
         if (sleep_s > 0.0) {
           sleep_seconds(sleep_s);
           backoff_total += sleep_s;
@@ -479,8 +495,16 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
           if (is_retryable(code)) {
             NS_DEBUG("client") << "server " << candidate.server_name
                                << " replied failure: " << err.to_string();
+            pending_retry_after =
+                std::max(pending_retry_after, result.value().retry_after_s);
             last_error = std::move(err);
-            report_failure(candidate.server_id, code);
+            // An overload rejection is an admission decision by a healthy
+            // server, not a fault: reporting it would quarantine the very
+            // pool that is asking us to back off. The agent learns about the
+            // pressure from the server's own workload reports instead.
+            if (code != ErrorCode::kServerOverloaded) {
+              report_failure(candidate.server_id, code);
+            }
             continue;
           }
           return fail(std::move(err));  // the request itself is bad; retrying cannot help
@@ -611,8 +635,13 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
           }
           NS_DEBUG("client") << "server " << done->candidate.server_name
                              << " replied failure: " << err.to_string();
+          pending_retry_after =
+              std::max(pending_retry_after, result.value().retry_after_s);
           last_error = std::move(err);
-          report_failure(done->candidate.server_id, code);
+          // Overload = backpressure, not a fault (see the plain path above).
+          if (code != ErrorCode::kServerOverloaded) {
+            report_failure(done->candidate.server_id, code);
+          }
         }
 
         // This attempt failed retryably; keep waiting if a sibling is still

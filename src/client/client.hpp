@@ -99,6 +99,11 @@ struct ClientConfig {
   double hedge_quantile = 0.95;
   /// Observations required before the quantile replaces the static delay.
   std::uint64_t hedge_min_samples = 20;
+  /// Client identity stamped into every SolveRequest for the servers'
+  /// per-client fair-share accounting. 0 (default) mints a random id per
+  /// client instance; set explicitly to make several instances share one
+  /// quota bucket (or to pin ids in tests).
+  std::uint64_t client_id = 0;
 };
 
 /// Per-call telemetry, filled when the caller passes a stats out-param.
@@ -140,6 +145,11 @@ class NetSolveClient {
         // cancellation table — seed from the trace-id entropy pool so two
         // clients do not mint colliding id streams.
         next_request_id_(trace::new_trace_id() | 1),
+        // client_id travels to servers for fair-share accounting; minted from
+        // the same entropy pool so two unconfigured clients land in separate
+        // quota buckets.
+        client_id_(config_.client_id != 0 ? config_.client_id
+                                          : (trace::new_trace_id() | 1)),
         backoff_rng_(config_.backoff_seed),
         agent_health_(config_.agents.size()) {}
 
@@ -238,6 +248,7 @@ class NetSolveClient {
 
   ClientConfig config_;
   std::atomic<std::uint64_t> next_request_id_{1};
+  std::uint64_t client_id_ = 0;
   std::mutex backoff_mu_;
   Rng backoff_rng_;
 

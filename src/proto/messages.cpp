@@ -100,6 +100,8 @@ void WorkloadReport::encode(serial::Encoder& enc) const {
   enc.put_u32(server_id);
   enc.put_f64(workload);
   enc.put_u64(completed);
+  enc.put_f64(sojourn_p95_s);
+  enc.put_f64(free_slots);
 }
 
 Result<WorkloadReport> WorkloadReport::decode(serial::Decoder& dec) {
@@ -113,6 +115,15 @@ Result<WorkloadReport> WorkloadReport::decode(serial::Decoder& dec) {
   auto completed = dec.get_u64();
   if (!completed.ok()) return completed.error();
   msg.completed = completed.value();
+  // Queue-pressure fields are a trailing addition: a report from an older
+  // server simply ends here and keeps the "unknown" defaults.
+  if (dec.exhausted()) return msg;
+  auto sojourn = dec.get_f64();
+  if (!sojourn.ok()) return sojourn.error();
+  msg.sojourn_p95_s = sojourn.value();
+  auto slots = dec.get_f64();
+  if (!slots.ok()) return slots.error();
+  msg.free_slots = slots.value();
   return msg;
 }
 
@@ -249,6 +260,7 @@ void SolveRequest::encode(serial::Encoder& enc) const {
   dsl::encode_args(enc, args);
   enc.put_f64(deadline_s);
   enc.put_u64(trace_id);
+  enc.put_u64(client_id);
 }
 
 Result<SolveRequest> SolveRequest::decode(serial::Decoder& dec) {
@@ -268,6 +280,12 @@ Result<SolveRequest> SolveRequest::decode(serial::Decoder& dec) {
   auto trace = dec.get_u64();
   if (!trace.ok()) return trace.error();
   msg.trace_id = trace.value();
+  // client_id is a trailing addition; requests from older clients end here
+  // and stay anonymous (0 = exempt from per-client quotas).
+  if (dec.exhausted()) return msg;
+  auto client = dec.get_u64();
+  if (!client.ok()) return client.error();
+  msg.client_id = client.value();
   return msg;
 }
 
@@ -278,6 +296,7 @@ void SolveResult::encode(serial::Encoder& enc) const {
   dsl::encode_args(enc, outputs);
   enc.put_f64(exec_seconds);
   enc.put_f64(queue_seconds);
+  enc.put_f64(retry_after_s);
 }
 
 Result<SolveResult> SolveResult::decode(serial::Decoder& dec) {
@@ -300,6 +319,12 @@ Result<SolveResult> SolveResult::decode(serial::Decoder& dec) {
   auto queue = dec.get_f64();
   if (!queue.ok()) return queue.error();
   msg.queue_seconds = queue.value();
+  // retry_after_s is a trailing addition; results from older servers end
+  // here and carry no backpressure hint.
+  if (dec.exhausted()) return msg;
+  auto retry_after = dec.get_f64();
+  if (!retry_after.ok()) return retry_after.error();
+  msg.retry_after_s = retry_after.value();
   return msg;
 }
 

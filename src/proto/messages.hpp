@@ -92,6 +92,14 @@ struct WorkloadReport {
   ServerId server_id = kInvalidServerId;
   double workload = 0.0;           // running + queued jobs (plus background)
   std::uint64_t completed = 0;     // lifetime completed request count
+  /// Queue-pressure piggyback (overload control): recent p95 of the time
+  /// jobs spent waiting for a worker slot. Lets the agent steer around a
+  /// saturated server before it starts shedding. Trailing optional field —
+  /// reports from older servers decode with 0.
+  double sojourn_p95_s = 0.0;
+  /// Worker slots currently free (concurrency limit - running). Trailing
+  /// optional field; -1 means "unknown" (an old peer that never sent it).
+  double free_slots = -1.0;
 
   void encode(serial::Encoder& enc) const;
   static Result<WorkloadReport> decode(serial::Decoder& dec);
@@ -173,6 +181,11 @@ struct SolveRequest {
   /// Trace id carried across the client -> server hop so both processes'
   /// span logs correlate (0 = untraced).
   std::uint64_t trace_id = 0;
+  /// Stable identity of the submitting client process, used by the server's
+  /// per-client fair-share accounting: when the queue is contended, no
+  /// client may hold more than its quota of waiting slots. Trailing optional
+  /// field; 0 (old peers) is exempt from quota enforcement.
+  std::uint64_t client_id = 0;
 
   void encode(serial::Encoder& enc) const;
   static Result<SolveRequest> decode(serial::Decoder& dec);
@@ -187,6 +200,11 @@ struct SolveResult {
   /// Time the request waited for a worker slot before computing — the
   /// "server queue wait" hop of the request trace.
   double queue_seconds = 0.0;
+  /// Cooperative backpressure: on retryable rejections (queue full, quota
+  /// exceeded, CoDel/deadline shed, draining) the server's estimate of when
+  /// a slot will be free. Clients fold it into their backoff, clamped to the
+  /// remaining deadline budget. Trailing optional field; 0 = no hint.
+  double retry_after_s = 0.0;
 
   void encode(serial::Encoder& enc) const;
   static Result<SolveResult> decode(serial::Decoder& dec);

@@ -81,7 +81,13 @@ Result<std::unique_ptr<ComputeServer>> ComputeServer::start(ServerConfig config)
 ComputeServer::ServerMetrics::ServerMetrics(const std::string& name)
     : requests(metrics::counter("server.requests_total")),
       completed(metrics::counter("server.completed_total")),
+      admit(metrics::counter("server.admit_total")),
       shed(metrics::counter("server.shed_total")),
+      shed_admission(metrics::counter("server.shed_admission_total")),
+      shed_dequeue(metrics::counter("server.shed_dequeue_total")),
+      shed_codel(metrics::counter("server.shed_codel_total")),
+      shed_quota(metrics::counter("server.shed_quota_total")),
+      aimd_backoff(metrics::counter("server.aimd_backoff_total")),
       rejected(metrics::counter("server.rejected_total")),
       exec_errors(metrics::counter("server.exec_errors_total")),
       cancelled_queued(metrics::counter("server.cancelled_queued_total")),
@@ -89,8 +95,10 @@ ComputeServer::ServerMetrics::ServerMetrics(const std::string& name)
       cancel_requests(metrics::counter("server.cancel_requests_total")),
       drain_rejected(metrics::counter("server.drain_rejected_total")),
       queue_wait_s(metrics::histogram("server.queue_wait_s")),
+      queue_sojourn_s(metrics::histogram("server.queue_sojourn_s")),
       compute_s(metrics::histogram("server.compute_s")),
       queue_depth(metrics::gauge("server." + name + ".queue_depth")),
+      concurrency_limit(metrics::gauge("server." + name + ".concurrency_limit")),
       draining(metrics::gauge("server." + name + ".draining")) {}
 
 ComputeServer::ComputeServer(ServerConfig config, net::TcpListener listener,
@@ -105,6 +113,8 @@ ComputeServer::ComputeServer(ServerConfig config, net::TcpListener listener,
       failure_rng_(config_.seed),
       background_load_(config_.background_load),
       metrics_(config_.name) {
+  concurrency_limit_f_ = static_cast<double>(config_.workers);
+  metrics_.concurrency_limit.set(static_cast<double>(config_.workers));
   for (const auto& agent : config_.agents) {
     agent_links_.push_back(AgentLink{agent});
   }
@@ -217,6 +227,185 @@ FailureSpec::Mode ComputeServer::roll_failure() {
     return config_.failure.mode;
   }
   return FailureSpec::Mode::kNone;
+}
+
+double ComputeServer::estimate_service_seconds(const proto::SolveRequest& request) const {
+  const auto spec = registry_.spec(request.problem);
+  if (!spec.has_value() || rated_mflops_ <= 0.0) return 0.0;
+  const double flops = spec->predicted_flops(request.args);
+  if (flops <= 0.0) return 0.0;
+  // The rating already folds in speed_factor; background load stretches
+  // service by (1 + L) under the processor-sharing model.
+  return flops / (rated_mflops_ * 1e6) *
+         (1.0 + std::max(background_load_.load(), 0.0));
+}
+
+int ComputeServer::effective_concurrency_locked() const {
+  if (!config_.admission.aimd) return config_.workers;
+  return std::max(config_.admission.aimd_min,
+                  static_cast<int>(concurrency_limit_f_));
+}
+
+int ComputeServer::concurrency_limit() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return effective_concurrency_locked();
+}
+
+double ComputeServer::retry_after_locked() const {
+  const int limit = std::max(1, effective_concurrency_locked());
+  const double per_job = service_ewma_s_ > 0.0 ? service_ewma_s_ : 0.02;
+  const double horizon = per_job * static_cast<double>(waiting_jobs_ + 1) / limit;
+  return std::clamp(horizon, 0.002, 2.0);
+}
+
+void ComputeServer::aimd_on_success_locked() {
+  const auto& adm = config_.admission;
+  if (!adm.aimd) return;
+  const int limit = effective_concurrency_locked();
+  if (++aimd_successes_ < limit) return;
+  aimd_successes_ = 0;
+  const double max_limit =
+      static_cast<double>(adm.aimd_max > 0 ? adm.aimd_max : config_.workers);
+  concurrency_limit_f_ = std::min(concurrency_limit_f_ + 1.0, max_limit);
+  metrics_.concurrency_limit.set(effective_concurrency_locked());
+}
+
+void ComputeServer::aimd_on_overload_locked(double now) {
+  const auto& adm = config_.admission;
+  if (!adm.aimd) return;
+  // Space decreases out: one congestion episode sheds many jobs at once,
+  // and each shed must not each take its own multiplicative bite.
+  if (now - aimd_last_decrease_ < 0.1) return;
+  aimd_last_decrease_ = now;
+  aimd_successes_ = 0;
+  concurrency_limit_f_ =
+      std::max(static_cast<double>(adm.aimd_min), concurrency_limit_f_ * adm.aimd_beta);
+  metrics_.aimd_backoff.inc();
+  metrics_.concurrency_limit.set(effective_concurrency_locked());
+}
+
+bool ComputeServer::codel_should_drop_locked(double sojourn, double now) {
+  const double target = config_.admission.codel_target_s;
+  const double interval = std::max(config_.admission.codel_interval_s, 1e-3);
+  if (sojourn < target) {
+    // Back under target: leave the dropping state, but remember the drop
+    // count briefly (classic CoDel resumes near the previous rate if the
+    // queue re-congests right away).
+    codel_first_above_ = 0.0;
+    codel_dropping_ = false;
+    return false;
+  }
+  if (codel_first_above_ == 0.0) {
+    // Above target: arm, but only drop once it stays above for a full
+    // interval (bursts shorter than the interval are fine).
+    codel_first_above_ = now + interval;
+    return false;
+  }
+  if (now < codel_first_above_) return false;
+  if (!codel_dropping_) {
+    codel_dropping_ = true;
+    codel_drop_count_ = codel_drop_count_ > 2 ? codel_drop_count_ - 2 : 1;
+    codel_drop_next_ = now;
+  }
+  if (now >= codel_drop_next_) {
+    ++codel_drop_count_;
+    codel_drop_next_ = now + interval / std::sqrt(static_cast<double>(codel_drop_count_));
+    return true;
+  }
+  return false;
+}
+
+void ComputeServer::record_sojourn_locked(double sojourn) {
+  sojourn_ring_[sojourn_count_ % sojourn_ring_.size()] = sojourn;
+  ++sojourn_count_;
+}
+
+double ComputeServer::sojourn_p95_locked() const {
+  const std::size_t n = std::min(sojourn_count_, sojourn_ring_.size());
+  if (n == 0) return 0.0;
+  std::array<double, 128> sorted;
+  std::copy_n(sojourn_ring_.begin(), n, sorted.begin());
+  const auto rank = static_cast<std::size_t>(0.95 * static_cast<double>(n - 1) + 0.5);
+  std::nth_element(sorted.begin(), sorted.begin() + rank, sorted.begin() + n);
+  return sorted[rank];
+}
+
+double ComputeServer::sojourn_p95() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return sojourn_p95_locked();
+}
+
+void ComputeServer::remove_wait_entry_locked(WaitEntry& entry) {
+  auto [it, end] = wait_queue_.equal_range(entry.key);
+  for (; it != end; ++it) {
+    if (it->second == &entry) {
+      wait_queue_.erase(it);
+      return;
+    }
+  }
+}
+
+void ComputeServer::dispatch_locked() {
+  const auto& adm = config_.admission;
+  bool woke_any = false;
+  while (running_jobs_ < effective_concurrency_locked() && !wait_queue_.empty()) {
+    const double now = now_seconds();
+    const auto it = wait_queue_.begin();
+    WaitEntry* entry = it->second;
+    const double sojourn = now - entry->enqueue_time;
+    record_sojourn_locked(sojourn);
+    metrics_.queue_sojourn_s.observe(sojourn);
+
+    // Deadline sheds at dequeue: the budget lapsed while the job queued, or
+    // (predictively) the remaining budget cannot cover the predicted
+    // service — either way computing would only waste the slot. Dropped
+    // retryably: a faster or idler server may still make the deadline.
+    const bool expired = adm.shed_expired && now >= entry->deadline_abs;
+    const bool infeasible =
+        adm.shed_infeasible && entry->est_service_s > 0.0 &&
+        now + entry->est_service_s + adm.dispatch_slack_s > entry->deadline_abs;
+    if (expired || infeasible) {
+      wait_queue_.erase(it);
+      entry->dropped = true;
+      entry->drop_reason = "overload control: deadline budget lapsed in queue";
+      // The hint damps re-enqueue churn: without it the client's next
+      // attempt lands right back in the same congested queue.
+      entry->retry_after_s = retry_after_locked();
+      shed_dequeue_.fetch_add(1);
+      metrics_.shed_dequeue.inc();
+      shed_.fetch_add(1);  // legacy aggregate: deadline sheds before compute
+      metrics_.shed.inc();
+      aimd_on_overload_locked(now);
+      woke_any = true;
+      continue;
+    }
+
+    // CoDel-style sojourn shedder: under sustained pressure, shedding the
+    // head (and telling its client to back off) is what keeps the queue
+    // wait of everything behind it bounded. Work-conserving tweak: never
+    // shed the only waiter when a slot is free for it.
+    if (adm.codel_target_s > 0.0 && wait_queue_.size() > 1 &&
+        codel_should_drop_locked(sojourn, now)) {
+      wait_queue_.erase(it);
+      entry->dropped = true;
+      entry->drop_reason = "overload control: queue sojourn above CoDel target";
+      entry->retry_after_s = retry_after_locked();
+      shed_codel_.fetch_add(1);
+      metrics_.shed_codel.inc();
+      aimd_on_overload_locked(now);
+      woke_any = true;
+      continue;
+    }
+
+    wait_queue_.erase(it);
+    entry->ready = true;
+    ++running_jobs_;
+    woke_any = true;
+  }
+  // One notify_all covers every decision made above: entries wake, find
+  // their ready/dropped flag, and proceed. Waiters that were not picked
+  // re-check their predicate and sleep again.
+  if (woke_any) jobs_cv_.notify_all();
 }
 
 void ComputeServer::handle_connection(net::TcpConnection conn) {
@@ -350,9 +539,14 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
       }
     };
     const Stopwatch queue_watch;
+    const double est_service = estimate_service_seconds(request.value());
+    WaitEntry entry;
     {
       std::unique_lock<std::mutex> lock(jobs_mu_);
+      const auto& adm = config_.admission;
+      const double now = now_seconds();
       if (config_.max_queue > 0 && waiting_jobs_ >= config_.max_queue) {
+        result.retry_after_s = retry_after_locked();
         lock.unlock();
         erase_job();
         metrics_.rejected.inc();
@@ -362,13 +556,89 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
                                 encode_payload(result), config_.link);
         continue;
       }
+      // Per-client fair share: when quotas are on, a single client id may
+      // occupy at most its fraction of the queue slots. Anonymous requests
+      // (client_id 0 — older clients) are exempt rather than lumped into
+      // one shared bucket that they would starve each other out of.
+      if (adm.quota_fraction > 0.0 && config_.max_queue > 0 &&
+          request.value().client_id != 0) {
+        const int quota = std::max(
+            1, static_cast<int>(std::llround(adm.quota_fraction * config_.max_queue)));
+        const auto used = waiting_by_client_.find(request.value().client_id);
+        if (used != waiting_by_client_.end() && used->second >= quota) {
+          result.retry_after_s = retry_after_locked();
+          lock.unlock();
+          erase_job();
+          shed_quota_.fetch_add(1);
+          metrics_.shed_quota.inc();
+          result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+          result.error_message = "admission control: per-client quota exceeded";
+          (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
+                                  encode_payload(result), config_.link);
+          continue;
+        }
+      }
+      // Infeasible at admission: the predicted service time alone already
+      // exceeds the remaining budget, so even an empty queue cannot save
+      // this job. Shedding now (retryably) lets the client spend its budget
+      // on a faster server instead of on our queue.
+      if (adm.shed_infeasible && request.value().deadline_s > 0.0 && est_service > 0.0) {
+        const double remaining = request.value().deadline_s - since_receipt.elapsed();
+        if (est_service + adm.dispatch_slack_s > remaining) {
+          lock.unlock();
+          erase_job();
+          shed_admission_.fetch_add(1);
+          metrics_.shed_admission.inc();
+          shed_.fetch_add(1);  // legacy aggregate: deadline sheds before compute
+          metrics_.shed.inc();
+          NS_DEBUG("server") << config_.name << " shed request " << result.request_id
+                             << " at admission (predicted " << est_service
+                             << "s > remaining " << remaining << "s)";
+          result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+          result.error_message =
+              "admission control: predicted service time exceeds deadline budget";
+          (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
+                                  encode_payload(result), config_.link);
+          continue;
+        }
+      }
+      // Admit into the EDF wait queue. With EDF off the key degenerates to
+      // the arrival sequence number, i.e. plain FIFO. No-deadline jobs sort
+      // last under EDF (deadline_abs ~ +inf) — they can afford to wait.
+      metrics_.admit.inc();
+      entry.enqueue_time = now;
+      entry.deadline_abs = request.value().deadline_s > 0.0
+                               ? now + (request.value().deadline_s - since_receipt.elapsed())
+                               : 1e300;
+      entry.est_service_s = est_service;
+      entry.client_id = request.value().client_id;
+      entry.key = {adm.edf ? entry.deadline_abs : 0.0, queue_seq_++};
+      wait_queue_.emplace(entry.key, &entry);
+      if (entry.client_id != 0) ++waiting_by_client_[entry.client_id];
       ++waiting_jobs_;
       metrics_.queue_depth.set(waiting_jobs_);
-      jobs_cv_.wait(lock, [this, &job] {
-        return running_jobs_ < config_.workers || stopping_.load() || job->token.cancelled();
+      dispatch_locked();
+      jobs_cv_.wait(lock, [this, &job, &entry] {
+        return entry.ready || entry.dropped || stopping_.load() || job->token.cancelled();
       });
       --waiting_jobs_;
       metrics_.queue_depth.set(waiting_jobs_);
+      if (entry.client_id != 0) {
+        const auto used = waiting_by_client_.find(entry.client_id);
+        if (used != waiting_by_client_.end() && --used->second <= 0) {
+          waiting_by_client_.erase(used);
+        }
+      }
+      if (!entry.ready && !entry.dropped) {
+        // Woken by stop or cancel while still queued: unlink our stack
+        // entry before the dispatcher can hand out a dangling pointer.
+        remove_wait_entry_locked(entry);
+      } else if (entry.ready && (stopping_.load() || job->token.cancelled())) {
+        // Slot granted but we will not use it; hand it to the next waiter.
+        --running_jobs_;
+        entry.ready = false;
+        dispatch_locked();
+      }
       if (stopping_.load()) {
         lock.unlock();
         erase_job();
@@ -389,7 +659,23 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
                                 encode_payload(result), config_.link);
         continue;
       }
-      ++running_jobs_;
+      if (entry.dropped) {
+        // Shed-at-dequeue: the dispatcher decided computing this job is not
+        // worth a slot (budget lapsed in queue, or CoDel pressure). Reply
+        // retryably — another, less loaded server may still make it — with
+        // the dispatcher's backpressure hint attached.
+        result.retry_after_s = entry.retry_after_s;
+        lock.unlock();
+        erase_job();
+        result.queue_seconds = queue_watch.elapsed();
+        NS_DEBUG("server") << config_.name << " shed queued request "
+                           << result.request_id << " (" << entry.drop_reason << ")";
+        result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+        result.error_message = entry.drop_reason;
+        (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
+                                encode_payload(result), config_.link);
+        continue;
+      }
       job->queued.store(false);
     }
     const double queue_wait = queue_watch.elapsed();
@@ -397,29 +683,6 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
     metrics_.queue_wait_s.observe(queue_wait);
     trace::record_span(request.value().trace_id, "server.queue_wait",
                        since_receipt.elapsed() - queue_wait, queue_wait);
-
-    // Deadline shedding: if the client's budget lapsed while this request
-    // waited for a worker slot, computing the answer only wastes the slot —
-    // the client has already given up or moved on. Reply with a terminal
-    // code so well-behaved clients stop retrying too.
-    if (request.value().deadline_s > 0.0 &&
-        since_receipt.elapsed() > request.value().deadline_s) {
-      {
-        std::lock_guard<std::mutex> lock(jobs_mu_);
-        --running_jobs_;
-        jobs_cv_.notify_one();
-      }
-      erase_job();
-      shed_.fetch_add(1);
-      metrics_.shed.inc();
-      NS_DEBUG("server") << config_.name << " shed request " << result.request_id
-                         << " (budget " << request.value().deadline_s << "s lapsed)";
-      result.error_code = static_cast<std::uint16_t>(ErrorCode::kDeadlineExceeded);
-      result.error_message = "deadline budget exhausted before execution";
-      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                              encode_payload(result), config_.link);
-      continue;
-    }
 
     const Stopwatch watch;
     Result<std::vector<dsl::DataObject>> outputs = [&] {
@@ -457,7 +720,13 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
     {
       std::lock_guard<std::mutex> lock(jobs_mu_);
       --running_jobs_;
-      jobs_cv_.notify_one();
+      if (outputs.ok()) {
+        aimd_on_success_locked();
+        // Service-time EWMA feeds the retry_after backpressure hint.
+        service_ewma_s_ =
+            service_ewma_s_ == 0.0 ? elapsed : 0.8 * service_ewma_s_ + 0.2 * elapsed;
+      }
+      dispatch_locked();
     }
     erase_job();
 
@@ -497,6 +766,16 @@ double ComputeServer::current_workload() const {
 }
 
 void ComputeServer::send_workload_report(double workload) {
+  // Queue-pressure piggyback: the agent steers new work away from servers
+  // whose queues are hot before they start shedding.
+  double sojourn_p95 = 0.0;
+  double free_slots = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    sojourn_p95 = sojourn_p95_locked();
+    free_slots =
+        static_cast<double>(std::max(0, effective_concurrency_locked() - running_jobs_));
+  }
   // Fan out to every agent we ever registered with; ids are agent-local so
   // each link carries its own. A dead agent costs one fast refused connect.
   std::lock_guard<std::mutex> links_lock(links_mu_);
@@ -508,6 +787,8 @@ void ComputeServer::send_workload_report(double workload) {
     report.server_id = link.id;
     report.workload = workload;
     report.completed = completed_.load();
+    report.sojourn_p95_s = sojourn_p95;
+    report.free_slots = free_slots;
     (void)net::send_message(conn.value(),
                             static_cast<std::uint16_t>(MessageType::kWorkloadReport),
                             encode_payload(report));

@@ -17,9 +17,11 @@
 // error replies, dropped connections mid-request, or a full crash.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <map>
+#include <utility>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -59,6 +61,53 @@ struct FailureSpec {
 /// independent remote machine — the multi-machine scheduling experiments).
 enum class SlowdownMode { kSpin, kSleep };
 
+/// Overload control for the admission queue (see DESIGN.md §13). The
+/// defaults keep the pre-existing behavior observable by tests — EDF is
+/// benign without deadlines (it degrades to FIFO), the CoDel shedder and
+/// per-client quotas are opt-in, and the AIMD limit starts disabled so the
+/// static worker count still rules unless a deployment turns it on.
+struct AdmissionConfig {
+  /// Order the wait queue earliest-deadline-first instead of by arrival.
+  /// Jobs without a deadline sort last (FIFO among themselves).
+  bool edf = true;
+  /// Shed at admission when the remaining deadline budget is already below
+  /// the predicted service time (complexity model / rated speed), and shed
+  /// at dequeue when the predicted completion would overshoot the deadline.
+  bool shed_infeasible = true;
+  /// Shed jobs whose deadline lapsed while they queued at dequeue time,
+  /// retryably, instead of computing an answer nobody is waiting for.
+  /// Exists as a knob only so benches can measure the uncontrolled baseline.
+  bool shed_expired = true;
+  /// Headroom added to the predicted service time in both feasibility
+  /// checks. EDF serves the most-urgent feasible job, which under overload
+  /// is always the one at the feasibility edge — without slack for the
+  /// reply transfer and thread scheduling, those jobs complete a hair past
+  /// their deadline: compute spent, client already gone.
+  double dispatch_slack_s = 0.02;
+  /// CoDel-style sojourn shedder: once the queue wait of dequeued jobs has
+  /// stayed above `codel_target_s` for a full `codel_interval_s`, shed
+  /// queued jobs at dequeue with the classic interval/sqrt(count) cadence
+  /// until the sojourn drops back under the target. 0 disables.
+  double codel_target_s = 0.0;
+  double codel_interval_s = 0.5;
+  /// Per-client fair share: with a bounded queue (max_queue > 0), one
+  /// client may occupy at most max(1, quota_fraction * max_queue) waiting
+  /// slots; requests beyond that are rejected retryably so a greedy client
+  /// cannot starve the rest. 0 disables. Requests without a client id
+  /// (older peers) are exempt.
+  double quota_fraction = 0.0;
+  /// AIMD concurrency limit replacing the static worker count: additive
+  /// increase (+1 after a limit's worth of clean completions, up to
+  /// aimd_max), multiplicative decrease (* aimd_beta, floored at aimd_min)
+  /// on every overload signal (deadline or CoDel shed), decreases spaced at
+  /// least 100 ms apart so one burst does not collapse the limit.
+  bool aimd = false;
+  int aimd_min = 1;
+  /// Upper bound for additive growth; 0 = the configured worker count.
+  int aimd_max = 0;
+  double aimd_beta = 0.7;
+};
+
 struct ServerConfig {
   std::string name = "server";
   net::Endpoint listen{"127.0.0.1", 0};
@@ -72,8 +121,10 @@ struct ServerConfig {
   /// the reported workload).
   int workers = 2;
   /// Reject (SERVER_OVERLOADED, retryable) instead of queueing once this
-  /// many requests are already waiting; 0 disables admission control.
+  /// many requests are already waiting; 0 disables the hard queue bound.
   int max_queue = 0;
+  /// Adaptive overload control layered on top of the queue bound.
+  AdmissionConfig admission;
   /// Emulated relative speed in (0, 1]; see the file comment.
   double speed_factor = 1.0;
   SlowdownMode slowdown_mode = SlowdownMode::kSpin;
@@ -133,8 +184,23 @@ class ComputeServer {
 
   /// Requests fully executed (successful replies sent).
   std::uint64_t completed() const noexcept { return completed_.load(); }
-  /// Requests shed because their deadline budget lapsed before execution.
+  /// Requests shed because their deadline budget lapsed before execution
+  /// (admission-infeasible + expired-at-dequeue; the legacy aggregate).
   std::uint64_t shed() const noexcept { return shed_.load(); }
+  /// Requests shed at admission: remaining budget below predicted service.
+  std::uint64_t shed_admission() const noexcept { return shed_admission_.load(); }
+  /// Requests shed at dequeue: deadline lapsed while queued, dropped
+  /// retryably before any compute happened.
+  std::uint64_t shed_dequeue() const noexcept { return shed_dequeue_.load(); }
+  /// Requests shed by the CoDel sojourn controller.
+  std::uint64_t shed_codel() const noexcept { return shed_codel_.load(); }
+  /// Requests rejected by the per-client fair-share quota.
+  std::uint64_t shed_quota() const noexcept { return shed_quota_.load(); }
+  /// The current (possibly AIMD-adapted) concurrency limit.
+  int concurrency_limit() const;
+  /// Recent p95 of queue sojourn (the value piggybacked on workload
+  /// reports); 0 until anything has been dequeued.
+  double sojourn_p95() const;
   /// Requests cancelled while still waiting for a worker slot.
   std::uint64_t cancelled_queued() const noexcept { return cancelled_queued_.load(); }
   /// Requests cancelled mid-compute (kernel checkpoint unwound).
@@ -176,7 +242,13 @@ class ComputeServer {
     explicit ServerMetrics(const std::string& name);
     metrics::Counter& requests;
     metrics::Counter& completed;
+    metrics::Counter& admit;
     metrics::Counter& shed;
+    metrics::Counter& shed_admission;
+    metrics::Counter& shed_dequeue;
+    metrics::Counter& shed_codel;
+    metrics::Counter& shed_quota;
+    metrics::Counter& aimd_backoff;
     metrics::Counter& rejected;
     metrics::Counter& exec_errors;
     metrics::Counter& cancelled_queued;
@@ -184,8 +256,10 @@ class ComputeServer {
     metrics::Counter& cancel_requests;
     metrics::Counter& drain_rejected;
     metrics::Histogram& queue_wait_s;
+    metrics::Histogram& queue_sojourn_s;
     metrics::Histogram& compute_s;
     metrics::Gauge& queue_depth;
+    metrics::Gauge& concurrency_limit;
     metrics::Gauge& draining;
   };
 
@@ -211,6 +285,24 @@ class ComputeServer {
     double backoff_s = 0.0;          // decorrelated-jitter failure backoff
   };
 
+  /// One request waiting in the admission queue. Lives on the owning
+  /// connection thread's stack; registered in `wait_queue_` (under
+  /// `jobs_mu_`) between admission and the dispatcher's decision. The
+  /// dispatcher either grants it a worker slot (`ready`) or sheds it
+  /// (`dropped` + the retryable reply to send); the owner wakes on the
+  /// shared condvar and acts on whichever flag is set.
+  struct WaitEntry {
+    std::pair<double, std::uint64_t> key;  // EDF (deadline, seq) or (0, seq)
+    double enqueue_time = 0.0;             // now_seconds() at admission
+    double deadline_abs = 0.0;             // absolute deadline; huge if none
+    double est_service_s = 0.0;            // predicted compute time (0 = unknown)
+    std::uint64_t client_id = 0;
+    bool ready = false;
+    bool dropped = false;
+    const char* drop_reason = "";
+    double retry_after_s = 0.0;            // backpressure hint for the reply
+  };
+
   ComputeServer(ServerConfig config, net::TcpListener listener, double rated_mflops);
 
   /// Register with one agent; on success updates the link id and merges the
@@ -224,6 +316,27 @@ class ComputeServer {
   void handle_connection(net::TcpConnection conn);
   void report_loop();
   void send_workload_report(double workload);
+  /// Predicted service time for one request from the problem's complexity
+  /// model and this server's rating (0 = no model / unknown problem).
+  double estimate_service_seconds(const proto::SolveRequest& request) const;
+  // ---- admission queue internals; all *_locked require jobs_mu_ ----
+  /// Fill free worker slots from the wait queue in EDF order, shedding
+  /// expired / CoDel-flagged entries along the way. Called after every
+  /// enqueue and every slot release.
+  void dispatch_locked();
+  int effective_concurrency_locked() const;
+  /// Backpressure hint: expected time until a waiting slot frees, from the
+  /// service-time EWMA and the current queue depth.
+  double retry_after_locked() const;
+  /// The CoDel control law, evaluated on the head-of-queue sojourn.
+  bool codel_should_drop_locked(double sojourn, double now);
+  void aimd_on_success_locked();
+  void aimd_on_overload_locked(double now);
+  void record_sojourn_locked(double sojourn);
+  double sojourn_p95_locked() const;
+  /// Remove `entry` from the wait queue if the dispatcher has not already
+  /// taken it (cancel / shutdown while queued).
+  void remove_wait_entry_locked(WaitEntry& entry);
   /// Decide failure injection for one request; returns the triggered mode.
   FailureSpec::Mode roll_failure();
   /// Trip the token of every active job carrying `request_id`; returns the
@@ -258,11 +371,31 @@ class ComputeServer {
   std::mutex active_jobs_mu_;
   std::multimap<std::uint64_t, std::shared_ptr<ActiveJob>> active_jobs_;
 
-  // Worker-pool capacity gate.
+  // Admission queue + worker-pool capacity gate. Connection threads insert
+  // a WaitEntry and block on jobs_cv_; dispatch_locked() hands out worker
+  // slots in EDF order and sheds what cannot meet its deadline.
   mutable std::mutex jobs_mu_;
   std::condition_variable jobs_cv_;
   int running_jobs_ = 0;
   int waiting_jobs_ = 0;
+  std::multimap<std::pair<double, std::uint64_t>, WaitEntry*> wait_queue_;
+  std::uint64_t queue_seq_ = 0;
+  std::map<std::uint64_t, int> waiting_by_client_;
+  /// AIMD state: the fractional limit (effective limit = floor, >= aimd_min)
+  /// and the clean-completion count toward the next additive increase.
+  double concurrency_limit_f_ = 0.0;
+  int aimd_successes_ = 0;
+  double aimd_last_decrease_ = 0.0;
+  /// CoDel controller state.
+  double codel_first_above_ = 0.0;  // 0 = sojourn currently under target
+  double codel_drop_next_ = 0.0;
+  std::uint32_t codel_drop_count_ = 0;
+  bool codel_dropping_ = false;
+  /// EWMA of successful service times, feeding the retry_after hints.
+  double service_ewma_s_ = 0.0;
+  /// Ring of recent sojourns; p95 over it is the queue-pressure piggyback.
+  std::array<double, 128> sojourn_ring_{};
+  std::size_t sojourn_count_ = 0;
 
   mutable std::mutex failure_mu_;
   Rng failure_rng_;
@@ -271,6 +404,10 @@ class ComputeServer {
 
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> shed_admission_{0};
+  std::atomic<std::uint64_t> shed_dequeue_{0};
+  std::atomic<std::uint64_t> shed_codel_{0};
+  std::atomic<std::uint64_t> shed_quota_{0};
   std::atomic<std::uint64_t> cancelled_queued_{0};
   std::atomic<std::uint64_t> cancelled_running_{0};
   std::atomic<std::uint64_t> drain_rejected_{0};

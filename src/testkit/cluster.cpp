@@ -64,6 +64,7 @@ Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
     sc.reregister_period_s = spec.reregister_period_s;
     sc.workers = spec.workers;
     sc.max_queue = spec.max_queue;
+    sc.admission = spec.admission;
     sc.speed_factor = spec.speed;
     sc.slowdown_mode = spec.slowdown_mode;
     sc.rating_override = cluster->rating_base_;
@@ -171,6 +172,7 @@ Status TestCluster::restart_server(std::size_t i) {
   sc.reregister_period_s = spec.reregister_period_s;
   sc.workers = spec.workers;
   sc.max_queue = spec.max_queue;
+  sc.admission = spec.admission;
   sc.speed_factor = spec.speed;
   sc.slowdown_mode = spec.slowdown_mode;
   sc.rating_override = rating_base_;

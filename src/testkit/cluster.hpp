@@ -38,6 +38,11 @@ struct ClusterServerSpec {
   /// Background re-registration period (jittered server-side). Non-zero by
   /// default so a restarted agent re-learns the pool without intervention.
   double reregister_period_s = 0.5;
+  /// Overload-control knobs (EDF ordering, admission/dequeue deadline sheds,
+  /// CoDel sojourn shedder, per-client quotas, AIMD concurrency) so tests and
+  /// benches can script overload scenarios per server. Survives
+  /// restart_server().
+  server::AdmissionConfig admission;
 };
 
 struct ClusterConfig {

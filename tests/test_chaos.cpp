@@ -357,6 +357,10 @@ TEST_F(ChaosClusterTest, ServerShedsExpiredWork) {
   testkit::ClusterConfig config;
   config.servers = testkit::uniform_pool(1, /*workers=*/1);
   config.servers[0].slowdown_mode = server::SlowdownMode::kSleep;
+  // This test targets the dequeue-time shed specifically: predictive
+  // admission would reject the worker-occupying long job outright (its own
+  // budget cannot cover its predicted 1s service), so turn it off here.
+  config.servers[0].admission.shed_infeasible = false;
   config.rating_base = 500.0;
   config.io_timeout_s = 0.5;
   config.client_deadline_s = 0.4;

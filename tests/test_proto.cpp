@@ -66,10 +66,14 @@ TEST(ProtoTest, WorkloadReportRoundTrip) {
   msg.server_id = 9;
   msg.workload = 3.25;
   msg.completed = 1ull << 40;
+  msg.sojourn_p95_s = 0.875;
+  msg.free_slots = 2.0;
   const auto back = round_trip(msg);
   EXPECT_EQ(back.server_id, 9u);
   EXPECT_DOUBLE_EQ(back.workload, 3.25);
   EXPECT_EQ(back.completed, 1ull << 40);
+  EXPECT_DOUBLE_EQ(back.sojourn_p95_s, 0.875);
+  EXPECT_DOUBLE_EQ(back.free_slots, 2.0);
 }
 
 TEST(ProtoTest, QueryRoundTrip) {
@@ -110,11 +114,15 @@ TEST(ProtoTest, SolveRequestRoundTrip) {
   msg.problem = "dgesv";
   msg.args = {dsl::DataObject(linalg::Matrix::random(4, 4, rng)),
               dsl::DataObject(linalg::Vector{1, 2, 3, 4})};
+  msg.deadline_s = 1.5;
+  msg.client_id = 0xc11e47ull;
   const auto back = round_trip(msg);
   EXPECT_EQ(back.request_id, 77u);
   ASSERT_EQ(back.args.size(), 2u);
   EXPECT_EQ(back.args[0], msg.args[0]);
   EXPECT_EQ(back.args[1], msg.args[1]);
+  EXPECT_DOUBLE_EQ(back.deadline_s, 1.5);
+  EXPECT_EQ(back.client_id, 0xc11e47ull);
 }
 
 TEST(ProtoTest, SolveResultRoundTrip) {
@@ -123,12 +131,93 @@ TEST(ProtoTest, SolveResultRoundTrip) {
   msg.error_code = static_cast<std::uint16_t>(ErrorCode::kExecutionFailed);
   msg.error_message = "singular";
   msg.exec_seconds = 0.125;
+  msg.retry_after_s = 0.031;
   const auto back = round_trip(msg);
   EXPECT_EQ(back.request_id, 78u);
   EXPECT_EQ(back.error_code, static_cast<std::uint16_t>(ErrorCode::kExecutionFailed));
   EXPECT_EQ(back.error_message, "singular");
   EXPECT_TRUE(back.outputs.empty());
   EXPECT_DOUBLE_EQ(back.exec_seconds, 0.125);
+  EXPECT_DOUBLE_EQ(back.retry_after_s, 0.031);
+}
+
+// The overload-control fields are trailing additions: payloads from peers
+// that predate them must still parse, with the fields at their defaults.
+TEST(ProtoTest, OldPeersWithoutOverloadFieldsStillParse) {
+  {
+    SolveRequest msg;
+    msg.request_id = 5;
+    msg.problem = "cg";
+    msg.args = {dsl::DataObject(std::int64_t{7})};
+    msg.deadline_s = 2.0;
+    msg.client_id = 999;  // must NOT survive: legacy encoders never wrote it
+    auto bytes = encode_msg(msg);
+    bytes.resize(bytes.size() - 8);  // strip the trailing client_id u64
+    serial::Decoder dec(bytes);
+    auto back = SolveRequest::decode(dec);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(dec.expect_exhausted().ok());
+    EXPECT_EQ(back.value().request_id, 5u);
+    EXPECT_DOUBLE_EQ(back.value().deadline_s, 2.0);
+    EXPECT_EQ(back.value().client_id, 0u) << "legacy request must stay anonymous";
+  }
+  {
+    SolveResult msg;
+    msg.request_id = 6;
+    msg.retry_after_s = 0.5;
+    auto bytes = encode_msg(msg);
+    bytes.resize(bytes.size() - 8);  // strip the trailing retry_after_s f64
+    serial::Decoder dec(bytes);
+    auto back = SolveResult::decode(dec);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(dec.expect_exhausted().ok());
+    EXPECT_DOUBLE_EQ(back.value().retry_after_s, 0.0) << "legacy reply carries no hint";
+  }
+  {
+    WorkloadReport msg;
+    msg.server_id = 7;
+    msg.workload = 1.0;
+    msg.sojourn_p95_s = 9.0;
+    msg.free_slots = 3.0;
+    auto bytes = encode_msg(msg);
+    bytes.resize(bytes.size() - 16);  // strip both trailing queue-pressure f64s
+    serial::Decoder dec(bytes);
+    auto back = WorkloadReport::decode(dec);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(dec.expect_exhausted().ok());
+    EXPECT_DOUBLE_EQ(back.value().sojourn_p95_s, 0.0);
+    EXPECT_DOUBLE_EQ(back.value().free_slots, -1.0) << "-1 marks 'not reported'";
+  }
+}
+
+// Randomized round-trips of the overload-control fields: extreme but finite
+// values must survive the wire bit-exactly.
+TEST(ProtoTest, OverloadFieldsFuzzRoundTrip) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    SolveRequest req;
+    req.request_id = rng.next_u64();
+    req.problem = "simwork";
+    req.args = {dsl::DataObject(std::int64_t{1})};
+    req.deadline_s = rng.uniform(0.0, 1e6);
+    req.client_id = rng.next_u64();
+    const auto req_back = round_trip(req);
+    EXPECT_EQ(req_back.client_id, req.client_id);
+    EXPECT_DOUBLE_EQ(req_back.deadline_s, req.deadline_s);
+
+    SolveResult res;
+    res.request_id = rng.next_u64();
+    res.retry_after_s = rng.uniform(0.0, 3600.0);
+    EXPECT_DOUBLE_EQ(round_trip(res).retry_after_s, res.retry_after_s);
+
+    WorkloadReport report;
+    report.server_id = static_cast<ServerId>(rng.next_u64());
+    report.sojourn_p95_s = rng.uniform(0.0, 1e3);
+    report.free_slots = rng.uniform(-1.0, 64.0);
+    const auto report_back = round_trip(report);
+    EXPECT_DOUBLE_EQ(report_back.sojourn_p95_s, report.sojourn_p95_s);
+    EXPECT_DOUBLE_EQ(report_back.free_slots, report.free_slots);
+  }
 }
 
 TEST(ProtoTest, FailureAndMetricsRoundTrip) {
@@ -235,11 +324,19 @@ TEST(ProtoFuzzTest, TruncationsNeverCrash) {
   msg.args = {dsl::DataObject(linalg::Matrix::random(6, 6, rng)),
               dsl::DataObject(std::int64_t{5})};
   const auto bytes = encode_msg(msg);
-  // Every strict prefix must decode to a clean error.
+  // Every strict prefix must either decode to a clean error or — at exactly
+  // the backward-compat boundary where the trailing client_id begins — parse
+  // as a legacy request with the field at its default. Never a crash.
+  const std::size_t compat_boundary = bytes.size() - 8;  // trailing client_id u64
   for (std::size_t len = 0; len < bytes.size(); ++len) {
     serial::Decoder dec(bytes.data(), len);
     auto back = SolveRequest::decode(dec);
-    EXPECT_FALSE(back.ok()) << "prefix length " << len;
+    if (len == compat_boundary) {
+      ASSERT_TRUE(back.ok()) << "compat boundary must parse as a legacy request";
+      EXPECT_EQ(back.value().client_id, 0u);
+    } else {
+      EXPECT_FALSE(back.ok()) << "prefix length " << len;
+    }
   }
 }
 
