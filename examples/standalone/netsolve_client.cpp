@@ -21,6 +21,14 @@
 //             finishes or cancels its queue within deadline= seconds
 //             (0 = the server's io timeout); a drained netsolve_server
 //             process exits on its own
+// cmd=submit  fire simwork(mflop=) at the server at host=/port= under a
+//             caller-chosen id= and return immediately (the durable-jobs
+//             workflow: submit, crash/restart the server, reattach with
+//             cmd=probe); add wait= seconds to block for the reply instead
+// cmd=probe   netslpr/netslwt against the server at host=/port=: one probe
+//             of id= prints its state/iteration/residual; with wait= seconds
+//             it polls until the job is terminal and fetches the stored
+//             result (surviving server restarts and following migrations)
 #include <cstdio>
 
 #include "client/client.hpp"
@@ -117,6 +125,82 @@ int cmd_drain(const net::Endpoint& server, double deadline_s) {
   return 0;
 }
 
+int cmd_submit(const net::Endpoint& server, std::uint64_t id, std::int64_t mflop,
+               double wait_s) {
+  auto conn = net::TcpConnection::connect(server, 5.0);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", conn.error().to_string().c_str());
+    return 1;
+  }
+  proto::SolveRequest request;
+  request.request_id = id;
+  request.problem = "simwork";
+  request.args = {DataObject(mflop)};
+  serial::Encoder enc;
+  request.encode(enc);
+  auto sent = net::send_message(
+      conn.value(), static_cast<std::uint16_t>(proto::MessageType::kSolveRequest),
+      enc.take());
+  if (!sent.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n", sent.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("submitted simwork(%lld) as request %llu to %s\n",
+              static_cast<long long>(mflop), static_cast<unsigned long long>(id),
+              server.to_string().c_str());
+  if (wait_s <= 0.0) return 0;  // fire-and-forget; reattach with cmd=probe
+  auto reply = net::recv_message(conn.value(), wait_s);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "no reply: %s\n", reply.error().to_string().c_str());
+    return 1;
+  }
+  serial::Decoder dec(reply.value().payload);
+  auto result = proto::SolveResult::decode(dec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bad reply: %s\n", result.error().to_string().c_str());
+    return 1;
+  }
+  const auto code = static_cast<ErrorCode>(result.value().error_code);
+  std::printf("request %llu finished: %s\n", static_cast<unsigned long long>(id),
+              std::string(error_code_name(code)).c_str());
+  return code == ErrorCode::kOk ? 0 : 1;
+}
+
+const char* job_state_name(proto::JobState state) {
+  switch (state) {
+    case proto::JobState::kQueued: return "queued";
+    case proto::JobState::kRunning: return "running";
+    case proto::JobState::kCompleted: return "completed";
+    case proto::JobState::kFailed: return "failed";
+    case proto::JobState::kUnknown: break;
+  }
+  return "unknown";
+}
+
+int cmd_probe(const net::Endpoint& server, std::uint64_t id, double wait_s) {
+  if (wait_s > 0.0) {
+    auto result = client::wait_for_job(server, id, wait_s);
+    if (!result.ok()) {
+      std::fprintf(stderr, "wait failed: %s\n", result.error().to_string().c_str());
+      return 1;
+    }
+    const auto code = static_cast<ErrorCode>(result.value().error_code);
+    std::printf("request %llu finished: %s\n", static_cast<unsigned long long>(id),
+                std::string(error_code_name(code)).c_str());
+    return code == ErrorCode::kOk ? 0 : 1;
+  }
+  auto reply = client::probe_request(server, id);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "probe failed: %s\n", reply.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("probe id=%llu state=%s iteration=%llu residual=%.3g\n",
+              static_cast<unsigned long long>(id), job_state_name(reply.value().state),
+              static_cast<unsigned long long>(reply.value().iteration),
+              reply.value().residual);
+  return 0;
+}
+
 int cmd_metrics(const net::Endpoint& peer, const std::string& prefix, bool json) {
   auto snap = client::scrape_metrics(peer, /*timeout_s=*/5.0, prefix);
   if (!snap.ok()) {
@@ -164,17 +248,28 @@ int main(int argc, char** argv) {
     return cmd_metrics(client_config.agents.front(), config.value().get_or("prefix", ""),
                        config.value().get_int_or("json", 0) != 0);
   }
-  if (cmd == "drain") {
+  if (cmd == "drain" || cmd == "submit" || cmd == "probe") {
     net::Endpoint server;
     server.host = config.value().get_or("host", "127.0.0.1");
     server.port = static_cast<std::uint16_t>(config.value().get_int_or("port", 0));
     if (server.port == 0) {
-      std::fprintf(stderr, "cmd=drain needs the server's port= (and host= if remote)\n");
+      std::fprintf(stderr, "cmd=%s needs the server's port= (and host= if remote)\n",
+                   cmd.c_str());
       return 2;
     }
-    return cmd_drain(server, config.value().get_double_or("deadline", 0.0));
+    if (cmd == "drain") {
+      return cmd_drain(server, config.value().get_double_or("deadline", 0.0));
+    }
+    const auto id = static_cast<std::uint64_t>(config.value().get_int_or("id", 1));
+    if (cmd == "submit") {
+      return cmd_submit(server, id, config.value().get_int_or("mflop", 100),
+                        config.value().get_double_or("wait", 0.0));
+    }
+    return cmd_probe(server, id, config.value().get_double_or("wait", 0.0));
   }
-  std::fprintf(stderr, "unknown cmd '%s' (use list | solve | bench | metrics | drain)\n",
+  std::fprintf(stderr,
+               "unknown cmd '%s' (use list | solve | bench | metrics | drain | submit | "
+               "probe)\n",
                cmd.c_str());
   return 2;
 }

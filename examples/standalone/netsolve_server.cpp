@@ -18,6 +18,12 @@
 //     problems=dgesv,cg    offer only these problems (default: full catalogue)
 //     spec_file=path       @PROBLEM-format description overrides (admin tuning)
 //     runtime=0            exit after this many seconds (0 = run forever)
+//     data_dir=path        durable jobs: write-ahead journal lives here; a
+//                          restarted server (same name) replays it, re-queues
+//                          unfinished jobs and resumes from checkpoints
+//     checkpoint_interval=25  kernel checkpoint cadence in iterations
+//     journal_fsync=1      fsync every journal append (0 = buffered)
+//     migrate_on_drain=0   on drain, hand running jobs to agent-ranked peers
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -79,6 +85,11 @@ int main(int argc, char** argv) {
     text << in.rdbuf();
     server_config.spec_overrides = text.str();
   }
+  server_config.data_dir = config.value().get_or("data_dir", "");
+  server_config.checkpoint_interval =
+      static_cast<std::uint64_t>(config.value().get_int_or("checkpoint_interval", 25));
+  server_config.journal_fsync = config.value().get_int_or("journal_fsync", 1) != 0;
+  server_config.migrate_on_drain = config.value().get_int_or("migrate_on_drain", 0) != 0;
   const double runtime = config.value().get_double_or("runtime", 0.0);
 
   auto server = server::ComputeServer::start(std::move(server_config));

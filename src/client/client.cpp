@@ -477,6 +477,29 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
         double io_seconds = 0.0;
         auto result = attempt(candidate, request, &io_seconds);
 
+        if (!result.ok() && config_.reattach_s > 0.0 &&
+            result.error().code != ErrorCode::kConnectFailed) {
+          // The transport died after the request went out, so the server may
+          // have admitted (and journaled) the job before crashing. Poll its
+          // durable state instead of resubmitting: a restarted server
+          // recovers the job from its write-ahead log and finishes the
+          // original submission, sparing a duplicate solve.
+          metrics::counter("client.reattach_total").inc();
+          const double reattach_budget =
+              budgeted ? std::min(config_.reattach_s, deadline.remaining())
+                       : config_.reattach_s;
+          NS_DEBUG("client") << "transport lost mid-call; reattaching to "
+                             << candidate.server_name << " for request "
+                             << request.request_id;
+          auto recovered = wait_for_job(candidate.endpoint, request.request_id,
+                                        reattach_budget);
+          if (recovered.ok()) {
+            metrics::counter("client.reattach_success_total").inc();
+            io_seconds = total_watch.elapsed() - attempt_start;
+            result = std::move(recovered);
+          }
+        }
+
         if (!result.ok()) {
           // Transport-level failure: blacklist and move on.
           add_span("client.attempt", attempt_start, total_watch.elapsed() - attempt_start);
@@ -491,6 +514,31 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
         const auto code = static_cast<ErrorCode>(result.value().error_code);
         if (code != ErrorCode::kOk) {
           add_span("client.attempt", attempt_start, io_seconds);
+          if (code == ErrorCode::kMigrated && result.value().migrated_port != 0) {
+            // The job is still running on the destination server (drain moved
+            // it with its checkpoint): follow the forwarding address and wait
+            // there rather than starting a duplicate solve elsewhere.
+            const net::Endpoint dest{result.value().migrated_host,
+                                     result.value().migrated_port};
+            metrics::counter("client.migrations_followed_total").inc();
+            NS_DEBUG("client") << "request " << request.request_id << " migrated to "
+                               << dest.host << ":" << dest.port << "; following";
+            const double follow_budget =
+                budgeted ? deadline.remaining() : config_.io_timeout_s;
+            auto followed = wait_for_job(dest, request.request_id, follow_budget);
+            if (followed.ok() &&
+                static_cast<ErrorCode>(followed.value().error_code) == ErrorCode::kOk) {
+              return finish_success(candidate, std::move(followed.value()), attempt_start,
+                                    total_watch.elapsed() - attempt_start);
+            }
+            // Dead end (destination unreachable or the job failed there too).
+            // The solve is idempotent, so falling back to a fresh attempt on
+            // the next candidate is safe.
+            last_error = make_error(ErrorCode::kMigrated,
+                                    "migration follow failed for request " +
+                                        std::to_string(request.request_id));
+            continue;
+          }
           Error err = make_error(code, result.value().error_message);
           if (is_retryable(code)) {
             NS_DEBUG("client") << "server " << candidate.server_name
@@ -628,6 +676,26 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
                                   done->start, done->io_seconds);
           }
           add_span("client.attempt", done->start, done->io_seconds);
+          if (code == ErrorCode::kMigrated && result.value().migrated_port != 0) {
+            // Same forwarding dance as the plain path; any racing sibling is
+            // cancelled first (the migrated job already owns the answer).
+            cancel_losers();
+            const net::Endpoint dest{result.value().migrated_host,
+                                     result.value().migrated_port};
+            metrics::counter("client.migrations_followed_total").inc();
+            const double follow_budget =
+                budgeted ? deadline.remaining() : config_.io_timeout_s;
+            auto followed = wait_for_job(dest, request.request_id, follow_budget);
+            if (followed.ok() &&
+                static_cast<ErrorCode>(followed.value().error_code) == ErrorCode::kOk) {
+              return finish_success(done->candidate, std::move(followed.value()),
+                                    done->start, total_watch.elapsed() - done->start);
+            }
+            last_error = make_error(ErrorCode::kMigrated,
+                                    "migration follow failed for request " +
+                                        std::to_string(request.request_id));
+            break;  // leave the race; move on down the ranked list
+          }
           Error err = make_error(code, result.value().error_message);
           if (!is_retryable(code)) {
             cancel_losers();
@@ -754,6 +822,58 @@ Result<proto::DrainAck> drain_server(const net::Endpoint& peer, double deadline_
   }
   serial::Decoder dec(reply.value().payload);
   return proto::DrainAck::decode(dec);
+}
+
+Result<proto::ProbeReply> probe_request(const net::Endpoint& peer, std::uint64_t request_id,
+                                        bool fetch_result, double timeout_s) {
+  proto::ProbeRequest probe;
+  probe.request_id = request_id;
+  probe.fetch_result = fetch_result;
+  auto reply = round_trip(peer, static_cast<std::uint16_t>(MessageType::kProbeRequest),
+                          encode_payload(probe), timeout_s);
+  if (!reply.ok()) return reply.error();
+  if (reply.value().type != static_cast<std::uint16_t>(MessageType::kProbeReply)) {
+    return make_error(ErrorCode::kProtocol, "expected ProbeReply");
+  }
+  serial::Decoder dec(reply.value().payload);
+  return proto::ProbeReply::decode(dec);
+}
+
+Result<proto::SolveResult> wait_for_job(const net::Endpoint& peer, std::uint64_t request_id,
+                                        double budget_s, double poll_interval_s) {
+  net::Endpoint target = peer;
+  const Deadline budget(budget_s);
+  const double interval = poll_interval_s > 0.0 ? poll_interval_s : 0.05;
+  while (true) {
+    const double remaining = budget.remaining();
+    if (remaining <= 0.0) break;
+    auto reply = probe_request(target, request_id, /*fetch_result=*/true,
+                               std::min(remaining, 2.0));
+    if (reply.ok()) {
+      const auto& probe = reply.value();
+      if ((probe.state == proto::JobState::kCompleted ||
+           probe.state == proto::JobState::kFailed) &&
+          probe.has_result) {
+        // A MIGRATED terminal record is a forwarding address, not an answer:
+        // chase it (possibly through several hops of rolling drains).
+        if (static_cast<ErrorCode>(probe.result.error_code) == ErrorCode::kMigrated &&
+            probe.result.migrated_port != 0) {
+          target = net::Endpoint{probe.result.migrated_host, probe.result.migrated_port};
+          metrics::counter("client.migrations_followed_total").inc();
+          continue;
+        }
+        return probe.result;
+      }
+      // Queued, running, or unknown (a restarting server replays its journal
+      // before it starts answering probes, so unknown here usually means the
+      // id truly never reached this server — but the budget, not one poll,
+      // decides when to give up).
+    }
+    sleep_seconds(std::min(interval, budget.remaining()));
+  }
+  return make_error(ErrorCode::kTimeout,
+                    "job " + std::to_string(request_id) + " did not reach a terminal state in " +
+                        std::to_string(budget_s) + "s");
 }
 
 // ---- Non-blocking calls ----

@@ -104,6 +104,16 @@ struct ClientConfig {
   /// client instance; set explicitly to make several instances share one
   /// quota bucket (or to pin ids in tests).
   std::uint64_t client_id = 0;
+
+  // ---- durable jobs (crash recovery / migration) ----
+  /// When > 0 and an attempt's transport dies *after* the request was sent
+  /// (connection reset, recv timeout — anything but connect-failed), the
+  /// client does not immediately resubmit: it polls PROBE at the same server
+  /// for up to this many seconds. A journaling server that crashed and
+  /// restarted recovers the job from its write-ahead log and finishes it, so
+  /// the original submission completes without a duplicate solve. 0 (default)
+  /// keeps the classic resubmit-on-failure behavior.
+  double reattach_s = 0.0;
 };
 
 /// Per-call telemetry, filled when the caller passes a stats out-param.
@@ -312,5 +322,21 @@ Result<proto::CancelAck> cancel_request(const net::Endpoint& peer, std::uint64_t
 /// drain was already in progress. The rolling-restart primitive.
 Result<proto::DrainAck> drain_server(const net::Endpoint& peer, double deadline_s = 0.0,
                                      double timeout_s = 5.0);
+
+/// netslpr against a durable server: one PROBE round trip reporting where
+/// `request_id` sits (queued/running/terminal) plus the kernel's live
+/// iteration/residual. With `fetch_result`, a terminal job's stored
+/// SolveResult rides back in the reply.
+Result<proto::ProbeReply> probe_request(const net::Endpoint& peer, std::uint64_t request_id,
+                                        bool fetch_result = false, double timeout_s = 5.0);
+
+/// netslwt against a durable server: poll PROBE until `request_id` reaches a
+/// terminal state, then return its stored SolveResult (whose error_code the
+/// caller still inspects). Connection failures are tolerated and retried —
+/// the server may be mid-restart after a crash — and a MIGRATED result is
+/// followed to the destination server transparently. Fails with kTimeout
+/// when `budget_s` runs out first.
+Result<proto::SolveResult> wait_for_job(const net::Endpoint& peer, std::uint64_t request_id,
+                                        double budget_s, double poll_interval_s = 0.05);
 
 }  // namespace ns::client

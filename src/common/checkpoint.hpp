@@ -1,0 +1,195 @@
+// Iteration-granular checkpointing.
+//
+// A checkpoint::Token extends the cooperative-cancellation idea of
+// common/cancel.hpp from "stop here" to "persist progress here". The server
+// binds a token around ProblemRegistry::execute() with a ScopedToken; the
+// iterative kernels (CG/Jacobi/SOR, the synthetic workloads) call
+// checkpoint::tick() at their loop heads — the same places they poll for
+// cancellation — and the token decides, based on its configured interval,
+// whether this iteration's state gets serialized and handed to the server's
+// write-ahead journal.
+//
+// The token also carries the reverse direction: when a server restarts (or
+// receives a migrated job), it installs the last persisted snapshot before
+// execute(), and the kernel's checkpoint::restore() call at entry returns the
+// iteration to resume from instead of 0. Kernels that cannot cheaply snapshot
+// (dense LU, eigen sweeps) call checkpoint::progress() instead, which only
+// publishes iteration/residual for probe reporting and never serializes.
+//
+// Contract for kernels (mirrors DESIGN.md §12 for cancellation): tick at
+// iteration granularity, never in inner loops; a snapshot must capture
+// exactly the state needed to re-enter the loop at iteration+1; restore() is
+// consumed once and returns 0 when there is nothing to resume (fresh run,
+// corrupt snapshot, or no token bound — kernels outside a server run
+// unchanged).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "serial/codec.hpp"
+
+namespace ns::checkpoint {
+
+/// One persisted point-in-time of a running job: the iteration it was taken
+/// at, the residual (or other progress figure) at that point, and the
+/// kernel-specific serialized loop state.
+struct Snapshot {
+  std::uint64_t iteration = 0;
+  double residual = 0.0;
+  serial::Bytes state;
+};
+
+class Token {
+ public:
+  /// Snapshot every `interval` iterations (0 = never snapshot; progress
+  /// publishing still works).
+  void set_interval(std::uint64_t interval) noexcept { interval_ = interval; }
+  std::uint64_t interval() const noexcept { return interval_; }
+
+  /// Callback invoked (on the kernel's thread) each time a snapshot is
+  /// saved; the server uses this to append a CHECKPOINT journal record.
+  void set_on_snapshot(std::function<void(const Snapshot&)> fn) {
+    on_snapshot_ = std::move(fn);
+  }
+
+  /// Install the snapshot a resumed kernel should restart from.
+  void install_restore(Snapshot snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    restore_ = std::move(snapshot);
+    restore_iteration_ = restore_ ? restore_->iteration : 0;
+  }
+  bool has_restore() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return restore_.has_value();
+  }
+  /// Consume the installed restore snapshot (at most once). Also primes the
+  /// snapshot interval clock so the first new snapshot lands a full interval
+  /// after the restored iteration.
+  std::optional<Snapshot> take_restore() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::optional<Snapshot> out = std::move(restore_);
+    restore_.reset();
+    if (out) last_saved_ = out->iteration;
+    return out;
+  }
+  /// The iteration of the snapshot handed to install_restore() (0 if none).
+  /// Survives take_restore(), so tests can assert where a job resumed.
+  std::uint64_t restore_iteration() const noexcept {
+    return restore_iteration_.load(std::memory_order_acquire);
+  }
+
+  /// Publish live progress (probe reporting; no serialization).
+  void publish(std::uint64_t iteration, double residual) noexcept {
+    iteration_.store(iteration, std::memory_order_relaxed);
+    residual_.store(residual, std::memory_order_relaxed);
+  }
+  std::uint64_t iteration() const noexcept {
+    return iteration_.load(std::memory_order_relaxed);
+  }
+  double residual() const noexcept { return residual_.load(std::memory_order_relaxed); }
+
+  /// Is a snapshot due at `iteration`?
+  bool due(std::uint64_t iteration) const noexcept {
+    return interval_ != 0 && iteration >= last_saved_ + interval_;
+  }
+
+  /// Store `state` as the latest snapshot and notify the journal callback.
+  void save(std::uint64_t iteration, double residual, serial::Bytes state) {
+    Snapshot snap{iteration, residual, std::move(state)};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      latest_ = snap;
+    }
+    last_saved_ = iteration;
+    if (on_snapshot_) on_snapshot_(snap);
+  }
+
+  bool has_snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_.has_value();
+  }
+  /// Copy of the latest snapshot (empty Snapshot if none was taken).
+  Snapshot latest() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_ ? *latest_ : Snapshot{};
+  }
+
+ private:
+  std::uint64_t interval_ = 0;
+  std::uint64_t last_saved_ = 0;  // touched only from the kernel thread
+  std::function<void(const Snapshot&)> on_snapshot_;
+  std::atomic<std::uint64_t> iteration_{0};
+  std::atomic<double> residual_{0.0};
+  std::atomic<std::uint64_t> restore_iteration_{0};
+  mutable std::mutex mu_;
+  std::optional<Snapshot> latest_;
+  std::optional<Snapshot> restore_;
+};
+
+namespace detail {
+inline thread_local Token* current_token = nullptr;
+}
+
+/// Bind `token` as this thread's checkpoint token for the enclosing scope
+/// (nests; the previous binding is restored on destruction).
+class ScopedToken {
+ public:
+  explicit ScopedToken(Token* token) noexcept : previous_(detail::current_token) {
+    detail::current_token = token;
+  }
+  ~ScopedToken() { detail::current_token = previous_; }
+  ScopedToken(const ScopedToken&) = delete;
+  ScopedToken& operator=(const ScopedToken&) = delete;
+
+ private:
+  Token* previous_;
+};
+
+inline Token* current() noexcept { return detail::current_token; }
+
+/// Kernel-side per-iteration hook: publish progress, and when a snapshot is
+/// due serialize the loop state via `encode` (called with a serial::Encoder&)
+/// and hand it to the token. No-op without a bound token.
+template <typename EncodeFn>
+inline void tick(std::uint64_t iteration, double residual, EncodeFn&& encode) {
+  Token* token = detail::current_token;
+  if (token == nullptr) return;
+  token->publish(iteration, residual);
+  if (!token->due(iteration)) return;
+  serial::Encoder enc;
+  encode(enc);
+  token->save(iteration, residual, enc.take());
+}
+
+/// Progress-only variant for kernels whose state is too large to snapshot
+/// profitably (dense LU panels, eigen sweeps): probes still see iteration
+/// movement, nothing is serialized.
+inline void progress(std::uint64_t iteration, double residual = 0.0) noexcept {
+  Token* token = detail::current_token;
+  if (token != nullptr) token->publish(iteration, residual);
+}
+
+/// Kernel-side resume hook, called once at loop entry: if a restore snapshot
+/// is installed, `decode` (called with a serial::Decoder&, returning bool)
+/// rebuilds the loop state and the snapshot's iteration is returned — the
+/// kernel continues at iteration+1. Returns 0 (fresh start) without a token,
+/// without a snapshot, or when `decode` rejects the payload: a corrupt or
+/// mismatched snapshot costs a from-scratch run, never a crash.
+template <typename DecodeFn>
+inline std::uint64_t restore(DecodeFn&& decode) {
+  Token* token = detail::current_token;
+  if (token == nullptr) return 0;
+  std::optional<Snapshot> snap = token->take_restore();
+  if (!snap || snap->iteration == 0) return 0;
+  serial::Decoder dec(snap->state);
+  if (!decode(dec)) return 0;
+  token->publish(snap->iteration, snap->residual);
+  return snap->iteration;
+}
+
+}  // namespace ns::checkpoint

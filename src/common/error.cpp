@@ -22,6 +22,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kCorruptFrame: return "CORRUPT_FRAME";
     case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kMigrated: return "MIGRATED";
   }
   return "UNKNOWN";
 }
@@ -42,6 +43,9 @@ bool is_retryable(ErrorCode code) noexcept {
     // reaches this check for its own losers — it discards them directly.
     case ErrorCode::kCancelled:
       return true;
+    // kMigrated is deliberately NOT retryable: the job is still running on
+    // the destination server, so the client must follow the forwarding
+    // address rather than start a duplicate solve elsewhere.
     default:
       return false;
   }

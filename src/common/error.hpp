@@ -40,6 +40,7 @@ enum class ErrorCode : std::uint16_t {
   // Appended post-v1 (keep wire values of the codes above stable).
   kCorruptFrame,      // CRC/frame validation failed: bytes damaged in flight
   kDeadlineExceeded,  // the call's deadline budget ran out
+  kMigrated,          // job moved to another server (follow migrated_host)
 };
 
 /// Human-readable name of an error code (stable, used in wire messages/logs).

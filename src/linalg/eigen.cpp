@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/cancel.hpp"
+#include "common/checkpoint.hpp"
 #include "linalg/blas.hpp"
 
 namespace ns::linalg {
@@ -48,7 +49,10 @@ Result<EigenDecomposition> jacobi_eigen(const Matrix& input, double tol,
 
   for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
     if (cancel::poll()) return cancel::cancelled_error("Jacobi eigensolver");
-    if (offdiag_norm(a) <= threshold) break;
+    const double off = offdiag_norm(a);
+    // Progress-only: publish sweep count and off-diagonal mass for probes.
+    checkpoint::progress(sweep, off);
+    if (off <= threshold) break;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = a(p, q);
@@ -119,6 +123,7 @@ Result<PowerIterationResult> power_iteration(const Matrix& a, Rng& rng, double t
   double lambda_prev = 0.0;
   for (std::size_t it = 1; it <= max_iters; ++it) {
     if (cancel::poll()) return cancel::cancelled_error("power iteration");
+    checkpoint::progress(it);
     gemv(1.0, a, x, 0.0, y);
     const double lambda = dot(x, y);  // Rayleigh quotient
     norm = nrm2(y);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/cancel.hpp"
+#include "common/checkpoint.hpp"
 #include "linalg/blas.hpp"
 
 namespace ns::linalg {
@@ -41,7 +42,28 @@ Result<IterativeResult> conjugate_gradient(const CsrMatrix& a, const Vector& b,
   Vector ap(n);
   double rs_old = dot(r, r);
 
-  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+  // Checkpoint/restart: a snapshot captures {x, r, p, rs_old} at the end of
+  // an iteration — exactly the state the loop needs to re-enter at it+1.
+  const std::uint64_t resumed = checkpoint::restore([&](serial::Decoder& dec) {
+    auto count = dec.get_u64();
+    if (!count.ok() || count.value() != n) return false;
+    auto rs = dec.get_f64();
+    auto xs = dec.get_f64_array(n);
+    auto rv = dec.get_f64_array(n);
+    auto pv = dec.get_f64_array(n);
+    if (!rs.ok() || !xs.ok() || !rv.ok() || !pv.ok()) return false;
+    if (xs.value().size() != n || rv.value().size() != n || pv.value().size() != n) {
+      return false;
+    }
+    rs_old = rs.value();
+    result.x = std::move(xs).value();
+    r = std::move(rv).value();
+    p = std::move(pv).value();
+    return true;
+  });
+  result.iterations = resumed;
+
+  for (std::size_t it = resumed + 1; it <= opts.max_iterations; ++it) {
     if (cancel::poll()) return cancel::cancelled_error("conjugate gradient");
     a.multiply(p, ap);
     const double p_ap = dot(p, ap);
@@ -62,6 +84,13 @@ Result<IterativeResult> conjugate_gradient(const CsrMatrix& a, const Vector& b,
     const double beta = rs_new / rs_old;
     for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
     rs_old = rs_new;
+    checkpoint::tick(it, result.residual, [&](serial::Encoder& enc) {
+      enc.put_u64(n);
+      enc.put_f64(rs_old);
+      enc.put_f64_array(result.x);
+      enc.put_f64_array(r);
+      enc.put_f64_array(p);
+    });
   }
   return result;  // not converged; caller inspects the flag
 }
@@ -86,7 +115,17 @@ Result<IterativeResult> jacobi_solve(const CsrMatrix& a, const Vector& b,
 
   Vector x_new(n);
   Vector ax(n);
-  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+  // Jacobi's whole loop state is the current iterate.
+  const std::uint64_t resumed = checkpoint::restore([&](serial::Decoder& dec) {
+    auto count = dec.get_u64();
+    if (!count.ok() || count.value() != n) return false;
+    auto xs = dec.get_f64_array(n);
+    if (!xs.ok() || xs.value().size() != n) return false;
+    result.x = std::move(xs).value();
+    return true;
+  });
+  result.iterations = resumed;
+  for (std::size_t it = resumed + 1; it <= opts.max_iterations; ++it) {
     if (cancel::poll()) return cancel::cancelled_error("Jacobi solve");
     a.multiply(result.x, ax);
     for (std::size_t i = 0; i < n; ++i) {
@@ -106,6 +145,10 @@ Result<IterativeResult> jacobi_solve(const CsrMatrix& a, const Vector& b,
       result.converged = true;
       return result;
     }
+    checkpoint::tick(it, result.residual, [&](serial::Encoder& enc) {
+      enc.put_u64(n);
+      enc.put_f64_array(result.x);
+    });
   }
   return result;
 }
@@ -136,7 +179,17 @@ Result<IterativeResult> sor_solve(const CsrMatrix& a, const Vector& b,
   const auto& values = a.values();
   Vector ax(n);
 
-  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+  // Like Jacobi, the iterate is the whole loop state (SOR updates in place).
+  const std::uint64_t resumed = checkpoint::restore([&](serial::Decoder& dec) {
+    auto count = dec.get_u64();
+    if (!count.ok() || count.value() != n) return false;
+    auto xs = dec.get_f64_array(n);
+    if (!xs.ok() || xs.value().size() != n) return false;
+    result.x = std::move(xs).value();
+    return true;
+  });
+  result.iterations = resumed;
+  for (std::size_t it = resumed + 1; it <= opts.max_iterations; ++it) {
     if (cancel::poll()) return cancel::cancelled_error("SOR solve");
     for (std::size_t i = 0; i < n; ++i) {
       double sigma = 0.0;
@@ -159,6 +212,10 @@ Result<IterativeResult> sor_solve(const CsrMatrix& a, const Vector& b,
       result.converged = true;
       return result;
     }
+    checkpoint::tick(it, result.residual, [&](serial::Encoder& enc) {
+      enc.put_u64(n);
+      enc.put_f64_array(result.x);
+    });
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/cancel.hpp"
+#include "common/checkpoint.hpp"
 
 namespace ns::linalg {
 
@@ -16,8 +17,11 @@ Result<LuFactorization> LuFactorization::factor(Matrix a) {
 
   for (std::size_t k = 0; k < n; ++k) {
     // Cancellation checkpoint at pivot-column granularity: one thread-local
-    // read per O(n^2) trailing update.
+    // read per O(n^2) trailing update. Progress-only for the durability
+    // layer — direct factorization has no cheap resumable state, but probes
+    // still see how far the elimination got.
     if (cancel::poll()) return cancel::cancelled_error("LU factorization");
+    checkpoint::progress(k);
     // Partial pivot: largest |a_ik| for i >= k.
     std::size_t p = k;
     double p_abs = std::abs(a(k, k));

@@ -297,6 +297,8 @@ void SolveResult::encode(serial::Encoder& enc) const {
   enc.put_f64(exec_seconds);
   enc.put_f64(queue_seconds);
   enc.put_f64(retry_after_s);
+  enc.put_string(migrated_host);
+  enc.put_u16(migrated_port);
 }
 
 Result<SolveResult> SolveResult::decode(serial::Decoder& dec) {
@@ -325,6 +327,15 @@ Result<SolveResult> SolveResult::decode(serial::Decoder& dec) {
   auto retry_after = dec.get_f64();
   if (!retry_after.ok()) return retry_after.error();
   msg.retry_after_s = retry_after.value();
+  // migrated_host/port is a further trailing addition (drain-time job
+  // migration); results from older servers end here.
+  if (dec.exhausted()) return msg;
+  auto mhost = dec.get_string(256);
+  if (!mhost.ok()) return mhost.error();
+  msg.migrated_host = std::move(mhost).value();
+  auto mport = dec.get_u16();
+  if (!mport.ok()) return mport.error();
+  msg.migrated_port = mport.value();
   return msg;
 }
 
@@ -395,6 +406,128 @@ Result<DeregisterServer> DeregisterServer::decode(serial::Decoder& dec) {
   auto id = dec.get_u32();
   if (!id.ok()) return id.error();
   msg.server_id = id.value();
+  return msg;
+}
+
+void ProbeRequest::encode(serial::Encoder& enc) const {
+  enc.put_u64(request_id);
+  enc.put_bool(fetch_result);
+}
+
+Result<ProbeRequest> ProbeRequest::decode(serial::Decoder& dec) {
+  ProbeRequest msg;
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  auto fetch = dec.get_u8();
+  if (!fetch.ok()) return fetch.error();
+  if (fetch.value() > 1) return make_error(ErrorCode::kProtocol, "bad probe flag");
+  msg.fetch_result = fetch.value() != 0;
+  return msg;
+}
+
+void ProbeReply::encode(serial::Encoder& enc) const {
+  enc.put_u64(request_id);
+  enc.put_u8(static_cast<std::uint8_t>(state));
+  enc.put_u64(iteration);
+  enc.put_f64(residual);
+  enc.put_bool(has_result);
+  if (has_result) {
+    // Framed as a blob: SolveResult's own trailing-optional fields would
+    // otherwise swallow whatever follows it in a future revision.
+    serial::Encoder nested;
+    result.encode(nested);
+    enc.put_bytes(nested.bytes().data(), nested.size());
+  }
+}
+
+Result<ProbeReply> ProbeReply::decode(serial::Decoder& dec) {
+  ProbeReply msg;
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  auto state = dec.get_u8();
+  if (!state.ok()) return state.error();
+  if (state.value() > static_cast<std::uint8_t>(JobState::kFailed)) {
+    return make_error(ErrorCode::kProtocol, "bad job state");
+  }
+  msg.state = static_cast<JobState>(state.value());
+  auto iteration = dec.get_u64();
+  if (!iteration.ok()) return iteration.error();
+  msg.iteration = iteration.value();
+  auto residual = dec.get_f64();
+  if (!residual.ok()) return residual.error();
+  msg.residual = residual.value();
+  auto has_result = dec.get_u8();
+  if (!has_result.ok()) return has_result.error();
+  if (has_result.value() > 1) return make_error(ErrorCode::kProtocol, "bad probe reply flag");
+  msg.has_result = has_result.value() != 0;
+  if (msg.has_result) {
+    auto blob = dec.get_blob();
+    if (!blob.ok()) return blob.error();
+    serial::Decoder nested(blob.value());
+    auto result = SolveResult::decode(nested);
+    if (!result.ok()) return result.error();
+    msg.result = std::move(result).value();
+  }
+  return msg;
+}
+
+void JobTransfer::encode(serial::Encoder& enc) const {
+  serial::Encoder nested;
+  request.encode(nested);
+  enc.put_bytes(nested.bytes().data(), nested.size());
+  enc.put_f64(deadline_remaining_s);
+  enc.put_u64(checkpoint_iteration);
+  enc.put_f64(checkpoint_residual);
+  enc.put_bytes(checkpoint_state.data(), checkpoint_state.size());
+  enc.put_string(from_server);
+}
+
+Result<JobTransfer> JobTransfer::decode(serial::Decoder& dec) {
+  JobTransfer msg;
+  auto blob = dec.get_blob();
+  if (!blob.ok()) return blob.error();
+  serial::Decoder nested(blob.value());
+  auto request = SolveRequest::decode(nested);
+  if (!request.ok()) return request.error();
+  msg.request = std::move(request).value();
+  auto deadline = dec.get_f64();
+  if (!deadline.ok()) return deadline.error();
+  msg.deadline_remaining_s = deadline.value();
+  auto iteration = dec.get_u64();
+  if (!iteration.ok()) return iteration.error();
+  msg.checkpoint_iteration = iteration.value();
+  auto residual = dec.get_f64();
+  if (!residual.ok()) return residual.error();
+  msg.checkpoint_residual = residual.value();
+  auto state = dec.get_blob();
+  if (!state.ok()) return state.error();
+  msg.checkpoint_state = std::move(state).value();
+  auto from = dec.get_string(256);
+  if (!from.ok()) return from.error();
+  msg.from_server = std::move(from).value();
+  return msg;
+}
+
+void TransferAck::encode(serial::Encoder& enc) const {
+  enc.put_u64(request_id);
+  enc.put_bool(accepted);
+  enc.put_string(reason);
+}
+
+Result<TransferAck> TransferAck::decode(serial::Decoder& dec) {
+  TransferAck msg;
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  auto accepted = dec.get_u8();
+  if (!accepted.ok()) return accepted.error();
+  if (accepted.value() > 1) return make_error(ErrorCode::kProtocol, "bad transfer ack flag");
+  msg.accepted = accepted.value() != 0;
+  auto reason = dec.get_string();
+  if (!reason.ok()) return reason.error();
+  msg.reason = std::move(reason).value();
   return msg;
 }
 

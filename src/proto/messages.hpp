@@ -6,7 +6,9 @@
 //   client <-> agent : Query/ServerList, ListProblems/ProblemCatalog,
 //                      FailureReport, MetricsReport
 //   client <-> server: SolveRequest/SolveResult, CancelRequest/CancelAck,
-//                      DrainRequest/DrainAck, Ping/Pong
+//                      DrainRequest/DrainAck, ProbeRequest/ProbeReply,
+//                      Ping/Pong
+//   server <-> server: JobTransfer/TransferAck (drain-time job migration)
 //
 // Every message type has encode()/decode() against the portable codec; the
 // decode side never trusts the peer (bounds, tags and enum ranges are
@@ -53,6 +55,10 @@ enum class MessageType : std::uint16_t {
   kDrainRequest = 24,
   kDrainAck = 25,
   kDeregisterServer = 26,
+  kProbeRequest = 27,
+  kProbeReply = 28,
+  kJobTransfer = 29,
+  kTransferAck = 30,
 };
 
 using ServerId = std::uint32_t;
@@ -205,6 +211,12 @@ struct SolveResult {
   /// a slot will be free. Clients fold it into their backoff, clamped to the
   /// remaining deadline budget. Trailing optional field; 0 = no hint.
   double retry_after_s = 0.0;
+  /// Where the job went when it was migrated off this server mid-drain
+  /// (error_code == kMigrated): the client re-attaches there with a PROBE
+  /// instead of restarting the solve. Trailing optional pair; an empty host
+  /// with port 0 means "not migrated".
+  std::string migrated_host;
+  std::uint16_t migrated_port = 0;
 
   void encode(serial::Encoder& enc) const;
   static Result<SolveResult> decode(serial::Decoder& dec);
@@ -267,6 +279,75 @@ struct DeregisterServer {
 
   void encode(serial::Encoder& enc) const;
   static Result<DeregisterServer> decode(serial::Decoder& dec);
+};
+
+// ---- durable jobs (probe / migration) ----
+
+/// Where a job sits in the server's lifecycle, as reported by PROBE.
+/// kUnknown covers ids the server has never journaled (or whose terminal
+/// record has been compacted away).
+enum class JobState : std::uint8_t {
+  kUnknown = 0,
+  kQueued = 1,
+  kRunning = 2,
+  kCompleted = 3,
+  kFailed = 4,
+};
+
+/// The paper's netslpr/netslwt: ask a server how request_id is doing.
+/// With `fetch_result`, a terminal job's stored SolveResult rides back in
+/// the reply — this is how a client re-attaches to a job that finished
+/// while the original connection was down (server restart, migration).
+struct ProbeRequest {
+  std::uint64_t request_id = 0;
+  bool fetch_result = false;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<ProbeRequest> decode(serial::Decoder& dec);
+};
+
+struct ProbeReply {
+  std::uint64_t request_id = 0;
+  JobState state = JobState::kUnknown;
+  /// Live progress published by the kernel's checkpoint token (0 when the
+  /// job has not started or the kernel does not report progress).
+  std::uint64_t iteration = 0;
+  double residual = 0.0;
+  /// Terminal result, present only when requested and available. Carried as
+  /// a nested blob because SolveResult has trailing optional fields of its
+  /// own and must be framed to stay self-delimiting.
+  bool has_result = false;
+  SolveResult result;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<ProbeReply> decode(serial::Decoder& dec);
+};
+
+/// server -> server: hand over a running (or queued) job during drain. The
+/// receiver admits it like a fresh SolveRequest but seeds its checkpoint
+/// token from the carried snapshot, so the kernel resumes mid-iteration
+/// instead of starting over. The SolveRequest travels as a framed blob
+/// (trailing-optional fields again).
+struct JobTransfer {
+  SolveRequest request;
+  /// Remaining deadline budget measured at hand-off (0 = none).
+  double deadline_remaining_s = 0.0;
+  std::uint64_t checkpoint_iteration = 0;
+  double checkpoint_residual = 0.0;
+  serial::Bytes checkpoint_state;
+  std::string from_server;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<JobTransfer> decode(serial::Decoder& dec);
+};
+
+struct TransferAck {
+  std::uint64_t request_id = 0;
+  bool accepted = false;
+  std::string reason;  // why the transfer was refused (empty when accepted)
+
+  void encode(serial::Encoder& enc) const;
+  static Result<TransferAck> decode(serial::Decoder& dec);
 };
 
 // ---- observability ----

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/cancel.hpp"
+#include "common/checkpoint.hpp"
 #include "common/clock.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "dsl/specfile.hpp"
 #include "linalg/blas.hpp"
@@ -422,12 +424,30 @@ void register_builtin_problems(dsl::ProblemRegistry& registry, double native_mfl
           return make_error(ErrorCode::kBadArguments, "busywork: mflop out of range");
         }
         const double rate = native_mflops > 0 ? native_mflops : 100.0;
+        const auto total = static_cast<std::uint64_t>(mflop);
+        // Durable jobs snapshot their position as whole Mflop completed; the
+        // iteration counter doubles as the unit of progress, so a resumed job
+        // repeats at most the checkpoint interval's worth of spinning.
+        std::uint64_t done = checkpoint::restore([&](serial::Decoder& dec) {
+          auto t = dec.get_u64();
+          return t.ok() && t.value() == total;
+        });
+        auto& work_done = metrics::counter("server.work_mflop_total");
         // Spin in slices with cancellation checkpoints between them, so a
         // cancelled request releases its worker slot mid-spin.
-        double remaining = static_cast<double>(mflop) / rate;
-        while (remaining > 0.0) {
+        while (done < total) {
           if (cancel::poll()) return cancel::cancelled_error("busywork");
-          remaining -= busy_spin_seconds(std::min(remaining, 0.01));
+          const double want_s = std::min(static_cast<double>(total - done) / rate, 0.01);
+          const double spent_s = busy_spin_seconds(want_s);
+          const auto step = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(spent_s * rate + 0.5));
+          const std::uint64_t add = std::min(step, total - done);
+          done += add;
+          work_done.inc(add);
+          const double frac = total > 0 ? static_cast<double>(total - done) /
+                                              static_cast<double>(total)
+                                        : 0.0;
+          checkpoint::tick(done, frac, [&](serial::Encoder& enc) { enc.put_u64(total); });
         }
         return Args{DataObject(mflop)};
       });
@@ -446,13 +466,29 @@ void register_builtin_problems(dsl::ProblemRegistry& registry, double native_mfl
           return make_error(ErrorCode::kBadArguments, "simwork: mflop out of range");
         }
         const double rate = native_mflops > 0 ? native_mflops : 100.0;
-        // Sleep in slices with cancellation checkpoints between them: the
-        // chaos/drain tests cancel in-flight simwork and expect the worker
-        // slot back promptly.
-        const Deadline done(static_cast<double>(mflop) / rate);
-        while (!done.expired()) {
+        const auto total = static_cast<std::uint64_t>(mflop);
+        // Sliced like busywork so the job is checkpointable: position is
+        // whole Mflop completed, and a restart resumes sleeping from the
+        // last snapshot instead of the beginning. Cancellation checkpoints
+        // between slices keep the chaos/drain tests prompt.
+        std::uint64_t done = checkpoint::restore([&](serial::Decoder& dec) {
+          auto t = dec.get_u64();
+          return t.ok() && t.value() == total;
+        });
+        auto& work_done = metrics::counter("server.work_mflop_total");
+        while (done < total) {
           if (cancel::poll()) return cancel::cancelled_error("simwork");
-          sleep_seconds(std::min(0.01, done.remaining()));
+          const double slice_s = std::min(static_cast<double>(total - done) / rate, 0.01);
+          sleep_seconds(slice_s);
+          const auto step = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(slice_s * rate + 0.5));
+          const std::uint64_t add = std::min(step, total - done);
+          done += add;
+          work_done.inc(add);
+          const double frac = total > 0 ? static_cast<double>(total - done) /
+                                              static_cast<double>(total)
+                                        : 0.0;
+          checkpoint::tick(done, frac, [&](serial::Encoder& enc) { enc.put_u64(total); });
         }
         return Args{DataObject(mflop)};
       });

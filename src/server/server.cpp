@@ -1,7 +1,11 @@
 #include "server/server.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
@@ -63,6 +67,13 @@ Result<std::unique_ptr<ComputeServer>> ComputeServer::start(ServerConfig config)
   if (server->config_.agents.empty()) {
     return make_error(ErrorCode::kBadArguments, "no agents configured");
   }
+  // Durability: replay whatever the previous incarnation left behind and
+  // open the journal before any traffic can arrive. Recovered jobs are
+  // registered in active_jobs_ here — before the accept thread exists — so
+  // a re-attaching client's first probe can never miss them.
+  if (!server->config_.data_dir.empty()) {
+    NS_RETURN_IF_ERROR(server->open_journal());
+  }
   // Initial registration sweep: every configured agent gets one synchronous
   // try; startup succeeds if at least one lands. Unreachable agents stay in
   // the link table and the report thread keeps retrying them with backoff.
@@ -75,6 +86,7 @@ Result<std::unique_ptr<ComputeServer>> ComputeServer::start(ServerConfig config)
 
   server->accept_thread_ = std::thread([raw = server.get()] { raw->accept_loop(); });
   server->report_thread_ = std::thread([raw = server.get()] { raw->report_loop(); });
+  server->launch_recovered_jobs();
   return server;
 }
 
@@ -94,6 +106,10 @@ ComputeServer::ServerMetrics::ServerMetrics(const std::string& name)
       cancelled_running(metrics::counter("server.cancelled_running_total")),
       cancel_requests(metrics::counter("server.cancel_requests_total")),
       drain_rejected(metrics::counter("server.drain_rejected_total")),
+      journal_appends(metrics::counter("server.journal_appends_total")),
+      jobs_recovered(metrics::counter("server.jobs_recovered_total")),
+      jobs_migrated(metrics::counter("server.jobs_migrated_total")),
+      jobs_resumed(metrics::counter("server.jobs_resumed_total")),
       queue_wait_s(metrics::histogram("server.queue_wait_s")),
       queue_sojourn_s(metrics::histogram("server.queue_sojourn_s")),
       compute_s(metrics::histogram("server.compute_s")),
@@ -460,6 +476,22 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
                               encode_payload(ack));
       continue;
     }
+    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kProbeRequest)) {
+      serial::Decoder probe_dec(msg.value().payload);
+      auto probe = proto::ProbeRequest::decode(probe_dec);
+      if (!probe.ok()) return;  // protocol violation: drop
+      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kProbeReply),
+                              encode_payload(probe_job(probe.value())));
+      continue;
+    }
+    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kJobTransfer)) {
+      serial::Decoder transfer_dec(msg.value().payload);
+      auto transfer = proto::JobTransfer::decode(transfer_dec);
+      if (!transfer.ok()) return;  // protocol violation: drop
+      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kTransferAck),
+                              encode_payload(accept_transfer(std::move(transfer).value())));
+      continue;
+    }
     if (msg.value().type != static_cast<std::uint16_t>(MessageType::kSolveRequest)) {
       return;  // protocol violation: drop
     }
@@ -522,242 +554,304 @@ void ComputeServer::handle_connection(net::TcpConnection conn) {
                               encode_payload(result), config_.link);
       continue;
     }
-    // Visible to CANCEL and the drain sweep from admission to reply.
+    // Visible to CANCEL, PROBE and the drain sweep from admission to reply.
+    // The request moves into the job so compaction and migration can
+    // re-serialize it without this connection thread's cooperation.
     auto job = std::make_shared<ActiveJob>();
+    job->request = std::move(request).value();
     {
       std::lock_guard<std::mutex> lock(active_jobs_mu_);
       active_jobs_.emplace(result.request_id, job);
     }
-    const auto erase_job = [this, &job, id = result.request_id] {
-      std::lock_guard<std::mutex> lock(active_jobs_mu_);
-      auto [it, end] = active_jobs_.equal_range(id);
-      for (; it != end; ++it) {
-        if (it->second == job) {
-          active_jobs_.erase(it);
-          break;
-        }
-      }
-    };
-    const Stopwatch queue_watch;
-    const double est_service = estimate_service_seconds(request.value());
-    WaitEntry entry;
-    {
-      std::unique_lock<std::mutex> lock(jobs_mu_);
-      const auto& adm = config_.admission;
-      const double now = now_seconds();
-      if (config_.max_queue > 0 && waiting_jobs_ >= config_.max_queue) {
-        result.retry_after_s = retry_after_locked();
-        lock.unlock();
-        erase_job();
-        metrics_.rejected.inc();
-        result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
-        result.error_message = "admission control: queue full";
-        (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                                encode_payload(result), config_.link);
-        continue;
-      }
-      // Per-client fair share: when quotas are on, a single client id may
-      // occupy at most its fraction of the queue slots. Anonymous requests
-      // (client_id 0 — older clients) are exempt rather than lumped into
-      // one shared bucket that they would starve each other out of.
-      if (adm.quota_fraction > 0.0 && config_.max_queue > 0 &&
-          request.value().client_id != 0) {
-        const int quota = std::max(
-            1, static_cast<int>(std::llround(adm.quota_fraction * config_.max_queue)));
-        const auto used = waiting_by_client_.find(request.value().client_id);
-        if (used != waiting_by_client_.end() && used->second >= quota) {
-          result.retry_after_s = retry_after_locked();
-          lock.unlock();
-          erase_job();
-          shed_quota_.fetch_add(1);
-          metrics_.shed_quota.inc();
-          result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
-          result.error_message = "admission control: per-client quota exceeded";
-          (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                                  encode_payload(result), config_.link);
-          continue;
-        }
-      }
-      // Infeasible at admission: the predicted service time alone already
-      // exceeds the remaining budget, so even an empty queue cannot save
-      // this job. Shedding now (retryably) lets the client spend its budget
-      // on a faster server instead of on our queue.
-      if (adm.shed_infeasible && request.value().deadline_s > 0.0 && est_service > 0.0) {
-        const double remaining = request.value().deadline_s - since_receipt.elapsed();
-        if (est_service + adm.dispatch_slack_s > remaining) {
-          lock.unlock();
-          erase_job();
-          shed_admission_.fetch_add(1);
-          metrics_.shed_admission.inc();
-          shed_.fetch_add(1);  // legacy aggregate: deadline sheds before compute
-          metrics_.shed.inc();
-          NS_DEBUG("server") << config_.name << " shed request " << result.request_id
-                             << " at admission (predicted " << est_service
-                             << "s > remaining " << remaining << "s)";
-          result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
-          result.error_message =
-              "admission control: predicted service time exceeds deadline budget";
-          (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                                  encode_payload(result), config_.link);
-          continue;
-        }
-      }
-      // Admit into the EDF wait queue. With EDF off the key degenerates to
-      // the arrival sequence number, i.e. plain FIFO. No-deadline jobs sort
-      // last under EDF (deadline_abs ~ +inf) — they can afford to wait.
-      metrics_.admit.inc();
-      entry.enqueue_time = now;
-      entry.deadline_abs = request.value().deadline_s > 0.0
-                               ? now + (request.value().deadline_s - since_receipt.elapsed())
-                               : 1e300;
-      entry.est_service_s = est_service;
-      entry.client_id = request.value().client_id;
-      entry.key = {adm.edf ? entry.deadline_abs : 0.0, queue_seq_++};
-      wait_queue_.emplace(entry.key, &entry);
-      if (entry.client_id != 0) ++waiting_by_client_[entry.client_id];
-      ++waiting_jobs_;
-      metrics_.queue_depth.set(waiting_jobs_);
-      dispatch_locked();
-      jobs_cv_.wait(lock, [this, &job, &entry] {
-        return entry.ready || entry.dropped || stopping_.load() || job->token.cancelled();
-      });
-      --waiting_jobs_;
-      metrics_.queue_depth.set(waiting_jobs_);
-      if (entry.client_id != 0) {
-        const auto used = waiting_by_client_.find(entry.client_id);
-        if (used != waiting_by_client_.end() && --used->second <= 0) {
-          waiting_by_client_.erase(used);
-        }
-      }
-      if (!entry.ready && !entry.dropped) {
-        // Woken by stop or cancel while still queued: unlink our stack
-        // entry before the dispatcher can hand out a dangling pointer.
-        remove_wait_entry_locked(entry);
-      } else if (entry.ready && (stopping_.load() || job->token.cancelled())) {
-        // Slot granted but we will not use it; hand it to the next waiter.
-        --running_jobs_;
-        entry.ready = false;
-        dispatch_locked();
-      }
-      if (stopping_.load()) {
-        lock.unlock();
-        erase_job();
-        return;
-      }
-      if (job->token.cancelled()) {
-        // Cancelled while queued: checked before taking the slot so a
-        // cancel can never also count as a shed or a completion.
-        lock.unlock();
-        erase_job();
-        cancelled_queued_.fetch_add(1);
-        metrics_.cancelled_queued.inc();
-        NS_DEBUG("server") << config_.name << " dropped queued request "
-                           << result.request_id << " (cancelled)";
-        result.error_code = static_cast<std::uint16_t>(ErrorCode::kCancelled);
-        result.error_message = "cancelled while queued";
-        (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                                encode_payload(result), config_.link);
-        continue;
-      }
-      if (entry.dropped) {
-        // Shed-at-dequeue: the dispatcher decided computing this job is not
-        // worth a slot (budget lapsed in queue, or CoDel pressure). Reply
-        // retryably — another, less loaded server may still make it — with
-        // the dispatcher's backpressure hint attached.
-        result.retry_after_s = entry.retry_after_s;
-        lock.unlock();
-        erase_job();
-        result.queue_seconds = queue_watch.elapsed();
-        NS_DEBUG("server") << config_.name << " shed queued request "
-                           << result.request_id << " (" << entry.drop_reason << ")";
-        result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
-        result.error_message = entry.drop_reason;
-        (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                                encode_payload(result), config_.link);
-        continue;
-      }
-      job->queued.store(false);
-    }
-    const double queue_wait = queue_watch.elapsed();
-    result.queue_seconds = queue_wait;
-    metrics_.queue_wait_s.observe(queue_wait);
-    trace::record_span(request.value().trace_id, "server.queue_wait",
-                       since_receipt.elapsed() - queue_wait, queue_wait);
-
-    const Stopwatch watch;
-    Result<std::vector<dsl::DataObject>> outputs = [&] {
-      // Bind the job's token for this thread: the kernels' checkpoints (and
-      // the simwork/busywork slices) poll it and unwind with kCancelled.
-      cancel::ScopedToken bound(&job->token);
-      return registry_.execute(request.value().problem, request.value().args);
-    }();
-    double elapsed = watch.elapsed();
-    // Heterogeneity emulation: a speed-s server takes 1/s as long, and a
-    // synthetic background load of L competing jobs stretches service by
-    // (1 + L) under processor sharing. Sliced so a cancel (or stop) does not
-    // have to wait out a long stretch.
-    const double bg = background_load_.load();
-    const double stretch = (1.0 / config_.speed_factor) * (1.0 + std::max(bg, 0.0)) - 1.0;
-    if (stretch > 0.0 && outputs.ok()) {
-      double extra = elapsed * stretch;
-      while (extra > 0.0 && !stopping_.load()) {
-        if (job->token.cancelled()) {
-          outputs = cancel::cancelled_error("service-time stretch");
-          break;
-        }
-        const double slice = std::min(extra, 0.01);
-        if (config_.slowdown_mode == SlowdownMode::kSpin) {
-          elapsed += busy_spin_seconds(slice);
-        } else {
-          const Stopwatch extra_watch;
-          sleep_seconds(slice);
-          elapsed += extra_watch.elapsed();
-        }
-        extra -= slice;
-      }
-    }
-
-    {
-      std::lock_guard<std::mutex> lock(jobs_mu_);
-      --running_jobs_;
-      if (outputs.ok()) {
-        aimd_on_success_locked();
-        // Service-time EWMA feeds the retry_after backpressure hint.
-        service_ewma_s_ =
-            service_ewma_s_ == 0.0 ? elapsed : 0.8 * service_ewma_s_ + 0.2 * elapsed;
-      }
-      dispatch_locked();
-    }
-    erase_job();
-
-    result.exec_seconds = elapsed;
-    metrics_.compute_s.observe(elapsed);
-    trace::record_span(request.value().trace_id, "server.compute",
-                       since_receipt.elapsed() - elapsed, elapsed);
-    if (outputs.ok()) {
-      result.outputs = std::move(outputs).value();
-      completed_.fetch_add(1);
-      metrics_.completed.inc();
-    } else if (outputs.error().code == ErrorCode::kCancelled) {
-      // The partial outputs died with the kernel's stack frame; nothing of
-      // the cancelled attempt is published.
-      cancelled_running_.fetch_add(1);
-      metrics_.cancelled_running.inc();
-      NS_DEBUG("server") << config_.name << " cancelled running request "
-                         << result.request_id << " after " << elapsed << "s";
-      result.error_code = static_cast<std::uint16_t>(ErrorCode::kCancelled);
-      result.error_message = outputs.error().message;
-    } else {
-      metrics_.exec_errors.inc();
-      result.error_code = static_cast<std::uint16_t>(outputs.error().code);
-      result.error_message = outputs.error().message;
-    }
+    // WAL discipline: the ADMITTED record (full request + remaining budget)
+    // is on disk before the job enters the queue — from here on, a crash
+    // cannot lose it.
+    journal_admit(*job, job->request.deadline_s > 0.0
+                            ? job->request.deadline_s - since_receipt.elapsed()
+                            : 0.0);
+    auto reply = run_job(job, since_receipt);
+    if (!reply.has_value()) return;  // stopping or crashed: no reply leaves
     if (!net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                           encode_payload(result), config_.link)
+                           encode_payload(*reply), config_.link)
              .ok()) {
       return;
     }
   }
+}
+
+std::optional<proto::SolveResult> ComputeServer::run_job(
+    const std::shared_ptr<ActiveJob>& job, const Stopwatch& since_receipt) {
+  const proto::SolveRequest& request = job->request;
+  proto::SolveResult result;
+  result.request_id = request.request_id;
+
+  const Stopwatch queue_watch;
+  const double est_service = estimate_service_seconds(request);
+  WaitEntry entry;
+  {
+    std::unique_lock<std::mutex> lock(jobs_mu_);
+    const auto& adm = config_.admission;
+    const double now = now_seconds();
+    // Recovered and transferred-in jobs (readmit) skip the admission
+    // rejections: they were accepted once already, and shedding them now
+    // would turn a durability guarantee into a coin flip.
+    if (!job->readmit && config_.max_queue > 0 && waiting_jobs_ >= config_.max_queue) {
+      result.retry_after_s = retry_after_locked();
+      lock.unlock();
+      metrics_.rejected.inc();
+      result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+      result.error_message = "admission control: queue full";
+      finish_job(job, result);
+      return result;
+    }
+    // Per-client fair share: when quotas are on, a single client id may
+    // occupy at most its fraction of the queue slots. Anonymous requests
+    // (client_id 0 — older clients) are exempt rather than lumped into
+    // one shared bucket that they would starve each other out of.
+    if (!job->readmit && adm.quota_fraction > 0.0 && config_.max_queue > 0 &&
+        request.client_id != 0) {
+      const int quota = std::max(
+          1, static_cast<int>(std::llround(adm.quota_fraction * config_.max_queue)));
+      const auto used = waiting_by_client_.find(request.client_id);
+      if (used != waiting_by_client_.end() && used->second >= quota) {
+        result.retry_after_s = retry_after_locked();
+        lock.unlock();
+        shed_quota_.fetch_add(1);
+        metrics_.shed_quota.inc();
+        result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+        result.error_message = "admission control: per-client quota exceeded";
+        finish_job(job, result);
+        return result;
+      }
+    }
+    // Infeasible at admission: the predicted service time alone already
+    // exceeds the remaining budget, so even an empty queue cannot save
+    // this job. Shedding now (retryably) lets the client spend its budget
+    // on a faster server instead of on our queue.
+    if (!job->readmit && adm.shed_infeasible && request.deadline_s > 0.0 &&
+        est_service > 0.0) {
+      const double remaining = request.deadline_s - since_receipt.elapsed();
+      if (est_service + adm.dispatch_slack_s > remaining) {
+        lock.unlock();
+        shed_admission_.fetch_add(1);
+        metrics_.shed_admission.inc();
+        shed_.fetch_add(1);  // legacy aggregate: deadline sheds before compute
+        metrics_.shed.inc();
+        NS_DEBUG("server") << config_.name << " shed request " << result.request_id
+                           << " at admission (predicted " << est_service
+                           << "s > remaining " << remaining << "s)";
+        result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+        result.error_message =
+            "admission control: predicted service time exceeds deadline budget";
+        finish_job(job, result);
+        return result;
+      }
+    }
+    // Admit into the EDF wait queue. With EDF off the key degenerates to
+    // the arrival sequence number, i.e. plain FIFO. No-deadline jobs sort
+    // last under EDF (deadline_abs ~ +inf) — they can afford to wait.
+    metrics_.admit.inc();
+    entry.enqueue_time = now;
+    entry.deadline_abs = request.deadline_s > 0.0
+                             ? now + (request.deadline_s - since_receipt.elapsed())
+                             : 1e300;
+    entry.est_service_s = est_service;
+    entry.client_id = request.client_id;
+    entry.key = {adm.edf ? entry.deadline_abs : 0.0, queue_seq_++};
+    job->deadline_abs = entry.deadline_abs;
+    wait_queue_.emplace(entry.key, &entry);
+    if (entry.client_id != 0) ++waiting_by_client_[entry.client_id];
+    ++waiting_jobs_;
+    metrics_.queue_depth.set(waiting_jobs_);
+    dispatch_locked();
+    jobs_cv_.wait(lock, [this, &job, &entry] {
+      return entry.ready || entry.dropped || stopping_.load() || job->token.cancelled();
+    });
+    --waiting_jobs_;
+    metrics_.queue_depth.set(waiting_jobs_);
+    if (entry.client_id != 0) {
+      const auto used = waiting_by_client_.find(entry.client_id);
+      if (used != waiting_by_client_.end() && --used->second <= 0) {
+        waiting_by_client_.erase(used);
+      }
+    }
+    if (!entry.ready && !entry.dropped) {
+      // Woken by stop or cancel while still queued: unlink our stack
+      // entry before the dispatcher can hand out a dangling pointer.
+      remove_wait_entry_locked(entry);
+    } else if (entry.ready && (stopping_.load() || job->token.cancelled())) {
+      // Slot granted but we will not use it; hand it to the next waiter.
+      --running_jobs_;
+      entry.ready = false;
+      dispatch_locked();
+    }
+    if (stopping_.load()) {
+      // No terminal record on purpose: a stop with an open journal is
+      // indistinguishable from a crash for queued jobs, and replay will
+      // re-admit them — exactly what a durable queue is for.
+      lock.unlock();
+      erase_active_job(job, result.request_id);
+      return std::nullopt;
+    }
+    if (job->token.cancelled()) {
+      // Cancelled while queued: checked before taking the slot so a
+      // cancel can never also count as a shed or a completion.
+      lock.unlock();
+      cancelled_queued_.fetch_add(1);
+      metrics_.cancelled_queued.inc();
+      NS_DEBUG("server") << config_.name << " dropped queued request "
+                         << result.request_id << " (cancelled)";
+      result.error_code = static_cast<std::uint16_t>(ErrorCode::kCancelled);
+      result.error_message = "cancelled while queued";
+      finish_job(job, result);
+      return result;
+    }
+    if (entry.dropped) {
+      // Shed-at-dequeue: the dispatcher decided computing this job is not
+      // worth a slot (budget lapsed in queue, or CoDel pressure). Reply
+      // retryably — another, less loaded server may still make it — with
+      // the dispatcher's backpressure hint attached.
+      result.retry_after_s = entry.retry_after_s;
+      lock.unlock();
+      result.queue_seconds = queue_watch.elapsed();
+      NS_DEBUG("server") << config_.name << " shed queued request "
+                         << result.request_id << " (" << entry.drop_reason << ")";
+      result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+      result.error_message = entry.drop_reason;
+      finish_job(job, result);
+      return result;
+    }
+    job->queued.store(false);
+  }
+  const double queue_wait = queue_watch.elapsed();
+  result.queue_seconds = queue_wait;
+  metrics_.queue_wait_s.observe(queue_wait);
+  trace::record_span(request.trace_id, "server.queue_wait",
+                     since_receipt.elapsed() - queue_wait, queue_wait);
+
+  // Checkpoint wiring: the kernel snapshots its loop state every interval;
+  // with a journal open each snapshot also lands as a CHECKPOINT record.
+  job->ckpt.set_interval(config_.checkpoint_interval);
+  {
+    std::lock_guard<std::mutex> journal_lock(journal_mu_);
+    if (journal_.is_open() && job->journaled) {
+      job->ckpt.set_on_snapshot([this, id = result.request_id](
+                                    const checkpoint::Snapshot& snap) {
+        JournalRecord rec;
+        rec.type = JournalRecordType::kCheckpoint;
+        rec.request_id = id;
+        rec.wall_micros = wall_micros();
+        rec.iteration = snap.iteration;
+        rec.residual = snap.residual;
+        rec.data = snap.state;
+        journal_append(rec);
+      });
+    }
+  }
+  // STARTED before execute (once per job — a recovered job that already has
+  // its STARTED record on disk carries started=true from replay).
+  if (!job->started.exchange(true) && job->journaled) {
+    JournalRecord rec;
+    rec.type = JournalRecordType::kStarted;
+    rec.request_id = result.request_id;
+    rec.wall_micros = wall_micros();
+    journal_append(rec);
+  }
+  if (job->ckpt.has_restore()) {
+    jobs_resumed_.fetch_add(1);
+    metrics_.jobs_resumed.inc();
+    std::uint64_t seen = last_resume_iteration_.load();
+    const std::uint64_t at = job->ckpt.restore_iteration();
+    while (at > seen && !last_resume_iteration_.compare_exchange_weak(seen, at)) {
+    }
+    NS_INFO("server") << config_.name << " resuming job " << result.request_id
+                      << " from checkpoint iteration " << at;
+  }
+
+  const Stopwatch watch;
+  Result<std::vector<dsl::DataObject>> outputs = [&] {
+    // Bind the job's tokens for this thread: the kernels' checkpoints (and
+    // the simwork/busywork slices) poll the cancel token and unwind with
+    // kCancelled, and tick the checkpoint token at the same loop heads.
+    cancel::ScopedToken bound(&job->token);
+    checkpoint::ScopedToken ckpt_bound(&job->ckpt);
+    return registry_.execute(request.problem, request.args);
+  }();
+  double elapsed = watch.elapsed();
+  // Heterogeneity emulation: a speed-s server takes 1/s as long, and a
+  // synthetic background load of L competing jobs stretches service by
+  // (1 + L) under processor sharing. Sliced so a cancel (or stop) does not
+  // have to wait out a long stretch.
+  const double bg = background_load_.load();
+  const double stretch = (1.0 / config_.speed_factor) * (1.0 + std::max(bg, 0.0)) - 1.0;
+  if (stretch > 0.0 && outputs.ok()) {
+    double extra = elapsed * stretch;
+    while (extra > 0.0 && !stopping_.load()) {
+      if (job->token.cancelled()) {
+        outputs = cancel::cancelled_error("service-time stretch");
+        break;
+      }
+      const double slice = std::min(extra, 0.01);
+      if (config_.slowdown_mode == SlowdownMode::kSpin) {
+        elapsed += busy_spin_seconds(slice);
+      } else {
+        const Stopwatch extra_watch;
+        sleep_seconds(slice);
+        elapsed += extra_watch.elapsed();
+      }
+      extra -= slice;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    --running_jobs_;
+    if (outputs.ok()) {
+      aimd_on_success_locked();
+      // Service-time EWMA feeds the retry_after backpressure hint.
+      service_ewma_s_ =
+          service_ewma_s_ == 0.0 ? elapsed : 0.8 * service_ewma_s_ + 0.2 * elapsed;
+    }
+    dispatch_locked();
+  }
+
+  result.exec_seconds = elapsed;
+  metrics_.compute_s.observe(elapsed);
+  trace::record_span(request.trace_id, "server.compute",
+                     since_receipt.elapsed() - elapsed, elapsed);
+  if (outputs.ok()) {
+    result.outputs = std::move(outputs).value();
+    completed_.fetch_add(1);
+    metrics_.completed.inc();
+  } else if (outputs.error().code == ErrorCode::kCancelled) {
+    // The partial outputs died with the kernel's stack frame; nothing of
+    // the cancelled attempt is published.
+    cancelled_running_.fetch_add(1);
+    metrics_.cancelled_running.inc();
+    NS_DEBUG("server") << config_.name << " cancelled running request "
+                       << result.request_id << " after " << elapsed << "s";
+    result.error_code = static_cast<std::uint16_t>(ErrorCode::kCancelled);
+    result.error_message = outputs.error().message;
+    // Drain-time migration: the drain sweep marked this job for hand-off
+    // before tripping its token. Ship the latest checkpoint to a peer; on
+    // success the reply becomes kMigrated + a forwarding address instead
+    // of a bare cancel, and no compute is lost.
+    if (job->migrate.load() && config_.migrate_on_drain && !crash_mode_.load()) {
+      (void)migrate_job(*job, result);
+    }
+  } else {
+    metrics_.exec_errors.inc();
+    result.error_code = static_cast<std::uint16_t>(outputs.error().code);
+    result.error_message = outputs.error().message;
+  }
+  if (crash_mode_.load()) {
+    // Crashed mid-execution: the journal is frozen and the reply must not
+    // leave — to the outside world this job died with the process.
+    erase_active_job(job, result.request_id);
+    return std::nullopt;
+  }
+  finish_job(job, result);
+  return result;
 }
 
 double ComputeServer::current_workload() const {
@@ -845,6 +939,449 @@ proto::CancelOutcome ComputeServer::cancel_jobs(std::uint64_t request_id) {
   return outcome;
 }
 
+// ---- durability ----
+
+Status ComputeServer::open_journal() {
+  if (::mkdir(config_.data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return make_error(ErrorCode::kInternal, "cannot create data_dir " +
+                                                config_.data_dir + ": " +
+                                                std::strerror(errno));
+  }
+  const std::string path = config_.data_dir + "/" + config_.name + ".journal";
+  auto replay = replay_journal(path);
+  if (!replay.ok()) return replay.error();
+  NS_RETURN_IF_ERROR(journal_.open(path, config_.journal_fsync));
+  restore_from_replay(std::move(replay).value());
+  // Startup compaction: the replayed history collapses to one record chain
+  // per live job plus the stored results; downtime noise drops out.
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    (void)journal_.rewrite(collect_live_records_locked());
+  }
+  return ok_status();
+}
+
+void ComputeServer::restore_from_replay(ReplaySummary replay) {
+  if (replay.records == 0 && replay.skipped == 0) return;
+  NS_INFO("server") << config_.name << " journal replay: " << replay.records
+                    << " record(s), " << replay.skipped << " skipped, "
+                    << replay.unfinished.size() << " unfinished job(s), "
+                    << replay.completed.size() << " stored result(s)";
+  for (auto& [id, result] : replay.completed) {
+    store_result(id, result);
+  }
+  const std::int64_t now_us = wall_micros();
+  for (auto& recovered : replay.unfinished) {
+    const std::uint64_t id = recovered.request.request_id;
+    auto job = std::make_shared<ActiveJob>();
+    job->readmit = true;
+    job->journaled = true;
+    job->admitted_wall_us = recovered.admitted_wall_micros;
+    job->started.store(recovered.started);
+    // Deadline budgets decay across the downtime: the client's clock kept
+    // running while this server was dead.
+    if (recovered.deadline_remaining_s > 0.0) {
+      const double downtime =
+          static_cast<double>(now_us - recovered.admitted_wall_micros) / 1e6;
+      const double remaining = recovered.deadline_remaining_s - downtime;
+      if (remaining <= 0.0) {
+        // Nothing left to spend. Journal the terminal record and store a
+        // DEADLINE_EXCEEDED result so a re-attaching probe learns the fate.
+        proto::SolveResult result;
+        result.request_id = id;
+        result.error_code = static_cast<std::uint16_t>(ErrorCode::kDeadlineExceeded);
+        result.error_message = "deadline budget lapsed during server downtime";
+        {
+          std::lock_guard<std::mutex> lock(journal_mu_);
+          JournalRecord rec;
+          rec.type = JournalRecordType::kCompleted;
+          rec.request_id = id;
+          rec.wall_micros = now_us;
+          rec.data = encode_payload(result);
+          journal_append_locked(rec);
+          store_result(id, result);
+        }
+        continue;
+      }
+      recovered.request.deadline_s = remaining;
+    } else {
+      recovered.request.deadline_s = 0.0;
+    }
+    job->admit_deadline_remaining_s = recovered.request.deadline_s;
+    job->request = std::move(recovered.request);
+    if (recovered.snapshot.iteration > 0) {
+      job->ckpt.install_restore(std::move(recovered.snapshot));
+    }
+    {
+      std::lock_guard<std::mutex> lock(active_jobs_mu_);
+      active_jobs_.emplace(id, job);
+    }
+    jobs_recovered_.fetch_add(1);
+    metrics_.jobs_recovered.inc();
+    recovered_jobs_.push_back(std::move(job));
+  }
+}
+
+void ComputeServer::launch_recovered_jobs() {
+  std::vector<std::shared_ptr<ActiveJob>> jobs;
+  jobs.swap(recovered_jobs_);
+  // Launch in journal (= original admission) order; EDF re-sorts by the
+  // decayed deadlines anyway, and the sequence numbers keep FIFO ties.
+  for (auto& job : jobs) {
+    active_connections_.fetch_add(1);
+    std::thread([this, job] {
+      const Stopwatch since_receipt;
+      // No client connection to answer — the original caller re-attaches
+      // with a PROBE and reads the stored result.
+      (void)run_job(job, since_receipt);
+      active_connections_.fetch_sub(1);
+    }).detach();
+  }
+}
+
+std::uint64_t ComputeServer::journal_appends() const {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  return journal_.appends();
+}
+
+void ComputeServer::journal_append_locked(const JournalRecord& record) {
+  if (!journal_.is_open()) return;
+  if (journal_.append(record).ok()) {
+    metrics_.journal_appends.inc();
+  } else {
+    NS_WARN("server") << config_.name << " journal append failed ("
+                      << journal_.path() << ")";
+  }
+}
+
+void ComputeServer::journal_append(const JournalRecord& record) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  journal_append_locked(record);
+}
+
+void ComputeServer::journal_admit(ActiveJob& job, double deadline_remaining_s) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (!journal_.is_open()) return;
+  job.journaled = true;
+  job.admitted_wall_us = wall_micros();
+  job.admit_deadline_remaining_s = std::max(deadline_remaining_s, 0.0);
+  JournalRecord rec;
+  rec.type = JournalRecordType::kAdmitted;
+  rec.request_id = job.request.request_id;
+  rec.wall_micros = job.admitted_wall_us;
+  rec.deadline_remaining_s = job.admit_deadline_remaining_s;
+  rec.data = encode_payload(job.request);
+  journal_append_locked(rec);
+}
+
+void ComputeServer::finish_job(const std::shared_ptr<ActiveJob>& job,
+                               const proto::SolveResult& result) {
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    const auto code = static_cast<ErrorCode>(result.error_code);
+    // "Answered" = the job reached a fate a re-attaching client should see
+    // (success, a hard failure, or a migration forwarding address).
+    // Retryable rejections are journaled kCancelled: the client was told to
+    // go elsewhere, so replay must not resurrect the job here.
+    const bool answered = code == ErrorCode::kOk || !is_retryable(code);
+    if (journal_.is_open() && job->journaled) {
+      JournalRecord rec;
+      rec.type = answered ? JournalRecordType::kCompleted
+                          : JournalRecordType::kCancelled;
+      rec.request_id = result.request_id;
+      rec.wall_micros = wall_micros();
+      if (answered) rec.data = encode_payload(result);
+      journal_append_locked(rec);
+    }
+    if (answered && (job->journaled || job->started.load())) {
+      store_result(result.request_id, result);
+    }
+    erase_active_job(job, result.request_id);
+  }
+  maybe_compact();
+}
+
+void ComputeServer::store_result(std::uint64_t request_id,
+                                 const proto::SolveResult& result) {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  if (results_.insert_or_assign(request_id, result).second) {
+    results_order_.push_back(request_id);
+    while (results_order_.size() > kMaxStoredResults) {
+      results_.erase(results_order_.front());
+      results_order_.pop_front();
+    }
+  }
+}
+
+void ComputeServer::maybe_compact() {
+  if (config_.journal_compact_bytes == 0) return;
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (!journal_.is_open() || journal_.byte_size() < config_.journal_compact_bytes) {
+    return;
+  }
+  if (!journal_.rewrite(collect_live_records_locked()).ok()) {
+    NS_WARN("server") << config_.name << " journal compaction failed";
+  }
+}
+
+std::vector<JournalRecord> ComputeServer::collect_live_records_locked() {
+  // Caller holds journal_mu_, which freezes the terminal protocol: every
+  // job is either still in active_jobs_ (re-journal its ADMITTED chain) or
+  // has its result in results_ (re-journal COMPLETED) — never in between.
+  std::vector<JournalRecord> live;
+  const std::int64_t now_us = wall_micros();
+  {
+    std::lock_guard<std::mutex> jobs_lock(active_jobs_mu_);
+    for (const auto& [id, job] : active_jobs_) {
+      if (!job->journaled) continue;
+      JournalRecord admitted;
+      admitted.type = JournalRecordType::kAdmitted;
+      admitted.request_id = id;
+      admitted.wall_micros = job->admitted_wall_us;
+      admitted.deadline_remaining_s = job->admit_deadline_remaining_s;
+      admitted.data = encode_payload(job->request);
+      live.push_back(std::move(admitted));
+      if (job->started.load()) {
+        JournalRecord started;
+        started.type = JournalRecordType::kStarted;
+        started.request_id = id;
+        started.wall_micros = now_us;
+        live.push_back(std::move(started));
+      }
+      if (job->ckpt.has_snapshot()) {
+        const auto snap = job->ckpt.latest();
+        JournalRecord ckpt;
+        ckpt.type = JournalRecordType::kCheckpoint;
+        ckpt.request_id = id;
+        ckpt.wall_micros = now_us;
+        ckpt.iteration = snap.iteration;
+        ckpt.residual = snap.residual;
+        ckpt.data = snap.state;
+        live.push_back(std::move(ckpt));
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> results_lock(results_mu_);
+    for (const std::uint64_t id : results_order_) {
+      const auto it = results_.find(id);
+      if (it == results_.end()) continue;
+      JournalRecord done;
+      done.type = JournalRecordType::kCompleted;
+      done.request_id = id;
+      done.wall_micros = now_us;
+      done.data = encode_payload(it->second);
+      live.push_back(std::move(done));
+    }
+  }
+  return live;
+}
+
+void ComputeServer::erase_active_job(const std::shared_ptr<ActiveJob>& job,
+                                     std::uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(active_jobs_mu_);
+  auto [it, end] = active_jobs_.equal_range(request_id);
+  for (; it != end; ++it) {
+    if (it->second == job) {
+      active_jobs_.erase(it);
+      return;
+    }
+  }
+}
+
+proto::ProbeReply ComputeServer::probe_job(const proto::ProbeRequest& probe) {
+  proto::ProbeReply reply;
+  reply.request_id = probe.request_id;
+  {
+    // Most-advanced state across duplicates (request_ids are client-minted,
+    // collisions possible): running beats queued beats unknown.
+    std::lock_guard<std::mutex> lock(active_jobs_mu_);
+    auto [it, end] = active_jobs_.equal_range(probe.request_id);
+    for (; it != end; ++it) {
+      const auto& job = it->second;
+      if (!job->queued.load()) {
+        reply.state = proto::JobState::kRunning;
+        reply.iteration = job->ckpt.iteration();
+        reply.residual = job->ckpt.residual();
+      } else if (reply.state == proto::JobState::kUnknown) {
+        reply.state = proto::JobState::kQueued;
+      }
+    }
+  }
+  if (reply.state != proto::JobState::kUnknown) return reply;
+  std::lock_guard<std::mutex> lock(results_mu_);
+  const auto it = results_.find(probe.request_id);
+  if (it == results_.end()) return reply;  // kUnknown
+  reply.state = it->second.error_code == 0 ? proto::JobState::kCompleted
+                                           : proto::JobState::kFailed;
+  if (probe.fetch_result) {
+    reply.has_result = true;
+    reply.result = it->second;
+  }
+  return reply;
+}
+
+proto::TransferAck ComputeServer::accept_transfer(proto::JobTransfer transfer) {
+  proto::TransferAck ack;
+  ack.request_id = transfer.request.request_id;
+  if (draining_.load() || stopping_.load()) {
+    ack.reason = "server draining";
+    return ack;
+  }
+  if (!registry_.spec(transfer.request.problem).has_value()) {
+    ack.reason = "problem not in catalogue: " + transfer.request.problem;
+    return ack;
+  }
+  metrics_.requests.inc();
+  auto job = std::make_shared<ActiveJob>();
+  job->readmit = true;
+  transfer.request.deadline_s = transfer.deadline_remaining_s;
+  job->request = std::move(transfer.request);
+  const std::uint64_t ck_iteration = transfer.checkpoint_iteration;
+  const double ck_residual = transfer.checkpoint_residual;
+  if (ck_iteration > 0) {
+    checkpoint::Snapshot snap;
+    snap.iteration = ck_iteration;
+    snap.residual = ck_residual;
+    snap.state = transfer.checkpoint_state;  // keep the original for the journal
+    job->ckpt.install_restore(std::move(snap));
+  }
+  {
+    std::lock_guard<std::mutex> lock(active_jobs_mu_);
+    active_jobs_.emplace(ack.request_id, job);
+  }
+  journal_admit(*job, job->request.deadline_s);
+  if (job->journaled && ck_iteration > 0) {
+    // Persist the carried snapshot too: a crash right after the hand-off
+    // must still resume mid-iteration, not from scratch.
+    JournalRecord rec;
+    rec.type = JournalRecordType::kCheckpoint;
+    rec.request_id = ack.request_id;
+    rec.wall_micros = wall_micros();
+    rec.iteration = ck_iteration;
+    rec.residual = ck_residual;
+    rec.data = std::move(transfer.checkpoint_state);
+    journal_append(rec);
+  }
+  NS_INFO("server") << config_.name << " accepted transferred job " << ack.request_id
+                    << " from " << transfer.from_server << " at checkpoint iteration "
+                    << ck_iteration;
+  ack.accepted = true;
+  active_connections_.fetch_add(1);
+  std::thread([this, job] {
+    const Stopwatch since_receipt;
+    (void)run_job(job, since_receipt);
+    active_connections_.fetch_sub(1);
+  }).detach();
+  return ack;
+}
+
+std::vector<proto::ServerCandidate> ComputeServer::query_candidates(
+    const proto::SolveRequest& request) {
+  std::vector<net::Endpoint> agents;
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    for (const auto& link : agent_links_) agents.push_back(link.endpoint);
+  }
+  proto::Query query;
+  query.problem = request.problem;
+  query.max_candidates = 4;
+  for (const auto& arg : request.args) {
+    query.input_bytes += arg.byte_size();
+    query.size_hint = std::max<std::uint64_t>(query.size_hint, arg.size_hint());
+  }
+  query.output_bytes = query.input_bytes;
+  for (const auto& agent : agents) {
+    auto conn = net::TcpConnection::connect(agent, 2.0);
+    if (!conn.ok()) continue;
+    if (!net::send_message(conn.value(), static_cast<std::uint16_t>(MessageType::kQuery),
+                           encode_payload(query))
+             .ok()) {
+      continue;
+    }
+    auto reply = net::recv_message(conn.value(), 2.0);
+    if (!reply.ok() ||
+        reply.value().type != static_cast<std::uint16_t>(MessageType::kServerList)) {
+      continue;
+    }
+    serial::Decoder dec(reply.value().payload);
+    auto list = proto::ServerList::decode(dec);
+    if (!list.ok()) continue;
+    if (!list.value().candidates.empty()) return std::move(list.value().candidates);
+  }
+  return {};
+}
+
+bool ComputeServer::migrate_job(ActiveJob& job, proto::SolveResult& result) {
+  const bool has_deadline = job.deadline_abs < 1e299;
+  const double remaining = has_deadline ? job.deadline_abs - now_seconds() : 0.0;
+  if (has_deadline && remaining <= 0.0) return false;  // nothing left to hand over
+
+  proto::JobTransfer transfer;
+  transfer.request = job.request;
+  transfer.deadline_remaining_s = std::max(remaining, 0.0);
+  if (job.ckpt.has_snapshot()) {
+    auto snap = job.ckpt.latest();
+    transfer.checkpoint_iteration = snap.iteration;
+    transfer.checkpoint_residual = snap.residual;
+    transfer.checkpoint_state = std::move(snap.state);
+  }
+  transfer.from_server = config_.name;
+
+  // The drain already deregistered this server, so the agents' rankings no
+  // longer contain us; every candidate is a genuine peer.
+  for (const auto& candidate : query_candidates(job.request)) {
+    if (candidate.endpoint == listener_.endpoint()) continue;
+    auto conn = net::TcpConnection::connect(candidate.endpoint, 2.0);
+    if (!conn.ok()) continue;
+    if (!net::send_message(conn.value(),
+                           static_cast<std::uint16_t>(MessageType::kJobTransfer),
+                           encode_payload(transfer))
+             .ok()) {
+      continue;
+    }
+    auto reply = net::recv_message(conn.value(), 2.0);
+    if (!reply.ok() ||
+        reply.value().type != static_cast<std::uint16_t>(MessageType::kTransferAck)) {
+      continue;
+    }
+    serial::Decoder dec(reply.value().payload);
+    auto ack = proto::TransferAck::decode(dec);
+    if (!ack.ok() || !ack.value().accepted) continue;
+    result.error_code = static_cast<std::uint16_t>(ErrorCode::kMigrated);
+    result.error_message = "migrated to " + candidate.server_name;
+    result.migrated_host = candidate.endpoint.host;
+    result.migrated_port = candidate.endpoint.port;
+    jobs_migrated_.fetch_add(1);
+    metrics_.jobs_migrated.inc();
+    NS_INFO("server") << config_.name << " migrated job " << result.request_id
+                      << " to " << candidate.server_name << " at checkpoint iteration "
+                      << transfer.checkpoint_iteration;
+    return true;
+  }
+  NS_WARN("server") << config_.name << " found no peer to take job "
+                    << result.request_id;
+  return false;
+}
+
+void ComputeServer::crash() {
+  NS_WARN("server") << config_.name << " crashing (journal frozen)";
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    journal_.freeze();
+  }
+  crash_mode_.store(true);
+  crashed_.store(true);
+  // Trip every in-flight job so kernels unwind promptly; with crash_mode_
+  // set their replies and terminal records are suppressed, so to clients
+  // and to the journal the process simply went dark mid-write.
+  {
+    std::lock_guard<std::mutex> lock(active_jobs_mu_);
+    for (auto& [id, job] : active_jobs_) job->token.cancel();
+  }
+  stop();
+}
+
 void ComputeServer::deregister_from_agents() {
   std::lock_guard<std::mutex> links_lock(links_mu_);
   for (const auto& link : agent_links_) {
@@ -882,9 +1419,18 @@ void ComputeServer::drain_work(double deadline_s) {
 
   const double budget = deadline_s > 0.0 ? deadline_s : config_.io_timeout_s;
   const Deadline deadline(budget);
+  // Quiescence needs both views: the scheduler's counters drop as soon as a
+  // kernel unwinds, but a drain-migrated job is still doing network hand-off
+  // after that — it leaves active_jobs_ only once the transfer (or its
+  // fallback cancel reply) has been resolved. Reporting drained before then
+  // would let callers read jobs_migrated() mid-flight.
   auto quiescent = [this] {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
-    return running_jobs_ + waiting_jobs_ == 0;
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      if (running_jobs_ + waiting_jobs_ != 0) return false;
+    }
+    std::lock_guard<std::mutex> lock(active_jobs_mu_);
+    return active_jobs_.empty();
   };
   while (!quiescent() && !deadline.expired() && !stopping_.load()) {
     sleep_seconds(0.02);
@@ -898,6 +1444,13 @@ void ComputeServer::drain_work(double deadline_s) {
     {
       std::lock_guard<std::mutex> lock(active_jobs_mu_);
       for (auto& [id, job] : active_jobs_) {
+        // Migration marks running jobs before the token trips: the owning
+        // thread then packages the latest checkpoint and forwards it
+        // instead of replying a bare kCancelled. Queued jobs stay plainly
+        // cancelled — the client's own retry moves them cheaply.
+        if (config_.migrate_on_drain && !job->queued.load()) {
+          job->migrate.store(true);
+        }
         job->token.cancel();
         ++tripped;
       }

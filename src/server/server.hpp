@@ -20,15 +20,19 @@
 #include <array>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <utility>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "common/checkpoint.hpp"
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
@@ -37,6 +41,7 @@
 #include "net/socket.hpp"
 #include "net/transport.hpp"
 #include "proto/messages.hpp"
+#include "server/journal.hpp"
 
 namespace ns::server {
 
@@ -161,6 +166,29 @@ struct ServerConfig {
   /// workflow. Each overriding spec must match the builtin's signature
   /// (input/output names may change, types and arity may not).
   std::string spec_overrides;
+
+  // ---- durability (write-ahead journal / checkpoint / migration) ----
+  /// When non-empty, the server keeps a write-ahead job journal at
+  /// <data_dir>/<name>.journal: every job transition is persisted before it
+  /// takes externally visible effect, and a restarted server replays the
+  /// journal to re-enqueue unfinished jobs (deadline budgets decayed by the
+  /// downtime) and resume started ones from their last checkpoint. Empty
+  /// (the default) disables the journal.
+  std::string data_dir;
+  /// fdatasync every journal append (the WAL guarantee). Off trades the
+  /// durability of the last few records for append throughput.
+  bool journal_fsync = true;
+  /// Iterations between kernel state snapshots (0 = publish progress only,
+  /// never serialize). Also the granularity drain migration can resume at.
+  std::uint64_t checkpoint_interval = 25;
+  /// Compact the journal (rewrite it with only live records) once it grows
+  /// past this many bytes. 0 = compact only at startup.
+  std::uint64_t journal_compact_bytes = 4u << 20;
+  /// When the drain deadline lapses, hand running jobs (with their latest
+  /// checkpoint) to a peer server via JOB_TRANSFER instead of plainly
+  /// cancelling them; the displaced client gets a kMigrated forwarding
+  /// address to re-attach to.
+  bool migrate_on_drain = false;
 };
 
 class ComputeServer {
@@ -233,6 +261,27 @@ class ComputeServer {
   void stop();
   bool crashed() const noexcept { return crashed_.load(); }
 
+  // ---- durability ----
+  /// Unfinished jobs re-admitted from the journal at startup.
+  std::uint64_t jobs_recovered() const noexcept { return jobs_recovered_.load(); }
+  /// Running jobs handed to a peer server during drain.
+  std::uint64_t jobs_migrated() const noexcept { return jobs_migrated_.load(); }
+  /// Recovered/transferred jobs whose kernel resumed from a checkpoint
+  /// rather than restarting from scratch.
+  std::uint64_t jobs_resumed() const noexcept { return jobs_resumed_.load(); }
+  /// Highest checkpoint iteration any resumed job restarted from.
+  std::uint64_t last_resume_iteration() const noexcept {
+    return last_resume_iteration_.load();
+  }
+  /// Journal records appended since startup.
+  std::uint64_t journal_appends() const;
+  /// Emulated unclean death (SIGKILL): freeze the journal (nothing further
+  /// reaches disk), suppress all replies and terminal accounting, and tear
+  /// the threads down. Unlike stop(), in-flight jobs look — to clients and
+  /// to the journal — as if the power was cut mid-write; a restart is
+  /// expected to replay the journal and finish them.
+  void crash();
+
  private:
   /// Registry handles resolved once at startup; the instruments themselves
   /// are process-wide atomics, so the request path stays lock-free. Counters
@@ -255,6 +304,10 @@ class ComputeServer {
     metrics::Counter& cancelled_running;
     metrics::Counter& cancel_requests;
     metrics::Counter& drain_rejected;
+    metrics::Counter& journal_appends;
+    metrics::Counter& jobs_recovered;
+    metrics::Counter& jobs_migrated;
+    metrics::Counter& jobs_resumed;
     metrics::Histogram& queue_wait_s;
     metrics::Histogram& queue_sojourn_s;
     metrics::Histogram& compute_s;
@@ -272,6 +325,27 @@ class ComputeServer {
   struct ActiveJob {
     cancel::Token token;
     std::atomic<bool> queued{true};
+    /// The request itself lives with the job (not on the connection thread's
+    /// stack) so journal compaction and drain migration can re-serialize it.
+    proto::SolveRequest request;
+    /// Iteration-granular progress/snapshot channel bound around execute().
+    checkpoint::Token ckpt;
+    std::atomic<bool> started{false};
+    /// Set by the drain sweep just before cancelling: the owning thread
+    /// forwards the latest checkpoint to a peer instead of replying
+    /// kCancelled.
+    std::atomic<bool> migrate{false};
+    /// Recovered or transferred-in jobs bypass the admission rejections
+    /// (queue bound, quota, infeasibility) — they were already admitted
+    /// once; shedding them now would lose accepted work.
+    bool readmit = false;
+    /// An ADMITTED record for this job is on disk (terminal record owed).
+    bool journaled = false;
+    std::int64_t admitted_wall_us = 0;        // ADMITTED record stamp
+    double admit_deadline_remaining_s = 0.0;  // budget left at admission
+    /// Absolute deadline fixed at enqueue (1e300 = none); read by the
+    /// migration path to compute the hand-off budget.
+    double deadline_abs = 1e300;
   };
 
   /// One agent this server registers with. `id` is agent-local (each agent
@@ -348,6 +422,54 @@ class ComputeServer {
   /// with, so rankings exclude it immediately.
   void deregister_from_agents();
 
+  // ---- durability internals ----
+  //
+  // Lock order: journal_mu_ before results_mu_ / active_jobs_mu_; never the
+  // reverse, and jobs_mu_ is never held across a journal append. The
+  // terminal protocol (finish_job) runs entirely under journal_mu_ so a
+  // concurrent compaction sees each job either still active (re-journals
+  // its ADMITTED chain) or already in the result store (re-journals
+  // COMPLETED) — never in between, which is what makes compaction unable
+  // to drop a job.
+
+  /// mkdir the data dir, replay + open the journal, rebuild unfinished jobs
+  /// (launched by launch_recovered_jobs() once the threads are up), and
+  /// compact the replayed history. Called once from start().
+  Status open_journal();
+  void restore_from_replay(ReplaySummary replay);
+  void launch_recovered_jobs();
+  /// Append one record; silent no-op without an open journal.
+  void journal_append(const JournalRecord& record);
+  void journal_append_locked(const JournalRecord& record);
+  /// Persist the ADMITTED record and stamp the job's recovery fields.
+  void journal_admit(ActiveJob& job, double deadline_remaining_s);
+  /// Terminal accounting: journal the terminal record, store the result for
+  /// late probes, and drop the job from the active table.
+  void finish_job(const std::shared_ptr<ActiveJob>& job,
+                  const proto::SolveResult& result);
+  void store_result(std::uint64_t request_id, const proto::SolveResult& result);
+  /// Rewrite the journal with only live records once it outgrows the bound.
+  void maybe_compact();
+  std::vector<JournalRecord> collect_live_records_locked();
+  /// Admission queue + execution + terminal accounting for one registered
+  /// job. Returns the reply to send, or nullopt when the server is stopping
+  /// or crashed (no reply must leave).
+  std::optional<proto::SolveResult> run_job(const std::shared_ptr<ActiveJob>& job,
+                                            const Stopwatch& since_receipt);
+  void erase_active_job(const std::shared_ptr<ActiveJob>& job,
+                        std::uint64_t request_id);
+  /// PROBE: the most-advanced state known for request_id.
+  proto::ProbeReply probe_job(const proto::ProbeRequest& probe);
+  /// JOB_TRANSFER receive side: admit the handed-over job and seed its
+  /// checkpoint token from the carried snapshot.
+  proto::TransferAck accept_transfer(proto::JobTransfer transfer);
+  /// Drain-side migration: hand `job`'s latest checkpoint to a peer. On
+  /// success rewrites `result` into kMigrated + the forwarding address.
+  bool migrate_job(ActiveJob& job, proto::SolveResult& result);
+  /// Ask the registered agents which peers can run this request's problem.
+  std::vector<proto::ServerCandidate> query_candidates(
+      const proto::SolveRequest& request);
+
   ServerConfig config_;
   net::TcpListener listener_;
   dsl::ProblemRegistry registry_;
@@ -411,6 +533,25 @@ class ComputeServer {
   std::atomic<std::uint64_t> cancelled_queued_{0};
   std::atomic<std::uint64_t> cancelled_running_{0};
   std::atomic<std::uint64_t> drain_rejected_{0};
+
+  /// Guards the journal and the terminal-record protocol (see above).
+  mutable std::mutex journal_mu_;
+  Journal journal_;
+  /// Jobs rebuilt from the journal, waiting for launch_recovered_jobs().
+  std::vector<std::shared_ptr<ActiveJob>> recovered_jobs_;
+  /// Terminal results kept for re-attaching probes, bounded FIFO.
+  static constexpr std::size_t kMaxStoredResults = 512;
+  mutable std::mutex results_mu_;
+  std::map<std::uint64_t, proto::SolveResult> results_;
+  std::deque<std::uint64_t> results_order_;
+  /// Set by crash(): suppress replies and terminal accounting so the
+  /// emulated kill looks like a power cut, not a graceful unwind.
+  std::atomic<bool> crash_mode_{false};
+  std::atomic<std::uint64_t> jobs_recovered_{0};
+  std::atomic<std::uint64_t> jobs_migrated_{0};
+  std::atomic<std::uint64_t> jobs_resumed_{0};
+  std::atomic<std::uint64_t> last_resume_iteration_{0};
+
   ServerMetrics metrics_;
 
   std::thread accept_thread_;

@@ -75,6 +75,10 @@ Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
     sc.io_timeout_s = config.io_timeout_s;
     sc.failure = spec.failure;
     sc.problem_filter = spec.problems;
+    sc.data_dir = spec.data_dir;
+    sc.checkpoint_interval = spec.checkpoint_interval;
+    sc.journal_fsync = spec.journal_fsync;
+    sc.migrate_on_drain = spec.migrate_on_drain;
     sc.seed = seed++;
     auto server = server::ComputeServer::start(std::move(sc));
     if (!server.ok()) {
@@ -132,6 +136,8 @@ Result<proto::DrainAck> TestCluster::drain_server(std::size_t i, double deadline
 
 void TestCluster::kill_server(std::size_t i) { servers_.at(i)->stop(); }
 
+void TestCluster::crash_server(std::size_t i) { servers_.at(i)->crash(); }
+
 void TestCluster::kill_agent(std::size_t i) {
   auto& slot = agents_.at(i);
   if (!slot) return;  // already dead
@@ -183,6 +189,10 @@ Status TestCluster::restart_server(std::size_t i) {
   sc.io_timeout_s = config_.io_timeout_s;
   sc.failure = spec.failure;
   sc.problem_filter = spec.problems;
+  sc.data_dir = spec.data_dir;
+  sc.checkpoint_interval = spec.checkpoint_interval;
+  sc.journal_fsync = spec.journal_fsync;
+  sc.migrate_on_drain = spec.migrate_on_drain;
   // A distinct seed stream: the restarted incarnation is a new process.
   sc.seed = 0xbada55 + 0x1000 + static_cast<std::uint64_t>(i);
   auto server = server::ComputeServer::start(std::move(sc));
@@ -218,6 +228,7 @@ client::NetSolveClient TestCluster::make_client(const net::LinkShape& link) cons
   cc.hedge_delay_s = config_.client_hedge_delay_s;
   cc.hedge_quantile = config_.client_hedge_quantile;
   cc.hedge_min_samples = config_.client_hedge_min_samples;
+  cc.reattach_s = config_.client_reattach_s;
   return client::NetSolveClient(cc);
 }
 

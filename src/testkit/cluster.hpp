@@ -43,6 +43,18 @@ struct ClusterServerSpec {
   /// benches can script overload scenarios per server. Survives
   /// restart_server().
   server::AdmissionConfig admission;
+  /// Durable-jobs data directory (empty = journaling off). With a data dir,
+  /// the server write-ahead journals every job and restart_server() /
+  /// crash_server()+restart_server() replays it: queued jobs re-enqueue and
+  /// started jobs resume from their last checkpoint. Survives restart.
+  std::string data_dir;
+  /// Kernel checkpoint interval in iterations (simwork/busywork: Mflop).
+  std::uint64_t checkpoint_interval = 25;
+  /// fsync the journal on every append (tests may turn it off for speed).
+  bool journal_fsync = true;
+  /// On drain, hand running jobs (with their checkpoints) to agent-ranked
+  /// peers via JOB_TRANSFER instead of plainly cancelling them.
+  bool migrate_on_drain = false;
 };
 
 struct ClusterConfig {
@@ -74,6 +86,11 @@ struct ClusterConfig {
   double client_hedge_delay_s = 0.0;
   double client_hedge_quantile = 0.95;
   std::uint64_t client_hedge_min_samples = 20;
+  /// Reattach budget for make_client() clients (0 = off). See
+  /// ClientConfig::reattach_s: on a mid-call transport loss the client polls
+  /// PROBE at the same server instead of resubmitting, so a crash-restarted
+  /// journaling server finishes the original job.
+  double client_reattach_s = 0.0;
 };
 
 class TestCluster {
@@ -138,6 +155,12 @@ class TestCluster {
   /// in-process stand-in for SIGKILL. The agent only learns via failed
   /// pings / client reports / report expiry.
   void kill_server(std::size_t i);
+  /// Unclean death of server i: like kill_server but nothing cooperative
+  /// happens first — the journal fd is dropped without flush or compaction,
+  /// in-flight kernels are abandoned mid-iteration, and no terminal records
+  /// are written. The closest an in-process cluster gets to SIGKILL; pair
+  /// with restart_server() to exercise journal replay.
+  void crash_server(std::size_t i);
   /// Restart a killed server on its old endpoint; the agent revives the
   /// record by name+endpoint when the new incarnation registers.
   Status restart_server(std::size_t i);

@@ -1,0 +1,89 @@
+#!/bin/sh
+# True multi-process crash-recovery test: a journaling server daemon is
+# SIGKILLed mid-solve (a real kill -9, not a cooperative shutdown), restarted
+# on the same port with the same data_dir, and must replay its write-ahead
+# journal, resume the job from its last checkpoint, and hand the original
+# submitter the answer via PROBE/WAIT — no resubmission.
+#
+# Usage: crash_recovery_test.sh <build-examples-dir>
+set -eu
+
+BIN="$1"
+PORT=$((21000 + $$ % 20000))
+SPORT=$((PORT + 1))
+LOG=$(mktemp -d)
+trap 'kill $AGENT_PID $S1_PID 2>/dev/null || true; rm -rf "$LOG"' EXIT
+
+wait_alive_servers() {
+    want=$1
+    deadline=$(( $(date +%s) + 30 ))
+    while [ "$(date +%s)" -lt "$deadline" ]; do
+        count=$("$BIN/netsolve_client" agent_port=$PORT cmd=list 2>/dev/null \
+                | sed -n 's/^agent: \([0-9][0-9]*\) alive servers.*/\1/p')
+        if [ "${count:-0}" -ge "$want" ]; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "timed out waiting for $want alive servers" >&2
+    return 1
+}
+
+# Poll the server's PROBE until the job's iteration passes $1 (Mflop done).
+wait_iteration() {
+    want=$1
+    deadline=$(( $(date +%s) + 30 ))
+    while [ "$(date +%s)" -lt "$deadline" ]; do
+        it=$("$BIN/netsolve_client" port=$SPORT cmd=probe id=4501 2>/dev/null \
+             | sed -n 's/.*iteration=\([0-9][0-9]*\).*/\1/p')
+        if [ "${it:-0}" -ge "$want" ]; then
+            echo "job at iteration $it"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "timed out waiting for iteration $want" >&2
+    return 1
+}
+
+"$BIN/netsolve_agent" port=$PORT runtime=120 > "$LOG/agent.log" 2>&1 &
+AGENT_PID=$!
+
+start_server() {
+    "$BIN/netsolve_server" name=alpha agent_port=$PORT port=$SPORT rating=800 \
+        data_dir="$LOG/data" checkpoint_interval=25 runtime=120 \
+        > "$LOG/s1_$1.log" 2>&1 &
+    S1_PID=$!
+}
+
+start_server first
+wait_alive_servers 1
+
+echo "== submit a long durable job (simwork 2000 Mflop ~ 2.5 s) =="
+"$BIN/netsolve_client" port=$SPORT cmd=submit id=4501 mflop=2000
+
+echo "== wait until the job is half done (checkpoints on disk) =="
+wait_iteration 1000
+
+echo "== SIGKILL the server mid-solve =="
+kill -9 $S1_PID
+wait $S1_PID 2>/dev/null || true
+
+echo "== restart on the same port with the same journal =="
+start_server second
+wait_alive_servers 1
+
+echo "== reattach: the job must finish from its checkpoint, not from scratch =="
+"$BIN/netsolve_client" port=$SPORT cmd=probe id=4501 wait=30
+
+echo "== journal metrics on the revived server =="
+"$BIN/netsolve_client" agent_port=$SPORT cmd=metrics prefix=server.jobs_recovered
+recovered=$("$BIN/netsolve_client" agent_port=$SPORT cmd=metrics \
+            prefix=server.jobs_recovered_total 2>/dev/null \
+            | sed -n 's/.*server\.jobs_recovered_total[^0-9]*\([0-9][0-9]*\).*/\1/p' | head -1)
+if [ "${recovered:-0}" -lt 1 ]; then
+    echo "server did not report a recovered job (got '${recovered:-}')" >&2
+    exit 1
+fi
+
+echo "CRASH_RECOVERY_TEST_PASSED"

@@ -166,12 +166,30 @@ TEST(ProtoTest, OldPeersWithoutOverloadFieldsStillParse) {
     msg.request_id = 6;
     msg.retry_after_s = 0.5;
     auto bytes = encode_msg(msg);
-    bytes.resize(bytes.size() - 8);  // strip the trailing retry_after_s f64
+    // Strip retry_after_s (f64) plus the later migrated_host/migrated_port
+    // addition (empty string = u32 length, then u16): the pre-overload wire.
+    bytes.resize(bytes.size() - 8 - 4 - 2);
     serial::Decoder dec(bytes);
     auto back = SolveResult::decode(dec);
     ASSERT_TRUE(back.ok());
     EXPECT_TRUE(dec.expect_exhausted().ok());
     EXPECT_DOUBLE_EQ(back.value().retry_after_s, 0.0) << "legacy reply carries no hint";
+    EXPECT_EQ(back.value().migrated_port, 0) << "legacy reply was never migrated";
+  }
+  {
+    SolveResult msg;
+    msg.request_id = 6;
+    msg.retry_after_s = 0.5;
+    auto bytes = encode_msg(msg);
+    bytes.resize(bytes.size() - 4 - 2);  // strip only the migration fields
+    serial::Decoder dec(bytes);
+    auto back = SolveResult::decode(dec);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(dec.expect_exhausted().ok());
+    EXPECT_DOUBLE_EQ(back.value().retry_after_s, 0.5)
+        << "overload-era reply keeps its hint";
+    EXPECT_TRUE(back.value().migrated_host.empty());
+    EXPECT_EQ(back.value().migrated_port, 0);
   }
   {
     WorkloadReport msg;
