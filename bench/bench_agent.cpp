@@ -4,8 +4,13 @@
 // is that it stays off the data path (requests carry metadata only) so one
 // agent serves a whole pool. This harness measures sustained operation
 // rates against a live agent: scheduling queries (the client hot path),
-// workload-report ingestion (the server hot path), and catalogue listings,
-// at 1 and 4 concurrent callers.
+// catalogue listings, and pings, at 1 and 4 concurrent callers.
+//
+// The measured rates and the 4-caller query latency p99 land in the
+// bench.transport.agent.* gauges; the bench-gate CI lane compares them
+// against the committed BENCH_transport.json baseline
+// (scripts/check_bench_regression.py), so a transport regression fails CI
+// instead of silently eroding QPS.
 #include "bench/harness.hpp"
 #include "net/transport.hpp"
 
@@ -13,19 +18,31 @@ using namespace ns;
 
 namespace {
 
-constexpr int kOpsPerThread = 300;
+struct OpResult {
+  double ops_per_second = 0.0;
+  double p99_ms = 0.0;
+};
 
-double ops_per_second(testkit::TestCluster& cluster, int threads,
-                      const std::function<bool(client::NetSolveClient&)>& op) {
+OpResult measure(testkit::TestCluster& cluster, int threads, int ops_per_thread,
+                 const std::function<bool(client::NetSolveClient&)>& op) {
   std::atomic<int> failures{0};
+  std::mutex mu;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(threads * ops_per_thread));
   const Stopwatch watch;
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&cluster, &op, &failures] {
+    workers.emplace_back([&] {
       auto client = cluster.make_client();
-      for (int i = 0; i < kOpsPerThread; ++i) {
+      std::vector<double> local;
+      local.reserve(static_cast<std::size_t>(ops_per_thread));
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const Stopwatch one;
         if (!op(client)) failures.fetch_add(1);
+        local.push_back(one.elapsed());
       }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
     });
   }
   for (auto& w : workers) w.join();
@@ -34,12 +51,22 @@ double ops_per_second(testkit::TestCluster& cluster, int threads,
     std::fprintf(stderr, "%d operations failed\n", failures.load());
     std::exit(1);
   }
-  return threads * kOpsPerThread / elapsed;
+  OpResult r;
+  r.ops_per_second = threads * ops_per_thread / elapsed;
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    const auto rank = static_cast<std::size_t>(0.99 * static_cast<double>(latencies.size()));
+    r.p99_ms = latencies[std::min(rank, latencies.size() - 1)] * 1e3;
+  }
+  return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv);
+  const int ops_per_thread = opts.quick ? 150 : 300;
+
   bench::banner("E10 / micro", "agent operation throughput (ops/s)");
 
   testkit::ClusterConfig config;
@@ -54,23 +81,35 @@ int main() {
   const std::vector<dsl::DataObject> args = {dsl::DataObject(linalg::Vector(64, 1.0)),
                                              dsl::DataObject(linalg::Vector(64, 2.0))};
 
-  bench::row("%-22s %12s %12s", "operation", "1 caller", "4 callers");
-  for (const auto& [name, op] :
-       std::vector<std::pair<const char*, std::function<bool(client::NetSolveClient&)>>>{
-           {"query (schedule)",
+  bench::row("%-22s %12s %12s %12s", "operation", "1 caller", "4 callers", "p99 (4c)");
+  for (const auto& [name, key, op] :
+       std::vector<std::tuple<const char*, const char*,
+                              std::function<bool(client::NetSolveClient&)>>>{
+           {"query (schedule)", "query",
             [&args](client::NetSolveClient& c) { return c.query("ddot", args).ok(); }},
-           {"list_problems",
+           {"list_problems", "list",
             [](client::NetSolveClient& c) { return c.list_problems().ok(); }},
-           {"ping",
+           {"ping", "ping",
             [](client::NetSolveClient& c) { return c.ping_agent().ok(); }},
        }) {
-    const double one = ops_per_second(*cluster.value(), 1, op);
-    const double four = ops_per_second(*cluster.value(), 4, op);
-    bench::row("%-22s %10.0f/s %10.0f/s", name, one, four);
+    const OpResult one = measure(*cluster.value(), 1, ops_per_thread, op);
+    const OpResult four = measure(*cluster.value(), 4, ops_per_thread, op);
+    bench::row("%-22s %10.0f/s %10.0f/s %9.2fms", name, one.ops_per_second,
+               four.ops_per_second, four.p99_ms);
+    const std::string base = std::string("bench.transport.agent.") + key;
+    metrics::gauge(base + ".qps_c1").set(one.ops_per_second);
+    metrics::gauge(base + ".qps_c4").set(four.ops_per_second);
+    metrics::gauge(base + ".p99_ms_c4").set(four.p99_ms);
   }
 
   bench::row("");
   bench::row("shape check: thousands of ops/s per agent — metadata-only queries keep");
   bench::row("  the agent far from being the bottleneck next to 10-1000ms solves");
+
+  if (!opts.json_path.empty() &&
+      !bench::write_metrics_json(opts.json_path, "bench_agent", opts.quick)) {
+    std::fprintf(stderr, "failed to write %s\n", opts.json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,12 +1,20 @@
-// E7 (Figure D): throughput scaling with pool size and client concurrency.
+// E7 (Figure D): throughput scaling with pool size and client concurrency,
+// plus the small-problem RPS ceiling the transport imposes.
 //
-// A fixed batch of simulated-compute jobs (sleeping servers = independent
-// remote machines, workers=1 each) is farmed at varying client concurrency
-// onto pools of 1, 2, 4 and 8 uniform servers. Reported: makespan and
-// throughput (jobs/s). Expected shape: with enough concurrent clients,
-// throughput scales ~linearly with the number of servers until the client's
-// outstanding-request count becomes the bottleneck; with one client thread
-// (serial calls) adding servers buys nothing.
+// Part 1 — a fixed batch of simulated-compute jobs (sleeping servers =
+// independent remote machines, workers=1 each) is farmed at varying client
+// concurrency onto pools of 1, 2, 4 and 8 uniform servers. Reported:
+// makespan and throughput (jobs/s). Expected shape: with enough concurrent
+// clients, throughput scales ~linearly with the number of servers until the
+// client's outstanding-request count becomes the bottleneck; with one
+// client thread (serial calls) adding servers buys nothing.
+//
+// Part 2 — small-problem RPS: tiny real solves (ddot on 64-vectors, ~µs of
+// compute) where per-call transport overhead dominates end-to-end time.
+// This is the GridRPC iterative-workload regime: many small calls in a
+// sequence. The sustained RPS and its p99 land in the
+// bench.transport.scalability.* gauges and are gated by the bench-gate CI
+// lane against BENCH_transport.json (scripts/check_bench_regression.py).
 #include "bench/harness.hpp"
 
 using namespace ns;
@@ -42,9 +50,48 @@ double run_case(std::size_t servers, int concurrency) {
   return farm.makespan;
 }
 
+struct SmallResult {
+  double rps = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Small-problem regime: end-to-end netsl calls whose compute is trivial, so
+/// the measured rate is the transport's (query + solve round trips per call).
+SmallResult run_small_problems(int jobs, int concurrency) {
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(4);
+  config.rating_base = 1000.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster failed: %s\n", cluster.error().to_string().c_str());
+    std::exit(1);
+  }
+  auto client = cluster.value()->make_client();
+  const std::vector<DataObject> args = {DataObject(linalg::Vector(64, 1.0)),
+                                        DataObject(linalg::Vector(64, 2.0))};
+
+  auto farm = bench::run_farm(jobs, concurrency,
+                              [&](int) { return client.netsl("ddot", args).ok(); });
+  if (farm.failures > 0) {
+    std::fprintf(stderr, "%d small jobs failed\n", farm.failures);
+    std::exit(1);
+  }
+  SmallResult r;
+  r.rps = jobs / farm.makespan;
+  std::sort(farm.job_seconds.begin(), farm.job_seconds.end());
+  if (!farm.job_seconds.empty()) {
+    const auto rank =
+        static_cast<std::size_t>(0.99 * static_cast<double>(farm.job_seconds.size()));
+    r.p99_ms = farm.job_seconds[std::min(rank, farm.job_seconds.size() - 1)] * 1e3;
+  }
+  return r;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv);
+
   bench::banner("E7 / Figure D", "throughput vs pool size and client concurrency");
   bench::row("(%d jobs x %lld ms simulated compute; single-worker sleeping servers)",
              kJobs, static_cast<long long>(kMflopPerJob));
@@ -52,9 +99,11 @@ int main() {
   bench::row("%8s %12s %12s %14s %10s", "servers", "clients", "makespan", "throughput",
              "speedup");
 
-  const std::pair<std::size_t, int> cases[] = {
-      {1, 8}, {2, 8}, {4, 8}, {8, 8}, {1, 1}, {4, 1}, {4, 2}, {4, 4}, {4, 16},
-  };
+  const std::vector<std::pair<std::size_t, int>> cases =
+      opts.quick ? std::vector<std::pair<std::size_t, int>>{{1, 8}, {4, 8}, {4, 1}}
+                 : std::vector<std::pair<std::size_t, int>>{
+                       {1, 8}, {2, 8}, {4, 8}, {8, 8}, {1, 1}, {4, 1}, {4, 2}, {4, 4}, {4, 16},
+                   };
   double base_1s8c = 0;
   for (const auto& [servers, clients] : cases) {
     const double makespan = run_case(servers, clients);
@@ -63,9 +112,29 @@ int main() {
     const double speedup = base_1s8c > 0 ? base_1s8c / makespan : 0.0;
     bench::row("%8zu %12d %11.2fs %11.1f/s %9.2fx", servers, clients, makespan, throughput,
                servers == 1 && clients == 8 ? 1.0 : speedup);
+    metrics::gauge("bench.transport.scalability.simwork_jps_s" + std::to_string(servers) +
+                   "_c" + std::to_string(clients))
+        .set(throughput);
   }
+
   bench::row("");
   bench::row("shape check: rows 1s/2s/4s/8s @8 clients scale ~linearly to ~8 in-flight;");
   bench::row("  the 4-server column shows concurrency gating (1/2/4/16 clients)");
+
+  // ---- Part 2: small-problem RPS (transport-bound) ----
+  const int small_jobs = opts.quick ? 400 : 1200;
+  bench::row("");
+  bench::row("small problems: %d ddot(64) solves, 4 servers, 8 concurrent clients", small_jobs);
+  const SmallResult small = run_small_problems(small_jobs, 8);
+  bench::row("%8s %12s %12s", "", "RPS", "p99");
+  bench::row("%8s %11.0f/s %9.2fms", "", small.rps, small.p99_ms);
+  metrics::gauge("bench.transport.scalability.small_rps_c8").set(small.rps);
+  metrics::gauge("bench.transport.scalability.small_p99_ms_c8").set(small.p99_ms);
+
+  if (!opts.json_path.empty() &&
+      !bench::write_metrics_json(opts.json_path, "bench_scalability", opts.quick)) {
+    std::fprintf(stderr, "failed to write %s\n", opts.json_path.c_str());
+    return 1;
+  }
   return 0;
 }

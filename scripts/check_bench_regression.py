@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate transport benchmark results against the committed baseline.
+
+Usage:
+    check_bench_regression.py --baseline BENCH_transport.json \
+        bench_agent.json bench_scalability.json
+    check_bench_regression.py --baseline BENCH_transport.json \
+        --write-baseline bench_agent.json bench_scalability.json
+
+The bench binaries (`bench_agent --quick --json out.json`,
+`bench_scalability --quick --json out.json`) dump every metric gauge;
+the transport-relevant ones carry a `bench.transport.` prefix. This
+script compares those gauges against the committed baseline and fails
+(exit 1) when
+
+  * a throughput gauge (qps/rps/jps) drops more than --max-throughput-drop
+    (default 15%) below baseline, or
+  * a latency gauge (name contains `p99`) rises more than --max-p99-rise
+    (default 25%) above baseline.
+
+Gauges present in the baseline but missing from the current run fail too
+(a silently skipped benchmark is not a pass). New gauges absent from the
+baseline are reported but do not fail — commit a refreshed baseline
+(--write-baseline) to start gating them.
+"""
+
+import argparse
+import json
+import sys
+
+PREFIX = "bench.transport."
+
+
+def load_gauges(path):
+    with open(path) as f:
+        doc = json.load(f)
+    gauges = doc.get("metrics", {}).get("gauges", {})
+    return {k: float(v) for k, v in gauges.items() if k.startswith(PREFIX)}
+
+
+def is_latency(name):
+    return "p99" in name or "_ms" in name
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", nargs="+", help="bench --json output files")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--max-throughput-drop", type=float, default=0.15,
+                        help="fail if throughput < (1 - this) * baseline")
+    parser.add_argument("--max-p99-rise", type=float, default=0.25,
+                        help="fail if p99 > (1 + this) * baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from these results instead of gating")
+    args = parser.parse_args()
+
+    current = {}
+    for path in args.results:
+        current.update(load_gauges(path))
+    if not current:
+        print(f"error: no {PREFIX}* gauges found in {args.results}", file=sys.stderr)
+        return 1
+
+    if args.write_baseline:
+        doc = {
+            "comment": "Transport benchmark baseline. Regenerate with "
+                       "scripts/check_bench_regression.py --write-baseline after "
+                       "an intentional perf change; CI gates against these values.",
+            "source": "bench_agent --quick --json / bench_scalability --quick --json",
+            "metrics": {k: round(v, 3) for k, v in sorted(current.items())},
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"wrote {len(current)} gauges to {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)["metrics"]
+
+    failures = []
+    for name in sorted(baseline):
+        base = float(baseline[name])
+        if name not in current:
+            failures.append(f"{name}: missing from current run (baseline {base:g})")
+            continue
+        cur = current[name]
+        if is_latency(name):
+            limit = base * (1.0 + args.max_p99_rise)
+            verdict = "FAIL" if cur > limit else "ok"
+            if cur > limit:
+                failures.append(
+                    f"{name}: p99 {cur:g} > {limit:g} "
+                    f"(baseline {base:g} +{args.max_p99_rise:.0%})")
+        else:
+            limit = base * (1.0 - args.max_throughput_drop)
+            verdict = "FAIL" if cur < limit else "ok"
+            if cur < limit:
+                failures.append(
+                    f"{name}: throughput {cur:g} < {limit:g} "
+                    f"(baseline {base:g} -{args.max_throughput_drop:.0%})")
+        delta = (cur / base - 1.0) * 100.0 if base else 0.0
+        print(f"  [{verdict:>4}] {name}: {cur:g} vs baseline {base:g} ({delta:+.1f}%)")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  [ new] {name}: {current[name]:g} (not in baseline, not gated)")
+
+    if failures:
+        print(f"\n{len(failures)} transport perf regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} gated transport gauges within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "net/pool.hpp"
 
 namespace ns::agent {
 
@@ -19,12 +20,13 @@ serial::Bytes encode_payload(const auto& msg) {
   return enc.take();
 }
 
-Status send_error(net::TcpConnection& conn, ErrorCode code, const std::string& message) {
+Status send_error(const net::ReactorConnPtr& conn, ErrorCode code,
+                  const std::string& message) {
   proto::ErrorReply reply;
   reply.error_code = static_cast<std::uint16_t>(code);
   reply.message = message;
-  return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kErrorReply),
-                           encode_payload(reply));
+  return conn->send(static_cast<std::uint16_t>(MessageType::kErrorReply),
+                    encode_payload(reply));
 }
 
 }  // namespace
@@ -44,7 +46,18 @@ Result<std::unique_ptr<Agent>> Agent::start(AgentConfig config) {
   if (agent->config_.sync_period_s > 0 && agent->config_.bootstrap_from_peers) {
     agent->bootstrap_from_peers();
   }
-  agent->accept_thread_ = std::thread([raw = agent.get()] { raw->accept_loop(); });
+  net::ReactorConfig reactor_config;
+  reactor_config.idle_timeout_s = std::max(agent->config_.io_timeout_s, 5.0);
+  // Every agent handler is a short metadata lookup (registry read/write,
+  // policy ranking) — run them on the loop thread and skip the two context
+  // switches per request that pool dispatch costs.
+  reactor_config.inline_handlers = true;
+  NS_RETURN_IF_ERROR(agent->reactor_.start(
+      std::move(agent->listener_),
+      [raw = agent.get()](const net::ReactorConnPtr& conn, net::Message&& msg) {
+        return raw->handle_message(conn, std::move(msg));
+      },
+      reactor_config));
   if (agent->config_.ping_period_s > 0) {
     agent->ping_thread_ = std::thread([raw = agent.get()] { raw->ping_loop(); });
   }
@@ -83,17 +96,8 @@ void Agent::note_peer_result(const net::Endpoint& peer, bool ok) {
 
 void Agent::bootstrap_from_peers() {
   for (const auto& peer : peer_endpoints()) {
-    auto conn = net::TcpConnection::connect(peer, 0.5);
-    if (!conn.ok()) {
-      note_peer_result(peer, false);
-      continue;
-    }
-    if (!net::send_message(conn.value(), static_cast<std::uint16_t>(MessageType::kSyncPull), {})
-             .ok()) {
-      note_peer_result(peer, false);
-      continue;
-    }
-    auto reply = net::recv_message(conn.value(), 2.0);
+    auto reply = net::pool_round_trip(peer, static_cast<std::uint16_t>(MessageType::kSyncPull),
+                                      {}, /*timeout_s=*/2.0, /*dial_timeout_s=*/0.5);
     if (!reply.ok() ||
         reply.value().type != static_cast<std::uint16_t>(MessageType::kSyncState)) {
       note_peer_result(peer, false);
@@ -120,6 +124,7 @@ Agent::Agent(AgentConfig config, net::TcpListener listener,
              std::unique_ptr<SelectionPolicy> policy)
     : config_(std::move(config)),
       listener_(std::move(listener)),
+      endpoint_(listener_.endpoint()),
       registry_(config_.registry),
       policy_(std::move(policy)) {}
 
@@ -127,41 +132,15 @@ Agent::~Agent() { stop(); }
 
 void Agent::stop() {
   // Single flow whether the stop is local or was flagged remotely via
-  // kShutdown: flag, join the accept loop (it owns and closes the listener;
-  // closing the fd under its poll would be a data race), join the periodic
-  // threads, then drain the detached connection handlers — skipping the
-  // drain when stopping_ was already set would free the agent under a
-  // handler that is still finishing.
+  // kShutdown: flag, stop the reactor (closes the listener and every
+  // connection, joins the loop and all handler threads — agent handlers
+  // never block, so no pre-join wakeups are needed), then join the
+  // periodic threads.
   stopping_.store(true);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listener_.close();
+  reactor_.stop();
+  listener_.close();  // only still bound if start() failed before the reactor adopted it
   if (ping_thread_.joinable()) ping_thread_.join();
   if (sync_thread_.joinable()) sync_thread_.join();
-  // Connection handlers are detached; wait for them to drain (they hold
-  // io_timeout_s-bounded reads, so this terminates).
-  const Deadline deadline(config_.io_timeout_s + 1.0);
-  while (active_connections_.load() > 0 && !deadline.expired()) {
-    sleep_seconds(0.001);
-  }
-}
-
-void Agent::accept_loop() {
-  while (!stopping_.load()) {
-    auto conn = listener_.accept(0.05);
-    if (!conn.ok()) {
-      if (conn.error().code == ErrorCode::kTimeout) continue;
-      break;  // listener closed
-    }
-    active_connections_.fetch_add(1);
-    std::thread([this, c = std::make_shared<net::TcpConnection>(std::move(conn).value())]() mutable {
-      handle_connection(std::move(*c));
-      active_connections_.fetch_sub(1);
-    }).detach();
-  }
-  // The loop owns the listener while running, so it also closes it: a
-  // remote kShutdown stops accepting promptly and stop()'s own close (after
-  // the join) is an ordered no-op.
-  listener_.close();
 }
 
 void Agent::ping_loop() {
@@ -217,35 +196,20 @@ void Agent::sync_loop() {
     if (state.entries.empty()) continue;
     const serial::Bytes payload = encode_payload(state);
     for (const auto& peer : peer_endpoints()) {
-      auto conn = net::TcpConnection::connect(peer, 0.5);
-      if (!conn.ok()) {
-        note_peer_result(peer, false);  // peer down; try again next period
-        continue;
-      }
+      // Snapshots ride the keep-alive pool: one warm connection per peer
+      // instead of a dial per period. A down peer fails the dial and is
+      // retried next period.
       const bool sent =
-          net::send_message(conn.value(),
-                            static_cast<std::uint16_t>(MessageType::kSyncState), payload)
+          net::pool_post(peer, static_cast<std::uint16_t>(MessageType::kSyncState), payload,
+                         /*dial_timeout_s=*/0.5)
               .ok();
       note_peer_result(peer, sent);
     }
   }
 }
 
-void Agent::handle_connection(net::TcpConnection conn) {
-  while (!stopping_.load()) {
-    auto msg = net::recv_message(conn, config_.io_timeout_s);
-    if (!msg.ok()) {
-      if (msg.error().code != ErrorCode::kConnectionClosed &&
-          msg.error().code != ErrorCode::kTimeout) {
-        NS_DEBUG("agent") << "dropping connection: " << msg.error().to_string();
-      }
-      return;
-    }
-    if (!handle_message(conn, msg.value())) return;
-  }
-}
-
-bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
+bool Agent::handle_message(const net::ReactorConnPtr& conn, net::Message&& msg) {
+  if (stopping_.load()) return false;
   serial::Decoder dec(msg.payload);
   switch (static_cast<MessageType>(msg.type)) {
     case MessageType::kRegisterServer: {
@@ -261,7 +225,7 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
       // Hand the server our peer list so it can register with the whole
       // mesh even when configured with a single agent endpoint.
       ack.peer_agents = peer_endpoints();
-      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kRegisterAck),
+      return conn->send(static_cast<std::uint16_t>(MessageType::kRegisterAck),
                                encode_payload(ack))
           .ok();
     }
@@ -327,7 +291,7 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
       if (!list.candidates.empty()) {
         registry_.record_assignment(list.candidates.front().server_id);
       }
-      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kServerList),
+      return conn->send(static_cast<std::uint16_t>(MessageType::kServerList),
                                encode_payload(list))
           .ok();
     }
@@ -354,19 +318,18 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
     case MessageType::kListProblems: {
       proto::ProblemCatalog catalog;
       catalog.problems = registry_.catalog();
-      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kProblemCatalog),
+      return conn->send(static_cast<std::uint16_t>(MessageType::kProblemCatalog),
                                encode_payload(catalog))
           .ok();
     }
 
     case MessageType::kPing: {
-      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kPong), {}).ok();
+      return conn->send(static_cast<std::uint16_t>(MessageType::kPong), {}).ok();
     }
 
     case MessageType::kAgentStatsRequest: {
-      return net::send_message(conn,
-                               static_cast<std::uint16_t>(MessageType::kAgentStatsReply),
-                               encode_payload(stats()))
+      return conn->send(static_cast<std::uint16_t>(MessageType::kAgentStatsReply),
+                        encode_payload(stats()))
           .ok();
     }
 
@@ -376,7 +339,7 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
       proto::MetricsDump dump;
       dump.snapshot = metrics::Registry::instance().snapshot(
           query.ok() ? query.value().prefix : std::string{});
-      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kMetricsDump),
+      return conn->send(static_cast<std::uint16_t>(MessageType::kMetricsDump),
                                encode_payload(dump))
           .ok();
     }
@@ -395,16 +358,17 @@ bool Agent::handle_message(net::TcpConnection& conn, const net::Message& msg) {
       // Anti-entropy: a (re)starting peer asks for our full directory.
       proto::SyncState state;
       state.entries = registry_.snapshot_for_sync();
-      return net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSyncState),
+      return conn->send(static_cast<std::uint16_t>(MessageType::kSyncState),
                                encode_payload(state))
           .ok();
     }
 
     case MessageType::kShutdown: {
-      // Only flag the stop: the accept loop owns the listener and closes it
-      // on its way out (closing it from this handler thread would race the
-      // accept poll and the destructor).
+      // Flag the stop and release the port asynchronously: this handler runs
+      // on a reactor pool thread and cannot join the reactor from here; the
+      // owner's stop() does the full teardown.
       stopping_.store(true);
+      reactor_.stop_accepting();
       return false;
     }
 

@@ -16,6 +16,7 @@
 #include "agent/policy.hpp"
 #include "agent/registry.hpp"
 #include "common/error.hpp"
+#include "net/reactor.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
 #include "proto/messages.hpp"
@@ -51,7 +52,7 @@ struct AgentConfig {
 
 class Agent {
  public:
-  /// Bind, spin up the accept loop, and return a running agent.
+  /// Bind, start the serving reactor, and return a running agent.
   static Result<std::unique_ptr<Agent>> start(AgentConfig config);
 
   ~Agent();
@@ -59,7 +60,7 @@ class Agent {
   Agent& operator=(const Agent&) = delete;
 
   /// Where clients and servers reach this agent.
-  net::Endpoint endpoint() const { return listener_.endpoint(); }
+  net::Endpoint endpoint() const { return endpoint_; }
 
   /// Close the listener and wait for in-flight connections to drain.
   void stop();
@@ -86,10 +87,9 @@ class Agent {
     double last_ok_time = -1.0;  // now_seconds() of last success; < 0 = never
   };
 
-  void accept_loop();
-  void handle_connection(net::TcpConnection conn);
-  /// Returns false when the connection should be dropped.
-  bool handle_message(net::TcpConnection& conn, const net::Message& msg);
+  /// Reactor dispatch: one complete frame from one connection, on a pool
+  /// thread. Returns false when the connection should be dropped.
+  bool handle_message(const net::ReactorConnPtr& conn, net::Message&& msg);
   void ping_loop();
   void sync_loop();
   /// Synchronous startup pull of peer registries (anti-entropy bootstrap).
@@ -101,7 +101,10 @@ class Agent {
   void refresh_server_gauges();
 
   AgentConfig config_;
+  /// Held only between construction and reactor start (which adopts it).
   net::TcpListener listener_;
+  net::Endpoint endpoint_;
+  net::Reactor reactor_;
   ServerRegistry registry_;
 
   std::mutex policy_mu_;
@@ -111,8 +114,6 @@ class Agent {
   std::vector<PeerState> peers_;
 
   std::atomic<bool> stopping_{false};
-  std::atomic<int> active_connections_{0};
-  std::thread accept_thread_;
   std::thread ping_thread_;
   std::thread sync_thread_;
 

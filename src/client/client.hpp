@@ -114,6 +114,14 @@ struct ClientConfig {
   /// the original submission completes without a duplicate solve. 0 (default)
   /// keeps the classic resubmit-on-failure behavior.
   double reattach_s = 0.0;
+
+  // ---- transport (connection reuse / pipelining) ----
+  /// Solve attempts, cancels, and agent round trips reuse pooled keep-alive
+  /// connections; solve traffic to one server pipelines over a shared
+  /// request-id-demultiplexed channel, so concurrent netsl_nb calls and
+  /// hedges share one socket instead of dialing one each. Off restores the
+  /// pre-reactor dial-per-call behaviour (the A/B baseline for benchmarks).
+  bool pooled_transport = true;
 };
 
 /// Per-call telemetry, filled when the caller passes a stats out-param.

@@ -172,8 +172,12 @@ std::string Snapshot::to_json() const {
 }
 
 Registry& Registry::instance() {
-  static Registry registry;
-  return registry;
+  // Deliberately leaked: the process-global connection pool keeps mux reader
+  // threads alive past the end of main (the pool itself is leaked for the
+  // same reason), and they record counters on their way out. A static with a
+  // destructor would be torn down under them; the OS reclaims at exit.
+  static Registry* registry = new Registry();
+  return *registry;
 }
 
 Counter& Registry::counter(const std::string& name) {

@@ -1,0 +1,376 @@
+#include "net/pool.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "net/fault.hpp"
+#include "serial/frame.hpp"
+
+namespace ns::net {
+
+namespace {
+
+/// Reply frames that can be demultiplexed carry the request id as their
+/// first encoded field (u64 little-endian) — SolveResult, CancelAck,
+/// ProbeReply and TransferAck all do.
+std::uint64_t peek_request_id(const serial::Bytes& payload) {
+  if (payload.size() < 8) return 0;
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < 8; ++i) id |= static_cast<std::uint64_t>(payload[i]) << (8 * i);
+  return id;
+}
+
+/// Mid-frame silence longer than this poisons a channel. Legitimate gaps
+/// inside one frame are pacing gaps (≤ 64 KiB / bandwidth, milliseconds on
+/// the shaped profiles) — compute time happens *before* a reply frame
+/// starts, never in the middle of one. A stall fault is exactly mid-frame
+/// silence, and one second bounds how long it can poison a shared channel.
+constexpr double kMidFrameProgressTimeout = 1.0;
+
+/// A cached idle connection is reusable only if it is silent and open: a
+/// pending EOF means the peer's idle sweep closed it while it sat in the
+/// pool, and pending *bytes* mean a previous leaseholder left part of a
+/// reply in flight (it should have been discarded, but a racing late frame
+/// can still land after release). Either way, reuse would hand the next
+/// caller a broken stream — drop it.
+bool idle_conn_usable(const TcpConnection& conn) {
+  std::uint8_t byte = 0;
+  const ssize_t n = ::recv(conn.native_handle(), &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) return false;                                  // peer closed
+  if (n > 0) return false;                                   // stray bytes
+  return errno == EAGAIN || errno == EWOULDBLOCK;            // silent + open
+}
+
+}  // namespace
+
+// ---- PooledConn ----
+
+PooledConn::~PooledConn() { discard(); }
+
+PooledConn& PooledConn::operator=(PooledConn&& other) noexcept {
+  if (this != &other) {
+    discard();
+    pool_ = std::exchange(other.pool_, nullptr);
+    conn_ = std::move(other.conn_);
+    key_ = std::move(other.key_);
+    reused_ = other.reused_;
+  }
+  return *this;
+}
+
+void PooledConn::release() {
+  if (pool_ != nullptr && conn_.valid()) {
+    pool_->give_back(key_, std::move(conn_));
+  }
+  pool_ = nullptr;
+  conn_.close();
+}
+
+void PooledConn::discard() {
+  if (pool_ != nullptr && conn_.valid()) {
+    metrics::counter("net.pool.discarded_total").inc();
+  }
+  pool_ = nullptr;
+  conn_.close();
+}
+
+// ---- ConnectionPool ----
+
+ConnectionPool& ConnectionPool::instance() {
+  // The pool object is deliberately leaked (threads of leaked channels may
+  // outlive static destructors), but its *contents* are reaped at exit:
+  // destroying the channels joins their reader threads, so a process that
+  // never redialed a poisoned endpoint doesn't exit with unjoined threads.
+  static ConnectionPool* pool = new ConnectionPool();
+  static const int reap_at_exit = std::atexit([] { instance().clear(); });
+  (void)reap_at_exit;
+  return *pool;
+}
+
+void ConnectionPool::configure(const PoolConfig& config) {
+  std::lock_guard lock(mu_);
+  config_ = config;
+  if (!config_.enabled) {
+    idle_.clear();
+    channels_.clear();
+  }
+}
+
+PoolConfig ConnectionPool::config() const {
+  std::lock_guard lock(mu_);
+  return config_;
+}
+
+Result<PooledConn> ConnectionPool::lease(const Endpoint& remote, double dial_timeout_s) {
+  // The pool is a dial cache: an armed connect fault fires whether or not a
+  // warm connection exists, so chaos scripts see identical failure surfaces.
+  if (FaultInjector::instance().armed()) {
+    NS_RETURN_IF_ERROR(FaultInjector::instance().on_connect(remote));
+  }
+
+  const std::string key = remote.to_string();
+  {
+    std::lock_guard lock(mu_);
+    if (config_.enabled) {
+      auto it = idle_.find(key);
+      if (it != idle_.end()) {
+        const double now = now_seconds();
+        auto& dq = it->second;
+        while (!dq.empty()) {
+          IdleConn cand = std::move(dq.front());
+          dq.pop_front();
+          if (now - cand.since > config_.idle_timeout_s) continue;  // stale, drop
+          if (!idle_conn_usable(cand.conn)) continue;  // peer closed / dirty stream
+          PooledConn lease;
+          lease.pool_ = this;
+          lease.conn_ = std::move(cand.conn);
+          lease.key_ = key;
+          lease.reused_ = true;
+          metrics::counter("net.pool.hits_total").inc();
+          return lease;
+        }
+        idle_.erase(it);
+      }
+    }
+  }
+
+  metrics::counter("net.pool.misses_total").inc();
+  // on_connect already consulted above; dial raw (connect() would roll the
+  // fault a second time for one logical dial).
+  auto conn = TcpConnection::connect_raw(remote, dial_timeout_s);
+  if (!conn.ok()) return conn.error();
+  PooledConn lease;
+  lease.pool_ = this;
+  lease.conn_ = std::move(conn.value());
+  lease.key_ = key;
+  lease.reused_ = false;
+  return lease;
+}
+
+void ConnectionPool::give_back(const std::string& key, TcpConnection conn) {
+  std::lock_guard lock(mu_);
+  if (!config_.enabled) return;
+  auto& dq = idle_[key];
+  const double now = now_seconds();
+  while (!dq.empty() && (dq.size() >= config_.max_idle_per_endpoint ||
+                         now - dq.front().since > config_.idle_timeout_s)) {
+    dq.pop_front();
+  }
+  if (dq.size() >= config_.max_idle_per_endpoint) return;
+  dq.push_back(IdleConn{std::move(conn), now});
+}
+
+Result<MuxChannelPtr> ConnectionPool::channel(const Endpoint& remote, double dial_timeout_s) {
+  if (FaultInjector::instance().armed()) {
+    NS_RETURN_IF_ERROR(FaultInjector::instance().on_connect(remote));
+  }
+  const std::string key = remote.to_string();
+  bool pooling = true;
+  {
+    std::lock_guard lock(mu_);
+    pooling = config_.enabled;
+    if (pooling) {
+      auto it = channels_.find(key);
+      if (it != channels_.end()) {
+        if (it->second->healthy()) return it->second;
+        channels_.erase(it);  // poisoned: evict, redial below
+        metrics::counter("net.mux.evicted_total").inc();
+      }
+    }
+  }
+  auto conn = TcpConnection::connect_raw(remote, dial_timeout_s);
+  if (!conn.ok()) return conn.error();
+  auto channel = MuxChannelPtr(new MuxChannel(std::move(conn.value()), remote));
+  if (pooling) {
+    std::lock_guard lock(mu_);
+    auto it = channels_.find(key);
+    if (it != channels_.end() && it->second->healthy()) return it->second;
+    channels_[key] = channel;
+  }
+  return channel;
+}
+
+void ConnectionPool::evict(const Endpoint& remote) {
+  std::lock_guard lock(mu_);
+  idle_.erase(remote.to_string());
+  channels_.erase(remote.to_string());
+}
+
+void ConnectionPool::clear() {
+  std::lock_guard lock(mu_);
+  idle_.clear();
+  channels_.clear();
+}
+
+std::size_t ConnectionPool::idle_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, dq] : idle_) n += dq.size();
+  return n;
+}
+
+// ---- MuxChannel ----
+
+MuxChannel::MuxChannel(TcpConnection conn, Endpoint remote)
+    : conn_(std::move(conn)), remote_(std::move(remote)) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+MuxChannel::~MuxChannel() {
+  {
+    std::lock_guard lock(mu_);
+    dead_ = true;
+  }
+  conn_.shutdown_both();
+  if (reader_.joinable()) reader_.join();
+}
+
+bool MuxChannel::healthy() const {
+  std::lock_guard lock(mu_);
+  return !dead_;
+}
+
+void MuxChannel::poison(const Error& why) {
+  {
+    std::lock_guard lock(mu_);
+    if (dead_) return;
+    dead_ = true;
+    death_ = why;
+  }
+  // Wake the reader (and fail its current read) without freeing the fd: a
+  // concurrent reader must never race a recycled descriptor number.
+  conn_.shutdown_both();
+  cv_.notify_all();
+  metrics::counter("net.mux.poisoned_total").inc();
+}
+
+Result<Message> MuxChannel::call(std::uint16_t request_type, const serial::Bytes& payload,
+                                 std::uint16_t reply_type, std::uint64_t request_id,
+                                 double timeout_s, const LinkShape& shape) {
+  Waiter waiter;
+  const auto key = std::make_pair(request_id, reply_type);
+  {
+    std::lock_guard lock(mu_);
+    if (dead_) return death_;
+    waiters_[key] = &waiter;
+  }
+
+  Status sent = ok_status();
+  {
+    // Serialize senders: frames must hit the stream whole. Fault plans and
+    // shaping apply exactly as on a dedicated connection.
+    std::lock_guard lock(send_mu_);
+    sent = send_message(conn_, request_type, payload, shape);
+  }
+  if (!sent.ok()) {
+    {
+      std::lock_guard lock(mu_);
+      waiters_.erase(key);
+    }
+    // A send-side failure (injected reset, peer gone) leaves the stream in
+    // an unknown state: poison so every sharer redials.
+    poison(sent.error());
+    return sent.error();
+  }
+
+  std::unique_lock lock(mu_);
+  const bool got = cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                                [&] { return waiter.done || dead_; });
+  if (waiter.done) return std::move(waiter.reply);
+  waiters_.erase(key);
+  if (dead_) return death_;
+  // Timed out: the reply may still arrive; the reader will read and discard
+  // it whole, so the stream stays framed and the channel stays usable.
+  (void)got;
+  return make_error(ErrorCode::kTimeout, "mux call timed out");
+}
+
+void MuxChannel::reader_loop() {
+  for (;;) {
+    {
+      std::lock_guard lock(mu_);
+      if (dead_) return;
+    }
+    auto readable = conn_.wait_readable(0.25);
+    if (!readable.ok()) {
+      if (readable.error().code == ErrorCode::kTimeout) continue;
+      poison(make_error(ErrorCode::kConnectionClosed, "mux channel closed"));
+      return;
+    }
+    // A frame has started: finish it with a progress-bounded read. The
+    // overall frame may take arbitrarily long on a paced link; only
+    // *silence* mid-frame is fatal.
+    std::uint8_t header_bytes[serial::kHeaderSize];
+    auto hdr_read = conn_.recv_all(header_bytes, sizeof(header_bytes),
+                                   kMidFrameProgressTimeout);
+    if (!hdr_read.ok()) {
+      poison(hdr_read.error());
+      return;
+    }
+    auto header = serial::decode_header(header_bytes);
+    if (!header.ok()) {
+      poison(header.error());
+      return;
+    }
+    Message msg;
+    msg.type = header.value().type;
+    msg.payload.resize(header.value().length);
+    std::size_t got = 0;
+    while (got < msg.payload.size()) {
+      const std::size_t chunk = std::min<std::size_t>(64 * 1024, msg.payload.size() - got);
+      auto body_read = conn_.recv_all(msg.payload.data() + got, chunk,
+                                      kMidFrameProgressTimeout);
+      if (!body_read.ok()) {
+        poison(body_read.error());
+        return;
+      }
+      got += chunk;
+    }
+    if (auto crc = serial::check_payload(header.value(), msg.payload); !crc.ok()) {
+      poison(crc.error());
+      return;
+    }
+
+    const std::uint64_t id = peek_request_id(msg.payload);
+    std::lock_guard lock(mu_);
+    auto it = waiters_.find(std::make_pair(id, msg.type));
+    if (it != waiters_.end()) {
+      it->second->reply = std::move(msg);
+      it->second->done = true;
+      waiters_.erase(it);
+      cv_.notify_all();
+    }
+    // No waiter (deadline already expired): the frame was consumed whole and
+    // dropped — nothing leaks into the next caller's reply.
+  }
+}
+
+// ---- helpers ----
+
+Result<Message> pool_round_trip(const Endpoint& remote, std::uint16_t type,
+                                const serial::Bytes& payload, double timeout_s,
+                                double dial_timeout_s, const LinkShape& shape) {
+  auto lease = ConnectionPool::instance().lease(remote, dial_timeout_s);
+  if (!lease.ok()) return lease.error();
+  NS_RETURN_IF_ERROR(send_message(lease.value().conn(), type, payload, shape));
+  auto reply = recv_message(lease.value().conn(), timeout_s);
+  if (!reply.ok()) return reply.error();  // lease destructor discards
+  lease.value().release();
+  return reply;
+}
+
+Status pool_post(const Endpoint& remote, std::uint16_t type, const serial::Bytes& payload,
+                 double dial_timeout_s, const LinkShape& shape) {
+  auto lease = ConnectionPool::instance().lease(remote, dial_timeout_s);
+  if (!lease.ok()) return lease.error();
+  NS_RETURN_IF_ERROR(send_message(lease.value().conn(), type, payload, shape));
+  lease.value().release();
+  return ok_status();
+}
+
+}  // namespace ns::net

@@ -1,0 +1,189 @@
+// Event-driven transport core: a non-blocking epoll reactor.
+//
+// One reactor thread owns the listening socket, an epoll set, and every
+// accepted connection's read side. Complete frames are decoded on the
+// reactor thread (multiple frames per read — pipelined peers are the point)
+// and dispatched to an elastic TaskPool (net/task_pool.hpp), so a blocking
+// handler (a solve waiting in the admission queue) never stalls the loop or
+// any other connection. This replaces the thread-per-connection accept
+// loops the server and agent shipped with: connection count no longer costs
+// a thread, and an accepted-but-idle keep-alive connection costs one fd and
+// two small buffers.
+//
+// Writes are buffered per connection and flushed with writev scatter-gather
+// (frame header and payload are separate iovecs — no per-send frame
+// assembly copy). Handlers call ReactorConn::send() from pool threads; the
+// fast path writes directly to the socket when the queue is empty, the slow
+// path queues and lets the reactor finish under EPOLLOUT. Link shaping is
+// honoured by stamping each queued chunk with a release time (token-bucket
+// pacing computed at enqueue, served by the epoll timeout) instead of
+// sleeping — a shaped reply never blocks a thread.
+//
+// Fault-injection parity: net/fault.hpp's send-side faults (reset, stall,
+// corrupt, partition) are applied at enqueue time with the same
+// peer-then-local endpoint lookup as net::send_message, so every chaos test
+// scripted against the thread-per-connection transport observes identical
+// failure surfaces on the reactor.
+//
+// Shutdown discipline (what TSan holds us to): stop() closes the listener,
+// marks every connection closing, joins the reactor thread, then stops the
+// pool (joining every worker). Handlers hold shared_ptr<ReactorConn>, so a
+// connection closed under them stays valid memory; sends after close fail
+// with kConnectionClosed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/shaped_link.hpp"
+#include "net/socket.hpp"
+#include "net/task_pool.hpp"
+#include "net/transport.hpp"
+#include "serial/frame.hpp"
+
+namespace ns::net {
+
+class Reactor;
+
+/// One accepted connection, shared between the reactor (reads, flushes) and
+/// handler threads (sends). Handlers may hold the pointer across blocking
+/// work and reply whenever ready — replies from concurrent handlers
+/// interleave at frame granularity, which is what makes multiple in-flight
+/// requests per connection (demuxed by request id on the client) work.
+class ReactorConn : public std::enable_shared_from_this<ReactorConn> {
+ public:
+  /// Queue one framed message. Thread-safe; applies armed fault plans and
+  /// link shaping. Fails with kConnectionClosed once the connection is
+  /// closing (handlers treat that like the old synchronous send failing).
+  Status send(std::uint16_t type, const serial::Bytes& payload,
+              const LinkShape& shape = LinkShape::unshaped());
+
+  /// Close after flushing queued writes; pending reads are dropped.
+  void close();
+
+  bool closed() const noexcept { return closing_.load(std::memory_order_acquire); }
+
+  const Endpoint& peer() const noexcept { return peer_; }
+  const Endpoint& local() const noexcept { return local_; }
+
+ private:
+  friend class Reactor;
+
+  struct Chunk {
+    serial::Bytes data;
+    std::size_t offset = 0;
+    double not_before = 0.0;  // monotonic seconds; 0 = immediately
+  };
+
+  explicit ReactorConn(Reactor* reactor, int fd) : reactor_(reactor), fd_(fd) {}
+
+  Reactor* reactor_;
+  int fd_;
+  Endpoint peer_;
+  Endpoint local_;
+
+  // Read side: reactor thread only.
+  serial::Bytes rdbuf_;
+  std::size_t rd_consumed_ = 0;
+
+  // Write side: shared, guarded by wr_mu_.
+  std::mutex wr_mu_;
+  std::deque<Chunk> wrq_;
+  double pace_until_ = 0.0;  // shaped-link token bucket (monotonic seconds)
+  bool want_write_ = false;  // EPOLLOUT currently armed (reactor bookkeeping)
+
+  std::atomic<bool> closing_{false};
+  std::atomic<int> active_handlers_{0};
+  std::atomic<double> last_activity_{0.0};
+};
+
+using ReactorConnPtr = std::shared_ptr<ReactorConn>;
+
+struct ReactorConfig {
+  /// Core handler threads; the pool grows on demand (blocking solve
+  /// handlers each hold a thread while queued/running) up to max_workers.
+  int workers = 4;
+  int max_workers = 256;
+  /// Close connections with no traffic and no in-flight handler for this
+  /// long. Keep-alive peers must send something (or redial) within it.
+  double idle_timeout_s = 10.0;
+  /// Run handlers on the loop thread instead of dispatching to the pool.
+  /// Only for services whose every handler is short and non-blocking (the
+  /// agent: metadata lookups) — it saves two context switches per request,
+  /// but one blocking handler would stall every connection. Servers keep
+  /// pool dispatch (solve handlers block on the admission queue).
+  bool inline_handlers = false;
+};
+
+class Reactor {
+ public:
+  /// Handler for one complete, CRC-valid frame; runs on a pool thread.
+  /// Return false to close the connection (protocol violation / shutdown).
+  using MessageHandler = std::function<bool(const ReactorConnPtr&, Message&&)>;
+
+  Reactor() = default;
+  ~Reactor() { stop(); }
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Take ownership of a bound listener and serve it until stop().
+  Status start(TcpListener listener, MessageHandler handler, ReactorConfig config = {});
+
+  /// Close listener + every connection, join the loop and all workers.
+  /// Safe to call twice; safe to call without start().
+  void stop();
+
+  /// Stop accepting new connections without stopping the loop — an injected
+  /// server crash must release its port immediately, but the crashing
+  /// handler runs on a pool thread and cannot join the pool. Asynchronous:
+  /// the loop thread closes the listener on its next wakeup.
+  void stop_accepting();
+
+  Endpoint endpoint() const { return listener_.endpoint(); }
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+  std::size_t connection_count() const;
+
+ private:
+  friend class ReactorConn;
+
+  void loop();
+  void handle_accept();
+  void handle_readable(const ReactorConnPtr& conn);
+  void drain_frames(const ReactorConnPtr& conn);
+  /// Flush as much of the write queue as the socket and pacing allow.
+  /// Returns the earliest not_before still pending (0 = none).
+  double flush_writes(const ReactorConnPtr& conn);
+  void finish_close(const ReactorConnPtr& conn);
+  void notify_dirty(const ReactorConnPtr& conn);
+  void wake();
+  void sweep_idle(double now);
+
+  TcpListener listener_;
+  MessageHandler handler_;
+  ReactorConfig config_;
+  TaskPool pool_;
+
+  FdHandle epoll_fd_;
+  FdHandle wake_fd_;  // eventfd: send-enqueue / close / stop wakeups
+
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> close_listener_{false};
+
+  mutable std::mutex conns_mu_;
+  std::vector<ReactorConnPtr> conns_;
+
+  std::mutex dirty_mu_;
+  std::vector<std::weak_ptr<ReactorConn>> dirty_;
+};
+
+}  // namespace ns::net

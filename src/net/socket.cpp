@@ -61,6 +61,10 @@ Result<TcpConnection> TcpConnection::connect(const Endpoint& remote, double time
   if (FaultInjector::instance().armed()) {
     NS_RETURN_IF_ERROR(FaultInjector::instance().on_connect(remote));
   }
+  return connect_raw(remote, timeout_secs);
+}
+
+Result<TcpConnection> TcpConnection::connect_raw(const Endpoint& remote, double timeout_secs) {
   auto addr = make_addr(remote);
   if (!addr.ok()) return addr.error();
 
@@ -85,6 +89,10 @@ Result<TcpConnection> TcpConnection::connect(const Endpoint& remote, double time
     return make_error(ErrorCode::kConnectFailed,
                       "connect(" + remote.to_string() + "): " + errno_string());
   }
+}
+
+void TcpConnection::shutdown_both() noexcept {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
 }
 
 Status TcpConnection::send_all(const void* data, std::size_t size) {

@@ -49,8 +49,18 @@ class TcpConnection {
   /// multi-process experiments).
   static Result<TcpConnection> connect(const Endpoint& remote, double timeout_secs = 5.0);
 
+  /// connect() without the fault-injector consult, for callers (the
+  /// connection pool) that already rolled on_connect for this logical dial
+  /// and must not roll it twice.
+  static Result<TcpConnection> connect_raw(const Endpoint& remote, double timeout_secs = 5.0);
+
   bool valid() const noexcept { return fd_.valid(); }
   void close() noexcept { fd_.reset(); }
+
+  /// Shut both directions down without freeing the fd: a blocked reader on
+  /// another thread wakes with EOF, and the descriptor number cannot be
+  /// recycled under it (that is why this is not close()).
+  void shutdown_both() noexcept;
 
   /// Write the entire buffer; fails on peer reset.
   Status send_all(const void* data, std::size_t size);
@@ -65,6 +75,12 @@ class TcpConnection {
   /// Local/peer addresses for metrics and logging.
   Result<Endpoint> local_endpoint() const;
   Result<Endpoint> peer_endpoint() const;
+
+  /// Raw fd for event-loop registration (epoll). Still owned by this object.
+  int native_handle() const noexcept { return fd_.get(); }
+
+  /// Detach ownership of the fd (the reactor adopts accepted sockets).
+  FdHandle release() noexcept { return std::move(fd_); }
 
  private:
   FdHandle fd_;
@@ -85,6 +101,9 @@ class TcpListener {
   /// Wake any accept() blocked in poll by closing the listening socket.
   void close() noexcept { fd_.reset(); }
   bool valid() const noexcept { return fd_.valid(); }
+
+  /// Raw fd for event-loop registration (epoll). Still owned by this object.
+  int native_handle() const noexcept { return fd_.get(); }
 
  private:
   FdHandle fd_;

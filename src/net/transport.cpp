@@ -37,10 +37,13 @@ Status send_message(TcpConnection& conn, std::uint16_t type, const serial::Bytes
       switch (*fault.value()) {
         case FaultMode::kReset:
         case FaultMode::kPartition: {
-          // Half a frame then a hard close: the peer reads a truncated stream
-          // and sees kConnectionClosed, exactly like a mid-flight RST.
+          // Half a frame then a hard shutdown: the peer reads a truncated
+          // stream and sees kConnectionClosed, exactly like a mid-flight RST.
+          // shutdown, not close: on a pooled mux channel a reader thread is
+          // concurrently polling this fd, and close() would free the
+          // descriptor under it (the owner closes it when the channel dies).
           (void)conn.send_all(frame.data(), frame.size() / 2);
-          conn.close();
+          conn.shutdown_both();
           return make_error(ErrorCode::kConnectionClosed,
                             std::string("injected ") + std::string(fault_mode_name(*fault.value())) +
                                 " on send");

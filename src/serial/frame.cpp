@@ -75,6 +75,15 @@ Bytes build_frame(std::uint16_t type, const Bytes& payload) {
   return frame;
 }
 
+void encode_frame_header(std::uint16_t type, const Bytes& payload,
+                         std::uint8_t out[kHeaderSize]) {
+  FrameHeader header;
+  header.type = type;
+  header.length = static_cast<std::uint32_t>(payload.size());
+  header.crc = frame_crc(type, header.length, payload);
+  encode_header(header, out);
+}
+
 Status check_payload(const FrameHeader& header, const Bytes& payload) {
   if (payload.size() != header.length) {
     return make_error(ErrorCode::kProtocol, "payload length mismatch");

@@ -13,6 +13,7 @@
 #include "common/trace.hpp"
 #include "dsl/specfile.hpp"
 #include "linalg/rating.hpp"
+#include "net/pool.hpp"
 #include "server/builtin_problems.hpp"
 
 namespace ns::server {
@@ -84,7 +85,18 @@ Result<std::unique_ptr<ComputeServer>> ComputeServer::start(ServerConfig config)
                           std::to_string(server->config_.agents.size()) + " agent(s)");
   }
 
-  server->accept_thread_ = std::thread([raw = server.get()] { raw->accept_loop(); });
+  // The reactor adopts the listener: reads and frame decode live on its
+  // event loop, handlers (including blocking solves waiting in the admission
+  // queue) on its elastic pool. Its idle sweep stays above the client pool's
+  // keep-alive window so the client side discards idle connections first.
+  net::ReactorConfig reactor_config;
+  reactor_config.idle_timeout_s = std::max(server->config_.io_timeout_s, 5.0);
+  NS_RETURN_IF_ERROR(server->reactor_.start(
+      std::move(server->listener_),
+      [raw = server.get()](const net::ReactorConnPtr& conn, net::Message&& msg) {
+        return raw->handle_message(conn, std::move(msg));
+      },
+      reactor_config));
   server->report_thread_ = std::thread([raw = server.get()] { raw->report_loop(); });
   server->launch_recovered_jobs();
   return server;
@@ -129,6 +141,7 @@ ComputeServer::ComputeServer(ServerConfig config, net::TcpListener listener,
       failure_rng_(config_.seed),
       background_load_(config_.background_load),
       metrics_(config_.name) {
+  endpoint_ = listener_.endpoint();
   concurrency_limit_f_ = static_cast<double>(config_.workers);
   metrics_.concurrency_limit.set(static_cast<double>(config_.workers));
   for (const auto& agent : config_.agents) {
@@ -139,20 +152,16 @@ ComputeServer::ComputeServer(ServerConfig config, net::TcpListener listener,
 ComputeServer::~ComputeServer() { stop(); }
 
 Status ComputeServer::register_link(AgentLink& link, std::vector<net::Endpoint>* discovered) {
-  auto conn = net::TcpConnection::connect(link.endpoint, 5.0);
-  if (!conn.ok()) return conn.error();
-
   proto::RegisterServer reg;
   reg.server_name = config_.name;
-  reg.endpoint = listener_.endpoint();
+  reg.endpoint = endpoint_;
   reg.mflops = rated_mflops_;
   reg.problems = registry_.all_specs();
   reg.incarnation = incarnation_;
-  NS_RETURN_IF_ERROR(net::send_message(conn.value(),
-                                       static_cast<std::uint16_t>(MessageType::kRegisterServer),
-                                       encode_payload(reg)));
-
-  auto reply = net::recv_message(conn.value(), config_.io_timeout_s);
+  auto reply = net::pool_round_trip(link.endpoint,
+                                    static_cast<std::uint16_t>(MessageType::kRegisterServer),
+                                    encode_payload(reg), config_.io_timeout_s,
+                                    /*dial_timeout_s=*/5.0);
   if (!reply.ok()) return reply.error();
   if (reply.value().type != static_cast<std::uint16_t>(MessageType::kRegisterAck)) {
     return make_error(ErrorCode::kProtocol, "expected RegisterAck");
@@ -211,25 +220,6 @@ void ComputeServer::maintain_registrations() {
       agent_links_.push_back(AgentLink{peer});
     }
   }
-}
-
-void ComputeServer::accept_loop() {
-  while (!stopping_.load()) {
-    auto conn = listener_.accept(0.05);
-    if (!conn.ok()) {
-      if (conn.error().code == ErrorCode::kTimeout) continue;
-      break;
-    }
-    active_connections_.fetch_add(1);
-    std::thread([this, c = std::make_shared<net::TcpConnection>(std::move(conn).value())]() mutable {
-      handle_connection(std::move(*c));
-      active_connections_.fetch_sub(1);
-    }).detach();
-  }
-  // The loop owns the listener while running, so it also closes it: an
-  // injected crash stops accepting promptly and stop()'s own close (after
-  // the join) is an ordered no-op.
-  listener_.close();
 }
 
 FailureSpec::Mode ComputeServer::roll_failure() {
@@ -424,159 +414,153 @@ void ComputeServer::dispatch_locked() {
   if (woke_any) jobs_cv_.notify_all();
 }
 
-void ComputeServer::handle_connection(net::TcpConnection conn) {
-  while (!stopping_.load()) {
-    auto msg = net::recv_message(conn, config_.io_timeout_s);
-    if (!msg.ok()) return;
+bool ComputeServer::handle_message(const net::ReactorConnPtr& conn, net::Message&& msg) {
+  if (stopping_.load()) return false;
 
-    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kPing)) {
-      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kPong), {});
-      continue;
-    }
-    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kMetricsQuery)) {
-      serial::Decoder query_dec(msg.value().payload);
-      auto query = proto::MetricsQuery::decode(query_dec);
-      proto::MetricsDump dump;
-      dump.snapshot = metrics::Registry::instance().snapshot(
-          query.ok() ? query.value().prefix : std::string{});
-      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kMetricsDump),
-                              encode_payload(dump));
-      continue;
-    }
-    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kCancelRequest)) {
-      serial::Decoder cancel_dec(msg.value().payload);
-      auto cancel = proto::CancelRequest::decode(cancel_dec);
-      if (!cancel.ok()) return;  // protocol violation: drop
-      metrics_.cancel_requests.inc();
-      proto::CancelAck ack;
-      ack.request_id = cancel.value().request_id;
-      ack.outcome = cancel_jobs(cancel.value().request_id);
-      {
-        // Lock-then-notify so a queued job that checked its token just
-        // before blocking cannot miss the wakeup.
-        std::lock_guard<std::mutex> lock(jobs_mu_);
-      }
-      jobs_cv_.notify_all();
-      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kCancelAck),
-                              encode_payload(ack));
-      continue;
-    }
-    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kDrainRequest)) {
-      serial::Decoder drain_dec(msg.value().payload);
-      auto drain_msg = proto::DrainRequest::decode(drain_dec);
-      if (!drain_msg.ok()) return;  // protocol violation: drop
-      proto::DrainAck ack;
-      {
-        std::lock_guard<std::mutex> lock(jobs_mu_);
-        ack.running = static_cast<std::uint32_t>(running_jobs_);
-        ack.queued = static_cast<std::uint32_t>(waiting_jobs_);
-      }
-      ack.started = start_drain(drain_msg.value().deadline_s);
-      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kDrainAck),
-                              encode_payload(ack));
-      continue;
-    }
-    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kProbeRequest)) {
-      serial::Decoder probe_dec(msg.value().payload);
-      auto probe = proto::ProbeRequest::decode(probe_dec);
-      if (!probe.ok()) return;  // protocol violation: drop
-      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kProbeReply),
-                              encode_payload(probe_job(probe.value())));
-      continue;
-    }
-    if (msg.value().type == static_cast<std::uint16_t>(MessageType::kJobTransfer)) {
-      serial::Decoder transfer_dec(msg.value().payload);
-      auto transfer = proto::JobTransfer::decode(transfer_dec);
-      if (!transfer.ok()) return;  // protocol violation: drop
-      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kTransferAck),
-                              encode_payload(accept_transfer(std::move(transfer).value())));
-      continue;
-    }
-    if (msg.value().type != static_cast<std::uint16_t>(MessageType::kSolveRequest)) {
-      return;  // protocol violation: drop
-    }
-
-    serial::Decoder dec(msg.value().payload);
-    const Stopwatch since_receipt;
-    auto request = proto::SolveRequest::decode(dec);
-    proto::SolveResult result;
-    if (!request.ok()) {
-      result.error_code = static_cast<std::uint16_t>(request.error().code);
-      result.error_message = request.error().message;
-      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                              encode_payload(result), config_.link);
-      return;
-    }
-    result.request_id = request.value().request_id;
-
-    // Failure injection happens after the request is fully received — the
-    // client has already paid the transfer cost, which is the expensive
-    // failure the retry logic must absorb.
-    switch (roll_failure()) {
-      case FailureSpec::Mode::kCrash:
-        NS_WARN("server") << config_.name << " injected crash";
-        crashed_.store(true);
-        // Only flag the stop: the accept loop owns the listener and closes
-        // it on its way out (closing it from this handler thread would race
-        // the accept poll and the destructor).
-        stopping_.store(true);
-        jobs_cv_.notify_all();
-        return;
-      case FailureSpec::Mode::kDropRequest:
-        NS_DEBUG("server") << config_.name << " injected connection drop";
-        return;
-      case FailureSpec::Mode::kHangRequest:
-        // Hold the connection silently; the client's io timeout is the only
-        // way out. Bounded so stop() stays prompt.
-        NS_DEBUG("server") << config_.name << " injected hang";
-        while (!stopping_.load()) sleep_seconds(0.02);
-        return;
-      case FailureSpec::Mode::kErrorReply:
-        result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerFailure);
-        result.error_message = "injected failure";
-        (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                                encode_payload(result), config_.link);
-        continue;
-      case FailureSpec::Mode::kNone:
-        break;
-    }
-
-    // Acquire a worker slot; waiting requests count toward workload.
-    metrics_.requests.inc();
-    if (draining_.load()) {
-      // Retryable: the client's failover moves this request to another
-      // server, which is the whole point of draining.
-      drain_rejected_.fetch_add(1);
-      metrics_.drain_rejected.inc();
-      result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
-      result.error_message = "server draining";
-      (void)net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                              encode_payload(result), config_.link);
-      continue;
-    }
-    // Visible to CANCEL, PROBE and the drain sweep from admission to reply.
-    // The request moves into the job so compaction and migration can
-    // re-serialize it without this connection thread's cooperation.
-    auto job = std::make_shared<ActiveJob>();
-    job->request = std::move(request).value();
-    {
-      std::lock_guard<std::mutex> lock(active_jobs_mu_);
-      active_jobs_.emplace(result.request_id, job);
-    }
-    // WAL discipline: the ADMITTED record (full request + remaining budget)
-    // is on disk before the job enters the queue — from here on, a crash
-    // cannot lose it.
-    journal_admit(*job, job->request.deadline_s > 0.0
-                            ? job->request.deadline_s - since_receipt.elapsed()
-                            : 0.0);
-    auto reply = run_job(job, since_receipt);
-    if (!reply.has_value()) return;  // stopping or crashed: no reply leaves
-    if (!net::send_message(conn, static_cast<std::uint16_t>(MessageType::kSolveResult),
-                           encode_payload(*reply), config_.link)
-             .ok()) {
-      return;
-    }
+  if (msg.type == static_cast<std::uint16_t>(MessageType::kPing)) {
+    return conn->send(static_cast<std::uint16_t>(MessageType::kPong), {}).ok();
   }
+  if (msg.type == static_cast<std::uint16_t>(MessageType::kMetricsQuery)) {
+    serial::Decoder query_dec(msg.payload);
+    auto query = proto::MetricsQuery::decode(query_dec);
+    proto::MetricsDump dump;
+    dump.snapshot = metrics::Registry::instance().snapshot(
+        query.ok() ? query.value().prefix : std::string{});
+    return conn->send(static_cast<std::uint16_t>(MessageType::kMetricsDump),
+                      encode_payload(dump))
+        .ok();
+  }
+  if (msg.type == static_cast<std::uint16_t>(MessageType::kCancelRequest)) {
+    serial::Decoder cancel_dec(msg.payload);
+    auto cancel = proto::CancelRequest::decode(cancel_dec);
+    if (!cancel.ok()) return false;  // protocol violation: drop
+    metrics_.cancel_requests.inc();
+    proto::CancelAck ack;
+    ack.request_id = cancel.value().request_id;
+    ack.outcome = cancel_jobs(cancel.value().request_id);
+    {
+      // Lock-then-notify so a queued job that checked its token just
+      // before blocking cannot miss the wakeup.
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+    }
+    jobs_cv_.notify_all();
+    return conn->send(static_cast<std::uint16_t>(MessageType::kCancelAck),
+                      encode_payload(ack))
+        .ok();
+  }
+  if (msg.type == static_cast<std::uint16_t>(MessageType::kDrainRequest)) {
+    serial::Decoder drain_dec(msg.payload);
+    auto drain_msg = proto::DrainRequest::decode(drain_dec);
+    if (!drain_msg.ok()) return false;  // protocol violation: drop
+    proto::DrainAck ack;
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      ack.running = static_cast<std::uint32_t>(running_jobs_);
+      ack.queued = static_cast<std::uint32_t>(waiting_jobs_);
+    }
+    ack.started = start_drain(drain_msg.value().deadline_s);
+    return conn->send(static_cast<std::uint16_t>(MessageType::kDrainAck),
+                      encode_payload(ack))
+        .ok();
+  }
+  if (msg.type == static_cast<std::uint16_t>(MessageType::kProbeRequest)) {
+    serial::Decoder probe_dec(msg.payload);
+    auto probe = proto::ProbeRequest::decode(probe_dec);
+    if (!probe.ok()) return false;  // protocol violation: drop
+    return conn->send(static_cast<std::uint16_t>(MessageType::kProbeReply),
+                      encode_payload(probe_job(probe.value())))
+        .ok();
+  }
+  if (msg.type == static_cast<std::uint16_t>(MessageType::kJobTransfer)) {
+    serial::Decoder transfer_dec(msg.payload);
+    auto transfer = proto::JobTransfer::decode(transfer_dec);
+    if (!transfer.ok()) return false;  // protocol violation: drop
+    return conn->send(static_cast<std::uint16_t>(MessageType::kTransferAck),
+                      encode_payload(accept_transfer(std::move(transfer).value())))
+        .ok();
+  }
+  if (msg.type != static_cast<std::uint16_t>(MessageType::kSolveRequest)) {
+    return false;  // protocol violation: drop
+  }
+  return handle_solve(conn, msg.payload);
+}
+
+bool ComputeServer::handle_solve(const net::ReactorConnPtr& conn,
+                                 const serial::Bytes& payload) {
+  const auto solve_result = static_cast<std::uint16_t>(MessageType::kSolveResult);
+  serial::Decoder dec(payload);
+  const Stopwatch since_receipt;
+  auto request = proto::SolveRequest::decode(dec);
+  proto::SolveResult result;
+  if (!request.ok()) {
+    result.error_code = static_cast<std::uint16_t>(request.error().code);
+    result.error_message = request.error().message;
+    (void)conn->send(solve_result, encode_payload(result), config_.link);
+    return false;
+  }
+  result.request_id = request.value().request_id;
+
+  // Failure injection happens after the request is fully received — the
+  // client has already paid the transfer cost, which is the expensive
+  // failure the retry logic must absorb.
+  switch (roll_failure()) {
+    case FailureSpec::Mode::kCrash:
+      NS_WARN("server") << config_.name << " injected crash";
+      crashed_.store(true);
+      stopping_.store(true);
+      // The crash runs on a reactor pool thread, so it cannot join the
+      // reactor from here; release the port asynchronously and let stop()
+      // (from the owner) do the full teardown. handle_message rejects all
+      // further frames meanwhile.
+      reactor_.stop_accepting();
+      jobs_cv_.notify_all();
+      return false;
+    case FailureSpec::Mode::kDropRequest:
+      NS_DEBUG("server") << config_.name << " injected connection drop";
+      return false;
+    case FailureSpec::Mode::kHangRequest:
+      // The reply simply never leaves; the connection stays open and the
+      // client's io timeout is the only way out. (Unlike the blocking
+      // transport no thread is held hostage meanwhile.)
+      NS_DEBUG("server") << config_.name << " injected hang";
+      return true;
+    case FailureSpec::Mode::kErrorReply:
+      result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerFailure);
+      result.error_message = "injected failure";
+      return conn->send(solve_result, encode_payload(result), config_.link).ok();
+    case FailureSpec::Mode::kNone:
+      break;
+  }
+
+  // Acquire a worker slot; waiting requests count toward workload.
+  metrics_.requests.inc();
+  if (draining_.load()) {
+    // Retryable: the client's failover moves this request to another
+    // server, which is the whole point of draining.
+    drain_rejected_.fetch_add(1);
+    metrics_.drain_rejected.inc();
+    result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+    result.error_message = "server draining";
+    return conn->send(solve_result, encode_payload(result), config_.link).ok();
+  }
+  // Visible to CANCEL, PROBE and the drain sweep from admission to reply.
+  // The request moves into the job so compaction and migration can
+  // re-serialize it without this handler thread's cooperation.
+  auto job = std::make_shared<ActiveJob>();
+  job->request = std::move(request).value();
+  {
+    std::lock_guard<std::mutex> lock(active_jobs_mu_);
+    active_jobs_.emplace(result.request_id, job);
+  }
+  // WAL discipline: the ADMITTED record (full request + remaining budget)
+  // is on disk before the job enters the queue — from here on, a crash
+  // cannot lose it.
+  journal_admit(*job, job->request.deadline_s > 0.0
+                          ? job->request.deadline_s - since_receipt.elapsed()
+                          : 0.0);
+  auto reply = run_job(job, since_receipt);
+  if (!reply.has_value()) return false;  // stopping or crashed: no reply leaves
+  return conn->send(solve_result, encode_payload(*reply), config_.link).ok();
 }
 
 std::optional<proto::SolveResult> ComputeServer::run_job(
@@ -871,21 +855,21 @@ void ComputeServer::send_workload_report(double workload) {
         static_cast<double>(std::max(0, effective_concurrency_locked() - running_jobs_));
   }
   // Fan out to every agent we ever registered with; ids are agent-local so
-  // each link carries its own. A dead agent costs one fast refused connect.
+  // each link carries its own. Reports ride the keep-alive pool — one warm
+  // connection per agent instead of a dial per period. A dead agent costs
+  // one failed dial; the next period retries.
   std::lock_guard<std::mutex> links_lock(links_mu_);
   for (const auto& link : agent_links_) {
     if (link.id == proto::kInvalidServerId) continue;
-    auto conn = net::TcpConnection::connect(link.endpoint, 1.0);
-    if (!conn.ok()) continue;  // agent temporarily unreachable; next period retries
     proto::WorkloadReport report;
     report.server_id = link.id;
     report.workload = workload;
     report.completed = completed_.load();
     report.sojourn_p95_s = sojourn_p95;
     report.free_slots = free_slots;
-    (void)net::send_message(conn.value(),
-                            static_cast<std::uint16_t>(MessageType::kWorkloadReport),
-                            encode_payload(report));
+    (void)net::pool_post(link.endpoint,
+                         static_cast<std::uint16_t>(MessageType::kWorkloadReport),
+                         encode_payload(report), /*dial_timeout_s=*/1.0);
   }
 }
 
@@ -1292,14 +1276,9 @@ std::vector<proto::ServerCandidate> ComputeServer::query_candidates(
   }
   query.output_bytes = query.input_bytes;
   for (const auto& agent : agents) {
-    auto conn = net::TcpConnection::connect(agent, 2.0);
-    if (!conn.ok()) continue;
-    if (!net::send_message(conn.value(), static_cast<std::uint16_t>(MessageType::kQuery),
-                           encode_payload(query))
-             .ok()) {
-      continue;
-    }
-    auto reply = net::recv_message(conn.value(), 2.0);
+    auto reply = net::pool_round_trip(agent, static_cast<std::uint16_t>(MessageType::kQuery),
+                                      encode_payload(query), /*timeout_s=*/2.0,
+                                      /*dial_timeout_s=*/2.0);
     if (!reply.ok() ||
         reply.value().type != static_cast<std::uint16_t>(MessageType::kServerList)) {
       continue;
@@ -1331,16 +1310,11 @@ bool ComputeServer::migrate_job(ActiveJob& job, proto::SolveResult& result) {
   // The drain already deregistered this server, so the agents' rankings no
   // longer contain us; every candidate is a genuine peer.
   for (const auto& candidate : query_candidates(job.request)) {
-    if (candidate.endpoint == listener_.endpoint()) continue;
-    auto conn = net::TcpConnection::connect(candidate.endpoint, 2.0);
-    if (!conn.ok()) continue;
-    if (!net::send_message(conn.value(),
-                           static_cast<std::uint16_t>(MessageType::kJobTransfer),
-                           encode_payload(transfer))
-             .ok()) {
-      continue;
-    }
-    auto reply = net::recv_message(conn.value(), 2.0);
+    if (candidate.endpoint == endpoint_) continue;
+    auto reply = net::pool_round_trip(candidate.endpoint,
+                                      static_cast<std::uint16_t>(MessageType::kJobTransfer),
+                                      encode_payload(transfer), /*timeout_s=*/2.0,
+                                      /*dial_timeout_s=*/2.0);
     if (!reply.ok() ||
         reply.value().type != static_cast<std::uint16_t>(MessageType::kTransferAck)) {
       continue;
@@ -1386,13 +1360,12 @@ void ComputeServer::deregister_from_agents() {
   std::lock_guard<std::mutex> links_lock(links_mu_);
   for (const auto& link : agent_links_) {
     if (link.id == proto::kInvalidServerId) continue;
-    auto conn = net::TcpConnection::connect(link.endpoint, 1.0);
-    if (!conn.ok()) continue;  // dead agent already thinks we are gone
     proto::DeregisterServer msg;
     msg.server_id = link.id;
-    (void)net::send_message(conn.value(),
-                            static_cast<std::uint16_t>(MessageType::kDeregisterServer),
-                            encode_payload(msg));
+    // Fire-and-forget; a dead agent already thinks we are gone.
+    (void)net::pool_post(link.endpoint,
+                         static_cast<std::uint16_t>(MessageType::kDeregisterServer),
+                         encode_payload(msg), /*dial_timeout_s=*/1.0);
   }
 }
 
@@ -1473,17 +1446,20 @@ void ComputeServer::drain_work(double deadline_s) {
 
 void ComputeServer::stop() {
   // Single flow whether the stop is local or was flagged by an injected
-  // crash: flag, join the accept loop (it owns and closes the listener;
-  // closing the fd under its poll would be a data race), join the report
-  // thread, then drain the detached connection handlers — skipping the
-  // drain when stopping_ was already set would free the server under a
-  // handler that is still finishing.
+  // crash. Order matters: solve handlers block on jobs_cv_ inside reactor
+  // pool threads, so the condvar must be woken (with stopping_ visible)
+  // *before* reactor_.stop() joins those threads, or the join deadlocks.
   stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+  }
   jobs_cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listener_.close();
+  reactor_.stop();
+  listener_.close();  // only still bound if start() failed before the reactor adopted it
   if (report_thread_.joinable()) report_thread_.join();
   if (drain_thread_.joinable()) drain_thread_.join();
+  // Recovered-job and transfer threads are detached; give them the same
+  // bounded drain the connection threads used to get.
   const Deadline deadline(config_.io_timeout_s + 1.0);
   while (active_connections_.load() > 0 && !deadline.expired()) {
     sleep_seconds(0.001);

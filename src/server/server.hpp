@@ -1,8 +1,11 @@
 // The computational server daemon.
 //
 // Registers its problem catalogue and rating with an agent, then serves
-// SolveRequests from clients. Concurrency is a bounded worker pool
-// (thread-per-connection gated by a capacity semaphore); workload — the
+// SolveRequests from clients. Connections live on an epoll reactor
+// (net/reactor.hpp): frames from any number of keep-alive connections are
+// decoded on one event loop and dispatched to an elastic handler pool, so
+// concurrent requests pipeline over a single client connection. Admission
+// past the handler is still the bounded worker-slot queue; workload — the
 // number of requests running or waiting plus any configured synthetic
 // background load — is reported to the agent periodically with a change
 // threshold, reproducing the original system's traffic-bounded reporting.
@@ -37,6 +40,7 @@
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "dsl/registry.hpp"
+#include "net/reactor.hpp"
 #include "net/shaped_link.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
@@ -201,7 +205,7 @@ class ComputeServer {
   ComputeServer(const ComputeServer&) = delete;
   ComputeServer& operator=(const ComputeServer&) = delete;
 
-  net::Endpoint endpoint() const { return listener_.endpoint(); }
+  net::Endpoint endpoint() const { return endpoint_; }
   proto::ServerId server_id() const noexcept { return server_id_.load(); }
   const std::string& name() const noexcept { return config_.name; }
   double rated_mflops() const noexcept { return rated_mflops_; }
@@ -386,8 +390,12 @@ class ComputeServer {
   /// attempt per link (jittered period on success, backoff on failure) and
   /// adopts newly discovered peer agents.
   void maintain_registrations();
-  void accept_loop();
-  void handle_connection(net::TcpConnection conn);
+  /// Reactor dispatch: one complete, CRC-valid frame from one connection.
+  /// Runs on a pool thread; returns false to drop the connection (protocol
+  /// violation, injected drop, shutdown).
+  bool handle_message(const net::ReactorConnPtr& conn, net::Message&& msg);
+  /// The SolveRequest path: failure injection, admission, execution, reply.
+  bool handle_solve(const net::ReactorConnPtr& conn, const serial::Bytes& payload);
   void report_loop();
   void send_workload_report(double workload);
   /// Predicted service time for one request from the problem's complexity
@@ -471,7 +479,11 @@ class ComputeServer {
       const proto::SolveRequest& request);
 
   ServerConfig config_;
+  /// Held only between construction and reactor start (which adopts it);
+  /// endpoint_ keeps the bound address for registration and migration.
   net::TcpListener listener_;
+  net::Endpoint endpoint_;
+  net::Reactor reactor_;
   dsl::ProblemRegistry registry_;
   double rated_mflops_ = 0.0;
   std::atomic<proto::ServerId> server_id_{proto::kInvalidServerId};
@@ -554,7 +566,6 @@ class ComputeServer {
 
   ServerMetrics metrics_;
 
-  std::thread accept_thread_;
   std::thread report_thread_;
 };
 

@@ -5,6 +5,7 @@
 #include "common/clock.hpp"
 #include "common/log.hpp"
 #include "linalg/rating.hpp"
+#include "net/pool.hpp"
 
 namespace ns::testkit {
 
@@ -118,6 +119,11 @@ void TestCluster::stop() {
   for (auto& agent : agents_) {
     if (agent) agent->stop();
   }
+  // The connection pool is process-global too, and the next cluster may bind
+  // the very ports this one just released — drop every cached connection so
+  // a later test cannot reuse a socket into a dead (or worse, reincarnated)
+  // endpoint.
+  net::ConnectionPool::instance().clear();
 }
 
 void TestCluster::arm_fault(std::size_t i, net::FaultPlan plan) {
@@ -134,15 +140,24 @@ Result<proto::DrainAck> TestCluster::drain_server(std::size_t i, double deadline
   return client::drain_server(servers_.at(i)->endpoint(), deadline_s);
 }
 
-void TestCluster::kill_server(std::size_t i) { servers_.at(i)->stop(); }
+void TestCluster::kill_server(std::size_t i) {
+  servers_.at(i)->stop();
+  // Pooled connections into the dead incarnation would be reused (and fail)
+  // before the MSG_PEEK staleness check notices the FIN on a racing close.
+  net::ConnectionPool::instance().evict(servers_.at(i)->endpoint());
+}
 
-void TestCluster::crash_server(std::size_t i) { servers_.at(i)->crash(); }
+void TestCluster::crash_server(std::size_t i) {
+  servers_.at(i)->crash();
+  net::ConnectionPool::instance().evict(servers_.at(i)->endpoint());
+}
 
 void TestCluster::kill_agent(std::size_t i) {
   auto& slot = agents_.at(i);
   if (!slot) return;  // already dead
   slot->stop();
   slot.reset();  // release the port so restart_agent can rebind
+  net::ConnectionPool::instance().evict(agent_endpoints_.at(i));
 }
 
 Status TestCluster::restart_agent(std::size_t i) {
@@ -169,6 +184,7 @@ Status TestCluster::restart_server(std::size_t i) {
   const net::Endpoint listen = slot->endpoint();
   slot->stop();
   slot.reset();  // release the port before rebinding
+  net::ConnectionPool::instance().evict(listen);
 
   const auto& spec = config_.servers.at(i);
   server::ServerConfig sc;
