@@ -10,6 +10,13 @@
 //     peers=host:p,host:p  federated peer agents to sync the registry with
 //     sync_period=1        registry snapshot exchange period (with peers)
 //     runtime=0            exit after this many seconds (0 = run forever)
+//     max_frame=1048576    largest payload (bytes) a peer may claim; the
+//                          agent serves metadata only, so the default is a
+//                          tight 1 MiB (hostile-peer armor)
+//     max_connections=1024 accepted-connection cap (idle LRU evicted, then
+//                          dials shed with transport BUSY + retry_after)
+//     progress_timeout=30  no-progress seconds before a peer is dropped
+//                          (slowloris defence; 0 = off)
 //
 // Runs until killed (or until `runtime` elapses), printing periodic stats.
 #include <csignal>
@@ -53,6 +60,12 @@ int main(int argc, char** argv) {
     agent_config.peers = std::move(*list);
     agent_config.sync_period_s = config.value().get_double_or("sync_period", 1.0);
   }
+  agent_config.guard.max_frame_bytes = static_cast<std::size_t>(config.value().get_int_or(
+      "max_frame", static_cast<std::int64_t>(agent_config.guard.max_frame_bytes)));
+  agent_config.guard.max_connections = static_cast<std::size_t>(config.value().get_int_or(
+      "max_connections", static_cast<std::int64_t>(agent_config.guard.max_connections)));
+  agent_config.guard.frame_progress_timeout_s = config.value().get_double_or(
+      "progress_timeout", agent_config.guard.frame_progress_timeout_s);
   const double runtime = config.value().get_double_or("runtime", 0.0);
 
   auto agent = agent::Agent::start(agent_config);

@@ -24,6 +24,17 @@
 //     checkpoint_interval=25  kernel checkpoint cadence in iterations
 //     journal_fsync=1      fsync every journal append (0 = buffered)
 //     migrate_on_drain=0   on drain, hand running jobs to agent-ranked peers
+//     max_frame=1073741824 largest payload (bytes) a peer may claim in a
+//                          frame header; oversized claims are rejected at
+//                          decode time (hostile-peer armor)
+//     max_conn_buffer=268435456   per-connection buffered-byte budget
+//     max_total_buffer=1073741824 process-global buffered-byte ceiling
+//     progress_timeout=30  seconds a started frame (or stalled write queue)
+//                          may make no progress before the peer is dropped
+//                          (slowloris defence; 0 = off)
+//     max_connections=1024 accepted-connection cap (idle LRU evicted, then
+//                          dials shed with transport BUSY + retry_after)
+//     retry_after=0.25     back-off hint stamped into BUSY sheds, seconds
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -90,6 +101,20 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(config.value().get_int_or("checkpoint_interval", 25));
   server_config.journal_fsync = config.value().get_int_or("journal_fsync", 1) != 0;
   server_config.migrate_on_drain = config.value().get_int_or("migrate_on_drain", 0) != 0;
+  server_config.guard.max_frame_bytes = static_cast<std::size_t>(config.value().get_int_or(
+      "max_frame", static_cast<std::int64_t>(server_config.guard.max_frame_bytes)));
+  server_config.guard.max_conn_buffer_bytes =
+      static_cast<std::size_t>(config.value().get_int_or(
+          "max_conn_buffer", static_cast<std::int64_t>(server_config.guard.max_conn_buffer_bytes)));
+  server_config.guard.max_total_buffer_bytes =
+      static_cast<std::size_t>(config.value().get_int_or(
+          "max_total_buffer", static_cast<std::int64_t>(server_config.guard.max_total_buffer_bytes)));
+  server_config.guard.frame_progress_timeout_s = config.value().get_double_or(
+      "progress_timeout", server_config.guard.frame_progress_timeout_s);
+  server_config.guard.max_connections = static_cast<std::size_t>(config.value().get_int_or(
+      "max_connections", static_cast<std::int64_t>(server_config.guard.max_connections)));
+  server_config.guard.retry_after_s =
+      config.value().get_double_or("retry_after", server_config.guard.retry_after_s);
   const double runtime = config.value().get_double_or("runtime", 0.0);
 
   auto server = server::ComputeServer::start(std::move(server_config));

@@ -52,6 +52,7 @@ Result<std::unique_ptr<Agent>> Agent::start(AgentConfig config) {
   // policy ranking) — run them on the loop thread and skip the two context
   // switches per request that pool dispatch costs.
   reactor_config.inline_handlers = true;
+  reactor_config.guard = agent->config_.guard;
   NS_RETURN_IF_ERROR(agent->reactor_.start(
       std::move(agent->listener_),
       [raw = agent.get()](const net::ReactorConnPtr& conn, net::Message&& msg) {

@@ -29,6 +29,11 @@ struct AgentConfig {
   std::uint64_t policy_seed = 0xc0ffee;
   RegistryConfig registry;
   double io_timeout_s = 10.0;
+  /// Transport hostile-peer armor. The agent is a metadata-only endpoint:
+  /// frames cap at 1 MiB and buffer budgets are tight (see
+  /// GuardConfig::agent_defaults) — a giant-frame bomb aimed at the
+  /// directory costs a header, not an allocation.
+  net::GuardConfig guard = net::GuardConfig::agent_defaults();
   /// Active liveness probing: ping every alive server this often and record
   /// a failure on no Pong. 0 disables (liveness then comes only from
   /// client failure reports and the report timeout).

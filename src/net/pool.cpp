@@ -106,6 +106,28 @@ PoolConfig ConnectionPool::config() const {
   return config_;
 }
 
+Status ConnectionPool::check_busy_window(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = busy_until_.find(key);
+  if (it == busy_until_.end()) return ok_status();
+  if (now_seconds() >= it->second) {
+    busy_until_.erase(it);
+    return ok_status();
+  }
+  metrics::counter("net.pool.busy_fastfail_total").inc();
+  // Retryable like an application-level overload shed: the caller's backoff
+  // loop absorbs it, and — same as kServerOverloaded from the admission
+  // queue — it must never be failure-reported against a healthy server.
+  return make_error(ErrorCode::kServerOverloaded, "endpoint in transport busy window");
+}
+
+void ConnectionPool::note_busy(const Endpoint& remote, double retry_after_s) {
+  metrics::counter("net.pool.busy_noted_total").inc();
+  std::lock_guard lock(mu_);
+  auto& until = busy_until_[remote.to_string()];
+  until = std::max(until, now_seconds() + std::max(0.0, retry_after_s));
+}
+
 Result<PooledConn> ConnectionPool::lease(const Endpoint& remote, double dial_timeout_s) {
   // The pool is a dial cache: an armed connect fault fires whether or not a
   // warm connection exists, so chaos scripts see identical failure surfaces.
@@ -114,6 +136,7 @@ Result<PooledConn> ConnectionPool::lease(const Endpoint& remote, double dial_tim
   }
 
   const std::string key = remote.to_string();
+  NS_RETURN_IF_ERROR(check_busy_window(key));
   {
     std::lock_guard lock(mu_);
     if (config_.enabled) {
@@ -170,6 +193,7 @@ Result<MuxChannelPtr> ConnectionPool::channel(const Endpoint& remote, double dia
     NS_RETURN_IF_ERROR(FaultInjector::instance().on_connect(remote));
   }
   const std::string key = remote.to_string();
+  NS_RETURN_IF_ERROR(check_busy_window(key));
   bool pooling = true;
   {
     std::lock_guard lock(mu_);
@@ -199,12 +223,14 @@ void ConnectionPool::evict(const Endpoint& remote) {
   std::lock_guard lock(mu_);
   idle_.erase(remote.to_string());
   channels_.erase(remote.to_string());
+  busy_until_.erase(remote.to_string());
 }
 
 void ConnectionPool::clear() {
   std::lock_guard lock(mu_);
   idle_.clear();
   channels_.clear();
+  busy_until_.clear();
 }
 
 std::size_t ConnectionPool::idle_count() const {
@@ -336,6 +362,15 @@ void MuxChannel::reader_loop() {
       return;
     }
 
+    if (msg.type == kTransportBusyType) {
+      // Accept-governor shed, delivered just before the peer closed on us:
+      // note the busy window so redials back off, and fail every pending
+      // call retryably (overload, not server failure).
+      ConnectionPool::instance().note_busy(remote_,
+                                           decode_busy_retry_after(msg.payload));
+      poison(make_error(ErrorCode::kServerOverloaded, "transport busy (accept shed)"));
+      return;
+    }
     const std::uint64_t id = peek_request_id(msg.payload);
     std::lock_guard lock(mu_);
     auto it = waiters_.find(std::make_pair(id, msg.type));
@@ -360,6 +395,14 @@ Result<Message> pool_round_trip(const Endpoint& remote, std::uint16_t type,
   NS_RETURN_IF_ERROR(send_message(lease.value().conn(), type, payload, shape));
   auto reply = recv_message(lease.value().conn(), timeout_s);
   if (!reply.ok()) return reply.error();  // lease destructor discards
+  if (reply.value().type == kTransportBusyType) {
+    // The peer's accept governor shed this dial. Honor the retry-after as a
+    // busy window (subsequent dials fail fast instead of re-shedding) and
+    // surface a retryable overload to the caller's backoff loop.
+    ConnectionPool::instance().note_busy(
+        remote, decode_busy_retry_after(reply.value().payload));
+    return make_error(ErrorCode::kServerOverloaded, "transport busy (accept shed)");
+  }
   lease.value().release();
   return reply;
 }

@@ -154,6 +154,11 @@ class ConnectionPool {
   /// Shared pipelining channel to `remote`; replaces a poisoned one.
   Result<MuxChannelPtr> channel(const Endpoint& remote, double dial_timeout_s);
 
+  /// Record a transport-level BUSY from `remote`: until `retry_after_s`
+  /// elapses, lease() and channel() to it fail fast with a retryable
+  /// kServerOverloaded instead of dialing into a shedding accept governor.
+  void note_busy(const Endpoint& remote, double retry_after_s);
+
   /// Drop idle connections and channels for `remote` (or all).
   void evict(const Endpoint& remote);
   void clear();
@@ -169,11 +174,17 @@ class ConnectionPool {
   };
 
   void give_back(const std::string& key, TcpConnection conn);
+  /// Fails fast (retryable) while `key` is inside a noted busy window.
+  Status check_busy_window(const std::string& key);
 
   mutable std::mutex mu_;
   PoolConfig config_;
   std::map<std::string, std::deque<IdleConn>> idle_;
   std::map<std::string, MuxChannelPtr> channels_;
+  /// Endpoint -> monotonic instant until which dials fail fast (transport
+  /// BUSY honoring). Cleared with evict()/clear() so a restarted test
+  /// cluster is immediately reachable again.
+  std::map<std::string, double> busy_until_;
 };
 
 /// One-request/one-reply over a pooled lease. Dial-on-miss, strict

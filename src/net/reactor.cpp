@@ -16,6 +16,7 @@
 #include <cstring>
 
 #include "common/clock.hpp"
+#include "common/metrics.hpp"
 #include "net/fault.hpp"
 
 namespace ns::net {
@@ -127,6 +128,21 @@ Status ReactorConn::send(std::uint16_t type, const serial::Bytes& payload,
       return make_error(ErrorCode::kConnectionClosed, "reactor connection closed");
     }
 
+    // Per-connection buffered-byte budget: a peer that stops reading while
+    // handlers keep replying would otherwise grow wrq_ without bound. Drop
+    // the connection instead — the queued replies are undeliverable anyway.
+    if (wr_bytes_ + total > reactor_->conn_budget_) {
+      metrics::counter("net.guard.conn_overflow_total").inc();
+      reactor_->track_buffered(*this, -static_cast<std::ptrdiff_t>(wr_bytes_));
+      wrq_.clear();
+      wr_bytes_ = 0;
+      closing_.store(true, std::memory_order_release);
+      reactor_->notify_dirty(shared_from_this());
+      return make_error(ErrorCode::kConnectionClosed,
+                        "peer write budget exceeded (slow reader)");
+    }
+    if (wrq_.empty()) last_write_progress_ = now_seconds();
+
     if (!shape.is_unshaped()) {
       // Token-bucket pacing computed at enqueue: chunk k may hit the wire
       // once latency + (bytes before k)/bandwidth have elapsed, serialized
@@ -157,6 +173,8 @@ Status ReactorConn::send(std::uint16_t type, const serial::Bytes& payload,
       }
       pace_until_ = base + shape.latency_s +
                     (paced ? static_cast<double>(total) / shape.bandwidth_Bps : 0.0);
+      wr_bytes_ += total;
+      reactor_->track_buffered(*this, static_cast<std::ptrdiff_t>(total));
       queued_behind = true;
     } else if (wrq_.empty() && !close_after) {
       // Fast path: the queue is idle, write straight from the handler thread.
@@ -206,10 +224,14 @@ Status ReactorConn::send(std::uint16_t type, const serial::Bytes& payload,
           skip = 0;
           wrq_.push_back(std::move(c));
         }
+        wr_bytes_ += total - written;
+        reactor_->track_buffered(*this, static_cast<std::ptrdiff_t>(total - written));
         queued_behind = true;
       }
     } else {
       for (auto& c : chunks) wrq_.push_back(std::move(c));
+      wr_bytes_ += total;
+      reactor_->track_buffered(*this, static_cast<std::ptrdiff_t>(total));
       queued_behind = true;
     }
     if (close_after) closing_.store(true, std::memory_order_release);
@@ -243,6 +265,22 @@ Status Reactor::start(TcpListener listener, MessageHandler handler, ReactorConfi
   handler_ = std::move(handler);
   config_ = config;
   stopping_.store(false);
+  total_buffered_.store(0, std::memory_order_relaxed);
+  accept_paused_until_ = 0.0;
+
+  // The per-connection budget must at least fit one maximal frame plus read
+  // slack, or a legitimate max-size frame could never assemble.
+  conn_budget_ = std::max(config_.guard.max_conn_buffer_bytes,
+                          config_.guard.max_frame_bytes + serial::kHeaderSize + 2 * kReadChunk);
+  // Guard sweeps ride the idle-sweep cadence (1 s) unless the progress
+  // deadline is sub-second, in which case kills must land promptly.
+  sweep_period_s_ = 1.0;
+  if (config_.guard.frame_progress_timeout_s > 0.0) {
+    sweep_period_s_ = std::clamp(config_.guard.frame_progress_timeout_s / 4.0, 0.05, 1.0);
+  }
+  // EMFILE insurance: one descriptor we can momentarily give back to accept
+  // (then immediately close) a dial the fd table has no room for.
+  reserve_fd_ = FdHandle(::open("/dev/null", O_RDONLY | O_CLOEXEC));
 
   // The accept drain loop relies on accept4 returning EAGAIN when the
   // pending queue empties; a blocking listener would wedge the loop thread
@@ -292,6 +330,7 @@ void Reactor::stop() {
   }
   epoll_fd_.reset();
   wake_fd_.reset();
+  reserve_fd_.reset();
 }
 
 void Reactor::stop_accepting() {
@@ -325,7 +364,7 @@ void Reactor::loop() {
 
   while (!stopping_.load(std::memory_order_acquire)) {
     const double now = now_seconds();
-    int timeout_ms = 250;
+    int timeout_ms = std::min(250, static_cast<int>(sweep_period_s_ * 1000.0) + 1);
     if (pace_due > 0.0) {
       const double wait = std::max(0.0, pace_due - now);
       timeout_ms = std::min(timeout_ms, static_cast<int>(wait * 1000.0) + 1);
@@ -333,6 +372,17 @@ void Reactor::loop() {
     const int n = ::epoll_wait(epoll_fd_.get(), events.data(),
                                static_cast<int>(events.size()), timeout_ms);
     if (n < 0 && errno != EINTR) break;
+
+    // Re-arm a listener parked after a persistent accept error (the pause
+    // is what keeps a broken listener from busy-spinning the loop).
+    if (accept_paused_until_ > 0.0 && now_seconds() >= accept_paused_until_ &&
+        listener_.valid()) {
+      accept_paused_until_ = 0.0;
+      epoll_event lev{};
+      lev.events = EPOLLIN;
+      lev.data.ptr = nullptr;
+      ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listener_.native_handle(), &lev);
+    }
 
     if (close_listener_.exchange(false) && listener_.valid()) {
       // Dials the kernel already completed sit in the accept backlog, and
@@ -410,8 +460,9 @@ void Reactor::loop() {
     }
 
     const double sweep_now = now_seconds();
-    if (sweep_now - last_sweep >= 1.0) {
+    if (sweep_now - last_sweep >= sweep_period_s_) {
       last_sweep = sweep_now;
+      sweep_guard(sweep_now);
       sweep_idle(sweep_now);
     }
   }
@@ -428,10 +479,55 @@ void Reactor::loop() {
 }
 
 void Reactor::handle_accept() {
+  if (!listener_.valid()) return;
+  int emfile_shed_budget = 64;  // bound fd-pressure shedding per wakeup
   for (;;) {
     const int fd = ::accept4(listener_.native_handle(), nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or listener closing
+    if (fd < 0) {
+      const int err = errno;
+      if (err == EAGAIN || err == EWOULDBLOCK) return;  // backlog drained
+      if (err == EINTR) continue;
+      metrics::counter("net.guard.accept_errors_total").inc();
+      // The dialer gave up between SYN and accept — their problem, next.
+      if (err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE) {
+        // fd table exhausted. Without intervention the pending dial sits in
+        // the backlog and the level-triggered listener event fires forever.
+        // Give the reserve descriptor back for a moment, accept the dial,
+        // and close it immediately: the peer sees a shed, the loop thread
+        // never wedges or spins.
+        reserve_fd_.reset();
+        const int victim =
+            ::accept4(listener_.native_handle(), nullptr, nullptr, SOCK_CLOEXEC);
+        if (victim >= 0) {
+          ::close(victim);
+          metrics::counter("net.guard.accept_shed_total").inc();
+        }
+        reserve_fd_ = FdHandle(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+        if (victim < 0 || --emfile_shed_budget <= 0) return;
+        continue;
+      }
+      // Unclassified (listener broken, ENOBUFS storm, ...): park the
+      // listener for a cooldown instead of letting the still-readable event
+      // busy-spin the loop; loop() re-arms it.
+      ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listener_.native_handle(), nullptr);
+      accept_paused_until_ = now_seconds() + 0.1;
+      return;
+    }
+
+    // Accept governor: at the connection cap, evict the least-recently
+    // active idle connection to make room (keep-alive peers are cheap to
+    // re-dial); if nothing is evictable, or buffer budgets are already hot,
+    // shed the dial with a transport BUSY so the peer backs off.
+    bool over_cap = connection_count() >= config_.guard.max_connections;
+    if (over_cap && evict_lru_idle()) over_cap = false;
+    const std::size_t hot_mark =
+        config_.guard.max_total_buffer_bytes - config_.guard.max_total_buffer_bytes / 8;
+    if (over_cap || total_buffered_.load(std::memory_order_relaxed) >= hot_mark) {
+      shed_accepted_fd(fd);
+      continue;
+    }
     set_nodelay_fd(fd);
 
     auto conn = ReactorConnPtr(new ReactorConn(this, fd));
@@ -461,6 +557,12 @@ void Reactor::handle_accept() {
 
 void Reactor::handle_readable(const ReactorConnPtr& conn) {
   if (conn->closing_.load(std::memory_order_acquire)) return;
+  // Process-global buffered-byte ceiling: shed the largest-buffered
+  // connection(s) before buffering more. This connection may be the victim.
+  if (total_buffered_.load(std::memory_order_relaxed) > config_.guard.max_total_buffer_bytes) {
+    enforce_global_budget();
+    if (conn->closing_.load(std::memory_order_acquire)) return;
+  }
   std::size_t read_total = 0;
   bool eof = false;
   while (read_total < kMaxReadPerEvent) {
@@ -484,6 +586,7 @@ void Reactor::handle_readable(const ReactorConnPtr& conn) {
     break;
   }
   if (read_total > 0) {
+    track_buffered(*conn, static_cast<std::ptrdiff_t>(read_total));
     conn->last_activity_.store(now_seconds(), std::memory_order_relaxed);
     drain_frames(conn);
   }
@@ -501,6 +604,14 @@ void Reactor::drain_frames(const ReactorConnPtr& conn) {
       finish_close(conn);
       return;
     }
+    if (header.value().length > config_.guard.max_frame_bytes) {
+      // Role frame cap, enforced at header-decode time: the giant payload a
+      // hostile header claims is rejected before a single byte of it is
+      // buffered or allocated.
+      metrics::counter("net.guard.oversized_total").inc();
+      finish_close(conn);
+      return;
+    }
     const std::size_t frame_len = serial::kHeaderSize + header.value().length;
     if (buf.size() - consumed < frame_len) break;  // frame split across reads
 
@@ -509,6 +620,7 @@ void Reactor::drain_frames(const ReactorConnPtr& conn) {
     msg.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(consumed + serial::kHeaderSize),
                        buf.begin() + static_cast<std::ptrdiff_t>(consumed + frame_len));
     consumed += frame_len;
+    track_buffered(*conn, -static_cast<std::ptrdiff_t>(frame_len));
     if (!serial::check_payload(header.value(), msg.payload).ok()) {
       finish_close(conn);
       return;
@@ -543,6 +655,14 @@ void Reactor::drain_frames(const ReactorConnPtr& conn) {
   if (consumed > 0 && (consumed >= buf.size() || consumed > 256 * 1024)) {
     buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(consumed));
     consumed = 0;
+  }
+  // Progress deadline bookkeeping: a trailing partial frame keeps (or
+  // starts) the clock; an empty buffer clears it. The start time is never
+  // refreshed by mere drip progress — that is what defeats a slowloris.
+  if (buf.size() - consumed > 0) {
+    if (conn->frame_start_ == 0.0) conn->frame_start_ = now_seconds();
+  } else {
+    conn->frame_start_ = 0.0;
   }
 }
 
@@ -581,6 +701,11 @@ double Reactor::flush_writes(const ReactorConnPtr& conn) {
         }
         closed_peer = true;
         break;
+      }
+      if (n > 0) {
+        conn->wr_bytes_ -= std::min(conn->wr_bytes_, static_cast<std::size_t>(n));
+        track_buffered(*conn, -static_cast<std::ptrdiff_t>(n));
+        conn->last_write_progress_ = now;
       }
       std::size_t left = static_cast<std::size_t>(n);
       while (left > 0 && !conn->wrq_.empty()) {
@@ -632,11 +757,141 @@ void Reactor::finish_close(const ReactorConnPtr& conn) {
       ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, conn->fd_, nullptr);
       ::close(conn->fd_);
       conn->fd_ = -1;
+      // Return this connection's buffered bytes to the global budget. Only
+      // on the first close (fd guard): finish_close is idempotent.
+      const std::size_t rd_pending = conn->rdbuf_.size() - conn->rd_consumed_;
+      track_buffered(*conn, -static_cast<std::ptrdiff_t>(conn->wr_bytes_ + rd_pending));
+      conn->wr_bytes_ = 0;
+      conn->rdbuf_.clear();
+      conn->rdbuf_.shrink_to_fit();
+      conn->rd_consumed_ = 0;
     }
     conn->wrq_.clear();
   }
   std::lock_guard lock(conns_mu_);
   conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+}
+
+void Reactor::track_buffered(ReactorConn& conn, std::ptrdiff_t delta) {
+  if (delta >= 0) {
+    conn.buffered_bytes_.fetch_add(static_cast<std::size_t>(delta), std::memory_order_relaxed);
+    total_buffered_.fetch_add(static_cast<std::size_t>(delta), std::memory_order_relaxed);
+    return;
+  }
+  // Clamp-subtract: the accounting feeds shed decisions, and an off-by-one
+  // that wrapped a size_t would read as "budget permanently blown".
+  const std::size_t d = static_cast<std::size_t>(-delta);
+  std::size_t cur = conn.buffered_bytes_.load(std::memory_order_relaxed);
+  while (!conn.buffered_bytes_.compare_exchange_weak(cur, cur - std::min(cur, d),
+                                                     std::memory_order_relaxed)) {
+  }
+  std::size_t tot = total_buffered_.load(std::memory_order_relaxed);
+  while (!total_buffered_.compare_exchange_weak(tot, tot - std::min(tot, d),
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+void Reactor::shed_accepted_fd(int fd) {
+  // One best-effort BUSY frame so a protocol-speaking peer learns this was
+  // load shedding (and how long to back off), then close. The socket buffer
+  // of a brand-new connection always fits the 24-byte frame; if not, the
+  // close alone still sheds.
+  const serial::Bytes frame = serial::build_frame(
+      kTransportBusyType, encode_busy_payload(config_.guard.retry_after_s));
+  (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+  ::close(fd);
+  metrics::counter("net.guard.accept_shed_total").inc();
+}
+
+bool Reactor::evict_lru_idle() {
+  ReactorConnPtr victim;
+  double oldest = 0.0;
+  {
+    std::lock_guard lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (conn->active_handlers_.load(std::memory_order_acquire) > 0) continue;
+      bool queue_empty;
+      {
+        std::lock_guard wlock(conn->wr_mu_);
+        queue_empty = conn->wrq_.empty();
+      }
+      if (!queue_empty) continue;
+      const double last = conn->last_activity_.load(std::memory_order_relaxed);
+      if (!victim || last < oldest) {
+        victim = conn;
+        oldest = last;
+      }
+    }
+  }
+  if (!victim) return false;
+  finish_close(victim);
+  metrics::counter("net.guard.evicted_total").inc();
+  return true;
+}
+
+void Reactor::enforce_global_budget() {
+  // Shed largest-buffered connections until the total fits again. The
+  // largest buffer is the best proxy for "the peer causing the pressure",
+  // and shedding it frees the most budget per kill.
+  for (int rounds = 0; rounds < 64; ++rounds) {
+    if (total_buffered_.load(std::memory_order_relaxed) <= config_.guard.max_total_buffer_bytes) {
+      return;
+    }
+    ReactorConnPtr victim;
+    std::size_t biggest = 0;
+    {
+      std::lock_guard lock(conns_mu_);
+      for (const auto& conn : conns_) {
+        const std::size_t b = conn->buffered_bytes_.load(std::memory_order_relaxed);
+        if (b > biggest) {
+          biggest = b;
+          victim = conn;
+        }
+      }
+    }
+    if (!victim) return;  // nothing left to shed
+    metrics::counter("net.guard.global_overflow_total").inc();
+    finish_close(victim);
+  }
+}
+
+void Reactor::sweep_guard(double now) {
+  const double timeout = config_.guard.frame_progress_timeout_s;
+  std::vector<ReactorConnPtr> snapshot;
+  {
+    std::lock_guard lock(conns_mu_);
+    snapshot = conns_;
+  }
+  if (timeout > 0.0) {
+    std::vector<ReactorConnPtr> stalled;
+    for (const auto& conn : snapshot) {
+      // Read side: a frame that started arriving must finish within the
+      // window, however steadily the peer drips bytes into it.
+      if (conn->frame_start_ > 0.0 && now - conn->frame_start_ > timeout) {
+        stalled.push_back(conn);
+        continue;
+      }
+      // Write side: a non-empty queue whose head is eligible (not pacing)
+      // must see the socket accept bytes within the window — a peer that
+      // stopped reading is indistinguishable from one that never will.
+      std::lock_guard wlock(conn->wr_mu_);
+      if (conn->wrq_.empty()) continue;
+      if (conn->wrq_.front().not_before > now) {
+        // Shaped chunk not yet released: our pacing, not peer slowness.
+        conn->last_write_progress_ = now;
+        continue;
+      }
+      if (now - conn->last_write_progress_ > timeout) stalled.push_back(conn);
+    }
+    for (const auto& conn : stalled) {
+      metrics::counter("net.guard.progress_kill_total").inc();
+      finish_close(conn);
+    }
+  }
+  enforce_global_budget();
+  metrics::gauge("net.guard.buffered_bytes")
+      .set(static_cast<double>(total_buffered_.load(std::memory_order_relaxed)));
+  metrics::gauge("net.guard.connections").set(static_cast<double>(connection_count()));
 }
 
 void Reactor::sweep_idle(double now) {

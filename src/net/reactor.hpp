@@ -52,6 +52,53 @@ namespace ns::net {
 
 class Reactor;
 
+/// Resource-governance budgets for one reactor endpoint. Every limit exists
+/// because a hostile (or merely broken) peer can otherwise spend the
+/// process's memory, fds, or loop time: a header claiming a giant payload, a
+/// byte-drip slowloris, a peer that never reads its replies, a connection
+/// flood. Every enforcement decision increments a net.guard.* counter so an
+/// operator can tell load-shedding from failure. Defaults are sized for a
+/// compute server (large matrix blobs are legitimate); agents — metadata-only
+/// endpoints — use agent_defaults().
+struct GuardConfig {
+  /// Largest payload a peer may claim in a frame header. Enforced at
+  /// header-decode time, before any payload accumulates, so an oversized
+  /// claim costs kHeaderSize bytes, not an allocation.
+  std::size_t max_frame_bytes = serial::kMaxPayload;
+  /// Per-connection buffered-byte budget (unconsumed read bytes + queued
+  /// write bytes). The write side is what bites: a peer that stops reading
+  /// while handlers keep replying gets its connection dropped instead of
+  /// growing an unbounded queue. Raised to fit max_frame_bytes if smaller.
+  std::size_t max_conn_buffer_bytes = 256ull << 20;  // 256 MiB
+  /// Process-global buffered-byte ceiling across all connections. When
+  /// exceeded the largest-buffered connection is shed; when merely hot
+  /// (≥ 7/8) new dials are shed with a transport BUSY.
+  std::size_t max_total_buffer_bytes = 1ull << 30;  // 1 GiB
+  /// A started frame (read side) must finish within this window, and a
+  /// non-empty write queue must drain some bytes within it. Not refreshed by
+  /// drip progress — that is the slowloris defence. Shaped (paced) writes
+  /// don't count against the peer. 0 disables.
+  double frame_progress_timeout_s = 30.0;
+  /// Accepted-connection cap. At the cap the accept path first tries to
+  /// evict the least-recently-active idle connection (no in-flight handler,
+  /// empty write queue); if nothing is evictable the dial is shed with a
+  /// transport BUSY frame carrying retry_after_s.
+  std::size_t max_connections = 1024;
+  /// Back-off hint stamped into transport BUSY frames.
+  double retry_after_s = 0.25;
+
+  /// Budgets for a metadata-only endpoint: queries, registrations and
+  /// reports are all small, so the agent caps frames at 1 MiB and keeps a
+  /// tighter memory budget.
+  static GuardConfig agent_defaults() {
+    GuardConfig g;
+    g.max_frame_bytes = 1u << 20;          // 1 MiB
+    g.max_conn_buffer_bytes = 16u << 20;   // 16 MiB
+    g.max_total_buffer_bytes = 64u << 20;  // 64 MiB
+    return g;
+  }
+};
+
 /// One accepted connection, shared between the reactor (reads, flushes) and
 /// handler threads (sends). Handlers may hold the pointer across blocking
 /// work and reply whenever ready — replies from concurrent handlers
@@ -92,16 +139,26 @@ class ReactorConn : public std::enable_shared_from_this<ReactorConn> {
   // Read side: reactor thread only.
   serial::Bytes rdbuf_;
   std::size_t rd_consumed_ = 0;
+  /// When the oldest unconsumed (partial) frame started arriving; 0 = no
+  /// partial frame pending. Deliberately NOT refreshed on drip progress —
+  /// refreshing is exactly what a slowloris exploits. Reactor thread only.
+  double frame_start_ = 0.0;
 
   // Write side: shared, guarded by wr_mu_.
   std::mutex wr_mu_;
   std::deque<Chunk> wrq_;
+  std::size_t wr_bytes_ = 0;         // unsent bytes across wrq_ (guard budget)
+  double last_write_progress_ = 0.0; // refreshed when the socket accepts bytes
   double pace_until_ = 0.0;  // shaped-link token bucket (monotonic seconds)
   bool want_write_ = false;  // EPOLLOUT currently armed (reactor bookkeeping)
 
   std::atomic<bool> closing_{false};
   std::atomic<int> active_handlers_{0};
   std::atomic<double> last_activity_{0.0};
+  /// rd-unconsumed + wr-queued bytes, mirrored into the reactor's global
+  /// total. Atomic so the accept governor and global-budget sweep can read
+  /// it without taking wr_mu_ across every connection.
+  std::atomic<std::size_t> buffered_bytes_{0};
 };
 
 using ReactorConnPtr = std::shared_ptr<ReactorConn>;
@@ -120,6 +177,8 @@ struct ReactorConfig {
   /// but one blocking handler would stall every connection. Servers keep
   /// pool dispatch (solve handlers block on the admission queue).
   bool inline_handlers = false;
+  /// Hostile-peer / resource-exhaustion budgets (see GuardConfig).
+  GuardConfig guard;
 };
 
 class Reactor {
@@ -150,6 +209,10 @@ class Reactor {
   Endpoint endpoint() const { return listener_.endpoint(); }
   bool running() const noexcept { return running_.load(std::memory_order_acquire); }
   std::size_t connection_count() const;
+  /// Bytes currently buffered across every connection (reads + writes).
+  std::size_t buffered_bytes() const noexcept {
+    return total_buffered_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class ReactorConn;
@@ -165,6 +228,17 @@ class Reactor {
   void notify_dirty(const ReactorConnPtr& conn);
   void wake();
   void sweep_idle(double now);
+  /// Kill connections that violate guard budgets/deadlines (loop thread).
+  void sweep_guard(double now);
+  /// While the global buffered-byte total exceeds its budget, shed the
+  /// largest-buffered connection (loop thread).
+  void enforce_global_budget();
+  /// Evict the least-recently-active idle connection to make room at the
+  /// connection cap; false if nothing is evictable (loop thread).
+  bool evict_lru_idle();
+  /// Best-effort transport BUSY frame + close on a just-accepted fd.
+  void shed_accepted_fd(int fd);
+  void track_buffered(ReactorConn& conn, std::ptrdiff_t delta);
 
   TcpListener listener_;
   MessageHandler handler_;
@@ -173,11 +247,27 @@ class Reactor {
 
   FdHandle epoll_fd_;
   FdHandle wake_fd_;  // eventfd: send-enqueue / close / stop wakeups
+  /// Held open so an EMFILE-exhausted accept path can momentarily free a
+  /// descriptor, accept the pending dial, and close it — shedding instead of
+  /// letting the level-triggered listener event wedge the loop.
+  FdHandle reserve_fd_;
 
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> close_listener_{false};
+
+  /// Effective per-connection budget (config, raised to fit max_frame_bytes).
+  std::size_t conn_budget_ = 0;
+  /// Guard sweep cadence: 1 s, tightened when frame_progress_timeout_s is
+  /// sub-second so kills land promptly.
+  double sweep_period_s_ = 1.0;
+  /// After a persistent (unclassified) accept error the listener is pulled
+  /// from the epoll set until this instant — a broken listener must never
+  /// busy-spin the loop. 0 = armed.
+  double accept_paused_until_ = 0.0;
+
+  std::atomic<std::size_t> total_buffered_{0};
 
   mutable std::mutex conns_mu_;
   std::vector<ReactorConnPtr> conns_;

@@ -67,6 +67,19 @@ Status send_message(TcpConnection& conn, std::uint16_t type, const serial::Bytes
   return shaped_send(conn, frame.data(), frame.size(), shape);
 }
 
+serial::Bytes encode_busy_payload(double retry_after_s) {
+  serial::Encoder enc;
+  enc.put_f64(retry_after_s);
+  return enc.take();
+}
+
+double decode_busy_retry_after(const serial::Bytes& payload, double fallback) {
+  serial::Decoder dec(payload);
+  auto v = dec.get_f64();
+  if (!v.ok() || !(v.value() >= 0.0) || v.value() > 60.0) return fallback;
+  return v.value();
+}
+
 Result<Message> recv_message(TcpConnection& conn, double timeout_secs) {
   std::uint8_t header_bytes[serial::kHeaderSize];
   NS_RETURN_IF_ERROR(conn.recv_all(header_bytes, sizeof(header_bytes), timeout_secs));

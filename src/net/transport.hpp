@@ -16,6 +16,20 @@ struct Message {
   serial::Bytes payload;
 };
 
+/// Transport-level backpressure frame. When a reactor's accept governor
+/// sheds a dial (connection cap reached with nothing evictable, or buffer
+/// budgets hot) it writes this one frame and closes — a peer that speaks the
+/// protocol learns it was load-shed (not that the host died) and gets a
+/// retry-after hint. Deliberately outside the proto::MessageType range: the
+/// frame belongs to the transport, not the application.
+inline constexpr std::uint16_t kTransportBusyType = 0xFFF0;
+
+/// Payload for kTransportBusyType: a single f64, seconds to back off.
+serial::Bytes encode_busy_payload(double retry_after_s);
+
+/// Parse a kTransportBusyType payload; malformed payloads yield `fallback`.
+double decode_busy_retry_after(const serial::Bytes& payload, double fallback = 0.25);
+
 /// Serialize `payload` under `type` and send it as one frame, shaped.
 Status send_message(TcpConnection& conn, std::uint16_t type, const serial::Bytes& payload,
                     const LinkShape& shape = LinkShape::unshaped());

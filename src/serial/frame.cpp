@@ -34,7 +34,8 @@ void encode_header(const FrameHeader& header, std::uint8_t out[kHeaderSize]) {
   put32(12, header.crc);
 }
 
-Result<FrameHeader> decode_header(const std::uint8_t data[kHeaderSize]) {
+Result<FrameHeader> decode_header(const std::uint8_t data[kHeaderSize],
+                                  std::size_t max_payload) {
   auto get32 = [&data](std::size_t at) {
     std::uint32_t v = 0;
     for (std::size_t i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[at + i]) << (8 * i);
@@ -56,7 +57,7 @@ Result<FrameHeader> decode_header(const std::uint8_t data[kHeaderSize]) {
                       "protocol version " + std::to_string(header.version) +
                           " != " + std::to_string(kProtocolVersion));
   }
-  if (header.length > kMaxPayload) {
+  if (header.length > kMaxPayload || header.length > max_payload) {
     return make_error(ErrorCode::kProtocol, "frame payload too large");
   }
   return header;

@@ -39,8 +39,13 @@ struct FrameHeader {
 /// Serialize a header into exactly kHeaderSize bytes.
 void encode_header(const FrameHeader& header, std::uint8_t out[kHeaderSize]);
 
-/// Parse and validate a header (magic + version + length bound).
-Result<FrameHeader> decode_header(const std::uint8_t data[kHeaderSize]);
+/// Parse and validate a header (magic + version + length bound). The payload
+/// bound is per-role: an agent serving metadata-sized requests caps frames at
+/// ~1 MiB while a compute server keeps the full kMaxPayload for matrix blobs
+/// — rejecting an oversized claim here, before any payload buffering, is what
+/// keeps a hostile 4-GiB-length header from costing an allocation.
+Result<FrameHeader> decode_header(const std::uint8_t data[kHeaderSize],
+                                  std::size_t max_payload = kMaxPayload);
 
 /// Build a complete frame (header + payload) for a message type.
 Bytes build_frame(std::uint16_t type, const Bytes& payload);

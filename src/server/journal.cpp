@@ -27,6 +27,21 @@ serial::Bytes encode_record_payload(const JournalRecord& record) {
   return enc.take();
 }
 
+// fsync the directory holding `path`. rename() and O_CREAT make the new
+// *name* durable only once the directory inode itself is flushed; without
+// this a crash right after journal compaction can leave the directory entry
+// pointing at nothing — the torn-write window the checkpoint/journal audit
+// found. Best-effort by design: some filesystems refuse O_RDONLY|O_DIRECTORY
+// fsync, and the data-file fsync already happened.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
 Status write_all(int fd, const serial::Bytes& bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
@@ -67,6 +82,9 @@ Status Journal::open(std::string path, bool fsync_each) {
   path_ = std::move(path);
   appends_ = 0;
   bytes_ = (::fstat(fd, &st) == 0) ? static_cast<std::uint64_t>(st.st_size) : 0;
+  // A freshly created journal's directory entry must survive a crash too,
+  // or replay-on-restart opens a directory that never heard of the file.
+  if (bytes_ == 0) fsync_parent_dir(path_);
   return ok_status();
 }
 
@@ -111,6 +129,9 @@ Status Journal::rewrite(const std::vector<JournalRecord>& records) {
     return make_error(ErrorCode::kInternal,
                       std::string("journal compact rename: ") + std::strerror(errno));
   }
+  // The rename is atomic but not durable until the directory flushes: a
+  // crash here could resurrect the pre-compaction journal — or nothing.
+  fsync_parent_dir(path_);
   // Swing the append descriptor onto the new file.
   ::close(fd_);
   fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);

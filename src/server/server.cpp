@@ -91,6 +91,7 @@ Result<std::unique_ptr<ComputeServer>> ComputeServer::start(ServerConfig config)
   // keep-alive window so the client side discards idle connections first.
   net::ReactorConfig reactor_config;
   reactor_config.idle_timeout_s = std::max(server->config_.io_timeout_s, 5.0);
+  reactor_config.guard = server->config_.guard;
   NS_RETURN_IF_ERROR(server->reactor_.start(
       std::move(server->listener_),
       [raw = server.get()](const net::ReactorConnPtr& conn, net::Message&& msg) {

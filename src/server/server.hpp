@@ -158,6 +158,11 @@ struct ServerConfig {
   /// Shape applied to server->client reply traffic.
   net::LinkShape link;
   double io_timeout_s = 10.0;
+  /// Transport hostile-peer armor (frame caps, buffer budgets, progress
+  /// deadlines, connection cap). Server defaults keep kMaxPayload frames —
+  /// large matrix blobs are the workload — but bound buffers and kill
+  /// no-progress peers.
+  net::GuardConfig guard;
   FailureSpec failure;
   std::uint64_t seed = 0x5e1f;
   /// Offer only these problems from the builtin catalogue (empty = all).
@@ -241,6 +246,11 @@ class ComputeServer {
   std::uint64_t drain_rejected() const noexcept { return drain_rejected_.load(); }
   /// Current workload as would be reported (running + waiting + background).
   double current_workload() const;
+  /// Transport guard observability: live accepted connections and bytes
+  /// buffered across them (read + write sides). The hostile-peer tests
+  /// assert these stay inside the configured GuardConfig budgets.
+  std::size_t transport_connections() const { return reactor_.connection_count(); }
+  std::size_t transport_buffered_bytes() const noexcept { return reactor_.buffered_bytes(); }
 
   // ---- graceful drain (rolling restarts) ----
   //

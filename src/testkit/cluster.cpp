@@ -15,6 +15,7 @@ agent::AgentConfig TestCluster::agent_config_for(std::size_t i) const {
   ac.registry = config_.registry;
   ac.ping_period_s = config_.ping_period_s;
   ac.count_pending = config_.count_pending;
+  ac.guard = config_.agent_guard;
   if (config_.agent_count > 1) {
     ac.sync_period_s = config_.agent_sync_period_s;
     // Peers = every *other* agent already bound. At initial startup later
@@ -80,6 +81,7 @@ Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
     sc.checkpoint_interval = spec.checkpoint_interval;
     sc.journal_fsync = spec.journal_fsync;
     sc.migrate_on_drain = spec.migrate_on_drain;
+    sc.guard = spec.guard;
     sc.seed = seed++;
     auto server = server::ComputeServer::start(std::move(sc));
     if (!server.ok()) {
@@ -209,6 +211,7 @@ Status TestCluster::restart_server(std::size_t i) {
   sc.checkpoint_interval = spec.checkpoint_interval;
   sc.journal_fsync = spec.journal_fsync;
   sc.migrate_on_drain = spec.migrate_on_drain;
+  sc.guard = spec.guard;
   // A distinct seed stream: the restarted incarnation is a new process.
   sc.seed = 0xbada55 + 0x1000 + static_cast<std::uint64_t>(i);
   auto server = server::ComputeServer::start(std::move(sc));

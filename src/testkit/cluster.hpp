@@ -55,6 +55,9 @@ struct ClusterServerSpec {
   /// On drain, hand running jobs (with their checkpoints) to agent-ranked
   /// peers via JOB_TRANSFER instead of plainly cancelling them.
   bool migrate_on_drain = false;
+  /// Transport hostile-peer armor for this server (frame cap, buffer
+  /// budgets, progress deadline, connection cap). Survives restart_server().
+  net::GuardConfig guard;
 };
 
 struct ClusterConfig {
@@ -91,6 +94,9 @@ struct ClusterConfig {
   /// PROBE at the same server instead of resubmitting, so a crash-restarted
   /// journaling server finishes the original job.
   double client_reattach_s = 0.0;
+  /// Transport armor for the agents (metadata-role defaults). Survives
+  /// restart_agent().
+  net::GuardConfig agent_guard = net::GuardConfig::agent_defaults();
 };
 
 class TestCluster {

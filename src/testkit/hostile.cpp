@@ -1,0 +1,257 @@
+#include "testkit/hostile.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/socket.hpp"
+#include "serial/frame.hpp"
+
+namespace ns::testkit {
+
+namespace {
+
+/// Shared mutable tallies for one attack run; folded into AttackStats at the
+/// end. Relaxed atomics: the joins below are the synchronisation points.
+struct Tally {
+  std::atomic<std::size_t> connections{0};
+  std::atomic<std::size_t> dial_failures{0};
+  std::atomic<std::size_t> bytes_sent{0};
+  std::atomic<std::size_t> resets{0};
+
+  AttackStats stats() const {
+    AttackStats s;
+    s.connections = connections.load();
+    s.dial_failures = dial_failures.load();
+    s.bytes_sent = bytes_sent.load();
+    s.resets = resets.load();
+    return s;
+  }
+};
+
+/// Send that treats every failure as "the armor killed us", not an error.
+bool hostile_send(net::TcpConnection& conn, Tally& tally, const void* data,
+                  std::size_t size) {
+  if (!conn.send_all(data, size).ok()) {
+    tally.resets.fetch_add(1);
+    conn.close();
+    return false;
+  }
+  tally.bytes_sent.fetch_add(size);
+  return true;
+}
+
+/// Dial with a short timeout: an attacker that blocks retrying refused
+/// connections for 5 s stops attacking.
+Result<net::TcpConnection> hostile_dial(const AttackConfig& config, Tally& tally) {
+  auto conn = net::TcpConnection::connect_raw(config.target, /*timeout_secs=*/0.5);
+  if (conn.ok()) {
+    tally.connections.fetch_add(1);
+  } else {
+    tally.dial_failures.fetch_add(1);
+  }
+  return conn;
+}
+
+/// A syntactically valid header for a frame whose payload (and therefore CRC)
+/// will never fully arrive. decode_header validates magic/version/length only
+/// — the CRC is checked once the payload is complete — so this is exactly how
+/// far a hostile peer can get for free.
+void claim_header(std::uint32_t payload_len, std::uint8_t out[serial::kHeaderSize]) {
+  serial::FrameHeader header;
+  header.type = 0x0001;  // looks like a real request type
+  header.length = payload_len;
+  header.crc = 0xdeadbeef;
+  serial::encode_header(header, out);
+}
+
+AttackStats run_attack(const AttackConfig& config,
+                       void (*worker)(const AttackConfig&, std::uint64_t, Tally&)) {
+  Tally tally;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.concurrency));
+  for (int i = 0; i < config.concurrency; ++i) {
+    const std::uint64_t seed = config.seed + 0x9e3779b97f4a7c15ull * (i + 1);
+    threads.emplace_back([&config, seed, &tally, worker] { worker(config, seed, tally); });
+  }
+  for (auto& thread : threads) thread.join();
+  return tally.stats();
+}
+
+// ---- the attacks -----------------------------------------------------------
+
+void slowloris_worker(const AttackConfig& config, std::uint64_t, Tally& tally) {
+  const Deadline deadline(config.duration_s);
+  while (!deadline.expired()) {
+    auto conn = hostile_dial(config, tally);
+    if (!conn.ok()) {
+      sleep_seconds(0.05);
+      continue;
+    }
+    // Claim a plausible mid-size frame, then drip its payload one byte at a
+    // time — each byte is "activity", so an idle sweep never fires, and the
+    // frame never completes, so a progress deadline must.
+    std::uint8_t header[serial::kHeaderSize];
+    claim_header(/*payload_len=*/64u << 10, header);
+    if (!hostile_send(conn.value(), tally, header, sizeof(header))) continue;
+    const std::uint8_t drip = 0x42;
+    while (!deadline.expired()) {
+      if (!hostile_send(conn.value(), tally, &drip, 1)) break;
+      sleep_seconds(config.drip_interval_s);
+    }
+    conn.value().close();
+  }
+}
+
+void giant_frame_worker(const AttackConfig& config, std::uint64_t, Tally& tally) {
+  const Deadline deadline(config.duration_s);
+  while (!deadline.expired()) {
+    auto conn = hostile_dial(config, tally);
+    if (!conn.ok()) {
+      sleep_seconds(0.05);
+      continue;
+    }
+    // The whole attack is the header: claim a huge payload and send a token
+    // amount of it. A reactor that reserves the claimed bytes up front is
+    // dead; the armor must refuse at decode time and close.
+    std::uint8_t header[serial::kHeaderSize];
+    claim_header(config.giant_frame_len, header);
+    if (hostile_send(conn.value(), tally, header, sizeof(header))) {
+      std::uint8_t chunk[1024];
+      std::memset(chunk, 0xab, sizeof(chunk));
+      // Keep feeding until the armor resets us or time runs out.
+      while (!deadline.expired() &&
+             hostile_send(conn.value(), tally, chunk, sizeof(chunk))) {
+      }
+    }
+    conn.value().close();
+    sleep_seconds(0.01);
+  }
+}
+
+void garbage_worker(const AttackConfig& config, std::uint64_t seed, Tally& tally) {
+  std::mt19937_64 rng(seed);
+  const Deadline deadline(config.duration_s);
+  while (!deadline.expired()) {
+    auto conn = hostile_dial(config, tally);
+    if (!conn.ok()) {
+      sleep_seconds(0.05);
+      continue;
+    }
+    // Three flavours per connection, chosen at random: pure noise, a valid
+    // header followed by corrupt payload (CRC must catch it), or a truncated
+    // header followed by abrupt close.
+    const int flavour = static_cast<int>(rng() % 3);
+    std::uint8_t buf[4096];
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    switch (flavour) {
+      case 0: {  // pure noise until killed
+        while (!deadline.expired() &&
+               hostile_send(conn.value(), tally, buf, sizeof(buf))) {
+        }
+        break;
+      }
+      case 1: {  // valid header, corrupt payload of the claimed length
+        const std::uint32_t len = 512 + static_cast<std::uint32_t>(rng() % 4096);
+        std::uint8_t header[serial::kHeaderSize];
+        claim_header(len, header);
+        if (hostile_send(conn.value(), tally, header, sizeof(header))) {
+          std::size_t left = len;
+          while (left > 0 && hostile_send(conn.value(), tally, buf,
+                                          left < sizeof(buf) ? left : sizeof(buf))) {
+            left -= left < sizeof(buf) ? left : sizeof(buf);
+          }
+        }
+        break;
+      }
+      default: {  // truncated header, abandon
+        hostile_send(conn.value(), tally, buf, serial::kHeaderSize / 2);
+        break;
+      }
+    }
+    conn.value().close();
+    sleep_seconds(0.005);
+  }
+}
+
+void connection_flood_worker(const AttackConfig& config, std::uint64_t, Tally& tally) {
+  const Deadline deadline(config.duration_s);
+  std::vector<net::TcpConnection> held;
+  held.reserve(static_cast<std::size_t>(config.conns_per_thread));
+  while (!deadline.expired()) {
+    // Keep the herd topped up: the armor evicts idle connections, so slots
+    // free up and the flood re-dials — exactly the churn a real flood makes.
+    if (static_cast<int>(held.size()) < config.conns_per_thread) {
+      auto conn = hostile_dial(config, tally);
+      if (conn.ok()) {
+        held.push_back(std::move(conn).value());
+      } else {
+        sleep_seconds(0.02);
+      }
+      continue;
+    }
+    // Full herd: poke each socket with a probe byte to learn which ones the
+    // armor already evicted, and drop those.
+    for (auto it = held.begin(); it != held.end();) {
+      const std::uint8_t probe = 0x00;
+      if (hostile_send(*it, tally, &probe, 1)) {
+        ++it;
+      } else {
+        it = held.erase(it);
+      }
+    }
+    sleep_seconds(0.05);
+  }
+}
+
+void half_open_worker(const AttackConfig& config, std::uint64_t, Tally& tally) {
+  const Deadline deadline(config.duration_s);
+  std::vector<net::TcpConnection> abandoned;
+  while (!deadline.expired()) {
+    if (static_cast<int>(abandoned.size()) >= config.conns_per_thread) {
+      // Herd complete: a real attacker walks away and lets the sockets rot —
+      // never closing them, so only a server-side deadline can free the fds.
+      sleep_seconds(0.05);
+      continue;
+    }
+    auto conn = hostile_dial(config, tally);
+    if (conn.ok()) {
+      // Half a header, then silence — the socket stays open so the fd stays
+      // pinned server-side until a progress deadline reaps it.
+      std::uint8_t header[serial::kHeaderSize];
+      claim_header(1024, header);
+      hostile_send(conn.value(), tally, header, serial::kHeaderSize / 2);
+      abandoned.push_back(std::move(conn).value());
+    } else {
+      sleep_seconds(0.02);
+    }
+    sleep_seconds(0.01);
+  }
+}
+
+}  // namespace
+
+AttackStats run_slowloris(const AttackConfig& config) {
+  return run_attack(config, slowloris_worker);
+}
+
+AttackStats run_giant_frame(const AttackConfig& config) {
+  return run_attack(config, giant_frame_worker);
+}
+
+AttackStats run_garbage(const AttackConfig& config) {
+  return run_attack(config, garbage_worker);
+}
+
+AttackStats run_connection_flood(const AttackConfig& config) {
+  return run_attack(config, connection_flood_worker);
+}
+
+AttackStats run_half_open(const AttackConfig& config) {
+  return run_attack(config, half_open_worker);
+}
+
+}  // namespace ns::testkit

@@ -1,0 +1,62 @@
+// Hostile-peer kit: scripted attackers for the transport-armor chaos suite.
+//
+// Each attack models a real abuse pattern a public solve service sees:
+//
+//   slowloris         valid frame headers, then payload bytes dripped one at
+//                     a time forever — defeats idle sweeps (there is always
+//                     "activity") unless the reactor enforces a per-frame
+//                     progress deadline.
+//   giant_frame       headers claiming near-max payloads, then silence. The
+//                     armor must reject at header-decode time; a naive
+//                     reader reserves the claimed bytes and dies by memory.
+//   garbage           random bytes, truncated headers, and valid-header/
+//                     corrupt-payload interleavings — a fuzzer peer. The
+//                     reactor must close the connection and never crash,
+//                     leak, or misframe a later legitimate connection.
+//   connection_flood  open as many connections as possible and hold them
+//                     idle — exhausts the connection cap (and, unchecked,
+//                     the fd table). The armor answers with LRU-idle
+//                     eviction and BUSY sheds.
+//   half_open         dial, send part of a header, abandon the socket —
+//                     classic SYN-flood cousin at the framing layer.
+//
+// Attacks run `concurrency` threads against one endpoint for `duration_s`
+// and return aggregate stats. They dial raw (no fault injector, no pool) so
+// chaos plans armed for the legitimate traffic never fire on the attacker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/endpoint.hpp"
+
+namespace ns::testkit {
+
+struct AttackConfig {
+  net::Endpoint target;
+  double duration_s = 2.0;
+  int concurrency = 8;
+  std::uint64_t seed = 0x5eed;
+  /// giant_frame: payload length each hostile header claims.
+  std::uint32_t giant_frame_len = 512u << 20;  // 512 MiB
+  /// slowloris: seconds between dripped bytes.
+  double drip_interval_s = 0.05;
+  /// connection_flood / half_open: connections held open per thread.
+  int conns_per_thread = 16;
+};
+
+struct AttackStats {
+  std::size_t connections = 0;   // dials that completed
+  std::size_t dial_failures = 0; // refused / shed / fd-starved dials
+  std::size_t bytes_sent = 0;
+  std::size_t resets = 0;        // sends that died (peer killed us) — the
+                                 // armor working as intended
+};
+
+AttackStats run_slowloris(const AttackConfig& config);
+AttackStats run_giant_frame(const AttackConfig& config);
+AttackStats run_garbage(const AttackConfig& config);
+AttackStats run_connection_flood(const AttackConfig& config);
+AttackStats run_half_open(const AttackConfig& config);
+
+}  // namespace ns::testkit

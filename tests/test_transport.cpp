@@ -11,6 +11,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -61,6 +62,17 @@ double payload_sleep_s(const serial::Bytes& payload) {
     ms |= static_cast<std::uint64_t>(payload[8 + i]) << (8 * i);
   }
   return static_cast<double>(ms) / 1000.0;
+}
+
+/// Poll until the reactor reports exactly `want` live connections (closes
+/// land on the loop thread, asynchronously to the peer observing EOF).
+bool eventually_conn_count(Reactor& reactor, std::size_t want, double timeout_s = 3.0) {
+  const Deadline deadline(timeout_s);
+  while (!deadline.expired()) {
+    if (reactor.connection_count() == want) return true;
+    sleep_seconds(0.005);
+  }
+  return reactor.connection_count() == want;
 }
 
 /// Reactor wrapper serving the echo protocol on an ephemeral port.
@@ -208,6 +220,85 @@ TEST(ReactorTest, StopAcceptingReleasesPortButServesExisting) {
   auto reply = recv_message(conn.value(), 5.0);
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(payload_id(reply.value().payload), 9u);
+}
+
+// ---- read-path fuzz: hostile bytes must close the peer, never the loop ----
+
+// Pure noise on the wire: the reactor must fail header decode (bad magic),
+// drop the connection, and keep serving other peers untouched.
+TEST(ReactorTest, GarbageBytesCloseConnectionReactorSurvives) {
+  EchoServer server;
+  std::mt19937_64 rng(0xdecafbad);
+  for (int round = 0; round < 8; ++round) {
+    auto evil = TcpConnection::connect(server.endpoint());
+    ASSERT_TRUE(evil.ok());
+    serial::Bytes noise(1024 + rng() % 4096);
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng());
+    // The send may fail midway once the reactor slams the door; either way
+    // the peer must observe a close, not a hang.
+    (void)evil.value().send_all(noise.data(), noise.size());
+    std::uint8_t byte = 0;
+    {
+    auto status = evil.value().recv_all(&byte, 1, 2.0);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.error().code, ErrorCode::kConnectionClosed);
+  }
+  }
+  // A well-formed peer is unaffected.
+  auto good = TcpConnection::connect(server.endpoint());
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(send_message(good.value(), kEchoReq, make_payload(11)).ok());
+  auto reply = recv_message(good.value(), 5.0);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(payload_id(reply.value().payload), 11u);
+}
+
+// A syntactically valid header whose payload fails the CRC: the frame must
+// be rejected at check_payload, the connection dropped, and a pipelined
+// valid frame sitting behind the corrupt one must NOT be dispatched — a
+// misframed stream cannot be trusted for anything that follows.
+TEST(ReactorTest, CorruptPayloadDropsConnectionBeforeLaterFrames) {
+  EchoServer server;
+  auto evil = TcpConnection::connect(server.endpoint());
+  ASSERT_TRUE(evil.ok());
+
+  serial::Bytes corrupt = serial::build_frame(kEchoReq, make_payload(21));
+  corrupt.back() ^= 0xff;  // payload no longer matches the header CRC
+  const serial::Bytes valid = serial::build_frame(kEchoReq, make_payload(22));
+  serial::Bytes wire = corrupt;
+  wire.insert(wire.end(), valid.begin(), valid.end());
+  (void)evil.value().send_all(wire.data(), wire.size());
+
+  std::uint8_t byte = 0;
+  {
+    auto status = evil.value().recv_all(&byte, 1, 2.0);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.error().code, ErrorCode::kConnectionClosed);
+  }
+  // Give any (wrong) dispatch of frame 22 a beat to land, then assert the
+  // reactor stopped at the corruption: neither frame ran the handler.
+  sleep_seconds(0.1);
+  EXPECT_EQ(server.frames(), 0u) << "frames after a CRC failure were dispatched";
+}
+
+// A truncated header followed by an abrupt close (the classic port-scanner
+// footprint) must not wedge the loop or leak the connection slot.
+TEST(ReactorTest, TruncatedHeaderThenCloseIsHarmless) {
+  EchoServer server;
+  for (int round = 0; round < 4; ++round) {
+    auto evil = TcpConnection::connect(server.endpoint());
+    ASSERT_TRUE(evil.ok());
+    const serial::Bytes frame = serial::build_frame(kEchoReq, make_payload(31));
+    ASSERT_TRUE(evil.value().send_all(frame.data(), serial::kHeaderSize / 2).ok());
+    evil.value().close();
+  }
+  auto good = TcpConnection::connect(server.endpoint());
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(send_message(good.value(), kEchoReq, make_payload(32)).ok());
+  auto reply = recv_message(good.value(), 5.0);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(payload_id(reply.value().payload), 32u);
+  EXPECT_TRUE(eventually_conn_count(server.reactor(), 1));
 }
 
 // ---- task pool ----
