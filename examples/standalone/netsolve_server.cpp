@@ -23,7 +23,15 @@
 //                          unfinished jobs and resumes from checkpoints
 //     checkpoint_interval=25  kernel checkpoint cadence in iterations
 //     journal_fsync=1      fsync every journal append (0 = buffered)
+//     journal_compact=4194304  rewrite the journal once it grows past this
+//                          many bytes (0 = never compact)
 //     migrate_on_drain=0   on drain, hand running jobs to agent-ranked peers
+//     replicas=h:p,h:p     stream every kernel checkpoint to these peer
+//                          servers (CHECKPOINT_PUT); if this server is
+//                          SIGKILLed mid-solve, a failover-enabled client
+//                          re-attaches to a replica, which adopts the job
+//                          from the last replicated snapshot
+//     checkpoint_compress=1  delta/RLE-compress replicated frames (0 = raw)
 //     max_frame=1073741824 largest payload (bytes) a peer may claim in a
 //                          frame header; oversized claims are rejected at
 //                          decode time (hostile-peer armor)
@@ -100,7 +108,20 @@ int main(int argc, char** argv) {
   server_config.checkpoint_interval =
       static_cast<std::uint64_t>(config.value().get_int_or("checkpoint_interval", 25));
   server_config.journal_fsync = config.value().get_int_or("journal_fsync", 1) != 0;
+  server_config.journal_compact_bytes = static_cast<std::uint64_t>(config.value().get_int_or(
+      "journal_compact", static_cast<std::int64_t>(server_config.journal_compact_bytes)));
   server_config.migrate_on_drain = config.value().get_int_or("migrate_on_drain", 0) != 0;
+  if (const auto replicas = config.value().get("replicas")) {
+    auto list = net::parse_endpoint_list(*replicas);
+    if (!list || list->empty()) {
+      std::fprintf(stderr, "bad replicas list '%s' (expected host:port,host:port,...)\n",
+                   replicas->c_str());
+      return 2;
+    }
+    server_config.replicas = std::move(*list);
+  }
+  server_config.checkpoint_compress =
+      config.value().get_int_or("checkpoint_compress", 1) != 0;
   server_config.guard.max_frame_bytes = static_cast<std::size_t>(config.value().get_int_or(
       "max_frame", static_cast<std::int64_t>(server_config.guard.max_frame_bytes)));
   server_config.guard.max_conn_buffer_bytes =

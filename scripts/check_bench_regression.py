@@ -1,41 +1,44 @@
 #!/usr/bin/env python3
-"""Gate transport benchmark results against the committed baseline.
+"""Gate benchmark results against a committed baseline and/or absolute floors.
 
 Usage:
     check_bench_regression.py --baseline BENCH_transport.json \
         bench_agent.json bench_scalability.json
     check_bench_regression.py --baseline BENCH_transport.json \
         --write-baseline bench_agent.json bench_scalability.json
+    check_bench_regression.py --prefix bench.fault.e4g. \
+        --min bench.fault.e4g.ckpt_compression_ratio=3.0 BENCH_fault.json
 
-The bench binaries (`bench_agent --quick --json out.json`,
-`bench_scalability --quick --json out.json`) dump every metric gauge;
-the transport-relevant ones carry a `bench.transport.` prefix. This
-script compares those gauges against the committed baseline and fails
-(exit 1) when
+The bench binaries (`bench_agent --quick --json out.json`, ...) dump every
+metric gauge; --prefix selects which ones this invocation gates (default:
+the transport-relevant `bench.transport.` family). Two gating modes, usable
+together or alone:
 
-  * a throughput gauge (qps/rps/jps) drops more than --max-throughput-drop
-    (default 15%) below baseline, or
-  * a latency gauge (name contains `p99`) rises more than --max-p99-rise
-    (default 25%) above baseline.
+  * baseline-relative (--baseline): a throughput gauge (qps/rps/jps) must
+    not drop more than --max-throughput-drop (default 15%) below baseline,
+    and a latency gauge (name contains `p99`/`_ms`) must not rise more than
+    --max-p99-rise (default 25%) above it. Gauges present in the baseline
+    but missing from the current run fail too (a silently skipped benchmark
+    is not a pass). New gauges absent from the baseline are reported but do
+    not fail — commit a refreshed baseline (--write-baseline) to start
+    gating them.
 
-Gauges present in the baseline but missing from the current run fail too
-(a silently skipped benchmark is not a pass). New gauges absent from the
-baseline are reported but do not fail — commit a refreshed baseline
-(--write-baseline) to start gating them.
+  * absolute floors (--min NAME=VALUE, repeatable): the named gauge must be
+    present and >= VALUE. Used for acceptance-shaped results that have a
+    hard meaning rather than a drifting baseline — e.g. the E4g checkpoint
+    replication wire-compression ratio must stay >= 3x raw.
 """
 
 import argparse
 import json
 import sys
 
-PREFIX = "bench.transport."
 
-
-def load_gauges(path):
+def load_gauges(path, prefix):
     with open(path) as f:
         doc = json.load(f)
     gauges = doc.get("metrics", {}).get("gauges", {})
-    return {k: float(v) for k, v in gauges.items() if k.startswith(PREFIX)}
+    return {k: float(v) for k, v in gauges.items() if k.startswith(prefix)}
 
 
 def is_latency(name):
@@ -45,7 +48,11 @@ def is_latency(name):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("results", nargs="+", help="bench --json output files")
-    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--prefix", default="bench.transport.",
+                        help="gauge-name prefix this invocation gates")
+    parser.add_argument("--min", action="append", default=[], metavar="NAME=VALUE",
+                        help="absolute floor: gauge NAME must be >= VALUE")
     parser.add_argument("--max-throughput-drop", type=float, default=0.15,
                         help="fail if throughput < (1 - this) * baseline")
     parser.add_argument("--max-p99-rise", type=float, default=0.25,
@@ -53,12 +60,16 @@ def main():
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline from these results instead of gating")
     args = parser.parse_args()
+    if not args.baseline and not args.min:
+        parser.error("nothing to gate: pass --baseline and/or --min")
+    if args.write_baseline and not args.baseline:
+        parser.error("--write-baseline needs --baseline")
 
     current = {}
     for path in args.results:
-        current.update(load_gauges(path))
+        current.update(load_gauges(path, args.prefix))
     if not current:
-        print(f"error: no {PREFIX}* gauges found in {args.results}", file=sys.stderr)
+        print(f"error: no {args.prefix}* gauges found in {args.results}", file=sys.stderr)
         return 1
 
     if args.write_baseline:
@@ -75,42 +86,60 @@ def main():
         print(f"wrote {len(current)} gauges to {args.baseline}")
         return 0
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)["metrics"]
-
     failures = []
-    for name in sorted(baseline):
-        base = float(baseline[name])
+    gated = 0
+
+    for spec in args.min:
+        name, _, floor_s = spec.partition("=")
+        floor = float(floor_s)
+        gated += 1
         if name not in current:
-            failures.append(f"{name}: missing from current run (baseline {base:g})")
+            failures.append(f"{name}: missing from current run (floor {floor:g})")
+            print(f"  [FAIL] {name}: missing (floor {floor:g})")
             continue
         cur = current[name]
-        if is_latency(name):
-            limit = base * (1.0 + args.max_p99_rise)
-            verdict = "FAIL" if cur > limit else "ok"
-            if cur > limit:
-                failures.append(
-                    f"{name}: p99 {cur:g} > {limit:g} "
-                    f"(baseline {base:g} +{args.max_p99_rise:.0%})")
-        else:
-            limit = base * (1.0 - args.max_throughput_drop)
-            verdict = "FAIL" if cur < limit else "ok"
-            if cur < limit:
-                failures.append(
-                    f"{name}: throughput {cur:g} < {limit:g} "
-                    f"(baseline {base:g} -{args.max_throughput_drop:.0%})")
-        delta = (cur / base - 1.0) * 100.0 if base else 0.0
-        print(f"  [{verdict:>4}] {name}: {cur:g} vs baseline {base:g} ({delta:+.1f}%)")
+        verdict = "FAIL" if cur < floor else "ok"
+        if cur < floor:
+            failures.append(f"{name}: {cur:g} < floor {floor:g}")
+        print(f"  [{verdict:>4}] {name}: {cur:g} vs floor {floor:g}")
 
-    for name in sorted(set(current) - set(baseline)):
-        print(f"  [ new] {name}: {current[name]:g} (not in baseline, not gated)")
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)["metrics"]
+        gated += len(baseline)
+
+        for name in sorted(baseline):
+            base = float(baseline[name])
+            if name not in current:
+                failures.append(f"{name}: missing from current run (baseline {base:g})")
+                continue
+            cur = current[name]
+            if is_latency(name):
+                limit = base * (1.0 + args.max_p99_rise)
+                verdict = "FAIL" if cur > limit else "ok"
+                if cur > limit:
+                    failures.append(
+                        f"{name}: p99 {cur:g} > {limit:g} "
+                        f"(baseline {base:g} +{args.max_p99_rise:.0%})")
+            else:
+                limit = base * (1.0 - args.max_throughput_drop)
+                verdict = "FAIL" if cur < limit else "ok"
+                if cur < limit:
+                    failures.append(
+                        f"{name}: throughput {cur:g} < {limit:g} "
+                        f"(baseline {base:g} -{args.max_throughput_drop:.0%})")
+            delta = (cur / base - 1.0) * 100.0 if base else 0.0
+            print(f"  [{verdict:>4}] {name}: {cur:g} vs baseline {base:g} ({delta:+.1f}%)")
+
+        for name in sorted(set(current) - set(baseline)):
+            print(f"  [ new] {name}: {current[name]:g} (not in baseline, not gated)")
 
     if failures:
-        print(f"\n{len(failures)} transport perf regression(s):", file=sys.stderr)
+        print(f"\n{len(failures)} bench gate failure(s):", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"\nall {len(baseline)} gated transport gauges within thresholds")
+    print(f"\nall {gated} gated gauges within thresholds")
     return 0
 
 

@@ -48,6 +48,17 @@ double predict_seconds(const ServerRecord& server, const RequestProfile& profile
   if (server.free_slots >= 0.0 && server.free_slots < 0.5 && server.sojourn_p95_s > 0.0) {
     t += server.sojourn_p95_s;
   }
+
+  // Durability steering: a server whose journal fail-stopped (durable == 0)
+  // still computes fine, but anything checkpointable sent there loses crash
+  // protection — and durable-required requests get shed outright, costing a
+  // round trip. A mild multiplicative penalty de-prefers it while load is
+  // comparable without blacklisting it (it may be the only server left).
+  // durable < 0 means "never journaled / pre-field" and is left alone: that
+  // is the configured steady state, not a fault.
+  if (server.durable == 0) {
+    t *= 4.0;
+  }
   return t;
 }
 

@@ -126,6 +126,7 @@ void ServerRegistry::update_workload(const proto::WorkloadReport& report) {
   it->second.completed = report.completed;
   it->second.sojourn_p95_s = report.sojourn_p95_s;
   it->second.free_slots = report.free_slots;
+  it->second.durable = report.durable;
   it->second.last_report_time = now_seconds();
   // A workload report proves the process is up, but a quarantined server
   // stays quarantined: its failures were observed on the client path, which

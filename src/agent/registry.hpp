@@ -46,6 +46,10 @@ struct ServerRecord {
   // Queue pressure piggybacked on workload reports (overload steering).
   double sojourn_p95_s = 0.0;       // p95 queue sojourn at the server
   double free_slots = -1.0;         // free worker slots (-1 = not reported)
+  /// Durability from the latest workload report: 1 = journaling, 0 = journal
+  /// fail-stopped (degraded), -1 = not journaling / pre-field server. The
+  /// predictor de-prefers degraded servers for checkpointable work.
+  int durable = -1;
 
   // Client-observed network estimates, EWMA-updated from MetricsReports.
   double latency_s = 0.0;

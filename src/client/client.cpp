@@ -337,6 +337,7 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
   request.args = args;
   request.trace_id = st.trace_id;
   request.client_id = client_id_;
+  request.require_durable = config_.require_durable;
   const std::uint64_t input_bytes = dsl::args_byte_size(args);
   const std::uint64_t size_hint = request_size_hint(args);
 
@@ -538,6 +539,45 @@ Result<std::vector<dsl::DataObject>> NetSolveClient::netsl(
             metrics::counter("client.reattach_success_total").inc();
             io_seconds = total_watch.elapsed() - attempt_start;
             result = std::move(recovered);
+          }
+        }
+
+        if (!result.ok() && config_.checkpoint_failover) {
+          // The server is gone for good (reattach exhausted, or the dial
+          // itself was refused). If it was replicating checkpoints, one of
+          // the other ranked candidates may hold the job's latest snapshot:
+          // ask each to adopt it. The adopter resumes mid-iteration, so the
+          // work done before the crash is not recomputed from zero.
+          for (const auto& peer : candidates) {
+            if (peer.server_id == candidate.server_id) continue;
+            proto::CheckpointFetch fetch;
+            fetch.request_id = request.request_id;
+            fetch.adopt = true;
+            auto reply = round_trip(
+                peer.endpoint, static_cast<std::uint16_t>(MessageType::kCheckpointFetch),
+                encode_payload(fetch), /*timeout=*/2.0, net::LinkShape::unshaped(),
+                /*connect_timeout=*/2.0, config_.pooled_transport);
+            if (!reply.ok() ||
+                reply.value().type !=
+                    static_cast<std::uint16_t>(MessageType::kCheckpointFetchReply)) {
+              continue;
+            }
+            serial::Decoder dec(reply.value().payload);
+            auto fr = proto::CheckpointFetchReply::decode(dec);
+            if (!fr.ok() || !fr.value().adopted) continue;
+            metrics::counter("client.failover_adopt_total").inc();
+            NS_DEBUG("client") << "request " << request.request_id << " adopted by "
+                               << peer.server_name << " at checkpoint iteration "
+                               << fr.value().iteration << "; waiting there";
+            const double follow_budget =
+                budgeted ? deadline.remaining() : config_.io_timeout_s;
+            auto followed =
+                wait_for_job(peer.endpoint, request.request_id, follow_budget);
+            if (followed.ok()) {
+              io_seconds = total_watch.elapsed() - attempt_start;
+              result = std::move(followed);
+            }
+            break;  // adopt-once: no other peer still holds the entry
           }
         }
 

@@ -114,6 +114,17 @@ struct ClientConfig {
   /// the original submission completes without a duplicate solve. 0 (default)
   /// keeps the classic resubmit-on-failure behavior.
   double reattach_s = 0.0;
+  /// Stamp require_durable into every SolveRequest: servers whose journal
+  /// fail-stopped (or that never journal) shed the request retryably instead
+  /// of accepting it without crash protection.
+  bool require_durable = false;
+  /// After a failed reattach (the server stayed dead), ask the remaining
+  /// ranked candidates whether any of them holds a replicated checkpoint for
+  /// the request (CHECKPOINT_FETCH with adopt): the adopter resumes the job
+  /// from the last replicated snapshot and the client waits there, instead
+  /// of restarting the solve from iteration zero elsewhere. Needs servers
+  /// configured with `replicas=` peers to have any effect.
+  bool checkpoint_failover = false;
 
   // ---- transport (connection reuse / pipelining) ----
   /// Solve attempts, cancels, and agent round trips reuse pooled keep-alive

@@ -1,0 +1,175 @@
+#include "common/bytepack.hpp"
+
+#include <cstring>
+
+namespace ns::bytepack {
+
+namespace {
+
+constexpr std::size_t kShuffleStride = 8;  // f64-sized planes
+
+// Byte-plane shuffle: byte k of every stride-sized word goes to plane k.
+// The tail (size % stride) is appended verbatim.
+serial::Bytes shuffle(const serial::Bytes& in) {
+  serial::Bytes out(in.size());
+  const std::size_t words = in.size() / kShuffleStride;
+  const std::size_t body = words * kShuffleStride;
+  for (std::size_t i = 0; i < body; ++i) {
+    out[(i % kShuffleStride) * words + i / kShuffleStride] = in[i];
+  }
+  std::memcpy(out.data() + body, in.data() + body, in.size() - body);
+  return out;
+}
+
+serial::Bytes unshuffle(const serial::Bytes& in) {
+  serial::Bytes out(in.size());
+  const std::size_t words = in.size() / kShuffleStride;
+  const std::size_t body = words * kShuffleStride;
+  for (std::size_t i = 0; i < body; ++i) {
+    out[i] = in[(i % kShuffleStride) * words + i / kShuffleStride];
+  }
+  std::memcpy(out.data() + body, in.data() + body, in.size() - body);
+  return out;
+}
+
+// PackBits-style RLE. Control byte c:
+//   c in [0, 127]   -> copy the next c+1 literal bytes
+//   c in [128, 255] -> repeat the next byte c-126 times (run of 2..129)
+// Runs shorter than 3 ride inside literals (a 2-run costs the same either
+// way and breaking a literal for it would cost an extra control byte).
+serial::Bytes rle_encode(const serial::Bytes& in) {
+  serial::Bytes out;
+  out.reserve(in.size() / 4 + 16);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    // Measure the run starting here.
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == in[i] && run < 129) ++run;
+    if (run >= 3) {
+      out.push_back(static_cast<std::uint8_t>(126 + run));
+      out.push_back(in[i]);
+      i += run;
+      continue;
+    }
+    // Literal: extend until the next >=3 run or the 128 cap.
+    std::size_t lit = 0;
+    std::size_t j = i;
+    while (j < in.size() && lit < 128) {
+      std::size_t r = 1;
+      while (j + r < in.size() && in[j + r] == in[j] && r < 3) ++r;
+      if (r >= 3) break;
+      j += r;
+      lit += r;
+    }
+    if (lit > 128) lit = 128;
+    out.push_back(static_cast<std::uint8_t>(lit - 1));
+    out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+               in.begin() + static_cast<std::ptrdiff_t>(i + lit));
+    i += lit;
+  }
+  return out;
+}
+
+Result<serial::Bytes> rle_decode(const std::uint8_t* in, std::size_t size,
+                                 std::size_t expect) {
+  // A run pair (control + byte) expands to at most 129 bytes, so any claimed
+  // output beyond 129x the input is a corrupt (or hostile) header — refuse
+  // before reserving, or a flipped raw_size byte turns into a giant
+  // allocation instead of an error.
+  if (expect > size * 129) {
+    return make_error(ErrorCode::kCorruptFrame, "bytepack: implausible size");
+  }
+  serial::Bytes out;
+  out.reserve(expect);
+  std::size_t i = 0;
+  while (i < size) {
+    const std::uint8_t c = in[i++];
+    if (c < 128) {
+      const std::size_t lit = static_cast<std::size_t>(c) + 1;
+      if (i + lit > size || out.size() + lit > expect) {
+        return make_error(ErrorCode::kCorruptFrame, "bytepack: truncated literal");
+      }
+      out.insert(out.end(), in + i, in + i + lit);
+      i += lit;
+    } else {
+      const std::size_t run = static_cast<std::size_t>(c) - 126;
+      if (i >= size || out.size() + run > expect) {
+        return make_error(ErrorCode::kCorruptFrame, "bytepack: truncated run");
+      }
+      out.insert(out.end(), run, in[i++]);
+    }
+  }
+  if (out.size() != expect) {
+    return make_error(ErrorCode::kCorruptFrame, "bytepack: size mismatch");
+  }
+  return out;
+}
+
+serial::Bytes frame(Mode mode, std::size_t raw_size, const serial::Bytes& payload) {
+  serial::Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(mode));
+  enc.put_u64(raw_size);
+  enc.put_bytes(payload.data(), payload.size());
+  return enc.take();
+}
+
+}  // namespace
+
+serial::Bytes pack_raw(const serial::Bytes& data) {
+  return frame(Mode::kRaw, data.size(), data);
+}
+
+serial::Bytes pack(const serial::Bytes& data, const serial::Bytes* base) {
+  const bool delta = base != nullptr && base->size() == data.size() && !data.empty();
+  serial::Bytes work = data;
+  if (delta) {
+    for (std::size_t i = 0; i < work.size(); ++i) work[i] ^= (*base)[i];
+  }
+  const serial::Bytes packed = rle_encode(shuffle(work));
+  if (packed.size() >= data.size()) return pack_raw(data);
+  return frame(delta ? Mode::kPackedDelta : Mode::kPacked, data.size(), packed);
+}
+
+bool is_delta(const serial::Bytes& packed) {
+  return !packed.empty() &&
+         packed.front() == static_cast<std::uint8_t>(Mode::kPackedDelta);
+}
+
+Result<serial::Bytes> unpack(const serial::Bytes& packed, const serial::Bytes* base) {
+  serial::Decoder dec(packed);
+  auto mode = dec.get_u8();
+  if (!mode.ok()) return mode.error();
+  auto raw_size = dec.get_u64();
+  if (!raw_size.ok()) return raw_size.error();
+  auto payload = dec.get_blob();
+  if (!payload.ok()) return payload.error();
+  if (!dec.exhausted()) {
+    return make_error(ErrorCode::kCorruptFrame, "bytepack: trailing bytes");
+  }
+  const std::size_t expect = static_cast<std::size_t>(raw_size.value());
+
+  switch (static_cast<Mode>(mode.value())) {
+    case Mode::kRaw: {
+      if (payload.value().size() != expect) {
+        return make_error(ErrorCode::kCorruptFrame, "bytepack: raw size mismatch");
+      }
+      return std::move(payload).value();
+    }
+    case Mode::kPacked:
+    case Mode::kPackedDelta: {
+      auto body = rle_decode(payload.value().data(), payload.value().size(), expect);
+      if (!body.ok()) return body.error();
+      serial::Bytes out = unshuffle(body.value());
+      if (static_cast<Mode>(mode.value()) == Mode::kPackedDelta) {
+        if (base == nullptr || base->size() != expect) {
+          return make_error(ErrorCode::kCorruptFrame, "bytepack: delta base mismatch");
+        }
+        for (std::size_t i = 0; i < out.size(); ++i) out[i] ^= (*base)[i];
+      }
+      return out;
+    }
+  }
+  return make_error(ErrorCode::kCorruptFrame, "bytepack: unknown mode");
+}
+
+}  // namespace ns::bytepack

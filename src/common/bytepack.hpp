@@ -1,0 +1,50 @@
+// Checkpoint frame compression: XOR delta + byte-plane shuffle + run-length.
+//
+// Iterative-kernel checkpoints are vectors of doubles converging toward a
+// fixed point, so consecutive snapshots agree in most of their high-order
+// bytes. The codec exploits exactly that structure with three cheap,
+// dependency-free stages:
+//
+//   1. XOR delta against a base snapshot (when the caller holds one of the
+//      same size): unchanged bytes become zero.
+//   2. Byte-plane shuffle with stride 8: byte k of every f64 lands in one
+//      contiguous plane, clustering the zeroed/slow-moving exponent and
+//      high-mantissa bytes into long runs.
+//   3. PackBits-style run-length coding: runs of >= 3 equal bytes collapse
+//      to two bytes (control + value), literals pass through with a one-byte
+//      control per 128.
+//
+// The packed frame is self-describing (mode byte + original size); when the
+// pipeline fails to shrink the data the codec falls back to a raw frame, so
+// pack() never expands the payload by more than the fixed header. Decode is
+// bounds-checked end to end: a damaged frame yields an error, never OOB.
+#pragma once
+
+#include "common/error.hpp"
+#include "serial/codec.hpp"
+
+namespace ns::bytepack {
+
+enum class Mode : std::uint8_t {
+  kRaw = 0,        // header + verbatim bytes
+  kPacked = 1,     // shuffle + RLE of the full payload
+  kPackedDelta = 2 // shuffle + RLE of payload XOR base
+};
+
+/// Compress `data`. With a `base` of identical size, encodes the XOR delta
+/// (Mode::kPackedDelta) — the receiver must unpack against the same base.
+serial::Bytes pack(const serial::Bytes& data, const serial::Bytes* base = nullptr);
+
+/// Wrap `data` in an uncompressed frame (checkpoint_compress=off path keeps
+/// the wire format uniform).
+serial::Bytes pack_raw(const serial::Bytes& data);
+
+/// True if `packed` is a delta frame (receiver needs the matching base).
+bool is_delta(const serial::Bytes& packed);
+
+/// Decompress a frame produced by pack()/pack_raw(). Delta frames require
+/// `base` with the original size; anything inconsistent is an error.
+Result<serial::Bytes> unpack(const serial::Bytes& packed,
+                             const serial::Bytes* base = nullptr);
+
+}  // namespace ns::bytepack

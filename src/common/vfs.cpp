@@ -1,0 +1,246 @@
+#include "common/vfs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ns::vfs {
+
+std::string_view storage_fault_mode_name(StorageFaultMode mode) noexcept {
+  switch (mode) {
+    case StorageFaultMode::kEnospc: return "enospc";
+    case StorageFaultMode::kShortWrite: return "short_write";
+    case StorageFaultMode::kFsyncEio: return "fsync_eio";
+    case StorageFaultMode::kCrashBeforeRename: return "crash_before_rename";
+    case StorageFaultMode::kCrashAfterRename: return "crash_after_rename";
+    case StorageFaultMode::kBitRot: return "bit_rot";
+  }
+  return "unknown";
+}
+
+StorageFaultInjector& StorageFaultInjector::instance() {
+  static StorageFaultInjector injector;
+  return injector;
+}
+
+void StorageFaultInjector::arm(std::string path_prefix, StorageFaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ScopeState state;
+  state.rng.reseed(plan.seed);
+  state.fired.assign(plan.rules.size(), 0);
+  state.plan = std::move(plan);
+  scopes_[std::move(path_prefix)] = std::move(state);
+  armed_scopes_.store(static_cast<int>(scopes_.size()), std::memory_order_relaxed);
+}
+
+void StorageFaultInjector::disarm(const std::string& path_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scopes_.erase(path_prefix);
+  armed_scopes_.store(static_cast<int>(scopes_.size()), std::memory_order_relaxed);
+}
+
+void StorageFaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scopes_.clear();
+  armed_scopes_.store(0, std::memory_order_relaxed);
+  triggered_.store(0);
+  crashed_.store(false, std::memory_order_release);
+}
+
+StorageFaultInjector::ScopeState* StorageFaultInjector::scope_for_locked(
+    const std::string& path) {
+  for (auto& [prefix, state] : scopes_) {
+    if (path.size() >= prefix.size() && path.compare(0, prefix.size(), prefix) == 0) {
+      return &state;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool mode_applies(StorageFaultMode mode, int op) {
+  using M = StorageFaultMode;
+  switch (mode) {
+    case M::kEnospc:
+    case M::kShortWrite:
+      return op == 0;  // write
+    case M::kFsyncEio:
+      return op == 1;  // sync
+    case M::kCrashBeforeRename:
+    case M::kCrashAfterRename:
+      return op == 2;  // rename
+    case M::kBitRot:
+      return op == 3;  // read
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<StorageFaultMode> StorageFaultInjector::roll_locked(ScopeState& scope,
+                                                                  Op op) {
+  for (std::size_t i = 0; i < scope.plan.rules.size(); ++i) {
+    const StorageFaultRule& rule = scope.plan.rules[i];
+    if (!mode_applies(rule.mode, static_cast<int>(op))) continue;
+    if (rule.max_triggers >= 0 && scope.fired[i] >= rule.max_triggers) continue;
+    if (!scope.rng.bernoulli(rule.probability)) continue;
+    ++scope.fired[i];
+    triggered_.fetch_add(1);
+    return rule.mode;
+  }
+  return std::nullopt;
+}
+
+std::optional<StorageFaultMode> StorageFaultInjector::on_write(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ScopeState* scope = scope_for_locked(path);
+  if (!scope) return std::nullopt;
+  return roll_locked(*scope, Op::kWrite);
+}
+
+std::optional<StorageFaultMode> StorageFaultInjector::on_sync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ScopeState* scope = scope_for_locked(path);
+  if (!scope) return std::nullopt;
+  return roll_locked(*scope, Op::kSync);
+}
+
+std::optional<StorageFaultMode> StorageFaultInjector::on_rename(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ScopeState* scope = scope_for_locked(path);
+  if (!scope) return std::nullopt;
+  return roll_locked(*scope, Op::kRename);
+}
+
+void StorageFaultInjector::on_read(const std::string& path, std::uint8_t* data,
+                                   std::size_t size) {
+  if (size == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ScopeState* scope = scope_for_locked(path);
+  if (!scope) return;
+  if (!roll_locked(*scope, Op::kRead)) return;
+  const int flips = scope->plan.rot_flips > 0 ? scope->plan.rot_flips : 1;
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t at =
+        static_cast<std::size_t>(scope->rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+    // XOR with a non-zero byte so the flip is guaranteed to change the data.
+    data[at] ^= static_cast<std::uint8_t>(1 + (scope->rng.next_u64() & 0xfe));
+  }
+}
+
+// ---- POSIX mirrors ----
+
+int open(const std::string& path, int flags, mode_t mode) {
+  auto& injector = StorageFaultInjector::instance();
+  if (injector.armed() && injector.crashed() && (flags & (O_WRONLY | O_RDWR))) {
+    // The emulated process is dead: hand back a descriptor whose writes the
+    // wrappers below will swallow anyway, without creating the real file.
+    return ::open("/dev/null", O_WRONLY | O_CLOEXEC);
+  }
+  return ::open(path.c_str(), flags, mode);
+}
+
+ssize_t write(int fd, const std::string& path, const void* buf, std::size_t count) {
+  auto& injector = StorageFaultInjector::instance();
+  if (injector.armed()) {
+    if (injector.crashed()) return static_cast<ssize_t>(count);  // frozen disk
+    if (auto fault = injector.on_write(path)) {
+      if (*fault == StorageFaultMode::kShortWrite && count > 1) {
+        // Half the buffer reaches the media before the device fills: the
+        // caller sees a clean error, the disk holds a torn record.
+        const std::size_t torn = count / 2;
+        std::size_t off = 0;
+        while (off < torn) {
+          const ssize_t n = ::write(fd, static_cast<const char*>(buf) + off, torn - off);
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+          }
+          off += static_cast<std::size_t>(n);
+        }
+      }
+      errno = ENOSPC;
+      return -1;
+    }
+  }
+  return ::write(fd, buf, count);
+}
+
+ssize_t read(int fd, const std::string& path, void* buf, std::size_t count) {
+  const ssize_t n = ::read(fd, buf, count);
+  auto& injector = StorageFaultInjector::instance();
+  if (n > 0 && injector.armed()) {
+    injector.on_read(path, static_cast<std::uint8_t*>(buf), static_cast<std::size_t>(n));
+  }
+  return n;
+}
+
+int fsync(int fd, const std::string& path) {
+  auto& injector = StorageFaultInjector::instance();
+  if (injector.armed()) {
+    if (injector.crashed()) return 0;
+    if (injector.on_sync(path)) {
+      errno = EIO;
+      return -1;
+    }
+  }
+  return ::fsync(fd);
+}
+
+int fdatasync(int fd, const std::string& path) {
+  auto& injector = StorageFaultInjector::instance();
+  if (injector.armed()) {
+    if (injector.crashed()) return 0;
+    if (injector.on_sync(path)) {
+      errno = EIO;
+      return -1;
+    }
+  }
+  return ::fdatasync(fd);
+}
+
+int rename(const std::string& from, const std::string& to) {
+  auto& injector = StorageFaultInjector::instance();
+  if (injector.armed()) {
+    if (injector.crashed()) return 0;
+    if (auto fault = injector.on_rename(to)) {
+      if (*fault == StorageFaultMode::kCrashAfterRename) {
+        ::rename(from.c_str(), to.c_str());  // the swap landed, then we died
+      }
+      injector.mark_crashed();  // every later mutation freezes out
+      return 0;
+    }
+  }
+  return ::rename(from.c_str(), to.c_str());
+}
+
+int unlink(const std::string& path) {
+  auto& injector = StorageFaultInjector::instance();
+  if (injector.armed() && injector.crashed()) return 0;
+  return ::unlink(path.c_str());
+}
+
+int close(int fd) { return ::close(fd); }
+
+void crash_point(const char* name) {
+  const char* want = std::getenv("NS_CRASH_POINT");
+  if (!want || std::strcmp(want, name) != 0) return;
+  // NS_CRASH_POINT_SKIP=N survives the first N hits before dying — the
+  // journal compacts once at startup, and the kill-window scripts want to
+  // die inside a *runtime* compaction, not while booting.
+  static std::atomic<long> remaining{[] {
+    const char* skip = std::getenv("NS_CRASH_POINT_SKIP");
+    return skip != nullptr ? std::atol(skip) : 0L;
+  }()};
+  if (remaining.fetch_sub(1) > 0) return;
+  std::fprintf(stderr, "vfs: crash point '%s' hit, dying\n", name);
+  std::fflush(stderr);
+  ::_exit(137);
+}
+
+}  // namespace ns::vfs

@@ -1,0 +1,175 @@
+// Storage I/O seam with deterministic fault injection.
+//
+// The durability layer (journal appends, checkpoint compaction) trusts the
+// disk; real disks fail in ways an error-free unit test never exercises: a
+// full partition (ENOSPC), an fsync that reports EIO after the page cache
+// already accepted the bytes, a write torn mid-record by power loss, a crash
+// inside the compaction tmp+rename window, and silent bit rot read back long
+// after the write "succeeded". This layer routes every journal/checkpoint
+// file operation through thin POSIX mirrors so tests and benches can script
+// those failures deterministically — the storage analogue of net/fault.hpp.
+//
+// A StorageFaultPlan is armed per *path prefix* (typically a server's
+// data_dir) on the process-global StorageFaultInjector. The vfs wrappers
+// consult the injector at four choke points:
+//
+//   vfs::write()            -- kEnospc / kShortWrite fail the write
+//   vfs::fsync/fdatasync()  -- kFsyncEio fails the flush
+//   vfs::rename()           -- kCrashBeforeRename / kCrashAfterRename
+//                              emulate dying inside the swap window
+//   vfs::read()             -- kBitRot flips bytes in the returned buffer
+//                              (journal CRC must catch them on replay)
+//
+// Fault decisions draw from a per-scope seeded Rng, so a single-threaded
+// caller replays the identical fault sequence run-to-run.
+//
+// Crash-point semantics: once a crash mode fires the injector enters the
+// "crashed" state — the emulated process is dead at that instant, so every
+// later vfs mutation silently succeeds WITHOUT touching the disk. On-disk
+// state stays frozen exactly as the crash left it (old journal for
+// kCrashBeforeRename, compacted journal for kCrashAfterRename, possibly a
+// stray .tmp). Tests pair this with crash_server()+restart_server(): call
+// clear_crashed() (or disarm_all()) before the restart so replay reads the
+// frozen bytes.
+//
+// Multi-process kill windows (crash_recovery_test.sh) use vfs::crash_point()
+// instead: if the NS_CRASH_POINT environment variable names the point, the
+// process _exit(137)s there — a genuine SIGKILL-shaped death for daemons.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ns::vfs {
+
+enum class StorageFaultMode {
+  kEnospc,            // write() fails with ENOSPC, nothing hits the disk
+  kShortWrite,        // half the buffer hits the disk, then ENOSPC (torn record)
+  kFsyncEio,          // fsync()/fdatasync() fails with EIO
+  kCrashBeforeRename, // die inside compaction before the rename lands
+  kCrashAfterRename,  // die inside compaction after the rename lands
+  kBitRot,            // read() returns flipped bytes (CRC-caught on replay)
+};
+
+std::string_view storage_fault_mode_name(StorageFaultMode mode) noexcept;
+
+struct StorageFaultRule {
+  StorageFaultMode mode = StorageFaultMode::kEnospc;
+  /// Per-operation trigger probability (independent Bernoulli draws).
+  double probability = 1.0;
+  /// Stop firing after this many triggers (-1 = unbounded).
+  int max_triggers = -1;
+};
+
+/// A seeded schedule of storage faults for one path scope. Rules are
+/// evaluated in order per operation; the first that triggers wins.
+struct StorageFaultPlan {
+  std::uint64_t seed = 0x5704a6e;
+  std::vector<StorageFaultRule> rules;
+  /// Byte flips applied per rotted read.
+  int rot_flips = 3;
+
+  static StorageFaultPlan single(StorageFaultMode mode, double probability,
+                                 int max_triggers = -1,
+                                 std::uint64_t seed = 0x5704a6e) {
+    StorageFaultPlan plan;
+    plan.seed = seed;
+    plan.rules.push_back(StorageFaultRule{mode, probability, max_triggers});
+    return plan;
+  }
+};
+
+/// Process-global registry of armed storage fault plans. Cheap when
+/// disarmed: the vfs wrappers check one relaxed atomic before taking any
+/// lock or even looking at the path.
+class StorageFaultInjector {
+ public:
+  static StorageFaultInjector& instance();
+
+  /// Arm (or replace) the plan for every path starting with `path_prefix`.
+  void arm(std::string path_prefix, StorageFaultPlan plan);
+  void disarm(const std::string& path_prefix);
+  /// Remove every armed plan and clear the crashed state.
+  void disarm_all();
+
+  bool armed() const noexcept {
+    return armed_scopes_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Total faults triggered since the last disarm_all (test assertions).
+  std::uint64_t triggered_count() const noexcept { return triggered_.load(); }
+
+  /// True once a crash mode fired: the emulated process is dead and every
+  /// vfs mutation is a silent no-op, freezing the on-disk state.
+  bool crashed() const noexcept {
+    return crashed_.load(std::memory_order_acquire);
+  }
+  /// "Restart the process": mutations reach the disk again.
+  void clear_crashed() noexcept {
+    crashed_.store(false, std::memory_order_release);
+  }
+  /// Enter the dead state (crash modes call this via the rename hook).
+  void mark_crashed() noexcept {
+    crashed_.store(true, std::memory_order_release);
+  }
+
+  // ---- vfs hooks (internal; called with the operation's path) ----
+
+  std::optional<StorageFaultMode> on_write(const std::string& path);
+  std::optional<StorageFaultMode> on_sync(const std::string& path);
+  std::optional<StorageFaultMode> on_rename(const std::string& path);
+  /// Applies bit rot in place when a kBitRot rule triggers.
+  void on_read(const std::string& path, std::uint8_t* data, std::size_t size);
+
+ private:
+  enum class Op { kWrite, kSync, kRename, kRead };
+
+  struct ScopeState {
+    StorageFaultPlan plan;
+    Rng rng;
+    std::vector<int> fired;  // triggers consumed per rule
+  };
+
+  ScopeState* scope_for_locked(const std::string& path);
+  std::optional<StorageFaultMode> roll_locked(ScopeState& scope, Op op);
+
+  mutable std::mutex mu_;
+  std::map<std::string, ScopeState> scopes_;  // keyed by path prefix
+  std::atomic<int> armed_scopes_{0};
+  std::atomic<std::uint64_t> triggered_{0};
+  std::atomic<bool> crashed_{false};
+};
+
+// ---- POSIX mirrors ----
+//
+// Same return/errno conventions as the syscalls they wrap. Callers that
+// write through a long-lived descriptor pass the path alongside the fd so
+// the injector can match it against armed scopes (the kernel knows the
+// mapping; we just carry it).
+
+int open(const std::string& path, int flags, mode_t mode = 0);
+ssize_t write(int fd, const std::string& path, const void* buf, std::size_t count);
+ssize_t read(int fd, const std::string& path, void* buf, std::size_t count);
+int fsync(int fd, const std::string& path);
+int fdatasync(int fd, const std::string& path);
+int rename(const std::string& from, const std::string& to);
+int unlink(const std::string& path);
+int close(int fd);
+
+/// Multi-process kill window: if the NS_CRASH_POINT environment variable
+/// equals `name`, _exit(137) here — the in-journal-compaction SIGKILL the
+/// crash recovery shell test scripts. No-op otherwise.
+void crash_point(const char* name);
+
+}  // namespace ns::vfs

@@ -102,6 +102,7 @@ void WorkloadReport::encode(serial::Encoder& enc) const {
   enc.put_u64(completed);
   enc.put_f64(sojourn_p95_s);
   enc.put_f64(free_slots);
+  enc.put_i32(durable);
 }
 
 Result<WorkloadReport> WorkloadReport::decode(serial::Decoder& dec) {
@@ -124,6 +125,11 @@ Result<WorkloadReport> WorkloadReport::decode(serial::Decoder& dec) {
   auto slots = dec.get_f64();
   if (!slots.ok()) return slots.error();
   msg.free_slots = slots.value();
+  // Durability health is a later trailing addition still.
+  if (dec.exhausted()) return msg;
+  auto durable = dec.get_i32();
+  if (!durable.ok()) return durable.error();
+  msg.durable = durable.value();
   return msg;
 }
 
@@ -261,6 +267,7 @@ void SolveRequest::encode(serial::Encoder& enc) const {
   enc.put_f64(deadline_s);
   enc.put_u64(trace_id);
   enc.put_u64(client_id);
+  enc.put_bool(require_durable);
 }
 
 Result<SolveRequest> SolveRequest::decode(serial::Decoder& dec) {
@@ -286,6 +293,12 @@ Result<SolveRequest> SolveRequest::decode(serial::Decoder& dec) {
   auto client = dec.get_u64();
   if (!client.ok()) return client.error();
   msg.client_id = client.value();
+  // require_durable is a later trailing addition still.
+  if (dec.exhausted()) return msg;
+  auto durable = dec.get_u8();
+  if (!durable.ok()) return durable.error();
+  if (durable.value() > 1) return make_error(ErrorCode::kProtocol, "bad durable flag");
+  msg.require_durable = durable.value() != 0;
   return msg;
 }
 
@@ -528,6 +541,138 @@ Result<TransferAck> TransferAck::decode(serial::Decoder& dec) {
   auto reason = dec.get_string();
   if (!reason.ok()) return reason.error();
   msg.reason = std::move(reason).value();
+  return msg;
+}
+
+void CheckpointPut::encode(serial::Encoder& enc) const {
+  enc.put_string(origin);
+  enc.put_u64(request_id);
+  enc.put_f64(deadline_remaining_s);
+  enc.put_u64(iteration);
+  enc.put_f64(residual);
+  enc.put_u64(base_iteration);
+  enc.put_bytes(frame.data(), frame.size());
+  enc.put_bool(has_request);
+  serial::Encoder nested;
+  if (has_request) request.encode(nested);
+  enc.put_bytes(nested.bytes().data(), nested.size());
+}
+
+Result<CheckpointPut> CheckpointPut::decode(serial::Decoder& dec) {
+  CheckpointPut msg;
+  auto origin = dec.get_string(256);
+  if (!origin.ok()) return origin.error();
+  msg.origin = std::move(origin).value();
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  auto deadline = dec.get_f64();
+  if (!deadline.ok()) return deadline.error();
+  msg.deadline_remaining_s = deadline.value();
+  auto iteration = dec.get_u64();
+  if (!iteration.ok()) return iteration.error();
+  msg.iteration = iteration.value();
+  auto residual = dec.get_f64();
+  if (!residual.ok()) return residual.error();
+  msg.residual = residual.value();
+  auto base = dec.get_u64();
+  if (!base.ok()) return base.error();
+  msg.base_iteration = base.value();
+  auto frame = dec.get_blob();
+  if (!frame.ok()) return frame.error();
+  msg.frame = std::move(frame).value();
+  auto has_request = dec.get_u8();
+  if (!has_request.ok()) return has_request.error();
+  if (has_request.value() > 1) {
+    return make_error(ErrorCode::kProtocol, "bad checkpoint put flag");
+  }
+  msg.has_request = has_request.value() != 0;
+  auto blob = dec.get_blob();
+  if (!blob.ok()) return blob.error();
+  if (msg.has_request) {
+    serial::Decoder nested(blob.value());
+    auto request = SolveRequest::decode(nested);
+    if (!request.ok()) return request.error();
+    msg.request = std::move(request).value();
+  }
+  return msg;
+}
+
+void CheckpointPutAck::encode(serial::Encoder& enc) const {
+  enc.put_u64(request_id);
+  enc.put_bool(accepted);
+  enc.put_string(reason);
+}
+
+Result<CheckpointPutAck> CheckpointPutAck::decode(serial::Decoder& dec) {
+  CheckpointPutAck msg;
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  auto accepted = dec.get_u8();
+  if (!accepted.ok()) return accepted.error();
+  if (accepted.value() > 1) {
+    return make_error(ErrorCode::kProtocol, "bad checkpoint ack flag");
+  }
+  msg.accepted = accepted.value() != 0;
+  auto reason = dec.get_string();
+  if (!reason.ok()) return reason.error();
+  msg.reason = std::move(reason).value();
+  return msg;
+}
+
+void CheckpointFetch::encode(serial::Encoder& enc) const {
+  enc.put_u64(request_id);
+  enc.put_string(origin);
+  enc.put_bool(adopt);
+}
+
+Result<CheckpointFetch> CheckpointFetch::decode(serial::Decoder& dec) {
+  CheckpointFetch msg;
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  auto origin = dec.get_string(256);
+  if (!origin.ok()) return origin.error();
+  msg.origin = std::move(origin).value();
+  auto adopt = dec.get_u8();
+  if (!adopt.ok()) return adopt.error();
+  if (adopt.value() > 1) return make_error(ErrorCode::kProtocol, "bad fetch flag");
+  msg.adopt = adopt.value() != 0;
+  return msg;
+}
+
+void CheckpointFetchReply::encode(serial::Encoder& enc) const {
+  enc.put_u64(request_id);
+  enc.put_bool(found);
+  enc.put_bool(adopted);
+  enc.put_u64(iteration);
+  enc.put_f64(residual);
+  enc.put_string(origin);
+}
+
+Result<CheckpointFetchReply> CheckpointFetchReply::decode(serial::Decoder& dec) {
+  CheckpointFetchReply msg;
+  auto id = dec.get_u64();
+  if (!id.ok()) return id.error();
+  msg.request_id = id.value();
+  auto found = dec.get_u8();
+  if (!found.ok()) return found.error();
+  if (found.value() > 1) return make_error(ErrorCode::kProtocol, "bad fetch reply flag");
+  msg.found = found.value() != 0;
+  auto adopted = dec.get_u8();
+  if (!adopted.ok()) return adopted.error();
+  if (adopted.value() > 1) return make_error(ErrorCode::kProtocol, "bad fetch reply flag");
+  msg.adopted = adopted.value() != 0;
+  auto iteration = dec.get_u64();
+  if (!iteration.ok()) return iteration.error();
+  msg.iteration = iteration.value();
+  auto residual = dec.get_f64();
+  if (!residual.ok()) return residual.error();
+  msg.residual = residual.value();
+  auto origin = dec.get_string(256);
+  if (!origin.ok()) return origin.error();
+  msg.origin = std::move(origin).value();
   return msg;
 }
 

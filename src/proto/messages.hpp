@@ -59,6 +59,10 @@ enum class MessageType : std::uint16_t {
   kProbeReply = 28,
   kJobTransfer = 29,
   kTransferAck = 30,
+  kCheckpointPut = 31,
+  kCheckpointPutAck = 32,
+  kCheckpointFetch = 33,
+  kCheckpointFetchReply = 34,
 };
 
 using ServerId = std::uint32_t;
@@ -106,6 +110,12 @@ struct WorkloadReport {
   /// Worker slots currently free (concurrency limit - running). Trailing
   /// optional field; -1 means "unknown" (an old peer that never sent it).
   double free_slots = -1.0;
+  /// Durability health, ternary. 1 = journaling and healthy; 0 = the journal
+  /// fail-stopped (disk fault) and the server runs explicitly non-durable;
+  /// -1 = not journaling at all / old peer that never sent the field. The
+  /// agent de-prefers durable=0 servers for checkpointable work. Trailing
+  /// optional field.
+  int durable = -1;
 
   void encode(serial::Encoder& enc) const;
   static Result<WorkloadReport> decode(serial::Decoder& dec);
@@ -192,6 +202,11 @@ struct SolveRequest {
   /// client may hold more than its quota of waiting slots. Trailing optional
   /// field; 0 (old peers) is exempt from quota enforcement.
   std::uint64_t client_id = 0;
+  /// The client insists on write-ahead durability for this job. A server
+  /// whose journal has fail-stopped (degraded to non-durable) sheds such
+  /// requests retryably instead of accepting work it cannot protect.
+  /// Trailing optional field; false from old peers.
+  bool require_durable = false;
 
   void encode(serial::Encoder& enc) const;
   static Result<SolveRequest> decode(serial::Decoder& dec);
@@ -348,6 +363,67 @@ struct TransferAck {
 
   void encode(serial::Encoder& enc) const;
   static Result<TransferAck> decode(serial::Decoder& dec);
+};
+
+/// server -> server: stream one checkpoint frame to a replica holder so a
+/// crash (not a drain) of the origin loses at most one checkpoint interval.
+/// `frame` is a bytepack frame — raw, compressed-full, or compressed-delta
+/// against the origin's last full frame this peer acknowledged
+/// (base_iteration). The first PUT for a job carries the SolveRequest (as a
+/// framed blob, like JobTransfer) so the replica can re-run it standalone.
+struct CheckpointPut {
+  std::string origin;  // origin server name (replica store key half)
+  std::uint64_t request_id = 0;
+  /// Remaining deadline budget measured at send time (0 = none).
+  double deadline_remaining_s = 0.0;
+  std::uint64_t iteration = 0;
+  double residual = 0.0;
+  /// Iteration of the base snapshot a delta frame applies to (0 = the frame
+  /// is self-contained).
+  std::uint64_t base_iteration = 0;
+  serial::Bytes frame;
+  bool has_request = false;
+  SolveRequest request;  // framed blob on the wire (trailing-optional fields)
+
+  void encode(serial::Encoder& enc) const;
+  static Result<CheckpointPut> decode(serial::Decoder& dec);
+};
+
+struct CheckpointPutAck {
+  std::uint64_t request_id = 0;
+  bool accepted = false;
+  /// Refusal reason; "need full" asks the origin to resend a self-contained
+  /// frame (the replica lacks the delta's base, e.g. after its own restart).
+  std::string reason;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<CheckpointPutAck> decode(serial::Decoder& dec);
+};
+
+/// client/server -> replica holder: look up (and optionally adopt) the
+/// replicated checkpoint of a job whose origin server crashed. With
+/// adopt=true the replica re-admits the job exactly like a JOB_TRANSFER —
+/// journals it, seeds the kernel from the replicated snapshot, and the
+/// caller then WAITs on the replica for the result.
+struct CheckpointFetch {
+  std::uint64_t request_id = 0;
+  std::string origin;  // "" = any origin holding this request id
+  bool adopt = false;
+
+  void encode(serial::Encoder& enc) const;
+  static Result<CheckpointFetch> decode(serial::Decoder& dec);
+};
+
+struct CheckpointFetchReply {
+  std::uint64_t request_id = 0;
+  bool found = false;
+  bool adopted = false;
+  std::uint64_t iteration = 0;
+  double residual = 0.0;
+  std::string origin;  // which origin's checkpoint matched
+
+  void encode(serial::Encoder& enc) const;
+  static Result<CheckpointFetchReply> decode(serial::Decoder& dec);
 };
 
 // ---- observability ----

@@ -492,6 +492,68 @@ void register_builtin_problems(dsl::ProblemRegistry& registry, double native_mfl
         }
         return Args{DataObject(mflop)};
       });
+
+  // simstate(mflop, state_kb): simwork carrying a realistically-sized solver
+  // state. A state_kb-kilobyte vector of doubles drifts slowly (a handful of
+  // entries move per slice, the way an iterative solution vector converges)
+  // and every checkpoint snapshots the whole vector. The replication bench
+  // (bench_fault E4g) leans on this: consecutive snapshots differ in a few
+  // entries, so delta/RLE frames (common/bytepack.hpp) beat raw copies by a
+  // wide margin — which simwork's ~13-byte snapshots are too small to show.
+  registry.add(
+      spec("simstate", "Synthetic compute: N Mflop of simulated work, K KB of checkpoint state",
+           {{"mflop", DataType::kInt}, {"state_kb", DataType::kInt}},
+           {{"done", DataType::kInt}}, 1e6, 1.0),
+      [native_mflops](const Args& args) -> Result<Args> {
+        const std::int64_t mflop = args[0].as_int();
+        const std::int64_t state_kb = args[1].as_int();
+        if (mflop < 0 || mflop > 1000000) {
+          return make_error(ErrorCode::kBadArguments, "simstate: mflop out of range");
+        }
+        if (state_kb < 1 || state_kb > 65536) {
+          return make_error(ErrorCode::kBadArguments, "simstate: state_kb out of range");
+        }
+        const double rate = native_mflops > 0 ? native_mflops : 100.0;
+        const auto total = static_cast<std::uint64_t>(mflop);
+        const std::size_t n = static_cast<std::size_t>(state_kb) * 128;  // doubles per KB
+        std::vector<double> state;
+        std::uint64_t done = checkpoint::restore([&](serial::Decoder& dec) {
+          auto t = dec.get_u64();
+          if (!t.ok() || t.value() != total) return false;
+          auto s = dec.get_f64_array(n);
+          if (!s.ok() || s.value().size() != n) return false;
+          state = std::move(s).value();
+          return true;
+        });
+        if (state.empty()) {
+          state.resize(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            state[i] = static_cast<double>(i % 4);
+          }
+        }
+        auto& work_done = metrics::counter("server.work_mflop_total");
+        while (done < total) {
+          if (cancel::poll()) return cancel::cancelled_error("simstate");
+          const double slice_s = std::min(static_cast<double>(total - done) / rate, 0.01);
+          sleep_seconds(slice_s);
+          const auto step = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(slice_s * rate + 0.5));
+          const std::uint64_t add = std::min(step, total - done);
+          done += add;
+          work_done.inc(add);
+          for (std::uint64_t k = 0; k < 4; ++k) {
+            state[static_cast<std::size_t>((done * 31 + k * 7) % n)] += 1.0;
+          }
+          const double frac = total > 0 ? static_cast<double>(total - done) /
+                                              static_cast<double>(total)
+                                        : 0.0;
+          checkpoint::tick(done, frac, [&](serial::Encoder& enc) {
+            enc.put_u64(total);
+            enc.put_f64_array(state);
+          });
+        }
+        return Args{DataObject(mflop)};
+      });
 }
 
 std::string builtin_spec_text() {

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/vfs.hpp"
 #include "serial/crc32.hpp"
 
 namespace ns::server {
@@ -42,10 +43,10 @@ void fsync_parent_dir(const std::string& path) {
   ::close(fd);
 }
 
-Status write_all(int fd, const serial::Bytes& bytes) {
+Status write_all(int fd, const std::string& path, const serial::Bytes& bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    const ssize_t n = vfs::write(fd, path, bytes.data() + off, bytes.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       return make_error(ErrorCode::kInternal,
@@ -70,7 +71,7 @@ void JournalRecord::frame(serial::Bytes& out) const {
 
 Status Journal::open(std::string path, bool fsync_each) {
   close();
-  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  const int fd = vfs::open(path, O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
   if (fd < 0) {
     return make_error(ErrorCode::kInternal,
                       "journal open " + path + ": " + std::strerror(errno));
@@ -79,6 +80,7 @@ Status Journal::open(std::string path, bool fsync_each) {
   fd_ = fd;
   fsync_each_ = fsync_each;
   frozen_ = false;
+  poisoned_ = false;
   path_ = std::move(path);
   appends_ = 0;
   bytes_ = (::fstat(fd, &st) == 0) ? static_cast<std::uint64_t>(st.st_size) : 0;
@@ -88,13 +90,33 @@ Status Journal::open(std::string path, bool fsync_each) {
   return ok_status();
 }
 
+// Fail-stop: after the first failed write or sync the journal's on-disk tail
+// is in an unknown state (possibly torn). Appending more records behind a
+// torn one would be worse than useless — replay stops at the first bad frame,
+// so everything after it would be silently lost while looking durable. Poison
+// the journal instead: close the descriptor, fail every later append fast,
+// and let the server drop to explicitly non-durable mode.
+void Journal::poison() {
+  if (fd_ >= 0) vfs::close(fd_);
+  fd_ = -1;
+  poisoned_ = true;
+}
+
 Status Journal::append(const JournalRecord& record) {
   if (frozen_) return ok_status();  // crash emulation: writes vanish
+  if (poisoned_) {
+    return make_error(ErrorCode::kInternal, "journal poisoned (fail-stop)");
+  }
   if (fd_ < 0) return make_error(ErrorCode::kInternal, "journal not open");
   serial::Bytes framed;
   record.frame(framed);
-  NS_RETURN_IF_ERROR(write_all(fd_, framed));
-  if (fsync_each_ && ::fdatasync(fd_) != 0) {
+  auto written = write_all(fd_, path_, framed);
+  if (!written.ok()) {
+    poison();
+    return written;
+  }
+  if (fsync_each_ && vfs::fdatasync(fd_, path_) != 0) {
+    poison();
     return make_error(ErrorCode::kInternal,
                       std::string("journal fsync: ") + std::strerror(errno));
   }
@@ -105,37 +127,44 @@ Status Journal::append(const JournalRecord& record) {
 
 Status Journal::rewrite(const std::vector<JournalRecord>& records) {
   if (frozen_) return ok_status();
+  if (poisoned_) {
+    return make_error(ErrorCode::kInternal, "journal poisoned (fail-stop)");
+  }
   if (fd_ < 0) return make_error(ErrorCode::kInternal, "journal not open");
   const std::string tmp = path_ + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  const int fd = vfs::open(tmp, O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
     return make_error(ErrorCode::kInternal,
                       "journal compact open " + tmp + ": " + std::strerror(errno));
   }
   serial::Bytes framed;
   for (const auto& record : records) record.frame(framed);
-  auto written = write_all(fd, framed);
-  if (written.ok() && ::fsync(fd) != 0) {
+  auto written = write_all(fd, tmp, framed);
+  if (written.ok() && vfs::fsync(fd, tmp) != 0) {
     written = make_error(ErrorCode::kInternal,
                          std::string("journal compact fsync: ") + std::strerror(errno));
   }
-  ::close(fd);
+  vfs::close(fd);
   if (!written.ok()) {
-    ::unlink(tmp.c_str());
-    return written;
+    vfs::unlink(tmp);
+    return written;  // old journal intact; not poisoned — appends still valid
   }
-  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
-    ::unlink(tmp.c_str());
+  vfs::crash_point("journal.compact.before_rename");
+  if (vfs::rename(tmp, path_) != 0) {
+    vfs::unlink(tmp);
     return make_error(ErrorCode::kInternal,
                       std::string("journal compact rename: ") + std::strerror(errno));
   }
+  vfs::crash_point("journal.compact.after_rename");
   // The rename is atomic but not durable until the directory flushes: a
   // crash here could resurrect the pre-compaction journal — or nothing.
   fsync_parent_dir(path_);
   // Swing the append descriptor onto the new file.
-  ::close(fd_);
-  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  vfs::close(fd_);
+  fd_ = vfs::open(path_, O_WRONLY | O_APPEND | O_CLOEXEC);
   if (fd_ < 0) {
+    // No descriptor to append through: the journal is effectively dead.
+    poisoned_ = true;
     return make_error(ErrorCode::kInternal,
                       "journal reopen " + path_ + ": " + std::strerror(errno));
   }
@@ -144,15 +173,16 @@ Status Journal::rewrite(const std::vector<JournalRecord>& records) {
 }
 
 void Journal::freeze() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) vfs::close(fd_);
   fd_ = -1;
   frozen_ = true;
 }
 
 void Journal::close() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) vfs::close(fd_);
   fd_ = -1;
   frozen_ = false;
+  poisoned_ = false;
 }
 
 namespace {
@@ -262,7 +292,7 @@ ReplaySummary replay_journal_bytes(const serial::Bytes& bytes) {
 }
 
 Result<ReplaySummary> replay_journal(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = vfs::open(path, O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     if (errno == ENOENT) return ReplaySummary{};  // first boot: empty journal
     return make_error(ErrorCode::kInternal,
@@ -271,18 +301,18 @@ Result<ReplaySummary> replay_journal(const std::string& path) {
   serial::Bytes bytes;
   std::uint8_t buf[1 << 16];
   for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    const ssize_t n = vfs::read(fd, path, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
       const int err = errno;
-      ::close(fd);
+      vfs::close(fd);
       return make_error(ErrorCode::kInternal,
                         "journal read " + path + ": " + std::strerror(err));
     }
     if (n == 0) break;
     bytes.insert(bytes.end(), buf, buf + n);
   }
-  ::close(fd);
+  vfs::close(fd);
   return replay_journal_bytes(bytes);
 }
 

@@ -80,7 +80,11 @@ class Journal {
   /// trades durability of the last few records for throughput.
   Status open(std::string path, bool fsync_each);
 
-  /// Append one record (framed, then optionally synced).
+  /// Append one record (framed, then optionally synced). Fail-stop: the
+  /// first write/sync failure poisons the journal — the on-disk tail may be
+  /// torn, and appending behind a torn record would silently lose everything
+  /// after it on replay. Once poisoned every append fails fast until the
+  /// journal is re-opened.
   Status append(const JournalRecord& record);
 
   /// Atomically replace the journal contents with `records` (compaction):
@@ -95,15 +99,20 @@ class Journal {
   void close();
 
   bool is_open() const noexcept { return fd_ >= 0; }
+  /// True after a failed append/sync fail-stopped the journal.
+  bool poisoned() const noexcept { return poisoned_; }
   const std::string& path() const noexcept { return path_; }
   std::uint64_t appends() const noexcept { return appends_; }
   /// Bytes appended since open/rewrite (compaction trigger).
   std::uint64_t byte_size() const noexcept { return bytes_; }
 
  private:
+  void poison();
+
   int fd_ = -1;
   bool fsync_each_ = true;
   bool frozen_ = false;
+  bool poisoned_ = false;
   std::string path_;
   std::uint64_t appends_ = 0;
   std::uint64_t bytes_ = 0;

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/bytepack.hpp"
 #include "common/clock.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
@@ -123,6 +124,13 @@ ComputeServer::ServerMetrics::ServerMetrics(const std::string& name)
       jobs_recovered(metrics::counter("server.jobs_recovered_total")),
       jobs_migrated(metrics::counter("server.jobs_migrated_total")),
       jobs_resumed(metrics::counter("server.jobs_resumed_total")),
+      store_write_errors(metrics::counter("store.write_errors_total")),
+      store_degraded_shed(metrics::counter("store.degraded_shed_total")),
+      store_ckpt_replicated(metrics::counter("store.ckpt_replicated_total")),
+      store_ckpt_raw_bytes(metrics::counter("store.ckpt_raw_bytes_total")),
+      store_ckpt_wire_bytes(metrics::counter("store.ckpt_wire_bytes_total")),
+      store_failover_resume(metrics::counter("store.failover_resume_total")),
+      store_degraded(metrics::gauge("store." + name + ".degraded")),
       queue_wait_s(metrics::histogram("server.queue_wait_s")),
       queue_sojourn_s(metrics::histogram("server.queue_sojourn_s")),
       compute_s(metrics::histogram("server.compute_s")),
@@ -480,6 +488,22 @@ bool ComputeServer::handle_message(const net::ReactorConnPtr& conn, net::Message
                       encode_payload(accept_transfer(std::move(transfer).value())))
         .ok();
   }
+  if (msg.type == static_cast<std::uint16_t>(MessageType::kCheckpointPut)) {
+    serial::Decoder put_dec(msg.payload);
+    auto put = proto::CheckpointPut::decode(put_dec);
+    if (!put.ok()) return false;  // protocol violation: drop
+    return conn->send(static_cast<std::uint16_t>(MessageType::kCheckpointPutAck),
+                      encode_payload(accept_checkpoint(std::move(put).value())))
+        .ok();
+  }
+  if (msg.type == static_cast<std::uint16_t>(MessageType::kCheckpointFetch)) {
+    serial::Decoder fetch_dec(msg.payload);
+    auto fetch = proto::CheckpointFetch::decode(fetch_dec);
+    if (!fetch.ok()) return false;  // protocol violation: drop
+    return conn->send(static_cast<std::uint16_t>(MessageType::kCheckpointFetchReply),
+                      encode_payload(handle_checkpoint_fetch(fetch.value())))
+        .ok();
+  }
   if (msg.type != static_cast<std::uint16_t>(MessageType::kSolveRequest)) {
     return false;  // protocol violation: drop
   }
@@ -542,6 +566,18 @@ bool ComputeServer::handle_solve(const net::ReactorConnPtr& conn,
     metrics_.drain_rejected.inc();
     result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
     result.error_message = "server draining";
+    return conn->send(solve_result, encode_payload(result), config_.link).ok();
+  }
+  // A job that insists on durability cannot run where the journal has
+  // fail-stopped (or never existed). Shed retryably — the agent already
+  // de-prefers this server (durable=false in workload reports), and the
+  // client's retry finds a healthy peer. Accepting silently would turn the
+  // client's durability requirement into a coin flip.
+  if (request.value().require_durable &&
+      (config_.data_dir.empty() || degraded_.load())) {
+    metrics_.store_degraded_shed.inc();
+    result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+    result.error_message = "durability degraded: journal unavailable";
     return conn->send(solve_result, encode_payload(result), config_.link).ok();
   }
   // Visible to CANCEL, PROBE and the drain sweep from admission to reply.
@@ -715,21 +751,31 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
                      since_receipt.elapsed() - queue_wait, queue_wait);
 
   // Checkpoint wiring: the kernel snapshots its loop state every interval;
-  // with a journal open each snapshot also lands as a CHECKPOINT record.
+  // with a journal open each snapshot also lands as a CHECKPOINT record, and
+  // with replicas configured each snapshot is also streamed to the peer set.
   job->ckpt.set_interval(config_.checkpoint_interval);
   {
     std::lock_guard<std::mutex> journal_lock(journal_mu_);
-    if (journal_.is_open() && job->journaled) {
-      job->ckpt.set_on_snapshot([this, id = result.request_id](
+    const bool journal_ckpt = journal_.is_open() && job->journaled;
+    const bool replicate = !config_.replicas.empty();
+    if (journal_ckpt || replicate) {
+      // Raw pointer on purpose: capturing the shared_ptr would cycle
+      // (job -> ckpt -> callback -> job). The callback only fires from the
+      // kernel thread inside run_job, which holds the shared_ptr.
+      job->ckpt.set_on_snapshot([this, id = result.request_id, journal_ckpt,
+                                 replicate, jp = job.get()](
                                     const checkpoint::Snapshot& snap) {
-        JournalRecord rec;
-        rec.type = JournalRecordType::kCheckpoint;
-        rec.request_id = id;
-        rec.wall_micros = wall_micros();
-        rec.iteration = snap.iteration;
-        rec.residual = snap.residual;
-        rec.data = snap.state;
-        journal_append(rec);
+        if (journal_ckpt) {
+          JournalRecord rec;
+          rec.type = JournalRecordType::kCheckpoint;
+          rec.request_id = id;
+          rec.wall_micros = wall_micros();
+          rec.iteration = snap.iteration;
+          rec.residual = snap.residual;
+          rec.data = snap.state;
+          journal_append(rec);
+        }
+        if (replicate) replicate_checkpoint(*jp, snap);
       });
     }
   }
@@ -868,6 +914,7 @@ void ComputeServer::send_workload_report(double workload) {
     report.completed = completed_.load();
     report.sojourn_p95_s = sojourn_p95;
     report.free_slots = free_slots;
+    report.durable = config_.data_dir.empty() ? -1 : (degraded_.load() ? 0 : 1);
     (void)net::pool_post(link.endpoint,
                          static_cast<std::uint16_t>(MessageType::kWorkloadReport),
                          encode_payload(report), /*dial_timeout_s=*/1.0);
@@ -885,8 +932,11 @@ void ComputeServer::report_loop() {
       // agents that were down at startup.
       maintain_registrations();
       const double workload = current_workload();
+      // A durability transition is news the agent must hear regardless of
+      // how little the load moved — it changes where checkpointable work
+      // should land.
       if (std::abs(workload - last_sent) >= config_.report_threshold ||
-          last_sent == -1e300) {
+          last_sent == -1e300 || durable_dirty_.exchange(false)) {
         send_workload_report(workload);
         last_sent = workload;
       }
@@ -1034,9 +1084,21 @@ void ComputeServer::journal_append_locked(const JournalRecord& record) {
   if (journal_.append(record).ok()) {
     metrics_.journal_appends.inc();
   } else {
-    NS_WARN("server") << config_.name << " journal append failed ("
-                      << journal_.path() << ")";
+    // The journal fail-stopped itself (see Journal::append): the fd is
+    // closed and every later append fails fast. Degrade loudly instead of
+    // pretending records still land.
+    metrics_.store_write_errors.inc();
+    enter_degraded_locked("journal append failed");
   }
+}
+
+void ComputeServer::enter_degraded_locked(const char* what) {
+  if (degraded_.exchange(true)) return;
+  metrics_.store_degraded.set(1.0);
+  durable_dirty_.store(true);  // report_loop pushes the news immediately
+  NS_WARN("server") << config_.name << " durability degraded: " << what << " ("
+                    << journal_.path()
+                    << ") — running non-durable, shedding durable-required jobs";
 }
 
 void ComputeServer::journal_append(const JournalRecord& record) {
@@ -1106,6 +1168,12 @@ void ComputeServer::maybe_compact() {
   }
   if (!journal_.rewrite(collect_live_records_locked()).ok()) {
     NS_WARN("server") << config_.name << " journal compaction failed";
+    if (journal_.poisoned()) {
+      // Rewrite lost the live journal (reopen after rename failed): no
+      // record will ever land again, so this is a durability transition.
+      metrics_.store_write_errors.inc();
+      enter_degraded_locked("journal compaction failed");
+    }
   }
 }
 
@@ -1259,6 +1327,261 @@ proto::TransferAck ComputeServer::accept_transfer(proto::JobTransfer transfer) {
     active_connections_.fetch_sub(1);
   }).detach();
   return ack;
+}
+
+void ComputeServer::replicate_checkpoint(ActiveJob& job,
+                                         const checkpoint::Snapshot& snap) {
+  if (job.repl_peers.size() != config_.replicas.size()) {
+    job.repl_peers.assign(config_.replicas.size(), ActiveJob::ReplPeer{});
+  }
+  const double now = now_seconds();
+  const bool has_deadline = job.deadline_abs < 1e299;
+  const double deadline_remaining =
+      has_deadline ? std::max(job.deadline_abs - now, 0.0) : 0.0;
+
+  // Frames are built lazily and shared across peers: most snapshots go to
+  // every peer in the same shape, so compress once.
+  serial::Bytes full_frame;   // self-contained (compressed or raw)
+  serial::Bytes delta_frame;  // against repl_prev_state, if viable
+  auto full = [&]() -> const serial::Bytes& {
+    if (full_frame.empty()) {
+      full_frame = config_.checkpoint_compress ? bytepack::pack(snap.state)
+                                               : bytepack::pack_raw(snap.state);
+    }
+    return full_frame;
+  };
+  const bool have_prev =
+      job.repl_prev_iteration > 0 && job.repl_prev_state.size() == snap.state.size();
+  auto delta = [&]() -> const serial::Bytes& {
+    if (delta_frame.empty()) {
+      delta_frame = bytepack::pack(snap.state, &job.repl_prev_state);
+    }
+    return delta_frame;
+  };
+
+  for (std::size_t i = 0; i < config_.replicas.size(); ++i) {
+    auto& peer = job.repl_peers[i];
+    if (now < peer.retry_at) continue;  // recent failure: don't stall the kernel
+
+    // A delta only helps if the peer holds exactly the base we would diff
+    // against, and the codec actually produced a delta (it falls back to a
+    // self-contained frame when the delta wouldn't shrink).
+    const bool can_delta = config_.checkpoint_compress && have_prev &&
+                           peer.acked_iteration == job.repl_prev_iteration &&
+                           bytepack::is_delta(delta());
+
+    proto::CheckpointPut put;
+    put.origin = config_.name;
+    put.request_id = job.request.request_id;
+    put.deadline_remaining_s = deadline_remaining;
+    put.iteration = snap.iteration;
+    put.residual = snap.residual;
+    put.base_iteration = can_delta ? job.repl_prev_iteration : 0;
+    put.frame = can_delta ? delta() : full();
+    if (!peer.sent_request) {
+      put.has_request = true;
+      put.request = job.request;
+    }
+
+    auto reply = net::pool_round_trip(
+        config_.replicas[i], static_cast<std::uint16_t>(MessageType::kCheckpointPut),
+        encode_payload(put), /*timeout_s=*/2.0, /*dial_timeout_s=*/1.0);
+    bool accepted = false;
+    bool need_full = false;
+    if (reply.ok() &&
+        reply.value().type == static_cast<std::uint16_t>(MessageType::kCheckpointPutAck)) {
+      serial::Decoder dec(reply.value().payload);
+      auto ack = proto::CheckpointPutAck::decode(dec);
+      if (ack.ok()) {
+        accepted = ack.value().accepted;
+        need_full = ack.value().reason == "need full";
+      }
+    }
+    if (accepted) {
+      peer.sent_request = true;
+      peer.acked_iteration = snap.iteration;
+      ckpt_replicated_.fetch_add(1);
+      metrics_.store_ckpt_replicated.inc();
+      metrics_.store_ckpt_raw_bytes.inc(snap.state.size());
+      metrics_.store_ckpt_wire_bytes.inc(put.frame.size());
+    } else {
+      // Forget the peer's state: the next attempt sends a self-contained
+      // frame (and the request again if "need full" — a restarted replica
+      // lost both). Back off so a dead peer costs one dial per second, not
+      // one per checkpoint.
+      peer.acked_iteration = 0;
+      if (need_full) peer.sent_request = false;
+      peer.retry_at = now + 1.0;
+    }
+  }
+  job.repl_prev_state = snap.state;
+  job.repl_prev_iteration = snap.iteration;
+}
+
+proto::CheckpointPutAck ComputeServer::accept_checkpoint(proto::CheckpointPut put) {
+  proto::CheckpointPutAck ack;
+  ack.request_id = put.request_id;
+  if (draining_.load() || stopping_.load()) {
+    ack.reason = "server draining";
+    return ack;
+  }
+  const auto key = std::make_pair(put.origin, put.request_id);
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  auto it = replica_store_.find(key);
+
+  serial::Bytes state;
+  if (put.base_iteration > 0) {
+    // Delta frame: we must hold exactly the base it was diffed against.
+    if (it == replica_store_.end() ||
+        it->second.snapshot.iteration != put.base_iteration) {
+      ack.reason = "need full";
+      return ack;
+    }
+    auto unpacked = bytepack::unpack(put.frame, &it->second.snapshot.state);
+    if (!unpacked.ok()) {
+      ack.reason = "need full";  // also covers bit-rot caught by the codec
+      return ack;
+    }
+    state = std::move(unpacked).value();
+  } else {
+    auto unpacked = bytepack::unpack(put.frame);
+    if (!unpacked.ok()) {
+      ack.reason = "bad frame: " + unpacked.error().message;
+      return ack;
+    }
+    state = std::move(unpacked).value();
+  }
+
+  if (it == replica_store_.end()) {
+    // A checkpoint without its SolveRequest could never be adopted — refuse
+    // so the origin resends with the request attached.
+    if (!put.has_request) {
+      ack.reason = "need full";
+      return ack;
+    }
+    it = replica_store_.emplace(key, ReplicaEntry{}).first;
+    replica_order_.push_back(key);
+    while (replica_order_.size() > kMaxReplicaEntries) {
+      replica_store_.erase(replica_order_.front());
+      replica_order_.pop_front();
+    }
+    // The eviction above can only remove older keys: `key` was just pushed
+    // to the back, so `it` stays valid past the loop.
+  }
+  ReplicaEntry& entry = it->second;
+  if (put.has_request) {
+    entry.request = std::move(put.request);
+    entry.has_request = true;
+  }
+  entry.deadline_remaining_s = put.deadline_remaining_s;
+  entry.stored_wall_us = wall_micros();
+  entry.snapshot.iteration = put.iteration;
+  entry.snapshot.residual = put.residual;
+  entry.snapshot.state = std::move(state);
+  ack.accepted = true;
+  return ack;
+}
+
+proto::CheckpointFetchReply ComputeServer::handle_checkpoint_fetch(
+    const proto::CheckpointFetch& fetch) {
+  proto::CheckpointFetchReply reply;
+  reply.request_id = fetch.request_id;
+
+  ReplicaEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    auto match = replica_store_.end();
+    for (auto it = replica_store_.begin(); it != replica_store_.end(); ++it) {
+      if (it->first.second != fetch.request_id) continue;
+      if (!fetch.origin.empty() && it->first.first != fetch.origin) continue;
+      match = it;
+      break;
+    }
+    if (match == replica_store_.end()) return reply;
+    reply.found = true;
+    reply.iteration = match->second.snapshot.iteration;
+    reply.residual = match->second.snapshot.residual;
+    reply.origin = match->first.first;
+    if (!fetch.adopt) return reply;
+    if (draining_.load() || stopping_.load()) return reply;
+    if (!match->second.has_request ||
+        !registry_.spec(match->second.request.problem).has_value()) {
+      return reply;
+    }
+    entry = std::move(match->second);
+    // Adopt-once: remove before running so a racing second FETCH cannot
+    // start the same job twice.
+    replica_store_.erase(match);
+    for (auto it = replica_order_.begin(); it != replica_order_.end(); ++it) {
+      if (it->first == reply.origin && it->second == fetch.request_id) {
+        replica_order_.erase(it);
+        break;
+      }
+    }
+  }
+
+  // Decay the deadline by the time the checkpoint sat here: the origin
+  // measured the remaining budget at PUT time, and the clock kept running
+  // while it was down.
+  double deadline = entry.request.deadline_s;
+  if (deadline > 0.0) {
+    const double held_s =
+        static_cast<double>(wall_micros() - entry.stored_wall_us) / 1e6;
+    deadline = entry.deadline_remaining_s - held_s;
+    if (deadline <= 0.0) {
+      // Budget lapsed while the origin was down; adopting would just burn a
+      // slot to produce kDeadlineExceeded. Put the entry back for inspection.
+      std::lock_guard<std::mutex> lock(replica_mu_);
+      const auto key = std::make_pair(reply.origin, fetch.request_id);
+      replica_store_.emplace(key, std::move(entry));
+      replica_order_.push_back(key);
+      return reply;
+    }
+  }
+
+  metrics_.requests.inc();
+  auto job = std::make_shared<ActiveJob>();
+  job->readmit = true;
+  job->request = std::move(entry.request);
+  job->request.deadline_s = deadline;
+  const std::uint64_t ck_iteration = entry.snapshot.iteration;
+  serial::Bytes journal_state = entry.snapshot.state;  // keep for the journal
+  if (ck_iteration > 0) {
+    job->ckpt.install_restore(std::move(entry.snapshot));
+  }
+  {
+    std::lock_guard<std::mutex> lock(active_jobs_mu_);
+    active_jobs_.emplace(fetch.request_id, job);
+  }
+  journal_admit(*job, job->request.deadline_s);
+  if (job->journaled && ck_iteration > 0) {
+    JournalRecord rec;
+    rec.type = JournalRecordType::kCheckpoint;
+    rec.request_id = fetch.request_id;
+    rec.wall_micros = wall_micros();
+    rec.iteration = ck_iteration;
+    rec.residual = reply.residual;
+    rec.data = std::move(journal_state);
+    journal_append(rec);
+  }
+  failover_resumes_.fetch_add(1);
+  metrics_.store_failover_resume.inc();
+  NS_INFO("server") << config_.name << " adopted job " << fetch.request_id
+                    << " from crashed peer " << reply.origin
+                    << " at replicated checkpoint iteration " << ck_iteration;
+  reply.adopted = true;
+  active_connections_.fetch_add(1);
+  std::thread([this, job] {
+    const Stopwatch since_receipt;
+    (void)run_job(job, since_receipt);
+    active_connections_.fetch_sub(1);
+  }).detach();
+  return reply;
+}
+
+std::size_t ComputeServer::replica_holds() const {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  return replica_store_.size();
 }
 
 std::vector<proto::ServerCandidate> ComputeServer::query_candidates(

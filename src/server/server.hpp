@@ -198,6 +198,16 @@ struct ServerConfig {
   /// cancelling them; the displaced client gets a kMigrated forwarding
   /// address to re-attach to.
   bool migrate_on_drain = false;
+  /// Peer servers to stream checkpoint frames to (CHECKPOINT_PUT). With
+  /// replicas configured, every kernel snapshot also lands — delta/RLE
+  /// compressed — on each peer, so a *crash* (not a drain) of this server
+  /// loses at most one checkpoint interval: clients re-dispatch to a replica
+  /// holder via CHECKPOINT_FETCH(adopt) and the job resumes there.
+  std::vector<net::Endpoint> replicas;
+  /// Compress replicated frames (XOR delta against the previous snapshot +
+  /// byte-plane shuffle + run-length; see common/bytepack.hpp). Off sends
+  /// raw frames — the bench baseline.
+  bool checkpoint_compress = true;
 };
 
 class ComputeServer {
@@ -289,6 +299,19 @@ class ComputeServer {
   }
   /// Journal records appended since startup.
   std::uint64_t journal_appends() const;
+  /// True once a persistent write failure fail-stopped the journal and the
+  /// server dropped to explicitly non-durable mode (advertised as
+  /// durable=false in workload reports; durable-required jobs are shed
+  /// retryably).
+  bool durability_degraded() const noexcept { return degraded_.load(); }
+  /// Checkpoint frames accepted by replica peers.
+  std::uint64_t checkpoints_replicated() const noexcept {
+    return ckpt_replicated_.load();
+  }
+  /// Jobs adopted here from the replica store after an origin crash.
+  std::uint64_t failover_resumes() const noexcept { return failover_resumes_.load(); }
+  /// Replicated checkpoints currently held for other servers' jobs.
+  std::size_t replica_holds() const;
   /// Emulated unclean death (SIGKILL): freeze the journal (nothing further
   /// reaches disk), suppress all replies and terminal accounting, and tear
   /// the threads down. Unlike stop(), in-flight jobs look — to clients and
@@ -322,6 +345,16 @@ class ComputeServer {
     metrics::Counter& jobs_recovered;
     metrics::Counter& jobs_migrated;
     metrics::Counter& jobs_resumed;
+    // Storage-fault armor (store.*): disk failures survived, degradation,
+    // and checkpoint replication. Raw vs wire bytes expose the compression
+    // ratio (the `store.ckpt_bytes_total{raw,wire}` pair of DESIGN.md §17).
+    metrics::Counter& store_write_errors;
+    metrics::Counter& store_degraded_shed;
+    metrics::Counter& store_ckpt_replicated;
+    metrics::Counter& store_ckpt_raw_bytes;
+    metrics::Counter& store_ckpt_wire_bytes;
+    metrics::Counter& store_failover_resume;
+    metrics::Gauge& store_degraded;
     metrics::Histogram& queue_wait_s;
     metrics::Histogram& queue_sojourn_s;
     metrics::Histogram& compute_s;
@@ -360,6 +393,20 @@ class ComputeServer {
     /// Absolute deadline fixed at enqueue (1e300 = none); read by the
     /// migration path to compute the hand-off budget.
     double deadline_abs = 1e300;
+
+    // ---- checkpoint replication state ----
+    // Touched only from the owning kernel thread (the on_snapshot callback
+    // fires synchronously at loop heads), so no lock is needed.
+    /// One replica peer's view of this job.
+    struct ReplPeer {
+      bool sent_request = false;      // peer holds the SolveRequest already
+      std::uint64_t acked_iteration = 0;  // last frame the peer accepted
+      double retry_at = 0.0;          // now_seconds() backoff after a failure
+    };
+    std::vector<ReplPeer> repl_peers;
+    /// Previous snapshot (uncompressed) — the delta base for the next frame.
+    serial::Bytes repl_prev_state;
+    std::uint64_t repl_prev_iteration = 0;
   };
 
   /// One agent this server registers with. `id` is agent-local (each agent
@@ -481,6 +528,17 @@ class ComputeServer {
   /// JOB_TRANSFER receive side: admit the handed-over job and seed its
   /// checkpoint token from the carried snapshot.
   proto::TransferAck accept_transfer(proto::JobTransfer transfer);
+  /// Persistent journal failure: fail-stop durability and advertise it.
+  /// Requires journal_mu_ (the trigger sites already hold it).
+  void enter_degraded_locked(const char* what);
+  /// Stream one checkpoint frame for `job` to every configured replica.
+  /// Runs on the job's kernel thread (on_snapshot callback).
+  void replicate_checkpoint(ActiveJob& job, const checkpoint::Snapshot& snap);
+  /// CHECKPOINT_PUT receive side: store (or delta-patch) a peer's frame.
+  proto::CheckpointPutAck accept_checkpoint(proto::CheckpointPut put);
+  /// CHECKPOINT_FETCH: report a held checkpoint; with adopt, re-admit the
+  /// job here (the crash-time analogue of accept_transfer).
+  proto::CheckpointFetchReply handle_checkpoint_fetch(const proto::CheckpointFetch& fetch);
   /// Drain-side migration: hand `job`'s latest checkpoint to a peer. On
   /// success rewrites `result` into kMigrated + the forwarding address.
   bool migrate_job(ActiveJob& job, proto::SolveResult& result);
@@ -573,6 +631,28 @@ class ComputeServer {
   std::atomic<std::uint64_t> jobs_migrated_{0};
   std::atomic<std::uint64_t> jobs_resumed_{0};
   std::atomic<std::uint64_t> last_resume_iteration_{0};
+
+  // ---- storage-fault armor ----
+  /// Journal fail-stopped; the server runs explicitly non-durable.
+  std::atomic<bool> degraded_{false};
+  /// Durability state changed since the last workload report (forces a
+  /// report past the change threshold so agents learn promptly).
+  std::atomic<bool> durable_dirty_{false};
+  std::atomic<std::uint64_t> ckpt_replicated_{0};
+  std::atomic<std::uint64_t> failover_resumes_{0};
+  /// Replica store: checkpoints held for peers' jobs, keyed by
+  /// (origin server name, request id), bounded FIFO like the result store.
+  struct ReplicaEntry {
+    proto::SolveRequest request;
+    bool has_request = false;
+    double deadline_remaining_s = 0.0;  // budget at the last PUT
+    std::int64_t stored_wall_us = 0;    // PUT stamp (deadline decay baseline)
+    checkpoint::Snapshot snapshot;      // decompressed state
+  };
+  static constexpr std::size_t kMaxReplicaEntries = 256;
+  mutable std::mutex replica_mu_;
+  std::map<std::pair<std::string, std::uint64_t>, ReplicaEntry> replica_store_;
+  std::deque<std::pair<std::string, std::uint64_t>> replica_order_;
 
   ServerMetrics metrics_;
 

@@ -82,6 +82,16 @@ Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
     sc.journal_fsync = spec.journal_fsync;
     sc.migrate_on_drain = spec.migrate_on_drain;
     sc.guard = spec.guard;
+    sc.checkpoint_compress = spec.checkpoint_compress;
+    for (std::size_t j : spec.replicas) {
+      if (j < cluster->servers_.size() && cluster->servers_[j]) {
+        sc.replicas.push_back(cluster->servers_[j]->endpoint());
+      } else {
+        NS_WARN("testkit") << spec.name << " replica index " << j
+                           << " not started yet; skipped (order replica "
+                              "targets before the replicating server)";
+      }
+    }
     sc.seed = seed++;
     auto server = server::ComputeServer::start(std::move(sc));
     if (!server.ok()) {
@@ -112,9 +122,10 @@ Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
 TestCluster::~TestCluster() { stop(); }
 
 void TestCluster::stop() {
-  // Never leave fault plans behind: the injector is process-global and a
+  // Never leave fault plans behind: the injectors are process-global and a
   // later test would inherit this cluster's chaos schedule.
   net::FaultInjector::instance().disarm_all();
+  vfs::StorageFaultInjector::instance().disarm_all();
   for (auto& server : servers_) {
     if (server) server->stop();
   }
@@ -137,6 +148,20 @@ void TestCluster::arm_agent_fault(net::FaultPlan plan) {
 }
 
 void TestCluster::disarm_faults() { net::FaultInjector::instance().disarm_all(); }
+
+void TestCluster::arm_storage_fault(std::size_t i, vfs::StorageFaultPlan plan) {
+  const auto& data_dir = config_.servers.at(i).data_dir;
+  if (data_dir.empty()) {
+    NS_WARN("testkit") << config_.servers.at(i).name
+                       << " has no data_dir; storage fault plan ignored";
+    return;
+  }
+  vfs::StorageFaultInjector::instance().arm(data_dir, std::move(plan));
+}
+
+void TestCluster::disarm_storage_faults() {
+  vfs::StorageFaultInjector::instance().disarm_all();
+}
 
 Result<proto::DrainAck> TestCluster::drain_server(std::size_t i, double deadline_s) {
   return client::drain_server(servers_.at(i)->endpoint(), deadline_s);
@@ -212,6 +237,12 @@ Status TestCluster::restart_server(std::size_t i) {
   sc.journal_fsync = spec.journal_fsync;
   sc.migrate_on_drain = spec.migrate_on_drain;
   sc.guard = spec.guard;
+  sc.checkpoint_compress = spec.checkpoint_compress;
+  for (std::size_t j : spec.replicas) {
+    if (j != i && j < servers_.size() && servers_[j]) {
+      sc.replicas.push_back(servers_[j]->endpoint());
+    }
+  }
   // A distinct seed stream: the restarted incarnation is a new process.
   sc.seed = 0xbada55 + 0x1000 + static_cast<std::uint64_t>(i);
   auto server = server::ComputeServer::start(std::move(sc));
@@ -248,6 +279,8 @@ client::NetSolveClient TestCluster::make_client(const net::LinkShape& link) cons
   cc.hedge_quantile = config_.client_hedge_quantile;
   cc.hedge_min_samples = config_.client_hedge_min_samples;
   cc.reattach_s = config_.client_reattach_s;
+  cc.require_durable = config_.client_require_durable;
+  cc.checkpoint_failover = config_.client_checkpoint_failover;
   return client::NetSolveClient(cc);
 }
 

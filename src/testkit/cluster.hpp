@@ -16,6 +16,7 @@
 #include "agent/agent.hpp"
 #include "client/client.hpp"
 #include "common/error.hpp"
+#include "common/vfs.hpp"
 #include "net/fault.hpp"
 #include "server/server.hpp"
 
@@ -58,6 +59,14 @@ struct ClusterServerSpec {
   /// Transport hostile-peer armor for this server (frame cap, buffer
   /// budgets, progress deadline, connection cap). Survives restart_server().
   net::GuardConfig guard;
+  /// Checkpoint replication peers, by index into ClusterConfig::servers.
+  /// Resolved to endpoints when this server (re)starts. At initial start only
+  /// lower-indexed servers are bound yet, so order specs so replica targets
+  /// come first (the replicating server last); restart_server() resolves any
+  /// index. Unresolvable indices are skipped with a warning.
+  std::vector<std::size_t> replicas;
+  /// Delta/RLE-compress replicated checkpoint frames (see common/bytepack.hpp).
+  bool checkpoint_compress = true;
 };
 
 struct ClusterConfig {
@@ -94,6 +103,12 @@ struct ClusterConfig {
   /// PROBE at the same server instead of resubmitting, so a crash-restarted
   /// journaling server finishes the original job.
   double client_reattach_s = 0.0;
+  /// make_client() clients stamp require_durable into every SolveRequest
+  /// (degraded / non-journaling servers shed them retryably).
+  bool client_require_durable = false;
+  /// make_client() clients chase replicated checkpoints after a dead-server
+  /// reattach fails (CHECKPOINT_FETCH adopt; see ClientConfig).
+  bool client_checkpoint_failover = false;
   /// Transport armor for the agents (metadata-role defaults). Survives
   /// restart_agent().
   net::GuardConfig agent_guard = net::GuardConfig::agent_defaults();
@@ -150,6 +165,14 @@ class TestCluster {
   void arm_agent_fault(net::FaultPlan plan);
   /// Remove every armed fault plan process-wide.
   void disarm_faults();
+
+  /// Arm a storage fault plan on server i's data_dir (see common/vfs.hpp):
+  /// ENOSPC, torn writes, fsync EIO, compaction crash windows, bit rot —
+  /// everything the journal must survive or degrade through. The server must
+  /// have a data_dir (journaling on).
+  void arm_storage_fault(std::size_t i, vfs::StorageFaultPlan plan);
+  /// Remove every armed storage fault plan (and the emulated-crash freeze).
+  void disarm_storage_faults();
 
   /// Gracefully drain server i (the rolling-restart chaos hook): it stops
   /// accepting work, deregisters from every agent, and finishes or cancels

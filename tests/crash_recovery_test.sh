@@ -29,20 +29,21 @@ wait_alive_servers() {
     return 1
 }
 
-# Poll the server's PROBE until the job's iteration passes $1 (Mflop done).
+# Poll the server's PROBE until job $2's iteration passes $1 (Mflop done).
 wait_iteration() {
     want=$1
+    id=${2:-4501}
     deadline=$(( $(date +%s) + 30 ))
     while [ "$(date +%s)" -lt "$deadline" ]; do
-        it=$("$BIN/netsolve_client" port=$SPORT cmd=probe id=4501 2>/dev/null \
+        it=$("$BIN/netsolve_client" port=$SPORT cmd=probe id=$id 2>/dev/null \
              | sed -n 's/.*iteration=\([0-9][0-9]*\).*/\1/p')
         if [ "${it:-0}" -ge "$want" ]; then
-            echo "job at iteration $it"
+            echo "job $id at iteration $it"
             return 0
         fi
         sleep 0.1
     done
-    echo "timed out waiting for iteration $want" >&2
+    echo "timed out waiting for iteration $want on job $id" >&2
     return 1
 }
 
@@ -85,5 +86,85 @@ if [ "${recovered:-0}" -lt 1 ]; then
     echo "server did not report a recovered job (got '${recovered:-}')" >&2
     exit 1
 fi
+
+# ---- compaction kill windows ----
+#
+# The journal rewrite (tmp + rename swap) has two one-sided crash windows:
+# dying *before* the rename must leave the old journal authoritative (plus a
+# stray .tmp), dying *after* must leave the freshly compacted journal
+# complete. NS_CRASH_POINT makes the daemon _exit(137) at the named point
+# (see common/vfs.hpp); a tiny journal_compact threshold plus a short job's
+# completion forces a compaction while a long job is still mid-solve.
+
+# The server's own port answers probes (a stale agent record can't fake this).
+wait_server_up() {
+    deadline=$(( $(date +%s) + 30 ))
+    while [ "$(date +%s)" -lt "$deadline" ]; do
+        if "$BIN/netsolve_client" port=$SPORT cmd=probe id=1 >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "server never came up on port $SPORT" >&2
+    return 1
+}
+
+compaction_window() {
+    point=$1     # journal.compact.before_rename | journal.compact.after_rename
+    dir=$2       # fresh data_dir per window
+    long_id=$3
+    short_id=$(( long_id + 1 ))
+
+    echo "== compaction kill window: $point =="
+    # SKIP=1 survives the startup compaction; the first *runtime* compaction
+    # (tripped by the short job's completion) dies at the window.
+    NS_CRASH_POINT=$point NS_CRASH_POINT_SKIP=1 "$BIN/netsolve_server" \
+        name=alpha agent_port=$PORT \
+        port=$SPORT rating=800 data_dir="$LOG/$dir" checkpoint_interval=5 \
+        journal_compact=1500 runtime=120 > "$LOG/${dir}_arm.log" 2>&1 &
+    S1_PID=$!
+    wait_server_up
+
+    "$BIN/netsolve_client" port=$SPORT cmd=submit id=$long_id mflop=2000
+    wait_iteration 300 $long_id
+    # A short job's completion trips maybe_compact; by now the long job's
+    # checkpoint records have pushed the journal well past 1500 bytes.
+    "$BIN/netsolve_client" port=$SPORT cmd=submit id=$short_id mflop=10 || true
+
+    rc=0
+    wait $S1_PID || rc=$?
+    if [ "$rc" -ne 137 ]; then
+        echo "server did not die at $point (exit $rc)" >&2
+        exit 1
+    fi
+    echo "server died at $point (exit 137), as scripted"
+
+    "$BIN/netsolve_server" name=alpha agent_port=$PORT port=$SPORT rating=800 \
+        data_dir="$LOG/$dir" checkpoint_interval=5 journal_compact=1500 \
+        runtime=120 > "$LOG/${dir}_replay.log" 2>&1 &
+    S1_PID=$!
+    wait_server_up
+
+    echo "== the long job must finish from the surviving journal side =="
+    "$BIN/netsolve_client" port=$SPORT cmd=probe id=$long_id wait=30
+
+    recovered=$("$BIN/netsolve_client" agent_port=$SPORT cmd=metrics \
+                prefix=server.jobs_recovered_total 2>/dev/null \
+                | sed -n 's/.*server\.jobs_recovered_total[^0-9]*\([0-9][0-9]*\).*/\1/p' | head -1)
+    if [ "${recovered:-0}" -lt 1 ]; then
+        echo "no recovered job after $point crash (got '${recovered:-}')" >&2
+        exit 1
+    fi
+
+    kill $S1_PID 2>/dev/null || true
+    wait $S1_PID 2>/dev/null || true
+}
+
+# Phase 1's revived server still owns the port; retire it first.
+kill $S1_PID 2>/dev/null || true
+wait $S1_PID 2>/dev/null || true
+
+compaction_window journal.compact.before_rename data_before 4601
+compaction_window journal.compact.after_rename  data_after  4701
 
 echo "CRASH_RECOVERY_TEST_PASSED"

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -57,12 +58,18 @@ Status send_solve(net::TcpConnection& conn, std::uint64_t request_id, std::int64
                            encode_solve(request_id, mflop));
 }
 
-// A scratch data directory, removed on scope exit.
+// A scratch data directory, removed on scope exit. NS_DURABLE_TMPDIR
+// redirects it onto another filesystem — CI mounts a small tmpfs there so
+// journal writes can hit a real (not injected) ENOSPC.
 struct TempDir {
   std::string path;
   TempDir() {
-    char tmpl[] = "/tmp/ns_durable_XXXXXX";
-    const char* made = ::mkdtemp(tmpl);
+    const char* base = std::getenv("NS_DURABLE_TMPDIR");
+    std::string tmpl_s =
+        std::string(base != nullptr && *base != '\0' ? base : "/tmp") + "/ns_durable_XXXXXX";
+    std::vector<char> tmpl(tmpl_s.begin(), tmpl_s.end());
+    tmpl.push_back('\0');
+    const char* made = ::mkdtemp(tmpl.data());
     path = made != nullptr ? made : "/tmp/ns_durable_fallback";
   }
   ~TempDir() {
@@ -448,6 +455,43 @@ TEST(DurableTest, JournalReplayTruncatedAtEveryByte) {
   }
 }
 
+// The storage-fault analogue of the truncation fuzz: a torn *partial* final
+// record (ENOSPC / power loss mid-append leaves len+garbage, not a clean
+// cut) corrupted at every byte offset. Replay must never crash, must keep
+// the longest valid prefix, and must never resurrect job 8 (terminal since
+// record 5) or invent an unfinished job that was never fully admitted.
+TEST(DurableTest, JournalReplayFinalRecordCorruptedAtEveryByte) {
+  const auto segments = fuzz::segments();
+  serial::Bytes prefix;  // everything but the final record
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    prefix.insert(prefix.end(), segments[i].begin(), segments[i].end());
+  }
+  const auto& last = segments.back();
+  for (std::size_t at = 0; at < last.size(); ++at) {
+    for (const std::uint8_t flip : {0x01, 0x80, 0xff}) {
+      auto journal = prefix;
+      journal.insert(journal.end(), last.begin(), last.end());
+      journal[prefix.size() + at] ^= flip;
+      const auto summary = server::replay_journal_bytes(journal);
+      // The intact prefix always replays: a fault in the tail cannot damage
+      // records that already landed. (A flipped length header makes the tail
+      // look torn — records 8, skipped 0; a flipped payload byte trips the
+      // CRC — records 8, skipped 1; either is a valid longest-prefix read.)
+      EXPECT_GE(summary.records, segments.size() - 1)
+          << "prefix lost at offset " << at << " flip " << int(flip);
+      EXPECT_LE(summary.skipped, 1u) << "at offset " << at;
+      EXPECT_FALSE(fuzz::unfinished_contains(summary, 8))
+          << "terminal job resurrected at offset " << at;
+      EXPECT_EQ(summary.completed.count(8), 1u);
+      // Jobs only ever materialize from fully-CRC-valid ADMITTED records.
+      for (const auto& job : summary.unfinished) {
+        EXPECT_TRUE(job.request.request_id == 7 || job.request.request_id == 9)
+            << "phantom job " << job.request.request_id << " at offset " << at;
+      }
+    }
+  }
+}
+
 TEST(DurableTest, JournalReplaySkipsBitFlippedRecords) {
   const auto segments = fuzz::segments();
   // Flip one payload byte in every record position, one at a time: replay
@@ -467,6 +511,88 @@ TEST(DurableTest, JournalReplaySkipsBitFlippedRecords) {
   const auto summary = server::replay_journal_bytes(fuzz::concat(copy));
   EXPECT_FALSE(fuzz::unfinished_contains(summary, 8));
   EXPECT_EQ(summary.completed.count(8), 1u);
+}
+
+// ---- real disk-full (no injector) ----
+
+// Fill the filesystem holding `dir` with a ballast file until a write fails
+// with ENOSPC, then free `leave_bytes` again. Returns the ballast path.
+std::string fill_filesystem(const std::string& dir, std::size_t leave_bytes) {
+  const std::string ballast = dir + "/ballast";
+  std::FILE* f = std::fopen(ballast.c_str(), "wb");
+  if (f == nullptr) return ballast;
+  std::vector<char> chunk(64 * 1024, '\xa5');
+  std::size_t written = 0;
+  while (std::fwrite(chunk.data(), 1, chunk.size(), f) == chunk.size()) {
+    written += chunk.size();
+    if (written > (1u << 30)) break;  // not actually a small filesystem
+  }
+  std::fclose(f);
+  if (written > leave_bytes) {
+    std::error_code ec;
+    std::filesystem::resize_file(ballast, written - leave_bytes, ec);
+  }
+  return ballast;
+}
+
+// Real ENOSPC, not an injected one: CI mounts a small tmpfs and points
+// NS_DURABLE_TMPDIR at it (skipped otherwise — filling a shared /tmp would
+// be antisocial). The filesystem is packed with ballast until only a sliver
+// remains, so the journal genuinely runs out of space mid-burst. The server
+// must fail-stop the journal, degrade to explicitly non-durable mode, and
+// keep answering: every job completes, nothing crashes, nothing is silently
+// lost — the same contract the injector-driven test_storage suite pins,
+// proven here against the actual kernel ENOSPC path.
+TEST(DurableTest, RealEnospcDegradesGracefully) {
+  const char* base = std::getenv("NS_DURABLE_TMPDIR");
+  if (base == nullptr || *base == '\0') {
+    GTEST_SKIP() << "set NS_DURABLE_TMPDIR to a small scratch filesystem to run";
+  }
+  TempDir data;  // lives under NS_DURABLE_TMPDIR
+  testkit::ClusterConfig config;
+  config.rating_base = 500.0;
+  testkit::ClusterServerSpec spec;
+  spec.name = "server0";
+  spec.workers = 2;
+  spec.slowdown_mode = server::SlowdownMode::kSleep;
+  spec.data_dir = data.path;
+  spec.journal_fsync = true;
+  spec.checkpoint_interval = 5;  // fat journal traffic: hit the wall quickly
+  config.servers = {spec};
+  config.io_timeout_s = 30.0;
+  auto cluster = testkit::TestCluster::start(config);
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+  auto& server = cluster.value()->server(0);
+
+  // Leave ~64 KB: enough for the burst's first appends, far too little for
+  // all of it (simstate checkpoints carry a 16 KB state vector each).
+  const std::string ballast = fill_filesystem(data.path, 64 * 1024);
+  const auto errors_before = metrics::counter("store.write_errors_total").value();
+
+  auto client = cluster.value()->make_client();
+  constexpr int kJobs = 12;
+  int ok = 0;
+  std::vector<client::RequestHandle> handles;
+  handles.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    handles.push_back(client.netsl_nb(
+        "simstate", {DataObject(std::int64_t{20}), DataObject(std::int64_t{16})}));
+  }
+  for (auto& handle : handles) {
+    if (handle.wait().ok()) ++ok;
+  }
+  EXPECT_EQ(ok, kJobs) << "jobs lost under real ENOSPC: " << ok << "/" << kJobs;
+
+  ASSERT_TRUE(eventually([&] { return server.durability_degraded(); }, 5.0))
+      << "server never entered degraded mode on a full filesystem";
+  EXPECT_GT(metrics::counter("store.write_errors_total").value(), errors_before);
+
+  // Still serving, explicitly non-durable.
+  auto after = client.netsl("simwork", {DataObject(std::int64_t{1})});
+  EXPECT_TRUE(after.ok()) << (after.ok() ? "" : after.error().to_string());
+
+  std::error_code ec;
+  std::filesystem::remove(ballast, ec);  // free the space before TempDir cleanup
 }
 
 }  // namespace

@@ -152,7 +152,8 @@ TEST(ProtoTest, OldPeersWithoutOverloadFieldsStillParse) {
     msg.deadline_s = 2.0;
     msg.client_id = 999;  // must NOT survive: legacy encoders never wrote it
     auto bytes = encode_msg(msg);
-    bytes.resize(bytes.size() - 8);  // strip the trailing client_id u64
+    // Strip the trailing client_id u64 plus the later require_durable flag.
+    bytes.resize(bytes.size() - 8 - 1);
     serial::Decoder dec(bytes);
     auto back = SolveRequest::decode(dec);
     ASSERT_TRUE(back.ok());
@@ -160,6 +161,7 @@ TEST(ProtoTest, OldPeersWithoutOverloadFieldsStillParse) {
     EXPECT_EQ(back.value().request_id, 5u);
     EXPECT_DOUBLE_EQ(back.value().deadline_s, 2.0);
     EXPECT_EQ(back.value().client_id, 0u) << "legacy request must stay anonymous";
+    EXPECT_FALSE(back.value().require_durable);
   }
   {
     SolveResult msg;
@@ -198,13 +200,162 @@ TEST(ProtoTest, OldPeersWithoutOverloadFieldsStillParse) {
     msg.sojourn_p95_s = 9.0;
     msg.free_slots = 3.0;
     auto bytes = encode_msg(msg);
-    bytes.resize(bytes.size() - 16);  // strip both trailing queue-pressure f64s
+    // Strip both trailing queue-pressure f64s plus the later durable i32.
+    bytes.resize(bytes.size() - 16 - 4);
     serial::Decoder dec(bytes);
     auto back = WorkloadReport::decode(dec);
     ASSERT_TRUE(back.ok());
     EXPECT_TRUE(dec.expect_exhausted().ok());
     EXPECT_DOUBLE_EQ(back.value().sojourn_p95_s, 0.0);
     EXPECT_DOUBLE_EQ(back.value().free_slots, -1.0) << "-1 marks 'not reported'";
+    EXPECT_EQ(back.value().durable, -1) << "-1 marks 'not reported'";
+  }
+}
+
+// The durability fields (SolveRequest.require_durable, WorkloadReport.durable)
+// are trailing additions one era later than the overload fields: a payload
+// from an overload-era peer carries client_id / queue-pressure but ends
+// before them, and must parse with the durability defaults.
+TEST(ProtoTest, OldPeersWithoutDurabilityFieldsStillParse) {
+  {
+    SolveRequest msg;
+    msg.request_id = 11;
+    msg.problem = "cg";
+    msg.args = {dsl::DataObject(std::int64_t{3})};
+    msg.client_id = 42;
+    msg.require_durable = true;  // must NOT survive: old encoders never wrote it
+    auto bytes = encode_msg(msg);
+    bytes.resize(bytes.size() - 1);  // strip the trailing require_durable u8
+    serial::Decoder dec(bytes);
+    auto back = SolveRequest::decode(dec);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(dec.expect_exhausted().ok());
+    EXPECT_EQ(back.value().client_id, 42u) << "overload-era field must survive";
+    EXPECT_FALSE(back.value().require_durable) << "legacy request has no durability ask";
+  }
+  {
+    WorkloadReport msg;
+    msg.server_id = 8;
+    msg.workload = 2.0;
+    msg.sojourn_p95_s = 0.25;
+    msg.free_slots = 1.0;
+    msg.durable = 1;  // must NOT survive
+    auto bytes = encode_msg(msg);
+    bytes.resize(bytes.size() - 4);  // strip the trailing durable i32
+    serial::Decoder dec(bytes);
+    auto back = WorkloadReport::decode(dec);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(dec.expect_exhausted().ok());
+    EXPECT_DOUBLE_EQ(back.value().sojourn_p95_s, 0.25);
+    EXPECT_DOUBLE_EQ(back.value().free_slots, 1.0);
+    EXPECT_EQ(back.value().durable, -1) << "legacy report never claims durability";
+  }
+  {
+    // A request whose durable flag is neither 0 nor 1 is a protocol error,
+    // not a silently-coerced bool.
+    SolveRequest msg;
+    msg.request_id = 12;
+    msg.problem = "cg";
+    msg.args = {dsl::DataObject(std::int64_t{3})};
+    auto bytes = encode_msg(msg);
+    bytes.back() = 7;
+    serial::Decoder dec(bytes);
+    EXPECT_FALSE(SolveRequest::decode(dec).ok());
+  }
+}
+
+// Checkpoint-replication messages: round-trips for the PUT/FETCH pairs,
+// including the framed SolveRequest blob a first PUT carries so the replica
+// can re-admit the job on adoption.
+TEST(ProtoTest, CheckpointMessagesRoundTrip) {
+  {
+    // Self-contained frame with the request blob attached (first frame for
+    // this job, or a "need full" resend).
+    CheckpointPut msg;
+    msg.origin = "server1";
+    msg.request_id = 4242;
+    msg.deadline_remaining_s = 17.5;
+    msg.iteration = 75;
+    msg.residual = 1e-6;
+    msg.base_iteration = 0;
+    msg.frame = {0x01, 0x00, 0xff, 0x42, 0x42, 0x42};
+    msg.has_request = true;
+    msg.request.request_id = 4242;
+    msg.request.problem = "simstate";
+    msg.request.args = {dsl::DataObject(std::int64_t{20}), dsl::DataObject(std::int64_t{16})};
+    msg.request.require_durable = true;
+    const auto back = round_trip(msg);
+    EXPECT_EQ(back.origin, "server1");
+    EXPECT_EQ(back.request_id, 4242u);
+    EXPECT_DOUBLE_EQ(back.deadline_remaining_s, 17.5);
+    EXPECT_EQ(back.iteration, 75u);
+    EXPECT_DOUBLE_EQ(back.residual, 1e-6);
+    EXPECT_EQ(back.base_iteration, 0u);
+    EXPECT_EQ(back.frame, msg.frame);
+    ASSERT_TRUE(back.has_request);
+    EXPECT_EQ(back.request.problem, "simstate");
+    ASSERT_EQ(back.request.args.size(), 2u);
+    EXPECT_EQ(back.request.args[1], msg.request.args[1]);
+    EXPECT_TRUE(back.request.require_durable);
+  }
+  {
+    // Steady-state delta frame: no request blob, base_iteration names the
+    // snapshot the delta applies to.
+    CheckpointPut msg;
+    msg.origin = "server1";
+    msg.request_id = 4242;
+    msg.iteration = 100;
+    msg.base_iteration = 75;
+    msg.frame = {0x02, 0x10};
+    const auto back = round_trip(msg);
+    EXPECT_EQ(back.base_iteration, 75u);
+    EXPECT_FALSE(back.has_request);
+    EXPECT_EQ(back.frame, msg.frame);
+  }
+  {
+    CheckpointPutAck msg;
+    msg.request_id = 4242;
+    msg.accepted = false;
+    msg.reason = "need full";  // replica lacks the delta's base snapshot
+    const auto back = round_trip(msg);
+    EXPECT_EQ(back.request_id, 4242u);
+    EXPECT_FALSE(back.accepted);
+    EXPECT_EQ(back.reason, "need full");
+  }
+  {
+    CheckpointFetch msg;
+    msg.request_id = 4242;
+    msg.origin = "";  // any origin holding this request id
+    msg.adopt = true;
+    const auto back = round_trip(msg);
+    EXPECT_EQ(back.request_id, 4242u);
+    EXPECT_TRUE(back.origin.empty());
+    EXPECT_TRUE(back.adopt);
+  }
+  {
+    CheckpointFetchReply msg;
+    msg.request_id = 4242;
+    msg.found = true;
+    msg.adopted = true;
+    msg.iteration = 100;
+    msg.residual = 3.5e-7;
+    msg.origin = "server1";
+    const auto back = round_trip(msg);
+    EXPECT_TRUE(back.found);
+    EXPECT_TRUE(back.adopted);
+    EXPECT_EQ(back.iteration, 100u);
+    EXPECT_DOUBLE_EQ(back.residual, 3.5e-7);
+    EXPECT_EQ(back.origin, "server1");
+  }
+  {
+    // A fetch whose adopt flag is out of the bool alphabet must be rejected.
+    CheckpointFetch msg;
+    msg.request_id = 1;
+    msg.adopt = true;
+    auto bytes = encode_msg(msg);
+    bytes.back() = 9;
+    serial::Decoder dec(bytes);
+    EXPECT_FALSE(CheckpointFetch::decode(dec).ok());
   }
 }
 
@@ -343,15 +494,18 @@ TEST(ProtoFuzzTest, TruncationsNeverCrash) {
               dsl::DataObject(std::int64_t{5})};
   const auto bytes = encode_msg(msg);
   // Every strict prefix must either decode to a clean error or — at exactly
-  // the backward-compat boundary where the trailing client_id begins — parse
-  // as a legacy request with the field at its default. Never a crash.
-  const std::size_t compat_boundary = bytes.size() - 8;  // trailing client_id u64
+  // a backward-compat boundary where a trailing optional field begins —
+  // parse as a legacy request with the field at its default. Never a crash.
+  // Two boundaries: before client_id (u64) and before require_durable (u8).
+  const std::size_t pre_client_id = bytes.size() - 8 - 1;
+  const std::size_t pre_durable = bytes.size() - 1;
   for (std::size_t len = 0; len < bytes.size(); ++len) {
     serial::Decoder dec(bytes.data(), len);
     auto back = SolveRequest::decode(dec);
-    if (len == compat_boundary) {
+    if (len == pre_client_id || len == pre_durable) {
       ASSERT_TRUE(back.ok()) << "compat boundary must parse as a legacy request";
-      EXPECT_EQ(back.value().client_id, 0u);
+      EXPECT_EQ(back.value().client_id, len == pre_durable ? msg.client_id : 0u);
+      EXPECT_FALSE(back.value().require_durable);
     } else {
       EXPECT_FALSE(back.ok()) << "prefix length " << len;
     }
@@ -398,6 +552,18 @@ TEST_P(ProtoRandomFuzzTest, RandomBytesProduceCleanErrors) {
     {
       serial::Decoder dec(junk);
       (void)DrainAck::decode(dec);
+    }
+    {
+      serial::Decoder dec(junk);
+      (void)CheckpointPut::decode(dec);
+    }
+    {
+      serial::Decoder dec(junk);
+      (void)CheckpointFetch::decode(dec);
+    }
+    {
+      serial::Decoder dec(junk);
+      (void)CheckpointFetchReply::decode(dec);
     }
   }
   SUCCEED();

@@ -1,0 +1,470 @@
+// Storage-fault armor: injected disk failures, graceful durability
+// degradation, and cross-server checkpoint replication.
+//
+// These tests pin the three layers added for hostile storage:
+//   - the vfs fault seam and bytepack codec themselves (unit),
+//   - a journaling server whose disk starts failing mid-burst fail-stops the
+//     journal, degrades to explicitly non-durable, keeps serving (goodput),
+//     sheds durable-required work retryably, and advertises durable=false,
+//   - a server crashed (not drained) mid-iterative-solve whose checkpoints
+//     were replicated to a peer: the client fails over, the peer adopts the
+//     job from the last replicated snapshot, and at most one checkpoint
+//     interval of work is recomputed.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "common/bytepack.hpp"
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "common/vfs.hpp"
+#include "net/transport.hpp"
+#include "proto/messages.hpp"
+#include "testkit/cluster.hpp"
+
+namespace ns {
+namespace {
+
+using dsl::DataObject;
+
+template <typename Pred>
+bool eventually(Pred pred, double timeout_s = 5.0) {
+  const Deadline deadline(timeout_s);
+  while (!deadline.expired()) {
+    if (pred()) return true;
+    sleep_seconds(0.005);
+  }
+  return pred();
+}
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/ns_storage_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    path = made != nullptr ? made : "/tmp/ns_storage_fallback";
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+// ---- bytepack codec ----
+
+serial::Bytes synthetic_state(std::size_t doubles, double scale) {
+  // Checkpoint-shaped payload: a vector of f64s drawn from a small value
+  // alphabet (solver states repeat boundary values, zeros, and converged
+  // entries), the case the byte-plane shuffle + RLE pipeline is built for.
+  serial::Bytes out(doubles * sizeof(double));
+  for (std::size_t i = 0; i < doubles; ++i) {
+    const double v = scale * static_cast<double>(i % 4);
+    std::memcpy(out.data() + i * sizeof(double), &v, sizeof(double));
+  }
+  return out;
+}
+
+TEST(BytepackTest, RawRoundTrip) {
+  const serial::Bytes data = {1, 2, 3, 4, 5};
+  const auto packed = bytepack::pack_raw(data);
+  auto out = bytepack::unpack(packed);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_EQ(out.value(), data);
+}
+
+TEST(BytepackTest, PackedRoundTripAndShrinks) {
+  const auto data = synthetic_state(4096, 3.25);
+  const auto packed = bytepack::pack(data);
+  EXPECT_LT(packed.size(), data.size() / 2) << "compressible state did not shrink";
+  auto out = bytepack::unpack(packed);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_EQ(out.value(), data);
+}
+
+TEST(BytepackTest, DeltaRoundTripShrinksMore) {
+  const auto base = synthetic_state(4096, 3.25);
+  auto next = base;
+  // A few scattered f64s change between snapshots — the typical iterative
+  // kernel step.
+  for (std::size_t i = 0; i < next.size(); i += 512) next[i] ^= 0x5a;
+  const auto full = bytepack::pack(next);
+  const auto delta = bytepack::pack(next, &base);
+  ASSERT_TRUE(bytepack::is_delta(delta));
+  EXPECT_LT(delta.size(), full.size());
+  auto out = bytepack::unpack(delta, &base);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_EQ(out.value(), next);
+  // A delta without its base must refuse, not emit garbage.
+  EXPECT_FALSE(bytepack::unpack(delta).ok());
+  const auto wrong = synthetic_state(100, 1.0);
+  EXPECT_FALSE(bytepack::unpack(delta, &wrong).ok());
+}
+
+TEST(BytepackTest, IncompressibleFallsBackToRaw) {
+  serial::Bytes noise(4096);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto& b : noise) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<std::uint8_t>(x);
+  }
+  const auto packed = bytepack::pack(noise);
+  EXPECT_LE(packed.size(), noise.size() + 16);  // frame header only
+  auto out = bytepack::unpack(packed);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_EQ(out.value(), noise);
+}
+
+TEST(BytepackTest, CorruptFramesAreRefused) {
+  const auto data = synthetic_state(512, 2.0);
+  auto packed = bytepack::pack(data);
+  for (std::size_t i = 0; i < packed.size(); i += 7) {
+    auto copy = packed;
+    copy[i] ^= 0xff;
+    auto out = bytepack::unpack(copy);
+    if (out.ok()) {
+      // A flip the framing cannot detect must still produce exactly-sized
+      // output (RLE bounds hold); it may differ in content — the journal
+      // CRC / wire CRC above this layer catches that.
+      EXPECT_EQ(out.value().size(), data.size());
+    }
+  }
+  EXPECT_FALSE(bytepack::unpack(serial::Bytes{}).ok());
+}
+
+// ---- vfs fault injector (unit) ----
+
+TEST(VfsTest, EnospcAndShortWriteFailWrites) {
+  TempDir dir;
+  auto& inj = vfs::StorageFaultInjector::instance();
+  inj.disarm_all();
+  const std::string path = dir.path + "/f";
+  {
+    // First write fails ENOSPC, later writes succeed (max_triggers=1).
+    inj.arm(dir.path, vfs::StorageFaultPlan::single(vfs::StorageFaultMode::kEnospc,
+                                                    1.0, /*max_triggers=*/1));
+    const int fd = vfs::open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    const char buf[8] = "1234567";
+    errno = 0;
+    EXPECT_EQ(vfs::write(fd, path, buf, 8), -1);
+    EXPECT_EQ(errno, ENOSPC);
+    EXPECT_EQ(vfs::write(fd, path, buf, 8), 8);
+    vfs::close(fd);
+    EXPECT_EQ(inj.triggered_count(), 1u);
+    inj.disarm_all();
+  }
+  {
+    // Short write: half the buffer lands, then ENOSPC — a torn record.
+    inj.arm(dir.path, vfs::StorageFaultPlan::single(vfs::StorageFaultMode::kShortWrite,
+                                                    1.0, /*max_triggers=*/1));
+    const int fd = vfs::open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    const char buf[8] = "1234567";
+    errno = 0;
+    EXPECT_EQ(vfs::write(fd, path, buf, 8), -1);
+    EXPECT_EQ(errno, ENOSPC);
+    vfs::close(fd);
+    EXPECT_EQ(std::filesystem::file_size(path), 4u) << "torn write not half-landed";
+    inj.disarm_all();
+  }
+}
+
+TEST(VfsTest, CrashFreezeMakesMutationsSilentNoOps) {
+  TempDir dir;
+  auto& inj = vfs::StorageFaultInjector::instance();
+  inj.disarm_all();
+  inj.arm(dir.path, vfs::StorageFaultPlan::single(
+                        vfs::StorageFaultMode::kCrashBeforeRename, 1.0));
+  const std::string a = dir.path + "/a", b = dir.path + "/b";
+  {
+    const int fd = vfs::open(a, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(vfs::write(fd, a, "live", 4), 4);
+    vfs::close(fd);
+  }
+  EXPECT_EQ(vfs::rename(a, b), 0);  // "crash": rename reports ok but never lands
+  EXPECT_TRUE(inj.crashed());
+  EXPECT_TRUE(std::filesystem::exists(a));
+  EXPECT_FALSE(std::filesystem::exists(b));
+  // Post-crash mutations are silent no-ops: the on-disk state is frozen.
+  const int fd = vfs::open(a, O_WRONLY | O_APPEND);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(vfs::write(fd, a, "MORE", 4), 4);
+  vfs::close(fd);
+  EXPECT_EQ(std::filesystem::file_size(a), 4u) << "write reached a frozen disk";
+  inj.disarm_all();
+  EXPECT_FALSE(inj.crashed());
+}
+
+// ---- degradation under injected disk failure ----
+
+// A journaling server whose disk dies mid-burst (every write ENOSPC, every
+// fsync EIO) must fail-stop the journal, keep computing, answer >= 95% of the
+// burst successfully, shed require_durable work retryably, report durable=0,
+// and count it all — no crash, no hang, no silent loss.
+TEST(StorageTest, DiskFailureMidBurstDegradesGracefully) {
+  TempDir data;
+  testkit::ClusterConfig config;
+  config.rating_base = 500.0;
+  testkit::ClusterServerSpec spec;
+  spec.name = "server0";
+  spec.workers = 2;
+  spec.slowdown_mode = server::SlowdownMode::kSleep;
+  spec.data_dir = data.path;
+  spec.journal_fsync = true;  // the EIO path needs real fdatasync calls
+  config.servers = {spec};
+  config.io_timeout_s = 30.0;
+  auto cluster = testkit::TestCluster::start(config);
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+  auto& server = cluster.value()->server(0);
+
+  const auto errors_before = metrics::counter("store.write_errors_total").value();
+
+  auto client = cluster.value()->make_client();
+  constexpr int kJobs = 40;
+  int ok = 0;
+  std::vector<client::RequestHandle> handles;
+  for (int i = 0; i < kJobs; ++i) {
+    if (i == 8) {
+      // The disk dies under the burst: everything the journal writes or
+      // flushes from now on fails.
+      vfs::StorageFaultPlan plan;
+      plan.rules.push_back({vfs::StorageFaultMode::kEnospc, 1.0, -1});
+      plan.rules.push_back({vfs::StorageFaultMode::kFsyncEio, 1.0, -1});
+      cluster.value()->arm_storage_fault(0, plan);
+    }
+    handles.push_back(client.netsl_nb("simwork", {DataObject(std::int64_t{5})}));
+  }
+  for (auto& handle : handles) {
+    if (handle.wait().ok()) ++ok;
+  }
+  EXPECT_GE(ok, (kJobs * 95) / 100)
+      << "goodput under disk failure fell below 95%: " << ok << "/" << kJobs;
+
+  // The server degraded: journal fail-stopped, counters ticked, flag up.
+  ASSERT_TRUE(eventually([&] { return server.durability_degraded(); }, 5.0))
+      << "server never entered degraded mode";
+  EXPECT_GT(metrics::counter("store.write_errors_total").value(), errors_before);
+  EXPECT_EQ(metrics::gauge("store.server0.degraded").value(), 1.0);
+
+  // The agent hears durable=0 in the next workload report and a
+  // durable-required request is shed retryably, not accepted silently.
+  const auto shed_before = metrics::counter("store.degraded_shed_total").value();
+  {
+    client::ClientConfig cc;
+    cc.agents = {cluster.value()->agent_endpoint()};
+    cc.io_timeout_s = 10.0;
+    cc.require_durable = true;
+    cc.max_retries = 1;  // one attempt: we want to see the shed, not a retry
+    client::NetSolveClient durable_client(cc);
+    auto result = durable_client.netsl("simwork", {DataObject(std::int64_t{1})});
+    EXPECT_FALSE(result.ok());
+  }
+  EXPECT_GT(metrics::counter("store.degraded_shed_total").value(), shed_before);
+
+  // The degraded server still solves non-durable work fine.
+  auto after = client.netsl("simwork", {DataObject(std::int64_t{1})});
+  EXPECT_TRUE(after.ok()) << (after.ok() ? "" : after.error().to_string());
+
+  cluster.value()->disarm_storage_faults();
+}
+
+// ---- crash-time failover via replicated checkpoints ----
+
+// server1 replicates its checkpoints to server0. server1 is crashed (kill -9
+// shaped, no drain) mid-iterative-solve; the client's reattach fails (the
+// server stays dead), its checkpoint-failover path asks the surviving
+// candidates, server0 adopts from the last replicated snapshot, and the job
+// completes having recomputed at most ~one checkpoint interval.
+TEST(StorageTest, CrashFailoverResumesOnReplicaFromReplicatedCheckpoint) {
+  testkit::ClusterConfig config;
+  config.rating_base = 500.0;
+  testkit::ClusterServerSpec replica;
+  replica.name = "server0";  // must start before the replicating server
+  replica.workers = 2;
+  replica.slowdown_mode = server::SlowdownMode::kSleep;
+  testkit::ClusterServerSpec origin = replica;
+  origin.name = "server1";
+  origin.replicas = {0};
+  origin.checkpoint_interval = 25;
+  config.servers = {replica, origin};
+  config.io_timeout_s = 60.0;
+  config.client_reattach_s = 1.0;  // fail fast: the server will stay dead
+  config.client_checkpoint_failover = true;
+  auto cluster = testkit::TestCluster::start(config);
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+  const net::Endpoint origin_ep = cluster.value()->server(1).endpoint();
+
+  const auto replicated_before = metrics::counter("store.ckpt_replicated_total").value();
+  const auto failover_before = metrics::counter("store.failover_resume_total").value();
+
+  // Submit the long job straight at server1 through the cluster client: pin
+  // placement by talking to a one-candidate agent view is racy, so instead
+  // submit raw to server1 and reattach/fail over via a scripted client.
+  client::ClientConfig cc;
+  cc.agents = {cluster.value()->agent_endpoint()};
+  cc.io_timeout_s = 60.0;
+  cc.reattach_s = 1.0;
+  cc.checkpoint_failover = true;
+  // simwork(800) at rating 500 = ~1.6 s of checkpointable sleep.
+
+  // Drive the solve directly against server1 so the crash provably hits the
+  // job's owner (the agent could have ranked server0 first).
+  auto conn = net::TcpConnection::connect(origin_ep);
+  ASSERT_TRUE(conn.ok()) << conn.error().to_string();
+  proto::SolveRequest req;
+  req.request_id = 7001;
+  req.problem = "simwork";
+  req.args = {DataObject(std::int64_t{800})};
+  {
+    serial::Encoder enc;
+    req.encode(enc);
+    ASSERT_TRUE(net::send_message(
+                    conn.value(),
+                    static_cast<std::uint16_t>(proto::MessageType::kSolveRequest),
+                    enc.take())
+                    .ok());
+  }
+
+  // Wait until at least two checkpoints replicated to server0 and the job is
+  // past 40% (so a from-scratch restart would be detectable).
+  ASSERT_TRUE(eventually(
+      [&] {
+        return metrics::counter("store.ckpt_replicated_total").value() >=
+                   replicated_before + 2 &&
+               cluster.value()->server(0).replica_holds() >= 1;
+      },
+      20.0))
+      << "checkpoints never replicated to the peer";
+  std::uint64_t crash_iteration = 0;
+  ASSERT_TRUE(eventually(
+      [&] {
+        auto probe = client::probe_request(origin_ep, 7001);
+        if (!probe.ok()) return false;
+        crash_iteration = probe.value().iteration;
+        return crash_iteration >= 320;  // 40% of 800
+      },
+      20.0))
+      << "job never reached 40% before the crash";
+
+  // Unclean crash of the job's owner — no drain, no migration, no flush.
+  cluster.value()->crash_server(1);
+
+  // The client-side failover: reattach to the dead server fails, then a
+  // CHECKPOINT_FETCH(adopt) lands on server0, which resumes the job.
+  proto::CheckpointFetch fetch;
+  fetch.request_id = 7001;
+  fetch.adopt = true;
+  serial::Bytes fetch_payload;
+  {
+    serial::Encoder enc;
+    fetch.encode(enc);
+    fetch_payload = enc.take();
+  }
+  auto adopt_conn = net::TcpConnection::connect(cluster.value()->server(0).endpoint());
+  ASSERT_TRUE(adopt_conn.ok()) << adopt_conn.error().to_string();
+  ASSERT_TRUE(net::send_message(
+                  adopt_conn.value(),
+                  static_cast<std::uint16_t>(proto::MessageType::kCheckpointFetch),
+                  fetch_payload)
+                  .ok());
+  auto adopt_reply = net::recv_message(adopt_conn.value(), 10.0);
+  ASSERT_TRUE(adopt_reply.ok()) << adopt_reply.error().to_string();
+  serial::Decoder dec(adopt_reply.value().payload);
+  auto adopted = proto::CheckpointFetchReply::decode(dec);
+  ASSERT_TRUE(adopted.ok()) << adopted.error().to_string();
+  ASSERT_TRUE(adopted.value().found);
+  ASSERT_TRUE(adopted.value().adopted) << "replica refused to adopt";
+  // The adopted snapshot trails the live iteration by at most ~one
+  // checkpoint interval (25) plus one in-flight snapshot.
+  EXPECT_GE(adopted.value().iteration + 2 * origin.checkpoint_interval,
+            crash_iteration)
+      << "replicated snapshot lagged more than a checkpoint interval";
+
+  // The job completes on the replica, resumed mid-stream.
+  auto result = client::wait_for_job(cluster.value()->server(0).endpoint(), 7001,
+                                     /*budget_s=*/30.0);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().error_code, 0u) << result.value().error_message;
+  EXPECT_EQ(cluster.value()->server(0).failover_resumes(), 1u);
+  EXPECT_GE(cluster.value()->server(0).last_resume_iteration(),
+            crash_iteration > 2 * origin.checkpoint_interval
+                ? crash_iteration - 2 * origin.checkpoint_interval
+                : 1u)
+      << "replica restarted from (near) scratch";
+  EXPECT_GT(metrics::counter("store.failover_resume_total").value(), failover_before);
+
+  // Wire accounting ticked on both sides. (No ratio assertion here:
+  // simwork's snapshots are a few bytes, so frame headers dominate — the
+  // compression win is measured on real-sized states in bench_fault.)
+  EXPECT_GT(metrics::counter("store.ckpt_raw_bytes_total").value(), 0u);
+  EXPECT_GT(metrics::counter("store.ckpt_wire_bytes_total").value(), 0u);
+}
+
+// End-to-end: the *client* performs the failover on its own (no hand-rolled
+// FETCH) when the server it was attached to dies mid-call.
+TEST(StorageTest, ClientFailoverChasesReplicaAutomatically) {
+  testkit::ClusterConfig config;
+  config.rating_base = 500.0;
+  testkit::ClusterServerSpec replica;
+  replica.name = "server0";
+  replica.workers = 2;
+  replica.slowdown_mode = server::SlowdownMode::kSleep;
+  // Make server0 look slow to the agent so the ranked list puts server1
+  // (full speed) first and the client's call lands on the replicating
+  // server; server0 stays in the candidate list for the failover walk.
+  replica.speed = 0.25;
+  testkit::ClusterServerSpec origin = replica;
+  origin.name = "server1";
+  origin.speed = 1.0;
+  origin.replicas = {0};
+  config.servers = {replica, origin};
+  config.io_timeout_s = 60.0;
+  config.client_reattach_s = 1.0;
+  config.client_checkpoint_failover = true;
+  auto cluster = testkit::TestCluster::start(config);
+  ASSERT_TRUE(cluster.ok()) << cluster.error().to_string();
+
+  const auto adopt_before = metrics::counter("client.failover_adopt_total").value();
+  const auto replicated_before = metrics::counter("store.ckpt_replicated_total").value();
+
+  auto client = cluster.value()->make_client();
+  auto handle = client.netsl_nb("simwork", {DataObject(std::int64_t{600})});
+
+  // Wait for the job to land on server1 (the fast one) and replicate.
+  const bool on_origin = eventually(
+      [&] {
+        return metrics::counter("store.ckpt_replicated_total").value() >=
+               replicated_before + 1;
+      },
+      20.0);
+  if (!on_origin) {
+    // The agent placed the job on server0 after all (host-speed noise);
+    // nothing to fail over — the call just completes there. Don't fail the
+    // test on scheduler nondeterminism; the previous test pins the
+    // failover mechanics deterministically.
+    auto out = handle.wait();
+    EXPECT_TRUE(out.ok());
+    return;
+  }
+  cluster.value()->crash_server(1);
+
+  auto out = handle.wait();
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_GT(metrics::counter("client.failover_adopt_total").value(), adopt_before)
+      << "client completed without the failover path";
+  EXPECT_GE(cluster.value()->server(0).failover_resumes(), 1u);
+}
+
+}  // namespace
+}  // namespace ns
