@@ -634,6 +634,87 @@ ReplicationCaseResult run_replication_case(bool replication, std::int64_t work_u
   return result;
 }
 
+// ---- E4h: memory pressure — byte-accounted admission + payload spill ----
+
+struct MemPressureResult {
+  double completion_rate = 0;
+  double makespan = 0;
+  std::uint64_t spilled_bytes = 0;
+  std::uint64_t spill_reloads = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t peak_bytes = 0;
+  /// 1 when the accounted high-water mark stayed within the byte budget
+  /// (trivially 1 for the ungoverned baseline).
+  double peak_within_budget = 1.0;
+};
+
+// `jobs` large-payload ddot calls (two 2048-double vectors, ~32 KB of
+// payload each) against one slow single-worker server, the combined offered
+// payload ~3x the governed byte budget. Governed: admission charges every
+// payload, queued-but-cold payloads spill to disk and reload at dispatch,
+// and over-budget admissions shed retryably (the client's deadline budget
+// absorbs them). Ungoverned: the same burst rides through admission
+// unaccounted — the completion baseline the governor must match while
+// bounding memory.
+MemPressureResult run_mempressure_case(bool governed, int jobs) {
+  constexpr std::uint64_t kMemBudget = 256 * 1024;
+  char spill_dir[] = "/tmp/ns_bench_mem_XXXXXX";
+  if (mkdtemp(spill_dir) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  testkit::ClusterConfig config;
+  config.servers = testkit::uniform_pool(1, /*workers=*/1);
+  auto& s = config.servers[0];
+  s.slowdown_mode = server::SlowdownMode::kSleep;
+  // ~40 ms of emulated time per job: payloads must sit queued (and cold)
+  // long enough for the spill watermark to engage.
+  s.speed = 1e-4;
+  if (governed) {
+    s.mem.global_bytes = kMemBudget;
+    s.mem.spill_dir = spill_dir;
+    s.mem.spill_min_bytes = 1024;
+  }
+  config.rating_base = 1000.0;
+  config.client_deadline_s = 30.0;
+  auto cluster = testkit::TestCluster::start(std::move(config));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster failed: %s\n", cluster.error().to_string().c_str());
+    std::exit(1);
+  }
+
+  const auto spilled_before = metrics::counter("mem.spilled_bytes_total").value();
+  const auto reloads_before = metrics::counter("mem.spill_reloads_total").value();
+  const auto shed_before = metrics::counter("mem.shed_total").value();
+
+  constexpr std::size_t kVecDoubles = 2048;
+  const linalg::Vector x(kVecDoubles, 1.0);
+  const linalg::Vector y(kVecDoubles, 2.0);
+  const double expected = 2.0 * static_cast<double>(kVecDoubles);
+  auto client = cluster.value()->make_client();
+  auto farm = bench::run_farm(jobs, kConcurrency, [&](int) {
+    auto out = client.netsl("ddot", {DataObject(x), DataObject(y)});
+    return out.ok() && out.value().size() == 1 &&
+           out.value()[0].as_double() == expected;
+  });
+
+  MemPressureResult result;
+  result.completion_rate =
+      static_cast<double>(jobs - farm.failures) / static_cast<double>(jobs);
+  result.makespan = farm.makespan;
+  result.spilled_bytes = metrics::counter("mem.spilled_bytes_total").value() - spilled_before;
+  result.spill_reloads = metrics::counter("mem.spill_reloads_total").value() - reloads_before;
+  result.shed = metrics::counter("mem.shed_total").value() - shed_before;
+  const auto& governor = cluster.value()->server(0).governor();
+  result.peak_bytes = governor.peak();
+  if (governed) {
+    result.peak_within_budget = governor.peak() <= kMemBudget ? 1.0 : 0.0;
+  }
+  cluster.value()->stop();
+  std::filesystem::remove_all(spill_dir);
+  return result;
+}
+
 std::vector<ChaosCase> chaos_cases() {
   std::vector<ChaosCase> cases;
   cases.push_back({"reset", net::FaultPlan::single(net::FaultMode::kReset, 0.2, 0xbe5e7), false});
@@ -871,6 +952,35 @@ int main(int argc, char** argv) {
   }
   metrics::gauge("bench.fault.e4g.work_mflop").set(static_cast<double>(repl_work));
   metrics::gauge("bench.fault.e4g.jobs").set(repl_jobs);
+
+  bench::banner("E4h", "memory pressure: byte-accounted admission + spill at 3x oversubscription");
+  bench::row("%12s | %9s %10s %10s %8s %6s %8s", "governed", "complete", "makespan",
+             "spilled", "reloads", "shed", "peak<=B");
+  const int mem_jobs = opts.quick ? 12 : 24;
+  for (const bool governed : {false, true}) {
+    const auto r = run_mempressure_case(governed, mem_jobs);
+    bench::row("%12s | %8.0f%% %8.0fms %8.0fKB %8llu %6llu %8s",
+               governed ? "on" : "off", 100.0 * r.completion_rate, r.makespan * 1e3,
+               static_cast<double>(r.spilled_bytes) / 1024.0,
+               static_cast<unsigned long long>(r.spill_reloads),
+               static_cast<unsigned long long>(r.shed),
+               r.peak_within_budget >= 1.0 ? "yes" : "NO");
+    const std::string base = std::string("bench.fault.e4h.") + (governed ? "on" : "off");
+    metrics::gauge(base + ".completion_rate").set(r.completion_rate);
+    metrics::gauge(base + ".makespan_s").set(r.makespan);
+    metrics::gauge(base + ".spilled_bytes").set(static_cast<double>(r.spilled_bytes));
+    metrics::gauge(base + ".spill_reloads").set(static_cast<double>(r.spill_reloads));
+    metrics::gauge(base + ".shed").set(static_cast<double>(r.shed));
+    metrics::gauge(base + ".peak_bytes").set(static_cast<double>(r.peak_bytes));
+    metrics::gauge(base + ".peak_within_budget").set(r.peak_within_budget);
+  }
+  metrics::gauge("bench.fault.e4h.budget_bytes").set(256.0 * 1024.0);
+  metrics::gauge("bench.fault.e4h.jobs").set(mem_jobs);
+  bench::row("");
+  bench::row("expected shape: governed completion matches the ungoverned baseline while");
+  bench::row("  the accounted high-water mark stays within the 256 KB budget; spill absorbs");
+  bench::row("  the queued payloads (spilled > 0, reloads > 0) and the remainder sheds");
+  bench::row("  retryably instead of growing the heap");
 
   metrics::gauge("bench.fault.jobs").set(g_jobs);
   metrics::gauge("bench.fault.concurrency").set(kConcurrency);

@@ -43,6 +43,16 @@
 //     max_connections=1024 accepted-connection cap (idle LRU evicted, then
 //                          dials shed with transport BUSY + retry_after)
 //     retry_after=0.25     back-off hint stamped into BUSY sheds, seconds
+//     mem_budget=0         process-wide byte budget across queued payloads,
+//                          running working sets and the replica store
+//                          (0 = ungoverned); over-budget admissions shed
+//                          retryably instead of growing the heap
+//     mem_per_job=0        largest payload + working set one job may account
+//                          for (0 = bounded only by mem_budget)
+//     spill_dir=path       spill queued-but-cold payloads to disk here and
+//                          reload them at dispatch (empty = keep in RAM)
+//     replica_budget=67108864  checkpoint replica store byte cap; entries
+//                          past it are evicted largest-first
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -136,6 +146,14 @@ int main(int argc, char** argv) {
       "max_connections", static_cast<std::int64_t>(server_config.guard.max_connections)));
   server_config.guard.retry_after_s =
       config.value().get_double_or("retry_after", server_config.guard.retry_after_s);
+  server_config.mem.global_bytes = static_cast<std::uint64_t>(
+      config.value().get_int_or("mem_budget", 0));
+  server_config.mem.per_job_bytes = static_cast<std::uint64_t>(
+      config.value().get_int_or("mem_per_job", 0));
+  server_config.mem.spill_dir = config.value().get_or("spill_dir", "");
+  server_config.mem.replica_budget_bytes = static_cast<std::uint64_t>(
+      config.value().get_int_or(
+          "replica_budget", static_cast<std::int64_t>(server_config.mem.replica_budget_bytes)));
   const double runtime = config.value().get_double_or("runtime", 0.0);
 
   auto server = server::ComputeServer::start(std::move(server_config));

@@ -392,6 +392,8 @@ void Agent::refresh_server_gauges() {
     metrics::gauge(base + "alive").set(record.alive ? 1.0 : 0.0);
     metrics::gauge(base + "sojourn_p95_s").set(record.sojourn_p95_s);
     metrics::gauge(base + "free_slots").set(record.free_slots);
+    metrics::gauge(base + "mem_free_bytes").set(record.mem_free_bytes);
+    metrics::gauge(base + "spill_active").set(static_cast<double>(record.spill_active));
   }
   metrics::gauge("agent.alive_servers").set(static_cast<double>(registry_.alive_count()));
   {

@@ -10,6 +10,12 @@ RequestProfile profile_request(const dsl::ProblemSpec& spec, std::uint64_t size_
   profile.flops = spec.complexity.flops(static_cast<std::size_t>(std::max<std::uint64_t>(size_hint, 1)));
   profile.input_bytes = input_bytes;
   profile.output_bytes = output_bytes;
+  // Resident footprint at the server: the decoded operands plus a result
+  // of comparable size — the same 2x the server's own working-set estimate
+  // uses, so the agent's feasibility check and the server's admission gate
+  // agree about which requests fit.
+  profile.mem_bytes =
+      2.0 * (static_cast<double>(input_bytes) + static_cast<double>(output_bytes));
   return profile;
 }
 
@@ -58,6 +64,23 @@ double predict_seconds(const ServerRecord& server, const RequestProfile& profile
   // is the configured steady state, not a fault.
   if (server.durable == 0) {
     t *= 4.0;
+  }
+
+  // Memory feasibility: a server whose reported MemGovernor headroom cannot
+  // fit this request's operands would only shed it (mem.shed_total) and
+  // cost the client a retry — rank it out, additively like the other
+  // unusable-server cases so it still sorts ahead of dead servers when the
+  // whole pool is full. mem_free_bytes < 0 means "ungoverned / pre-field"
+  // and is left alone; that is the configured steady state, not pressure.
+  if (server.mem_free_bytes >= 0.0 && profile.mem_bytes > 0.0 &&
+      profile.mem_bytes > server.mem_free_bytes) {
+    t += kPenalty;
+  }
+  // A server actively spilling payloads to disk still completes work, but
+  // every queued job pays a disk round trip — mild multiplicative
+  // de-preference, same shape as the durability steering above.
+  if (server.spill_active == 1) {
+    t *= 2.0;
   }
   return t;
 }

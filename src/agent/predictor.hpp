@@ -23,6 +23,11 @@ struct RequestProfile {
   double flops = 0.0;             // complexity model output for this request
   std::uint64_t input_bytes = 0;
   std::uint64_t output_bytes = 0;
+  /// Estimated resident operand footprint at the server: payload plus a
+  /// result of comparable size. Compared against the candidate's reported
+  /// MemGovernor headroom (ServerRecord::mem_free_bytes) — a server that
+  /// cannot fit the operands would only shed the request.
+  double mem_bytes = 0.0;
 };
 
 /// Build a profile from a spec and the client's query metadata.

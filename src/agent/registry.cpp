@@ -127,6 +127,8 @@ void ServerRegistry::update_workload(const proto::WorkloadReport& report) {
   it->second.sojourn_p95_s = report.sojourn_p95_s;
   it->second.free_slots = report.free_slots;
   it->second.durable = report.durable;
+  it->second.mem_free_bytes = report.mem_free_bytes;
+  it->second.spill_active = report.spill_active;
   it->second.last_report_time = now_seconds();
   // A workload report proves the process is up, but a quarantined server
   // stays quarantined: its failures were observed on the client path, which

@@ -50,6 +50,13 @@ struct ServerRecord {
   /// fail-stopped (degraded), -1 = not journaling / pre-field server. The
   /// predictor de-prefers degraded servers for checkpointable work.
   int durable = -1;
+  /// Memory headroom from the latest workload report: free bytes under the
+  /// server's MemGovernor budget, -1 = ungoverned / pre-field server. The
+  /// predictor ranks out servers that cannot fit a request's operands.
+  double mem_free_bytes = -1.0;
+  /// Payload-spill ternary mirroring `durable`: 1 = actively paging queued
+  /// payloads to disk, 0 = spill configured and idle, -1 = off / pre-field.
+  int spill_active = -1;
 
   // Client-observed network estimates, EWMA-updated from MetricsReports.
   double latency_s = 0.0;

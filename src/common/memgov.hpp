@@ -1,0 +1,252 @@
+// Process memory governance: byte-accounted admission, payload spill, and
+// allocation-fault injection.
+//
+// Memory is the last ungoverned resource: the transport guards buffered
+// bytes (net.guard.*), the disk has fault armor (common/vfs.hpp), but a
+// burst of large-matrix solves — the dominant NetSolve workload — used to
+// ride through admission unaccounted and kill the server by OOM instead of
+// backpressure. This layer closes that gap with three pieces:
+//
+//   MemGovernor        -- a budgeted byte account in the clamp-subtract
+//                         style of Reactor::track_buffered. Every queued
+//                         payload, running working set, and replica-store
+//                         entry is charged before the bytes exist; a charge
+//                         that does not fit is refused and the caller sheds
+//                         retryably (mem.shed_total) instead of allocating.
+//
+//   SpillStore         -- queued-but-cold job payloads written to disk
+//                         through the vfs seam (so storage-fault plans hit
+//                         them too), CRC-guarded, reloaded at dispatch.
+//                         A write failure degrades the store to in-RAM-only;
+//                         it never takes a job down.
+//
+//   AllocFaultInjector -- scriptable std::bad_alloc trip points, the
+//                         allocation analogue of net::FaultInjector and
+//                         vfs::StorageFaultInjector. Hardened frame-read and
+//                         dispatch paths call mem::alloc_trip(site) where
+//                         they are about to allocate from untrusted sizes;
+//                         tests arm a plan per site name and assert the
+//                         failure converts into a counted retryable shed,
+//                         never std::terminate.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ns::mem {
+
+/// Memory budgets and spill policy for one server process. All byte fields
+/// use 0 = unlimited; with global_bytes == 0 the governor still tracks
+/// accounted bytes (for the workload report) but never refuses a charge.
+struct MemBudgetConfig {
+  /// Process-wide budget across queued payloads, running working sets, and
+  /// replica-store entries.
+  std::uint64_t global_bytes = 0;
+  /// Largest payload + working set a single job may account for. Jobs that
+  /// can never fit are shed at admission rather than queued forever.
+  /// 0 = bounded only by global_bytes.
+  std::uint64_t per_job_bytes = 0;
+  /// Byte bound for the checkpoint replica store (entries evicted
+  /// largest-first when exceeded; see ComputeServer::accept_checkpoint).
+  std::uint64_t replica_budget_bytes = 64ull << 20;
+  /// Spill directory for queued-but-cold payloads (empty = spill off).
+  std::string spill_dir;
+  /// Payloads smaller than this stay in RAM — a 200-byte request is not
+  /// worth a disk round trip.
+  std::uint64_t spill_min_bytes = 64 * 1024;
+  /// With a global budget, spill engages once accounted bytes pass this
+  /// fraction of it; an ungoverned server with a spill_dir spills every
+  /// eligible queued payload.
+  double spill_watermark = 0.5;
+  /// Working-set estimate for a job: factor * payload bytes, floored.
+  /// Dense kernels touch each operand plus a result of comparable size,
+  /// hence the default 2x.
+  double working_set_factor = 2.0;
+  std::uint64_t working_set_floor_bytes = 16 * 1024;
+};
+
+/// Byte account with a hard budget. Thread-safe and lock-free: charges are
+/// CAS loops that refuse to overshoot, releases clamp at zero (the
+/// track_buffered idiom), and a peak watermark records the high-water
+/// accounted bytes for the budget-invariant assertion in tests.
+class MemGovernor {
+ public:
+  MemGovernor() = default;
+  explicit MemGovernor(const MemBudgetConfig& config) { configure(config); }
+
+  void configure(const MemBudgetConfig& config) {
+    global_ = config.global_bytes;
+    per_job_ = config.per_job_bytes;
+  }
+
+  bool governed() const noexcept { return global_ > 0; }
+  std::uint64_t budget() const noexcept { return global_; }
+  /// The effective single-job cap: per_job_bytes clamped to the global
+  /// budget (a job larger than the whole budget can never fit).
+  std::uint64_t per_job_budget() const noexcept {
+    if (global_ == 0) return per_job_;
+    if (per_job_ == 0 || per_job_ > global_) return global_;
+    return per_job_;
+  }
+
+  /// Charge `bytes` if the result stays within budget. Ungoverned
+  /// accounts always succeed but still track the total.
+  bool try_charge(std::uint64_t bytes) noexcept {
+    std::uint64_t cur = accounted_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (global_ != 0 && (cur + bytes > global_ || cur + bytes < cur)) return false;
+      if (accounted_.compare_exchange_weak(cur, cur + bytes, std::memory_order_relaxed)) break;
+    }
+    note_peak(cur + bytes);
+    return true;
+  }
+
+  /// Unconditional charge — the progress-guarantee escape hatch for an idle
+  /// server whose head-of-line job must run even if queued payloads hold
+  /// the budget. May push accounted past budget; callers count it.
+  void charge_forced(std::uint64_t bytes) noexcept {
+    const std::uint64_t now = accounted_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    note_peak(now);
+  }
+
+  /// Release a prior charge, clamped at zero (never underflows even if a
+  /// release races a forced overshoot correction).
+  void release(std::uint64_t bytes) noexcept {
+    std::uint64_t cur = accounted_.load(std::memory_order_relaxed);
+    while (!accounted_.compare_exchange_weak(cur, cur - std::min(cur, bytes),
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t accounted() const noexcept {
+    return accounted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak() const noexcept { return peak_.load(std::memory_order_relaxed); }
+  /// Free budget (0 when ungoverned overshoot leaves none).
+  std::uint64_t headroom() const noexcept {
+    const std::uint64_t used = accounted();
+    return global_ > used ? global_ - used : 0;
+  }
+
+ private:
+  void note_peak(std::uint64_t now) noexcept {
+    std::uint64_t prev = peak_.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t global_ = 0;
+  std::uint64_t per_job_ = 0;
+  std::atomic<std::uint64_t> accounted_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// Disk parking lot for queued-but-cold payloads. All I/O goes through the
+/// vfs wrappers so storage-fault plans armed on the spill directory hit it;
+/// files are CRC-guarded so a rotted reload is detected (the caller sheds
+/// the job retryably) rather than silently computing on garbage.
+class SpillStore {
+ public:
+  SpillStore() = default;
+
+  /// Set (or clear) the spill directory. Creates it; a directory that
+  /// cannot be created leaves the store disabled.
+  void configure(const std::string& dir);
+
+  bool enabled() const noexcept {
+    return !degraded_.load(std::memory_order_relaxed) && !dir_.empty();
+  }
+  bool degraded() const noexcept { return degraded_.load(std::memory_order_relaxed); }
+  /// A later write failure permanently degrades the store to in-RAM-only
+  /// (mem.spill_degraded); the governor keeps payloads charged instead.
+  void degrade() noexcept { degraded_.store(true, std::memory_order_relaxed); }
+
+  /// Persist `bytes` under `id` (tmp write + rename, fsynced). On any I/O
+  /// failure the store degrades and the error returns — the caller keeps
+  /// the payload in RAM.
+  Status save(std::uint64_t id, const std::vector<std::uint8_t>& bytes);
+  /// Read back a spilled payload, verifying length and CRC.
+  Result<std::vector<std::uint8_t>> load(std::uint64_t id) const;
+  /// Drop the spill file (idempotent; missing files are fine).
+  void remove(std::uint64_t id) const;
+
+ private:
+  std::string path_for(std::uint64_t id) const;
+
+  std::string dir_;
+  std::atomic<bool> degraded_{false};
+};
+
+/// One scripted allocation-failure rule: fire at trip points whose site
+/// name starts with `site` (empty = every site).
+struct AllocFaultRule {
+  std::string site;
+  double probability = 1.0;
+  /// Stop firing after this many triggers (-1 = unbounded).
+  int max_triggers = -1;
+};
+
+/// A seeded schedule of allocation faults, the bad_alloc analogue of
+/// vfs::StorageFaultPlan.
+struct AllocFaultPlan {
+  std::uint64_t seed = 0xa110c;
+  std::vector<AllocFaultRule> rules;
+
+  static AllocFaultPlan single(std::string site, double probability = 1.0,
+                               int max_triggers = -1, std::uint64_t seed = 0xa110c) {
+    AllocFaultPlan plan;
+    plan.seed = seed;
+    plan.rules.push_back(AllocFaultRule{std::move(site), probability, max_triggers});
+    return plan;
+  }
+};
+
+/// Process-global registry of armed allocation-fault plans. Cheap when
+/// disarmed: trip points check one relaxed atomic before taking any lock.
+class AllocFaultInjector {
+ public:
+  static AllocFaultInjector& instance();
+
+  void arm(AllocFaultPlan plan);
+  void disarm_all();
+
+  bool armed() const noexcept { return armed_.load(std::memory_order_relaxed); }
+  /// Total faults triggered since the last disarm_all (test assertions).
+  std::uint64_t triggered_count() const noexcept { return triggered_.load(); }
+
+  /// True when an armed rule fires for this trip-point site.
+  bool should_fail(std::string_view site);
+
+ private:
+  struct RuleState {
+    AllocFaultRule rule;
+    int fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<RuleState> rules_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> triggered_{0};
+};
+
+/// Trip point: throws std::bad_alloc when an armed rule fires for `site`.
+/// Placed immediately before allocations sized from untrusted input, so
+/// tests can prove the surrounding catch converts the failure into a
+/// counted retryable shed.
+inline void alloc_trip(std::string_view site) {
+  auto& injector = AllocFaultInjector::instance();
+  if (injector.armed() && injector.should_fail(site)) throw std::bad_alloc();
+}
+
+}  // namespace ns::mem

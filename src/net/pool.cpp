@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "common/clock.hpp"
+#include "common/memgov.hpp"
 #include "common/metrics.hpp"
 #include "net/fault.hpp"
 #include "serial/frame.hpp"
@@ -343,9 +344,28 @@ void MuxChannel::reader_loop() {
       poison(header.error());
       return;
     }
+    if (header.value().length > ConnectionPool::instance().config().max_frame_bytes) {
+      // Client-role frame cap: a shared mux socket buffers replies for many
+      // concurrent callers, so one hostile length claim would charge them
+      // all. Reject before allocating and poison — the oversized body is
+      // still in the stream, so the channel cannot be re-framed.
+      metrics::counter("net.guard.oversized_total").inc();
+      poison(make_error(ErrorCode::kProtocol, "frame exceeds client payload cap"));
+      return;
+    }
     Message msg;
     msg.type = header.value().type;
-    msg.payload.resize(header.value().length);
+    try {
+      mem::alloc_trip("net.mux_read");
+      msg.payload.resize(header.value().length);
+    } catch (const std::bad_alloc&) {
+      // Allocation pressure is retryable overload, not peer failure: pending
+      // callers back off and redial instead of tearing the process down.
+      metrics::counter("mem.bad_alloc_total").inc();
+      poison(make_error(ErrorCode::kServerOverloaded,
+                        "allocation failed buffering mux frame"));
+      return;
+    }
     std::size_t got = 0;
     while (got < msg.payload.size()) {
       const std::size_t chunk = std::min<std::size_t>(64 * 1024, msg.payload.size() - got);
@@ -393,7 +413,8 @@ Result<Message> pool_round_trip(const Endpoint& remote, std::uint16_t type,
   auto lease = ConnectionPool::instance().lease(remote, dial_timeout_s);
   if (!lease.ok()) return lease.error();
   NS_RETURN_IF_ERROR(send_message(lease.value().conn(), type, payload, shape));
-  auto reply = recv_message(lease.value().conn(), timeout_s);
+  auto reply = recv_message(lease.value().conn(), timeout_s,
+                            ConnectionPool::instance().config().max_frame_bytes);
   if (!reply.ok()) return reply.error();  // lease destructor discards
   if (reply.value().type == kTransportBusyType) {
     // The peer's accept governor shed this dial. Honor the retry-after as a

@@ -62,6 +62,10 @@ struct PoolConfig {
   double idle_timeout_s = 2.5;
   /// Idle connections kept per endpoint beyond which release() discards.
   std::size_t max_idle_per_endpoint = 8;
+  /// Client-role frame cap applied to every pooled reply (lease round trips
+  /// and mux reader alike) before the payload is buffered. Oversized claims
+  /// count in net.guard.oversized_total and poison/discard the connection.
+  std::size_t max_frame_bytes = kClientMaxFrameBytes;
 };
 
 class ConnectionPool;

@@ -16,6 +16,7 @@
 #include <cstring>
 
 #include "common/clock.hpp"
+#include "common/memgov.hpp"
 #include "common/metrics.hpp"
 #include "net/fault.hpp"
 
@@ -567,7 +568,16 @@ void Reactor::handle_readable(const ReactorConnPtr& conn) {
   bool eof = false;
   while (read_total < kMaxReadPerEvent) {
     const std::size_t old_size = conn->rdbuf_.size();
-    conn->rdbuf_.resize(old_size + kReadChunk);
+    try {
+      mem::alloc_trip("net.reactor_read");
+      conn->rdbuf_.resize(old_size + kReadChunk);
+    } catch (const std::bad_alloc&) {
+      // Growing one connection's read buffer failed: shed that connection,
+      // never the daemon. The loop thread must not unwind through epoll.
+      metrics::counter("mem.bad_alloc_total").inc();
+      eof = true;
+      break;
+    }
     const ssize_t n = ::recv(conn->fd_, conn->rdbuf_.data() + old_size, kReadChunk, 0);
     if (n > 0) {
       conn->rdbuf_.resize(old_size + static_cast<std::size_t>(n));

@@ -1,5 +1,7 @@
 #include "net/transport.hpp"
 
+#include "common/memgov.hpp"
+#include "common/metrics.hpp"
 #include "net/fault.hpp"
 
 namespace ns::net {
@@ -80,15 +82,29 @@ double decode_busy_retry_after(const serial::Bytes& payload, double fallback) {
   return v.value();
 }
 
-Result<Message> recv_message(TcpConnection& conn, double timeout_secs) {
+Result<Message> recv_message(TcpConnection& conn, double timeout_secs,
+                             std::size_t max_payload) {
   std::uint8_t header_bytes[serial::kHeaderSize];
   NS_RETURN_IF_ERROR(conn.recv_all(header_bytes, sizeof(header_bytes), timeout_secs));
   auto header = serial::decode_header(header_bytes);
   if (!header.ok()) return header.error();
+  if (header.value().length > max_payload) {
+    // Role frame cap, mirror of the reactor's: the claim is rejected before
+    // the allocation it would cost, and the connection is unusable anyway
+    // (the oversized body would still be in the stream).
+    metrics::counter("net.guard.oversized_total").inc();
+    return make_error(ErrorCode::kProtocol, "frame exceeds client payload cap");
+  }
 
   Message msg;
   msg.type = header.value().type;
-  msg.payload.resize(header.value().length);
+  try {
+    mem::alloc_trip("net.recv");
+    msg.payload.resize(header.value().length);
+  } catch (const std::bad_alloc&) {
+    metrics::counter("mem.bad_alloc_total").inc();
+    return make_error(ErrorCode::kServerOverloaded, "allocation failed buffering frame");
+  }
   if (header.value().length > 0) {
     NS_RETURN_IF_ERROR(conn.recv_all(msg.payload.data(), msg.payload.size(), timeout_secs));
   }

@@ -30,11 +30,23 @@ serial::Bytes encode_busy_payload(double retry_after_s);
 /// Parse a kTransportBusyType payload; malformed payloads yield `fallback`.
 double decode_busy_retry_after(const serial::Bytes& payload, double fallback = 0.25);
 
+/// Client-role frame cap: the largest payload a reply may claim before the
+/// client buffers a byte of it. Servers already enforce a per-role cap at
+/// their reactor (GuardConfig::max_frame_bytes); this is the mirror for the
+/// dial-out side, where a hostile or corrupted peer could otherwise make a
+/// client allocate up to the 1 GiB absolute frame limit from a 16-byte
+/// header. Large enough for any legitimate result matrix, small enough that
+/// one bad header cannot take out the process.
+inline constexpr std::size_t kClientMaxFrameBytes = 256u << 20;  // 256 MiB
+
 /// Serialize `payload` under `type` and send it as one frame, shaped.
 Status send_message(TcpConnection& conn, std::uint16_t type, const serial::Bytes& payload,
                     const LinkShape& shape = LinkShape::unshaped());
 
 /// Receive one complete frame; validates magic, version, size and CRC.
-Result<Message> recv_message(TcpConnection& conn, double timeout_secs);
+/// Payloads over `max_payload` are rejected at header-decode time (counted
+/// in net.guard.oversized_total) before any buffering.
+Result<Message> recv_message(TcpConnection& conn, double timeout_secs,
+                             std::size_t max_payload = kClientMaxFrameBytes);
 
 }  // namespace ns::net

@@ -103,6 +103,8 @@ void WorkloadReport::encode(serial::Encoder& enc) const {
   enc.put_f64(sojourn_p95_s);
   enc.put_f64(free_slots);
   enc.put_i32(durable);
+  enc.put_f64(mem_free_bytes);
+  enc.put_i32(spill_active);
 }
 
 Result<WorkloadReport> WorkloadReport::decode(serial::Decoder& dec) {
@@ -130,6 +132,14 @@ Result<WorkloadReport> WorkloadReport::decode(serial::Decoder& dec) {
   auto durable = dec.get_i32();
   if (!durable.ok()) return durable.error();
   msg.durable = durable.value();
+  // Memory-pressure fields are the latest trailing addition.
+  if (dec.exhausted()) return msg;
+  auto mem_free = dec.get_f64();
+  if (!mem_free.ok()) return mem_free.error();
+  msg.mem_free_bytes = mem_free.value();
+  auto spill = dec.get_i32();
+  if (!spill.ok()) return spill.error();
+  msg.spill_active = spill.value();
   return msg;
 }
 

@@ -116,6 +116,16 @@ struct WorkloadReport {
   /// agent de-prefers durable=0 servers for checkpointable work. Trailing
   /// optional field.
   int durable = -1;
+  /// Free memory headroom in bytes under the server's MemGovernor budget.
+  /// -1 = ungoverned / old peer that never sent the field. The predictor
+  /// ranks out servers whose headroom cannot fit a job's operands. Trailing
+  /// optional field.
+  double mem_free_bytes = -1.0;
+  /// Payload spill ternary, mirroring `durable`: 1 = payloads currently
+  /// parked on disk (the server is paging — slower but alive), 0 = spill
+  /// configured and idle, -1 = spill off / old peer. Trailing optional
+  /// field.
+  int spill_active = -1;
 
   void encode(serial::Encoder& enc) const;
   static Result<WorkloadReport> decode(serial::Decoder& dec);

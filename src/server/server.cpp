@@ -13,6 +13,7 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "dsl/specfile.hpp"
+#include "dsl/value.hpp"
 #include "linalg/rating.hpp"
 #include "net/pool.hpp"
 #include "server/builtin_problems.hpp"
@@ -131,6 +132,17 @@ ComputeServer::ServerMetrics::ServerMetrics(const std::string& name)
       store_ckpt_wire_bytes(metrics::counter("store.ckpt_wire_bytes_total")),
       store_failover_resume(metrics::counter("store.failover_resume_total")),
       store_degraded(metrics::gauge("store." + name + ".degraded")),
+      mem_shed(metrics::counter("mem.shed_total")),
+      mem_spilled_bytes(metrics::counter("mem.spilled_bytes_total")),
+      mem_spill_reloads(metrics::counter("mem.spill_reloads_total")),
+      mem_spill_reload_errors(metrics::counter("mem.spill_reload_errors_total")),
+      mem_bad_alloc(metrics::counter("mem.bad_alloc_total")),
+      mem_replica_evicted(metrics::counter("mem.replica_evicted_total")),
+      mem_forced_charge(metrics::counter("mem.forced_charge_total")),
+      mem_accounted(metrics::gauge("mem." + name + ".accounted_bytes")),
+      mem_peak(metrics::gauge("mem." + name + ".peak_bytes")),
+      mem_budget(metrics::gauge("mem." + name + ".budget_bytes")),
+      mem_spill_active(metrics::gauge("mem." + name + ".spill_active")),
       queue_wait_s(metrics::histogram("server.queue_wait_s")),
       queue_sojourn_s(metrics::histogram("server.queue_sojourn_s")),
       compute_s(metrics::histogram("server.compute_s")),
@@ -153,6 +165,9 @@ ComputeServer::ComputeServer(ServerConfig config, net::TcpListener listener,
   endpoint_ = listener_.endpoint();
   concurrency_limit_f_ = static_cast<double>(config_.workers);
   metrics_.concurrency_limit.set(static_cast<double>(config_.workers));
+  governor_.configure(config_.mem);
+  spill_.configure(config_.mem.spill_dir);
+  metrics_.mem_budget.set(static_cast<double>(config_.mem.global_bytes));
   for (const auto& agent : config_.agents) {
     agent_links_.push_back(AgentLink{agent});
   }
@@ -412,6 +427,20 @@ void ComputeServer::dispatch_locked() {
       continue;
     }
 
+    // Memory gate: charge the working set (plus any spilled payload about
+    // to be re-materialized) before granting the slot. When the charge does
+    // not fit, stop dispatching — a completion will release bytes and rerun
+    // this loop; EDF order is preserved by blocking on the head. Progress
+    // guarantee: an otherwise-idle server force-charges its head-of-line
+    // job (counted, may overshoot the budget) rather than deadlocking
+    // against queued payloads that hold the budget.
+    const std::uint64_t need = entry->ws_bytes + entry->spilled_bytes;
+    if (need > 0 && !governor_.try_charge(need)) {
+      if (running_jobs_ > 0) break;
+      governor_.charge_forced(need);
+      metrics_.mem_forced_charge.inc();
+    }
+    entry->granted_bytes = need;
     wait_queue_.erase(it);
     entry->ready = true;
     ++running_jobs_;
@@ -515,7 +544,21 @@ bool ComputeServer::handle_solve(const net::ReactorConnPtr& conn,
   const auto solve_result = static_cast<std::uint16_t>(MessageType::kSolveResult);
   serial::Decoder dec(payload);
   const Stopwatch since_receipt;
-  auto request = proto::SolveRequest::decode(dec);
+  // Decoding materializes the full argument set from untrusted bytes — the
+  // single largest allocation on the request path. An allocation failure
+  // here (real pressure or an armed mem::AllocFaultPlan) must convert into
+  // a counted connection drop the client retries elsewhere, never
+  // std::terminate.
+  auto request = [&]() -> Result<proto::SolveRequest> {
+    try {
+      mem::alloc_trip("server.solve_decode");
+      return proto::SolveRequest::decode(dec);
+    } catch (const std::bad_alloc&) {
+      metrics_.mem_bad_alloc.inc();
+      return make_error(ErrorCode::kServerOverloaded,
+                        "allocation failed decoding request");
+    }
+  }();
   proto::SolveResult result;
   if (!request.ok()) {
     result.error_code = static_cast<std::uint16_t>(request.error().code);
@@ -608,6 +651,8 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
 
   const Stopwatch queue_watch;
   const double est_service = estimate_service_seconds(request);
+  job->payload_bytes = dsl::args_byte_size(request.args);
+  job->ws_bytes = estimate_working_set_bytes(request);
   WaitEntry entry;
   {
     std::unique_lock<std::mutex> lock(jobs_mu_);
@@ -668,6 +713,38 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
         return result;
       }
     }
+    // Memory admission: the payload is charged to the governor before the
+    // job may queue (the bytes already exist in RAM — the account must say
+    // so), and a job whose payload + working set exceed the per-job budget
+    // can never run here, so queueing it would only waste its deadline.
+    // Both refusals shed retryably with a backpressure hint: the agent
+    // already de-prefers this server (mem_free_bytes in workload reports),
+    // so the client's retry lands on a peer with headroom. Recovered and
+    // transferred-in jobs charge unconditionally — shedding them would
+    // break the durability contract.
+    if (job->mem_charged_bytes == 0 && job->payload_bytes > 0) {
+      const std::uint64_t need = job->payload_bytes + job->ws_bytes;
+      const std::uint64_t cap = governor_.per_job_budget();
+      const bool oversized = governor_.governed() && need > cap;
+      if (!job->readmit && (oversized || !governor_.try_charge(job->payload_bytes))) {
+        result.retry_after_s = retry_after_locked();
+        lock.unlock();
+        mem_shed_.fetch_add(1);
+        metrics_.mem_shed.inc();
+        mem_dirty_.store(true);
+        result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+        result.error_message =
+            oversized ? "memory governor: payload + working set exceed per-job budget"
+                      : "memory governor: payload does not fit the budget";
+        finish_job(job, result);
+        return result;
+      }
+      if (job->readmit && !governor_.try_charge(job->payload_bytes)) {
+        governor_.charge_forced(job->payload_bytes);
+        metrics_.mem_forced_charge.inc();
+      }
+      job->mem_charged_bytes += job->payload_bytes;
+    }
     // Admit into the EDF wait queue. With EDF off the key degenerates to
     // the arrival sequence number, i.e. plain FIFO. No-deadline jobs sort
     // last under EDF (deadline_abs ~ +inf) — they can afford to wait.
@@ -678,6 +755,7 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
                              : 1e300;
     entry.est_service_s = est_service;
     entry.client_id = request.client_id;
+    entry.ws_bytes = job->ws_bytes;
     entry.key = {adm.edf ? entry.deadline_abs : 0.0, queue_seq_++};
     job->deadline_abs = entry.deadline_abs;
     wait_queue_.emplace(entry.key, &entry);
@@ -685,6 +763,27 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
     ++waiting_jobs_;
     metrics_.queue_depth.set(waiting_jobs_);
     dispatch_locked();
+    // Queued-but-cold payload spill: a job the dispatcher did not grant
+    // immediately parks its encoded request on disk (through the vfs seam)
+    // and releases the RAM charge, so the budget funds *running* jobs
+    // instead of queue ballast. The I/O happens with jobs_mu_ dropped;
+    // a grant or drop that raced the spill simply leaves the payload
+    // charged and the wake path reloads it right away.
+    if (!entry.ready && !entry.dropped && should_spill_locked(*job)) {
+      lock.unlock();
+      const bool parked = spill_job(job);
+      lock.lock();
+      if (parked && !entry.ready && !entry.dropped && !stopping_.load() &&
+          !job->token.cancelled()) {
+        governor_.release(job->payload_bytes);
+        job->mem_charged_bytes -= std::min<std::uint64_t>(job->mem_charged_bytes,
+                                                          job->payload_bytes);
+        entry.spilled_bytes = job->payload_bytes;
+        // The freed bytes may be exactly what the memory-blocked head of
+        // the queue was waiting for.
+        dispatch_locked();
+      }
+    }
     jobs_cv_.wait(lock, [this, &job, &entry] {
       return entry.ready || entry.dropped || stopping_.load() || job->token.cancelled();
     });
@@ -696,6 +795,9 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
         waiting_by_client_.erase(used);
       }
     }
+    // Whatever happens next, the dispatcher's grant-time charge is now this
+    // job's to release (release_job_memory on every terminal path).
+    job->mem_charged_bytes += entry.granted_bytes;
     if (!entry.ready && !entry.dropped) {
       // Woken by stop or cancel while still queued: unlink our stack
       // entry before the dispatcher can hand out a dangling pointer.
@@ -711,6 +813,7 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
       // indistinguishable from a crash for queued jobs, and replay will
       // re-admit them — exactly what a durable queue is for.
       lock.unlock();
+      release_job_memory(job);
       erase_active_job(job, result.request_id);
       return std::nullopt;
     }
@@ -743,6 +846,30 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
       return result;
     }
     job->queued.store(false);
+  }
+  // Re-materialize a spilled payload before touching the kernel: the
+  // dispatcher already charged the bytes at grant, so the reload cannot
+  // overrun the budget. A reload failure (storage fault, bit rot, injected
+  // bad_alloc) gives the slot back and sheds retryably — the client's
+  // resubmission carries the payload again.
+  if (job->spilled) {
+    if (auto reloaded = reload_spilled(job); !reloaded.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        --running_jobs_;
+        dispatch_locked();
+      }
+      metrics_.mem_spill_reload_errors.inc();
+      mem_shed_.fetch_add(1);
+      metrics_.mem_shed.inc();
+      NS_WARN("server") << config_.name << " spill reload failed for request "
+                        << result.request_id << ": "
+                        << reloaded.error().to_string();
+      result.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+      result.error_message = "memory governor: spill reload failed";
+      finish_job(job, result);
+      return result;
+    }
   }
   const double queue_wait = queue_watch.elapsed();
   result.queue_seconds = queue_wait;
@@ -800,13 +927,24 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
   }
 
   const Stopwatch watch;
-  Result<std::vector<dsl::DataObject>> outputs = [&] {
+  Result<std::vector<dsl::DataObject>> outputs =
+      [&]() -> Result<std::vector<dsl::DataObject>> {
     // Bind the job's tokens for this thread: the kernels' checkpoints (and
     // the simwork/busywork slices) poll the cancel token and unwind with
     // kCancelled, and tick the checkpoint token at the same loop heads.
     cancel::ScopedToken bound(&job->token);
     checkpoint::ScopedToken ckpt_bound(&job->ckpt);
-    return registry_.execute(request.problem, request.args);
+    // Kernels allocate result operands sized by the problem; a bad_alloc
+    // here (or an armed trip point) is an overload condition the client
+    // should retry elsewhere, not a process abort.
+    try {
+      mem::alloc_trip("server.execute");
+      return registry_.execute(request.problem, request.args);
+    } catch (const std::bad_alloc&) {
+      metrics_.mem_bad_alloc.inc();
+      return make_error(ErrorCode::kServerOverloaded,
+                        "allocation failed during execute");
+    }
   }();
   double elapsed = watch.elapsed();
   // Heterogeneity emulation: a speed-s server takes 1/s as long, and a
@@ -834,6 +972,11 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
     }
   }
 
+  // Release the byte account *before* freeing the slot: the dispatch below
+  // runs with running_jobs_ back at 0 when this was the only job, and must
+  // see this job's bytes gone or it would force-charge the next grant past
+  // the budget. Idempotent — finish_job / the crash path release again.
+  release_job_memory(job);
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     --running_jobs_;
@@ -877,7 +1020,10 @@ std::optional<proto::SolveResult> ComputeServer::run_job(
   }
   if (crash_mode_.load()) {
     // Crashed mid-execution: the journal is frozen and the reply must not
-    // leave — to the outside world this job died with the process.
+    // leave — to the outside world this job died with the process. The
+    // byte account is process memory, not durable state, so it is still
+    // released (the emulated-dead server shares this address space).
+    release_job_memory(job);
     erase_active_job(job, result.request_id);
     return std::nullopt;
   }
@@ -915,6 +1061,13 @@ void ComputeServer::send_workload_report(double workload) {
     report.sojourn_p95_s = sojourn_p95;
     report.free_slots = free_slots;
     report.durable = config_.data_dir.empty() ? -1 : (degraded_.load() ? 0 : 1);
+    // Memory tri-state mirrors durable: -1 = ungoverned / never configured
+    // (the steady state, left alone by the predictor), otherwise the live
+    // headroom and whether payloads are currently parked on disk.
+    report.mem_free_bytes =
+        governor_.governed() ? static_cast<double>(governor_.headroom()) : -1.0;
+    report.spill_active =
+        spill_.enabled() ? (spilled_jobs_.load() > 0 ? 1 : 0) : -1;
     (void)net::pool_post(link.endpoint,
                          static_cast<std::uint16_t>(MessageType::kWorkloadReport),
                          encode_payload(report), /*dial_timeout_s=*/1.0);
@@ -935,11 +1088,17 @@ void ComputeServer::report_loop() {
       // A durability transition is news the agent must hear regardless of
       // how little the load moved — it changes where checkpointable work
       // should land.
+      // Memory pressure transitions (spill engage/release) are likewise
+      // routing-relevant news the agent should not wait a threshold for.
       if (std::abs(workload - last_sent) >= config_.report_threshold ||
-          last_sent == -1e300 || durable_dirty_.exchange(false)) {
+          last_sent == -1e300 || durable_dirty_.exchange(false) ||
+          mem_dirty_.exchange(false)) {
         send_workload_report(workload);
         last_sent = workload;
       }
+      metrics_.mem_accounted.set(static_cast<double>(governor_.accounted()));
+      metrics_.mem_peak.set(static_cast<double>(governor_.peak()));
+      metrics_.mem_spill_active.set(spilled_jobs_.load() > 0 ? 1.0 : 0.0);
     }
     // Sleep in small steps so stop() is prompt.
     const Deadline next(config_.report_period_s);
@@ -1123,6 +1282,7 @@ void ComputeServer::journal_admit(ActiveJob& job, double deadline_remaining_s) {
 
 void ComputeServer::finish_job(const std::shared_ptr<ActiveJob>& job,
                                const proto::SolveResult& result) {
+  release_job_memory(job);
   {
     std::lock_guard<std::mutex> lock(journal_mu_);
     const auto code = static_cast<ErrorCode>(result.error_code);
@@ -1192,7 +1352,17 @@ std::vector<JournalRecord> ComputeServer::collect_live_records_locked() {
       admitted.request_id = id;
       admitted.wall_micros = job->admitted_wall_us;
       admitted.deadline_remaining_s = job->admit_deadline_remaining_s;
-      admitted.data = encode_payload(job->request);
+      if (job->spilled) {
+        // The parked payload lives on disk; the spill file holds the full
+        // encoded SolveRequest, so it doubles as the ADMITTED record. If the
+        // file is unreadable the reload path will shed this job retryably,
+        // so the argless fallback below only ever feeds a kCancelled chain.
+        auto spilled = spill_.load(job->request.request_id);
+        admitted.data =
+            spilled.ok() ? std::move(spilled).value() : encode_payload(job->request);
+      } else {
+        admitted.data = encode_payload(job->request);
+      }
       live.push_back(std::move(admitted));
       if (job->started.load()) {
         JournalRecord started;
@@ -1239,6 +1409,112 @@ void ComputeServer::erase_active_job(const std::shared_ptr<ActiveJob>& job,
       active_jobs_.erase(it);
       return;
     }
+  }
+}
+
+// ---- memory governance ----
+
+std::uint64_t ComputeServer::estimate_working_set_bytes(
+    const proto::SolveRequest& request) const {
+  // Working set ~ the decoded operands plus outputs of comparable size —
+  // the resident footprint while the kernel runs. The factor and floor are
+  // config knobs; the estimate only needs to be monotone in problem size
+  // for the budget arithmetic (and the agent's feasibility term, which
+  // mirrors this 2x) to hold.
+  const double payload = static_cast<double>(dsl::args_byte_size(request.args));
+  const double estimate = config_.mem.working_set_factor * payload;
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(estimate),
+                                 config_.mem.working_set_floor_bytes);
+}
+
+bool ComputeServer::should_spill_locked(const ActiveJob& job) const {
+  if (!spill_.enabled() || job.spilled) return false;
+  if (job.payload_bytes < config_.mem.spill_min_bytes) return false;
+  if (!governor_.governed()) return true;  // spill_dir set, no budget: always park
+  // Governed: only pay the disk round trip once the account is actually
+  // under pressure.
+  const double watermark =
+      config_.mem.spill_watermark * static_cast<double>(governor_.budget());
+  return static_cast<double>(governor_.accounted()) >= watermark;
+}
+
+bool ComputeServer::spill_job(const std::shared_ptr<ActiveJob>& job) {
+  // The whole encoded SolveRequest goes to disk (not just the args): the
+  // spill file then doubles as the ADMITTED payload for a journal
+  // compaction that runs while the job is parked.
+  serial::Bytes encoded;
+  try {
+    mem::alloc_trip("server.spill_save");
+    encoded = encode_payload(job->request);
+  } catch (const std::bad_alloc&) {
+    metrics_.mem_bad_alloc.inc();
+    return false;  // stay in RAM; the payload is still charged
+  }
+  if (!spill_.save(job->request.request_id, encoded).ok()) {
+    // save() already degraded the store; every later job skips the spill
+    // path entirely (graceful in-RAM-only degradation).
+    NS_WARN("server") << config_.name << " payload spill degraded to in-RAM-only";
+    return false;
+  }
+  {
+    // Swap the args out under active_jobs_mu_ so a concurrent journal
+    // compaction sees either the in-RAM request or the spilled flag —
+    // never a half-cleared argument vector.
+    std::lock_guard<std::mutex> lock(active_jobs_mu_);
+    job->request.args.clear();
+    job->request.args.shrink_to_fit();
+    job->spilled = true;
+  }
+  spilled_jobs_.fetch_add(1);
+  mem_dirty_.store(true);
+  metrics_.mem_spilled_bytes.inc(job->payload_bytes);
+  return true;
+}
+
+Status ComputeServer::reload_spilled(const std::shared_ptr<ActiveJob>& job) {
+  auto bytes = spill_.load(job->request.request_id);
+  if (!bytes.ok()) return bytes.error();
+  serial::Decoder dec(bytes.value());
+  auto request = [&]() -> Result<proto::SolveRequest> {
+    try {
+      mem::alloc_trip("server.spill_reload");
+      return proto::SolveRequest::decode(dec);
+    } catch (const std::bad_alloc&) {
+      metrics_.mem_bad_alloc.inc();
+      return make_error(ErrorCode::kServerOverloaded,
+                        "allocation failed reloading spilled payload");
+    }
+  }();
+  if (!request.ok()) return request.error();
+  {
+    std::lock_guard<std::mutex> lock(active_jobs_mu_);
+    job->request.args = std::move(request.value().args);
+    job->spilled = false;
+  }
+  spilled_jobs_.fetch_sub(1);
+  mem_dirty_.store(true);
+  spill_.remove(job->request.request_id);
+  metrics_.mem_spill_reloads.inc();
+  return ok_status();
+}
+
+void ComputeServer::release_job_memory(const std::shared_ptr<ActiveJob>& job) {
+  bool was_spilled = false;
+  {
+    // Clear the flag before unlinking so a racing compaction never reads a
+    // spilled=true job whose file is already gone.
+    std::lock_guard<std::mutex> lock(active_jobs_mu_);
+    was_spilled = job->spilled;
+    job->spilled = false;
+  }
+  if (was_spilled) {
+    spilled_jobs_.fetch_sub(1);
+    mem_dirty_.store(true);
+    spill_.remove(job->request.request_id);
+  }
+  if (job->mem_charged_bytes > 0) {
+    governor_.release(job->mem_charged_bytes);
+    job->mem_charged_bytes = 0;
   }
 }
 
@@ -1430,6 +1706,12 @@ proto::CheckpointPutAck ComputeServer::accept_checkpoint(proto::CheckpointPut pu
   auto it = replica_store_.find(key);
 
   serial::Bytes state;
+  std::uint64_t args_bytes = 0;
+  if (put.has_request) {
+    args_bytes = dsl::args_byte_size(put.request.args);
+  } else if (it != replica_store_.end() && it->second.has_request) {
+    args_bytes = dsl::args_byte_size(it->second.request.args);
+  }
   if (put.base_iteration > 0) {
     // Delta frame: we must hold exactly the base it was diffed against.
     if (it == replica_store_.end() ||
@@ -1452,23 +1734,43 @@ proto::CheckpointPutAck ComputeServer::accept_checkpoint(proto::CheckpointPut pu
     state = std::move(unpacked).value();
   }
 
+  // Byte accounting before any mutation: a refused PUT must leave the store
+  // untouched. Eviction only removes *other* keys (std::map iterators to
+  // surviving elements stay valid), so `it` is safe across the call.
+  const std::size_t old_bytes = it != replica_store_.end() ? it->second.bytes : 0;
+  const std::size_t new_bytes = state.size() + static_cast<std::size_t>(args_bytes);
+  if (new_bytes > old_bytes) {
+    if (!make_replica_room_locked(new_bytes - old_bytes, key)) {
+      ack.reason = "replica budget";
+      return ack;
+    }
+    replica_bytes_ += new_bytes - old_bytes;
+  } else {
+    const std::size_t freed = old_bytes - new_bytes;
+    replica_bytes_ -= std::min(replica_bytes_, freed);
+    governor_.release(freed);
+  }
+
   if (it == replica_store_.end()) {
     // A checkpoint without its SolveRequest could never be adopted — refuse
     // so the origin resends with the request attached.
     if (!put.has_request) {
+      // Roll the charge back; nothing was stored.
+      replica_bytes_ -= std::min(replica_bytes_, new_bytes);
+      governor_.release(new_bytes);
       ack.reason = "need full";
       return ack;
     }
     it = replica_store_.emplace(key, ReplicaEntry{}).first;
     replica_order_.push_back(key);
     while (replica_order_.size() > kMaxReplicaEntries) {
-      replica_store_.erase(replica_order_.front());
-      replica_order_.pop_front();
+      drop_replica_entry_locked(replica_order_.front());
     }
     // The eviction above can only remove older keys: `key` was just pushed
     // to the back, so `it` stays valid past the loop.
   }
   ReplicaEntry& entry = it->second;
+  entry.bytes = new_bytes;
   if (put.has_request) {
     entry.request = std::move(put.request);
     entry.has_request = true;
@@ -1511,6 +1813,8 @@ proto::CheckpointFetchReply ComputeServer::handle_checkpoint_fetch(
     entry = std::move(match->second);
     // Adopt-once: remove before running so a racing second FETCH cannot
     // start the same job twice.
+    replica_bytes_ -= std::min(replica_bytes_, entry.bytes);
+    governor_.release(entry.bytes);
     replica_store_.erase(match);
     for (auto it = replica_order_.begin(); it != replica_order_.end(); ++it) {
       if (it->first == reply.origin && it->second == fetch.request_id) {
@@ -1533,6 +1837,13 @@ proto::CheckpointFetchReply ComputeServer::handle_checkpoint_fetch(
       // slot to produce kDeadlineExceeded. Put the entry back for inspection.
       std::lock_guard<std::mutex> lock(replica_mu_);
       const auto key = std::make_pair(reply.origin, fetch.request_id);
+      // Re-charge what the adopt path released moments ago; force if another
+      // thread grabbed the headroom in between rather than drop the entry.
+      if (!governor_.try_charge(entry.bytes)) {
+        governor_.charge_forced(entry.bytes);
+        metrics_.mem_forced_charge.inc();
+      }
+      replica_bytes_ += entry.bytes;
       replica_store_.emplace(key, std::move(entry));
       replica_order_.push_back(key);
       return reply;
@@ -1582,6 +1893,57 @@ proto::CheckpointFetchReply ComputeServer::handle_checkpoint_fetch(
 std::size_t ComputeServer::replica_holds() const {
   std::lock_guard<std::mutex> lock(replica_mu_);
   return replica_store_.size();
+}
+
+std::size_t ComputeServer::replica_bytes() const {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  return replica_bytes_;
+}
+
+bool ComputeServer::make_replica_room_locked(
+    std::size_t incoming, const std::pair<std::string, std::uint64_t>& keep) {
+  auto evict_largest = [&]() -> bool {
+    auto victim = replica_store_.end();
+    for (auto it = replica_store_.begin(); it != replica_store_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == replica_store_.end() || it->second.bytes > victim->second.bytes) {
+        victim = it;
+      }
+    }
+    if (victim == replica_store_.end()) return false;
+    drop_replica_entry_locked(victim->first);
+    metrics_.mem_replica_evicted.inc();
+    return true;
+  };
+  // Largest-first beats FIFO here: one oversized snapshot can hold the
+  // budget hostage while dozens of small, cheap-to-re-replicate entries
+  // would have to be evicted to match it.
+  while (replica_bytes_ + incoming > config_.mem.replica_budget_bytes) {
+    if (!evict_largest()) return false;
+  }
+  while (!governor_.try_charge(incoming)) {
+    if (!evict_largest()) return false;
+  }
+  return true;
+}
+
+void ComputeServer::drop_replica_entry_locked(
+    const std::pair<std::string, std::uint64_t>& key_in) {
+  auto it = replica_store_.find(key_in);
+  if (it == replica_store_.end()) return;
+  // Callers pass references into the containers erased below (map node key,
+  // deque front); copy before mutating so the comparisons stay valid.
+  const auto key = it->first;
+  const std::size_t bytes = it->second.bytes;
+  replica_bytes_ -= std::min(replica_bytes_, bytes);
+  governor_.release(bytes);
+  replica_store_.erase(it);
+  for (auto oit = replica_order_.begin(); oit != replica_order_.end(); ++oit) {
+    if (*oit == key) {
+      replica_order_.erase(oit);
+      break;
+    }
+  }
 }
 
 std::vector<proto::ServerCandidate> ComputeServer::query_candidates(

@@ -37,6 +37,7 @@
 #include "common/checkpoint.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/memgov.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "dsl/registry.hpp"
@@ -208,6 +209,14 @@ struct ServerConfig {
   /// byte-plane shuffle + run-length; see common/bytepack.hpp). Off sends
   /// raw frames — the bench baseline.
   bool checkpoint_compress = true;
+
+  // ---- memory governance (byte-accounted admission + payload spill) ----
+  /// Budgets and spill policy for the per-server MemGovernor: queued
+  /// payloads, running working sets, and replica-store entries are charged
+  /// against mem.global_bytes; jobs that cannot fit are shed retryably with
+  /// a retry_after hint, and queued-but-cold payloads spill to
+  /// mem.spill_dir through the vfs seam. See common/memgov.hpp.
+  mem::MemBudgetConfig mem;
 };
 
 class ComputeServer {
@@ -312,6 +321,17 @@ class ComputeServer {
   std::uint64_t failover_resumes() const noexcept { return failover_resumes_.load(); }
   /// Replicated checkpoints currently held for other servers' jobs.
   std::size_t replica_holds() const;
+  /// Bytes the replica store currently accounts for.
+  std::size_t replica_bytes() const;
+
+  // ---- memory governance ----
+  /// The byte account charged by admission, dispatch, and the replica
+  /// store; tests assert peak() never exceeds budget().
+  const mem::MemGovernor& governor() const noexcept { return governor_; }
+  /// Queued payloads currently parked in the spill store.
+  std::int64_t spilled_jobs() const noexcept { return spilled_jobs_.load(); }
+  /// Jobs shed because their payload or working set did not fit a budget.
+  std::uint64_t mem_shed() const noexcept { return mem_shed_.load(); }
   /// Emulated unclean death (SIGKILL): freeze the journal (nothing further
   /// reaches disk), suppress all replies and terminal accounting, and tear
   /// the threads down. Unlike stop(), in-flight jobs look — to clients and
@@ -355,6 +375,21 @@ class ComputeServer {
     metrics::Counter& store_ckpt_wire_bytes;
     metrics::Counter& store_failover_resume;
     metrics::Gauge& store_degraded;
+    // Memory governance (mem.*): byte-accounted admission, payload spill,
+    // and allocation-failure hardening. Counters are process-wide; the
+    // accounted/peak/budget gauges are per-server (keyed by name) since
+    // byte accounts do not sum meaningfully across servers.
+    metrics::Counter& mem_shed;
+    metrics::Counter& mem_spilled_bytes;
+    metrics::Counter& mem_spill_reloads;
+    metrics::Counter& mem_spill_reload_errors;
+    metrics::Counter& mem_bad_alloc;
+    metrics::Counter& mem_replica_evicted;
+    metrics::Counter& mem_forced_charge;
+    metrics::Gauge& mem_accounted;
+    metrics::Gauge& mem_peak;
+    metrics::Gauge& mem_budget;
+    metrics::Gauge& mem_spill_active;
     metrics::Histogram& queue_wait_s;
     metrics::Histogram& queue_sojourn_s;
     metrics::Histogram& compute_s;
@@ -388,6 +423,19 @@ class ComputeServer {
     bool readmit = false;
     /// An ADMITTED record for this job is on disk (terminal record owed).
     bool journaled = false;
+    // ---- memory accounting (mutated under jobs_mu_ until dispatch; owner-
+    // thread-only afterwards) ----
+    /// Serialized payload size charged to the governor at admission.
+    std::uint64_t payload_bytes = 0;
+    /// Working-set estimate charged by the dispatcher at slot grant.
+    std::uint64_t ws_bytes = 0;
+    /// Bytes currently charged to the governor on this job's behalf;
+    /// released in one step when the job reaches any terminal path.
+    std::uint64_t mem_charged_bytes = 0;
+    /// Payload parked in the spill store; request.args is empty until the
+    /// dispatch-time reload (guarded by active_jobs_mu_ against concurrent
+    /// journal compaction, which must read the spill file instead).
+    bool spilled = false;
     std::int64_t admitted_wall_us = 0;        // ADMITTED record stamp
     double admit_deadline_remaining_s = 0.0;  // budget left at admission
     /// Absolute deadline fixed at enqueue (1e300 = none); read by the
@@ -436,6 +484,16 @@ class ComputeServer {
     bool dropped = false;
     const char* drop_reason = "";
     double retry_after_s = 0.0;            // backpressure hint for the reply
+    // ---- memory accounting (all under jobs_mu_) ----
+    /// Working-set bytes the dispatcher must charge before granting.
+    std::uint64_t ws_bytes = 0;
+    /// Payload bytes released to the spill store while waiting; the
+    /// dispatcher re-charges them at grant (the reload re-materializes the
+    /// payload in RAM).
+    std::uint64_t spilled_bytes = 0;
+    /// Bytes the dispatcher actually charged at grant; the owner folds this
+    /// into ActiveJob::mem_charged_bytes after waking.
+    std::uint64_t granted_bytes = 0;
   };
 
   ComputeServer(ServerConfig config, net::TcpListener listener, double rated_mflops);
@@ -542,6 +600,30 @@ class ComputeServer {
   /// Drain-side migration: hand `job`'s latest checkpoint to a peer. On
   /// success rewrites `result` into kMigrated + the forwarding address.
   bool migrate_job(ActiveJob& job, proto::SolveResult& result);
+
+  // ---- memory governance internals ----
+  /// Working-set estimate for one request (factor * payload, floored).
+  std::uint64_t estimate_working_set_bytes(const proto::SolveRequest& request) const;
+  /// True when a queued job's payload should go to disk: spill enabled,
+  /// payload large enough, and (when governed) accounted bytes past the
+  /// watermark.
+  bool should_spill_locked(const ActiveJob& job) const;
+  /// Park `job`'s encoded request in the spill store. Called with jobs_mu_
+  /// NOT held (does I/O); takes active_jobs_mu_ to swap the args out so a
+  /// concurrent journal compaction never sees a half-cleared request.
+  bool spill_job(const std::shared_ptr<ActiveJob>& job);
+  /// Re-materialize a spilled payload at dispatch. On failure the caller
+  /// sheds the job retryably.
+  Status reload_spilled(const std::shared_ptr<ActiveJob>& job);
+  /// Release every byte charged on `job`'s behalf and drop its spill file.
+  /// Safe on every terminal path (idempotent via mem_charged_bytes = 0).
+  void release_job_memory(const std::shared_ptr<ActiveJob>& job);
+  /// Largest-first eviction until the replica store fits `incoming` more
+  /// bytes under both the replica budget and the governor. Requires
+  /// replica_mu_. Returns false when even an empty store cannot fit it.
+  bool make_replica_room_locked(std::size_t incoming,
+                                const std::pair<std::string, std::uint64_t>& keep);
+  void drop_replica_entry_locked(const std::pair<std::string, std::uint64_t>& key);
   /// Ask the registered agents which peers can run this request's problem.
   std::vector<proto::ServerCandidate> query_candidates(
       const proto::SolveRequest& request);
@@ -648,11 +730,25 @@ class ComputeServer {
     double deadline_remaining_s = 0.0;  // budget at the last PUT
     std::int64_t stored_wall_us = 0;    // PUT stamp (deadline decay baseline)
     checkpoint::Snapshot snapshot;      // decompressed state
+    /// Bytes this entry accounts for (snapshot state + request payload),
+    /// charged to the governor and bounded by mem.replica_budget_bytes.
+    std::size_t bytes = 0;
   };
   static constexpr std::size_t kMaxReplicaEntries = 256;
   mutable std::mutex replica_mu_;
   std::map<std::pair<std::string, std::uint64_t>, ReplicaEntry> replica_store_;
   std::deque<std::pair<std::string, std::uint64_t>> replica_order_;
+  std::size_t replica_bytes_ = 0;  // under replica_mu_
+
+  // ---- memory governance ----
+  mem::MemGovernor governor_;
+  mem::SpillStore spill_;
+  /// Payloads currently parked on disk (drives the spill_active ternary).
+  std::atomic<std::int64_t> spilled_jobs_{0};
+  std::atomic<std::uint64_t> mem_shed_{0};
+  /// Memory-pressure state changed since the last workload report (same
+  /// force-a-report contract as durable_dirty_).
+  std::atomic<bool> mem_dirty_{false};
 
   ServerMetrics metrics_;
 

@@ -83,6 +83,7 @@ Result<std::unique_ptr<TestCluster>> TestCluster::start(ClusterConfig config) {
     sc.migrate_on_drain = spec.migrate_on_drain;
     sc.guard = spec.guard;
     sc.checkpoint_compress = spec.checkpoint_compress;
+    sc.mem = spec.mem;
     for (std::size_t j : spec.replicas) {
       if (j < cluster->servers_.size() && cluster->servers_[j]) {
         sc.replicas.push_back(cluster->servers_[j]->endpoint());
@@ -126,6 +127,7 @@ void TestCluster::stop() {
   // later test would inherit this cluster's chaos schedule.
   net::FaultInjector::instance().disarm_all();
   vfs::StorageFaultInjector::instance().disarm_all();
+  mem::AllocFaultInjector::instance().disarm_all();
   for (auto& server : servers_) {
     if (server) server->stop();
   }
@@ -161,6 +163,14 @@ void TestCluster::arm_storage_fault(std::size_t i, vfs::StorageFaultPlan plan) {
 
 void TestCluster::disarm_storage_faults() {
   vfs::StorageFaultInjector::instance().disarm_all();
+}
+
+void TestCluster::arm_alloc_fault(mem::AllocFaultPlan plan) {
+  mem::AllocFaultInjector::instance().arm(std::move(plan));
+}
+
+void TestCluster::disarm_alloc_faults() {
+  mem::AllocFaultInjector::instance().disarm_all();
 }
 
 Result<proto::DrainAck> TestCluster::drain_server(std::size_t i, double deadline_s) {
@@ -238,6 +248,7 @@ Status TestCluster::restart_server(std::size_t i) {
   sc.migrate_on_drain = spec.migrate_on_drain;
   sc.guard = spec.guard;
   sc.checkpoint_compress = spec.checkpoint_compress;
+  sc.mem = spec.mem;
   for (std::size_t j : spec.replicas) {
     if (j != i && j < servers_.size() && servers_[j]) {
       sc.replicas.push_back(servers_[j]->endpoint());

@@ -16,6 +16,7 @@
 #include "agent/agent.hpp"
 #include "client/client.hpp"
 #include "common/error.hpp"
+#include "common/memgov.hpp"
 #include "common/vfs.hpp"
 #include "net/fault.hpp"
 #include "server/server.hpp"
@@ -67,6 +68,10 @@ struct ClusterServerSpec {
   std::vector<std::size_t> replicas;
   /// Delta/RLE-compress replicated checkpoint frames (see common/bytepack.hpp).
   bool checkpoint_compress = true;
+  /// Memory governance for this server: payload/working-set budgets, spill
+  /// directory, replica-store byte cap (see common/memgov.hpp). Defaults to
+  /// ungoverned. Survives restart_server().
+  mem::MemBudgetConfig mem;
 };
 
 struct ClusterConfig {
@@ -173,6 +178,13 @@ class TestCluster {
   void arm_storage_fault(std::size_t i, vfs::StorageFaultPlan plan);
   /// Remove every armed storage fault plan (and the emulated-crash freeze).
   void disarm_storage_faults();
+
+  /// Arm an allocation fault plan (see common/memgov.hpp): scripted
+  /// std::bad_alloc at named trip points (frame reads, request decode,
+  /// execute, spill save/reload). Process-global, like storage faults.
+  void arm_alloc_fault(mem::AllocFaultPlan plan);
+  /// Remove every armed allocation fault rule.
+  void disarm_alloc_faults();
 
   /// Gracefully drain server i (the rolling-restart chaos hook): it stops
   /// accepting work, deregisters from every agent, and finishes or cancels

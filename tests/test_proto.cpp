@@ -68,12 +68,16 @@ TEST(ProtoTest, WorkloadReportRoundTrip) {
   msg.completed = 1ull << 40;
   msg.sojourn_p95_s = 0.875;
   msg.free_slots = 2.0;
+  msg.mem_free_bytes = 1.5e9;
+  msg.spill_active = 1;
   const auto back = round_trip(msg);
   EXPECT_EQ(back.server_id, 9u);
   EXPECT_DOUBLE_EQ(back.workload, 3.25);
   EXPECT_EQ(back.completed, 1ull << 40);
   EXPECT_DOUBLE_EQ(back.sojourn_p95_s, 0.875);
   EXPECT_DOUBLE_EQ(back.free_slots, 2.0);
+  EXPECT_DOUBLE_EQ(back.mem_free_bytes, 1.5e9);
+  EXPECT_EQ(back.spill_active, 1);
 }
 
 TEST(ProtoTest, QueryRoundTrip) {
@@ -200,8 +204,9 @@ TEST(ProtoTest, OldPeersWithoutOverloadFieldsStillParse) {
     msg.sojourn_p95_s = 9.0;
     msg.free_slots = 3.0;
     auto bytes = encode_msg(msg);
-    // Strip both trailing queue-pressure f64s plus the later durable i32.
-    bytes.resize(bytes.size() - 16 - 4);
+    // Strip both trailing queue-pressure f64s plus the later durable i32 and
+    // the memory fields (mem_free_bytes f64 + spill_active i32).
+    bytes.resize(bytes.size() - 16 - 4 - 12);
     serial::Decoder dec(bytes);
     auto back = WorkloadReport::decode(dec);
     ASSERT_TRUE(back.ok());
@@ -209,6 +214,8 @@ TEST(ProtoTest, OldPeersWithoutOverloadFieldsStillParse) {
     EXPECT_DOUBLE_EQ(back.value().sojourn_p95_s, 0.0);
     EXPECT_DOUBLE_EQ(back.value().free_slots, -1.0) << "-1 marks 'not reported'";
     EXPECT_EQ(back.value().durable, -1) << "-1 marks 'not reported'";
+    EXPECT_DOUBLE_EQ(back.value().mem_free_bytes, -1.0) << "-1 marks 'ungoverned'";
+    EXPECT_EQ(back.value().spill_active, -1) << "-1 marks 'no spill store'";
   }
 }
 
@@ -241,7 +248,8 @@ TEST(ProtoTest, OldPeersWithoutDurabilityFieldsStillParse) {
     msg.free_slots = 1.0;
     msg.durable = 1;  // must NOT survive
     auto bytes = encode_msg(msg);
-    bytes.resize(bytes.size() - 4);  // strip the trailing durable i32
+    // Strip the durable i32 plus the later memory fields (f64 + i32).
+    bytes.resize(bytes.size() - 4 - 12);
     serial::Decoder dec(bytes);
     auto back = WorkloadReport::decode(dec);
     ASSERT_TRUE(back.ok());
@@ -249,6 +257,8 @@ TEST(ProtoTest, OldPeersWithoutDurabilityFieldsStillParse) {
     EXPECT_DOUBLE_EQ(back.value().sojourn_p95_s, 0.25);
     EXPECT_DOUBLE_EQ(back.value().free_slots, 1.0);
     EXPECT_EQ(back.value().durable, -1) << "legacy report never claims durability";
+    EXPECT_DOUBLE_EQ(back.value().mem_free_bytes, -1.0);
+    EXPECT_EQ(back.value().spill_active, -1);
   }
   {
     // A request whose durable flag is neither 0 nor 1 is a protocol error,
@@ -262,6 +272,83 @@ TEST(ProtoTest, OldPeersWithoutDurabilityFieldsStillParse) {
     serial::Decoder dec(bytes);
     EXPECT_FALSE(SolveRequest::decode(dec).ok());
   }
+}
+
+// The memory-pressure fields (WorkloadReport.mem_free_bytes / spill_active)
+// trail one era later again than durability: a durability-era payload ends
+// right after the durable i32 and must parse with the ungoverned defaults,
+// while a payload torn mid-group is a protocol error, not a partial parse.
+TEST(ProtoTest, OldPeersWithoutMemoryFieldsStillParse) {
+  WorkloadReport msg;
+  msg.server_id = 21;
+  msg.workload = 1.5;
+  msg.sojourn_p95_s = 0.125;
+  msg.free_slots = 4.0;
+  msg.durable = 1;             // must survive: durability-era field
+  msg.mem_free_bytes = 123.0;  // must NOT survive: old encoders never wrote it
+  msg.spill_active = 1;        // must NOT survive
+  {
+    auto bytes = encode_msg(msg);
+    bytes.resize(bytes.size() - 12);  // strip mem_free_bytes f64 + spill_active i32
+    serial::Decoder dec(bytes);
+    auto back = WorkloadReport::decode(dec);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(dec.expect_exhausted().ok());
+    EXPECT_EQ(back.value().durable, 1);
+    EXPECT_DOUBLE_EQ(back.value().mem_free_bytes, -1.0)
+        << "durability-era report must read as ungoverned";
+    EXPECT_EQ(back.value().spill_active, -1);
+  }
+  {
+    // Truncated inside the memory group: mem_free_bytes present but
+    // spill_active missing. The group is all-or-nothing.
+    auto bytes = encode_msg(msg);
+    bytes.resize(bytes.size() - 4);
+    serial::Decoder dec(bytes);
+    EXPECT_FALSE(WorkloadReport::decode(dec).ok());
+  }
+}
+
+// Junk fuzz over the memory fields: arbitrary (including absurd or negative)
+// values must round-trip bit-exactly and never crash the decoder — the
+// *predictor* is where semantics live (-1 = ungoverned, 1 = spilling), the
+// wire just carries the numbers.
+TEST(ProtoTest, MemoryFieldsFuzzRoundTrip) {
+  Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    WorkloadReport report;
+    report.server_id = static_cast<ServerId>(rng.next_u64());
+    report.mem_free_bytes = rng.uniform(-2.0, 1e12);
+    report.spill_active = static_cast<int>(rng.uniform_int(-4, 1 << 20));
+    const auto back = round_trip(report);
+    EXPECT_DOUBLE_EQ(back.mem_free_bytes, report.mem_free_bytes);
+    EXPECT_EQ(back.spill_active, report.spill_active);
+
+    // Random tail truncation somewhere inside the trailing groups must
+    // either parse (clean era boundary) or fail cleanly — never crash.
+    auto bytes = encode_msg(report);
+    const auto cut = static_cast<std::size_t>(rng.uniform_int(0, 32));
+    bytes.resize(std::max<std::size_t>(bytes.size() - cut, 12));
+    serial::Decoder dec(bytes);
+    (void)WorkloadReport::decode(dec);
+  }
+}
+
+// A memory-governor shed rides the same retryable-BUSY shape as a queue
+// shed: kServerOverloaded plus a retry_after_s hint the client folds into
+// its backoff. The wire must carry both faithfully.
+TEST(ProtoTest, MemoryShedResultCarriesRetryHint) {
+  SolveResult msg;
+  msg.request_id = 77;
+  msg.error_code = static_cast<std::uint16_t>(ErrorCode::kServerOverloaded);
+  msg.error_message = "memory governor: payload does not fit the budget";
+  msg.retry_after_s = 0.75;
+  const auto back = round_trip(msg);
+  EXPECT_EQ(back.error_code, static_cast<std::uint16_t>(ErrorCode::kServerOverloaded));
+  EXPECT_EQ(back.error_message, msg.error_message);
+  EXPECT_DOUBLE_EQ(back.retry_after_s, 0.75);
+  EXPECT_TRUE(is_retryable(static_cast<ErrorCode>(back.error_code)))
+      << "a memory shed must stay retryable or clients would give up";
 }
 
 // Checkpoint-replication messages: round-trips for the PUT/FETCH pairs,
